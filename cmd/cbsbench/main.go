@@ -1,0 +1,234 @@
+// Command cbsbench regenerates the paper's tables and figures on the
+// MJ VM substrate. Each artifact of the evaluation section maps to a
+// flag:
+//
+//	cbsbench -table 1            benchmark characteristics (Table 1)
+//	cbsbench -table 2a           overhead/accuracy grid, Jikes RVM flavour
+//	cbsbench -table 2b           overhead/accuracy grid, J9 flavour
+//	cbsbench -table 3            per-benchmark base vs CBS breakdown
+//	cbsbench -figure 5a          inlining speedups, Jikes RVM flavour
+//	cbsbench -figure 5b          inlining speedups, J9 flavour
+//	cbsbench -study convergence  accuracy vs time (E8)
+//	cbsbench -study skew         initial-skip ablation (E9)
+//	cbsbench -study comparators  §3 techniques side by side (E10)
+//	cbsbench -study inliners     old vs new inliner (E11)
+//	cbsbench -study context      calling-context-tree extension (E12)
+//	cbsbench -all                everything above
+//
+// Use -quick for a cheap single-seed run on a benchmark subset, -input
+// to pick small/large where applicable, and -benchmarks for a comma
+// separated subset of the suite.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"gocbs/internal/bench"
+	"gocbs/internal/experiment"
+	"gocbs/internal/profiler"
+)
+
+func main() {
+	table := flag.String("table", "", "regenerate a table: 1, 2a, 2b, or 3")
+	figure := flag.String("figure", "", "regenerate a figure: 5a or 5b")
+	study := flag.String("study", "", "run a study: convergence, skew, comparators, inliners, context, cleanup, online, entrycheck")
+	all := flag.Bool("all", false, "regenerate every table, figure, and study")
+	quick := flag.Bool("quick", false, "single seed and a four-benchmark subset")
+	input := flag.String("input", "small", "input size for grids/figures/studies: small or large")
+	benchList := flag.String("benchmarks", "", "comma-separated benchmark subset (default: whole suite)")
+	fullGrid := flag.Bool("full", false, "use the paper's full samples-per-tick row set in table 2")
+	flag.Parse()
+
+	cfg := experiment.DefaultConfig()
+	if *quick {
+		cfg = experiment.QuickConfig()
+		sub, err := bench.Subset([]string{"compress", "jess", "javac", "mtrt"})
+		if err != nil {
+			fatal(err)
+		}
+		cfg.Benchmarks = sub
+	}
+	if *benchList != "" {
+		sub, err := bench.Subset(strings.Split(*benchList, ","))
+		if err != nil {
+			fatal(err)
+		}
+		cfg.Benchmarks = sub
+	}
+
+	ran := false
+	run := func(name string, f func() error) {
+		ran = true
+		start := time.Now()
+		if err := f(); err != nil {
+			fatal(fmt.Errorf("%s: %w", name, err))
+		}
+		fmt.Fprintf(os.Stderr, "[%s done in %v]\n", name, time.Since(start).Round(time.Millisecond))
+	}
+
+	samples := experiment.DefaultSamples
+	if *fullGrid {
+		samples = experiment.FullSamples
+	}
+
+	wantTable := func(t string) bool { return *all || *table == t }
+	wantFigure := func(f string) bool { return *all || *figure == f }
+	wantStudy := func(s string) bool { return *all || *study == s }
+
+	if wantTable("1") {
+		run("table 1", func() error {
+			rows, err := experiment.Table1(cfg)
+			if err != nil {
+				return err
+			}
+			fmt.Println(experiment.FormatTable1(rows))
+			return nil
+		})
+	}
+	if wantTable("2a") {
+		run("table 2a", func() error {
+			cells, err := experiment.Table2(cfg, profiler.FlavourRVM, *input, experiment.DefaultStrides, samples)
+			if err != nil {
+				return err
+			}
+			fmt.Println(experiment.FormatTable2("Table 2A: Jikes RVM flavour", cells, experiment.DefaultStrides, samples))
+			return nil
+		})
+	}
+	if wantTable("2b") {
+		run("table 2b", func() error {
+			cells, err := experiment.Table2(cfg, profiler.FlavourJ9, *input, experiment.DefaultStrides, samples)
+			if err != nil {
+				return err
+			}
+			fmt.Println(experiment.FormatTable2("Table 2B: J9 flavour", cells, experiment.DefaultStrides, samples))
+			return nil
+		})
+	}
+	if wantTable("3") {
+		run("table 3", func() error {
+			params := experiment.DefaultTable3Params()
+			rows, err := experiment.Table3(cfg, params)
+			if err != nil {
+				return err
+			}
+			fmt.Println(experiment.FormatTable3(rows, params))
+			return nil
+		})
+	}
+	if wantFigure("5a") {
+		run("figure 5a", func() error {
+			rows, err := experiment.Figure5(cfg, experiment.Figure5Jikes, *input)
+			if err != nil {
+				return err
+			}
+			fmt.Println(experiment.FormatFigure5(experiment.Figure5Jikes, rows))
+			return nil
+		})
+	}
+	if wantFigure("5b") {
+		run("figure 5b", func() error {
+			rows, err := experiment.Figure5(cfg, experiment.Figure5J9, *input)
+			if err != nil {
+				return err
+			}
+			fmt.Println(experiment.FormatFigure5(experiment.Figure5J9, rows))
+			return nil
+		})
+	}
+	if wantStudy("convergence") {
+		run("convergence", func() error {
+			b := bench.ByName("javac")
+			pts, err := experiment.Convergence(cfg, b, "large")
+			if err != nil {
+				return err
+			}
+			fmt.Println(experiment.FormatConvergence(b.Name+"-large", pts))
+			return nil
+		})
+	}
+	if wantStudy("skew") {
+		run("skew", func() error {
+			rows, err := experiment.SkewAblation(cfg, *input, 31, 16)
+			if err != nil {
+				return err
+			}
+			fmt.Println(experiment.FormatSkew(rows, 31, 16))
+			return nil
+		})
+	}
+	if wantStudy("comparators") {
+		run("comparators", func() error {
+			rows, err := experiment.Comparators(cfg, *input)
+			if err != nil {
+				return err
+			}
+			fmt.Println(experiment.FormatComparators(rows))
+			return nil
+		})
+	}
+	if wantStudy("inliners") {
+		run("inliners", func() error {
+			rows, err := experiment.InlinerAblation(cfg, *input)
+			if err != nil {
+				return err
+			}
+			fmt.Println(experiment.FormatInliners(rows))
+			return nil
+		})
+	}
+	if wantStudy("cleanup") {
+		run("cleanup", func() error {
+			rows, err := experiment.CleanupAblation(cfg, *input)
+			if err != nil {
+				return err
+			}
+			fmt.Println(experiment.FormatCleanup(rows))
+			return nil
+		})
+	}
+	if wantStudy("online") {
+		run("online", func() error {
+			rows, err := experiment.Online(cfg, *input)
+			if err != nil {
+				return err
+			}
+			fmt.Println(experiment.FormatOnline(rows))
+			return nil
+		})
+	}
+	if wantStudy("entrycheck") {
+		run("entrycheck", func() error {
+			rows, err := experiment.EntryCheckStudy(cfg, *input)
+			if err != nil {
+				return err
+			}
+			fmt.Println(experiment.FormatEntryCheck(rows))
+			return nil
+		})
+	}
+	if wantStudy("context") {
+		run("context", func() error {
+			rows, err := experiment.ContextStudy(cfg, *input)
+			if err != nil {
+				return err
+			}
+			fmt.Println(experiment.FormatContext(rows))
+			return nil
+		})
+	}
+
+	if !ran {
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "cbsbench:", err)
+	os.Exit(1)
+}

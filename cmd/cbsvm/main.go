@@ -1,0 +1,183 @@
+// Command cbsvm runs an MJ program (a file or a named suite benchmark)
+// under a chosen call-graph profiler and reports the collected dynamic
+// call graph, its accuracy against an exhaustive profile, and the
+// profiling overhead.
+//
+//	cbsvm -bench javac -size small
+//	cbsvm -bench mtrt -stride 7 -samples 32 -flavour j9
+//	cbsvm -file prog.mj -arg 500 -profiler timer
+//	cbsvm -bench jess -profiler whaley -top 10
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"gocbs/internal/bench"
+	"gocbs/internal/bytecode"
+	"gocbs/internal/experiment"
+	"gocbs/internal/inline"
+	"gocbs/internal/mj"
+	"gocbs/internal/profile"
+	"gocbs/internal/profiler"
+	"gocbs/internal/vm"
+)
+
+func main() {
+	benchName := flag.String("bench", "", "suite benchmark to run (see -list)")
+	list := flag.Bool("list", false, "list suite benchmarks and exit")
+	file := flag.String("file", "", "MJ source file to run instead of a suite benchmark")
+	arg := flag.Int64("arg", 0, "integer argument passed to main (with -file)")
+	size := flag.String("size", "small", "input size for -bench: small or large")
+	prof := flag.String("profiler", "cbs", "profiler: cbs, timer, whaley, patching, exhaustive")
+	stride := flag.Int("stride", 3, "CBS stride")
+	samples := flag.Int("samples", 16, "CBS samples per timer tick")
+	flavour := flag.String("flavour", "rvm", "VM flavour: rvm or j9")
+	seed := flag.Int64("seed", 42, "profiler RNG seed")
+	timer := flag.Uint64("timer", experiment.DefaultTimerPeriod, "virtual timer period in cycles")
+	top := flag.Int("top", 20, "number of DCG edges to print")
+	saveProfile := flag.String("save", "", "write the collected DCG to this file")
+	flag.Parse()
+
+	if *list {
+		for _, b := range bench.All() {
+			fmt.Printf("%-12s %s\n", b.Name, b.Description)
+		}
+		return
+	}
+
+	var prog *bytecode.Program
+	var runArg int64
+	var err error
+	switch {
+	case *benchName != "":
+		b := bench.ByName(*benchName)
+		if b == nil {
+			fatal(fmt.Errorf("unknown benchmark %q (use -list)", *benchName))
+		}
+		prog, err = b.Compile()
+		if err != nil {
+			fatal(err)
+		}
+		runArg = b.SizeFor(*size)
+	case *file != "":
+		src, err := os.ReadFile(*file)
+		if err != nil {
+			fatal(err)
+		}
+		prog, err = mj.Compile(string(src))
+		if err != nil {
+			fatal(err)
+		}
+		runArg = *arg
+	default:
+		fatal(fmt.Errorf("pass -bench NAME or -file FILE (or -list)"))
+	}
+
+	// JIT-only configuration, as in the paper's accuracy experiments.
+	if _, err := inline.Optimize(prog, inline.Trivial{}, nil, inline.DefaultOptions()); err != nil {
+		fatal(err)
+	}
+
+	fl := profiler.FlavourRVM
+	if *flavour == "j9" {
+		fl = profiler.FlavourJ9
+	}
+
+	// The perfect profile for accuracy scoring.
+	perfect := profiler.NewExhaustive()
+	{
+		m := vm.New(prog)
+		m.SetProfiler(perfect)
+		if _, err := m.Run(runArg); err != nil {
+			fatal(err)
+		}
+	}
+
+	m := vm.New(prog)
+	if fl == profiler.FlavourJ9 {
+		m.EpilogueYieldpoints = false
+	}
+	var graph *profile.DCG
+	name := *prof
+	switch *prof {
+	case "cbs", "timer":
+		cfg := profiler.Config{Stride: *stride, SamplesPerTick: *samples, Flavour: fl, Seed: *seed}
+		if *prof == "timer" {
+			cfg = profiler.TimerOnly(fl)
+			cfg.Seed = *seed
+		}
+		c := profiler.NewCBS(cfg)
+		m.SetProfiler(c)
+		m.SetTimer(*timer)
+		graph = c.Graph
+		name = c.Name()
+	case "whaley":
+		w := profiler.NewWhaley()
+		m.SetProfiler(w)
+		m.SetTimer(*timer)
+		graph = w.Graph
+	case "patching":
+		p := profiler.NewPatching(len(prog.Methods), 100, 64)
+		m.SetProfiler(p)
+		graph = p.Graph
+	case "exhaustive":
+		e := profiler.NewInstrumented()
+		m.SetProfiler(e)
+		graph = e.Graph
+	default:
+		fatal(fmt.Errorf("unknown profiler %q", *prof))
+	}
+
+	if _, err := m.Run(runArg); err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("profiler:  %s (flavour %s)\n", name, fl)
+	fmt.Printf("cycles:    %d (profiling %d, overhead %.3f%%)\n",
+		m.Cycles, m.ProfilingCycles, m.Overhead()*100)
+	fmt.Printf("calls:     %d; DCG edges: %d of %d (perfect)\n",
+		m.Calls, graph.NumEdges(), perfect.Graph.NumEdges())
+	fmt.Printf("accuracy:  %.1f (overlap with exhaustive profile)\n",
+		profile.Accuracy(graph, perfect.Graph))
+	fmt.Println()
+
+	if *saveProfile != "" {
+		f, err := os.Create(*saveProfile)
+		if err != nil {
+			fatal(err)
+		}
+		if _, err := graph.WriteTo(f); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "profile written to %s\n", *saveProfile)
+	}
+
+	methodName := func(id int) string {
+		if id >= 0 && id < len(prog.Methods) {
+			return prog.Methods[id].Name
+		}
+		return fmt.Sprintf("m%d", id)
+	}
+	dump := graph.Dump(methodName, prog.SiteDescription)
+	lines := 0
+	for i := 0; i < len(dump); i++ {
+		fmt.Print(string(dump[i]))
+		if dump[i] == '\n' {
+			lines++
+			if lines > *top {
+				fmt.Println("  ...")
+				break
+			}
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "cbsvm:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,107 @@
+// Command mjc compiles MJ source files to MJ VM bytecode and either
+// prints the disassembly, runs the program, saves it in the MJBC
+// binary format, or loads and runs a previously saved binary.
+//
+//	mjc prog.mj              disassemble
+//	mjc -run prog.mj 42 7    run main(42, 7) and print the result
+//	mjc -run -trace prog.mj  also dump the executed-method table
+//	mjc -o prog.mjb prog.mj  compile and save binary
+//	mjc -run prog.mjb 42     run a saved binary (by .mjb extension)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"gocbs/internal/bytecode"
+	"gocbs/internal/mj"
+	"gocbs/internal/vm"
+)
+
+func main() {
+	run := flag.Bool("run", false, "execute main after compiling")
+	trace := flag.Bool("trace", false, "with -run: print per-run statistics")
+	entry := flag.String("entry", "main", "entry-point function name")
+	out := flag.String("o", "", "write the compiled program to this .mjb file")
+	flag.Parse()
+	if flag.NArg() < 1 {
+		fmt.Fprintln(os.Stderr, "usage: mjc [-run] [-trace] [-entry name] file.mj [args...]")
+		os.Exit(2)
+	}
+	path := flag.Arg(0)
+	var prog *bytecode.Program
+	if strings.HasSuffix(path, ".mjb") {
+		f, err := os.Open(path)
+		if err != nil {
+			fatal(err)
+		}
+		prog, err = bytecode.DecodeProgram(f)
+		closeErr := f.Close()
+		if err != nil {
+			fatal(err)
+		}
+		if closeErr != nil {
+			fatal(closeErr)
+		}
+	} else {
+		src, err := os.ReadFile(path)
+		if err != nil {
+			fatal(err)
+		}
+		prog, err = mj.CompileEntry(string(src), *entry)
+		if err != nil {
+			fatal(err)
+		}
+	}
+
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		if err := bytecode.EncodeProgram(prog, f); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", *out)
+	}
+
+	if !*run {
+		fmt.Print(bytecode.DisasmProgram(prog))
+		return
+	}
+
+	var args []int64
+	for _, a := range flag.Args()[1:] {
+		v, err := strconv.ParseInt(a, 10, 64)
+		if err != nil {
+			fatal(fmt.Errorf("argument %q: %w", a, err))
+		}
+		args = append(args, v)
+	}
+	m := vm.New(prog)
+	result, err := m.Run(args...)
+	if err != nil {
+		fatal(err)
+	}
+	for _, v := range m.Output {
+		fmt.Println(v)
+	}
+	fmt.Printf("result: %d\n", result.I)
+	if *trace {
+		fmt.Printf("instructions: %d\n", m.Instrs)
+		fmt.Printf("cycles:       %d\n", m.Cycles)
+		fmt.Printf("calls:        %d\n", m.Calls)
+		fmt.Printf("methods run:  %d of %d\n", m.MethodsExecuted(), len(prog.Methods))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "mjc:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,83 @@
+// Adversary: the paper's Figure 1 program. A loop executes a long
+// sequence of non-call instructions and then two short calls. A
+// timer-driven sampler almost always interrupts inside the non-call
+// stretch and then credits whichever call site it reaches first, so
+// call_1 looks hot and call_2 looks cold even though they execute
+// equally often. CBS spreads its samples across the window and sees
+// the truth.
+//
+//	go run ./examples/adversary
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"gocbs/internal/mj"
+	"gocbs/internal/profiler"
+	"gocbs/internal/vm"
+)
+
+func adversarySource() string {
+	var stretch strings.Builder
+	for i := 0; i < 150; i++ {
+		stretch.WriteString("g = g + i; g = g ^ 3;\n")
+	}
+	return `
+		int g = 0;
+		int call_1() { g = g + 1; return g; }
+		int call_2() { g = g + 2; return g; }
+		int M(int n) {
+			for (int i = 0; i < n; i = i + 1) {
+				// Long sequence of non-call instructions
+				` + stretch.String() + `
+				call_1(); // Two short calls
+				call_2();
+			}
+			return g;
+		}
+		int main(int n) { return M(n); }
+	`
+}
+
+func main() {
+	src := adversarySource()
+
+	measure := func(label string, cfg profiler.Config) {
+		prog, err := mj.Compile(src)
+		if err != nil {
+			log.Fatal(err)
+		}
+		c := profiler.NewCBS(cfg)
+		m := vm.New(prog)
+		m.SetProfiler(c)
+		m.SetTimer(1_000_000)
+		if _, err := m.Run(30_000); err != nil {
+			log.Fatal(err)
+		}
+		c1 := prog.MethodByName("$Globals.call_1")
+		c2 := prog.MethodByName("$Globals.call_2")
+		var w1, w2 float64
+		for _, e := range c.Graph.Edges() {
+			if e.Callee == c1.ID {
+				w1 += c.Graph.Weight(e)
+			}
+			if e.Callee == c2.ID {
+				w2 += c.Graph.Weight(e)
+			}
+		}
+		fmt.Printf("%-22s samples=%4d   call_1=%5.0f   call_2=%5.0f", label, int(c.Graph.Total()), w1, w2)
+		if w2 == 0 {
+			fmt.Printf("   -> call_2 is INVISIBLE\n")
+		} else {
+			fmt.Printf("   (ratio %.2f)\n", w1/w2)
+		}
+	}
+
+	fmt.Println("Figure 1 adversary: both calls execute exactly 30000 times.")
+	fmt.Println()
+	measure("timer-only (1,1):", profiler.TimerOnly(profiler.FlavourRVM))
+	measure("cbs stride=2 n=8:", profiler.Config{Stride: 2, SamplesPerTick: 8, Seed: 7})
+	measure("cbs stride=5 n=16:", profiler.Config{Stride: 5, SamplesPerTick: 16, Seed: 7})
+}

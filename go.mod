@@ -1,0 +1,3 @@
+module gocbs
+
+go 1.22

@@ -1,0 +1,678 @@
+package bench
+
+// The first third of the suite: compress, jess, db, javac.
+
+func init() {
+	register(&Benchmark{
+		Name: "compress",
+		Description: "LZW-flavoured compressor/decompressor with a Huffman-ish " +
+			"recount stage: tight arithmetic loops, low call density, and " +
+			"Figure-1-style short calls after long non-call stretches",
+		Small: 3_800, Large: 18_000, SteadyIters: 12,
+		Source: rngPrelude + `
+			int[] input;
+			int[] packed;
+			int[] unpacked;
+			int[] dict;
+			int[] freq;
+			int outPos = 0;
+			int bitAcc = 0;
+			int bitCnt = 0;
+
+			int hashKey(int code, int ch) { return ((code << 5) ^ ch) & 4095; }
+			int mix(int x) {
+				x = x + (x << 7);
+				x = x ^ (x >> 11);
+				return x + (x << 3);
+			}
+			int emitBits(int v, int n) {
+				bitAcc = (bitAcc << n) | (v & ((1 << n) - 1));
+				bitCnt = bitCnt + n;
+				if (bitCnt >= 16) {
+					packed[outPos & 8191] = bitAcc & 0xFFFF;
+					outPos = outPos + 1;
+					bitCnt = bitCnt - 16;
+				}
+				return bitCnt;
+			}
+			int writeCode(int code) {
+				emitBits(code, 12);
+				return code & 1023;
+			}
+			int readCode(int pos) {
+				return packed[pos & 8191] ^ (pos & 15);
+			}
+			int countSymbol(int s) {
+				freq[s & 255] = freq[s & 255] + 1;
+				return freq[s & 255];
+			}
+
+			int compressPass() {
+				int code = 0;
+				int checksum = 0;
+				int noise = 0;
+				for (int j = 0; j < dict.length; j = j + 1) { dict[j] = -1; }
+				for (int i = 0; i < input.length; i = i + 1) {
+					int ch = input[i];
+					// Long non-call stretch: hashing, probing, mixing.
+					int h = ((code << 5) ^ ch) & 4095;
+					int probe = dict[h];
+					int key = code * 64 + ch;
+					int x = (key * 31) ^ (probe + 17);
+					x = x + (x << 7);
+					x = x ^ (x >> 11);
+					x = x + (x << 3);
+					noise = (noise + (x & 15)) & 0xFFFF;
+					if (probe == key) {
+						code = h;
+					} else {
+						dict[h] = key;
+						checksum = checksum + writeCode(code); // short call 1
+						checksum = checksum + countSymbol(ch); // short call 2
+						code = ch;
+					}
+				}
+				checksum = checksum + writeCode(code);
+				return checksum ^ noise;
+			}
+			int expandPass() {
+				int check = 0;
+				int prev = 0;
+				for (int i = 0; i < outPos && i < 8192; i = i + 1) {
+					int c = readCode(i);
+					// Non-call reconstruction arithmetic.
+					int v = (c ^ (prev << 2)) & 0xFFFF;
+					v = v * 2654435761;
+					v = v >> 8;
+					unpacked[i & 4095] = v & 255;
+					prev = c;
+					if ((i & 63) == 0) { check = check + countSymbol(v); }
+				}
+				return check;
+			}
+			int recount() {
+				// Huffman-style cost estimate over the frequency table.
+				int total = 0;
+				int bits = 0;
+				for (int s = 0; s < 256; s = s + 1) { total = total + freq[s]; }
+				if (total == 0) { return 0; }
+				for (int s = 0; s < 256; s = s + 1) {
+					int f = freq[s];
+					if (f > 0) {
+						int depth = 1;
+						int t = total / f;
+						while (t > 1 && depth < 15) { t = t >> 1; depth = depth + 1; }
+						bits = bits + f * depth;
+					}
+				}
+				return bits & 0xFFFFFF;
+			}
+			void setup(int size) {
+				reseed(size);
+				input = new int[size];
+				packed = new int[8192];
+				unpacked = new int[4096];
+				dict = new int[4096];
+				freq = new int[256];
+				for (int i = 0; i < size; i = i + 1) {
+					if (rnd(100) < 60) { input[i] = rnd(8); }
+					else { input[i] = rnd(64); }
+				}
+			}
+			int iter() {
+				outPos = 0;
+				bitAcc = 0;
+				bitCnt = 0;
+				for (int s = 0; s < 256; s = s + 1) { freq[s] = 0; }
+				int a = compressPass();
+				int b = expandPass();
+				int c = recount();
+				return (a ^ b) + c;
+			}
+			int main(int size) {
+				setup(size);
+				int r = 0;
+				for (int k = 0; k < 26; k = k + 1) { r = (r * 31 + iter()) & 0xFFFFFF; }
+				return r;
+			}
+		`,
+	})
+
+	register(&Benchmark{
+		Name: "jess",
+		Description: "rule engine: a working memory of typed facts matched by a " +
+			"skewed mix of twelve rule classes through hot polymorphic " +
+			"match/fire virtual calls, with agenda and indexing machinery",
+		Small: 340, Large: 1_600, SteadyIters: 20,
+		Source: rngPrelude + `
+			class Fact {
+				int kind;
+				int slotA;
+				int slotB;
+				int slotC;
+				int salience() { return (slotA & 7) + kind; }
+			}
+			class Agenda {
+				int[] queue;
+				int head;
+				int tail;
+				Agenda(int n) { this.queue = new int[n]; this.head = 0; this.tail = 0; }
+				void push(int act) {
+					queue[tail % queue.length] = act;
+					tail = tail + 1;
+				}
+				int pop() {
+					if (head >= tail) { return -1; }
+					int v = queue[head % queue.length];
+					head = head + 1;
+					return v;
+				}
+				int depth() { return tail - head; }
+			}
+			class Rule {
+				int fires;
+				int salience;
+				boolean matches(Fact f) { return false; }
+				int fire(Fact f, Agenda a) { return 0; }
+				int cost() { return 1; }
+			}
+			class RuleGt extends Rule {
+				boolean matches(Fact f) { return f.slotA > f.slotB; }
+				int fire(Fact f, Agenda a) { fires = fires + 1; a.push(1); return f.slotA - f.slotB; }
+			}
+			class RuleEq extends Rule {
+				boolean matches(Fact f) { return f.slotA == f.slotC; }
+				int fire(Fact f, Agenda a) { fires = fires + 1; a.push(2); return f.slotA * 2; }
+			}
+			class RuleMod extends Rule {
+				boolean matches(Fact f) { return f.slotB % 7 == 0; }
+				int fire(Fact f, Agenda a) { fires = fires + 1; return f.slotB / 7; }
+				int cost() { return 2; }
+			}
+			class RuleSum extends Rule {
+				boolean matches(Fact f) { return f.slotA + f.slotB > f.slotC; }
+				int fire(Fact f, Agenda a) { fires = fires + 1; return f.slotC; }
+			}
+			class RuleNeg extends Rule {
+				boolean matches(Fact f) { return f.slotC < 0; }
+				int fire(Fact f, Agenda a) { fires = fires + 1; a.push(5); return -f.slotC; }
+			}
+			class RuleKind extends Rule {
+				boolean matches(Fact f) { return f.kind == 2; }
+				int fire(Fact f, Agenda a) { fires = fires + 1; return f.kind * 100; }
+			}
+			class RuleBand extends Rule {
+				boolean matches(Fact f) { return f.slotA > 200 && f.slotA < 400; }
+				int fire(Fact f, Agenda a) { fires = fires + 1; return f.slotA & 63; }
+			}
+			class RuleXor extends Rule {
+				boolean matches(Fact f) { return ((f.slotA ^ f.slotB) & 1) == 1; }
+				int fire(Fact f, Agenda a) { fires = fires + 1; return 3; }
+				int cost() { return 3; }
+			}
+			class RuleDelta extends Rule {
+				boolean matches(Fact f) { return f.slotA - f.slotC > 100; }
+				int fire(Fact f, Agenda a) { fires = fires + 1; a.push(9); return 9; }
+			}
+			class RuleZero extends Rule {
+				boolean matches(Fact f) { return f.slotB == 0; }
+				int fire(Fact f, Agenda a) { fires = fires + 1; return 11; }
+			}
+			class RuleWide extends Rule {
+				boolean matches(Fact f) { return f.slotC > f.salience(); }
+				int fire(Fact f, Agenda a) { fires = fires + 1; return f.salience(); }
+			}
+
+			Fact[] wm;
+			Rule[] rules;
+			Agenda agenda;
+			int[] kindIndex;
+
+			void mutate(Fact f, int salt) {
+				f.slotA = (f.slotA * 13 + salt) % 1000;
+				f.slotB = (f.slotB + salt) % 997;
+				f.slotC = f.slotA - f.slotB + (salt & 31);
+			}
+			int reindex() {
+				for (int k = 0; k < kindIndex.length; k = k + 1) { kindIndex[k] = 0; }
+				for (int i = 0; i < wm.length; i = i + 1) {
+					Fact f = wm[i];
+					kindIndex[f.kind] = kindIndex[f.kind] + 1;
+				}
+				return kindIndex[0];
+			}
+			int drainAgenda() {
+				int acc = 0;
+				int act = agenda.pop();
+				while (act >= 0) {
+					acc = acc + act;
+					act = agenda.pop();
+				}
+				return acc;
+			}
+			void setup(int size) {
+				reseed(size * 3);
+				wm = new Fact[size];
+				kindIndex = new int[4];
+				for (int i = 0; i < size; i = i + 1) {
+					Fact f = new Fact();
+					f.kind = rnd(4);
+					f.slotA = rnd(1000);
+					f.slotB = rnd(997);
+					f.slotC = rnd(500) - 250;
+					wm[i] = f;
+				}
+				agenda = new Agenda(256);
+				// Skewed rule mix: RuleGt dominates the dispatch site.
+				rules = new Rule[24];
+				for (int i = 0; i < 9; i = i + 1) { rules[i] = new RuleGt(); }
+				for (int i = 9; i < 14; i = i + 1) { rules[i] = new RuleEq(); }
+				rules[14] = new RuleMod();
+				rules[15] = new RuleSum();
+				rules[16] = new RuleNeg();
+				rules[17] = new RuleKind();
+				rules[18] = new RuleBand();
+				rules[19] = new RuleXor();
+				rules[20] = new RuleDelta();
+				rules[21] = new RuleZero();
+				rules[22] = new RuleWide();
+				rules[23] = new RuleMod();
+				for (int i = 0; i < 24; i = i + 1) { rules[i].salience = rnd(10); }
+			}
+			int iter() {
+				int fired = 0;
+				for (int i = 0; i < wm.length; i = i + 1) {
+					Fact f = wm[i];
+					for (int r = 0; r < rules.length; r = r + 1) {
+						Rule rule = rules[r];
+						if (rule.matches(f)) {
+							fired = fired + rule.fire(f, agenda) + rule.cost();
+						}
+					}
+					mutate(f, i);
+				}
+				fired = fired + drainAgenda();
+				fired = fired + reindex();
+				return fired;
+			}
+			int main(int size) {
+				setup(size);
+				int r = 0;
+				for (int k = 0; k < 22; k = k + 1) { r = (r * 31 + iter()) & 0xFFFFFF; }
+				return r;
+			}
+		`,
+	})
+
+	register(&Benchmark{
+		Name: "db",
+		Description: "in-memory database: shellsort through four comparator " +
+			"classes, binary-search probes, range scans, grouped aggregates, " +
+			"and a nested-loop join",
+		Small: 700, Large: 2_900, SteadyIters: 12,
+		Source: rngPrelude + `
+			class Row {
+				int key;
+				int val;
+				int group;
+				int touch;
+			}
+			class Comparator {
+				int compare(Row a, Row b) { return a.key - b.key; }
+			}
+			class ByVal extends Comparator {
+				int compare(Row a, Row b) { return a.val - b.val; }
+			}
+			class ByTouch extends Comparator {
+				int compare(Row a, Row b) { return a.touch - b.touch; }
+			}
+			class ByGroupVal extends Comparator {
+				int compare(Row a, Row b) {
+					int d = a.group - b.group;
+					if (d != 0) { return d; }
+					return a.val - b.val;
+				}
+			}
+
+			Row[] table;
+			Row[] dim;
+			Comparator byKey;
+			Comparator byVal;
+			Comparator byTouch;
+			Comparator byGroup;
+			int[] groupSums;
+
+			void sortBy(Row[] rel, Comparator c) {
+				int n = rel.length;
+				int gap = n / 2;
+				while (gap > 0) {
+					for (int i = gap; i < n; i = i + 1) {
+						Row tmp = rel[i];
+						int j = i;
+						while (j >= gap && c.compare(rel[j - gap], tmp) > 0) {
+							rel[j] = rel[j - gap];
+							j = j - gap;
+						}
+						rel[j] = tmp;
+					}
+					gap = gap / 2;
+				}
+			}
+			int findKey(int key) {
+				int lo = 0;
+				int hi = table.length - 1;
+				while (lo <= hi) {
+					int mid = (lo + hi) / 2;
+					int k = table[mid].key;
+					if (k == key) { return mid; }
+					if (k < key) { lo = mid + 1; } else { hi = mid - 1; }
+				}
+				return -1;
+			}
+			int rangeScan(int lo, int hi) {
+				int acc = 0;
+				for (int i = 0; i < table.length; i = i + 1) {
+					Row r = table[i];
+					if (r.key >= lo && r.key <= hi) { acc = acc + r.val; }
+				}
+				return acc;
+			}
+			int groupAggregate() {
+				for (int g = 0; g < groupSums.length; g = g + 1) { groupSums[g] = 0; }
+				for (int i = 0; i < table.length; i = i + 1) {
+					Row r = table[i];
+					groupSums[r.group] = groupSums[r.group] + r.val;
+				}
+				int best = 0;
+				for (int g = 1; g < groupSums.length; g = g + 1) {
+					if (groupSums[g] > groupSums[best]) { best = g; }
+				}
+				return best;
+			}
+			int joinDim() {
+				int matched = 0;
+				for (int d = 0; d < dim.length; d = d + 1) {
+					int idx = findKey(dim[d].key);
+					if (idx >= 0) {
+						matched = matched + table[idx].val - dim[d].val;
+					}
+				}
+				return matched;
+			}
+			int updateBatch(int stride) {
+				int hits = 0;
+				for (int q = 0; q < table.length; q = q + stride) {
+					int idx = findKey(table[q].key);
+					if (idx >= 0) {
+						Row r = table[idx];
+						r.touch = r.touch + 1;
+						r.val = (r.val * 17 + q) % 10000;
+						hits = hits + 1;
+					}
+				}
+				return hits;
+			}
+			void setup(int size) {
+				reseed(size * 7);
+				table = new Row[size];
+				dim = new Row[size / 8 + 4];
+				groupSums = new int[16];
+				for (int i = 0; i < size; i = i + 1) {
+					Row r = new Row();
+					r.key = rnd(1000000);
+					r.val = rnd(10000);
+					r.group = rnd(16);
+					table[i] = r;
+				}
+				for (int i = 0; i < dim.length; i = i + 1) {
+					Row r = new Row();
+					if (i * 8 < size) { r.key = table[i * 8].key; } else { r.key = rnd(1000000); }
+					r.val = rnd(100);
+					dim[i] = r;
+				}
+				byKey = new Comparator();
+				byVal = new ByVal();
+				byTouch = new ByTouch();
+				byGroup = new ByGroupVal();
+			}
+			int iter() {
+				sortBy(table, byKey);
+				int acc = updateBatch(3);
+				acc = acc + rangeScan(100000, 400000);
+				acc = acc + joinDim();
+				sortBy(table, byGroup);
+				acc = acc + groupAggregate();
+				sortBy(table, byVal);
+				acc = acc + updateBatch(7);
+				sortBy(table, byKey);
+				acc = acc + rangeScan(500000, 900000);
+				sortBy(table, byTouch);
+				return acc & 0xFFFFFF;
+			}
+			int main(int size) {
+				setup(size);
+				int r = 0;
+				for (int k = 0; k < 7; k = k + 1) { r = (r * 31 + iter()) & 0xFFFFFF; }
+				return r;
+			}
+		`,
+	})
+
+	register(&Benchmark{
+		Name: "javac",
+		Description: "compiler-shaped workload: random expression trees walked " +
+			"by a megamorphic eval hierarchy, a type-checking pass, a " +
+			"constant folder with instanceof downcasts, and a code-size " +
+			"estimator pass",
+		Small: 250, Large: 1_150, SteadyIters: 16,
+		Source: rngPrelude + `
+			class Env {
+				int[] slots;
+				Env(int n) { this.slots = new int[n]; }
+				int get(int i) { return slots[i]; }
+				void set(int i, int v) { slots[i] = v; }
+			}
+			class Node {
+				int eval(Env e) { return 0; }
+				int check() { return 0; }
+				int weight() { return 1; }
+				int emit(Env e) { return 1; }
+			}
+			class Lit extends Node {
+				int v;
+				Lit(int av) { this.v = av; }
+				int eval(Env e) { return v; }
+				int check() { return 1; }
+				int emit(Env e) { return 1; }
+			}
+			class VarRef extends Node {
+				int idx;
+				VarRef(int i) { this.idx = i; }
+				int eval(Env e) { return e.get(idx); }
+				int check() { return 1; }
+				int emit(Env e) { return 2; }
+			}
+			class Bin extends Node {
+				Node l;
+				Node r;
+				int weight() { return 1 + l.weight() + r.weight(); }
+				int check() {
+					int a = l.check();
+					int b = r.check();
+					if (a == b) { return a; }
+					return 2;
+				}
+				int emit(Env e) { return 1 + l.emit(e) + r.emit(e); }
+			}
+			class Add extends Bin { int eval(Env e) { return l.eval(e) + r.eval(e); } }
+			class Sub extends Bin { int eval(Env e) { return l.eval(e) - r.eval(e); } }
+			class Mul extends Bin { int eval(Env e) { return (l.eval(e) * r.eval(e)) & 0xFFFFF; } }
+			class Mod extends Bin {
+				int eval(Env e) {
+					int d = r.eval(e);
+					if (d == 0) { return 0; }
+					return l.eval(e) % d;
+				}
+			}
+			class MaxN extends Bin {
+				int eval(Env e) {
+					int a = l.eval(e);
+					int b = r.eval(e);
+					if (a > b) { return a; }
+					return b;
+				}
+			}
+			class ShiftL extends Bin {
+				int eval(Env e) { return (l.eval(e) << (r.eval(e) & 7)) & 0xFFFFF; }
+			}
+			class BitAnd extends Bin {
+				int eval(Env e) { return l.eval(e) & r.eval(e); }
+			}
+			class Assign extends Node {
+				int idx;
+				Node rhs;
+				int eval(Env e) {
+					int v = rhs.eval(e);
+					e.set(idx, v);
+					return v;
+				}
+				int check() { return rhs.check(); }
+				int weight() { return 1 + rhs.weight(); }
+				int emit(Env e) { return 2 + rhs.emit(e); }
+			}
+			class Cond extends Node {
+				Node c;
+				Node t;
+				Node f;
+				int eval(Env e) {
+					if (c.eval(e) % 2 == 0) { return t.eval(e); }
+					return f.eval(e);
+				}
+				int check() { return c.check() + t.check() + f.check(); }
+				int weight() { return 1 + c.weight() + t.weight() + f.weight(); }
+				int emit(Env e) { return 3 + c.emit(e) + t.emit(e) + f.emit(e); }
+			}
+			class Seq extends Node {
+				Node a;
+				Node b;
+				int eval(Env e) {
+					int x = a.eval(e);
+					return b.eval(e) + (x & 1);
+				}
+				int check() { return b.check(); }
+				int weight() { return a.weight() + b.weight(); }
+				int emit(Env e) { return a.emit(e) + b.emit(e); }
+			}
+
+			Node[] program;
+			Env env;
+			int folded = 0;
+
+			Node leaf() {
+				if (rnd(3) == 0) { return new Lit(rnd(1000)); }
+				return new VarRef(rnd(16));
+			}
+			Node binFor(int k) {
+				if (k == 0) { return new Add(); }
+				if (k == 1) { return new Sub(); }
+				if (k == 2) { return new Mul(); }
+				if (k == 3) { return new Mod(); }
+				if (k == 4) { return new MaxN(); }
+				if (k == 5) { return new ShiftL(); }
+				return new BitAnd();
+			}
+			Node build(int depth) {
+				if (depth <= 0) { return leaf(); }
+				int k = rnd(11);
+				if (k < 7) {
+					Node n = binFor(k);
+					Bin b = (Bin)n;
+					b.l = build(depth - 1);
+					if (k == 3 || k == 5) { b.r = leaf(); }
+					else { b.r = build(depth - 1); }
+					return b;
+				}
+				if (k == 7) {
+					Assign a = new Assign();
+					a.idx = rnd(16);
+					a.rhs = build(depth - 1);
+					return a;
+				}
+				if (k == 8) {
+					Cond c = new Cond();
+					c.c = build(depth - 2);
+					c.t = build(depth - 1);
+					c.f = build(depth - 2);
+					return c;
+				}
+				if (k == 9) {
+					Seq s = new Seq();
+					s.a = build(depth - 1);
+					s.b = build(depth - 1);
+					return s;
+				}
+				return leaf();
+			}
+			Node fold(Node n) {
+				if (n instanceof Bin) {
+					Bin b = (Bin)n;
+					b.l = fold(b.l);
+					b.r = fold(b.r);
+					if (b.l instanceof Lit && b.r instanceof Lit) {
+						Lit x = (Lit)b.l;
+						Lit y = (Lit)b.r;
+						if (n instanceof Add) { folded = folded + 1; return new Lit(x.v + y.v); }
+						if (n instanceof Sub) { folded = folded + 1; return new Lit(x.v - y.v); }
+						if (n instanceof BitAnd) { folded = folded + 1; return new Lit(x.v & y.v); }
+					}
+					return b;
+				}
+				if (n instanceof Assign) {
+					Assign a = (Assign)n;
+					a.rhs = fold(a.rhs);
+					return a;
+				}
+				if (n instanceof Cond) {
+					Cond c = (Cond)n;
+					c.c = fold(c.c);
+					c.t = fold(c.t);
+					c.f = fold(c.f);
+					return c;
+				}
+				if (n instanceof Seq) {
+					Seq s = (Seq)n;
+					s.a = fold(s.a);
+					s.b = fold(s.b);
+					return s;
+				}
+				return n;
+			}
+			void setup(int size) {
+				reseed(size * 11);
+				program = new Node[size];
+				env = new Env(16);
+				folded = 0;
+				for (int i = 0; i < size; i = i + 1) {
+					program[i] = fold(build(6));
+				}
+			}
+			int iter() {
+				int acc = folded;
+				for (int i = 0; i < program.length; i = i + 1) {
+					Node n = program[i];
+					acc = acc + n.eval(env);
+					acc = acc + n.check() * 3;
+					acc = (acc + n.weight()) & 0xFFFFFF;
+					acc = (acc + n.emit(env)) & 0xFFFFFF;
+				}
+				return acc;
+			}
+			int main(int size) {
+				setup(size);
+				int r = 0;
+				for (int k = 0; k < 24; k = k + 1) { r = (r * 31 + iter()) & 0xFFFFFF; }
+				return r;
+			}
+		`,
+	})
+}

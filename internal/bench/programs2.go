@@ -1,0 +1,607 @@
+package bench
+
+// The second third of the suite: mpegaudio, mtrt, jack, ipsixql.
+
+func init() {
+	register(&Benchmark{
+		Name: "mpegaudio",
+		Description: "audio-decoder-shaped numeric kernel: scalefactor decode, " +
+			"dequantization, subband synthesis with long multiply-accumulate " +
+			"loops, windowing, and stereo mixing — short helper calls after " +
+			"long non-call stretches",
+		Small: 60, Large: 270, SteadyIters: 14,
+		Source: rngPrelude + `
+			int[] samples;
+			int[] coeff;
+			int[] window;
+			int[] pcmL;
+			int[] pcmR;
+			int[] scf;
+
+			int clampv(int x) {
+				if (x > 32767) { return 32767; }
+				if (x < -32768) { return -32768; }
+				return x;
+			}
+			int scalev(int x, int s) { return (x * s) >> 12; }
+			int dequant(int x, int sf) { return ((x << 2) - (x >> 3)) + sf; }
+			int widen(int l, int r) { return (l * 3 + r) >> 2; }
+			int decodeScf(int band, int f) {
+				int v = scf[(band * 7 + f) & 63];
+				return (v & 31) - 8;
+			}
+
+			void setup(int size) {
+				reseed(size * 13);
+				samples = new int[size * 32];
+				coeff = new int[512];
+				window = new int[512];
+				pcmL = new int[size * 32];
+				pcmR = new int[size * 32];
+				scf = new int[64];
+				for (int i = 0; i < samples.length; i = i + 1) { samples[i] = rnd(65536) - 32768; }
+				for (int i = 0; i < 512; i = i + 1) {
+					coeff[i] = rnd(8192) - 4096;
+					window[i] = rnd(4096) - 2048;
+				}
+				for (int i = 0; i < 64; i = i + 1) { scf[i] = rnd(64); }
+			}
+			int synthBand(int base, int band, int sf) {
+				// Long MAC loop: no calls at all.
+				int acc = 0;
+				int ci = band * 16;
+				for (int k = 0; k < 16; k = k + 1) {
+					int s = samples[base + ((band + k) & 31)];
+					acc = acc + s * coeff[ci + k];
+					acc = acc + ((s >> 2) * window[(ci + k) & 511]);
+				}
+				acc = acc >> 8;
+				// Short calls right after the stretch (Figure 1 shape).
+				int v = clampv(acc);
+				v = scalev(v, 3277);
+				return dequant(v, sf);
+			}
+			int windowPass(int frames) {
+				int check = 0;
+				for (int f = 0; f < frames; f = f + 1) {
+					int base = f * 32;
+					// Non-call windowing arithmetic.
+					int acc = 0;
+					for (int k = 0; k < 32; k = k + 1) {
+						int w = window[(base + k) & 511];
+						acc = acc + pcmL[base + k] * w;
+						acc = acc - (pcmR[base + k] >> 1) * (w >> 1);
+					}
+					check = (check + clampv(acc >> 10)) & 0xFFFFFF;
+				}
+				return check;
+			}
+			int stereoPass(int frames) {
+				int check = 0;
+				for (int f = 0; f < frames; f = f + 1) {
+					int base = f * 32;
+					for (int k = 0; k < 32; k = k + 2) {
+						int m = widen(pcmL[base + k], pcmR[base + k]);
+						pcmR[base + k] = m;
+						check = check + (m & 7);
+					}
+				}
+				return check;
+			}
+			int iter() {
+				int check = 0;
+				int frames = samples.length / 32;
+				for (int f = 0; f < frames; f = f + 1) {
+					int base = f * 32;
+					for (int band = 0; band < 32; band = band + 1) {
+						int sf = decodeScf(band, f & 7);
+						int v = synthBand(base, band, sf);
+						pcmL[base + band] = v;
+						pcmR[base + band] = scalev(v, 2048 + band);
+						check = (check + v) & 0xFFFFFF;
+					}
+				}
+				check = check + windowPass(frames);
+				check = check + stereoPass(frames);
+				return check & 0xFFFFFF;
+			}
+			int main(int size) {
+				setup(size);
+				int r = 0;
+				for (int k = 0; k < 12; k = k + 1) { r = (r * 31 + iter()) & 0xFFFFFF; }
+				return r;
+			}
+		`,
+	})
+
+	register(&Benchmark{
+		Name: "mtrt",
+		Description: "raytracer-shaped workload: rays traverse a shape " +
+			"hierarchy (spheres, planes, triangles) through hot virtual " +
+			"intersect/normal calls built on tiny vector helpers, then a " +
+			"shading pass — the inlining-friendliest program in the suite",
+		Small: 30, Large: 130, SteadyIters: 16,
+		Source: rngPrelude + `
+			class Vec {
+				int x;
+				int y;
+				int z;
+				Vec(int ax, int ay, int az) { this.x = ax; this.y = ay; this.z = az; }
+			}
+			int dot(Vec a, Vec b) { return a.x * b.x + a.y * b.y + a.z * b.z; }
+			int sub1(int a, int b) { return a - b; }
+			int sq(int a) { return a * a; }
+			int absv(int a) { if (a < 0) { return -a; } return a; }
+
+			class Ray {
+				Vec o;
+				Vec d;
+				Ray(Vec ao, Vec ad) { this.o = ao; this.d = ad; }
+			}
+			class Shape {
+				int id;
+				int shade;
+				int intersect(Ray r) { return -1; }
+				int normalAxis(Ray r) { return 0; }
+			}
+			class Sphere extends Shape {
+				Vec c;
+				int rad;
+				int intersect(Ray r) {
+					int ox = sub1(c.x, r.o.x);
+					int oy = sub1(c.y, r.o.y);
+					int oz = sub1(c.z, r.o.z);
+					int b = ox * r.d.x + oy * r.d.y + oz * r.d.z;
+					int dd = dot(r.d, r.d);
+					if (dd == 0) { return -1; }
+					int disc = sq(b) / dd - (sq(ox) + sq(oy) + sq(oz)) + sq(rad);
+					if (disc < 0) { return -1; }
+					return b / dd + id;
+				}
+				int normalAxis(Ray r) {
+					int ax = absv(c.x - r.o.x);
+					int ay = absv(c.y - r.o.y);
+					int az = absv(c.z - r.o.z);
+					if (ax > ay && ax > az) { return 0; }
+					if (ay > az) { return 1; }
+					return 2;
+				}
+			}
+			class Plane extends Shape {
+				int axis;
+				int level;
+				int intersect(Ray r) {
+					int dv = r.d.x;
+					int ov = r.o.x;
+					if (axis == 1) { dv = r.d.y; ov = r.o.y; }
+					if (axis == 2) { dv = r.d.z; ov = r.o.z; }
+					if (dv == 0) { return -1; }
+					return sub1(level, ov) / dv + id;
+				}
+				int normalAxis(Ray r) { return axis; }
+			}
+			class Tri extends Shape {
+				Vec a;
+				Vec b;
+				Vec c;
+				int intersect(Ray r) {
+					// Cheap slab-style test using bounding extents.
+					int minx = a.x;
+					if (b.x < minx) { minx = b.x; }
+					if (c.x < minx) { minx = c.x; }
+					int maxx = a.x;
+					if (b.x > maxx) { maxx = b.x; }
+					if (c.x > maxx) { maxx = c.x; }
+					if (r.d.x == 0) { return -1; }
+					int t0 = sub1(minx, r.o.x) / r.d.x;
+					int t1 = sub1(maxx, r.o.x) / r.d.x;
+					if (t0 > t1) { int tmp = t0; t0 = t1; t1 = tmp; }
+					if (t1 < 0) { return -1; }
+					return t0 + id;
+				}
+				int normalAxis(Ray r) { return (a.y + b.y + c.y) & 1; }
+			}
+
+			int diffuse(int axis, int shade) { return (shade * (3 - axis)) & 255; }
+			int specular(int t, int shade) { return ((t & 31) * shade) >> 5; }
+			int ambient(int shade) { return shade >> 3; }
+
+			Shape[] scene;
+			Ray[] rays;
+
+			void setup(int size) {
+				reseed(size * 17);
+				scene = new Shape[48];
+				for (int i = 0; i < 48; i = i + 1) {
+					int k = i % 12;
+					if (k < 9) {
+						Sphere s = new Sphere();
+						s.id = i;
+						s.shade = rnd(256);
+						s.c = new Vec(rnd(200) - 100, rnd(200) - 100, rnd(200) + 20);
+						s.rad = rnd(30) + 3;
+						scene[i] = s;
+					} else { if (k < 11) {
+						Plane p = new Plane();
+						p.id = i;
+						p.shade = rnd(256);
+						p.axis = rnd(3);
+						p.level = rnd(100) - 50;
+						scene[i] = p;
+					} else {
+						Tri t = new Tri();
+						t.id = i;
+						t.shade = rnd(256);
+						t.a = new Vec(rnd(100), rnd(100), rnd(100));
+						t.b = new Vec(rnd(100), rnd(100), rnd(100));
+						t.c = new Vec(rnd(100), rnd(100), rnd(100));
+						scene[i] = t;
+					} }
+				}
+				rays = new Ray[size * 4];
+				for (int i = 0; i < rays.length; i = i + 1) {
+					Vec o = new Vec(rnd(20) - 10, rnd(20) - 10, 0);
+					Vec d = new Vec(rnd(64) - 32, rnd(64) - 32, rnd(63) + 1);
+					rays[i] = new Ray(o, d);
+				}
+			}
+			int shadowProbe(Ray r, int skip) {
+				// Shadow rays test a subset of the scene from a second site.
+				for (int s = 0; s < scene.length; s = s + 3) {
+					if (s != skip) {
+						if (scene[s].intersect(r) >= 0) { return 1; }
+					}
+				}
+				return 0;
+			}
+			int reflect(Ray r, int depth) {
+				if (depth <= 0) { return 0; }
+				int best = -1;
+				int hit = -1;
+				for (int s = 0; s < scene.length; s = s + 2) {
+					int t = scene[s].intersect(r);
+					if (t >= 0 && (best < 0 || t < best)) { best = t; hit = s; }
+				}
+				if (hit < 0) { return 0; }
+				Shape sh = scene[hit];
+				int c = specular(best, sh.shade) >> depth;
+				Ray bounce = new Ray(r.d, r.o);
+				return c + reflect(bounce, depth - 1);
+			}
+			int trace(Ray r) {
+				int best = -1;
+				int hit = -1;
+				for (int s = 0; s < scene.length; s = s + 1) {
+					int t = scene[s].intersect(r);
+					if (t >= 0 && (best < 0 || t < best)) { best = t; hit = s; }
+				}
+				if (hit < 0) { return 0; }
+				Shape sh = scene[hit];
+				int axis = sh.normalAxis(r);
+				int color = ambient(sh.shade);
+				color = color + diffuse(axis, sh.shade);
+				color = color + specular(best, sh.shade);
+				if (shadowProbe(r, hit) == 1) { color = color >> 1; }
+				if ((sh.shade & 3) == 0) { color = color + reflect(r, 2); }
+				return color;
+			}
+			int iter() {
+				int acc = 0;
+				for (int i = 0; i < rays.length; i = i + 1) {
+					acc = (acc + trace(rays[i])) & 0xFFFFFF;
+				}
+				return acc;
+			}
+			int main(int size) {
+				setup(size);
+				int r = 0;
+				for (int k = 0; k < 14; k = k + 1) { r = (r * 31 + iter()) & 0xFFFFFF; }
+				return r;
+			}
+		`,
+	})
+
+	register(&Benchmark{
+		Name: "jack",
+		Description: "parser-generator-shaped workload: an eight-state handler " +
+			"machine scans a synthetic stream, emits tokens into a symbol " +
+			"table, and runs a grammar-shaped reduce pass",
+		Small: 7_000, Large: 32_000, SteadyIters: 14,
+		Source: rngPrelude + `
+			int tokens = 0;
+			int[] stream;
+			int[] tokBuf;
+			int[] symTable;
+			int tokPos = 0;
+
+			int hashSym(int kind, int val) { return ((kind * 131) ^ val) & 511; }
+			int internSym(int kind, int val) {
+				int h = hashSym(kind, val);
+				if (symTable[h] == 0) { symTable[h] = kind * 65536 + val; }
+				return h;
+			}
+			int emit(int kind, int start, int len) {
+				tokBuf[tokPos & 1023] = kind * 65536 + (len & 255) + (start & 15);
+				tokPos = tokPos + 1;
+				tokens = tokens + 1;
+				return internSym(kind, start & 255);
+			}
+			int classify(int ch) {
+				if (ch < 10) { return 0; }
+				if (ch < 36) { return 1; }
+				if (ch < 46) { return 2; }
+				if (ch < 54) { return 3; }
+				if (ch < 58) { return 4; }
+				return 5;
+			}
+
+			class State {
+				int id;
+				int handle(int ch, int pos) { return 0; }
+			}
+			class StSkip extends State {
+				int handle(int ch, int pos) { return classify(ch); }
+			}
+			class StWord extends State {
+				int handle(int ch, int pos) {
+					int c = classify(ch);
+					if (c == 1) { return 1; }
+					emit(1, pos, 1);
+					return c;
+				}
+			}
+			class StNum extends State {
+				int handle(int ch, int pos) {
+					int c = classify(ch);
+					if (c == 2) { return 2; }
+					emit(2, pos, 1);
+					return c;
+				}
+			}
+			class StPunct extends State {
+				int handle(int ch, int pos) {
+					emit(3, pos, 1);
+					return classify(ch);
+				}
+			}
+			class StCmt extends State {
+				int handle(int ch, int pos) {
+					if (classify(ch) == 4) { return 4; }
+					return 0;
+				}
+			}
+			class StStr extends State {
+				int handle(int ch, int pos) {
+					if (classify(ch) == 5) { emit(5, pos, 2); return 0; }
+					return 5;
+				}
+			}
+			class StEsc extends State {
+				int handle(int ch, int pos) { return 5; }
+			}
+			class StEnd extends State {
+				int handle(int ch, int pos) {
+					emit(7, pos, 0);
+					return 0;
+				}
+			}
+
+			State[] states;
+
+			int reducePass() {
+				// Grammar-shaped pairing over the token ring buffer.
+				int acc = 0;
+				int depth = 0;
+				for (int i = 0; i + 1 < 1024; i = i + 2) {
+					int a = tokBuf[i] >> 16;
+					int b = tokBuf[i + 1] >> 16;
+					if (a == 1 && b == 3) { depth = depth + 1; }
+					if (a == 3 && b == 1 && depth > 0) { depth = depth - 1; acc = acc + 1; }
+					acc = acc + ((a ^ b) & 3);
+				}
+				return acc + depth;
+			}
+			void setup(int size) {
+				reseed(size * 19);
+				stream = new int[size];
+				tokBuf = new int[1024];
+				symTable = new int[512];
+				for (int i = 0; i < size; i = i + 1) {
+					int r = rnd(100);
+					if (r < 50) { stream[i] = 10 + rnd(26); }
+					else { if (r < 68) { stream[i] = 36 + rnd(10); }
+					else { if (r < 82) { stream[i] = rnd(10); }
+					else { if (r < 90) { stream[i] = 46 + rnd(8); }
+					else { stream[i] = 54 + rnd(8); } } } }
+				}
+				states = new State[8];
+				states[0] = new StSkip();
+				states[1] = new StWord();
+				states[2] = new StNum();
+				states[3] = new StPunct();
+				states[4] = new StCmt();
+				states[5] = new StStr();
+				states[6] = new StEsc();
+				states[7] = new StEnd();
+				for (int i = 0; i < 8; i = i + 1) { states[i].id = i; }
+			}
+			int iter() {
+				tokens = 0;
+				int cur = 0;
+				for (int i = 0; i < stream.length; i = i + 1) {
+					int ch = stream[i];
+					// A stretch of scanning arithmetic before dispatch.
+					int fold = (ch * 31 + i) & 1023;
+					fold = fold ^ (fold >> 3);
+					fold = fold + (fold << 2);
+					cur = states[cur & 7].handle(ch, i + (fold & 1));
+				}
+				return tokens + reducePass();
+			}
+			int main(int size) {
+				setup(size);
+				int r = 0;
+				for (int k = 0; k < 18; k = k + 1) { r = (r * 31 + iter()) & 0xFFFFFF; }
+				return r;
+			}
+		`,
+	})
+
+	register(&Benchmark{
+		Name: "ipsixql",
+		Description: "persistent-XML-database-shaped workload: an element tree " +
+			"with attribute nodes, queried by tag counting, predicate sums, " +
+			"path matching, and depth measurement through recursive virtual " +
+			"traversals",
+		Small: 1_700, Large: 7_800, SteadyIters: 16,
+		Source: rngPrelude + `
+			class XNode {
+				int tag;
+				XNode next;
+				int countTag(int t) { return 0; }
+				int sumWhere(int mod) { return 0; }
+				int depth() { return 1; }
+				int pathMatch(int t1, int t2) { return 0; }
+				int attrSum() { return 0; }
+			}
+			class XElem extends XNode {
+				XNode first;
+				XNode attrs;
+				int countTag(int t) {
+					int n = 0;
+					if (tag == t) { n = 1; }
+					XNode c = first;
+					while (c != null) {
+						n = n + c.countTag(t);
+						c = c.next;
+					}
+					return n;
+				}
+				int sumWhere(int mod) {
+					int s = 0;
+					XNode c = first;
+					while (c != null) {
+						s = s + c.sumWhere(mod);
+						c = c.next;
+					}
+					return s;
+				}
+				int depth() {
+					int d = 0;
+					XNode c = first;
+					while (c != null) {
+						int cd = c.depth();
+						if (cd > d) { d = cd; }
+						c = c.next;
+					}
+					return d + 1;
+				}
+				int pathMatch(int t1, int t2) {
+					int n = 0;
+					XNode c = first;
+					while (c != null) {
+						if (tag == t1 && c.tag == t2) { n = n + 1; }
+						n = n + c.pathMatch(t1, t2);
+						c = c.next;
+					}
+					return n;
+				}
+				int attrSum() {
+					int s = 0;
+					XNode a = attrs;
+					while (a != null) {
+						s = s + a.attrSum();
+						a = a.next;
+					}
+					XNode c = first;
+					while (c != null) {
+						s = s + c.attrSum();
+						c = c.next;
+					}
+					return s;
+				}
+			}
+			class XText extends XNode {
+				int value;
+				int sumWhere(int mod) {
+					if (value % mod == 0) { return value; }
+					return 0;
+				}
+			}
+			class XAttr extends XNode {
+				int value;
+				int attrSum() { return value & 255; }
+			}
+
+			XElem root;
+			int nodesBuilt = 0;
+
+			XAttr makeAttr() {
+				XAttr a = new XAttr();
+				a.tag = rnd(6);
+				a.value = rnd(1000);
+				nodesBuilt = nodesBuilt + 1;
+				return a;
+			}
+			XNode buildTree(int budget, int d) {
+				if (budget <= 1 || d > 7) {
+					XText t = new XText();
+					t.tag = -1;
+					t.value = rnd(10000);
+					nodesBuilt = nodesBuilt + 1;
+					return t;
+				}
+				XElem e = new XElem();
+				e.tag = rnd(12);
+				nodesBuilt = nodesBuilt + 1;
+				if (rnd(3) == 0) {
+					XAttr a = makeAttr();
+					a.next = e.attrs;
+					e.attrs = a;
+				}
+				int kids = 1 + rnd(4);
+				int share = budget / kids;
+				XNode head = null;
+				for (int i = 0; i < kids; i = i + 1) {
+					XNode c = buildTree(share, d + 1);
+					c.next = head;
+					head = c;
+				}
+				e.first = head;
+				return e;
+			}
+			void setup(int size) {
+				reseed(size * 23);
+				nodesBuilt = 0;
+				root = new XElem();
+				root.tag = 0;
+				XNode head = null;
+				int built = 0;
+				while (built * 16 < size) {
+					XNode c = buildTree(16, 0);
+					c.next = head;
+					head = c;
+					built = built + 1;
+				}
+				root.first = head;
+			}
+			int iter() {
+				int acc = 0;
+				for (int t = 0; t < 12; t = t + 1) {
+					acc = acc + root.countTag(t) * (t + 1);
+				}
+				acc = acc + root.sumWhere(7);
+				acc = acc + root.depth() * 1000;
+				acc = acc + root.pathMatch(3, 5) * 7;
+				acc = acc + root.attrSum();
+				return acc & 0xFFFFFF;
+			}
+			int main(int size) {
+				setup(size);
+				int r = 0;
+				for (int k = 0; k < 9; k = k + 1) { r = (r * 31 + iter()) & 0xFFFFFF; }
+				return r;
+			}
+		`,
+	})
+}

@@ -1,0 +1,869 @@
+package bench
+
+// The final third of the suite: xerces, daikon, kawa, jbb, soot.
+
+func init() {
+	register(&Benchmark{
+		Name: "xerces",
+		Description: "XML-parser-shaped workload: a character-class handler " +
+			"table drives polymorphic per-character dispatch, with entity " +
+			"resolution, name validation, and a namespace stack",
+		Small: 11_000, Large: 50_000, SteadyIters: 14,
+		Source: rngPrelude + `
+			int elements = 0;
+			int attrs = 0;
+			int textRuns = 0;
+			int entities = 0;
+			int[] nsStack;
+			int nsTop = 0;
+
+			int resolveEntity(int ch) {
+				entities = entities + 1;
+				if (ch > 120) { return 38; }
+				return ch ^ 32;
+			}
+			int validateName(int ch, int pos) {
+				int ok = 1;
+				if (ch < 32) { ok = 0; }
+				return ok + (pos & 1);
+			}
+			int pushNs(int tag) {
+				nsStack[nsTop & 63] = tag;
+				nsTop = nsTop + 1;
+				return nsTop;
+			}
+			int popNs() {
+				if (nsTop > 0) { nsTop = nsTop - 1; }
+				return nsTop;
+			}
+
+			class Handler {
+				int on(int ch, int depth) { return depth; }
+			}
+			class OpenH extends Handler {
+				int on(int ch, int depth) {
+					elements = elements + 1;
+					pushNs(ch & 15);
+					validateName(ch, depth);
+					return depth + 1;
+				}
+			}
+			class CloseH extends Handler {
+				int on(int ch, int depth) {
+					popNs();
+					if (depth > 0) { return depth - 1; }
+					return 0;
+				}
+			}
+			class AttrH extends Handler {
+				int on(int ch, int depth) {
+					attrs = attrs + 1;
+					validateName(ch, depth);
+					return depth;
+				}
+			}
+			class TextH extends Handler {
+				int on(int ch, int depth) {
+					textRuns = textRuns + (ch & 1);
+					return depth;
+				}
+			}
+			class EntityH extends Handler {
+				int on(int ch, int depth) {
+					textRuns = textRuns + (resolveEntity(ch) & 1);
+					return depth;
+				}
+			}
+			class CDataH extends Handler {
+				int on(int ch, int depth) {
+					textRuns = textRuns + ((ch >> 2) & 1);
+					return depth;
+				}
+			}
+			class PIH extends Handler {
+				int on(int ch, int depth) { return depth; }
+			}
+			class SpaceH extends Handler {
+				int on(int ch, int depth) { return depth; }
+			}
+
+			Handler[] table;
+			int[] doc;
+
+			void setup(int size) {
+				reseed(size * 29);
+				nsStack = new int[64];
+				table = new Handler[10];
+				table[0] = new OpenH();
+				table[1] = new CloseH();
+				table[2] = new AttrH();
+				// Text dominates real documents.
+				table[3] = new TextH();
+				table[4] = new TextH();
+				table[5] = new TextH();
+				table[6] = new EntityH();
+				table[7] = new CDataH();
+				table[8] = new PIH();
+				table[9] = new SpaceH();
+				doc = new int[size];
+				int depth = 0;
+				for (int i = 0; i < size; i = i + 1) {
+					int r = rnd(100);
+					int cls;
+					if (r < 8 && depth < 30) { cls = 0; depth = depth + 1; }
+					else { if (r < 16 && depth > 0) { cls = 1; depth = depth - 1; }
+					else { if (r < 24) { cls = 2; }
+					else { if (r < 80) { cls = 3 + rnd(3); }
+					else { if (r < 88) { cls = 6; }
+					else { if (r < 94) { cls = 7; }
+					else { if (r < 97) { cls = 8; }
+					else { cls = 9; } } } } } } }
+					doc[i] = cls * 256 + rnd(96) + 32;
+				}
+			}
+			int iter() {
+				elements = 0;
+				attrs = 0;
+				textRuns = 0;
+				entities = 0;
+				nsTop = 0;
+				int depth = 0;
+				for (int i = 0; i < doc.length; i = i + 1) {
+					int packed = doc[i];
+					int cls = packed >> 8;
+					int ch = packed & 255;
+					// Non-call scanning work before dispatch.
+					int norm = ch;
+					if (norm >= 65 && norm <= 90) { norm = norm + 32; }
+					norm = (norm * 131 + i) & 0xFFFF;
+					depth = table[cls].on(norm, depth);
+				}
+				return elements * 10000 + attrs * 100 + entities + (textRuns & 63);
+			}
+			int main(int size) {
+				setup(size);
+				int r = 0;
+				for (int k = 0; k < 18; k = k + 1) { r = (r * 31 + iter()) & 0xFFFFFF; }
+				return r;
+			}
+		`,
+	})
+
+	register(&Benchmark{
+		Name: "daikon",
+		Description: "invariant-detector-shaped workload: twelve invariant " +
+			"classes check a sample stream and die off over time, so the " +
+			"receiver distribution drifts between phases (hostile to burst " +
+			"profilers)",
+		Small: 850, Large: 4_000, SteadyIters: 12,
+		Source: rngPrelude + `
+			class Inv {
+				boolean alive;
+				int checks;
+				boolean check(int a, int b) { return true; }
+				int confidence() { return checks; }
+			}
+			class InvNonZero extends Inv {
+				boolean check(int a, int b) { checks = checks + 1; return a != 0; }
+			}
+			class InvRange extends Inv {
+				int lo;
+				int hi;
+				boolean check(int a, int b) {
+					checks = checks + 1;
+					if (a < lo) { lo = a; }
+					if (a > hi) { hi = a; }
+					return hi - lo < 5000;
+				}
+				int confidence() { return checks + (hi - lo); }
+			}
+			class InvMod extends Inv {
+				int m;
+				boolean check(int a, int b) { checks = checks + 1; return a % m == b % m; }
+			}
+			class InvLess extends Inv {
+				boolean check(int a, int b) { checks = checks + 1; return a < b; }
+			}
+			class InvLinear extends Inv {
+				int k;
+				int c;
+				boolean check(int a, int b) { checks = checks + 1; return b == k * a + c; }
+			}
+			class InvParity extends Inv {
+				boolean check(int a, int b) { checks = checks + 1; return ((a + b) & 1) == 0; }
+			}
+			class InvUpper extends Inv {
+				int bound;
+				boolean check(int a, int b) { checks = checks + 1; return a <= bound; }
+			}
+			class InvLowerB extends Inv {
+				int bound;
+				boolean check(int a, int b) { checks = checks + 1; return b >= bound; }
+			}
+			class InvPower2 extends Inv {
+				boolean check(int a, int b) { checks = checks + 1; return (a & (a - 1)) == 0 || a > 64; }
+			}
+			class InvSumBound extends Inv {
+				boolean check(int a, int b) { checks = checks + 1; return a + b < 12000; }
+			}
+			class InvDiv extends Inv {
+				int d;
+				boolean check(int a, int b) { checks = checks + 1; return (a % d) != (b % d) || a == b || a > 100; }
+			}
+			class InvOneOf extends Inv {
+				int v1;
+				int v2;
+				boolean check(int a, int b) {
+					checks = checks + 1;
+					return a == v1 || a == v2 || a > 50;
+				}
+			}
+
+			Inv[] invs;
+			int[] streamA;
+			int[] streamB;
+
+			Inv makeInv(int k) {
+				if (k == 0) { return new InvNonZero(); }
+				if (k == 1) {
+					InvRange r = new InvRange();
+					r.lo = 0;
+					r.hi = 0;
+					return r;
+				}
+				if (k == 2) {
+					InvMod m = new InvMod();
+					m.m = 2 + rnd(9);
+					return m;
+				}
+				if (k == 3) { return new InvLess(); }
+				if (k == 4) {
+					InvLinear l = new InvLinear();
+					l.k = 2;
+					l.c = rnd(3);
+					return l;
+				}
+				if (k == 5) { return new InvParity(); }
+				if (k == 6) {
+					InvUpper u = new InvUpper();
+					u.bound = 3500 + rnd(600);
+					return u;
+				}
+				if (k == 7) {
+					InvLowerB l = new InvLowerB();
+					l.bound = rnd(40);
+					return l;
+				}
+				if (k == 8) { return new InvPower2(); }
+				if (k == 9) { return new InvSumBound(); }
+				if (k == 10) {
+					InvDiv d = new InvDiv();
+					d.d = 3 + rnd(5);
+					return d;
+				}
+				InvOneOf o = new InvOneOf();
+				o.v1 = rnd(50);
+				o.v2 = rnd(50);
+				return o;
+			}
+			void setup(int size) {
+				reseed(size * 31);
+				invs = new Inv[144];
+				for (int i = 0; i < 144; i = i + 1) {
+					Inv v = makeInv(i % 12);
+					v.alive = true;
+					invs[i] = v;
+				}
+				streamA = new int[size];
+				streamB = new int[size];
+				for (int i = 0; i < size; i = i + 1) {
+					int a = rnd(4000) + 1;
+					streamA[i] = a;
+					if (rnd(4) == 0) { streamB[i] = a * 2; } else { streamB[i] = rnd(8000); }
+				}
+			}
+			int revive() {
+				int n = 0;
+				for (int i = 0; i < invs.length; i = i + 1) {
+					if (!invs[i].alive && rnd(3) == 0) {
+						invs[i].alive = true;
+						n = n + 1;
+					}
+				}
+				return n;
+			}
+			int confidenceSweep() {
+				int total = 0;
+				for (int i = 0; i < invs.length; i = i + 1) {
+					if (invs[i].alive) { total = (total + invs[i].confidence()) & 0xFFFFF; }
+				}
+				return total;
+			}
+			int iter() {
+				int aliveChecks = 0;
+				for (int s = 0; s < streamA.length; s = s + 1) {
+					int a = streamA[s];
+					int b = streamB[s];
+					for (int i = 0; i < invs.length; i = i + 1) {
+						Inv v = invs[i];
+						if (v.alive) {
+							if (!v.check(a, b)) { v.alive = false; }
+							aliveChecks = aliveChecks + 1;
+						}
+					}
+				}
+				aliveChecks = aliveChecks + revive();
+				aliveChecks = aliveChecks + confidenceSweep();
+				return aliveChecks & 0xFFFFFF;
+			}
+			int main(int size) {
+				setup(size);
+				int r = 0;
+				for (int k = 0; k < 4; k = k + 1) { r = (r * 31 + iter()) & 0xFFFFFF; }
+				return r;
+			}
+		`,
+	})
+
+	register(&Benchmark{
+		Name: "kawa",
+		Description: "Scheme-system-shaped workload: an expression interpreter " +
+			"with environment frames, deep eval recursion, nine expression " +
+			"node classes, and a free-variable analysis pass",
+		Small: 90, Large: 320, SteadyIters: 16,
+		Source: rngPrelude + `
+			class Frame {
+				Frame up;
+				int[] slots;
+				Frame(Frame aup, int n) { this.up = aup; this.slots = new int[n]; }
+				int get(int depth, int idx) {
+					Frame f = this;
+					while (depth > 0) { f = f.up; depth = depth - 1; }
+					return f.slots[idx];
+				}
+				void set(int idx, int v) { slots[idx] = v; }
+			}
+			class Sx {
+				int eval(Frame env) { return 0; }
+				int freeVars(int depth) { return 0; }
+				int size() { return 1; }
+			}
+			class Num extends Sx {
+				int v;
+				Num(int av) { this.v = av; }
+				int eval(Frame env) { return v; }
+			}
+			class Ref extends Sx {
+				int depth;
+				int idx;
+				int eval(Frame env) { return env.get(depth, idx); }
+				int freeVars(int d) {
+					if (depth >= d) { return 1; }
+					return 0;
+				}
+			}
+			class Prim extends Sx {
+				int op;
+				Sx a;
+				Sx b;
+				int eval(Frame env) {
+					int x = a.eval(env);
+					int y = b.eval(env);
+					if (op == 0) { return x + y; }
+					if (op == 1) { return x - y; }
+					if (op == 2) { return (x * y) & 0xFFFFF; }
+					if (op == 3) { if (x < y) { return 1; } return 0; }
+					if (y == 0) { return 0; }
+					return x % y;
+				}
+				int freeVars(int d) { return a.freeVars(d) + b.freeVars(d); }
+				int size() { return 1 + a.size() + b.size(); }
+			}
+			class IfX extends Sx {
+				Sx c;
+				Sx t;
+				Sx f;
+				int eval(Frame env) {
+					if (c.eval(env) != 0) { return t.eval(env); }
+					return f.eval(env);
+				}
+				int freeVars(int d) { return c.freeVars(d) + t.freeVars(d) + f.freeVars(d); }
+				int size() { return 1 + c.size() + t.size() + f.size(); }
+			}
+			class LetX extends Sx {
+				Sx init;
+				Sx body;
+				int eval(Frame env) {
+					Frame inner = new Frame(env, 4);
+					inner.set(0, init.eval(env));
+					inner.set(1, init.eval(env) + 1);
+					return body.eval(inner);
+				}
+				int freeVars(int d) { return init.freeVars(d) + body.freeVars(d + 1); }
+				int size() { return 2 + init.size() + body.size(); }
+			}
+			class SeqX extends Sx {
+				Sx a;
+				Sx b;
+				int eval(Frame env) {
+					int ignored = a.eval(env);
+					return b.eval(env) + (ignored & 1);
+				}
+				int freeVars(int d) { return a.freeVars(d) + b.freeVars(d); }
+				int size() { return a.size() + b.size(); }
+			}
+			class NotX extends Sx {
+				Sx a;
+				int eval(Frame env) {
+					if (a.eval(env) == 0) { return 1; }
+					return 0;
+				}
+				int freeVars(int d) { return a.freeVars(d); }
+				int size() { return 1 + a.size(); }
+			}
+			class WhileX extends Sx {
+				Sx cond;
+				Sx body;
+				int eval(Frame env) {
+					int acc = 0;
+					int fuel = 8;
+					while (fuel > 0 && cond.eval(env) != 0) {
+						acc = (acc + body.eval(env)) & 0xFFFF;
+						fuel = fuel - 1;
+					}
+					return acc;
+				}
+				int freeVars(int d) { return cond.freeVars(d) + body.freeVars(d); }
+				int size() { return 2 + cond.size() + body.size(); }
+			}
+
+			Sx[] toplevel;
+			Frame globalEnv;
+
+			Sx gen(int depth, int envDepth) {
+				if (depth <= 0) {
+					if (rnd(2) == 0) { return new Num(rnd(100)); }
+					Ref r = new Ref();
+					r.depth = rnd(envDepth + 1);
+					r.idx = rnd(4);
+					return r;
+				}
+				int k = rnd(10);
+				if (k < 3) {
+					Prim p = new Prim();
+					p.op = rnd(5);
+					p.a = gen(depth - 1, envDepth);
+					p.b = gen(depth - 1, envDepth);
+					return p;
+				}
+				if (k < 5) {
+					IfX i = new IfX();
+					i.c = gen(depth - 2, envDepth);
+					i.t = gen(depth - 1, envDepth);
+					i.f = gen(depth - 2, envDepth);
+					return i;
+				}
+				if (k < 7) {
+					LetX l = new LetX();
+					l.init = gen(depth - 1, envDepth);
+					l.body = gen(depth - 1, envDepth + 1);
+					return l;
+				}
+				if (k == 7) {
+					SeqX s = new SeqX();
+					s.a = gen(depth - 1, envDepth);
+					s.b = gen(depth - 1, envDepth);
+					return s;
+				}
+				if (k == 8) {
+					NotX n = new NotX();
+					n.a = gen(depth - 1, envDepth);
+					return n;
+				}
+				WhileX w = new WhileX();
+				w.cond = gen(depth - 2, envDepth);
+				w.body = gen(depth - 2, envDepth);
+				return w;
+			}
+			void setup(int size) {
+				reseed(size * 37);
+				globalEnv = new Frame(null, 4);
+				globalEnv.set(0, 3);
+				globalEnv.set(1, 14);
+				globalEnv.set(2, 15);
+				globalEnv.set(3, 92);
+				toplevel = new Sx[size];
+				for (int i = 0; i < size; i = i + 1) {
+					toplevel[i] = gen(6, 0);
+				}
+			}
+			int iter() {
+				int acc = 0;
+				for (int i = 0; i < toplevel.length; i = i + 1) {
+					Sx e = toplevel[i];
+					acc = (acc + e.eval(globalEnv)) & 0xFFFFFF;
+					acc = (acc + e.freeVars(0)) & 0xFFFFFF;
+					acc = (acc + e.size()) & 0xFFFFFF;
+				}
+				return acc;
+			}
+			int main(int size) {
+				setup(size);
+				int r = 0;
+				for (int k = 0; k < 22; k = k + 1) { r = (r * 31 + iter()) & 0xFFFFFF; }
+				return r;
+			}
+		`,
+	})
+
+	register(&Benchmark{
+		Name: "jbb",
+		Description: "business-application-shaped workload: a TPC-C-style " +
+			"skewed transaction mix dispatched through a transaction " +
+			"hierarchy, with pricing, tax, and audit-log helpers",
+		Small: 3_200, Large: 15_000, SteadyIters: 14,
+		Source: rngPrelude + `
+			class Item {
+				int price;
+				int stock;
+				int sold;
+			}
+			class AuditLog {
+				int[] ring;
+				int pos;
+				AuditLog(int n) { this.ring = new int[n]; this.pos = 0; }
+				void record(int what) {
+					ring[pos % ring.length] = what;
+					pos = pos + 1;
+				}
+				int entries() { return pos; }
+			}
+			class Warehouse {
+				Item[] items;
+				int ytd;
+				AuditLog log;
+				Warehouse(int n) {
+					this.items = new Item[n];
+					for (int i = 0; i < n; i = i + 1) {
+						this.items[i] = new Item();
+					}
+					this.ytd = 0;
+					this.log = new AuditLog(128);
+				}
+				Item pick(int r) { return items[r % items.length]; }
+				int applyTax(int amt) { return amt + (amt * 7) / 100; }
+				int discount(int amt, int qty) {
+					if (qty > 3) { return amt - amt / 10; }
+					return amt;
+				}
+			}
+			class Tx {
+				int runs;
+				int run(Warehouse w, int r) { return 0; }
+			}
+			class NewOrderTx extends Tx {
+				int run(Warehouse w, int r) {
+					runs = runs + 1;
+					int total = 0;
+					for (int l = 0; l < 5; l = l + 1) {
+						Item it = w.pick(r + l * 31);
+						int qty = (r >> (l + 2)) % 5 + 1;
+						it.stock = it.stock - qty;
+						if (it.stock < 10) { it.stock = it.stock + 91; }
+						it.sold = it.sold + qty;
+						total = total + w.discount(it.price * qty, qty);
+					}
+					total = w.applyTax(total);
+					w.ytd = w.ytd + total;
+					w.log.record(total);
+					return total;
+				}
+			}
+			class PaymentTx extends Tx {
+				int run(Warehouse w, int r) {
+					runs = runs + 1;
+					int amt = w.applyTax(r % 5000 + 1);
+					w.ytd = w.ytd + amt;
+					w.log.record(amt);
+					return amt;
+				}
+			}
+			class OrderStatusTx extends Tx {
+				int run(Warehouse w, int r) {
+					runs = runs + 1;
+					Item it = w.pick(r);
+					return it.sold * it.price;
+				}
+			}
+			class DeliveryTx extends Tx {
+				int run(Warehouse w, int r) {
+					runs = runs + 1;
+					int moved = 0;
+					for (int l = 0; l < 10; l = l + 1) {
+						Item it = w.pick(r + l * 17);
+						if (it.sold > 0) {
+							it.sold = it.sold - 1;
+							moved = moved + 1;
+						}
+					}
+					w.log.record(moved);
+					return moved;
+				}
+			}
+			class StockLevelTx extends Tx {
+				int run(Warehouse w, int r) {
+					runs = runs + 1;
+					int low = 0;
+					for (int l = 0; l < 20; l = l + 1) {
+						if (w.pick(r + l * 7).stock < 25) { low = low + 1; }
+					}
+					return low;
+				}
+			}
+
+			Warehouse wh;
+			Tx[] mix;
+
+			void setup(int size) {
+				reseed(size * 41);
+				wh = new Warehouse(size);
+				for (int i = 0; i < size; i = i + 1) {
+					Item it = wh.items[i];
+					it.price = rnd(100) + 1;
+					it.stock = rnd(100) + 20;
+				}
+				// TPC-C-ish mix: 44% new-order, 44% payment, 4% each rest.
+				mix = new Tx[25];
+				for (int i = 0; i < 11; i = i + 1) { mix[i] = new NewOrderTx(); }
+				for (int i = 11; i < 22; i = i + 1) { mix[i] = new PaymentTx(); }
+				mix[22] = new OrderStatusTx();
+				mix[23] = new DeliveryTx();
+				mix[24] = new StockLevelTx();
+			}
+			int iter() {
+				int acc = 0;
+				int n = wh.items.length;
+				for (int t = 0; t < n; t = t + 1) {
+					int r = rnd(1000000);
+					Tx tx = mix[r % 25];
+					acc = (acc + tx.run(wh, r)) & 0xFFFFFF;
+				}
+				return acc + (wh.log.entries() & 255);
+			}
+			int main(int size) {
+				setup(size);
+				int r = 0;
+				for (int k = 0; k < 10; k = k + 1) { r = (r * 31 + iter()) & 0xFFFFFF; }
+				return r;
+			}
+		`,
+	})
+
+	register(&Benchmark{
+		Name: "soot",
+		Description: "bytecode-analysis-shaped workload: two iterative " +
+			"dataflow analyses (reaching-ish and liveness-ish) over a random " +
+			"control-flow graph, with an eight-class statement hierarchy " +
+			"and a loop-header detection pass",
+		Small: 880, Large: 4_200, SteadyIters: 12,
+		Source: rngPrelude + `
+			class Stmt {
+				int transfer(int inSet) { return inSet; }
+				int liveness(int outSet) { return outSet; }
+			}
+			class DefStmt extends Stmt {
+				int defMask;
+				int useMask;
+				int transfer(int inSet) {
+					return (inSet & (defMask ^ (0 - 1))) | useMask;
+				}
+				int liveness(int outSet) {
+					return (outSet & (defMask ^ (0 - 1))) | useMask;
+				}
+			}
+			class CallStmt extends Stmt {
+				int killMask;
+				int transfer(int inSet) { return inSet & killMask; }
+				int liveness(int outSet) { return outSet | (killMask ^ (0 - 1)); }
+			}
+			class NopStmt extends Stmt {
+			}
+			class RetStmt extends Stmt {
+				int liveOut;
+				int transfer(int inSet) { return inSet | liveOut; }
+				int liveness(int outSet) { return liveOut; }
+			}
+			class PhiStmt extends Stmt {
+				int sources;
+				int transfer(int inSet) { return inSet | (sources & 0xFF); }
+			}
+			class ThrowStmt extends Stmt {
+				int transfer(int inSet) { return inSet & 0xFFFF; }
+				int liveness(int outSet) { return 0; }
+			}
+			class MonStmt extends Stmt {
+				int transfer(int inSet) { return inSet | (1 << 29); }
+			}
+			class CastStmt extends Stmt {
+				int fromMask;
+				int transfer(int inSet) { return inSet ^ (fromMask & 7); }
+			}
+
+			class Block {
+				Stmt[] stmts;
+				int[] succ;
+				int inSet;
+				int outSet;
+				int liveIn;
+				int apply(int v) {
+					for (int i = 0; i < stmts.length; i = i + 1) {
+						v = stmts[i].transfer(v);
+					}
+					return v;
+				}
+				int applyLive(int v) {
+					for (int i = stmts.length - 1; i >= 0; i = i - 1) {
+						v = stmts[i].liveness(v);
+					}
+					return v;
+				}
+			}
+
+			Block[] cfg;
+			int[] worklist;
+
+			Stmt makeStmt(int k) {
+				if (k < 5) {
+					DefStmt d = new DefStmt();
+					d.defMask = 1 << rnd(30);
+					d.useMask = (1 << rnd(30)) | (1 << rnd(30));
+					return d;
+				}
+				if (k < 7) {
+					CallStmt c = new CallStmt();
+					c.killMask = (0 - 1) ^ (1 << rnd(30));
+					return c;
+				}
+				if (k == 7) { return new NopStmt(); }
+				if (k == 8) {
+					RetStmt r = new RetStmt();
+					r.liveOut = 1 << rnd(30);
+					return r;
+				}
+				if (k == 9) {
+					PhiStmt p = new PhiStmt();
+					p.sources = rnd(256);
+					return p;
+				}
+				if (k == 10) { return new ThrowStmt(); }
+				if (k == 11) { return new MonStmt(); }
+				CastStmt cs = new CastStmt();
+				cs.fromMask = rnd(8);
+				return cs;
+			}
+			void setup(int size) {
+				reseed(size * 43);
+				cfg = new Block[size];
+				worklist = new int[size * 4];
+				for (int i = 0; i < size; i = i + 1) {
+					Block b = new Block();
+					int ns = 3 + rnd(6);
+					b.stmts = new Stmt[ns];
+					for (int s = 0; s < ns; s = s + 1) {
+						b.stmts[s] = makeStmt(rnd(13));
+					}
+					int nsucc = 1 + rnd(2);
+					b.succ = new int[nsucc];
+					for (int s = 0; s < nsucc; s = s + 1) {
+						if (rnd(10) < 8) { b.succ[s] = (i + 1 + rnd(6)) % size; }
+						else { b.succ[s] = rnd(size); }
+					}
+					cfg[i] = b;
+				}
+			}
+			int forwardAnalysis() {
+				for (int i = 0; i < cfg.length; i = i + 1) {
+					cfg[i].inSet = 0;
+					cfg[i].outSet = 0;
+				}
+				int head = 0;
+				int tail = 0;
+				int[] queued = new int[cfg.length];
+				for (int i = 0; i < cfg.length; i = i + 1) {
+					worklist[tail % worklist.length] = i;
+					tail = tail + 1;
+					queued[i] = 1;
+				}
+				int steps = 0;
+				while (head < tail && steps < cfg.length * 40) {
+					int bi = worklist[head % worklist.length];
+					head = head + 1;
+					queued[bi] = 0;
+					Block b = cfg[bi];
+					int out = b.apply(b.inSet);
+					steps = steps + 1;
+					if (out != b.outSet) {
+						b.outSet = out;
+						for (int s = 0; s < b.succ.length; s = s + 1) {
+							Block sb = cfg[b.succ[s]];
+							int merged = sb.inSet | out;
+							if (merged != sb.inSet) {
+								sb.inSet = merged;
+								if (queued[b.succ[s]] == 0) {
+									worklist[tail % worklist.length] = b.succ[s];
+									tail = tail + 1;
+									queued[b.succ[s]] = 1;
+								}
+							}
+						}
+					}
+				}
+				return steps;
+			}
+			int backwardAnalysis() {
+				// Liveness sweep: a few reverse passes over the graph.
+				int changed = 0;
+				for (int pass = 0; pass < 4; pass = pass + 1) {
+					for (int i = cfg.length - 1; i >= 0; i = i - 1) {
+						Block b = cfg[i];
+						int out = 0;
+						for (int s = 0; s < b.succ.length; s = s + 1) {
+							out = out | cfg[b.succ[s]].liveIn;
+						}
+						int in = b.applyLive(out);
+						if (in != b.liveIn) {
+							b.liveIn = in;
+							changed = changed + 1;
+						}
+					}
+				}
+				return changed;
+			}
+			int loopHeaders() {
+				int n = 0;
+				for (int i = 0; i < cfg.length; i = i + 1) {
+					Block b = cfg[i];
+					for (int s = 0; s < b.succ.length; s = s + 1) {
+						if (b.succ[s] <= i) { n = n + 1; }
+					}
+				}
+				return n;
+			}
+			int iter() {
+				int check = forwardAnalysis();
+				check = check + backwardAnalysis() * 3;
+				check = check + loopHeaders();
+				for (int i = 0; i < cfg.length; i = i + 1) {
+					check = (check + cfg[i].outSet + cfg[i].liveIn) & 0xFFFFFF;
+				}
+				return check;
+			}
+			int main(int size) {
+				setup(size);
+				int r = 0;
+				for (int k = 0; k < 8; k = k + 1) { r = (r * 31 + iter()) & 0xFFFFFF; }
+				return r;
+			}
+		`,
+	})
+}

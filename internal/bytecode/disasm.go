@@ -1,0 +1,99 @@
+package bytecode
+
+import (
+	"fmt"
+	"strings"
+)
+
+// DisasmMethod renders a method body as readable assembly, one
+// instruction per line, with symbolic call targets and field names
+// where they can be resolved.
+func DisasmMethod(p *Program, m *Method) string {
+	var b strings.Builder
+	kind := "virtual"
+	if m.Static {
+		kind = "static"
+	}
+	fmt.Fprintf(&b, "%s %s (args=%d locals=%d maxstack=%d size=%d",
+		kind, m.Name, m.NArgs, m.NLocals, m.MaxStack, m.Size)
+	if m.Trivial {
+		b.WriteString(" trivial")
+	}
+	b.WriteString(")\n")
+	for pc, ins := range m.Code {
+		fmt.Fprintf(&b, "  %4d: %s\n", pc, disasmInstr(p, m, pc, ins))
+	}
+	return b.String()
+}
+
+func disasmInstr(p *Program, m *Method, pc int, ins Instr) string {
+	switch ins.Op {
+	case OpNop, OpPop, OpDup, OpAdd, OpSub, OpMul, OpDiv, OpRem, OpNeg,
+		OpAnd, OpOr, OpXor, OpShl, OpShr,
+		OpEq, OpNe, OpLt, OpLe, OpGt, OpGe, OpNot,
+		OpALoad, OpAStore, OpArrLen, OpNewArr,
+		OpReturn, OpReturnVoid, OpIsNull, OpNull, OpPrint, OpHalt:
+		return ins.Op.String()
+	case OpConst:
+		return fmt.Sprintf("const %d", ins.A)
+	case OpConstL:
+		if int(ins.A) < len(m.Consts) {
+			return fmt.Sprintf("constl %d ; =%d", ins.A, m.Consts[ins.A])
+		}
+		return fmt.Sprintf("constl %d", ins.A)
+	case OpLoad, OpStore, OpGetStatic, OpPutStatic:
+		return fmt.Sprintf("%s %d", ins.Op, ins.A)
+	case OpGetField, OpPutField:
+		return fmt.Sprintf("%s %d", ins.Op, ins.A)
+	case OpJump, OpJumpZ, OpJumpNZ:
+		tag := ""
+		if int(ins.A) <= pc {
+			tag = " ; backedge"
+		}
+		return fmt.Sprintf("%s -> %d%s", ins.Op, ins.A, tag)
+	case OpNew, OpClassEq, OpInstanceOf, OpCast:
+		name := fmt.Sprintf("class#%d", ins.A)
+		if p != nil && int(ins.A) < len(p.Classes) {
+			name = p.Classes[ins.A].Name
+		}
+		return fmt.Sprintf("%s %s", ins.Op, name)
+	case OpVTEq:
+		slot, mid := DecodeVTEq(ins.A)
+		name := fmt.Sprintf("method#%d", mid)
+		if p != nil && mid < len(p.Methods) {
+			name = p.Methods[mid].Name
+		}
+		return fmt.Sprintf("vteq slot=%d %s", slot, name)
+	case OpCallStatic:
+		name := fmt.Sprintf("method#%d", ins.A)
+		if p != nil && int(ins.A) < len(p.Methods) {
+			name = p.Methods[ins.A].Name
+		}
+		return fmt.Sprintf("callstatic %s site=%d", name, ins.B)
+	case OpCallVirtual:
+		slot, nargs := DecodeVirtual(ins.A)
+		return fmt.Sprintf("callvirtual slot=%d nargs=%d site=%d", slot, nargs, ins.B)
+	default:
+		return fmt.Sprintf("%s %d %d", ins.Op, ins.A, ins.B)
+	}
+}
+
+// DisasmProgram renders every method of a program.
+func DisasmProgram(p *Program) string {
+	var b strings.Builder
+	for _, c := range p.Classes {
+		fmt.Fprintf(&b, "class %s", c.Name)
+		if c.Super != nil {
+			fmt.Fprintf(&b, " extends %s", c.Super.Name)
+		}
+		b.WriteString("\n")
+		for i, f := range c.Fields {
+			fmt.Fprintf(&b, "  field %d: %s\n", i, f.Name)
+		}
+		for _, m := range c.Methods {
+			b.WriteString(DisasmMethod(p, m))
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}

@@ -1,0 +1,55 @@
+package bytecode
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecodeProgram: arbitrary bytes must never panic the decoder and
+// never produce a program whose methods fail verification (Decode
+// re-verifies internally, so a non-nil result is a safe program).
+func FuzzDecodeProgram(f *testing.F) {
+	// Seed with a valid encoding and a few corruptions of it.
+	pb := NewProgramBuilder()
+	callee := pb.NewFunc("callee", 1)
+	callee.Emit(OpLoad, 0)
+	callee.Const(1)
+	callee.Emit(OpAdd)
+	callee.Emit(OpReturn)
+	main := pb.NewFunc("main", 1)
+	main.Emit(OpLoad, 0)
+	main.CallStatic(callee)
+	main.Emit(OpReturn)
+	pb.SetEntry(main)
+	p, err := pb.Link()
+	if err != nil {
+		f.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := EncodeProgram(p, &buf); err != nil {
+		f.Fatal(err)
+	}
+	good := buf.Bytes()
+	f.Add(good)
+	f.Add(good[:len(good)/2])
+	f.Add([]byte("MJBC"))
+	f.Add([]byte{})
+	mut := append([]byte(nil), good...)
+	mut[10] ^= 0xff
+	f.Add(mut)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		q, err := DecodeProgram(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		for _, m := range q.Methods {
+			if err := Verify(q, m); err != nil {
+				t.Fatalf("decoder accepted unverifiable method %s: %v", m.Name, err)
+			}
+		}
+		if q.Entry == nil || !q.Entry.Static {
+			t.Fatal("decoder accepted program without a static entry")
+		}
+	})
+}

@@ -1,0 +1,153 @@
+package bytecode
+
+import "fmt"
+
+// Method is one compiled MJ method. Static methods have VSlot == -1.
+// Virtual methods occupy a vtable slot shared with every override.
+//
+// NArgs counts the receiver for virtual methods: a virtual method with
+// two declared parameters has NArgs == 3 and the receiver in local 0.
+type Method struct {
+	ID     int
+	Name   string // qualified, e.g. "List.insert"
+	Class  *Class // declaring class (nil only for synthetic link stubs)
+	Static bool
+	VSlot  int // vtable slot, or -1 for static methods
+
+	NArgs   int
+	NLocals int // total local slots, >= NArgs
+	Code    []Instr
+	Consts  []int64 // pool for OpConstL
+
+	// MaxStack is the verified maximum operand stack depth.
+	MaxStack int
+
+	// Size is the abstract bytecode size used by inlining heuristics
+	// (the paper's "size of executed bytecodes"); it equals len(Code)
+	// at link time and is recomputed after inlining transforms.
+	Size int
+
+	// Trivial marks methods whose body is smaller than a calling
+	// sequence; these are inlined even at the lowest optimization level
+	// (the paper's accuracy-experiment baseline).
+	Trivial bool
+}
+
+// NumCallSites returns the number of call instructions in the method body.
+func (m *Method) NumCallSites() int {
+	n := 0
+	for _, ins := range m.Code {
+		if ins.Op.IsCall() {
+			n++
+		}
+	}
+	return n
+}
+
+// FieldDef describes one object field.
+type FieldDef struct {
+	Name string
+	Ref  bool // true if the field holds a reference rather than an int
+}
+
+// Class is a linked MJ class. Fields are flattened over the inheritance
+// chain: a subclass's fields start at index len(super fields), so
+// superclass code can access inherited fields in subclass instances at
+// unchanged indices.
+type Class struct {
+	ID     int
+	Name   string
+	Super  *Class
+	Fields []FieldDef // flattened, inherited first
+
+	// VTable maps virtual slots to the most-derived implementation
+	// visible from this class. Slots are assigned per root hierarchy.
+	VTable []*Method
+
+	// Methods lists the methods declared directly by this class.
+	Methods []*Method
+}
+
+// SubclassOf reports whether c is cls or a (transitive) subclass of cls.
+func (c *Class) SubclassOf(cls *Class) bool {
+	for x := c; x != nil; x = x.Super {
+		if x == cls {
+			return true
+		}
+	}
+	return false
+}
+
+// Program is a fully linked MJ program, ready for execution.
+type Program struct {
+	Classes []*Class  // indexed by Class.ID
+	Methods []*Method // indexed by Method.ID
+
+	NumStatics  int
+	StaticNames []string // indexed by static slot
+	StaticInit  []int64  // constant initial values, indexed by slot
+
+	// Entry is the program's entry point, a static method.
+	Entry *Method
+
+	// NumCallSites is the number of globally unique call-site IDs
+	// assigned at link time. Call-site IDs are stable across inlining:
+	// spliced call instructions keep their original IDs so profiles
+	// remain attributable.
+	NumCallSites int
+
+	// SiteOwner maps a call-site ID to the method that originally
+	// declared it, and SitePC to its original pc (for diagnostics).
+	SiteOwner []*Method
+	SitePC    []int
+}
+
+// MethodByName returns the method with the given qualified name, or nil.
+func (p *Program) MethodByName(name string) *Method {
+	for _, m := range p.Methods {
+		if m != nil && m.Name == name {
+			return m
+		}
+	}
+	return nil
+}
+
+// ClassByName returns the class with the given name, or nil.
+func (p *Program) ClassByName(name string) *Class {
+	for _, c := range p.Classes {
+		if c != nil && c.Name == name {
+			return c
+		}
+	}
+	return nil
+}
+
+// StaticSlot returns the slot index of the named static, or -1.
+func (p *Program) StaticSlot(name string) int {
+	for i, n := range p.StaticNames {
+		if n == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// TotalCodeSize returns the total instruction count over all methods,
+// the analog of Table 1's "size of executed bytecodes".
+func (p *Program) TotalCodeSize() int {
+	n := 0
+	for _, m := range p.Methods {
+		if m != nil {
+			n += len(m.Code)
+		}
+	}
+	return n
+}
+
+// SiteDescription renders a call-site ID as "Method@pc" for diagnostics.
+func (p *Program) SiteDescription(site int) string {
+	if site < 0 || site >= len(p.SiteOwner) || p.SiteOwner[site] == nil {
+		return fmt.Sprintf("site#%d", site)
+	}
+	return fmt.Sprintf("%s@%d", p.SiteOwner[site].Name, p.SitePC[site])
+}

@@ -1,0 +1,96 @@
+package experiment
+
+import (
+	"fmt"
+	"strings"
+
+	"gocbs/internal/adaptive"
+	"gocbs/internal/inline"
+	"gocbs/internal/profiler"
+	"gocbs/internal/vm"
+)
+
+// E13: peephole-cleanup ablation. After profile-directed inlining, a
+// JIT normally tidies the spliced code (jump threading, constant
+// folding, dead-code elimination). This study measures what the
+// cleanup pass buys on top of CBS-driven inlining: steady-state
+// cycles and post-compile code size, with and without cleanup.
+
+// CleanupRow is one benchmark's ablation result.
+type CleanupRow struct {
+	Name string
+
+	InlinedIterCycles uint64 // steady state, inlining only
+	CleanedIterCycles uint64 // steady state, inlining + cleanup
+	SpeedupPct        float64
+
+	InlinedCodeSize int
+	CleanedCodeSize int
+}
+
+// CleanupAblation measures the E13 rows.
+func CleanupAblation(cfg Config, input string) ([]CleanupRow, error) {
+	pc := profiler.Config{Stride: 3, SamplesPerTick: 16, Flavour: profiler.FlavourRVM}
+	if len(cfg.Seeds) > 0 {
+		pc.Seed = cfg.Seeds[0]
+	}
+	var rows []CleanupRow
+	for _, b := range cfg.Benchmarks {
+		size := b.SizeFor(input)
+		build := func(clean bool) (uint64, int, error) {
+			prog, err := prepare(b)
+			if err != nil {
+				return 0, 0, err
+			}
+			g, err := profilePhase(cfg, prog, b, size, pc, b.SteadyIters)
+			if err != nil {
+				return 0, 0, err
+			}
+			var st adaptive.CompileStats
+			if clean {
+				st, err = adaptive.RecompileWithCleanup(prog, vm.DefaultCostModel(), inline.NewNewLinear(), g, inline.DefaultOptions())
+			} else {
+				st, err = adaptive.Recompile(prog, vm.DefaultCostModel(), inline.NewNewLinear(), g, inline.DefaultOptions())
+			}
+			if err != nil {
+				return 0, 0, err
+			}
+			per, err := steadyState(cfg, prog, size, b.SteadyIters)
+			if err != nil {
+				return 0, 0, err
+			}
+			return per, st.TotalCodeSize, nil
+		}
+		inlined, inlinedSize, err := build(false)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", b.Name, err)
+		}
+		cleaned, cleanedSize, err := build(true)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", b.Name, err)
+		}
+		rows = append(rows, CleanupRow{
+			Name:              b.Name,
+			InlinedIterCycles: inlined,
+			CleanedIterCycles: cleaned,
+			SpeedupPct:        speedup(inlined, cleaned),
+			InlinedCodeSize:   inlinedSize,
+			CleanedCodeSize:   cleanedSize,
+		})
+	}
+	return rows, nil
+}
+
+// FormatCleanup renders the ablation.
+func FormatCleanup(rows []CleanupRow) string {
+	var sb strings.Builder
+	sb.WriteString("Peephole-cleanup ablation (on top of CBS-driven inlining)\n")
+	fmt.Fprintf(&sb, "%-12s %14s %14s %10s %12s %12s\n",
+		"Benchmark", "inlined cyc/it", "cleaned cyc/it", "speedup", "size before", "size after")
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%-12s %14d %14d %9.2f%% %12d %12d\n",
+			r.Name, r.InlinedIterCycles, r.CleanedIterCycles, r.SpeedupPct,
+			r.InlinedCodeSize, r.CleanedCodeSize)
+	}
+	return sb.String()
+}

@@ -1,0 +1,130 @@
+// Package experiment regenerates every table and figure of the paper's
+// evaluation (§6) on the MJ VM substrate: Table 1 (benchmark
+// characteristics), Tables 2A/2B (overhead/accuracy grids over Stride ×
+// Samples-per-tick for the Jikes RVM and J9 flavours), Table 3
+// (per-benchmark base vs CBS), and Figure 5 (speedup from
+// profile-directed inlining under timer-only vs CBS profiles), plus the
+// supplementary studies indexed in DESIGN.md (convergence, skew
+// ablation, §3 comparators, old-vs-new inliner, context sensitivity).
+package experiment
+
+import (
+	"fmt"
+
+	"gocbs/internal/bench"
+	"gocbs/internal/bytecode"
+	"gocbs/internal/inline"
+	"gocbs/internal/profile"
+	"gocbs/internal/profiler"
+	"gocbs/internal/stats"
+	"gocbs/internal/vm"
+)
+
+// DefaultTimerPeriod is the virtual timer granularity in modeled
+// cycles. It plays the role of the paper's 10 ms hard floor on timer
+// interrupts: large relative to call rates, so a timer-only profiler
+// starves for samples on short runs (a small benchmark run sees only
+// a handful of ticks), which is exactly the regime §3.3 describes.
+const DefaultTimerPeriod = 3_000_000
+
+// Config holds experiment-wide knobs.
+type Config struct {
+	TimerPeriod uint64
+	// Seeds lists profiler RNG seeds; medians are taken across them
+	// (the analog of the paper's median of 10 runs).
+	Seeds []int64
+	// Benchmarks restricts the suite (nil = all).
+	Benchmarks []*bench.Benchmark
+	// MaxSteps caps each VM run.
+	MaxSteps uint64
+}
+
+// DefaultConfig returns the configuration used by the committed
+// EXPERIMENTS.md numbers.
+func DefaultConfig() Config {
+	return Config{
+		TimerPeriod: DefaultTimerPeriod,
+		Seeds:       []int64{11, 42, 1973},
+		Benchmarks:  bench.All(),
+		MaxSteps:    4_000_000_000,
+	}
+}
+
+// QuickConfig returns a cheaper configuration for smoke tests and
+// testing.B benchmarks.
+func QuickConfig() Config {
+	c := DefaultConfig()
+	c.Seeds = []int64{42}
+	return c
+}
+
+// prepare compiles a benchmark in the §6.2 "JIT-only" configuration:
+// all methods at the lowest optimization level, trivial methods inlined
+// at load time, every other call observable.
+func prepare(b *bench.Benchmark) (*bytecode.Program, error) {
+	prog, err := b.Compile()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := inline.Optimize(prog, inline.Trivial{}, nil, inline.DefaultOptions()); err != nil {
+		return nil, fmt.Errorf("%s: trivial inlining: %w", b.Name, err)
+	}
+	return prog, nil
+}
+
+// PerfectDCG runs a benchmark exhaustively in the JIT-only
+// configuration and returns the ground-truth call graph.
+func PerfectDCG(cfg Config, b *bench.Benchmark, size int64) (*profile.DCG, error) {
+	prog, err := prepare(b)
+	if err != nil {
+		return nil, err
+	}
+	e := profiler.NewExhaustive()
+	m := vm.New(prog)
+	m.MaxSteps = cfg.MaxSteps
+	m.SetProfiler(e)
+	if _, err := m.Run(size); err != nil {
+		return nil, fmt.Errorf("%s perfect run: %w", b.Name, err)
+	}
+	return e.Graph, nil
+}
+
+// AccuracyResult is one profiler measurement against a perfect profile.
+type AccuracyResult struct {
+	OverheadPct float64 // profiling cycles / base cycles × 100
+	Accuracy    float64 // overlap with the perfect profile, 0–100
+	Samples     float64 // samples taken
+}
+
+// MeasureCBS runs one benchmark under a CBS configuration (median over
+// cfg.Seeds) and scores it against the given perfect profile.
+func MeasureCBS(cfg Config, b *bench.Benchmark, size int64, pc profiler.Config, perfect *profile.DCG) (AccuracyResult, error) {
+	var ovh, acc, smp []float64
+	for _, seed := range cfg.Seeds {
+		pcs := pc
+		pcs.Seed = seed
+		prog, err := prepare(b)
+		if err != nil {
+			return AccuracyResult{}, err
+		}
+		c := profiler.NewCBS(pcs)
+		m := vm.New(prog)
+		m.MaxSteps = cfg.MaxSteps
+		if pcs.Flavour == profiler.FlavourJ9 {
+			m.EpilogueYieldpoints = false
+		}
+		m.SetProfiler(c)
+		m.SetTimer(cfg.TimerPeriod)
+		if _, err := m.Run(size); err != nil {
+			return AccuracyResult{}, fmt.Errorf("%s cbs run: %w", b.Name, err)
+		}
+		ovh = append(ovh, m.Overhead()*100)
+		acc = append(acc, profile.Accuracy(c.Graph, perfect))
+		smp = append(smp, float64(c.SamplesTaken))
+	}
+	return AccuracyResult{
+		OverheadPct: stats.Median(ovh),
+		Accuracy:    stats.Median(acc),
+		Samples:     stats.Median(smp),
+	}, nil
+}

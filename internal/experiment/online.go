@@ -1,0 +1,107 @@
+package experiment
+
+import (
+	"fmt"
+	"strings"
+
+	"gocbs/internal/adaptive"
+	"gocbs/internal/inline"
+	"gocbs/internal/profiler"
+	"gocbs/internal/vm"
+)
+
+// E14: the online adaptive system. Unlike Figure 5's two-phase
+// methodology (profile, stop, recompile, measure), this study runs the
+// full pipeline the way a real VM does: the CBS profiler builds the
+// DCG *while* the adaptive controller watches timer-tick hotness
+// samples and recompiles hot methods mid-run with profile-directed
+// inlining. The observable is the warmup curve: cycles per iteration
+// falling as optimized code replaces baseline code.
+
+// OnlineRow summarizes one benchmark's online-adaptation run.
+type OnlineRow struct {
+	Name string
+
+	FirstIterCycles uint64 // mean of the first 3 iterations
+	LastIterCycles  uint64 // mean of the last 3 iterations
+	WarmupPct       float64
+
+	MethodsRecompiled int
+	InlinesApplied    int
+	CompileCycles     uint64
+}
+
+// Online runs the online adaptive system over the suite.
+func Online(cfg Config, input string) ([]OnlineRow, error) {
+	seed := int64(42)
+	if len(cfg.Seeds) > 0 {
+		seed = cfg.Seeds[0]
+	}
+	var rows []OnlineRow
+	for _, b := range cfg.Benchmarks {
+		size := b.SizeFor(input)
+		iters := b.SteadyIters * 3
+
+		prog, err := prepare(b)
+		if err != nil {
+			return nil, err
+		}
+		cbs := profiler.NewCBS(profiler.Config{Stride: 3, SamplesPerTick: 16, Flavour: profiler.FlavourRVM, Seed: seed})
+		ctl := adaptive.NewController(prog, inline.NewNewLinear(), cbs.Graph, inline.DefaultOptions(), 2)
+		m := vm.New(prog)
+		m.MaxSteps = cfg.MaxSteps
+		m.SetProfiler(profiler.Combine(cbs, ctl))
+		m.SetTimer(cfg.TimerPeriod)
+
+		setup := prog.MethodByName("$Globals.setup")
+		iter := prog.MethodByName("$Globals.iter")
+		if _, err := m.Call(setup, vm.IntV(size)); err != nil {
+			return nil, fmt.Errorf("%s setup: %w", b.Name, err)
+		}
+		perIter := make([]uint64, 0, iters)
+		for i := 0; i < iters; i++ {
+			before := m.Cycles
+			if _, err := m.Call(iter); err != nil {
+				return nil, fmt.Errorf("%s iter %d: %w", b.Name, i, err)
+			}
+			perIter = append(perIter, m.Cycles-before)
+		}
+		if ctl.Err != nil {
+			return nil, fmt.Errorf("%s controller: %w", b.Name, ctl.Err)
+		}
+
+		mean3 := func(xs []uint64) uint64 {
+			var s uint64
+			for _, x := range xs {
+				s += x
+			}
+			return s / uint64(len(xs))
+		}
+		first := mean3(perIter[:3])
+		last := mean3(perIter[len(perIter)-3:])
+		rows = append(rows, OnlineRow{
+			Name:              b.Name,
+			FirstIterCycles:   first,
+			LastIterCycles:    last,
+			WarmupPct:         speedup(first, last),
+			MethodsRecompiled: ctl.Stats.MethodsCompiled,
+			InlinesApplied:    ctl.Stats.InlinesApplied,
+			CompileCycles:     ctl.Stats.CompileCycles,
+		})
+	}
+	return rows, nil
+}
+
+// FormatOnline renders the study.
+func FormatOnline(rows []OnlineRow) string {
+	var sb strings.Builder
+	sb.WriteString("Online adaptive system: warmup from baseline to optimized code\n")
+	fmt.Fprintf(&sb, "%-12s %14s %14s %9s %10s %8s %12s\n",
+		"Benchmark", "first cyc/it", "last cyc/it", "warmup", "recompiled", "inlines", "compile cyc")
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%-12s %14d %14d %8.2f%% %10d %8d %12d\n",
+			r.Name, r.FirstIterCycles, r.LastIterCycles, r.WarmupPct,
+			r.MethodsRecompiled, r.InlinesApplied, r.CompileCycles)
+	}
+	return sb.String()
+}

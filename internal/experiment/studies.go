@@ -1,0 +1,478 @@
+package experiment
+
+import (
+	"fmt"
+	"strings"
+
+	"gocbs/internal/bench"
+	"gocbs/internal/inline"
+	"gocbs/internal/profile"
+	"gocbs/internal/profiler"
+	"gocbs/internal/stats"
+	"gocbs/internal/vm"
+)
+
+// ---------------------------------------------------------------------
+// E8: convergence — accuracy as a function of executed cycles. §2 and
+// §4 claim CBS "rapidly converges on a high-accuracy profile"; this
+// study plots accuracy checkpoints for timer-only vs CBS.
+
+// ConvergencePoint is one accuracy checkpoint.
+type ConvergencePoint struct {
+	MCycles float64
+	Timer   float64
+	CBS     float64
+}
+
+// convergenceProbe snapshots a CBS profiler's accuracy every tick.
+type convergenceProbe struct {
+	inner   *profiler.CBS
+	perfect *profile.DCG
+	points  []ConvergencePoint // only MCycles + one series filled
+}
+
+func (p *convergenceProbe) OnTimerTick(m *vm.VM) {
+	p.inner.OnTimerTick(m)
+	p.points = append(p.points, ConvergencePoint{
+		MCycles: float64(m.Cycles) / 1e6,
+		Timer:   profile.Accuracy(p.inner.Graph, p.perfect),
+	})
+}
+
+func (p *convergenceProbe) OnYieldpoint(m *vm.VM, k vm.YieldKind) { p.inner.OnYieldpoint(m, k) }
+
+// Convergence measures accuracy-over-time for one benchmark.
+func Convergence(cfg Config, b *bench.Benchmark, input string) ([]ConvergencePoint, error) {
+	size := b.SizeFor(input)
+	perfect, err := PerfectDCG(cfg, b, size)
+	if err != nil {
+		return nil, err
+	}
+	runSeries := func(pc profiler.Config) ([]ConvergencePoint, error) {
+		prog, err := prepare(b)
+		if err != nil {
+			return nil, err
+		}
+		probe := &convergenceProbe{inner: profiler.NewCBS(pc), perfect: perfect}
+		m := vm.New(prog)
+		m.MaxSteps = cfg.MaxSteps
+		m.SetProfiler(probe)
+		m.SetTimer(cfg.TimerPeriod)
+		if _, err := m.Run(size); err != nil {
+			return nil, err
+		}
+		return probe.points, nil
+	}
+	seed := int64(42)
+	if len(cfg.Seeds) > 0 {
+		seed = cfg.Seeds[0]
+	}
+	timer, err := runSeries(profiler.Config{Stride: 1, SamplesPerTick: 1, Flavour: profiler.FlavourRVM, Seed: seed})
+	if err != nil {
+		return nil, err
+	}
+	cbs, err := runSeries(profiler.Config{Stride: 3, SamplesPerTick: 16, Flavour: profiler.FlavourRVM, Seed: seed})
+	if err != nil {
+		return nil, err
+	}
+	n := len(timer)
+	if len(cbs) < n {
+		n = len(cbs)
+	}
+	out := make([]ConvergencePoint, n)
+	for i := 0; i < n; i++ {
+		out[i] = ConvergencePoint{MCycles: timer[i].MCycles, Timer: timer[i].Timer, CBS: cbs[i].Timer}
+	}
+	return out, nil
+}
+
+// FormatConvergence renders the two series.
+func FormatConvergence(name string, pts []ConvergencePoint) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Convergence study (%s): accuracy vs executed megacycles\n", name)
+	fmt.Fprintf(&sb, "%10s %12s %12s\n", "Mcycles", "timer-only", "cbs(3,16)")
+	step := len(pts)/20 + 1
+	for i := 0; i < len(pts); i += step {
+		p := pts[i]
+		fmt.Fprintf(&sb, "%10.1f %12.1f %12.1f\n", p.MCycles, p.Timer, p.CBS)
+	}
+	if len(pts) > 0 {
+		p := pts[len(pts)-1]
+		fmt.Fprintf(&sb, "%10.1f %12.1f %12.1f  (final)\n", p.MCycles, p.Timer, p.CBS)
+	}
+	return sb.String()
+}
+
+// ---------------------------------------------------------------------
+// E9: initial-skip ablation — §4's randomized skip versus round-robin
+// versus always-sampling-immediately (the skew CBS is designed to
+// avoid).
+
+// SkewRow is one skip policy's suite-mean accuracy.
+type SkewRow struct {
+	Policy   string
+	Accuracy float64
+}
+
+// SkewAblation compares skip policies at a wide stride where the
+// choice of initial skip matters most.
+func SkewAblation(cfg Config, input string, stride, samples int) ([]SkewRow, error) {
+	policies := []profiler.SkipPolicy{profiler.SkipRandom, profiler.SkipRoundRobin, profiler.SkipImmediate}
+	var rows []SkewRow
+	for _, sp := range policies {
+		var accs []float64
+		for _, b := range cfg.Benchmarks {
+			size := b.SizeFor(input)
+			perfect, err := PerfectDCG(cfg, b, size)
+			if err != nil {
+				return nil, err
+			}
+			res, err := MeasureCBS(cfg, b, size, profiler.Config{
+				Stride: stride, SamplesPerTick: samples,
+				Flavour: profiler.FlavourRVM, SkipPolicy: sp,
+			}, perfect)
+			if err != nil {
+				return nil, err
+			}
+			accs = append(accs, res.Accuracy)
+		}
+		rows = append(rows, SkewRow{Policy: sp.String(), Accuracy: stats.Mean(accs)})
+	}
+	return rows, nil
+}
+
+// FormatSkew renders the ablation.
+func FormatSkew(rows []SkewRow, stride, samples int) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Initial-skip ablation (stride=%d, samples=%d): suite-mean accuracy\n", stride, samples)
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%-14s %6.1f\n", r.Policy, r.Accuracy)
+	}
+	return sb.String()
+}
+
+// ---------------------------------------------------------------------
+// E10: §3 comparators — exhaustive instrumentation (Vortex-style PIC
+// counters), Whaley's timer-based stack sampler, Suganuma-style code
+// patching, against timer-only and CBS.
+
+// ComparatorRow is one technique's suite-mean overhead and accuracy.
+type ComparatorRow struct {
+	Technique   string
+	OverheadPct float64
+	Accuracy    float64
+}
+
+// Comparators measures every §3 technique on the suite.
+func Comparators(cfg Config, input string) ([]ComparatorRow, error) {
+	type meas struct{ ovh, acc []float64 }
+	results := map[string]*meas{}
+	order := []string{"exhaustive-instrumented", "whaley", "code-patching", "timer-only", "cbs(3,16)"}
+	for _, name := range order {
+		results[name] = &meas{}
+	}
+	add := func(name string, o, a float64) {
+		results[name].ovh = append(results[name].ovh, o)
+		results[name].acc = append(results[name].acc, a)
+	}
+
+	for _, b := range cfg.Benchmarks {
+		size := b.SizeFor(input)
+		perfect, err := PerfectDCG(cfg, b, size)
+		if err != nil {
+			return nil, err
+		}
+		runWith := func(p any) (*vm.VM, error) {
+			prog, err := prepare(b)
+			if err != nil {
+				return nil, err
+			}
+			m := vm.New(prog)
+			m.MaxSteps = cfg.MaxSteps
+			m.SetProfiler(p)
+			m.SetTimer(cfg.TimerPeriod)
+			if _, err := m.Run(size); err != nil {
+				return nil, err
+			}
+			return m, nil
+		}
+
+		inst := profiler.NewInstrumented()
+		m, err := runWith(inst)
+		if err != nil {
+			return nil, err
+		}
+		add("exhaustive-instrumented", m.Overhead()*100, profile.Accuracy(inst.Graph, perfect))
+
+		wh := profiler.NewWhaley()
+		m, err = runWith(wh)
+		if err != nil {
+			return nil, err
+		}
+		add("whaley", m.Overhead()*100, profile.Accuracy(wh.Graph, perfect))
+
+		prog, err := prepare(b)
+		if err != nil {
+			return nil, err
+		}
+		pt := profiler.NewPatching(len(prog.Methods), 100, 64)
+		mp := vm.New(prog)
+		mp.MaxSteps = cfg.MaxSteps
+		mp.SetProfiler(pt)
+		if _, err := mp.Run(size); err != nil {
+			return nil, err
+		}
+		add("code-patching", mp.Overhead()*100, profile.Accuracy(pt.Graph, perfect))
+
+		res, err := MeasureCBS(cfg, b, size, profiler.TimerOnly(profiler.FlavourRVM), perfect)
+		if err != nil {
+			return nil, err
+		}
+		add("timer-only", res.OverheadPct, res.Accuracy)
+
+		res, err = MeasureCBS(cfg, b, size, profiler.Config{Stride: 3, SamplesPerTick: 16, Flavour: profiler.FlavourRVM}, perfect)
+		if err != nil {
+			return nil, err
+		}
+		add("cbs(3,16)", res.OverheadPct, res.Accuracy)
+	}
+
+	var rows []ComparatorRow
+	for _, name := range order {
+		rows = append(rows, ComparatorRow{
+			Technique:   name,
+			OverheadPct: stats.Mean(results[name].ovh),
+			Accuracy:    stats.Mean(results[name].acc),
+		})
+	}
+	return rows, nil
+}
+
+// FormatComparators renders the §3 comparison.
+func FormatComparators(rows []ComparatorRow) string {
+	var sb strings.Builder
+	sb.WriteString("Profiling-technique comparison (suite means)\n")
+	fmt.Fprintf(&sb, "%-26s %12s %10s\n", "Technique", "overhead%", "accuracy")
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%-26s %12.2f %10.1f\n", r.Technique, r.OverheadPct, r.Accuracy)
+	}
+	return sb.String()
+}
+
+// ---------------------------------------------------------------------
+// E11: old-vs-new inliner — §5.1 reports the new linear-threshold
+// inliner beat the old conservative one by ~3% on average even with
+// timer-only profiles.
+
+// InlinerRow is one benchmark's steady-state comparison.
+type InlinerRow struct {
+	Name            string
+	TimerSpeedupPct float64 // new vs old inliner under timer profiles
+	CBSSpeedupPct   float64 // new vs old inliner under CBS profiles
+}
+
+// InlinerAblation compares OldJikes and NewLinear under identical
+// profiles.
+func InlinerAblation(cfg Config, input string) ([]InlinerRow, error) {
+	timerCfg := profiler.TimerOnly(profiler.FlavourRVM)
+	cbsCfg := profiler.Config{Stride: 3, SamplesPerTick: 16, Flavour: profiler.FlavourRVM}
+	if len(cfg.Seeds) > 0 {
+		timerCfg.Seed = cfg.Seeds[0]
+		cbsCfg.Seed = cfg.Seeds[0]
+	}
+	var rows []InlinerRow
+	for _, b := range cfg.Benchmarks {
+		size := b.SizeFor(input)
+		w, msr := b.SteadyIters, b.SteadyIters
+		oldTimer, _, err := buildOptimized(cfg, b, size, inline.NewOldJikes(), &timerCfg, w, msr)
+		if err != nil {
+			return nil, err
+		}
+		newTimer, _, err := buildOptimized(cfg, b, size, inline.NewNewLinear(), &timerCfg, w, msr)
+		if err != nil {
+			return nil, err
+		}
+		oldCBS, _, err := buildOptimized(cfg, b, size, inline.NewOldJikes(), &cbsCfg, w, msr)
+		if err != nil {
+			return nil, err
+		}
+		newCBS, _, err := buildOptimized(cfg, b, size, inline.NewNewLinear(), &cbsCfg, w, msr)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, InlinerRow{
+			Name:            b.Name,
+			TimerSpeedupPct: speedup(oldTimer, newTimer),
+			CBSSpeedupPct:   speedup(oldCBS, newCBS),
+		})
+	}
+	return rows, nil
+}
+
+// FormatInliners renders the ablation.
+func FormatInliners(rows []InlinerRow) string {
+	var sb strings.Builder
+	sb.WriteString("Inliner ablation: % speedup of new linear-threshold inliner over old conservative inliner\n")
+	fmt.Fprintf(&sb, "%-12s %14s %14s\n", "Benchmark", "timer profiles", "cbs profiles")
+	var t, c float64
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%-12s %13.2f%% %13.2f%%\n", r.Name, r.TimerSpeedupPct, r.CBSSpeedupPct)
+		t += r.TimerSpeedupPct
+		c += r.CBSSpeedupPct
+	}
+	if len(rows) > 0 {
+		n := float64(len(rows))
+		fmt.Fprintf(&sb, "%-12s %13.2f%% %13.2f%%\n", "average", t/n, c/n)
+	}
+	return sb.String()
+}
+
+// ---------------------------------------------------------------------
+// E12: context sensitivity — CBS sampling full stacks into a
+// calling-context tree, scored with the generalized overlap metric.
+
+// ContextRow is one benchmark's context-sensitive measurement.
+type ContextRow struct {
+	Name            string
+	FlatAccuracy    float64 // flat DCG accuracy of the same run
+	CCTAccuracy     float64 // context-tree overlap vs exhaustive CCT
+	CCTNodes        int
+	PerfectCCTNodes int
+	OverheadPct     float64
+}
+
+// ContextStudy measures CBS in FullStack mode.
+func ContextStudy(cfg Config, input string) ([]ContextRow, error) {
+	seed := int64(42)
+	if len(cfg.Seeds) > 0 {
+		seed = cfg.Seeds[0]
+	}
+	var rows []ContextRow
+	for _, b := range cfg.Benchmarks {
+		size := b.SizeFor(input)
+		perfectFlat, err := PerfectDCG(cfg, b, size)
+		if err != nil {
+			return nil, err
+		}
+		prog, err := prepare(b)
+		if err != nil {
+			return nil, err
+		}
+		ex := profiler.NewExhaustiveCCT()
+		m := vm.New(prog)
+		m.MaxSteps = cfg.MaxSteps
+		m.SetProfiler(ex)
+		if _, err := m.Run(size); err != nil {
+			return nil, err
+		}
+
+		prog2, err := prepare(b)
+		if err != nil {
+			return nil, err
+		}
+		c := profiler.NewCBS(profiler.Config{
+			Stride: 3, SamplesPerTick: 16,
+			Flavour: profiler.FlavourRVM, Seed: seed, FullStack: true,
+		})
+		m2 := vm.New(prog2)
+		m2.MaxSteps = cfg.MaxSteps
+		m2.SetProfiler(c)
+		m2.SetTimer(cfg.TimerPeriod)
+		if _, err := m2.Run(size); err != nil {
+			return nil, err
+		}
+		rows = append(rows, ContextRow{
+			Name:            b.Name,
+			FlatAccuracy:    profile.Accuracy(c.Graph, perfectFlat),
+			CCTAccuracy:     profile.OverlapCCT(c.Tree, ex.Tree),
+			CCTNodes:        c.Tree.NumNodes(),
+			PerfectCCTNodes: ex.Tree.NumNodes(),
+			OverheadPct:     m2.Overhead() * 100,
+		})
+	}
+	return rows, nil
+}
+
+// FormatContext renders the context-sensitivity study.
+func FormatContext(rows []ContextRow) string {
+	var sb strings.Builder
+	sb.WriteString("Context-sensitive extension: CBS sampling full stacks into a CCT\n")
+	fmt.Fprintf(&sb, "%-12s %10s %10s %10s %12s %10s\n",
+		"Benchmark", "flat acc", "cct acc", "cct nodes", "true nodes", "overhead%")
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%-12s %10.1f %10.1f %10d %12d %10.2f\n",
+			r.Name, r.FlatAccuracy, r.CCTAccuracy, r.CCTNodes, r.PerfectCCTNodes, r.OverheadPct)
+	}
+	return sb.String()
+}
+
+// ---------------------------------------------------------------------
+// E15: the §4 implementation-options discussion. In a VM whose method
+// prologues already test a runtime flag, CBS overloads that flag and
+// costs nothing while idle. A VM with no such test would pay "three
+// executed instructions per method entry" always. This study measures
+// that hypothetical: the always-on entry check's overhead across the
+// suite, against the overloaded-flag implementation's.
+
+// EntryCheckRow is one benchmark's comparison.
+type EntryCheckRow struct {
+	Name             string
+	OverloadedPct    float64 // CBS via overloaded flag (the paper's design)
+	ExplicitCheckPct float64 // plus 3 cycles on every method entry
+}
+
+// EntryCheckStudy measures both implementation options.
+func EntryCheckStudy(cfg Config, input string) ([]EntryCheckRow, error) {
+	seed := int64(42)
+	if len(cfg.Seeds) > 0 {
+		seed = cfg.Seeds[0]
+	}
+	var rows []EntryCheckRow
+	for _, b := range cfg.Benchmarks {
+		size := b.SizeFor(input)
+		runWith := func(entryCost uint64) (float64, error) {
+			prog, err := prepare(b)
+			if err != nil {
+				return 0, err
+			}
+			c := profiler.NewCBS(profiler.Config{Stride: 3, SamplesPerTick: 16, Flavour: profiler.FlavourRVM, Seed: seed})
+			m := vm.New(prog)
+			m.MaxSteps = cfg.MaxSteps
+			m.EntryCheckCost = entryCost
+			m.SetProfiler(c)
+			m.SetTimer(cfg.TimerPeriod)
+			if _, err := m.Run(size); err != nil {
+				return 0, err
+			}
+			return m.Overhead() * 100, nil
+		}
+		overloaded, err := runWith(0)
+		if err != nil {
+			return nil, err
+		}
+		explicit, err := runWith(3)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, EntryCheckRow{Name: b.Name, OverloadedPct: overloaded, ExplicitCheckPct: explicit})
+	}
+	return rows, nil
+}
+
+// FormatEntryCheck renders the study.
+func FormatEntryCheck(rows []EntryCheckRow) string {
+	var sb strings.Builder
+	sb.WriteString("Implementation options (§4): overloaded flag vs 3-instruction entry check\n")
+	fmt.Fprintf(&sb, "%-12s %16s %18s\n", "Benchmark", "overloaded ovh%", "explicit-check ovh%")
+	var a, bsum float64
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%-12s %16.3f %18.3f\n", r.Name, r.OverloadedPct, r.ExplicitCheckPct)
+		a += r.OverloadedPct
+		bsum += r.ExplicitCheckPct
+	}
+	if len(rows) > 0 {
+		n := float64(len(rows))
+		fmt.Fprintf(&sb, "%-12s %16.3f %18.3f\n", "average", a/n, bsum/n)
+	}
+	return sb.String()
+}

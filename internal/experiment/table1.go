@@ -1,0 +1,64 @@
+package experiment
+
+import (
+	"fmt"
+	"strings"
+
+	"gocbs/internal/bench"
+	"gocbs/internal/vm"
+)
+
+// Table1Row is one benchmark characteristics entry (the analog of the
+// paper's Table 1: running time, methods executed, bytecode size).
+type Table1Row struct {
+	Name    string
+	Input   string
+	MCycles float64 // modeled megacycles (the "running time")
+	Methods int     // distinct methods executed
+	SizeK   float64 // executed bytecode size (K instructions of code)
+	Calls   uint64  // dynamic calls (extra diagnostic)
+}
+
+// Table1 measures benchmark characteristics for both input sizes.
+func Table1(cfg Config) ([]Table1Row, error) {
+	var rows []Table1Row
+	for _, input := range []string{"small", "large"} {
+		for _, b := range cfg.Benchmarks {
+			prog, err := prepare(b)
+			if err != nil {
+				return nil, err
+			}
+			m := vm.New(prog)
+			m.MaxSteps = cfg.MaxSteps
+			if _, err := m.Run(b.SizeFor(input)); err != nil {
+				return nil, fmt.Errorf("%s-%s: %w", b.Name, input, err)
+			}
+			rows = append(rows, Table1Row{
+				Name:    b.Name,
+				Input:   input,
+				MCycles: float64(m.Cycles) / 1e6,
+				Methods: m.MethodsExecuted(),
+				SizeK:   float64(prog.TotalCodeSize()) / 1000,
+				Calls:   m.Calls,
+			})
+		}
+	}
+	return rows, nil
+}
+
+// FormatTable1 renders Table 1 as text.
+func FormatTable1(rows []Table1Row) string {
+	var sb strings.Builder
+	sb.WriteString("Table 1: Benchmark characteristics (JIT-only configuration)\n")
+	fmt.Fprintf(&sb, "%-12s %-6s %12s %9s %9s %12s\n",
+		"Benchmark", "Input", "Mcycles", "Meth exe", "Size (K)", "Calls")
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%-12s %-6s %12.1f %9d %9.2f %12d\n",
+			r.Name, r.Input, r.MCycles, r.Methods, r.SizeK, r.Calls)
+	}
+	return sb.String()
+}
+
+// SuiteFor is a convenience for callers that need the configured
+// benchmark list.
+func SuiteFor(cfg Config) []*bench.Benchmark { return cfg.Benchmarks }

@@ -1,0 +1,105 @@
+package experiment
+
+import (
+	"fmt"
+	"strings"
+
+	"gocbs/internal/profile"
+	"gocbs/internal/profiler"
+	"gocbs/internal/stats"
+)
+
+// Grid cell layout of Table 2: the paper sweeps Stride across columns
+// and Samples-per-timer-tick across rows; each cell reports overhead %
+// and accuracy, averaged over the whole suite.
+
+// DefaultStrides matches the spirit of the paper's column range.
+var DefaultStrides = []int{1, 3, 7, 15, 31, 63, 127}
+
+// DefaultSamples matches the paper's power-of-two row range, trimmed to
+// keep the default harness run affordable; pass FullSamples for the
+// whole sweep.
+var DefaultSamples = []int{1, 4, 16, 64, 256, 1024}
+
+// FullSamples is the paper's complete row set.
+var FullSamples = []int{1, 2, 4, 8, 16, 32, 64, 128, 256, 1024, 2048, 4096, 8192}
+
+// Table2Cell is one (stride, samples) grid entry.
+type Table2Cell struct {
+	Stride, Samples int
+	OverheadPct     float64
+	Accuracy        float64
+}
+
+// Table2 computes the overhead/accuracy grid for one VM flavour,
+// averaging over the configured benchmarks at the given input size.
+// This regenerates Table 2A (FlavourRVM) and Table 2B (FlavourJ9).
+func Table2(cfg Config, flavour profiler.Flavour, input string, strides, samples []int) ([]Table2Cell, error) {
+	// Perfect profiles are profiler-independent: compute once per
+	// benchmark.
+	perfects := map[string]accPerfect{}
+	for _, b := range cfg.Benchmarks {
+		size := b.SizeFor(input)
+		g, err := PerfectDCG(cfg, b, size)
+		if err != nil {
+			return nil, err
+		}
+		perfects[b.Name] = accPerfect{size: size, g: g}
+	}
+	var cells []Table2Cell
+	for _, n := range samples {
+		for _, s := range strides {
+			var ovh, acc []float64
+			for _, b := range cfg.Benchmarks {
+				p := perfects[b.Name]
+				res, err := MeasureCBS(cfg, b, p.size, profiler.Config{
+					Stride:         s,
+					SamplesPerTick: n,
+					Flavour:        flavour,
+				}, p.g)
+				if err != nil {
+					return nil, fmt.Errorf("stride=%d samples=%d: %w", s, n, err)
+				}
+				ovh = append(ovh, res.OverheadPct)
+				acc = append(acc, res.Accuracy)
+			}
+			cells = append(cells, Table2Cell{
+				Stride: s, Samples: n,
+				OverheadPct: stats.Mean(ovh),
+				Accuracy:    stats.Mean(acc),
+			})
+		}
+	}
+	return cells, nil
+}
+
+type accPerfect struct {
+	size int64
+	g    *profile.DCG
+}
+
+// FormatTable2 renders the grid with "overhead / accuracy" cells.
+func FormatTable2(title string, cells []Table2Cell, strides, samples []int) string {
+	byKey := map[[2]int]Table2Cell{}
+	for _, c := range cells {
+		byKey[[2]int{c.Stride, c.Samples}] = c
+	}
+	var sb strings.Builder
+	sb.WriteString(title + "\n")
+	sb.WriteString("cells: overhead% / accuracy   (rows = samples per tick, cols = stride)\n")
+	fmt.Fprintf(&sb, "%8s |", "samp\\str")
+	for _, s := range strides {
+		fmt.Fprintf(&sb, " %11d |", s)
+	}
+	sb.WriteString("\n")
+	sb.WriteString(strings.Repeat("-", 10+14*len(strides)) + "\n")
+	for _, n := range samples {
+		fmt.Fprintf(&sb, "%8d |", n)
+		for _, s := range strides {
+			c := byKey[[2]int{s, n}]
+			fmt.Fprintf(&sb, " %5.2f /%4.0f |", c.OverheadPct, c.Accuracy)
+		}
+		sb.WriteString("\n")
+	}
+	return sb.String()
+}

@@ -1,0 +1,131 @@
+package experiment
+
+import (
+	"fmt"
+	"strings"
+
+	"gocbs/internal/profiler"
+	"gocbs/internal/stats"
+)
+
+// Table3Row is the per-benchmark overhead/accuracy breakdown of the
+// paper's Table 3: the timer-only base configuration (Stride 1,
+// Samples 1) against a chosen CBS configuration, for both VM flavours.
+type Table3Row struct {
+	Name, Input string
+
+	RVMBaseOverhead, RVMBaseAccuracy float64
+	RVMCBSOverhead, RVMCBSAccuracy   float64
+
+	J9BaseOverhead, J9BaseAccuracy float64
+	J9CBSOverhead, J9CBSAccuracy   float64
+}
+
+// Table3CBSParams holds the chosen "reasonable tradeoff" CBS
+// parameters: the paper used Stride 3 / Samples 16 for Jikes RVM and
+// Stride 7 / Samples 32 for J9.
+type Table3CBSParams struct {
+	RVMStride, RVMSamples int
+	J9Stride, J9Samples   int
+}
+
+// DefaultTable3Params mirrors the paper's choices.
+func DefaultTable3Params() Table3CBSParams {
+	return Table3CBSParams{RVMStride: 3, RVMSamples: 16, J9Stride: 7, J9Samples: 32}
+}
+
+// Table3 measures the per-benchmark breakdown for both input sizes.
+func Table3(cfg Config, params Table3CBSParams) ([]Table3Row, error) {
+	var rows []Table3Row
+	for _, input := range []string{"small", "large"} {
+		for _, b := range cfg.Benchmarks {
+			size := b.SizeFor(input)
+			perfect, err := PerfectDCG(cfg, b, size)
+			if err != nil {
+				return nil, err
+			}
+			row := Table3Row{Name: b.Name, Input: input}
+
+			measure := func(pc profiler.Config) (AccuracyResult, error) {
+				return MeasureCBS(cfg, b, size, pc, perfect)
+			}
+			r, err := measure(profiler.TimerOnly(profiler.FlavourRVM))
+			if err != nil {
+				return nil, err
+			}
+			row.RVMBaseOverhead, row.RVMBaseAccuracy = r.OverheadPct, r.Accuracy
+
+			r, err = measure(profiler.Config{Stride: params.RVMStride, SamplesPerTick: params.RVMSamples, Flavour: profiler.FlavourRVM})
+			if err != nil {
+				return nil, err
+			}
+			row.RVMCBSOverhead, row.RVMCBSAccuracy = r.OverheadPct, r.Accuracy
+
+			r, err = measure(profiler.TimerOnly(profiler.FlavourJ9))
+			if err != nil {
+				return nil, err
+			}
+			row.J9BaseOverhead, row.J9BaseAccuracy = r.OverheadPct, r.Accuracy
+
+			r, err = measure(profiler.Config{Stride: params.J9Stride, SamplesPerTick: params.J9Samples, Flavour: profiler.FlavourJ9})
+			if err != nil {
+				return nil, err
+			}
+			row.J9CBSOverhead, row.J9CBSAccuracy = r.OverheadPct, r.Accuracy
+
+			rows = append(rows, row)
+		}
+	}
+	return rows, nil
+}
+
+// FormatTable3 renders the breakdown with per-size averages.
+func FormatTable3(rows []Table3Row, params Table3CBSParams) string {
+	var sb strings.Builder
+	sb.WriteString("Table 3: Overhead and accuracy breakdown (overhead% / accuracy)\n")
+	fmt.Fprintf(&sb, "%-18s | %-27s | %-27s\n", "", "Jikes RVM flavour", "J9 flavour")
+	fmt.Fprintf(&sb, "%-18s | %-13s %-13s | %-13s %-13s\n", "Benchmark",
+		"base",
+		fmt.Sprintf("s=%d/n=%d", params.RVMStride, params.RVMSamples),
+		"base",
+		fmt.Sprintf("s=%d/n=%d", params.J9Stride, params.J9Samples))
+	sb.WriteString(strings.Repeat("-", 80) + "\n")
+
+	writeAvg := func(input string) {
+		var rb, ra, cb, ca, jb, ja, jcb, jca []float64
+		for _, r := range rows {
+			if r.Input != input {
+				continue
+			}
+			rb = append(rb, r.RVMBaseOverhead)
+			ra = append(ra, r.RVMBaseAccuracy)
+			cb = append(cb, r.RVMCBSOverhead)
+			ca = append(ca, r.RVMCBSAccuracy)
+			jb = append(jb, r.J9BaseOverhead)
+			ja = append(ja, r.J9BaseAccuracy)
+			jcb = append(jcb, r.J9CBSOverhead)
+			jca = append(jca, r.J9CBSAccuracy)
+		}
+		fmt.Fprintf(&sb, "%-18s | %5.2f /%5.1f  %5.2f /%5.1f | %5.2f /%5.1f  %5.2f /%5.1f\n",
+			"Average "+input,
+			stats.Mean(rb), stats.Mean(ra), stats.Mean(cb), stats.Mean(ca),
+			stats.Mean(jb), stats.Mean(ja), stats.Mean(jcb), stats.Mean(jca))
+	}
+
+	lastInput := ""
+	for _, r := range rows {
+		if lastInput != "" && r.Input != lastInput {
+			writeAvg(lastInput)
+			sb.WriteString(strings.Repeat("-", 80) + "\n")
+		}
+		lastInput = r.Input
+		fmt.Fprintf(&sb, "%-18s | %5.2f /%5.1f  %5.2f /%5.1f | %5.2f /%5.1f  %5.2f /%5.1f\n",
+			r.Name+"-"+r.Input,
+			r.RVMBaseOverhead, r.RVMBaseAccuracy, r.RVMCBSOverhead, r.RVMCBSAccuracy,
+			r.J9BaseOverhead, r.J9BaseAccuracy, r.J9CBSOverhead, r.J9CBSAccuracy)
+	}
+	if lastInput != "" {
+		writeAvg(lastInput)
+	}
+	return sb.String()
+}

@@ -1,0 +1,167 @@
+package inline
+
+import (
+	"gocbs/internal/bytecode"
+	"gocbs/internal/profile"
+)
+
+// Policy decides which call sites of a method to inline, given a
+// dynamic call graph (which may be nil or empty for purely static
+// heuristics).
+type Policy interface {
+	Name() string
+	Plan(prog *bytecode.Program, m *bytecode.Method, g *profile.DCG) []Decision
+}
+
+// Options bounds the optimizer.
+type Options struct {
+	// MaxDepth is how many plan/apply rounds run per method, enabling
+	// nested inlining (a callee's calls become candidates once it has
+	// been spliced in).
+	MaxDepth int
+	// MaxMethodSize stops growth: no decision is applied that would
+	// push the method past this many instructions. This is the paper's
+	// "bounded by a maximum allowable size to avoid observed
+	// performance degradations when inlining truly massive methods".
+	MaxMethodSize int
+}
+
+// DefaultOptions returns the optimizer bounds used by the experiments.
+func DefaultOptions() Options {
+	return Options{MaxDepth: 3, MaxMethodSize: 400}
+}
+
+// Report summarizes one optimization pass.
+type Report struct {
+	MethodsOptimized int
+	InlinesApplied   int
+	GuardedInlines   int
+	TotalCodeSize    int // final instruction count across optimized methods
+}
+
+// Optimize applies policy to every non-trivial method of prog,
+// in-place, and returns a report. Trivial methods keep their bodies
+// (they are inlined into callers, and calling them is already cheap).
+func Optimize(prog *bytecode.Program, policy Policy, g *profile.DCG, opts Options) (Report, error) {
+	var rep Report
+	for _, m := range prog.Methods {
+		n, guarded, err := OptimizeMethod(prog, policy, g, m, opts)
+		if err != nil {
+			return rep, err
+		}
+		if n > 0 {
+			rep.MethodsOptimized++
+			rep.InlinesApplied += n
+			rep.GuardedInlines += guarded
+		}
+		rep.TotalCodeSize += len(m.Code)
+	}
+	return rep, nil
+}
+
+// OptimizeMethod runs plan/apply rounds on one method and returns how
+// many inlines (total, guarded) were applied.
+//
+// A site that was guard-inlined in an earlier round is never guarded
+// again: the surviving call at that site is the guard's *fallback*,
+// which only executes when the guard has already failed, so re-inlining
+// it with the same guard would be a pure pessimization.
+func OptimizeMethod(prog *bytecode.Program, policy Policy, g *profile.DCG, m *bytecode.Method, opts Options) (int, int, error) {
+	total, guarded := 0, 0
+	guardedSites := map[int]bool{}
+	siteOf := func(pc int) int { return int(m.Code[pc].B) }
+	for depth := 0; depth < opts.MaxDepth; depth++ {
+		plan := policy.Plan(prog, m, g)
+		kept := plan[:0]
+		for _, d := range plan {
+			if (d.Guarded || d.NullGuard) && guardedSites[siteOf(d.PC)] {
+				continue
+			}
+			kept = append(kept, d)
+		}
+		plan = boundPlan(m, kept, opts.MaxMethodSize)
+		if len(plan) == 0 {
+			break
+		}
+		for _, d := range plan {
+			if d.Guarded || d.NullGuard {
+				guardedSites[siteOf(d.PC)] = true
+			}
+		}
+		if err := Apply(prog, m, plan); err != nil {
+			return total, guarded, err
+		}
+		total += len(plan)
+		for _, d := range plan {
+			if d.Guarded || d.NullGuard {
+				guarded++
+			}
+		}
+	}
+	return total, guarded, nil
+}
+
+// boundPlan drops decisions (lowest priority last) that would grow the
+// method past the size cap; decisions are assumed ordered by priority.
+func boundPlan(m *bytecode.Method, plan []Decision, maxSize int) []Decision {
+	size := len(m.Code)
+	var kept []Decision
+	for _, d := range plan {
+		cost := len(d.Target.Code) + d.Target.NArgs + 4 // body + stores + guard slop
+		if size+cost > maxSize {
+			continue
+		}
+		if d.Target == m {
+			continue
+		}
+		size += cost
+		kept = append(kept, d)
+	}
+	return kept
+}
+
+// guardBreakeven returns the minimum dominant-target share (0–100) at
+// which a method-test-guarded inline breaks even under the default
+// cost model. The guard's fast path saves the call instruction (2),
+// dispatch (4), and call overhead (11) but pays the argument stores
+// (nargs), the receiver reload + method test + branch (5); the slow
+// path pays the stores, the guard, and the argument reloads on top of
+// the full dispatch (2·nargs + 5 extra). Solving
+// share·win = (1−share)·loss gives the threshold; a 5-point safety
+// margin keeps marginal sites out (the paper's production inliners
+// embed the same economics in their tuned thresholds).
+func guardBreakeven(nargs int) float64 {
+	win := 12 - nargs
+	if win <= 0 {
+		return 200 // arity so high the guard can never pay off
+	}
+	loss := 2*nargs + 5
+	return float64(loss)/float64(loss+win)*100 + 5
+}
+
+// guardShareOK applies both the policy's distribution rule (the
+// paper's 40% cutoff) and the cost model's break-even share.
+func guardShareOK(policyShare, share float64, target *bytecode.Method) bool {
+	if share <= policyShare {
+		return false
+	}
+	return share >= guardBreakeven(target.NArgs)
+}
+
+// dominantTarget returns the heaviest callee at a site and its share
+// (0–100) of the site's samples; ok is false when the site is absent
+// from the profile.
+func dominantTarget(prog *bytecode.Program, g *profile.DCG, site int) (m *bytecode.Method, share float64, ok bool) {
+	if g == nil {
+		return nil, 0, false
+	}
+	dist := g.SiteDistribution(site)
+	if len(dist) == 0 {
+		return nil, 0, false
+	}
+	top := dist[0]
+	if top.Callee < 0 || top.Callee >= len(prog.Methods) {
+		return nil, 0, false
+	}
+	return prog.Methods[top.Callee], top.Percent, true
+}

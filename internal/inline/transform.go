@@ -1,0 +1,250 @@
+// Package inline implements the client optimization of the paper:
+// profile-directed method inlining. It contains a bytecode inlining
+// transformer (callee splicing with local remapping, constant-pool
+// merging, return rewriting, and guarded inlining of virtual calls via
+// exact-class tests with a fallback dispatch) and the inlining policies
+// evaluated in §5: the old conservative Jikes RVM inliner, the paper's
+// new linear-threshold inliner, and J9's static and dynamic heuristics.
+package inline
+
+import (
+	"fmt"
+
+	"gocbs/internal/bytecode"
+)
+
+// Decision is one inlining action: replace the call at PC in a method
+// with Target's body. For virtual calls Guarded must be set: a
+// method-test guard compares the receiver's vtable entry against
+// Target (so receivers of any class that resolves the slot to Target
+// take the fast path, including subclasses that merely inherit it);
+// all other receivers fall back to the original virtual dispatch. For
+// CHA-proven monomorphic virtual calls NullGuard substitutes a cheaper
+// nil test for the method test.
+type Decision struct {
+	PC        int
+	Target    *bytecode.Method
+	Guarded   bool
+	NullGuard bool
+}
+
+// Apply rewrites m by inlining each decision. Decisions must refer to
+// call instructions in m's *current* code; Apply sorts and applies
+// them highest-PC-first so earlier offsets stay valid. The rewritten
+// method is re-verified before Apply returns.
+func Apply(prog *bytecode.Program, m *bytecode.Method, ds []Decision) error {
+	if len(ds) == 0 {
+		return nil
+	}
+	// Sort descending by PC (insertion sort; decision lists are short).
+	sorted := append([]Decision(nil), ds...)
+	for i := 1; i < len(sorted); i++ {
+		for j := i; j > 0 && sorted[j].PC > sorted[j-1].PC; j-- {
+			sorted[j], sorted[j-1] = sorted[j-1], sorted[j]
+		}
+	}
+	for i := 1; i < len(sorted); i++ {
+		if sorted[i].PC == sorted[i-1].PC {
+			return fmt.Errorf("inline %s: duplicate decision at pc %d", m.Name, sorted[i].PC)
+		}
+	}
+	for _, d := range sorted {
+		if err := splice(m, d); err != nil {
+			return fmt.Errorf("inline %s at pc %d: %w", m.Name, d.PC, err)
+		}
+	}
+	m.Size = len(m.Code)
+	m.Trivial = false
+	if err := bytecode.Verify(prog, m); err != nil {
+		return fmt.Errorf("inline %s: rewritten method fails verification: %w", m.Name, err)
+	}
+	return nil
+}
+
+// splice replaces the single call at d.PC with the callee body.
+//
+// Replacement layout (guarded case):
+//
+//	stores:   Store argN-1 … Store arg0      (args into fresh locals)
+//	guard:    Load recv; VTEq target; JumpZ fallback
+//	body:     callee code with locals/consts remapped, returns
+//	          rewritten to jumps to end
+//	fallback: Load arg0 … Load argN-1; <original call instruction>
+//	end:
+//
+// Both the inlined path and the fallback leave exactly one value on
+// the stack, so stack depths agree at end and the verifier is happy.
+func splice(m *bytecode.Method, d Decision) error {
+	if d.PC < 0 || d.PC >= len(m.Code) {
+		return fmt.Errorf("pc %d out of range [0,%d)", d.PC, len(m.Code))
+	}
+	ins := m.Code[d.PC]
+	callee := d.Target
+	switch ins.Op {
+	case bytecode.OpCallStatic:
+		if d.Guarded || d.NullGuard {
+			return fmt.Errorf("static call cannot be guard-inlined")
+		}
+	case bytecode.OpCallVirtual:
+		if !d.Guarded && !d.NullGuard {
+			return fmt.Errorf("virtual call requires a guard")
+		}
+		if d.Guarded && d.Target.VSlot < 0 {
+			return fmt.Errorf("guarded decision targets non-virtual method %s", d.Target.Name)
+		}
+	default:
+		return fmt.Errorf("pc %d holds %v, not a call", d.PC, ins.Op)
+	}
+	if callee == m {
+		return fmt.Errorf("refusing to inline %s into itself", m.Name)
+	}
+
+	nargs := callee.NArgs
+	base := m.NLocals
+	m.NLocals += callee.NLocals
+	constBase := len(m.Consts)
+	m.Consts = append(m.Consts, callee.Consts...)
+
+	// Pre-compute the new offset of every callee pc (OpReturnVoid
+	// expands to two instructions).
+	offsets := make([]int, len(callee.Code)+1)
+	cur := 0
+	for i, ci := range callee.Code {
+		offsets[i] = cur
+		if ci.Op == bytecode.OpReturnVoid {
+			cur += 2
+		} else {
+			cur += 1
+		}
+	}
+	offsets[len(callee.Code)] = cur
+	bodyLen := cur
+
+	// Prefix: stores, then optional guard.
+	var rep []bytecode.Instr
+	for i := nargs - 1; i >= 0; i-- {
+		rep = append(rep, bytecode.Instr{Op: bytecode.OpStore, A: int32(base + i)})
+	}
+	guarded := d.Guarded || d.NullGuard
+	if guarded {
+		rep = append(rep, bytecode.Instr{Op: bytecode.OpLoad, A: int32(base)})
+		if d.NullGuard {
+			// Monomorphic: only a nil receiver must take the fallback
+			// (which re-executes the dispatch and traps).
+			rep = append(rep, bytecode.Instr{Op: bytecode.OpIsNull})
+			rep = append(rep, bytecode.Instr{Op: bytecode.OpJumpNZ, A: -1}) // patched to fallback
+		} else {
+			rep = append(rep, bytecode.Instr{Op: bytecode.OpVTEq, A: bytecode.EncodeVTEq(d.Target.VSlot, d.Target.ID)})
+			rep = append(rep, bytecode.Instr{Op: bytecode.OpJumpZ, A: -1}) // patched to fallback
+		}
+	}
+	prefixLen := len(rep)
+	guardBranchIdx := prefixLen - 1 // only meaningful when guarded
+
+	fallbackLen := 0
+	if guarded {
+		fallbackLen = nargs + 1
+	}
+	fallbackStart := prefixLen + bodyLen
+	end := fallbackStart + fallbackLen
+
+	// Body: remap locals, consts, branches; rewrite returns.
+	for _, ci := range callee.Code {
+		switch ci.Op {
+		case bytecode.OpLoad, bytecode.OpStore:
+			rep = append(rep, bytecode.Instr{Op: ci.Op, A: ci.A + int32(base)})
+		case bytecode.OpConstL:
+			rep = append(rep, bytecode.Instr{Op: ci.Op, A: ci.A + int32(constBase)})
+		case bytecode.OpJump, bytecode.OpJumpZ, bytecode.OpJumpNZ:
+			rep = append(rep, bytecode.Instr{Op: ci.Op, A: int32(prefixLen + offsets[ci.A]), B: ci.B})
+		case bytecode.OpReturn:
+			rep = append(rep, bytecode.Instr{Op: bytecode.OpJump, A: int32(end)})
+		case bytecode.OpReturnVoid:
+			rep = append(rep, bytecode.Instr{Op: bytecode.OpConst, A: 0})
+			rep = append(rep, bytecode.Instr{Op: bytecode.OpJump, A: int32(end)})
+		default:
+			rep = append(rep, ci)
+		}
+	}
+
+	// Fallback: reload args and re-execute the original dispatch.
+	if guarded {
+		rep[guardBranchIdx].A = int32(fallbackStart)
+		for i := 0; i < nargs; i++ {
+			rep = append(rep, bytecode.Instr{Op: bytecode.OpLoad, A: int32(base + i)})
+		}
+		rep = append(rep, ins) // original call, same call-site ID
+	}
+
+	if len(rep) != end {
+		return fmt.Errorf("internal: replacement length %d != computed %d", len(rep), end)
+	}
+
+	// Rebase replacement-relative branch targets to absolute pcs and
+	// stitch the new code together, fixing caller branches that cross
+	// the splice point.
+	delta := len(rep) - 1
+	for i := range rep {
+		if rep[i].Op.IsBranch() {
+			rep[i].A += int32(d.PC)
+		}
+	}
+	newCode := make([]bytecode.Instr, 0, len(m.Code)+delta)
+	newCode = append(newCode, m.Code[:d.PC]...)
+	newCode = append(newCode, rep...)
+	newCode = append(newCode, m.Code[d.PC+1:]...)
+	for i := range newCode {
+		inReplacement := i >= d.PC && i < d.PC+len(rep)
+		if !inReplacement && newCode[i].Op.IsBranch() && int(newCode[i].A) > d.PC {
+			newCode[i].A += int32(delta)
+		}
+	}
+	m.Code = newCode
+	return nil
+}
+
+// CallSite describes one call instruction found in a method body.
+type CallSite struct {
+	PC     int
+	Op     bytecode.Opcode
+	Site   int              // global call-site ID
+	Static *bytecode.Method // target for static calls
+	Slot   int              // vtable slot for virtual calls
+	NArgs  int
+}
+
+// ScanCalls lists the call instructions in m.
+func ScanCalls(prog *bytecode.Program, m *bytecode.Method) []CallSite {
+	var out []CallSite
+	for pc, ins := range m.Code {
+		switch ins.Op {
+		case bytecode.OpCallStatic:
+			out = append(out, CallSite{
+				PC: pc, Op: ins.Op, Site: int(ins.B),
+				Static: prog.Methods[ins.A],
+			})
+		case bytecode.OpCallVirtual:
+			slot, nargs := bytecode.DecodeVirtual(ins.A)
+			out = append(out, CallSite{
+				PC: pc, Op: ins.Op, Site: int(ins.B), Slot: slot, NArgs: nargs,
+			})
+		}
+	}
+	return out
+}
+
+// Implementations returns the distinct methods that could answer a
+// virtual call on slot, by scanning every class vtable (class
+// hierarchy analysis). The result conservatively unions hierarchies
+// that happen to share slot numbers.
+func Implementations(prog *bytecode.Program, slot int) []*bytecode.Method {
+	seen := map[*bytecode.Method]bool{}
+	var out []*bytecode.Method
+	for _, c := range prog.Classes {
+		if slot < len(c.VTable) && c.VTable[slot] != nil && !seen[c.VTable[slot]] {
+			seen[c.VTable[slot]] = true
+			out = append(out, c.VTable[slot])
+		}
+	}
+	return out
+}

@@ -1,0 +1,338 @@
+package mj
+
+// TypeExpr is a syntactic type: a base name ("int", "boolean", "void",
+// or a class name) plus array dimensions.
+type TypeExpr struct {
+	Name string
+	Dims int
+	Pos  Pos
+}
+
+// Program is a parsed MJ compilation unit.
+type Program struct {
+	Classes []*ClassDecl
+	Funcs   []*MethodDecl // free functions
+	Globals []*GlobalDecl
+}
+
+// ClassDecl is a class declaration.
+type ClassDecl struct {
+	Name      string
+	SuperName string // "" for root classes
+	Fields    []*FieldDecl
+	Methods   []*MethodDecl
+	Ctors     []*MethodDecl
+	Pos       Pos
+
+	// Resolved by the checker.
+	Super *ClassDecl
+}
+
+// HasAncestor reports whether c is d or inherits from d.
+func (c *ClassDecl) HasAncestor(d *ClassDecl) bool {
+	for x := c; x != nil; x = x.Super {
+		if x == d {
+			return true
+		}
+	}
+	return false
+}
+
+// FieldDecl is an instance field.
+type FieldDecl struct {
+	TypeExpr TypeExpr
+	Name     string
+	Pos      Pos
+
+	// Resolved by the checker.
+	Type  Type
+	Owner *ClassDecl
+}
+
+// Param is a function/method parameter.
+type Param struct {
+	TypeExpr TypeExpr
+	Name     string
+	Pos      Pos
+
+	Type Type // resolved
+}
+
+// MethodDecl is a method, constructor, or free function.
+type MethodDecl struct {
+	Name    string
+	Static  bool // true for static methods and free functions
+	IsCtor  bool
+	RetType TypeExpr
+	Params  []*Param
+	Body    *Block
+	Pos     Pos
+
+	// Resolved by the checker.
+	Ret       Type
+	Owner     *ClassDecl // nil for free functions
+	Overrides *MethodDecl
+	NumLocals int // local slots assigned during checking
+}
+
+// QualifiedName returns the linker-visible name of the method.
+func (m *MethodDecl) QualifiedName() string {
+	if m.Owner == nil {
+		return "$Globals." + m.Name
+	}
+	return m.Owner.Name + "." + m.Name
+}
+
+// GlobalDecl is a module-level variable with an optional constant
+// integer initializer.
+type GlobalDecl struct {
+	TypeExpr TypeExpr
+	Name     string
+	Init     *int64
+	Pos      Pos
+
+	Type Type // resolved
+	Slot int
+}
+
+// Stmt is implemented by all statement nodes.
+type Stmt interface{ stmtNode() }
+
+// Block is a brace-enclosed statement list with its own scope.
+type Block struct{ Stmts []Stmt }
+
+// VarDeclStmt declares a local variable.
+type VarDeclStmt struct {
+	TypeExpr TypeExpr
+	Name     string
+	Init     Expr // may be nil (zero/null initialized)
+	Pos      Pos
+
+	Type Type // resolved
+	Slot int
+}
+
+// AssignStmt stores RHS into an lvalue (identifier, field, or element).
+type AssignStmt struct {
+	LHS, RHS Expr
+	Pos      Pos
+}
+
+// ExprStmt evaluates an expression for its side effects (a call).
+type ExprStmt struct{ E Expr }
+
+// IfStmt is a conditional with optional else.
+type IfStmt struct {
+	Cond       Expr
+	Then, Else Stmt // Else may be nil
+	Pos        Pos
+}
+
+// WhileStmt is a while loop.
+type WhileStmt struct {
+	Cond Expr
+	Body Stmt
+	Pos  Pos
+}
+
+// ForStmt is a C-style for loop; any of Init/Cond/Post may be nil.
+type ForStmt struct {
+	Init Stmt
+	Cond Expr
+	Post Stmt
+	Body Stmt
+	Pos  Pos
+}
+
+// ReturnStmt returns from the enclosing function.
+type ReturnStmt struct {
+	E   Expr // nil for void returns
+	Pos Pos
+}
+
+// BreakStmt exits the innermost loop.
+type BreakStmt struct{ Pos Pos }
+
+// ContinueStmt jumps to the innermost loop's next iteration.
+type ContinueStmt struct{ Pos Pos }
+
+// PrintStmt is the built-in print(expr) statement.
+type PrintStmt struct {
+	E   Expr
+	Pos Pos
+}
+
+// SuperCallStmt is an explicit superclass constructor call, legal only
+// as a statement inside a constructor.
+type SuperCallStmt struct {
+	Args []Expr
+	Pos  Pos
+
+	Target *MethodDecl // resolved
+}
+
+func (*Block) stmtNode()         {}
+func (*VarDeclStmt) stmtNode()   {}
+func (*AssignStmt) stmtNode()    {}
+func (*ExprStmt) stmtNode()      {}
+func (*IfStmt) stmtNode()        {}
+func (*WhileStmt) stmtNode()     {}
+func (*ForStmt) stmtNode()       {}
+func (*ReturnStmt) stmtNode()    {}
+func (*BreakStmt) stmtNode()     {}
+func (*ContinueStmt) stmtNode()  {}
+func (*PrintStmt) stmtNode()     {}
+func (*SuperCallStmt) stmtNode() {}
+
+// Expr is implemented by all expression nodes. TypeOf returns the type
+// assigned by the checker (nil before checking).
+type Expr interface {
+	exprNode()
+	TypeOf() Type
+	Position() Pos
+}
+
+type exprBase struct {
+	T   Type
+	Pos Pos
+}
+
+func (b *exprBase) exprNode()     {}
+func (b *exprBase) TypeOf() Type  { return b.T }
+func (b *exprBase) Position() Pos { return b.Pos }
+
+// IntLit is an integer literal.
+type IntLit struct {
+	exprBase
+	V int64
+}
+
+// BoolLit is true or false.
+type BoolLit struct {
+	exprBase
+	V bool
+}
+
+// NullLit is the null literal.
+type NullLit struct{ exprBase }
+
+// ThisExpr is the receiver reference.
+type ThisExpr struct{ exprBase }
+
+// IdentKind records what an identifier resolved to.
+type IdentKind uint8
+
+// Identifier resolutions.
+const (
+	IdentUnresolved IdentKind = iota
+	IdentLocal
+	IdentGlobal
+	IdentField // implicit this.field
+)
+
+// Ident is a bare identifier: a local, a global, or an implicit-this
+// field access.
+type Ident struct {
+	exprBase
+	Name string
+
+	Kind  IdentKind
+	Slot  int        // local or global slot
+	Field *FieldDecl // for IdentField
+}
+
+// Unary is !x or -x.
+type Unary struct {
+	exprBase
+	Op Kind // TokBang or TokMinus
+	X  Expr
+}
+
+// Binary is a binary operator application, including && and || (which
+// short-circuit) but not instanceof.
+type Binary struct {
+	exprBase
+	Op   Kind
+	X, Y Expr
+}
+
+// InstanceOf is "x instanceof T".
+type InstanceOf struct {
+	exprBase
+	X        Expr
+	TypeName string
+	TPos     Pos
+
+	Class *ClassDecl // resolved
+}
+
+// Cast is "(T)x", a checked downcast or upcast between class types.
+type Cast struct {
+	exprBase
+	TypeExpr TypeExpr
+	X        Expr
+
+	Class *ClassDecl // resolved (nil for array-typed casts, which are unchecked)
+}
+
+// Index is arr[i].
+type Index struct {
+	exprBase
+	Arr, Idx Expr
+}
+
+// FieldAccess is expr.name used as a value. The special name
+// "length" on an array-typed expression reads the array length.
+type FieldAccess struct {
+	exprBase
+	X    Expr
+	Name string
+
+	Field      *FieldDecl // resolved
+	IsArrayLen bool
+}
+
+// CallKind records how a call site was resolved.
+type CallKind uint8
+
+// Call resolutions.
+const (
+	CallUnresolved CallKind = iota
+	CallFree                // free function
+	CallStaticM             // static method Class.m(...)
+	CallVirtual             // expr.m(...) or implicit this.m(...)
+)
+
+// Call is any call expression. For bare calls Recv is nil; the checker
+// resolves the name against the enclosing class, then free functions.
+// For expr.m(...) the checker resolves against expr's static class; a
+// bare identifier receiver that names a class becomes a static call.
+type Call struct {
+	exprBase
+	Recv Expr // nil for bare f(...)
+	Name string
+	Args []Expr
+
+	Kind         CallKind
+	Target       *MethodDecl // resolved declaration (for virtual: the statically visible one)
+	RecvClass    *ClassDecl  // virtual: static receiver class; static: owning class
+	ImplicitThis bool        // virtual call on the enclosing method's receiver
+}
+
+// NewObject is "new T(args)".
+type NewObject struct {
+	exprBase
+	TypeName string
+	Args     []Expr
+
+	Class *ClassDecl  // resolved
+	Ctor  *MethodDecl // nil when T declares no constructor and args are empty
+}
+
+// NewArray is "new T[len]" possibly with trailing "[]" dims:
+// new int[n], new Shape[n], new int[n][].
+type NewArray struct {
+	exprBase
+	Elem TypeExpr // element type (trailing dims folded in)
+	Len  Expr
+}

@@ -1,0 +1,781 @@
+package mj
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Check resolves names and types across the program, annotating the
+// AST in place. It returns an error describing every problem found
+// (one per line) or nil if the program is well-typed.
+func Check(prog *Program) error {
+	c := &checker{
+		prog:    prog,
+		classes: map[string]*ClassDecl{},
+		funcs:   map[string]*MethodDecl{},
+		globals: map[string]*GlobalDecl{},
+	}
+	c.collect()
+	if len(c.errs) == 0 {
+		c.checkSignatures()
+	}
+	if len(c.errs) == 0 {
+		c.checkBodies()
+	}
+	if len(c.errs) > 0 {
+		msgs := make([]string, len(c.errs))
+		for i, e := range c.errs {
+			msgs[i] = e.Error()
+		}
+		return fmt.Errorf("%s", strings.Join(msgs, "\n"))
+	}
+	return nil
+}
+
+type localVar struct {
+	slot int
+	typ  Type
+}
+
+type checker struct {
+	prog    *Program
+	classes map[string]*ClassDecl
+	funcs   map[string]*MethodDecl
+	globals map[string]*GlobalDecl
+	errs    []error
+
+	// Per-function state.
+	cur       *MethodDecl
+	scopes    []map[string]*localVar
+	nextSlot  int
+	loopDepth int
+}
+
+func (c *checker) errorf(pos Pos, format string, args ...any) {
+	c.errs = append(c.errs, fmt.Errorf("%s: %s", pos, fmt.Sprintf(format, args...)))
+}
+
+// collect builds the top-level symbol tables and resolves the class
+// hierarchy.
+func (c *checker) collect() {
+	for _, cd := range c.prog.Classes {
+		if _, dup := c.classes[cd.Name]; dup {
+			c.errorf(cd.Pos, "class %s redeclared", cd.Name)
+			continue
+		}
+		c.classes[cd.Name] = cd
+	}
+	for _, cd := range c.prog.Classes {
+		if cd.SuperName == "" {
+			continue
+		}
+		sup, ok := c.classes[cd.SuperName]
+		if !ok {
+			c.errorf(cd.Pos, "class %s extends unknown class %s", cd.Name, cd.SuperName)
+			continue
+		}
+		if sup == cd {
+			c.errorf(cd.Pos, "class %s extends itself", cd.Name)
+			continue
+		}
+		cd.Super = sup
+	}
+	// Cycle detection.
+	for _, cd := range c.prog.Classes {
+		slow, fast := cd, cd.Super
+		for fast != nil && fast.Super != nil {
+			if slow == fast {
+				c.errorf(cd.Pos, "inheritance cycle involving class %s", cd.Name)
+				cd.Super = nil
+				break
+			}
+			slow, fast = slow.Super, fast.Super.Super
+		}
+	}
+	for _, fn := range c.prog.Funcs {
+		if _, dup := c.funcs[fn.Name]; dup {
+			c.errorf(fn.Pos, "function %s redeclared", fn.Name)
+			continue
+		}
+		c.funcs[fn.Name] = fn
+	}
+	for i, g := range c.prog.Globals {
+		if _, dup := c.globals[g.Name]; dup {
+			c.errorf(g.Pos, "global %s redeclared", g.Name)
+			continue
+		}
+		g.Slot = i
+		c.globals[g.Name] = g
+	}
+}
+
+// resolveType converts a TypeExpr to a semantic type.
+func (c *checker) resolveType(te TypeExpr) Type {
+	var base Type
+	switch te.Name {
+	case "int":
+		base = PrimType(TypeInt)
+	case "boolean":
+		base = PrimType(TypeBool)
+	case "void":
+		if te.Dims > 0 {
+			c.errorf(te.Pos, "void cannot be an array element type")
+			return PrimType(TypeVoid)
+		}
+		return PrimType(TypeVoid)
+	default:
+		cd, ok := c.classes[te.Name]
+		if !ok {
+			c.errorf(te.Pos, "unknown type %s", te.Name)
+			return PrimType(TypeInt) // recover
+		}
+		base = &ClassType{Decl: cd}
+	}
+	for i := 0; i < te.Dims; i++ {
+		base = &ArrayType{Elem: base}
+	}
+	return base
+}
+
+// lookupField finds a field on cd's chain.
+func lookupField(cd *ClassDecl, name string) *FieldDecl {
+	for x := cd; x != nil; x = x.Super {
+		for _, f := range x.Fields {
+			if f.Name == name {
+				return f
+			}
+		}
+	}
+	return nil
+}
+
+// lookupMethod finds a method (not a constructor) on cd's chain.
+func lookupMethod(cd *ClassDecl, name string) *MethodDecl {
+	for x := cd; x != nil; x = x.Super {
+		for _, m := range x.Methods {
+			if m.Name == name {
+				return m
+			}
+		}
+	}
+	return nil
+}
+
+// checkSignatures resolves every declared type and validates the class
+// structure: fields, overriding, constructors.
+func (c *checker) checkSignatures() {
+	for _, g := range c.prog.Globals {
+		g.Type = c.resolveType(g.TypeExpr)
+		if g.Type == PrimType(TypeVoid) {
+			c.errorf(g.Pos, "global %s cannot have type void", g.Name)
+		}
+		if g.Init != nil && !sameType(g.Type, PrimType(TypeInt)) {
+			c.errorf(g.Pos, "only int globals may have initializers")
+		}
+	}
+	resolveSig := func(m *MethodDecl, owner *ClassDecl) {
+		m.Owner = owner
+		m.Ret = c.resolveType(m.RetType)
+		seen := map[string]bool{}
+		for _, p := range m.Params {
+			p.Type = c.resolveType(p.TypeExpr)
+			if seen[p.Name] {
+				c.errorf(p.Pos, "duplicate parameter %s", p.Name)
+			}
+			seen[p.Name] = true
+		}
+	}
+	for _, fn := range c.prog.Funcs {
+		resolveSig(fn, nil)
+	}
+	for _, cd := range c.prog.Classes {
+		for _, f := range cd.Fields {
+			f.Owner = cd
+			f.Type = c.resolveType(f.TypeExpr)
+			if cd.Super != nil {
+				if prev := lookupField(cd.Super, f.Name); prev != nil {
+					c.errorf(f.Pos, "field %s.%s shadows inherited field from %s", cd.Name, f.Name, prev.Owner.Name)
+				}
+			}
+		}
+		seenField := map[string]bool{}
+		for _, f := range cd.Fields {
+			if seenField[f.Name] {
+				c.errorf(f.Pos, "field %s redeclared in class %s", f.Name, cd.Name)
+			}
+			seenField[f.Name] = true
+		}
+
+		seenMethod := map[string]bool{}
+		for _, m := range cd.Methods {
+			resolveSig(m, cd)
+			if seenMethod[m.Name] {
+				c.errorf(m.Pos, "method %s redeclared in class %s (MJ has no overloading)", m.Name, cd.Name)
+			}
+			seenMethod[m.Name] = true
+			if cd.Super != nil {
+				if prev := lookupMethod(cd.Super, m.Name); prev != nil {
+					c.checkOverride(m, prev)
+				}
+			}
+		}
+		if len(cd.Ctors) > 1 {
+			c.errorf(cd.Ctors[1].Pos, "class %s declares multiple constructors (MJ allows one)", cd.Name)
+		}
+		for _, ct := range cd.Ctors {
+			resolveSig(ct, cd)
+		}
+	}
+}
+
+// checkOverride validates that m may override prev.
+func (c *checker) checkOverride(m, prev *MethodDecl) {
+	if m.Static || prev.Static {
+		c.errorf(m.Pos, "%s: static/virtual mismatch with %s", m.QualifiedName(), prev.QualifiedName())
+		return
+	}
+	if len(m.Params) != len(prev.Params) {
+		c.errorf(m.Pos, "%s overrides %s with different parameter count", m.QualifiedName(), prev.QualifiedName())
+		return
+	}
+	for i := range m.Params {
+		if !sameType(m.Params[i].Type, prev.Params[i].Type) {
+			c.errorf(m.Pos, "%s overrides %s with different type for parameter %s", m.QualifiedName(), prev.QualifiedName(), m.Params[i].Name)
+		}
+	}
+	if !sameType(m.Ret, prev.Ret) {
+		c.errorf(m.Pos, "%s overrides %s with different return type", m.QualifiedName(), prev.QualifiedName())
+	}
+	m.Overrides = prev
+}
+
+// hasThis reports whether m's local 0 is a receiver.
+func hasThis(m *MethodDecl) bool { return !m.Static || m.IsCtor }
+
+func (c *checker) checkBodies() {
+	for _, fn := range c.prog.Funcs {
+		c.checkBody(fn)
+	}
+	for _, cd := range c.prog.Classes {
+		for _, m := range cd.Methods {
+			c.checkBody(m)
+		}
+		for _, ct := range cd.Ctors {
+			c.checkBody(ct)
+		}
+	}
+}
+
+func (c *checker) checkBody(m *MethodDecl) {
+	c.cur = m
+	c.scopes = []map[string]*localVar{{}}
+	c.nextSlot = 0
+	c.loopDepth = 0
+	if hasThis(m) {
+		c.nextSlot = 1 // slot 0 = this
+	}
+	for _, p := range m.Params {
+		c.declare(p.Name, p.Type, p.Pos)
+	}
+	terminates := c.checkStmt(m.Body)
+	if !sameType(m.Ret, PrimType(TypeVoid)) && !terminates {
+		c.errorf(m.Pos, "%s: missing return statement (not all paths return %s)", m.QualifiedName(), m.Ret)
+	}
+	m.NumLocals = c.nextSlot
+	c.cur = nil
+}
+
+func (c *checker) declare(name string, t Type, pos Pos) *localVar {
+	top := c.scopes[len(c.scopes)-1]
+	if _, dup := top[name]; dup {
+		c.errorf(pos, "variable %s redeclared in this scope", name)
+	}
+	lv := &localVar{slot: c.nextSlot, typ: t}
+	c.nextSlot++
+	top[name] = lv
+	return lv
+}
+
+func (c *checker) lookupLocal(name string) *localVar {
+	for i := len(c.scopes) - 1; i >= 0; i-- {
+		if lv, ok := c.scopes[i][name]; ok {
+			return lv
+		}
+	}
+	return nil
+}
+
+// checkStmt type-checks a statement and reports whether it definitely
+// terminates (returns on every path).
+func (c *checker) checkStmt(s Stmt) bool {
+	switch s := s.(type) {
+	case *Block:
+		c.scopes = append(c.scopes, map[string]*localVar{})
+		terminated := false
+		for _, st := range s.Stmts {
+			if terminated {
+				c.errorf(stmtPos(st), "unreachable statement")
+				break
+			}
+			terminated = c.checkStmt(st)
+		}
+		c.scopes = c.scopes[:len(c.scopes)-1]
+		return terminated
+
+	case *VarDeclStmt:
+		s.Type = c.resolveType(s.TypeExpr)
+		if sameType(s.Type, PrimType(TypeVoid)) {
+			c.errorf(s.Pos, "variable %s cannot have type void", s.Name)
+		}
+		if s.Init != nil {
+			it := c.checkExpr(s.Init)
+			if it != nil && !assignable(s.Type, it) {
+				c.errorf(s.Pos, "cannot initialize %s %s with %s", s.Type, s.Name, it)
+			}
+		}
+		s.Slot = c.declare(s.Name, s.Type, s.Pos).slot
+		return false
+
+	case *AssignStmt:
+		lt := c.checkExpr(s.LHS)
+		if fa, ok := s.LHS.(*FieldAccess); ok && fa.IsArrayLen {
+			c.errorf(s.Pos, "array length is read-only")
+		}
+		rt := c.checkExpr(s.RHS)
+		if lt != nil && rt != nil && !assignable(lt, rt) {
+			c.errorf(s.Pos, "cannot assign %s to %s", rt, lt)
+		}
+		return false
+
+	case *ExprStmt:
+		t := c.checkExpr(s.E)
+		if _, ok := s.E.(*Call); !ok {
+			if _, ok := s.E.(*NewObject); !ok {
+				c.errorf(s.E.Position(), "expression statement must be a call")
+			}
+		}
+		_ = t
+		return false
+
+	case *IfStmt:
+		c.requireBool(s.Cond, "if condition")
+		t1 := c.checkStmt(s.Then)
+		t2 := false
+		if s.Else != nil {
+			t2 = c.checkStmt(s.Else)
+		}
+		return t1 && s.Else != nil && t2
+
+	case *WhileStmt:
+		c.requireBool(s.Cond, "while condition")
+		c.loopDepth++
+		c.checkStmt(s.Body)
+		c.loopDepth--
+		return false
+
+	case *ForStmt:
+		c.scopes = append(c.scopes, map[string]*localVar{})
+		if s.Init != nil {
+			c.checkStmt(s.Init)
+		}
+		if s.Cond != nil {
+			c.requireBool(s.Cond, "for condition")
+		}
+		if s.Post != nil {
+			c.checkStmt(s.Post)
+		}
+		c.loopDepth++
+		c.checkStmt(s.Body)
+		c.loopDepth--
+		c.scopes = c.scopes[:len(c.scopes)-1]
+		return false
+
+	case *ReturnStmt:
+		if sameType(c.cur.Ret, PrimType(TypeVoid)) {
+			if s.E != nil {
+				c.errorf(s.Pos, "%s returns void; no return value allowed", c.cur.QualifiedName())
+			}
+		} else {
+			if s.E == nil {
+				c.errorf(s.Pos, "%s must return %s", c.cur.QualifiedName(), c.cur.Ret)
+			} else if t := c.checkExpr(s.E); t != nil && !assignable(c.cur.Ret, t) {
+				c.errorf(s.Pos, "cannot return %s from %s (want %s)", t, c.cur.QualifiedName(), c.cur.Ret)
+			}
+		}
+		return true
+
+	case *BreakStmt:
+		if c.loopDepth == 0 {
+			c.errorf(s.Pos, "break outside loop")
+		}
+		return false
+
+	case *ContinueStmt:
+		if c.loopDepth == 0 {
+			c.errorf(s.Pos, "continue outside loop")
+		}
+		return false
+
+	case *PrintStmt:
+		t := c.checkExpr(s.E)
+		if t != nil && !sameType(t, PrimType(TypeInt)) && !sameType(t, PrimType(TypeBool)) {
+			c.errorf(s.Pos, "print takes int or boolean, got %s", t)
+		}
+		return false
+
+	case *SuperCallStmt:
+		if c.cur == nil || !c.cur.IsCtor {
+			c.errorf(s.Pos, "super(...) is only legal inside a constructor")
+			return false
+		}
+		owner := c.cur.Owner
+		if owner.Super == nil {
+			c.errorf(s.Pos, "class %s has no superclass", owner.Name)
+			return false
+		}
+		if len(owner.Super.Ctors) == 0 {
+			c.errorf(s.Pos, "superclass %s declares no constructor", owner.Super.Name)
+			return false
+		}
+		ctor := owner.Super.Ctors[0]
+		c.checkArgs(s.Pos, ctor, s.Args, "super constructor")
+		s.Target = ctor
+		return false
+	}
+	c.errs = append(c.errs, fmt.Errorf("internal: unknown statement %T", s))
+	return false
+}
+
+func stmtPos(s Stmt) Pos {
+	switch s := s.(type) {
+	case *VarDeclStmt:
+		return s.Pos
+	case *AssignStmt:
+		return s.Pos
+	case *ExprStmt:
+		return s.E.Position()
+	case *IfStmt:
+		return s.Pos
+	case *WhileStmt:
+		return s.Pos
+	case *ForStmt:
+		return s.Pos
+	case *ReturnStmt:
+		return s.Pos
+	case *BreakStmt:
+		return s.Pos
+	case *ContinueStmt:
+		return s.Pos
+	case *PrintStmt:
+		return s.Pos
+	case *SuperCallStmt:
+		return s.Pos
+	}
+	return Pos{}
+}
+
+func (c *checker) requireBool(e Expr, what string) {
+	t := c.checkExpr(e)
+	if t != nil && !sameType(t, PrimType(TypeBool)) {
+		c.errorf(e.Position(), "%s must be boolean, got %s", what, t)
+	}
+}
+
+func (c *checker) requireInt(e Expr, what string) {
+	t := c.checkExpr(e)
+	if t != nil && !sameType(t, PrimType(TypeInt)) {
+		c.errorf(e.Position(), "%s must be int, got %s", what, t)
+	}
+}
+
+// checkArgs validates an argument list against a callee signature.
+func (c *checker) checkArgs(pos Pos, callee *MethodDecl, args []Expr, what string) {
+	if len(args) != len(callee.Params) {
+		c.errorf(pos, "%s %s takes %d arguments, got %d", what, callee.Name, len(callee.Params), len(args))
+		// Check what we can anyway.
+	}
+	n := len(args)
+	if len(callee.Params) < n {
+		n = len(callee.Params)
+	}
+	for i := 0; i < n; i++ {
+		at := c.checkExpr(args[i])
+		if at != nil && !assignable(callee.Params[i].Type, at) {
+			c.errorf(args[i].Position(), "argument %d of %s: cannot pass %s as %s", i+1, callee.Name, at, callee.Params[i].Type)
+		}
+	}
+	for i := n; i < len(args); i++ {
+		c.checkExpr(args[i]) // still annotate extras
+	}
+}
+
+// checkExpr type-checks an expression, annotates it, and returns its
+// type (nil after an unrecoverable resolution error).
+func (c *checker) checkExpr(e Expr) Type {
+	switch e := e.(type) {
+	case *IntLit:
+		e.T = PrimType(TypeInt)
+	case *BoolLit:
+		e.T = PrimType(TypeBool)
+	case *NullLit:
+		e.T = PrimType(TypeNull)
+	case *ThisExpr:
+		if c.cur == nil || c.cur.Owner == nil || !hasThis(c.cur) {
+			c.errorf(e.Pos, "this is not available here")
+			return nil
+		}
+		e.T = &ClassType{Decl: c.cur.Owner}
+	case *Ident:
+		return c.checkIdent(e)
+	case *Unary:
+		switch e.Op {
+		case TokBang:
+			c.requireBool(e.X, "operand of !")
+			e.T = PrimType(TypeBool)
+		default:
+			c.requireInt(e.X, "operand of unary -")
+			e.T = PrimType(TypeInt)
+		}
+	case *Binary:
+		return c.checkBinary(e)
+	case *InstanceOf:
+		xt := c.checkExpr(e.X)
+		if xt != nil && !isRef(xt) {
+			c.errorf(e.Pos, "instanceof requires a reference, got %s", xt)
+		}
+		cd, ok := c.classes[e.TypeName]
+		if !ok {
+			c.errorf(e.TPos, "unknown class %s", e.TypeName)
+			return nil
+		}
+		e.Class = cd
+		e.T = PrimType(TypeBool)
+	case *Cast:
+		xt := c.checkExpr(e.X)
+		t := c.resolveType(e.TypeExpr)
+		ct, ok := t.(*ClassType)
+		if !ok {
+			c.errorf(e.Pos, "casts are only supported to class types, not %s", t)
+			return nil
+		}
+		if xt != nil {
+			if xc, ok := xt.(*ClassType); ok {
+				if !xc.Decl.HasAncestor(ct.Decl) && !ct.Decl.HasAncestor(xc.Decl) {
+					c.errorf(e.Pos, "cannot cast unrelated %s to %s", xt, t)
+				}
+			} else if xt != PrimType(TypeNull) {
+				c.errorf(e.Pos, "cannot cast %s to %s", xt, t)
+			}
+		}
+		e.Class = ct.Decl
+		e.T = t
+	case *Index:
+		at := c.checkExpr(e.Arr)
+		c.requireInt(e.Idx, "array index")
+		arr, ok := at.(*ArrayType)
+		if !ok {
+			if at != nil {
+				c.errorf(e.Pos, "indexing non-array type %s", at)
+			}
+			return nil
+		}
+		e.T = arr.Elem
+	case *FieldAccess:
+		xt := c.checkExpr(e.X)
+		if _, isArr := xt.(*ArrayType); isArr && e.Name == "length" {
+			e.IsArrayLen = true
+			e.T = PrimType(TypeInt)
+			return e.T
+		}
+		ct, ok := xt.(*ClassType)
+		if !ok {
+			if xt != nil {
+				c.errorf(e.Pos, "field access on non-object type %s", xt)
+			}
+			return nil
+		}
+		f := lookupField(ct.Decl, e.Name)
+		if f == nil {
+			c.errorf(e.Pos, "class %s has no field %s", ct.Decl.Name, e.Name)
+			return nil
+		}
+		e.Field = f
+		e.T = f.Type
+	case *Call:
+		return c.checkCall(e)
+	case *NewObject:
+		cd, ok := c.classes[e.TypeName]
+		if !ok {
+			c.errorf(e.Pos, "unknown class %s", e.TypeName)
+			return nil
+		}
+		e.Class = cd
+		if len(cd.Ctors) > 0 {
+			e.Ctor = cd.Ctors[0]
+			c.checkArgs(e.Pos, e.Ctor, e.Args, "constructor of")
+		} else if len(e.Args) > 0 {
+			c.errorf(e.Pos, "class %s declares no constructor but new was given arguments", cd.Name)
+		}
+		e.T = &ClassType{Decl: cd}
+	case *NewArray:
+		c.requireInt(e.Len, "array length")
+		elem := c.resolveType(e.Elem)
+		if sameType(elem, PrimType(TypeVoid)) {
+			c.errorf(e.Pos, "cannot create an array of void")
+			return nil
+		}
+		e.T = &ArrayType{Elem: elem}
+	default:
+		c.errs = append(c.errs, fmt.Errorf("internal: unknown expression %T", e))
+		return nil
+	}
+	return e.TypeOf()
+}
+
+func (c *checker) checkIdent(e *Ident) Type {
+	if lv := c.lookupLocal(e.Name); lv != nil {
+		e.Kind = IdentLocal
+		e.Slot = lv.slot
+		e.T = lv.typ
+		return e.T
+	}
+	if c.cur != nil && c.cur.Owner != nil && hasThis(c.cur) {
+		if f := lookupField(c.cur.Owner, e.Name); f != nil {
+			e.Kind = IdentField
+			e.Field = f
+			e.T = f.Type
+			return e.T
+		}
+	}
+	if g, ok := c.globals[e.Name]; ok {
+		e.Kind = IdentGlobal
+		e.Slot = g.Slot
+		e.T = g.Type
+		return e.T
+	}
+	c.errorf(e.Pos, "undefined: %s", e.Name)
+	return nil
+}
+
+func (c *checker) checkBinary(e *Binary) Type {
+	switch e.Op {
+	case TokAndAnd, TokOrOr:
+		c.requireBool(e.X, "operand of logical operator")
+		c.requireBool(e.Y, "operand of logical operator")
+		e.T = PrimType(TypeBool)
+	case TokEq, TokNe:
+		xt := c.checkExpr(e.X)
+		yt := c.checkExpr(e.Y)
+		if xt != nil && yt != nil && !comparableTypes(xt, yt) {
+			c.errorf(e.Pos, "cannot compare %s with %s", xt, yt)
+		}
+		e.T = PrimType(TypeBool)
+	case TokLt, TokLe, TokGt, TokGe:
+		c.requireInt(e.X, "comparison operand")
+		c.requireInt(e.Y, "comparison operand")
+		e.T = PrimType(TypeBool)
+	default: // arithmetic, bitwise, shifts
+		c.requireInt(e.X, "arithmetic operand")
+		c.requireInt(e.Y, "arithmetic operand")
+		e.T = PrimType(TypeInt)
+	}
+	return e.T
+}
+
+func (c *checker) checkCall(e *Call) Type {
+	// Case 1: bare call f(args).
+	if e.Recv == nil {
+		if c.cur != nil && c.cur.Owner != nil {
+			if m := lookupMethod(c.cur.Owner, e.Name); m != nil {
+				if m.Static {
+					e.Kind = CallStaticM
+					e.Target = m
+					e.RecvClass = m.Owner
+				} else {
+					if !hasThis(c.cur) {
+						c.errorf(e.Pos, "cannot call instance method %s from static context", e.Name)
+						return nil
+					}
+					e.Kind = CallVirtual
+					e.Target = m
+					e.RecvClass = c.cur.Owner
+					e.ImplicitThis = true
+				}
+				c.checkArgs(e.Pos, m, e.Args, "method")
+				e.T = m.Ret
+				return e.T
+			}
+		}
+		fn, ok := c.funcs[e.Name]
+		if !ok {
+			c.errorf(e.Pos, "undefined function %s", e.Name)
+			return nil
+		}
+		e.Kind = CallFree
+		e.Target = fn
+		c.checkArgs(e.Pos, fn, e.Args, "function")
+		e.T = fn.Ret
+		return e.T
+	}
+
+	// Case 2: receiver is a bare identifier naming a class -> static
+	// method call, unless a variable of that name is in scope.
+	if id, ok := e.Recv.(*Ident); ok {
+		if c.lookupLocal(id.Name) == nil && !c.identIsValue(id) {
+			if cd, ok := c.classes[id.Name]; ok {
+				m := lookupMethod(cd, e.Name)
+				if m == nil {
+					c.errorf(e.Pos, "class %s has no method %s", cd.Name, e.Name)
+					return nil
+				}
+				if !m.Static {
+					c.errorf(e.Pos, "%s.%s is an instance method; call it through an instance", cd.Name, e.Name)
+					return nil
+				}
+				e.Kind = CallStaticM
+				e.Target = m
+				e.RecvClass = cd
+				c.checkArgs(e.Pos, m, e.Args, "method")
+				e.T = m.Ret
+				return e.T
+			}
+		}
+	}
+
+	// Case 3: instance call expr.m(args).
+	xt := c.checkExpr(e.Recv)
+	ct, ok := xt.(*ClassType)
+	if !ok {
+		if xt != nil {
+			c.errorf(e.Pos, "method call on non-object type %s", xt)
+		}
+		return nil
+	}
+	m := lookupMethod(ct.Decl, e.Name)
+	if m == nil {
+		c.errorf(e.Pos, "class %s has no method %s", ct.Decl.Name, e.Name)
+		return nil
+	}
+	if m.Static {
+		c.errorf(e.Pos, "%s.%s is static; call it as %s.%s(...)", ct.Decl.Name, e.Name, m.Owner.Name, e.Name)
+		return nil
+	}
+	e.Kind = CallVirtual
+	e.Target = m
+	e.RecvClass = ct.Decl
+	c.checkArgs(e.Pos, m, e.Args, "method")
+	e.T = m.Ret
+	return e.T
+}
+
+// identIsValue reports whether a bare identifier would resolve to a
+// value (field or global) rather than being free for class-name use.
+func (c *checker) identIsValue(id *Ident) bool {
+	if c.cur != nil && c.cur.Owner != nil && hasThis(c.cur) {
+		if lookupField(c.cur.Owner, id.Name) != nil {
+			return true
+		}
+	}
+	_, ok := c.globals[id.Name]
+	return ok
+}

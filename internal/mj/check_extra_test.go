@@ -1,0 +1,245 @@
+package mj
+
+import (
+	"strings"
+	"testing"
+)
+
+// Additional front-end edge cases beyond mj_test.go.
+
+func TestElseIfChains(t *testing.T) {
+	got, _ := run(t, `
+		int classify(int x) {
+			if (x < 0) { return -1; }
+			else if (x == 0) { return 0; }
+			else if (x < 10) { return 1; }
+			else { return 2; }
+		}
+		int main() {
+			return classify(-5) * 1000 + classify(0) * 100 + classify(5) * 10 + classify(50);
+		}
+	`)
+	if got != -1000+0+10+2 {
+		t.Errorf("got %d", got)
+	}
+}
+
+func TestCtorArgMismatch(t *testing.T) {
+	mustFail(t, `
+		class C { C(int a, int b) { } }
+		int main() { C c = new C(1); return 0; }
+	`, "takes 2 arguments")
+}
+
+func TestSuperArgMismatch(t *testing.T) {
+	mustFail(t, `
+		class A { A(int x) { } }
+		class B extends A { B() { super(1, 2); } }
+		int main() { return 0; }
+	`, "takes 1 arguments")
+}
+
+func TestSuperWithoutSuperclassCtor(t *testing.T) {
+	mustFail(t, `
+		class A { }
+		class B extends A { B() { super(); } }
+		int main() { return 0; }
+	`, "declares no constructor")
+}
+
+func TestInstanceofOnInt(t *testing.T) {
+	mustFail(t, `
+		class A { }
+		int main() { int x = 3; if (x instanceof A) { return 1; } return 0; }
+	`, "requires a reference")
+}
+
+func TestPrintObjectRejected(t *testing.T) {
+	mustFail(t, `
+		class A { }
+		int main() { print(new A()); return 0; }
+	`, "print takes int or boolean")
+}
+
+func TestArrayInvariance(t *testing.T) {
+	mustFail(t, `
+		class A { }
+		class B extends A { }
+		int main() {
+			B[] bs = new B[3];
+			A[] as = bs;
+			return 0;
+		}
+	`, "cannot initialize")
+}
+
+func TestNullComparableOnlyToRefs(t *testing.T) {
+	mustFail(t, "int main() { return 1 == null; }", "cannot compare")
+}
+
+func TestUnrelatedClassComparison(t *testing.T) {
+	mustFail(t, `
+		class A { }
+		class B { }
+		int main() {
+			A a = new A();
+			B b = new B();
+			if (a == b) { return 1; }
+			return 0;
+		}
+	`, "cannot compare")
+}
+
+func TestRelatedClassComparisonOK(t *testing.T) {
+	got, _ := run(t, `
+		class A { }
+		class B extends A { }
+		int main() {
+			A a = new B();
+			B b = new B();
+			if (a == b) { return 1; }
+			a = b;
+			if (a == b) { return 2; }
+			return 0;
+		}
+	`)
+	if got != 2 {
+		t.Errorf("got %d, want 2", got)
+	}
+}
+
+func TestVoidArrayRejected(t *testing.T) {
+	mustFail(t, "int main() { void[] v = null; return 0; }", "void")
+}
+
+func TestDuplicateParams(t *testing.T) {
+	mustFail(t, "int f(int a, int a) { return a; } int main() { return 0; }", "duplicate parameter")
+}
+
+func TestGlobalRefInitializerRejected(t *testing.T) {
+	mustFail(t, `
+		class A { }
+		A g = 5;
+		int main() { return 0; }
+	`, "only int globals")
+}
+
+func TestWhileTrueNeedsTrailingReturn(t *testing.T) {
+	// The must-return analysis is conservative: while(true) does not
+	// count as terminating.
+	mustFail(t, `
+		int main() {
+			while (true) { return 1; }
+		}
+	`, "missing return")
+}
+
+func TestDeeplyNestedExpressions(t *testing.T) {
+	// Builds ((((1+1)+1)...)+1) deep enough to stress the recursive
+	// descent parser without overflowing.
+	var sb strings.Builder
+	sb.WriteString("int main() { return ")
+	depth := 500
+	for i := 0; i < depth; i++ {
+		sb.WriteString("(1 + ")
+	}
+	sb.WriteString("0")
+	for i := 0; i < depth; i++ {
+		sb.WriteString(")")
+	}
+	sb.WriteString("; }")
+	got, _ := run(t, sb.String())
+	if got != int64(depth) {
+		t.Errorf("got %d, want %d", got, depth)
+	}
+}
+
+func TestMethodCallOnCallResult(t *testing.T) {
+	got, _ := run(t, `
+		class Box {
+			int v;
+			Box(int av) { this.v = av; }
+			Box add(int d) { return new Box(v + d); }
+			int get() { return v; }
+		}
+		int main() {
+			return new Box(1).add(2).add(3).get();
+		}
+	`)
+	if got != 6 {
+		t.Errorf("chained calls = %d, want 6", got)
+	}
+}
+
+func TestStaticMethodCallsInstanceRejected(t *testing.T) {
+	mustFail(t, `
+		class A {
+			int inst() { return 1; }
+			static int st() { return inst(); }
+		}
+		int main() { return 0; }
+	`, "static context")
+}
+
+func TestInstanceMethodViaClassNameRejected(t *testing.T) {
+	mustFail(t, `
+		class A { int f() { return 1; } }
+		int main() { return A.f(); }
+	`, "instance method")
+}
+
+func TestLocalShadowsClassNameForCalls(t *testing.T) {
+	// A local variable named like a class wins name resolution for
+	// receiver position.
+	got, _ := run(t, `
+		class Util {
+			int go() { return 5; }
+			static int stat() { return 9; }
+		}
+		int main() {
+			Util Util = new Util();
+			return Util.go();
+		}
+	`)
+	if got != 5 {
+		t.Errorf("got %d, want 5", got)
+	}
+}
+
+func TestForWithEmptyHeader(t *testing.T) {
+	got, _ := run(t, `
+		int main() {
+			int i = 0;
+			for (;;) {
+				i = i + 1;
+				if (i >= 10) { break; }
+			}
+			return i;
+		}
+	`)
+	if got != 10 {
+		t.Errorf("got %d", got)
+	}
+}
+
+func TestNegativeLiteralFolding(t *testing.T) {
+	got, _ := run(t, "int main() { return -2147483647 - 1; }")
+	if got != -2147483648 {
+		t.Errorf("got %d", got)
+	}
+}
+
+func TestCommentsEverywhere(t *testing.T) {
+	got, _ := run(t, `
+		// leading comment
+		int /* inline */ main( /* here too */ ) {
+			int x = 1; // trailing
+			/* block
+			   spanning lines */
+			return x + 1;
+		}
+	`)
+	if got != 2 {
+		t.Errorf("got %d", got)
+	}
+}

@@ -1,0 +1,517 @@
+package mj
+
+import (
+	"fmt"
+
+	"gocbs/internal/bytecode"
+)
+
+// Generate lowers a checked program to a linked bytecode program whose
+// entry point is the free function named entry.
+func Generate(prog *Program, entry string) (*bytecode.Program, error) {
+	g := &generator{
+		prog:       prog,
+		pb:         bytecode.NewProgramBuilder(),
+		classOf:    map[*ClassDecl]*bytecode.ClassBuilder{},
+		methodOf:   map[*MethodDecl]*bytecode.MethodBuilder{},
+		fieldIndex: map[*FieldDecl]int{},
+	}
+	if err := g.declare(); err != nil {
+		return nil, err
+	}
+	if err := g.generateBodies(); err != nil {
+		return nil, err
+	}
+	var entryFn *MethodDecl
+	for _, fn := range prog.Funcs {
+		if fn.Name == entry {
+			entryFn = fn
+		}
+	}
+	if entryFn == nil {
+		return nil, fmt.Errorf("no free function named %s to use as entry point", entry)
+	}
+	g.pb.SetEntry(g.methodOf[entryFn])
+	return g.pb.Link()
+}
+
+type generator struct {
+	prog       *Program
+	pb         *bytecode.ProgramBuilder
+	classOf    map[*ClassDecl]*bytecode.ClassBuilder
+	methodOf   map[*MethodDecl]*bytecode.MethodBuilder
+	fieldIndex map[*FieldDecl]int
+
+	// Per-function state.
+	mb        *bytecode.MethodBuilder
+	breaks    []int // label stack for break
+	continues []int // label stack for continue
+}
+
+// declare creates builders for every class, field, method, and global
+// before any body is generated, so forward references resolve.
+func (g *generator) declare() error {
+	// Classes in superclass-first order.
+	var order []*ClassDecl
+	done := map[*ClassDecl]bool{}
+	var visit func(cd *ClassDecl)
+	visit = func(cd *ClassDecl) {
+		if done[cd] {
+			return
+		}
+		if cd.Super != nil {
+			visit(cd.Super)
+		}
+		done[cd] = true
+		order = append(order, cd)
+	}
+	for _, cd := range g.prog.Classes {
+		visit(cd)
+	}
+	for _, cd := range order {
+		var super *bytecode.ClassBuilder
+		if cd.Super != nil {
+			super = g.classOf[cd.Super]
+		}
+		cb := g.pb.NewClass(cd.Name, super)
+		g.classOf[cd] = cb
+		for _, f := range cd.Fields {
+			g.fieldIndex[f] = cb.AddField(f.Name, isRef(f.Type))
+		}
+	}
+	for _, cd := range order {
+		cb := g.classOf[cd]
+		for _, m := range cd.Methods {
+			nargs := len(m.Params)
+			if !m.Static {
+				nargs++
+			}
+			g.methodOf[m] = cb.NewMethod(m.Name, m.Static, nargs)
+		}
+		for _, ct := range cd.Ctors {
+			g.methodOf[ct] = cb.NewMethod("<init>", true, 1+len(ct.Params))
+		}
+	}
+	for _, fn := range g.prog.Funcs {
+		g.methodOf[fn] = g.pb.NewFunc(fn.Name, len(fn.Params))
+	}
+	for _, gd := range g.prog.Globals {
+		init := int64(0)
+		if gd.Init != nil {
+			init = *gd.Init
+		}
+		slot := g.pb.AddStaticInit(gd.Name, init)
+		if slot != gd.Slot {
+			return fmt.Errorf("internal: global slot mismatch for %s (%d vs %d)", gd.Name, slot, gd.Slot)
+		}
+	}
+	return nil
+}
+
+func (g *generator) generateBodies() error {
+	gen := func(m *MethodDecl) error {
+		g.mb = g.methodOf[m]
+		g.breaks = g.breaks[:0]
+		g.continues = g.continues[:0]
+		// The checker numbered locals 0..NumLocals-1 with args first;
+		// reserve the non-argument slots.
+		nargs := len(m.Params)
+		if hasThis(m) {
+			nargs++
+		}
+		for i := nargs; i < m.NumLocals; i++ {
+			g.mb.AllocLocal()
+		}
+		if err := g.stmt(m.Body); err != nil {
+			return fmt.Errorf("%s: %w", m.QualifiedName(), err)
+		}
+		// Void functions (and constructors) may fall off the end.
+		if sameType(m.Ret, PrimType(TypeVoid)) {
+			g.mb.Emit(bytecode.OpReturnVoid)
+		}
+		return nil
+	}
+	for _, fn := range g.prog.Funcs {
+		if err := gen(fn); err != nil {
+			return err
+		}
+	}
+	for _, cd := range g.prog.Classes {
+		for _, m := range cd.Methods {
+			if err := gen(m); err != nil {
+				return err
+			}
+		}
+		for _, ct := range cd.Ctors {
+			if err := gen(ct); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func (g *generator) stmt(s Stmt) error {
+	switch s := s.(type) {
+	case *Block:
+		for _, st := range s.Stmts {
+			if err := g.stmt(st); err != nil {
+				return err
+			}
+		}
+		return nil
+
+	case *VarDeclStmt:
+		if s.Init != nil {
+			if err := g.expr(s.Init); err != nil {
+				return err
+			}
+			g.mb.Emit(bytecode.OpStore, int32(s.Slot))
+		}
+		// Uninitialized locals are zeroed by the VM's frame setup.
+		return nil
+
+	case *AssignStmt:
+		return g.assign(s)
+
+	case *ExprStmt:
+		if err := g.expr(s.E); err != nil {
+			return err
+		}
+		g.mb.Emit(bytecode.OpPop) // every call pushes a value
+		return nil
+
+	case *IfStmt:
+		if err := g.expr(s.Cond); err != nil {
+			return err
+		}
+		if s.Else == nil {
+			end := g.mb.NewLabel()
+			g.mb.Branch(bytecode.OpJumpZ, end)
+			if err := g.stmt(s.Then); err != nil {
+				return err
+			}
+			g.mb.Bind(end)
+			return nil
+		}
+		elseL := g.mb.NewLabel()
+		end := g.mb.NewLabel()
+		g.mb.Branch(bytecode.OpJumpZ, elseL)
+		if err := g.stmt(s.Then); err != nil {
+			return err
+		}
+		g.mb.Branch(bytecode.OpJump, end)
+		g.mb.Bind(elseL)
+		if err := g.stmt(s.Else); err != nil {
+			return err
+		}
+		g.mb.Bind(end)
+		return nil
+
+	case *WhileStmt:
+		top := g.mb.NewLabel()
+		end := g.mb.NewLabel()
+		g.mb.Bind(top)
+		if err := g.expr(s.Cond); err != nil {
+			return err
+		}
+		g.mb.Branch(bytecode.OpJumpZ, end)
+		g.breaks = append(g.breaks, end)
+		g.continues = append(g.continues, top)
+		if err := g.stmt(s.Body); err != nil {
+			return err
+		}
+		g.breaks = g.breaks[:len(g.breaks)-1]
+		g.continues = g.continues[:len(g.continues)-1]
+		g.mb.Branch(bytecode.OpJump, top)
+		g.mb.Bind(end)
+		return nil
+
+	case *ForStmt:
+		if s.Init != nil {
+			if err := g.stmt(s.Init); err != nil {
+				return err
+			}
+		}
+		top := g.mb.NewLabel()
+		post := g.mb.NewLabel()
+		end := g.mb.NewLabel()
+		g.mb.Bind(top)
+		if s.Cond != nil {
+			if err := g.expr(s.Cond); err != nil {
+				return err
+			}
+			g.mb.Branch(bytecode.OpJumpZ, end)
+		}
+		g.breaks = append(g.breaks, end)
+		g.continues = append(g.continues, post)
+		if err := g.stmt(s.Body); err != nil {
+			return err
+		}
+		g.breaks = g.breaks[:len(g.breaks)-1]
+		g.continues = g.continues[:len(g.continues)-1]
+		g.mb.Bind(post)
+		if s.Post != nil {
+			if err := g.stmt(s.Post); err != nil {
+				return err
+			}
+		}
+		g.mb.Branch(bytecode.OpJump, top)
+		g.mb.Bind(end)
+		return nil
+
+	case *ReturnStmt:
+		if s.E == nil {
+			g.mb.Emit(bytecode.OpReturnVoid)
+			return nil
+		}
+		if err := g.expr(s.E); err != nil {
+			return err
+		}
+		g.mb.Emit(bytecode.OpReturn)
+		return nil
+
+	case *BreakStmt:
+		g.mb.Branch(bytecode.OpJump, g.breaks[len(g.breaks)-1])
+		return nil
+
+	case *ContinueStmt:
+		g.mb.Branch(bytecode.OpJump, g.continues[len(g.continues)-1])
+		return nil
+
+	case *PrintStmt:
+		if err := g.expr(s.E); err != nil {
+			return err
+		}
+		g.mb.Emit(bytecode.OpPrint)
+		return nil
+
+	case *SuperCallStmt:
+		g.mb.Emit(bytecode.OpLoad, 0) // this
+		for _, a := range s.Args {
+			if err := g.expr(a); err != nil {
+				return err
+			}
+		}
+		g.mb.CallStatic(g.methodOf[s.Target])
+		g.mb.Emit(bytecode.OpPop)
+		return nil
+	}
+	return fmt.Errorf("internal: cannot generate statement %T", s)
+}
+
+func (g *generator) assign(s *AssignStmt) error {
+	switch lhs := s.LHS.(type) {
+	case *Ident:
+		switch lhs.Kind {
+		case IdentLocal:
+			if err := g.expr(s.RHS); err != nil {
+				return err
+			}
+			g.mb.Emit(bytecode.OpStore, int32(lhs.Slot))
+		case IdentGlobal:
+			if err := g.expr(s.RHS); err != nil {
+				return err
+			}
+			g.mb.Emit(bytecode.OpPutStatic, int32(lhs.Slot))
+		case IdentField:
+			g.mb.Emit(bytecode.OpLoad, 0) // this
+			if err := g.expr(s.RHS); err != nil {
+				return err
+			}
+			g.mb.Emit(bytecode.OpPutField, int32(g.fieldIndex[lhs.Field]))
+		default:
+			return fmt.Errorf("internal: unresolved identifier %s", lhs.Name)
+		}
+	case *FieldAccess:
+		if err := g.expr(lhs.X); err != nil {
+			return err
+		}
+		if err := g.expr(s.RHS); err != nil {
+			return err
+		}
+		g.mb.Emit(bytecode.OpPutField, int32(g.fieldIndex[lhs.Field]))
+	case *Index:
+		if err := g.expr(lhs.Arr); err != nil {
+			return err
+		}
+		if err := g.expr(lhs.Idx); err != nil {
+			return err
+		}
+		if err := g.expr(s.RHS); err != nil {
+			return err
+		}
+		g.mb.Emit(bytecode.OpAStore)
+	default:
+		return fmt.Errorf("internal: bad assignment target %T", s.LHS)
+	}
+	return nil
+}
+
+var binOps = map[Kind]bytecode.Opcode{
+	TokPlus: bytecode.OpAdd, TokMinus: bytecode.OpSub, TokStar: bytecode.OpMul,
+	TokSlash: bytecode.OpDiv, TokPercent: bytecode.OpRem,
+	TokAmp: bytecode.OpAnd, TokPipe: bytecode.OpOr, TokCaret: bytecode.OpXor,
+	TokShl: bytecode.OpShl, TokShr: bytecode.OpShr,
+	TokEq: bytecode.OpEq, TokNe: bytecode.OpNe,
+	TokLt: bytecode.OpLt, TokLe: bytecode.OpLe, TokGt: bytecode.OpGt, TokGe: bytecode.OpGe,
+}
+
+func (g *generator) expr(e Expr) error {
+	switch e := e.(type) {
+	case *IntLit:
+		g.mb.Const(e.V)
+	case *BoolLit:
+		if e.V {
+			g.mb.Const(1)
+		} else {
+			g.mb.Const(0)
+		}
+	case *NullLit:
+		g.mb.Emit(bytecode.OpNull)
+	case *ThisExpr:
+		g.mb.Emit(bytecode.OpLoad, 0)
+	case *Ident:
+		switch e.Kind {
+		case IdentLocal:
+			g.mb.Emit(bytecode.OpLoad, int32(e.Slot))
+		case IdentGlobal:
+			g.mb.Emit(bytecode.OpGetStatic, int32(e.Slot))
+		case IdentField:
+			g.mb.Emit(bytecode.OpLoad, 0)
+			g.mb.Emit(bytecode.OpGetField, int32(g.fieldIndex[e.Field]))
+		default:
+			return fmt.Errorf("internal: unresolved identifier %s", e.Name)
+		}
+	case *Unary:
+		if err := g.expr(e.X); err != nil {
+			return err
+		}
+		if e.Op == TokBang {
+			g.mb.Emit(bytecode.OpNot)
+		} else {
+			g.mb.Emit(bytecode.OpNeg)
+		}
+	case *Binary:
+		return g.binary(e)
+	case *InstanceOf:
+		if err := g.expr(e.X); err != nil {
+			return err
+		}
+		g.mb.Emit(bytecode.OpInstanceOf, int32(g.classOf[e.Class].ID()))
+	case *Cast:
+		if err := g.expr(e.X); err != nil {
+			return err
+		}
+		g.mb.Emit(bytecode.OpCast, int32(g.classOf[e.Class].ID()))
+	case *Index:
+		if err := g.expr(e.Arr); err != nil {
+			return err
+		}
+		if err := g.expr(e.Idx); err != nil {
+			return err
+		}
+		g.mb.Emit(bytecode.OpALoad)
+	case *FieldAccess:
+		if err := g.expr(e.X); err != nil {
+			return err
+		}
+		if e.IsArrayLen {
+			g.mb.Emit(bytecode.OpArrLen)
+		} else {
+			g.mb.Emit(bytecode.OpGetField, int32(g.fieldIndex[e.Field]))
+		}
+	case *Call:
+		switch e.Kind {
+		case CallFree, CallStaticM:
+			for _, a := range e.Args {
+				if err := g.expr(a); err != nil {
+					return err
+				}
+			}
+			g.mb.CallStatic(g.methodOf[e.Target])
+		case CallVirtual:
+			if e.ImplicitThis {
+				g.mb.Emit(bytecode.OpLoad, 0)
+			} else if err := g.expr(e.Recv); err != nil {
+				return err
+			}
+			for _, a := range e.Args {
+				if err := g.expr(a); err != nil {
+					return err
+				}
+			}
+			g.mb.CallVirtual(g.classOf[e.RecvClass], e.Name)
+		default:
+			return fmt.Errorf("internal: unresolved call %s", e.Name)
+		}
+	case *NewObject:
+		g.mb.Emit(bytecode.OpNew, int32(g.classOf[e.Class].ID()))
+		if e.Ctor != nil {
+			g.mb.Emit(bytecode.OpDup)
+			for _, a := range e.Args {
+				if err := g.expr(a); err != nil {
+					return err
+				}
+			}
+			g.mb.CallStatic(g.methodOf[e.Ctor])
+			g.mb.Emit(bytecode.OpPop)
+		}
+	case *NewArray:
+		if err := g.expr(e.Len); err != nil {
+			return err
+		}
+		g.mb.Emit(bytecode.OpNewArr)
+	default:
+		return fmt.Errorf("internal: cannot generate expression %T", e)
+	}
+	return nil
+}
+
+func (g *generator) binary(e *Binary) error {
+	switch e.Op {
+	case TokAndAnd:
+		// x && y: if !x -> false, else value of y.
+		falseL := g.mb.NewLabel()
+		end := g.mb.NewLabel()
+		if err := g.expr(e.X); err != nil {
+			return err
+		}
+		g.mb.Branch(bytecode.OpJumpZ, falseL)
+		if err := g.expr(e.Y); err != nil {
+			return err
+		}
+		g.mb.Branch(bytecode.OpJump, end)
+		g.mb.Bind(falseL)
+		g.mb.Const(0)
+		g.mb.Bind(end)
+		return nil
+	case TokOrOr:
+		trueL := g.mb.NewLabel()
+		end := g.mb.NewLabel()
+		if err := g.expr(e.X); err != nil {
+			return err
+		}
+		g.mb.Branch(bytecode.OpJumpNZ, trueL)
+		if err := g.expr(e.Y); err != nil {
+			return err
+		}
+		g.mb.Branch(bytecode.OpJump, end)
+		g.mb.Bind(trueL)
+		g.mb.Const(1)
+		g.mb.Bind(end)
+		return nil
+	}
+	if err := g.expr(e.X); err != nil {
+		return err
+	}
+	if err := g.expr(e.Y); err != nil {
+		return err
+	}
+	op, ok := binOps[e.Op]
+	if !ok {
+		return fmt.Errorf("internal: no opcode for operator %v", e.Op)
+	}
+	g.mb.Emit(op)
+	return nil
+}

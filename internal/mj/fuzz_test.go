@@ -1,0 +1,84 @@
+package mj
+
+import (
+	"strings"
+	"testing"
+)
+
+// Fuzz harnesses: the front end must never panic — on arbitrary input
+// it either produces a program or returns an error. Run with
+// `go test -fuzz=FuzzCompile ./internal/mj` to explore; the seed
+// corpus below runs on every ordinary `go test`.
+
+func FuzzLex(f *testing.F) {
+	seeds := []string{
+		"",
+		"class A { int x; }",
+		"int main() { return 0x1F + 42; }",
+		"/* unterminated",
+		"// comment only",
+		"int x = 9999999999999999999999;",
+		"\"no strings in MJ\"",
+		"@#$%^",
+		strings.Repeat("(", 1000),
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		toks, err := Lex(src)
+		if err != nil {
+			return
+		}
+		if len(toks) == 0 || toks[len(toks)-1].Kind != TokEOF {
+			t.Fatal("lexer must terminate output with EOF")
+		}
+	})
+}
+
+func FuzzCompile(f *testing.F) {
+	seeds := []string{
+		"int main() { return 1; }",
+		"class A extends A { }",
+		"class A extends B { } class B extends A { } int main() { return 0; }",
+		"int main() { int[] a = new int[3]; return a[0]; }",
+		"int f() { return f(); } int main() { return 0; }",
+		"class C { C(int x) { super(1); } } int main() { return 0; }",
+		"int main() { for (;;) { break; } return 0; }",
+		"int main() { return (Missing)null; }",
+		"int g = -; int main() { return g; }",
+		GenerateProgram(1, 2),
+		GenerateProgram(2, 3),
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		// Must not panic; errors are fine.
+		prog, err := Compile(src)
+		if err != nil {
+			return
+		}
+		if prog.Entry == nil {
+			t.Fatal("successful compile must have an entry point")
+		}
+	})
+}
+
+// FuzzGeneratedAlwaysCompiles pins the generator's well-typedness
+// guarantee across its whole input space.
+func FuzzGeneratedAlwaysCompiles(f *testing.F) {
+	for seed := int64(0); seed < 8; seed++ {
+		f.Add(seed, 3)
+	}
+	f.Fuzz(func(t *testing.T, seed int64, size int) {
+		if size < 0 {
+			size = -size
+		}
+		size = size%6 + 1
+		src := GenerateProgram(seed, size)
+		if _, err := Compile(src); err != nil {
+			t.Fatalf("generated program does not compile: %v\n%s", err, src)
+		}
+	})
+}

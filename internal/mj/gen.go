@@ -1,0 +1,341 @@
+package mj
+
+import (
+	"fmt"
+	"strings"
+)
+
+// GenerateProgram produces a random, well-typed, terminating MJ
+// program as source text. It is used for differential testing (the
+// reference interpreter vs the compiled VM vs the inlined VM) and as a
+// workload generator for stress tests.
+//
+// Termination is guaranteed by construction: all loops are counted
+// with small constant bounds, free functions only call
+// previously-generated functions, and virtual methods only call
+// lower-indexed methods of their hierarchy, so every call chain
+// strictly decreases.
+func GenerateProgram(seed int64, size int) string {
+	g := &progGen{rng: uint64(seed)*2654435761 + 12345}
+	if size < 1 {
+		size = 1
+	}
+	g.size = size
+	return g.program()
+}
+
+type progGen struct {
+	rng  uint64
+	size int
+	b    strings.Builder
+
+	globals []string // int globals in scope everywhere
+	funcs   []genFunc
+	classes []genClass
+}
+
+type genFunc struct {
+	name  string
+	nargs int
+}
+
+type genClass struct {
+	name    string
+	super   int // index into classes, or -1
+	fields  []string
+	methods []genMethod // hierarchy-wide method list (index = call order)
+	hasCtor bool
+}
+
+type genMethod struct {
+	name  string
+	nargs int // declared params (receiver excluded)
+}
+
+func (g *progGen) next() uint64 {
+	g.rng ^= g.rng >> 12
+	g.rng ^= g.rng << 25
+	g.rng ^= g.rng >> 27
+	return g.rng * 0x2545f4914f6cdd1d
+}
+
+func (g *progGen) intn(n int) int {
+	if n <= 1 {
+		return 0
+	}
+	return int(g.next() % uint64(n))
+}
+
+func (g *progGen) pick(ss []string) string { return ss[g.intn(len(ss))] }
+
+func (g *progGen) line(depth int, format string, args ...any) {
+	g.b.WriteString(strings.Repeat("\t", depth))
+	fmt.Fprintf(&g.b, format, args...)
+	g.b.WriteString("\n")
+}
+
+// program emits globals, class hierarchies, free functions, and main.
+func (g *progGen) program() string {
+	nGlobals := 1 + g.intn(3)
+	for i := 0; i < nGlobals; i++ {
+		name := fmt.Sprintf("g%d", i)
+		g.globals = append(g.globals, name)
+		if g.intn(2) == 0 {
+			g.line(0, "int %s = %d;", name, g.intn(100))
+		} else {
+			g.line(0, "int %s;", name)
+		}
+	}
+
+	nRoots := 1 + g.intn(2)
+	for r := 0; r < nRoots; r++ {
+		g.hierarchy(r)
+	}
+
+	nFuncs := 2 + g.intn(1+g.size/2)
+	for f := 0; f < nFuncs; f++ {
+		g.function(f)
+	}
+
+	// main: exercise functions, classes, arrays, and prints.
+	g.line(0, "int main(int n) {")
+	scope := []string{"n", "acc"}
+	g.line(1, "int acc = 0;")
+	for _, cls := range g.classes {
+		v := "o" + cls.name
+		if cls.hasCtor {
+			g.line(1, "%s %s = new %s(%s);", cls.name, v, cls.name, g.intExpr(scope, 1))
+		} else {
+			g.line(1, "%s %s = new %s();", cls.name, v, cls.name)
+		}
+		for mi, m := range cls.methods {
+			args := make([]string, m.nargs)
+			for i := range args {
+				args[i] = g.intExpr(scope, 1)
+			}
+			g.line(1, "acc = acc + %s.%s(%s);", v, m.name, strings.Join(args, ", "))
+			_ = mi
+		}
+	}
+	g.line(1, "int[] buf = new int[%d];", 4+g.intn(12))
+	g.line(1, "for (int bi = 0; bi < buf.length; bi = bi + 1) { buf[bi] = bi * %d; }", 1+g.intn(9))
+	for f := 0; f < len(g.funcs); f++ {
+		fn := g.funcs[f]
+		args := make([]string, fn.nargs)
+		for i := range args {
+			args[i] = g.intExpr(scope, 1)
+		}
+		g.line(1, "acc = (acc ^ %s(%s)) + buf[%d];", fn.name, strings.Join(args, ", "), g.intn(4))
+	}
+	g.line(1, "print(acc & 0xFFFF);")
+	g.line(1, "return acc & 0xFFFFFF;")
+	g.line(0, "}")
+	return g.b.String()
+}
+
+// hierarchy emits a root class and 0–2 subclasses.
+func (g *progGen) hierarchy(r int) {
+	root := genClass{name: fmt.Sprintf("C%d", r), super: -1}
+	nFields := 1 + g.intn(3)
+	for i := 0; i < nFields; i++ {
+		root.fields = append(root.fields, fmt.Sprintf("f%d", i))
+	}
+	nMethods := 1 + g.intn(3)
+	for i := 0; i < nMethods; i++ {
+		root.methods = append(root.methods, genMethod{
+			name:  fmt.Sprintf("m%d_%d", r, i),
+			nargs: 1 + g.intn(2),
+		})
+	}
+	root.hasCtor = g.intn(2) == 0
+	g.emitClass(root, nil)
+	rootIdx := len(g.classes)
+	g.classes = append(g.classes, root)
+
+	nSubs := g.intn(3)
+	for s := 0; s < nSubs; s++ {
+		sub := genClass{
+			name:    fmt.Sprintf("C%dS%d", r, s),
+			super:   rootIdx,
+			methods: root.methods,
+			fields:  root.fields,
+		}
+		g.emitClass(sub, &root)
+		g.classes = append(g.classes, sub)
+	}
+}
+
+// emitClass writes a class declaration; for subclasses it overrides a
+// random subset of the root's methods.
+func (g *progGen) emitClass(c genClass, root *genClass) {
+	if root == nil {
+		g.line(0, "class %s {", c.name)
+		for _, f := range c.fields {
+			g.line(1, "int %s;", f)
+		}
+		if c.hasCtor {
+			g.line(1, "%s(int seed) {", c.name)
+			for _, f := range c.fields {
+				g.line(2, "this.%s = seed + %d;", f, g.intn(10))
+			}
+			g.line(1, "}")
+		}
+		for i, m := range c.methods {
+			g.method(c, i, m)
+		}
+		g.line(0, "}")
+		return
+	}
+	g.line(0, "class %s extends %s {", c.name, root.name)
+	for i, m := range c.methods {
+		if g.intn(2) == 0 {
+			g.method(c, i, m)
+		}
+	}
+	g.line(0, "}")
+}
+
+// method emits one virtual method body. Index mi bounds which sibling
+// methods it may call (only lower indices), guaranteeing termination.
+func (g *progGen) method(c genClass, mi int, m genMethod) {
+	params := make([]string, m.nargs)
+	decls := make([]string, m.nargs)
+	for i := range params {
+		params[i] = fmt.Sprintf("p%d", i)
+		decls[i] = "int " + params[i]
+	}
+	g.line(1, "int %s(%s) {", m.name, strings.Join(decls, ", "))
+	scope := append([]string{}, params...)
+	scope = append(scope, c.fields...)
+	g.line(2, "int t = %s;", g.intExpr(scope, 2))
+	scope = append(scope, "t")
+	// Maybe call a lower-indexed sibling method (virtual on this).
+	if mi > 0 && g.intn(2) == 0 {
+		callee := c.methods[g.intn(mi)]
+		args := make([]string, callee.nargs)
+		for i := range args {
+			args[i] = g.intExpr(scope, 1)
+		}
+		g.line(2, "t = t + %s(%s);", callee.name, strings.Join(args, ", "))
+	}
+	if g.intn(2) == 0 && len(c.fields) > 0 {
+		f := g.pick(c.fields)
+		g.line(2, "%s = %s + 1;", f, f)
+	}
+	g.line(2, "if (%s) {", g.condExpr(scope))
+	g.line(3, "return %s;", g.intExpr(scope, 2))
+	g.line(2, "}")
+	g.line(2, "return %s;", g.intExpr(scope, 1))
+	g.line(1, "}")
+}
+
+// function emits a free function that may call earlier functions.
+func (g *progGen) function(fi int) {
+	fn := genFunc{name: fmt.Sprintf("fn%d", fi), nargs: 1 + g.intn(3)}
+	params := make([]string, fn.nargs)
+	decls := make([]string, fn.nargs)
+	for i := range params {
+		params[i] = fmt.Sprintf("a%d", i)
+		decls[i] = "int " + params[i]
+	}
+	g.line(0, "int %s(%s) {", fn.name, strings.Join(decls, ", "))
+	scope := append([]string{}, params...)
+	scope = append(scope, g.globals...)
+	g.line(1, "int r = %s;", g.intExpr(scope, 2))
+	scope = append(scope, "r")
+	g.stmts(1, 2+g.intn(3), scope, fi)
+	g.line(1, "return r;")
+	g.line(0, "}")
+	g.funcs = append(g.funcs, fn)
+}
+
+// stmts emits a few statements mutating r (always in scope).
+func (g *progGen) stmts(depth, n int, scope []string, maxFunc int) {
+	for i := 0; i < n; i++ {
+		switch g.intn(6) {
+		case 0: // bounded loop
+			lv := fmt.Sprintf("i%d_%d", depth, i)
+			g.line(depth, "for (int %s = 0; %s < %d; %s = %s + 1) {", lv, lv, 1+g.intn(7), lv, lv)
+			inner := append(append([]string{}, scope...), lv)
+			g.line(depth+1, "r = r + %s;", g.intExpr(inner, 1))
+			if g.intn(3) == 0 {
+				g.line(depth+1, "if (%s) { continue; }", g.condExpr(inner))
+			}
+			g.line(depth, "}")
+		case 1: // conditional
+			g.line(depth, "if (%s) {", g.condExpr(scope))
+			g.line(depth+1, "r = %s;", g.intExpr(scope, 2))
+			g.line(depth, "} else {")
+			g.line(depth+1, "r = r ^ %d;", g.intn(255))
+			g.line(depth, "}")
+		case 2: // global update
+			gl := g.pick(g.globals)
+			g.line(depth, "%s = (%s + r) & 0xFFFF;", gl, gl)
+		case 3: // call an earlier function
+			if maxFunc > 0 {
+				callee := g.funcs[g.intn(maxFunc)]
+				args := make([]string, callee.nargs)
+				for j := range args {
+					args[j] = g.intExpr(scope, 1)
+				}
+				g.line(depth, "r = r + %s(%s);", callee.name, strings.Join(args, ", "))
+			} else {
+				g.line(depth, "r = r + 1;")
+			}
+		case 4: // print
+			g.line(depth, "print(r & 255);")
+		default: // plain mutation
+			g.line(depth, "r = %s;", g.intExpr(scope, 2))
+		}
+	}
+}
+
+// intExpr generates an int-typed expression over the given scope.
+func (g *progGen) intExpr(scope []string, depth int) string {
+	if depth <= 0 || g.intn(3) == 0 {
+		if len(scope) > 0 && g.intn(3) != 0 {
+			return g.pick(scope)
+		}
+		return fmt.Sprintf("%d", g.intn(200)-100)
+	}
+	x := g.intExpr(scope, depth-1)
+	y := g.intExpr(scope, depth-1)
+	switch g.intn(9) {
+	case 0:
+		return fmt.Sprintf("(%s + %s)", x, y)
+	case 1:
+		return fmt.Sprintf("(%s - %s)", x, y)
+	case 2:
+		return fmt.Sprintf("(%s * %s)", x, y)
+	case 3:
+		// Non-zero divisor by construction.
+		return fmt.Sprintf("(%s / (%s | 1))", x, y)
+	case 4:
+		return fmt.Sprintf("(%s %% (%s | 1))", x, y)
+	case 5:
+		return fmt.Sprintf("(%s & %s)", x, y)
+	case 6:
+		return fmt.Sprintf("(%s ^ %s)", x, y)
+	case 7:
+		return fmt.Sprintf("(%s << %d)", x, g.intn(5))
+	default:
+		return fmt.Sprintf("(%s >> %d)", x, g.intn(5))
+	}
+}
+
+// condExpr generates a boolean expression over the scope.
+func (g *progGen) condExpr(scope []string) string {
+	x := g.intExpr(scope, 1)
+	y := g.intExpr(scope, 1)
+	ops := []string{"<", "<=", ">", ">=", "==", "!="}
+	base := fmt.Sprintf("%s %s %s", x, ops[g.intn(len(ops))], y)
+	switch g.intn(4) {
+	case 0:
+		z := g.intExpr(scope, 1)
+		return fmt.Sprintf("%s && %s != %s", base, z, g.intExpr(scope, 0))
+	case 1:
+		return fmt.Sprintf("%s || %s > 0", base, g.intExpr(scope, 1))
+	default:
+		return base
+	}
+}

@@ -1,0 +1,573 @@
+package mj
+
+import (
+	"fmt"
+)
+
+// This file implements a reference interpreter that executes the
+// *checked AST* directly, independent of the bytecode compiler and the
+// VM. It exists for differential testing: a random well-typed program
+// must compute the same results under (a) this interpreter, (b) the
+// bytecode compiler + VM, and (c) the bytecode compiler + VM after
+// inlining. Any divergence pinpoints a bug in codegen, the VM, or the
+// inliner.
+
+// RefValue is a reference-interpreter runtime value (int/boolean in I,
+// object or array in O).
+type RefValue struct {
+	I int64
+	O *RefObject
+}
+
+// RefObject is a heap object of the reference interpreter.
+type RefObject struct {
+	Class  *ClassDecl
+	Fields map[string]RefValue
+	Elems  []RefValue
+}
+
+// RefInterp evaluates checked MJ programs.
+type RefInterp struct {
+	prog    *Program
+	globals []RefValue
+	fuel    int64
+
+	// Output accumulates print() values, like vm.VM.Output.
+	Output []int64
+}
+
+// NewRefInterp prepares an interpreter for a *checked* program (Check
+// must have succeeded; the interpreter trusts resolution annotations).
+// fuel bounds the number of statement/expression evaluations.
+func NewRefInterp(prog *Program, fuel int64) *RefInterp {
+	in := &RefInterp{prog: prog, fuel: fuel}
+	in.globals = make([]RefValue, len(prog.Globals))
+	for _, g := range prog.Globals {
+		if g.Init != nil {
+			in.globals[g.Slot] = RefValue{I: *g.Init}
+		}
+	}
+	return in
+}
+
+type refCtrl int
+
+const (
+	refNone refCtrl = iota
+	refReturn
+	refBreak
+	refContinue
+)
+
+type refFrame struct {
+	locals []RefValue
+	ret    RefValue
+}
+
+// CallFunction runs a free function by name with integer arguments.
+func (in *RefInterp) CallFunction(name string, args ...int64) (int64, error) {
+	var fn *MethodDecl
+	for _, f := range in.prog.Funcs {
+		if f.Name == name {
+			fn = f
+		}
+	}
+	if fn == nil {
+		return 0, fmt.Errorf("no function %s", name)
+	}
+	if len(args) != len(fn.Params) {
+		return 0, fmt.Errorf("%s takes %d args", name, len(fn.Params))
+	}
+	vals := make([]RefValue, len(args))
+	for i, a := range args {
+		vals[i] = RefValue{I: a}
+	}
+	rv, err := in.invoke(fn, RefValue{}, vals)
+	return rv.I, err
+}
+
+func (in *RefInterp) burn() error {
+	in.fuel--
+	if in.fuel < 0 {
+		return fmt.Errorf("reference interpreter out of fuel")
+	}
+	return nil
+}
+
+// invoke runs a method/function body. For instance methods and
+// constructors, recv is local 0.
+func (in *RefInterp) invoke(m *MethodDecl, recv RefValue, args []RefValue) (RefValue, error) {
+	if err := in.burn(); err != nil {
+		return RefValue{}, err
+	}
+	fr := &refFrame{locals: make([]RefValue, m.NumLocals)}
+	i := 0
+	if hasThis(m) {
+		fr.locals[0] = recv
+		i = 1
+	}
+	for j, a := range args {
+		fr.locals[i+j] = a
+	}
+	c, err := in.stmt(m.Body, fr)
+	if err != nil {
+		return RefValue{}, err
+	}
+	if c == refReturn {
+		return fr.ret, nil
+	}
+	return RefValue{}, nil // void fall-through
+}
+
+func (in *RefInterp) stmt(s Stmt, fr *refFrame) (refCtrl, error) {
+	if err := in.burn(); err != nil {
+		return refNone, err
+	}
+	switch s := s.(type) {
+	case *Block:
+		for _, st := range s.Stmts {
+			c, err := in.stmt(st, fr)
+			if err != nil || c != refNone {
+				return c, err
+			}
+		}
+		return refNone, nil
+
+	case *VarDeclStmt:
+		if s.Init != nil {
+			v, err := in.expr(s.Init, fr)
+			if err != nil {
+				return refNone, err
+			}
+			fr.locals[s.Slot] = v
+		} else {
+			fr.locals[s.Slot] = RefValue{}
+		}
+		return refNone, nil
+
+	case *AssignStmt:
+		return refNone, in.assign(s, fr)
+
+	case *ExprStmt:
+		_, err := in.expr(s.E, fr)
+		return refNone, err
+
+	case *IfStmt:
+		c, err := in.expr(s.Cond, fr)
+		if err != nil {
+			return refNone, err
+		}
+		if c.I != 0 {
+			return in.stmt(s.Then, fr)
+		}
+		if s.Else != nil {
+			return in.stmt(s.Else, fr)
+		}
+		return refNone, nil
+
+	case *WhileStmt:
+		for {
+			c, err := in.expr(s.Cond, fr)
+			if err != nil {
+				return refNone, err
+			}
+			if c.I == 0 {
+				return refNone, nil
+			}
+			ctrl, err := in.stmt(s.Body, fr)
+			if err != nil {
+				return refNone, err
+			}
+			if ctrl == refReturn {
+				return refReturn, nil
+			}
+			if ctrl == refBreak {
+				return refNone, nil
+			}
+		}
+
+	case *ForStmt:
+		if s.Init != nil {
+			if _, err := in.stmt(s.Init, fr); err != nil {
+				return refNone, err
+			}
+		}
+		for {
+			if s.Cond != nil {
+				c, err := in.expr(s.Cond, fr)
+				if err != nil {
+					return refNone, err
+				}
+				if c.I == 0 {
+					return refNone, nil
+				}
+			}
+			ctrl, err := in.stmt(s.Body, fr)
+			if err != nil {
+				return refNone, err
+			}
+			if ctrl == refReturn {
+				return refReturn, nil
+			}
+			if ctrl == refBreak {
+				return refNone, nil
+			}
+			if s.Post != nil {
+				if _, err := in.stmt(s.Post, fr); err != nil {
+					return refNone, err
+				}
+			}
+		}
+
+	case *ReturnStmt:
+		if s.E != nil {
+			v, err := in.expr(s.E, fr)
+			if err != nil {
+				return refNone, err
+			}
+			fr.ret = v
+		} else {
+			fr.ret = RefValue{}
+		}
+		return refReturn, nil
+
+	case *BreakStmt:
+		return refBreak, nil
+	case *ContinueStmt:
+		return refContinue, nil
+
+	case *PrintStmt:
+		v, err := in.expr(s.E, fr)
+		if err != nil {
+			return refNone, err
+		}
+		in.Output = append(in.Output, v.I)
+		return refNone, nil
+
+	case *SuperCallStmt:
+		args, err := in.evalArgs(s.Args, fr)
+		if err != nil {
+			return refNone, err
+		}
+		_, err = in.invoke(s.Target, fr.locals[0], args)
+		return refNone, err
+	}
+	return refNone, fmt.Errorf("reference interpreter: unknown statement %T", s)
+}
+
+func (in *RefInterp) assign(s *AssignStmt, fr *refFrame) error {
+	switch lhs := s.LHS.(type) {
+	case *Ident:
+		v, err := in.expr(s.RHS, fr)
+		if err != nil {
+			return err
+		}
+		switch lhs.Kind {
+		case IdentLocal:
+			fr.locals[lhs.Slot] = v
+		case IdentGlobal:
+			in.globals[lhs.Slot] = v
+		case IdentField:
+			this := fr.locals[0]
+			if this.O == nil {
+				return fmt.Errorf("nil this")
+			}
+			this.O.Fields[lhs.Field.Name] = v
+		}
+		return nil
+	case *FieldAccess:
+		obj, err := in.expr(lhs.X, fr)
+		if err != nil {
+			return err
+		}
+		v, err := in.expr(s.RHS, fr)
+		if err != nil {
+			return err
+		}
+		if obj.O == nil {
+			return fmt.Errorf("field store on null")
+		}
+		obj.O.Fields[lhs.Field.Name] = v
+		return nil
+	case *Index:
+		arr, err := in.expr(lhs.Arr, fr)
+		if err != nil {
+			return err
+		}
+		idx, err := in.expr(lhs.Idx, fr)
+		if err != nil {
+			return err
+		}
+		v, err := in.expr(s.RHS, fr)
+		if err != nil {
+			return err
+		}
+		if arr.O == nil {
+			return fmt.Errorf("index store on null")
+		}
+		if idx.I < 0 || idx.I >= int64(len(arr.O.Elems)) {
+			return fmt.Errorf("index %d out of range", idx.I)
+		}
+		arr.O.Elems[idx.I] = v
+		return nil
+	}
+	return fmt.Errorf("bad assignment target %T", s.LHS)
+}
+
+func (in *RefInterp) evalArgs(args []Expr, fr *refFrame) ([]RefValue, error) {
+	out := make([]RefValue, len(args))
+	for i, a := range args {
+		v, err := in.expr(a, fr)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+func (in *RefInterp) expr(e Expr, fr *refFrame) (RefValue, error) {
+	if err := in.burn(); err != nil {
+		return RefValue{}, err
+	}
+	switch e := e.(type) {
+	case *IntLit:
+		return RefValue{I: e.V}, nil
+	case *BoolLit:
+		if e.V {
+			return RefValue{I: 1}, nil
+		}
+		return RefValue{}, nil
+	case *NullLit:
+		return RefValue{}, nil
+	case *ThisExpr:
+		return fr.locals[0], nil
+	case *Ident:
+		switch e.Kind {
+		case IdentLocal:
+			return fr.locals[e.Slot], nil
+		case IdentGlobal:
+			return in.globals[e.Slot], nil
+		case IdentField:
+			this := fr.locals[0]
+			if this.O == nil {
+				return RefValue{}, fmt.Errorf("nil this")
+			}
+			return this.O.Fields[e.Field.Name], nil
+		}
+		return RefValue{}, fmt.Errorf("unresolved ident %s", e.Name)
+	case *Unary:
+		x, err := in.expr(e.X, fr)
+		if err != nil {
+			return RefValue{}, err
+		}
+		if e.Op == TokBang {
+			if x.I == 0 && x.O == nil {
+				return RefValue{I: 1}, nil
+			}
+			return RefValue{}, nil
+		}
+		return RefValue{I: -x.I}, nil
+	case *Binary:
+		return in.binary(e, fr)
+	case *InstanceOf:
+		x, err := in.expr(e.X, fr)
+		if err != nil {
+			return RefValue{}, err
+		}
+		if x.O != nil && x.O.Class != nil && x.O.Class.HasAncestor(e.Class) {
+			return RefValue{I: 1}, nil
+		}
+		return RefValue{}, nil
+	case *Cast:
+		x, err := in.expr(e.X, fr)
+		if err != nil {
+			return RefValue{}, err
+		}
+		if x.O != nil && (x.O.Class == nil || !x.O.Class.HasAncestor(e.Class)) {
+			return RefValue{}, fmt.Errorf("bad cast")
+		}
+		return x, nil
+	case *Index:
+		arr, err := in.expr(e.Arr, fr)
+		if err != nil {
+			return RefValue{}, err
+		}
+		idx, err := in.expr(e.Idx, fr)
+		if err != nil {
+			return RefValue{}, err
+		}
+		if arr.O == nil {
+			return RefValue{}, fmt.Errorf("index on null")
+		}
+		if idx.I < 0 || idx.I >= int64(len(arr.O.Elems)) {
+			return RefValue{}, fmt.Errorf("index %d out of range", idx.I)
+		}
+		return arr.O.Elems[idx.I], nil
+	case *FieldAccess:
+		x, err := in.expr(e.X, fr)
+		if err != nil {
+			return RefValue{}, err
+		}
+		if x.O == nil {
+			return RefValue{}, fmt.Errorf("field on null")
+		}
+		if e.IsArrayLen {
+			return RefValue{I: int64(len(x.O.Elems))}, nil
+		}
+		return x.O.Fields[e.Field.Name], nil
+	case *Call:
+		return in.call(e, fr)
+	case *NewObject:
+		obj := in.allocate(e.Class)
+		if e.Ctor != nil {
+			args, err := in.evalArgs(e.Args, fr)
+			if err != nil {
+				return RefValue{}, err
+			}
+			if _, err := in.invoke(e.Ctor, RefValue{O: obj}, args); err != nil {
+				return RefValue{}, err
+			}
+		}
+		return RefValue{O: obj}, nil
+	case *NewArray:
+		n, err := in.expr(e.Len, fr)
+		if err != nil {
+			return RefValue{}, err
+		}
+		if n.I < 0 {
+			return RefValue{}, fmt.Errorf("negative array length")
+		}
+		if n.I > 1<<24 {
+			return RefValue{}, fmt.Errorf("array too large for reference interpreter")
+		}
+		return RefValue{O: &RefObject{Elems: make([]RefValue, n.I)}}, nil
+	}
+	return RefValue{}, fmt.Errorf("reference interpreter: unknown expression %T", e)
+}
+
+func (in *RefInterp) allocate(cd *ClassDecl) *RefObject {
+	obj := &RefObject{Class: cd, Fields: map[string]RefValue{}}
+	for x := cd; x != nil; x = x.Super {
+		for _, f := range x.Fields {
+			obj.Fields[f.Name] = RefValue{}
+		}
+	}
+	return obj
+}
+
+func (in *RefInterp) binary(e *Binary, fr *refFrame) (RefValue, error) {
+	// Short-circuit operators evaluate lazily.
+	if e.Op == TokAndAnd || e.Op == TokOrOr {
+		x, err := in.expr(e.X, fr)
+		if err != nil {
+			return RefValue{}, err
+		}
+		truthy := x.I != 0
+		if e.Op == TokAndAnd && !truthy {
+			return RefValue{}, nil
+		}
+		if e.Op == TokOrOr && truthy {
+			return RefValue{I: 1}, nil
+		}
+		y, err := in.expr(e.Y, fr)
+		if err != nil {
+			return RefValue{}, err
+		}
+		if y.I != 0 {
+			return RefValue{I: 1}, nil
+		}
+		return RefValue{}, nil
+	}
+	x, err := in.expr(e.X, fr)
+	if err != nil {
+		return RefValue{}, err
+	}
+	y, err := in.expr(e.Y, fr)
+	if err != nil {
+		return RefValue{}, err
+	}
+	b := func(v bool) (RefValue, error) {
+		if v {
+			return RefValue{I: 1}, nil
+		}
+		return RefValue{}, nil
+	}
+	switch e.Op {
+	case TokPlus:
+		return RefValue{I: x.I + y.I}, nil
+	case TokMinus:
+		return RefValue{I: x.I - y.I}, nil
+	case TokStar:
+		return RefValue{I: x.I * y.I}, nil
+	case TokSlash:
+		if y.I == 0 {
+			return RefValue{}, fmt.Errorf("division by zero")
+		}
+		if y.I == -1 { // MinInt64 / -1 wraps, matching the VM
+			return RefValue{I: -x.I}, nil
+		}
+		return RefValue{I: x.I / y.I}, nil
+	case TokPercent:
+		if y.I == 0 {
+			return RefValue{}, fmt.Errorf("remainder by zero")
+		}
+		if y.I == -1 {
+			return RefValue{I: 0}, nil
+		}
+		return RefValue{I: x.I % y.I}, nil
+	case TokAmp:
+		return RefValue{I: x.I & y.I}, nil
+	case TokPipe:
+		return RefValue{I: x.I | y.I}, nil
+	case TokCaret:
+		return RefValue{I: x.I ^ y.I}, nil
+	case TokShl:
+		return RefValue{I: x.I << (uint64(y.I) & 63)}, nil
+	case TokShr:
+		return RefValue{I: x.I >> (uint64(y.I) & 63)}, nil
+	case TokEq:
+		return b(x.I == y.I && x.O == y.O)
+	case TokNe:
+		return b(x.I != y.I || x.O != y.O)
+	case TokLt:
+		return b(x.I < y.I)
+	case TokLe:
+		return b(x.I <= y.I)
+	case TokGt:
+		return b(x.I > y.I)
+	case TokGe:
+		return b(x.I >= y.I)
+	}
+	return RefValue{}, fmt.Errorf("unknown operator %v", e.Op)
+}
+
+func (in *RefInterp) call(e *Call, fr *refFrame) (RefValue, error) {
+	args, err := in.evalArgs(e.Args, fr)
+	if err != nil {
+		return RefValue{}, err
+	}
+	switch e.Kind {
+	case CallFree, CallStaticM:
+		return in.invoke(e.Target, RefValue{}, args)
+	case CallVirtual:
+		var recv RefValue
+		if e.ImplicitThis {
+			recv = fr.locals[0]
+		} else {
+			recv, err = in.expr(e.Recv, fr)
+			if err != nil {
+				return RefValue{}, err
+			}
+		}
+		if recv.O == nil || recv.O.Class == nil {
+			return RefValue{}, fmt.Errorf("virtual call on null")
+		}
+		target := lookupMethod(recv.O.Class, e.Name)
+		if target == nil {
+			return RefValue{}, fmt.Errorf("no method %s on %s", e.Name, recv.O.Class.Name)
+		}
+		return in.invoke(target, recv, args)
+	}
+	return RefValue{}, fmt.Errorf("unresolved call %s", e.Name)
+}

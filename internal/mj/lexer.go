@@ -1,0 +1,200 @@
+package mj
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// Lex tokenizes MJ source. It supports //-line and /* block */
+// comments, decimal and hexadecimal (0x…) integer literals, and the
+// operator set of the grammar. The returned slice always ends with a
+// TokEOF token.
+func Lex(src string) ([]Token, error) {
+	var toks []Token
+	line, col := 1, 1
+	i := 0
+	n := len(src)
+
+	adv := func(k int) {
+		for j := 0; j < k; j++ {
+			if src[i+j] == '\n' {
+				line++
+				col = 1
+			} else {
+				col++
+			}
+		}
+		i += k
+	}
+	emit := func(kind Kind, text string, p Pos) {
+		toks = append(toks, Token{Kind: kind, Text: text, Pos: p})
+	}
+
+	for i < n {
+		c := src[i]
+		p := Pos{Line: line, Col: col}
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			adv(1)
+		case c == '/' && i+1 < n && src[i+1] == '/':
+			for i < n && src[i] != '\n' {
+				adv(1)
+			}
+		case c == '/' && i+1 < n && src[i+1] == '*':
+			adv(2)
+			closed := false
+			for i < n {
+				if src[i] == '*' && i+1 < n && src[i+1] == '/' {
+					adv(2)
+					closed = true
+					break
+				}
+				adv(1)
+			}
+			if !closed {
+				return nil, fmt.Errorf("%s: unterminated block comment", p)
+			}
+		case isDigit(c):
+			j := i
+			isHex := false
+			if c == '0' && i+1 < n && (src[i+1] == 'x' || src[i+1] == 'X') {
+				isHex = true
+				j = i + 2
+				for j < n && isHexDigit(src[j]) {
+					j++
+				}
+			} else {
+				for j < n && isDigit(src[j]) {
+					j++
+				}
+			}
+			text := src[i:j]
+			var v int64
+			var err error
+			if isHex {
+				v, err = strconv.ParseInt(text[2:], 16, 64)
+			} else {
+				v, err = strconv.ParseInt(text, 10, 64)
+			}
+			if err != nil {
+				return nil, fmt.Errorf("%s: bad integer literal %q: %v", p, text, err)
+			}
+			toks = append(toks, Token{Kind: TokInt, Text: text, Int: v, Pos: p})
+			adv(j - i)
+		case isIdentStart(c):
+			j := i
+			for j < n && isIdentPart(src[j]) {
+				j++
+			}
+			text := src[i:j]
+			if kw, ok := keywords[text]; ok {
+				emit(kw, text, p)
+			} else {
+				emit(TokIdent, text, p)
+			}
+			adv(j - i)
+		default:
+			two := ""
+			if i+1 < n {
+				two = src[i : i+2]
+			}
+			switch two {
+			case "==":
+				emit(TokEq, two, p)
+				adv(2)
+				continue
+			case "!=":
+				emit(TokNe, two, p)
+				adv(2)
+				continue
+			case "<=":
+				emit(TokLe, two, p)
+				adv(2)
+				continue
+			case ">=":
+				emit(TokGe, two, p)
+				adv(2)
+				continue
+			case "<<":
+				emit(TokShl, two, p)
+				adv(2)
+				continue
+			case ">>":
+				emit(TokShr, two, p)
+				adv(2)
+				continue
+			case "&&":
+				emit(TokAndAnd, two, p)
+				adv(2)
+				continue
+			case "||":
+				emit(TokOrOr, two, p)
+				adv(2)
+				continue
+			}
+			var k Kind
+			switch c {
+			case '(':
+				k = TokLParen
+			case ')':
+				k = TokRParen
+			case '{':
+				k = TokLBrace
+			case '}':
+				k = TokRBrace
+			case '[':
+				k = TokLBracket
+			case ']':
+				k = TokRBracket
+			case ';':
+				k = TokSemi
+			case ',':
+				k = TokComma
+			case '.':
+				k = TokDot
+			case '=':
+				k = TokAssign
+			case '+':
+				k = TokPlus
+			case '-':
+				k = TokMinus
+			case '*':
+				k = TokStar
+			case '/':
+				k = TokSlash
+			case '%':
+				k = TokPercent
+			case '&':
+				k = TokAmp
+			case '|':
+				k = TokPipe
+			case '^':
+				k = TokCaret
+			case '<':
+				k = TokLt
+			case '>':
+				k = TokGt
+			case '!':
+				k = TokBang
+			default:
+				return nil, fmt.Errorf("%s: unexpected character %q", p, string(c))
+			}
+			emit(k, string(c), p)
+			adv(1)
+		}
+	}
+	toks = append(toks, Token{Kind: TokEOF, Pos: Pos{Line: line, Col: col}})
+	return toks, nil
+}
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+
+func isHexDigit(c byte) bool {
+	return isDigit(c) || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F')
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isIdentPart(c byte) bool { return isIdentStart(c) || isDigit(c) }

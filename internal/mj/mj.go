@@ -1,0 +1,44 @@
+package mj
+
+import (
+	"fmt"
+
+	"gocbs/internal/bytecode"
+)
+
+// Compile runs the full pipeline — lex, parse, check, generate — on MJ
+// source, producing a linked, verified bytecode program whose entry
+// point is the free function "main".
+func Compile(src string) (*bytecode.Program, error) {
+	return CompileEntry(src, "main")
+}
+
+// CompileEntry compiles src with the named free function as entry.
+func CompileEntry(src, entry string) (*bytecode.Program, error) {
+	toks, err := Lex(src)
+	if err != nil {
+		return nil, fmt.Errorf("lex: %w", err)
+	}
+	ast, err := Parse(toks)
+	if err != nil {
+		return nil, fmt.Errorf("parse: %w", err)
+	}
+	if err := Check(ast); err != nil {
+		return nil, fmt.Errorf("check:\n%w", err)
+	}
+	prog, err := Generate(ast, entry)
+	if err != nil {
+		return nil, fmt.Errorf("codegen: %w", err)
+	}
+	return prog, nil
+}
+
+// MustCompile compiles src and panics on error; for benchmark
+// registries and tests whose sources are compile-time constants.
+func MustCompile(src string) *bytecode.Program {
+	p, err := Compile(src)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}

@@ -1,0 +1,796 @@
+package mj
+
+import "fmt"
+
+// Parse builds an AST from a token stream. It is a conventional
+// recursive-descent parser; a prescan collects class names so that
+// Java-style cast expressions "(T)x" can be distinguished from
+// parenthesized expressions without unbounded lookahead.
+func Parse(toks []Token) (*Program, error) {
+	p := &parser{toks: toks, classNames: map[string]bool{}}
+	for i := 0; i+1 < len(toks); i++ {
+		if toks[i].Kind == TokClass && toks[i+1].Kind == TokIdent {
+			p.classNames[toks[i+1].Text] = true
+		}
+	}
+	return p.parseProgram()
+}
+
+type parser struct {
+	toks       []Token
+	pos        int
+	classNames map[string]bool
+}
+
+func (p *parser) cur() Token  { return p.toks[p.pos] }
+func (p *parser) peek() Token { return p.toks[p.pos+1] }
+
+func (p *parser) at(k Kind) bool { return p.cur().Kind == k }
+
+func (p *parser) next() Token {
+	t := p.toks[p.pos]
+	if t.Kind != TokEOF {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) accept(k Kind) bool {
+	if p.at(k) {
+		p.next()
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(k Kind) (Token, error) {
+	t := p.cur()
+	if t.Kind != k {
+		return t, fmt.Errorf("%s: expected %v, found %v", t.Pos, k, t.Kind)
+	}
+	p.next()
+	return t, nil
+}
+
+func (p *parser) parseProgram() (*Program, error) {
+	prog := &Program{}
+	for !p.at(TokEOF) {
+		switch {
+		case p.at(TokClass):
+			c, err := p.parseClass()
+			if err != nil {
+				return nil, err
+			}
+			prog.Classes = append(prog.Classes, c)
+		default:
+			// Free function or global: type ident then '(' or ';'/'='.
+			te, err := p.parseTypeExpr()
+			if err != nil {
+				return nil, err
+			}
+			name, err := p.expect(TokIdent)
+			if err != nil {
+				return nil, err
+			}
+			if p.at(TokLParen) {
+				fn, err := p.parseFuncRest(te, name, true, false, nil)
+				if err != nil {
+					return nil, err
+				}
+				prog.Funcs = append(prog.Funcs, fn)
+			} else {
+				g := &GlobalDecl{TypeExpr: te, Name: name.Text, Pos: name.Pos}
+				if p.accept(TokAssign) {
+					neg := p.accept(TokMinus)
+					lit, err := p.expect(TokInt)
+					if err != nil {
+						return nil, fmt.Errorf("%s: global initializers must be integer constants", p.cur().Pos)
+					}
+					v := lit.Int
+					if neg {
+						v = -v
+					}
+					g.Init = &v
+				}
+				if _, err := p.expect(TokSemi); err != nil {
+					return nil, err
+				}
+				prog.Globals = append(prog.Globals, g)
+			}
+		}
+	}
+	return prog, nil
+}
+
+// isTypeStart reports whether the current token can begin a TypeExpr.
+func (p *parser) isTypeStart() bool {
+	switch p.cur().Kind {
+	case TokTInt, TokTBool, TokTVoid, TokIdent:
+		return true
+	}
+	return false
+}
+
+func (p *parser) parseTypeExpr() (TypeExpr, error) {
+	t := p.cur()
+	var name string
+	switch t.Kind {
+	case TokTInt:
+		name = "int"
+	case TokTBool:
+		name = "boolean"
+	case TokTVoid:
+		name = "void"
+	case TokIdent:
+		name = t.Text
+	default:
+		return TypeExpr{}, fmt.Errorf("%s: expected type, found %v", t.Pos, t.Kind)
+	}
+	p.next()
+	te := TypeExpr{Name: name, Pos: t.Pos}
+	for p.at(TokLBracket) && p.peek().Kind == TokRBracket {
+		p.next()
+		p.next()
+		te.Dims++
+	}
+	return te, nil
+}
+
+func (p *parser) parseClass() (*ClassDecl, error) {
+	p.next() // class
+	name, err := p.expect(TokIdent)
+	if err != nil {
+		return nil, err
+	}
+	c := &ClassDecl{Name: name.Text, Pos: name.Pos}
+	if p.accept(TokExtends) {
+		sup, err := p.expect(TokIdent)
+		if err != nil {
+			return nil, err
+		}
+		c.SuperName = sup.Text
+	}
+	if _, err := p.expect(TokLBrace); err != nil {
+		return nil, err
+	}
+	for !p.at(TokRBrace) && !p.at(TokEOF) {
+		// Constructor: ClassName '(' ...
+		if p.at(TokIdent) && p.cur().Text == c.Name && p.peek().Kind == TokLParen {
+			nameTok := p.next()
+			ctor, err := p.parseFuncRest(TypeExpr{Name: "void", Pos: nameTok.Pos}, nameTok, true, true, c)
+			if err != nil {
+				return nil, err
+			}
+			c.Ctors = append(c.Ctors, ctor)
+			continue
+		}
+		static := p.accept(TokStatic)
+		te, err := p.parseTypeExpr()
+		if err != nil {
+			return nil, err
+		}
+		mname, err := p.expect(TokIdent)
+		if err != nil {
+			return nil, err
+		}
+		if p.at(TokLParen) {
+			m, err := p.parseFuncRest(te, mname, static, false, c)
+			if err != nil {
+				return nil, err
+			}
+			c.Methods = append(c.Methods, m)
+		} else {
+			if static {
+				return nil, fmt.Errorf("%s: fields cannot be static; declare a module-level global instead", mname.Pos)
+			}
+			if te.Name == "void" {
+				return nil, fmt.Errorf("%s: field %s cannot have type void", mname.Pos, mname.Text)
+			}
+			if _, err := p.expect(TokSemi); err != nil {
+				return nil, err
+			}
+			c.Fields = append(c.Fields, &FieldDecl{TypeExpr: te, Name: mname.Text, Pos: mname.Pos})
+		}
+	}
+	if _, err := p.expect(TokRBrace); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// parseFuncRest parses "(params) block" after the name has been read.
+func (p *parser) parseFuncRest(ret TypeExpr, name Token, static, isCtor bool, owner *ClassDecl) (*MethodDecl, error) {
+	m := &MethodDecl{
+		Name:    name.Text,
+		Static:  static,
+		IsCtor:  isCtor,
+		RetType: ret,
+		Pos:     name.Pos,
+	}
+	if isCtor {
+		m.Name = "<init>"
+	}
+	_ = owner // ownership is wired by the checker
+	if _, err := p.expect(TokLParen); err != nil {
+		return nil, err
+	}
+	for !p.at(TokRParen) {
+		te, err := p.parseTypeExpr()
+		if err != nil {
+			return nil, err
+		}
+		if te.Name == "void" {
+			return nil, fmt.Errorf("%s: parameter cannot have type void", te.Pos)
+		}
+		id, err := p.expect(TokIdent)
+		if err != nil {
+			return nil, err
+		}
+		m.Params = append(m.Params, &Param{TypeExpr: te, Name: id.Text, Pos: id.Pos})
+		if !p.accept(TokComma) {
+			break
+		}
+	}
+	if _, err := p.expect(TokRParen); err != nil {
+		return nil, err
+	}
+	body, err := p.parseBlock()
+	if err != nil {
+		return nil, err
+	}
+	m.Body = body
+	return m, nil
+}
+
+func (p *parser) parseBlock() (*Block, error) {
+	if _, err := p.expect(TokLBrace); err != nil {
+		return nil, err
+	}
+	b := &Block{}
+	for !p.at(TokRBrace) && !p.at(TokEOF) {
+		s, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		b.Stmts = append(b.Stmts, s)
+	}
+	if _, err := p.expect(TokRBrace); err != nil {
+		return nil, err
+	}
+	return b, nil
+}
+
+// looksLikeVarDecl reports whether the statement at the cursor is a
+// local variable declaration: TYPE IDENT. The tricky case is a leading
+// identifier, which may be a class-typed declaration ("Foo x = ...")
+// or an expression ("foo[i] = ..."); the decision is made by skipping
+// "[]" pairs and checking for a following identifier.
+func (p *parser) looksLikeVarDecl() bool {
+	switch p.cur().Kind {
+	case TokTInt, TokTBool:
+		return true
+	case TokIdent:
+		i := p.pos + 1
+		for i+1 < len(p.toks) && p.toks[i].Kind == TokLBracket && p.toks[i+1].Kind == TokRBracket {
+			i += 2
+		}
+		return p.toks[i].Kind == TokIdent
+	}
+	return false
+}
+
+func (p *parser) parseStmt() (Stmt, error) {
+	switch p.cur().Kind {
+	case TokLBrace:
+		return p.parseBlock()
+	case TokIf:
+		return p.parseIf()
+	case TokWhile:
+		return p.parseWhile()
+	case TokFor:
+		return p.parseFor()
+	case TokReturn:
+		pos := p.next().Pos
+		s := &ReturnStmt{Pos: pos}
+		if !p.at(TokSemi) {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			s.E = e
+		}
+		if _, err := p.expect(TokSemi); err != nil {
+			return nil, err
+		}
+		return s, nil
+	case TokBreak:
+		pos := p.next().Pos
+		if _, err := p.expect(TokSemi); err != nil {
+			return nil, err
+		}
+		return &BreakStmt{Pos: pos}, nil
+	case TokContinue:
+		pos := p.next().Pos
+		if _, err := p.expect(TokSemi); err != nil {
+			return nil, err
+		}
+		return &ContinueStmt{Pos: pos}, nil
+	case TokPrint:
+		pos := p.next().Pos
+		if _, err := p.expect(TokLParen); err != nil {
+			return nil, err
+		}
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokRParen); err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokSemi); err != nil {
+			return nil, err
+		}
+		return &PrintStmt{E: e, Pos: pos}, nil
+	case TokSuper:
+		pos := p.next().Pos
+		if _, err := p.expect(TokLParen); err != nil {
+			return nil, err
+		}
+		args, err := p.parseArgs()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokSemi); err != nil {
+			return nil, err
+		}
+		return &SuperCallStmt{Args: args, Pos: pos}, nil
+	}
+	s, err := p.parseSimpleStmt()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokSemi); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// parseSimpleStmt parses a declaration, assignment, or expression
+// statement without consuming the trailing semicolon (shared between
+// ordinary statements and for-loop headers).
+func (p *parser) parseSimpleStmt() (Stmt, error) {
+	if p.looksLikeVarDecl() {
+		te, err := p.parseTypeExpr()
+		if err != nil {
+			return nil, err
+		}
+		id, err := p.expect(TokIdent)
+		if err != nil {
+			return nil, err
+		}
+		s := &VarDeclStmt{TypeExpr: te, Name: id.Text, Pos: id.Pos}
+		if p.accept(TokAssign) {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			s.Init = e
+		}
+		return s, nil
+	}
+	e, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if p.at(TokAssign) {
+		pos := p.next().Pos
+		rhs, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		switch e.(type) {
+		case *Ident, *FieldAccess, *Index:
+		default:
+			return nil, fmt.Errorf("%s: left side of assignment is not assignable", pos)
+		}
+		return &AssignStmt{LHS: e, RHS: rhs, Pos: pos}, nil
+	}
+	return &ExprStmt{E: e}, nil
+}
+
+func (p *parser) parseIf() (Stmt, error) {
+	pos := p.next().Pos
+	if _, err := p.expect(TokLParen); err != nil {
+		return nil, err
+	}
+	cond, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokRParen); err != nil {
+		return nil, err
+	}
+	then, err := p.parseStmt()
+	if err != nil {
+		return nil, err
+	}
+	s := &IfStmt{Cond: cond, Then: then, Pos: pos}
+	if p.accept(TokElse) {
+		els, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		s.Else = els
+	}
+	return s, nil
+}
+
+func (p *parser) parseWhile() (Stmt, error) {
+	pos := p.next().Pos
+	if _, err := p.expect(TokLParen); err != nil {
+		return nil, err
+	}
+	cond, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokRParen); err != nil {
+		return nil, err
+	}
+	body, err := p.parseStmt()
+	if err != nil {
+		return nil, err
+	}
+	return &WhileStmt{Cond: cond, Body: body, Pos: pos}, nil
+}
+
+func (p *parser) parseFor() (Stmt, error) {
+	pos := p.next().Pos
+	if _, err := p.expect(TokLParen); err != nil {
+		return nil, err
+	}
+	s := &ForStmt{Pos: pos}
+	if !p.at(TokSemi) {
+		init, err := p.parseSimpleStmt()
+		if err != nil {
+			return nil, err
+		}
+		s.Init = init
+	}
+	if _, err := p.expect(TokSemi); err != nil {
+		return nil, err
+	}
+	if !p.at(TokSemi) {
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		s.Cond = cond
+	}
+	if _, err := p.expect(TokSemi); err != nil {
+		return nil, err
+	}
+	if !p.at(TokRParen) {
+		post, err := p.parseSimpleStmt()
+		if err != nil {
+			return nil, err
+		}
+		s.Post = post
+	}
+	if _, err := p.expect(TokRParen); err != nil {
+		return nil, err
+	}
+	body, err := p.parseStmt()
+	if err != nil {
+		return nil, err
+	}
+	s.Body = body
+	return s, nil
+}
+
+func (p *parser) parseArgs() ([]Expr, error) {
+	var args []Expr
+	for !p.at(TokRParen) {
+		a, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		args = append(args, a)
+		if !p.accept(TokComma) {
+			break
+		}
+	}
+	if _, err := p.expect(TokRParen); err != nil {
+		return nil, err
+	}
+	return args, nil
+}
+
+// Expression parsing: precedence climbing, Java operator order.
+
+func (p *parser) parseExpr() (Expr, error) { return p.parseOr() }
+
+// binaryLevel parses a left-associative level with the given operator
+// set and next-tighter level.
+func (p *parser) binaryLevel(ops []Kind, next func() (Expr, error)) (Expr, error) {
+	x, err := next()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		matched := false
+		for _, op := range ops {
+			if p.at(op) {
+				t := p.next()
+				y, err := next()
+				if err != nil {
+					return nil, err
+				}
+				x = &Binary{exprBase: exprBase{Pos: t.Pos}, Op: op, X: x, Y: y}
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			return x, nil
+		}
+	}
+}
+
+func (p *parser) parseOr() (Expr, error) {
+	return p.binaryLevel([]Kind{TokOrOr}, p.parseAnd)
+}
+
+func (p *parser) parseAnd() (Expr, error) {
+	return p.binaryLevel([]Kind{TokAndAnd}, p.parseBitOr)
+}
+
+func (p *parser) parseBitOr() (Expr, error) {
+	return p.binaryLevel([]Kind{TokPipe}, p.parseBitXor)
+}
+
+func (p *parser) parseBitXor() (Expr, error) {
+	return p.binaryLevel([]Kind{TokCaret}, p.parseBitAnd)
+}
+
+func (p *parser) parseBitAnd() (Expr, error) {
+	return p.binaryLevel([]Kind{TokAmp}, p.parseEquality)
+}
+
+func (p *parser) parseEquality() (Expr, error) {
+	return p.binaryLevel([]Kind{TokEq, TokNe}, p.parseRelational)
+}
+
+func (p *parser) parseRelational() (Expr, error) {
+	x, err := p.parseShift()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch {
+		case p.at(TokLt) || p.at(TokLe) || p.at(TokGt) || p.at(TokGe):
+			t := p.next()
+			y, err := p.parseShift()
+			if err != nil {
+				return nil, err
+			}
+			x = &Binary{exprBase: exprBase{Pos: t.Pos}, Op: t.Kind, X: x, Y: y}
+		case p.at(TokInstanceof):
+			t := p.next()
+			id, err := p.expect(TokIdent)
+			if err != nil {
+				return nil, err
+			}
+			x = &InstanceOf{exprBase: exprBase{Pos: t.Pos}, X: x, TypeName: id.Text, TPos: id.Pos}
+		default:
+			return x, nil
+		}
+	}
+}
+
+func (p *parser) parseShift() (Expr, error) {
+	return p.binaryLevel([]Kind{TokShl, TokShr}, p.parseAdditive)
+}
+
+func (p *parser) parseAdditive() (Expr, error) {
+	return p.binaryLevel([]Kind{TokPlus, TokMinus}, p.parseMultiplicative)
+}
+
+func (p *parser) parseMultiplicative() (Expr, error) {
+	return p.binaryLevel([]Kind{TokStar, TokSlash, TokPercent}, p.parseUnary)
+}
+
+func (p *parser) parseUnary() (Expr, error) {
+	switch p.cur().Kind {
+	case TokBang:
+		t := p.next()
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &Unary{exprBase: exprBase{Pos: t.Pos}, Op: TokBang, X: x}, nil
+	case TokMinus:
+		t := p.next()
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		if lit, ok := x.(*IntLit); ok {
+			lit.V = -lit.V
+			return lit, nil
+		}
+		return &Unary{exprBase: exprBase{Pos: t.Pos}, Op: TokMinus, X: x}, nil
+	case TokLParen:
+		// Possible cast: '(' ClassName [dims] ')' unary.
+		if p.isCastAhead() {
+			t := p.next() // (
+			te, err := p.parseTypeExpr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(TokRParen); err != nil {
+				return nil, err
+			}
+			x, err := p.parseUnary()
+			if err != nil {
+				return nil, err
+			}
+			return &Cast{exprBase: exprBase{Pos: t.Pos}, TypeExpr: te, X: x}, nil
+		}
+	}
+	return p.parsePostfix()
+}
+
+// isCastAhead reports whether the cursor (at '(') begins a cast
+// expression: the parenthesized name must be a known class name
+// (optionally with array dims) and the ')' must be followed by a token
+// that can start a unary expression.
+func (p *parser) isCastAhead() bool {
+	i := p.pos + 1
+	if p.toks[i].Kind != TokIdent || !p.classNames[p.toks[i].Text] {
+		return false
+	}
+	i++
+	for i+1 < len(p.toks) && p.toks[i].Kind == TokLBracket && p.toks[i+1].Kind == TokRBracket {
+		i += 2
+	}
+	if p.toks[i].Kind != TokRParen {
+		return false
+	}
+	switch p.toks[i+1].Kind {
+	case TokIdent, TokInt, TokThis, TokNull, TokNew, TokLParen, TokTrue, TokFalse, TokBang:
+		return true
+	}
+	return false
+}
+
+func (p *parser) parsePostfix() (Expr, error) {
+	x, err := p.parsePrimary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch {
+		case p.at(TokDot):
+			p.next()
+			id, err := p.expect(TokIdent)
+			if err != nil {
+				return nil, err
+			}
+			if p.accept(TokLParen) {
+				args, err := p.parseArgs()
+				if err != nil {
+					return nil, err
+				}
+				x = &Call{exprBase: exprBase{Pos: id.Pos}, Recv: x, Name: id.Text, Args: args}
+			} else {
+				x = &FieldAccess{exprBase: exprBase{Pos: id.Pos}, X: x, Name: id.Text}
+			}
+		case p.at(TokLBracket):
+			t := p.next()
+			idx, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(TokRBracket); err != nil {
+				return nil, err
+			}
+			x = &Index{exprBase: exprBase{Pos: t.Pos}, Arr: x, Idx: idx}
+		default:
+			return x, nil
+		}
+	}
+}
+
+func (p *parser) parsePrimary() (Expr, error) {
+	t := p.cur()
+	switch t.Kind {
+	case TokInt:
+		p.next()
+		return &IntLit{exprBase: exprBase{Pos: t.Pos}, V: t.Int}, nil
+	case TokTrue, TokFalse:
+		p.next()
+		return &BoolLit{exprBase: exprBase{Pos: t.Pos}, V: t.Kind == TokTrue}, nil
+	case TokNull:
+		p.next()
+		return &NullLit{exprBase: exprBase{Pos: t.Pos}}, nil
+	case TokThis:
+		p.next()
+		return &ThisExpr{exprBase: exprBase{Pos: t.Pos}}, nil
+	case TokIdent:
+		p.next()
+		if p.accept(TokLParen) {
+			args, err := p.parseArgs()
+			if err != nil {
+				return nil, err
+			}
+			return &Call{exprBase: exprBase{Pos: t.Pos}, Name: t.Text, Args: args}, nil
+		}
+		return &Ident{exprBase: exprBase{Pos: t.Pos}, Name: t.Text}, nil
+	case TokNew:
+		p.next()
+		te, err := p.parseNewType()
+		if err != nil {
+			return nil, err
+		}
+		if p.at(TokLParen) {
+			if te.Dims > 0 || te.Name == "int" || te.Name == "boolean" {
+				return nil, fmt.Errorf("%s: cannot construct %s with new(...)", t.Pos, typeDesc(te))
+			}
+			p.next()
+			args, err := p.parseArgs()
+			if err != nil {
+				return nil, err
+			}
+			return &NewObject{exprBase: exprBase{Pos: t.Pos}, TypeName: te.Name, Args: args}, nil
+		}
+		if p.at(TokLBracket) {
+			p.next()
+			length, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(TokRBracket); err != nil {
+				return nil, err
+			}
+			elem := te
+			for p.at(TokLBracket) && p.peek().Kind == TokRBracket {
+				p.next()
+				p.next()
+				elem.Dims++
+			}
+			return &NewArray{exprBase: exprBase{Pos: t.Pos}, Elem: elem, Len: length}, nil
+		}
+		return nil, fmt.Errorf("%s: expected '(' or '[' after new %s", p.cur().Pos, te.Name)
+	case TokLParen:
+		p.next()
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokRParen); err != nil {
+			return nil, err
+		}
+		return e, nil
+	}
+	return nil, fmt.Errorf("%s: unexpected %v in expression", t.Pos, t.Kind)
+}
+
+// parseNewType parses the type after 'new' WITHOUT consuming '[' since
+// the first bracket holds the array length.
+func (p *parser) parseNewType() (TypeExpr, error) {
+	t := p.cur()
+	var name string
+	switch t.Kind {
+	case TokTInt:
+		name = "int"
+	case TokTBool:
+		name = "boolean"
+	case TokIdent:
+		name = t.Text
+	default:
+		return TypeExpr{}, fmt.Errorf("%s: expected type after new, found %v", t.Pos, t.Kind)
+	}
+	p.next()
+	return TypeExpr{Name: name, Pos: t.Pos}, nil
+}

@@ -1,0 +1,265 @@
+package mj
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Print renders a parsed (not necessarily checked) program back to MJ
+// source. The output re-parses to a structurally identical program —
+// the round-trip property the tests enforce — which makes Print useful
+// for golden tests, program generators, and debugging parser changes.
+func Print(p *Program) string {
+	pr := &printer{}
+	for _, g := range p.Globals {
+		pr.global(g)
+	}
+	for _, c := range p.Classes {
+		pr.class(c)
+	}
+	for _, f := range p.Funcs {
+		pr.method(f, false)
+	}
+	return pr.b.String()
+}
+
+type printer struct {
+	b      strings.Builder
+	indent int
+}
+
+func (p *printer) line(format string, args ...any) {
+	p.b.WriteString(strings.Repeat("\t", p.indent))
+	fmt.Fprintf(&p.b, format, args...)
+	p.b.WriteString("\n")
+}
+
+func (p *printer) global(g *GlobalDecl) {
+	if g.Init != nil {
+		p.line("%s %s = %d;", typeDesc(g.TypeExpr), g.Name, *g.Init)
+	} else {
+		p.line("%s %s;", typeDesc(g.TypeExpr), g.Name)
+	}
+}
+
+func (p *printer) class(c *ClassDecl) {
+	ext := ""
+	if c.SuperName != "" {
+		ext = " extends " + c.SuperName
+	}
+	p.line("class %s%s {", c.Name, ext)
+	p.indent++
+	for _, f := range c.Fields {
+		p.line("%s %s;", typeDesc(f.TypeExpr), f.Name)
+	}
+	for _, ct := range c.Ctors {
+		p.ctor(c, ct)
+	}
+	for _, m := range c.Methods {
+		p.method(m, true)
+	}
+	p.indent--
+	p.line("}")
+}
+
+func (p *printer) params(m *MethodDecl) string {
+	parts := make([]string, len(m.Params))
+	for i, prm := range m.Params {
+		parts[i] = typeDesc(prm.TypeExpr) + " " + prm.Name
+	}
+	return strings.Join(parts, ", ")
+}
+
+func (p *printer) ctor(c *ClassDecl, m *MethodDecl) {
+	p.line("%s(%s) {", c.Name, p.params(m))
+	p.indent++
+	for _, s := range m.Body.Stmts {
+		p.stmt(s)
+	}
+	p.indent--
+	p.line("}")
+}
+
+func (p *printer) method(m *MethodDecl, inClass bool) {
+	static := ""
+	if inClass && m.Static {
+		static = "static "
+	}
+	p.line("%s%s %s(%s) {", static, typeDesc(m.RetType), m.Name, p.params(m))
+	p.indent++
+	for _, s := range m.Body.Stmts {
+		p.stmt(s)
+	}
+	p.indent--
+	p.line("}")
+}
+
+func (p *printer) stmt(s Stmt) {
+	switch s := s.(type) {
+	case *Block:
+		p.line("{")
+		p.indent++
+		for _, st := range s.Stmts {
+			p.stmt(st)
+		}
+		p.indent--
+		p.line("}")
+	case *VarDeclStmt:
+		if s.Init != nil {
+			p.line("%s %s = %s;", typeDesc(s.TypeExpr), s.Name, exprString(s.Init))
+		} else {
+			p.line("%s %s;", typeDesc(s.TypeExpr), s.Name)
+		}
+	case *AssignStmt:
+		p.line("%s = %s;", exprString(s.LHS), exprString(s.RHS))
+	case *ExprStmt:
+		p.line("%s;", exprString(s.E))
+	case *IfStmt:
+		p.line("if (%s) {", exprString(s.Cond))
+		p.indent++
+		p.stmtsOf(s.Then)
+		p.indent--
+		if s.Else != nil {
+			p.line("} else {")
+			p.indent++
+			p.stmtsOf(s.Else)
+			p.indent--
+		}
+		p.line("}")
+	case *WhileStmt:
+		p.line("while (%s) {", exprString(s.Cond))
+		p.indent++
+		p.stmtsOf(s.Body)
+		p.indent--
+		p.line("}")
+	case *ForStmt:
+		init, cond, post := "", "", ""
+		if s.Init != nil {
+			init = simpleStmtString(s.Init)
+		}
+		if s.Cond != nil {
+			cond = exprString(s.Cond)
+		}
+		if s.Post != nil {
+			post = simpleStmtString(s.Post)
+		}
+		p.line("for (%s; %s; %s) {", init, cond, post)
+		p.indent++
+		p.stmtsOf(s.Body)
+		p.indent--
+		p.line("}")
+	case *ReturnStmt:
+		if s.E != nil {
+			p.line("return %s;", exprString(s.E))
+		} else {
+			p.line("return;")
+		}
+	case *BreakStmt:
+		p.line("break;")
+	case *ContinueStmt:
+		p.line("continue;")
+	case *PrintStmt:
+		p.line("print(%s);", exprString(s.E))
+	case *SuperCallStmt:
+		args := make([]string, len(s.Args))
+		for i, a := range s.Args {
+			args[i] = exprString(a)
+		}
+		p.line("super(%s);", strings.Join(args, ", "))
+	default:
+		p.line("/* unknown statement %T */", s)
+	}
+}
+
+// stmtsOf prints a statement that is syntactically a body: a block's
+// statements are flattened into the braces the caller already printed.
+func (p *printer) stmtsOf(s Stmt) {
+	if b, ok := s.(*Block); ok {
+		for _, st := range b.Stmts {
+			p.stmt(st)
+		}
+		return
+	}
+	p.stmt(s)
+}
+
+// simpleStmtString renders a for-header statement without trailing
+// semicolon.
+func simpleStmtString(s Stmt) string {
+	switch s := s.(type) {
+	case *VarDeclStmt:
+		if s.Init != nil {
+			return fmt.Sprintf("%s %s = %s", typeDesc(s.TypeExpr), s.Name, exprString(s.Init))
+		}
+		return fmt.Sprintf("%s %s", typeDesc(s.TypeExpr), s.Name)
+	case *AssignStmt:
+		return fmt.Sprintf("%s = %s", exprString(s.LHS), exprString(s.RHS))
+	case *ExprStmt:
+		return exprString(s.E)
+	default:
+		return fmt.Sprintf("/* %T */", s)
+	}
+}
+
+var opSpelling = map[Kind]string{
+	TokPlus: "+", TokMinus: "-", TokStar: "*", TokSlash: "/", TokPercent: "%",
+	TokAmp: "&", TokPipe: "|", TokCaret: "^", TokShl: "<<", TokShr: ">>",
+	TokEq: "==", TokNe: "!=", TokLt: "<", TokLe: "<=", TokGt: ">", TokGe: ">=",
+	TokAndAnd: "&&", TokOrOr: "||",
+}
+
+// exprString renders an expression fully parenthesized (except for
+// primaries), which keeps the printer independent of precedence and
+// guarantees a clean re-parse.
+func exprString(e Expr) string {
+	switch e := e.(type) {
+	case *IntLit:
+		return fmt.Sprintf("%d", e.V)
+	case *BoolLit:
+		if e.V {
+			return "true"
+		}
+		return "false"
+	case *NullLit:
+		return "null"
+	case *ThisExpr:
+		return "this"
+	case *Ident:
+		return e.Name
+	case *Unary:
+		op := "-"
+		if e.Op == TokBang {
+			op = "!"
+		}
+		return fmt.Sprintf("(%s%s)", op, exprString(e.X))
+	case *Binary:
+		return fmt.Sprintf("(%s %s %s)", exprString(e.X), opSpelling[e.Op], exprString(e.Y))
+	case *InstanceOf:
+		return fmt.Sprintf("(%s instanceof %s)", exprString(e.X), e.TypeName)
+	case *Cast:
+		return fmt.Sprintf("((%s)%s)", typeDesc(e.TypeExpr), exprString(e.X))
+	case *Index:
+		return fmt.Sprintf("%s[%s]", exprString(e.Arr), exprString(e.Idx))
+	case *FieldAccess:
+		return fmt.Sprintf("%s.%s", exprString(e.X), e.Name)
+	case *Call:
+		args := make([]string, len(e.Args))
+		for i, a := range e.Args {
+			args[i] = exprString(a)
+		}
+		if e.Recv == nil {
+			return fmt.Sprintf("%s(%s)", e.Name, strings.Join(args, ", "))
+		}
+		return fmt.Sprintf("%s.%s(%s)", exprString(e.Recv), e.Name, strings.Join(args, ", "))
+	case *NewObject:
+		args := make([]string, len(e.Args))
+		for i, a := range e.Args {
+			args[i] = exprString(a)
+		}
+		return fmt.Sprintf("new %s(%s)", e.TypeName, strings.Join(args, ", "))
+	case *NewArray:
+		return fmt.Sprintf("new %s[%s]%s", e.Elem.Name, exprString(e.Len), strings.Repeat("[]", e.Elem.Dims))
+	default:
+		return fmt.Sprintf("/* %T */", e)
+	}
+}

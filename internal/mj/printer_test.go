@@ -1,0 +1,90 @@
+package mj
+
+import (
+	"testing"
+
+	"gocbs/internal/bytecode"
+	"gocbs/internal/vm"
+)
+
+// parseOnly runs lex+parse.
+func parseOnly(t *testing.T, src string) *Program {
+	t.Helper()
+	toks, err := Lex(src)
+	if err != nil {
+		t.Fatalf("Lex: %v", err)
+	}
+	ast, err := Parse(toks)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	return ast
+}
+
+func TestPrintRoundTripFixpoint(t *testing.T) {
+	srcOK := `
+		int g = 7;
+		class Shape {
+			int kind;
+			Shape(int k) { this.kind = k; }
+			int area() { return 0; }
+		}
+		class Circle extends Shape {
+			int r;
+			Circle(int ar) { super(1); this.r = ar; }
+			int area() { return (3 * r) * r; }
+			static int tag() { return 42; }
+		}
+		int main(int n) {
+			Shape s = new Circle(n);
+			int[] xs = new int[10];
+			int[][] grid = new int[3][];
+			grid[0] = xs;
+			for (int i = 0; i < xs.length; i = i + 1) { xs[i] = i << 1; }
+			while (n > 0) {
+				n = n - 1;
+				if (n % 2 == 0) { continue; }
+				if (n > 100) { break; }
+			}
+			boolean cond = true && !false || 1 < 2;
+			if (s instanceof Circle && cond) {
+				Circle c = (Circle)s;
+				g = g + c.area();
+			} else {
+				g = -1;
+			}
+			print(g);
+			return g + s.area() + Circle.tag() + grid[0][2];
+		}
+	`
+	ast1 := parseOnly(t, srcOK)
+	out1 := Print(ast1)
+	ast2 := parseOnly(t, out1)
+	out2 := Print(ast2)
+	if out1 != out2 {
+		t.Fatalf("printer not a fixpoint:\n--- first ---\n%s\n--- second ---\n%s", out1, out2)
+	}
+	// The printed program must also typecheck and run identically.
+	p1, err := Compile(srcOK)
+	if err != nil {
+		t.Fatalf("compile original: %v", err)
+	}
+	p2, err := Compile(out1)
+	if err != nil {
+		t.Fatalf("compile printed: %v\n%s", err, out1)
+	}
+	run := func(p *bytecode.Program) (int64, []int64) {
+		m := vm.New(p)
+		m.MaxSteps = 10_000_000
+		v, err := m.Run(9)
+		if err != nil {
+			t.Fatalf("run: %v", err)
+		}
+		return v.I, m.Output
+	}
+	r1, o1 := run(p1)
+	r2, o2 := run(p2)
+	if r1 != r2 || len(o1) != len(o2) {
+		t.Fatalf("printed program behaves differently: %d vs %d", r1, r2)
+	}
+}

@@ -1,0 +1,128 @@
+// Package mj implements the MJ language: a small Java-like
+// object-oriented source language (classes, single inheritance,
+// virtual methods, constructors, arrays, integers and booleans) that
+// compiles to MJ VM bytecode. The benchmark suite and examples are
+// written in MJ so their call-graph structure is readable and
+// auditable.
+//
+// The pipeline is conventional: Lex → Parse → Check → Generate, driven
+// by Compile. Each stage reports errors with source positions.
+package mj
+
+import "fmt"
+
+// Kind classifies a token.
+type Kind uint8
+
+// Token kinds.
+const (
+	TokEOF Kind = iota
+	TokIdent
+	TokInt
+
+	// Keywords.
+	TokClass
+	TokExtends
+	TokStatic
+	TokIf
+	TokElse
+	TokWhile
+	TokFor
+	TokReturn
+	TokBreak
+	TokContinue
+	TokNew
+	TokThis
+	TokSuper
+	TokNull
+	TokTrue
+	TokFalse
+	TokPrint
+	TokInstanceof
+	TokTInt
+	TokTBool
+	TokTVoid
+
+	// Punctuation and operators.
+	TokLParen
+	TokRParen
+	TokLBrace
+	TokRBrace
+	TokLBracket
+	TokRBracket
+	TokSemi
+	TokComma
+	TokDot
+	TokAssign
+	TokPlus
+	TokMinus
+	TokStar
+	TokSlash
+	TokPercent
+	TokAmp
+	TokPipe
+	TokCaret
+	TokShl
+	TokShr
+	TokEq
+	TokNe
+	TokLt
+	TokLe
+	TokGt
+	TokGe
+	TokAndAnd
+	TokOrOr
+	TokBang
+)
+
+var kindNames = map[Kind]string{
+	TokEOF: "end of file", TokIdent: "identifier", TokInt: "integer literal",
+	TokClass: "'class'", TokExtends: "'extends'", TokStatic: "'static'",
+	TokIf: "'if'", TokElse: "'else'", TokWhile: "'while'", TokFor: "'for'",
+	TokReturn: "'return'", TokBreak: "'break'", TokContinue: "'continue'",
+	TokNew: "'new'", TokThis: "'this'", TokSuper: "'super'", TokNull: "'null'",
+	TokTrue: "'true'", TokFalse: "'false'", TokPrint: "'print'",
+	TokInstanceof: "'instanceof'",
+	TokTInt:       "'int'", TokTBool: "'boolean'", TokTVoid: "'void'",
+	TokLParen: "'('", TokRParen: "')'", TokLBrace: "'{'", TokRBrace: "'}'",
+	TokLBracket: "'['", TokRBracket: "']'", TokSemi: "';'", TokComma: "','",
+	TokDot: "'.'", TokAssign: "'='",
+	TokPlus: "'+'", TokMinus: "'-'", TokStar: "'*'", TokSlash: "'/'", TokPercent: "'%'",
+	TokAmp: "'&'", TokPipe: "'|'", TokCaret: "'^'", TokShl: "'<<'", TokShr: "'>>'",
+	TokEq: "'=='", TokNe: "'!='", TokLt: "'<'", TokLe: "'<='", TokGt: "'>'", TokGe: "'>='",
+	TokAndAnd: "'&&'", TokOrOr: "'||'", TokBang: "'!'",
+}
+
+// String returns a human-readable name for k.
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("token(%d)", int(k))
+}
+
+var keywords = map[string]Kind{
+	"class": TokClass, "extends": TokExtends, "static": TokStatic,
+	"if": TokIf, "else": TokElse, "while": TokWhile, "for": TokFor,
+	"return": TokReturn, "break": TokBreak, "continue": TokContinue,
+	"new": TokNew, "this": TokThis, "super": TokSuper, "null": TokNull,
+	"true": TokTrue, "false": TokFalse, "print": TokPrint,
+	"instanceof": TokInstanceof,
+	"int":        TokTInt, "boolean": TokTBool, "void": TokTVoid,
+}
+
+// Pos is a source position.
+type Pos struct {
+	Line, Col int
+}
+
+// String renders the position as "line:col".
+func (p Pos) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Col) }
+
+// Token is one lexed token.
+type Token struct {
+	Kind Kind
+	Text string // identifier text or literal spelling
+	Int  int64  // value for TokInt
+	Pos  Pos
+}

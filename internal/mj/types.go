@@ -1,0 +1,113 @@
+package mj
+
+import "strings"
+
+// Type is an MJ semantic type.
+type Type interface {
+	String() string
+}
+
+// PrimType is one of the built-in primitive types.
+type PrimType int
+
+// Primitive types. TypeNull is the type of the null literal, assignable
+// to any reference type.
+const (
+	TypeInt PrimType = iota
+	TypeBool
+	TypeVoid
+	TypeNull
+)
+
+func (p PrimType) String() string {
+	switch p {
+	case TypeInt:
+		return "int"
+	case TypeBool:
+		return "boolean"
+	case TypeVoid:
+		return "void"
+	default:
+		return "null"
+	}
+}
+
+// ClassType is an object type.
+type ClassType struct{ Decl *ClassDecl }
+
+func (c *ClassType) String() string { return c.Decl.Name }
+
+// ArrayType is an array of Elem.
+type ArrayType struct{ Elem Type }
+
+func (a *ArrayType) String() string { return a.Elem.String() + "[]" }
+
+// isRef reports whether t is a reference type (class, array, or null).
+func isRef(t Type) bool {
+	switch t := t.(type) {
+	case *ClassType, *ArrayType:
+		return true
+	case PrimType:
+		return t == TypeNull
+	}
+	return false
+}
+
+// sameType reports structural type equality.
+func sameType(a, b Type) bool {
+	switch a := a.(type) {
+	case PrimType:
+		b, ok := b.(PrimType)
+		return ok && a == b
+	case *ClassType:
+		b, ok := b.(*ClassType)
+		return ok && a.Decl == b.Decl
+	case *ArrayType:
+		b, ok := b.(*ArrayType)
+		return ok && sameType(a.Elem, b.Elem)
+	}
+	return false
+}
+
+// assignable reports whether a value of type src may be stored into a
+// location of type dst: identical types, null into any reference, or a
+// subclass into a superclass. Arrays are invariant.
+func assignable(dst, src Type) bool {
+	if sameType(dst, src) {
+		return true
+	}
+	if src == PrimType(TypeNull) && isRef(dst) {
+		return true
+	}
+	ds, ok1 := dst.(*ClassType)
+	ss, ok2 := src.(*ClassType)
+	if ok1 && ok2 {
+		return ss.Decl.HasAncestor(ds.Decl)
+	}
+	return false
+}
+
+// comparable reports whether == / != is defined between the two types.
+func comparableTypes(a, b Type) bool {
+	if sameType(a, b) {
+		return true
+	}
+	if isRef(a) && isRef(b) {
+		// Reference comparison needs some relation: null against any
+		// reference, or class types on the same chain.
+		if a == PrimType(TypeNull) || b == PrimType(TypeNull) {
+			return true
+		}
+		ac, ok1 := a.(*ClassType)
+		bc, ok2 := b.(*ClassType)
+		if ok1 && ok2 {
+			return ac.Decl.HasAncestor(bc.Decl) || bc.Decl.HasAncestor(ac.Decl)
+		}
+	}
+	return false
+}
+
+// typeDesc renders a TypeExpr for error messages.
+func typeDesc(te TypeExpr) string {
+	return te.Name + strings.Repeat("[]", te.Dims)
+}

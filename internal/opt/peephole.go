@@ -1,0 +1,274 @@
+// Package opt implements a peephole/cleanup optimizer for MJ VM
+// bytecode. It is the tidy-up pass a JIT would run after inlining:
+// constant folding, jump threading, branch simplification, nop
+// removal, and unreachable-code elimination. The pass is semantics
+// preserving (the differential tests run it over randomly generated
+// programs) and is offered as an opt-in ablation on top of the paper's
+// pipeline — the published experiment numbers run without it.
+package opt
+
+import (
+	"fmt"
+
+	"gocbs/internal/bytecode"
+)
+
+// Cleanup optimizes one method in place until a fixpoint (bounded),
+// re-verifying the result. It returns the number of instructions
+// removed.
+func Cleanup(p *bytecode.Program, m *bytecode.Method) (int, error) {
+	before := len(m.Code)
+	for pass := 0; pass < 8; pass++ {
+		changed := foldConstants(m)
+		changed = threadJumps(m) || changed
+		changed = simplifyBranches(m) || changed
+		removed, err := eliminateDead(p, m)
+		if err != nil {
+			return 0, err
+		}
+		if !changed && removed == 0 {
+			break
+		}
+	}
+	m.Size = len(m.Code)
+	if err := bytecode.Verify(p, m); err != nil {
+		return 0, fmt.Errorf("cleanup broke %s: %w", m.Name, err)
+	}
+	return before - len(m.Code), nil
+}
+
+// CleanupProgram runs Cleanup over every method.
+func CleanupProgram(p *bytecode.Program) (int, error) {
+	total := 0
+	for _, m := range p.Methods {
+		n, err := Cleanup(p, m)
+		if err != nil {
+			return total, err
+		}
+		total += n
+	}
+	return total, nil
+}
+
+// jumpTargets returns whether each pc is a branch target (needed to
+// know when a straight-line window is safe to rewrite).
+func jumpTargets(m *bytecode.Method) []bool {
+	t := make([]bool, len(m.Code)+1)
+	for _, ins := range m.Code {
+		if ins.Op.IsBranch() {
+			t[ins.A] = true
+		}
+	}
+	return t
+}
+
+// foldConstants rewrites Const a; Const b; <binop> windows into a
+// single Const when the result fits an int32 operand, replacing the
+// first two instructions with nops (removed later by eliminateDead).
+// Windows whose interior is a branch target are left alone.
+func foldConstants(m *bytecode.Method) bool {
+	targets := jumpTargets(m)
+	changed := false
+	for pc := 0; pc+2 < len(m.Code); pc++ {
+		a, b, op := m.Code[pc], m.Code[pc+1], m.Code[pc+2]
+		if a.Op != bytecode.OpConst || b.Op != bytecode.OpConst {
+			continue
+		}
+		if targets[pc+1] || targets[pc+2] {
+			continue
+		}
+		x, y := int64(a.A), int64(b.A)
+		var v int64
+		switch op.Op {
+		case bytecode.OpAdd:
+			v = x + y
+		case bytecode.OpSub:
+			v = x - y
+		case bytecode.OpMul:
+			v = x * y
+		case bytecode.OpAnd:
+			v = x & y
+		case bytecode.OpOr:
+			v = x | y
+		case bytecode.OpXor:
+			v = x ^ y
+		case bytecode.OpShl:
+			v = x << (uint64(y) & 63)
+		case bytecode.OpShr:
+			v = x >> (uint64(y) & 63)
+		case bytecode.OpDiv:
+			if y == 0 {
+				continue // preserve the trap
+			}
+			v = x / y
+		case bytecode.OpRem:
+			if y == 0 {
+				continue
+			}
+			v = x % y
+		case bytecode.OpEq, bytecode.OpNe, bytecode.OpLt, bytecode.OpLe, bytecode.OpGt, bytecode.OpGe:
+			var t bool
+			switch op.Op {
+			case bytecode.OpEq:
+				t = x == y
+			case bytecode.OpNe:
+				t = x != y
+			case bytecode.OpLt:
+				t = x < y
+			case bytecode.OpLe:
+				t = x <= y
+			case bytecode.OpGt:
+				t = x > y
+			default:
+				t = x >= y
+			}
+			v = 0
+			if t {
+				v = 1
+			}
+		default:
+			continue
+		}
+		if int64(int32(v)) != v {
+			continue
+		}
+		m.Code[pc] = bytecode.Instr{Op: bytecode.OpNop}
+		m.Code[pc+1] = bytecode.Instr{Op: bytecode.OpNop}
+		m.Code[pc+2] = bytecode.Instr{Op: bytecode.OpConst, A: int32(v)}
+		changed = true
+	}
+	return changed
+}
+
+// threadJumps retargets branches that point at unconditional jumps.
+func threadJumps(m *bytecode.Method) bool {
+	changed := false
+	final := func(start int32) int32 {
+		seen := 0
+		t := start
+		for int(t) < len(m.Code) && m.Code[t].Op == bytecode.OpJump && seen < 16 {
+			nt := m.Code[t].A
+			if nt == t {
+				break // self-loop
+			}
+			t = nt
+			seen++
+		}
+		return t
+	}
+	for pc := range m.Code {
+		if !m.Code[pc].Op.IsBranch() {
+			continue
+		}
+		if nt := final(m.Code[pc].A); nt != m.Code[pc].A {
+			m.Code[pc].A = nt
+			changed = true
+		}
+	}
+	return changed
+}
+
+// simplifyBranches removes branches to the immediately following
+// instruction and folds constant conditions.
+func simplifyBranches(m *bytecode.Method) bool {
+	targets := jumpTargets(m)
+	changed := false
+	for pc := range m.Code {
+		ins := m.Code[pc]
+		switch ins.Op {
+		case bytecode.OpJump:
+			if int(ins.A) == pc+1 {
+				m.Code[pc] = bytecode.Instr{Op: bytecode.OpNop}
+				changed = true
+			}
+		case bytecode.OpJumpZ, bytecode.OpJumpNZ:
+			// Const c; JumpZ/NZ -> Jump or fallthrough.
+			if pc > 0 && m.Code[pc-1].Op == bytecode.OpConst && !targets[pc] {
+				c := m.Code[pc-1].A
+				taken := (c == 0) == (ins.Op == bytecode.OpJumpZ)
+				m.Code[pc-1] = bytecode.Instr{Op: bytecode.OpNop}
+				if taken {
+					m.Code[pc] = bytecode.Instr{Op: bytecode.OpJump, A: ins.A}
+				} else {
+					m.Code[pc] = bytecode.Instr{Op: bytecode.OpNop}
+				}
+				changed = true
+			}
+		}
+	}
+	return changed
+}
+
+// eliminateDead removes nops and unreachable instructions, relaying
+// out the method and retargeting every branch.
+func eliminateDead(p *bytecode.Program, m *bytecode.Method) (int, error) {
+	code := m.Code
+	reach := make([]bool, len(code))
+	var work []int
+	push := func(pc int) {
+		if pc >= 0 && pc < len(code) && !reach[pc] {
+			reach[pc] = true
+			work = append(work, pc)
+		}
+	}
+	push(0)
+	for len(work) > 0 {
+		pc := work[len(work)-1]
+		work = work[:len(work)-1]
+		ins := code[pc]
+		switch {
+		case ins.Op.IsReturn(), ins.Op == bytecode.OpHalt:
+		case ins.Op == bytecode.OpJump:
+			push(int(ins.A))
+		case ins.Op == bytecode.OpJumpZ || ins.Op == bytecode.OpJumpNZ:
+			push(int(ins.A))
+			push(pc + 1)
+		default:
+			push(pc + 1)
+		}
+	}
+
+	// An instruction survives if it is reachable and not a nop — except
+	// that a reachable nop that is a branch target of a surviving
+	// branch must... simpler: keep a mapping old->new where removed
+	// instructions map to the next surviving pc.
+	keep := make([]bool, len(code))
+	n := 0
+	for pc, ins := range code {
+		keep[pc] = reach[pc] && ins.Op != bytecode.OpNop
+		if keep[pc] {
+			n++
+		}
+	}
+	if n == len(code) {
+		return 0, nil
+	}
+	if n == 0 {
+		return 0, fmt.Errorf("cleanup would delete entire body of %s", m.Name)
+	}
+	newPC := make([]int32, len(code)+1)
+	cur := int32(0)
+	for pc := range code {
+		newPC[pc] = cur
+		if keep[pc] {
+			cur++
+		}
+	}
+	newPC[len(code)] = cur
+
+	out := make([]bytecode.Instr, 0, n)
+	for pc, ins := range code {
+		if !keep[pc] {
+			continue
+		}
+		if ins.Op.IsBranch() {
+			ins.A = newPC[ins.A]
+		}
+		out = append(out, ins)
+	}
+	// The body must still end in a terminal instruction; if the old
+	// last instruction was removed as a nop, the verifier will complain
+	// — guard by appending nothing and letting Verify catch issues.
+	m.Code = out
+	return len(code) - n, nil
+}

@@ -1,0 +1,149 @@
+package profile
+
+import (
+	"sort"
+)
+
+// CCT is a calling-context tree: the context-sensitive extension the
+// paper notes CBS supports naturally (§1, §8). Where the DCG merges all
+// contexts of a caller→callee edge, the CCT keeps one node per distinct
+// call path from the root, weighted by samples whose captured stack
+// ended at that node.
+//
+// Paths are sequences of (site, method) pairs from the outermost frame
+// inward; the root represents the harness.
+type CCT struct {
+	Root  *CCTNode
+	total float64
+}
+
+// CCTNode is one context: the method reached through a particular chain
+// of call sites.
+type CCTNode struct {
+	Site     int // call site in the parent that reaches this node (-1 at roots)
+	Method   int
+	Weight   float64
+	children map[cctKey]*CCTNode
+}
+
+type cctKey struct {
+	site   int
+	method int
+}
+
+// NewCCT returns an empty calling-context tree.
+func NewCCT() *CCT {
+	return &CCT{Root: &CCTNode{Site: -1, Method: -1}}
+}
+
+// PathStep is one step of a sampled call path, outermost first.
+type PathStep struct {
+	Site   int
+	Method int
+}
+
+// AddPath records one stack sample: the full call path outermost→
+// innermost, adding weight w at the innermost node (and materializing
+// interior nodes with zero weight as needed).
+func (t *CCT) AddPath(path []PathStep, w float64) {
+	if len(path) == 0 || w <= 0 {
+		return
+	}
+	n := t.Root
+	for _, s := range path {
+		k := cctKey{site: s.Site, method: s.Method}
+		if n.children == nil {
+			n.children = make(map[cctKey]*CCTNode)
+		}
+		c := n.children[k]
+		if c == nil {
+			c = &CCTNode{Site: s.Site, Method: s.Method}
+			n.children[k] = c
+		}
+		n = c
+	}
+	n.Weight += w
+	t.total += w
+}
+
+// Total returns the tree's total sample weight.
+func (t *CCT) Total() float64 { return t.total }
+
+// NumNodes returns the number of context nodes (excluding the root).
+func (t *CCT) NumNodes() int {
+	n := 0
+	var walk func(*CCTNode)
+	walk = func(c *CCTNode) {
+		for _, ch := range c.children {
+			n++
+			walk(ch)
+		}
+	}
+	walk(t.Root)
+	return n
+}
+
+// Children returns a node's children in deterministic order.
+func (n *CCTNode) Children() []*CCTNode {
+	out := make([]*CCTNode, 0, len(n.children))
+	for _, c := range n.children {
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Site != out[j].Site {
+			return out[i].Site < out[j].Site
+		}
+		return out[i].Method < out[j].Method
+	})
+	return out
+}
+
+// Flatten projects the tree onto a context-insensitive DCG: each node's
+// weight becomes a sample on the (parent method, site, method) edge.
+// Interior nodes with zero weight contribute nothing; roots (whose
+// parent is the harness) are skipped, matching how flat DCG profilers
+// ignore harness frames.
+func (t *CCT) Flatten() *DCG {
+	g := NewDCG()
+	var walk func(parent, n *CCTNode)
+	walk = func(parent, n *CCTNode) {
+		if parent.Method >= 0 && n.Weight > 0 {
+			g.AddSample(Edge{Caller: parent.Method, Site: n.Site, Callee: n.Method}, n.Weight)
+		}
+		for _, c := range n.children {
+			walk(n, c)
+		}
+	}
+	for _, c := range t.Root.children {
+		walk(t.Root, c)
+	}
+	return g
+}
+
+// OverlapCCT computes the overlap metric generalized to context trees:
+// nodes are matched by their full path, weights normalized to
+// percentages of each tree's total, and the minimum is summed over
+// common nodes. Like the flat metric it ranges over [0,100].
+func OverlapCCT(a, b *CCT) float64 {
+	if a.total == 0 || b.total == 0 {
+		return 0
+	}
+	var sum float64
+	var walk func(x, y *CCTNode)
+	walk = func(x, y *CCTNode) {
+		pa := x.Weight / a.total * 100
+		pb := y.Weight / b.total * 100
+		if pa < pb {
+			sum += pa
+		} else {
+			sum += pb
+		}
+		for k, xc := range x.children {
+			if yc, ok := y.children[k]; ok {
+				walk(xc, yc)
+			}
+		}
+	}
+	walk(a.Root, b.Root)
+	return sum
+}

@@ -1,0 +1,199 @@
+// Package profile provides the dynamic call graph (DCG) data structure,
+// the overlap accuracy metric used in the paper's §6.2, and the
+// calling-context tree extension (§4, §8).
+//
+// A DCG is a weighted multigraph: nodes are methods, and each edge is a
+// (caller, call site, callee) triple, so two distinct call sites from
+// the same caller to the same callee are distinct edges, and a
+// megamorphic call site contributes one edge per observed target.
+package profile
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Edge is one dynamic call graph edge. IDs refer to bytecode.Method.ID
+// and the program's global call-site numbering; the profile package
+// deliberately stores plain integers so profiles can be saved, diffed,
+// and compared without holding the program alive.
+type Edge struct {
+	Caller int
+	Site   int
+	Callee int
+}
+
+// String renders the edge as "caller --site--> callee".
+func (e Edge) String() string {
+	return fmt.Sprintf("m%d --s%d--> m%d", e.Caller, e.Site, e.Callee)
+}
+
+// DCG is a dynamic call graph: call edges with sample weights.
+// The zero value is not usable; call NewDCG.
+type DCG struct {
+	weights map[Edge]float64
+	total   float64
+}
+
+// NewDCG returns an empty dynamic call graph.
+func NewDCG() *DCG {
+	return &DCG{weights: make(map[Edge]float64)}
+}
+
+// AddSample adds weight w to edge e. Most profilers add 1 per sample;
+// weighted clients (e.g. the code-patching comparator's frequency
+// estimates) may add other positive weights.
+func (g *DCG) AddSample(e Edge, w float64) {
+	if w <= 0 {
+		return
+	}
+	g.weights[e] += w
+	g.total += w
+}
+
+// Weight returns the raw accumulated weight of e.
+func (g *DCG) Weight(e Edge) float64 { return g.weights[e] }
+
+// Percent returns e's weight as a percentage (0–100) of the graph's
+// total weight, the normalization the overlap metric is defined over.
+func (g *DCG) Percent(e Edge) float64 {
+	if g.total == 0 {
+		return 0
+	}
+	return g.weights[e] / g.total * 100
+}
+
+// Total returns the total accumulated weight (number of samples for
+// count-based profilers).
+func (g *DCG) Total() float64 { return g.total }
+
+// NumEdges returns the number of distinct edges observed.
+func (g *DCG) NumEdges() int { return len(g.weights) }
+
+// Edges returns all edges in a deterministic order (sorted by caller,
+// site, callee).
+func (g *DCG) Edges() []Edge {
+	es := make([]Edge, 0, len(g.weights))
+	for e := range g.weights {
+		es = append(es, e)
+	}
+	sort.Slice(es, func(i, j int) bool {
+		a, b := es[i], es[j]
+		if a.Caller != b.Caller {
+			return a.Caller < b.Caller
+		}
+		if a.Site != b.Site {
+			return a.Site < b.Site
+		}
+		return a.Callee < b.Callee
+	})
+	return es
+}
+
+// Clone returns a deep copy of the graph.
+func (g *DCG) Clone() *DCG {
+	c := NewDCG()
+	for e, w := range g.weights {
+		c.weights[e] = w
+	}
+	c.total = g.total
+	return c
+}
+
+// Merge adds every edge of other into g.
+func (g *DCG) Merge(other *DCG) {
+	for e, w := range other.weights {
+		g.weights[e] += w
+		g.total += w
+	}
+}
+
+// TargetWeight is one callee's share of a call site's samples.
+type TargetWeight struct {
+	Callee  int
+	Weight  float64
+	Percent float64 // of the site's samples, 0–100
+}
+
+// SiteDistribution returns the receiver-target distribution observed at
+// one call site, heaviest first. Profile-directed inliners use this for
+// the paper's "callee accounts for more than 40% of the distribution"
+// guarded-inlining rule.
+func (g *DCG) SiteDistribution(site int) []TargetWeight {
+	var tot float64
+	var ts []TargetWeight
+	for e, w := range g.weights {
+		if e.Site == site {
+			ts = append(ts, TargetWeight{Callee: e.Callee, Weight: w})
+			tot += w
+		}
+	}
+	for i := range ts {
+		if tot > 0 {
+			ts[i].Percent = ts[i].Weight / tot * 100
+		}
+	}
+	sort.Slice(ts, func(i, j int) bool {
+		if ts[i].Weight != ts[j].Weight {
+			return ts[i].Weight > ts[j].Weight
+		}
+		return ts[i].Callee < ts[j].Callee
+	})
+	return ts
+}
+
+// SiteWeightPercent returns the share (0–100) of the graph's total
+// weight attributed to the call site across all its targets — the
+// "how hot is this call site" input to inlining heuristics.
+func (g *DCG) SiteWeightPercent(site int) float64 {
+	if g.total == 0 {
+		return 0
+	}
+	var w float64
+	for e, ew := range g.weights {
+		if e.Site == site {
+			w += ew
+		}
+	}
+	return w / g.total * 100
+}
+
+// Sites returns the distinct call-site IDs present, sorted.
+func (g *DCG) Sites() []int {
+	seen := map[int]bool{}
+	for e := range g.weights {
+		seen[e.Site] = true
+	}
+	out := make([]int, 0, len(seen))
+	for s := range seen {
+		out = append(out, s)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Dump renders the graph sorted by descending weight, resolving IDs
+// through name functions (either may be nil).
+func (g *DCG) Dump(methodName func(int) string, siteName func(int) string) string {
+	es := g.Edges()
+	sort.SliceStable(es, func(i, j int) bool {
+		return g.weights[es[i]] > g.weights[es[j]]
+	})
+	var b strings.Builder
+	fmt.Fprintf(&b, "DCG: %d edges, total weight %.0f\n", g.NumEdges(), g.total)
+	for _, e := range es {
+		caller := fmt.Sprintf("m%d", e.Caller)
+		callee := fmt.Sprintf("m%d", e.Callee)
+		site := fmt.Sprintf("s%d", e.Site)
+		if methodName != nil {
+			caller = methodName(e.Caller)
+			callee = methodName(e.Callee)
+		}
+		if siteName != nil {
+			site = siteName(e.Site)
+		}
+		fmt.Fprintf(&b, "  %6.2f%% (%8.0f)  %s [%s] -> %s\n", g.Percent(e), g.weights[e], caller, site, callee)
+	}
+	return b.String()
+}

@@ -1,0 +1,44 @@
+package profile
+
+// Overlap computes the paper's accuracy metric (§6.2):
+//
+//	overlap(DCG1, DCG2) = Σ_{e ∈ CallEdges} min(Weight(e,DCG1), Weight(e,DCG2))
+//
+// where CallEdges is the set of edges present in both graphs and
+// Weight(e, DCG) is the percentage of the graph's total weight carried
+// by e. The result is in [0,100]: 0 for graphs sharing no information,
+// 100 for identical weight distributions. Because weights are
+// normalized to percentages, the metric is symmetric.
+func Overlap(a, b *DCG) float64 {
+	if a.total == 0 || b.total == 0 {
+		return 0
+	}
+	// Iterate the smaller map.
+	small, large := a, b
+	if len(b.weights) < len(a.weights) {
+		small, large = b, a
+	}
+	var sum float64
+	for e, ws := range small.weights {
+		wl, ok := large.weights[e]
+		if !ok {
+			continue
+		}
+		ps := ws / small.total * 100
+		pl := wl / large.total * 100
+		if ps < pl {
+			sum += ps
+		} else {
+			sum += pl
+		}
+	}
+	return sum
+}
+
+// Accuracy scores a sampled profile against a perfect (exhaustive)
+// profile using the overlap metric, per the paper:
+//
+//	accuracy(DCG_samp) = overlap(DCG_samp, DCG_perfect)
+func Accuracy(sampled, perfect *DCG) float64 {
+	return Overlap(sampled, perfect)
+}

@@ -1,0 +1,99 @@
+package profile
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Profiles persist in a simple line-oriented text format so collected
+// DCGs can be saved by one tool run and consumed by another (e.g.
+// profile offline with cbsvm, then feed the inliner), mirroring how
+// the paper's systems hand profiles from the profiler to the
+// optimizing compiler through a repository.
+//
+// Format:
+//
+//	dcg v1
+//	edge <caller> <site> <callee> <weight>
+//	...
+//
+// Weights are written with full float64 round-trip precision.
+
+// WriteTo serializes the graph in deterministic edge order.
+func (g *DCG) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriter(w)
+	var n int64
+	count := func(c int, err error) error {
+		n += int64(c)
+		return err
+	}
+	if err := count(fmt.Fprintln(bw, "dcg v1")); err != nil {
+		return n, err
+	}
+	for _, e := range g.Edges() {
+		if err := count(fmt.Fprintf(bw, "edge %d %d %d %s\n",
+			e.Caller, e.Site, e.Callee,
+			strconv.FormatFloat(g.weights[e], 'g', -1, 64))); err != nil {
+			return n, err
+		}
+	}
+	return n, bw.Flush()
+}
+
+// ReadDCG parses a serialized graph.
+func ReadDCG(r io.Reader) (*DCG, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	if !sc.Scan() {
+		return nil, fmt.Errorf("empty profile")
+	}
+	if strings.TrimSpace(sc.Text()) != "dcg v1" {
+		return nil, fmt.Errorf("bad profile header %q", sc.Text())
+	}
+	g := NewDCG()
+	line := 1
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Fields(text)
+		if len(fields) != 5 || fields[0] != "edge" {
+			return nil, fmt.Errorf("line %d: malformed edge %q", line, text)
+		}
+		caller, err1 := strconv.Atoi(fields[1])
+		site, err2 := strconv.Atoi(fields[2])
+		callee, err3 := strconv.Atoi(fields[3])
+		w, err4 := strconv.ParseFloat(fields[4], 64)
+		if err1 != nil || err2 != nil || err3 != nil || err4 != nil {
+			return nil, fmt.Errorf("line %d: malformed edge %q", line, text)
+		}
+		if w <= 0 {
+			return nil, fmt.Errorf("line %d: non-positive weight %v", line, w)
+		}
+		g.AddSample(Edge{Caller: caller, Site: site, Callee: callee}, w)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// TopEdges returns the k heaviest edges (all edges if k <= 0 or k
+// exceeds the edge count), heaviest first with deterministic
+// tie-breaking.
+func (g *DCG) TopEdges(k int) []Edge {
+	es := g.Edges()
+	sort.SliceStable(es, func(i, j int) bool {
+		return g.weights[es[i]] > g.weights[es[j]]
+	})
+	if k > 0 && k < len(es) {
+		es = es[:k]
+	}
+	return es
+}

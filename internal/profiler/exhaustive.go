@@ -1,0 +1,72 @@
+package profiler
+
+import (
+	"gocbs/internal/bytecode"
+	"gocbs/internal/profile"
+	"gocbs/internal/vm"
+)
+
+// Exhaustive records every dynamic call into the DCG. With
+// Instrumented == false it is the experiment infrastructure that
+// produces the *perfect* profile accuracy is measured against, and it
+// charges no cycles. With Instrumented == true it models Vortex-style
+// PIC counters (§3.1): every call pays an instrumentation cost, which
+// reproduces the paper's report of 15–50% overhead for exhaustive
+// counter collection.
+type Exhaustive struct {
+	Graph *profile.DCG
+	// Instrumented charges vm.Cost.InstrumentationCost per call.
+	Instrumented bool
+}
+
+// NewExhaustive returns a zero-overhead perfect profiler.
+func NewExhaustive() *Exhaustive {
+	return &Exhaustive{Graph: profile.NewDCG()}
+}
+
+// NewInstrumented returns the Vortex-style costed variant.
+func NewInstrumented() *Exhaustive {
+	return &Exhaustive{Graph: profile.NewDCG(), Instrumented: true}
+}
+
+// Name describes the profiler for reports.
+func (e *Exhaustive) Name() string {
+	if e.Instrumented {
+		return "exhaustive-instrumented"
+	}
+	return "exhaustive"
+}
+
+// OnCall implements vm.CallListener.
+func (e *Exhaustive) OnCall(m *vm.VM, caller *bytecode.Method, site int, callee *bytecode.Method) {
+	if e.Instrumented {
+		m.ChargeProfiling(m.Cost.InstrumentationCost)
+	}
+	e.Graph.AddSample(profile.Edge{Caller: caller.ID, Site: site, Callee: callee.ID}, 1)
+}
+
+// ExhaustiveCCT records the full calling context of every dynamic call,
+// producing the ground-truth calling-context tree the context-sensitive
+// extension (E12) is scored against. It charges no cycles: like
+// Exhaustive, it is experiment infrastructure, not a deployable
+// profiler.
+type ExhaustiveCCT struct {
+	Tree *profile.CCT
+}
+
+// NewExhaustiveCCT returns an empty ground-truth CCT collector.
+func NewExhaustiveCCT() *ExhaustiveCCT {
+	return &ExhaustiveCCT{Tree: profile.NewCCT()}
+}
+
+// Name describes the profiler for reports.
+func (e *ExhaustiveCCT) Name() string { return "exhaustive-cct" }
+
+// OnCall implements vm.CallListener. The callee's frame is not pushed
+// yet when the hook runs, so the path is the caller context plus the
+// new (site, callee) step.
+func (e *ExhaustiveCCT) OnCall(m *vm.VM, caller *bytecode.Method, site int, callee *bytecode.Method) {
+	path := capturePath(m)
+	path = append(path, profile.PathStep{Site: site, Method: callee.ID})
+	e.Tree.AddPath(path, 1)
+}

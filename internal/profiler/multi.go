@@ -1,0 +1,66 @@
+package profiler
+
+import (
+	"gocbs/internal/bytecode"
+	"gocbs/internal/vm"
+)
+
+// Multi fans VM profiling hooks out to several components — e.g. a CBS
+// profiler collecting the DCG plus an adaptive controller consuming
+// hotness ticks. It implements all four VM listener interfaces and
+// forwards each event to every part that implements the corresponding
+// interface, in order.
+type Multi struct {
+	ticks   []vm.TickListener
+	yields  []vm.YieldListener
+	calls   []vm.CallListener
+	entries []vm.EntryListener
+}
+
+// Combine builds a Multi from any mix of listener implementations.
+func Combine(parts ...any) *Multi {
+	m := &Multi{}
+	for _, p := range parts {
+		if t, ok := p.(vm.TickListener); ok {
+			m.ticks = append(m.ticks, t)
+		}
+		if y, ok := p.(vm.YieldListener); ok {
+			m.yields = append(m.yields, y)
+		}
+		if c, ok := p.(vm.CallListener); ok {
+			m.calls = append(m.calls, c)
+		}
+		if e, ok := p.(vm.EntryListener); ok {
+			m.entries = append(m.entries, e)
+		}
+	}
+	return m
+}
+
+// OnTimerTick implements vm.TickListener.
+func (m *Multi) OnTimerTick(v *vm.VM) {
+	for _, t := range m.ticks {
+		t.OnTimerTick(v)
+	}
+}
+
+// OnYieldpoint implements vm.YieldListener.
+func (m *Multi) OnYieldpoint(v *vm.VM, kind vm.YieldKind) {
+	for _, y := range m.yields {
+		y.OnYieldpoint(v, kind)
+	}
+}
+
+// OnCall implements vm.CallListener.
+func (m *Multi) OnCall(v *vm.VM, caller *bytecode.Method, site int, callee *bytecode.Method) {
+	for _, c := range m.calls {
+		c.OnCall(v, caller, site, callee)
+	}
+}
+
+// OnEntry implements vm.EntryListener.
+func (m *Multi) OnEntry(v *vm.VM, meth *bytecode.Method) {
+	for _, e := range m.entries {
+		e.OnEntry(v, meth)
+	}
+}

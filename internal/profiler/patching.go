@@ -1,0 +1,95 @@
+package profiler
+
+import (
+	"gocbs/internal/bytecode"
+	"gocbs/internal/profile"
+	"gocbs/internal/vm"
+)
+
+// Patching models the IBM DK code-patching profiler of §3.2 (Suganuma
+// et al.): methods are not profiled during their initial executions; a
+// method that has run enough to reach "a certain level of optimization"
+// gets a listener patched into its prologue, the listener records the
+// caller→callee relationship on every invocation until a fixed number
+// of samples is collected, and then uninstalls itself by patching the
+// prologue back.
+//
+// The paper identifies its two weaknesses, both reproduced here:
+// responsiveness (no data until a method warms up, so short runs see
+// little) and the burst window (all of a method's samples come from one
+// short stretch of execution, so phase changes after the window are
+// never observed).
+type Patching struct {
+	Graph *profile.DCG
+
+	// InstallThreshold is the invocation count that models "reaching
+	// the optimization level that triggers instrumentation".
+	InstallThreshold int
+	// SamplesPerMethod is the fixed number of listener-recorded
+	// samples after which the listener uninstalls itself.
+	SamplesPerMethod int
+
+	state []patchState
+
+	// ListenersInstalled and SamplesTaken are diagnostics.
+	ListenersInstalled int
+	SamplesTaken       uint64
+}
+
+type patchState struct {
+	invocations int
+	installed   bool
+	done        bool
+	taken       int
+}
+
+// NewPatching returns a code-patching profiler for a program with
+// numMethods methods.
+func NewPatching(numMethods, installThreshold, samplesPerMethod int) *Patching {
+	if installThreshold < 1 {
+		installThreshold = 1
+	}
+	if samplesPerMethod < 1 {
+		samplesPerMethod = 1
+	}
+	return &Patching{
+		Graph:            profile.NewDCG(),
+		InstallThreshold: installThreshold,
+		SamplesPerMethod: samplesPerMethod,
+		state:            make([]patchState, numMethods),
+	}
+}
+
+// Name describes the profiler for reports.
+func (p *Patching) Name() string { return "code-patching" }
+
+// OnEntry implements vm.EntryListener. Invocation counting below the
+// threshold is free: it models counters the adaptive system maintains
+// anyway (interpreter dispatch counts); only the installed listener
+// charges cycles, as in the original system where the patched prologue
+// executes extra code.
+func (p *Patching) OnEntry(m *vm.VM, meth *bytecode.Method) {
+	s := &p.state[meth.ID]
+	s.invocations++
+	if s.done {
+		return
+	}
+	if !s.installed {
+		if s.invocations >= p.InstallThreshold {
+			s.installed = true
+			p.ListenersInstalled++
+		}
+		return
+	}
+	m.ChargeProfiling(m.Cost.ListenerCost)
+	caller, site, callee, ok := m.TopCallEdge()
+	if ok {
+		p.Graph.AddSample(profile.Edge{Caller: caller.ID, Site: site, Callee: callee.ID}, 1)
+	}
+	s.taken++
+	p.SamplesTaken++
+	if s.taken >= p.SamplesPerMethod {
+		s.installed = false
+		s.done = true
+	}
+}

@@ -1,0 +1,51 @@
+package profiler
+
+import (
+	"gocbs/internal/profile"
+	"gocbs/internal/vm"
+)
+
+// Whaley models the timer-based sampling-thread profiler of §3.3: on
+// each timer tick a separate sampling thread observes the program
+// thread's current stack (program counter and frame chain) and records
+// it; the program thread performs no profiling work and is unaware it
+// was sampled.
+//
+// Because the trigger is time, the profile reports *where time is
+// spent*: the method at the top of the stack is credited, and the DCG
+// edge recorded is the one that created the current top frame. Calls
+// executed between ticks — the overwhelming majority — are invisible,
+// which is exactly the Figure 1 pathology.
+type Whaley struct {
+	// Graph holds the flat DCG projection (top-of-stack edges).
+	Graph *profile.DCG
+	// Tree holds the calling-context tree Whaley's system builds.
+	Tree *profile.CCT
+	// Samples counts ticks that captured at least one frame.
+	Samples uint64
+}
+
+// NewWhaley returns a Whaley-style stack sampler.
+func NewWhaley() *Whaley {
+	return &Whaley{Graph: profile.NewDCG(), Tree: profile.NewCCT()}
+}
+
+// Name describes the profiler for reports.
+func (w *Whaley) Name() string { return "whaley" }
+
+// OnTimerTick implements vm.TickListener. The walk is charged to
+// profiling even though it runs "on another thread" in the original
+// system; the paper's analysis treats sampling-thread work as part of
+// the technique's cost, and on a single-core model it is.
+func (w *Whaley) OnTimerTick(m *vm.VM) {
+	if m.Depth() == 0 {
+		return
+	}
+	w.Samples++
+	m.ChargeProfiling(m.Cost.SampleBase + uint64(m.Depth())*m.Cost.SamplePerFrame)
+	caller, site, callee, ok := m.TopCallEdge()
+	if ok {
+		w.Graph.AddSample(profile.Edge{Caller: caller.ID, Site: site, Callee: callee.ID}, 1)
+	}
+	w.Tree.AddPath(capturePath(m), 1)
+}

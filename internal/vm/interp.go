@@ -1,0 +1,379 @@
+package vm
+
+import (
+	"fmt"
+
+	"gocbs/internal/bytecode"
+)
+
+// Run executes the program's entry method with the given integer
+// arguments and returns its result.
+func (vm *VM) Run(args ...int64) (Value, error) {
+	vals := make([]Value, len(args))
+	for i, a := range args {
+		vals[i] = IntV(a)
+	}
+	return vm.Call(vm.Prog.Entry, vals...)
+}
+
+// Call invokes a static method re-entrantly: the harness uses it to
+// run setup once and then time individual benchmark iterations. The
+// frame it pushes has no call site (Site == -1), so profilers never
+// attribute a DCG edge to harness invocations.
+func (vm *VM) Call(m *bytecode.Method, args ...Value) (Value, error) {
+	if !m.Static {
+		return Value{}, fmt.Errorf("Call requires a static method, got %s", m.Name)
+	}
+	if len(args) != m.NArgs {
+		return Value{}, fmt.Errorf("%s takes %d args, got %d", m.Name, m.NArgs, len(args))
+	}
+	baseDepth := len(vm.frames)
+	vm.chargeWork(vm.Cost.CallOverhead)
+	f := vm.pushFrame(m, -1, -1)
+	copy(f.Locals, args)
+	vm.noteEntry(m)
+	return vm.run(baseDepth)
+}
+
+// pushFrame appends an activation record, reusing the slot's previous
+// locals allocation when possible. Non-argument locals are zeroed by
+// the caller after arguments are copied in.
+func (vm *VM) pushFrame(m *bytecode.Method, site, callerPC int) *Frame {
+	n := len(vm.frames)
+	if n < cap(vm.frames) {
+		vm.frames = vm.frames[:n+1]
+	} else {
+		vm.frames = append(vm.frames, Frame{})
+	}
+	f := &vm.frames[n]
+	f.M = m
+	f.PC = 0
+	f.Site = site
+	f.CallerPC = callerPC
+	f.base = len(vm.stack)
+	if cap(f.Locals) >= m.NLocals {
+		f.Locals = f.Locals[:m.NLocals]
+		for i := range f.Locals {
+			f.Locals[i] = Value{}
+		}
+	} else {
+		f.Locals = make([]Value, m.NLocals)
+	}
+	return f
+}
+
+// noteEntry performs the per-entry bookkeeping shared by harness calls
+// and interpreted calls: executed-method tracking, the optional
+// explicit entry check cost, the entry listener, and the prologue
+// yieldpoint.
+func (vm *VM) noteEntry(m *bytecode.Method) {
+	if !vm.executed[m.ID] {
+		vm.executed[m.ID] = true
+		vm.nExec++
+	}
+	if vm.EntryCheckCost > 0 {
+		vm.ChargeProfiling(vm.EntryCheckCost)
+	}
+	if vm.entryH != nil {
+		vm.entryH.OnEntry(vm, m)
+	}
+	if vm.ControlWord != 0 {
+		vm.takeYieldpoint(YieldPrologue)
+	}
+}
+
+func (vm *VM) push(v Value) { vm.stack = append(vm.stack, v) }
+
+func (vm *VM) pop() Value {
+	v := vm.stack[len(vm.stack)-1]
+	vm.stack = vm.stack[:len(vm.stack)-1]
+	return v
+}
+
+// invoke transfers control into callee from the call instruction ins
+// executing in frame f.
+func (vm *VM) invoke(f *Frame, site int, callee *bytecode.Method) {
+	vm.Calls++
+	vm.chargeWork(vm.Cost.CallOverhead)
+	if vm.callH != nil {
+		vm.callH.OnCall(vm, f.M, site, callee)
+	}
+	nargs := callee.NArgs
+	argBase := len(vm.stack) - nargs
+	nf := vm.pushFrame(callee, site, f.PC)
+	copy(nf.Locals, vm.stack[argBase:])
+	vm.stack = vm.stack[:argBase]
+	nf.base = argBase
+	vm.noteEntry(callee)
+}
+
+// run interprets until the frame stack shrinks back to baseDepth.
+func (vm *VM) run(baseDepth int) (Value, error) {
+	entryBase := vm.frames[baseDepth].base
+	for {
+		f := &vm.frames[len(vm.frames)-1]
+		code := f.M.Code
+		if f.PC < 0 || f.PC >= len(code) {
+			return Value{}, vm.trap("pc out of range")
+		}
+		ins := code[f.PC]
+		vm.Instrs++
+		if vm.MaxSteps > 0 && vm.Instrs > vm.MaxSteps {
+			return Value{}, vm.trap("step limit %d exceeded", vm.MaxSteps)
+		}
+		if vm.Trace != nil {
+			vm.Trace(f.M, f.PC, ins)
+		}
+		vm.Cycles += vm.Cost.Instr[ins.Op]
+		vm.pollTimer()
+
+		switch ins.Op {
+		case bytecode.OpNop:
+
+		case bytecode.OpConst:
+			vm.push(IntV(int64(ins.A)))
+		case bytecode.OpConstL:
+			vm.push(IntV(f.M.Consts[ins.A]))
+		case bytecode.OpLoad:
+			vm.push(f.Locals[ins.A])
+		case bytecode.OpStore:
+			f.Locals[ins.A] = vm.pop()
+		case bytecode.OpPop:
+			vm.pop()
+		case bytecode.OpDup:
+			vm.push(vm.stack[len(vm.stack)-1])
+
+		case bytecode.OpAdd:
+			b, a := vm.pop(), vm.pop()
+			vm.push(IntV(a.I + b.I))
+		case bytecode.OpSub:
+			b, a := vm.pop(), vm.pop()
+			vm.push(IntV(a.I - b.I))
+		case bytecode.OpMul:
+			b, a := vm.pop(), vm.pop()
+			vm.push(IntV(a.I * b.I))
+		case bytecode.OpDiv:
+			b, a := vm.pop(), vm.pop()
+			if b.I == 0 {
+				return Value{}, vm.trap("division by zero")
+			}
+			// MinInt64 / -1 wraps (Java idiv semantics); Go would panic.
+			if b.I == -1 {
+				vm.push(IntV(-a.I))
+			} else {
+				vm.push(IntV(a.I / b.I))
+			}
+		case bytecode.OpRem:
+			b, a := vm.pop(), vm.pop()
+			if b.I == 0 {
+				return Value{}, vm.trap("remainder by zero")
+			}
+			if b.I == -1 { // MinInt64 % -1 is 0, not a panic
+				vm.push(IntV(0))
+			} else {
+				vm.push(IntV(a.I % b.I))
+			}
+		case bytecode.OpNeg:
+			a := vm.pop()
+			vm.push(IntV(-a.I))
+
+		case bytecode.OpAnd:
+			b, a := vm.pop(), vm.pop()
+			vm.push(IntV(a.I & b.I))
+		case bytecode.OpOr:
+			b, a := vm.pop(), vm.pop()
+			vm.push(IntV(a.I | b.I))
+		case bytecode.OpXor:
+			b, a := vm.pop(), vm.pop()
+			vm.push(IntV(a.I ^ b.I))
+		case bytecode.OpShl:
+			b, a := vm.pop(), vm.pop()
+			vm.push(IntV(a.I << (uint64(b.I) & 63)))
+		case bytecode.OpShr:
+			b, a := vm.pop(), vm.pop()
+			vm.push(IntV(a.I >> (uint64(b.I) & 63)))
+
+		case bytecode.OpEq:
+			b, a := vm.pop(), vm.pop()
+			vm.push(boolV(a.I == b.I && a.R == b.R))
+		case bytecode.OpNe:
+			b, a := vm.pop(), vm.pop()
+			vm.push(boolV(a.I != b.I || a.R != b.R))
+		case bytecode.OpLt:
+			b, a := vm.pop(), vm.pop()
+			vm.push(boolV(a.I < b.I))
+		case bytecode.OpLe:
+			b, a := vm.pop(), vm.pop()
+			vm.push(boolV(a.I <= b.I))
+		case bytecode.OpGt:
+			b, a := vm.pop(), vm.pop()
+			vm.push(boolV(a.I > b.I))
+		case bytecode.OpGe:
+			b, a := vm.pop(), vm.pop()
+			vm.push(boolV(a.I >= b.I))
+		case bytecode.OpNot:
+			a := vm.pop()
+			vm.push(boolV(a.I == 0 && a.R == nil))
+
+		case bytecode.OpJump:
+			target := int(ins.A)
+			if target <= f.PC && vm.ControlWord > ControlNone {
+				vm.takeYieldpoint(YieldBackedge)
+			}
+			f.PC = target
+			continue
+		case bytecode.OpJumpZ, bytecode.OpJumpNZ:
+			v := vm.pop()
+			zero := v.I == 0 && v.R == nil
+			if zero == (ins.Op == bytecode.OpJumpZ) {
+				target := int(ins.A)
+				if target <= f.PC && vm.ControlWord > ControlNone {
+					vm.takeYieldpoint(YieldBackedge)
+				}
+				f.PC = target
+				continue
+			}
+
+		case bytecode.OpGetField:
+			o := vm.pop()
+			if o.R == nil {
+				return Value{}, vm.trap("getfield on nil")
+			}
+			vm.push(o.R.Fields[ins.A])
+		case bytecode.OpPutField:
+			v, o := vm.pop(), vm.pop()
+			if o.R == nil {
+				return Value{}, vm.trap("putfield on nil")
+			}
+			o.R.Fields[ins.A] = v
+		case bytecode.OpNew:
+			cls := vm.Prog.Classes[ins.A]
+			vm.chargeWork(vm.Cost.AllocBase + vm.Cost.AllocPerField*uint64(len(cls.Fields)))
+			vm.push(RefV(&Object{Class: cls, Fields: make([]Value, len(cls.Fields))}))
+
+		case bytecode.OpGetStatic:
+			vm.push(vm.statics[ins.A])
+		case bytecode.OpPutStatic:
+			vm.statics[ins.A] = vm.pop()
+
+		case bytecode.OpNewArr:
+			n := vm.pop().I
+			if n < 0 {
+				return Value{}, vm.trap("newarr with negative length %d", n)
+			}
+			vm.chargeWork(vm.Cost.AllocBase + vm.Cost.AllocPerField*uint64(n))
+			vm.push(RefV(&Object{Elems: make([]Value, n)}))
+		case bytecode.OpALoad:
+			idx, arr := vm.pop(), vm.pop()
+			if arr.R == nil {
+				return Value{}, vm.trap("aload on nil")
+			}
+			if idx.I < 0 || idx.I >= int64(len(arr.R.Elems)) {
+				return Value{}, vm.trap("array index %d out of range [0,%d)", idx.I, len(arr.R.Elems))
+			}
+			vm.push(arr.R.Elems[idx.I])
+		case bytecode.OpAStore:
+			v, idx, arr := vm.pop(), vm.pop(), vm.pop()
+			if arr.R == nil {
+				return Value{}, vm.trap("astore on nil")
+			}
+			if idx.I < 0 || idx.I >= int64(len(arr.R.Elems)) {
+				return Value{}, vm.trap("array index %d out of range [0,%d)", idx.I, len(arr.R.Elems))
+			}
+			arr.R.Elems[idx.I] = v
+		case bytecode.OpArrLen:
+			arr := vm.pop()
+			if arr.R == nil {
+				return Value{}, vm.trap("arrlen on nil")
+			}
+			vm.push(IntV(int64(len(arr.R.Elems))))
+
+		case bytecode.OpCallStatic:
+			vm.invoke(f, int(ins.B), vm.Prog.Methods[ins.A])
+			continue
+		case bytecode.OpCallVirtual:
+			slot, nargs := bytecode.DecodeVirtual(ins.A)
+			recv := vm.stack[len(vm.stack)-nargs]
+			if recv.R == nil {
+				return Value{}, vm.trap("virtual call on nil receiver")
+			}
+			if recv.R.Class == nil || slot >= len(recv.R.Class.VTable) {
+				return Value{}, vm.trap("bad virtual dispatch (slot %d)", slot)
+			}
+			callee := recv.R.Class.VTable[slot]
+			if callee == nil {
+				return Value{}, vm.trap("vtable slot %d empty on %s", slot, recv.R.Class.Name)
+			}
+			vm.chargeWork(vm.Cost.VirtualDispatch)
+			vm.invoke(f, int(ins.B), callee)
+			continue
+
+		case bytecode.OpReturn, bytecode.OpReturnVoid:
+			var rv Value
+			if ins.Op == bytecode.OpReturn {
+				rv = vm.pop()
+			}
+			if vm.ControlWord != ControlNone && vm.EpilogueYieldpoints {
+				vm.takeYieldpoint(YieldEpilogue)
+			}
+			vm.stack = vm.stack[:f.base]
+			vm.frames = vm.frames[:len(vm.frames)-1]
+			if len(vm.frames) == baseDepth {
+				return rv, nil
+			}
+			caller := &vm.frames[len(vm.frames)-1]
+			caller.PC++
+			vm.push(rv)
+			continue
+
+		case bytecode.OpClassEq:
+			o := vm.pop()
+			vm.push(boolV(o.R != nil && o.R.Class != nil && o.R.Class.ID == int(ins.A)))
+		case bytecode.OpVTEq:
+			o := vm.pop()
+			slot, mid := bytecode.DecodeVTEq(ins.A)
+			ok := o.R != nil && o.R.Class != nil && slot < len(o.R.Class.VTable) &&
+				o.R.Class.VTable[slot] == vm.Prog.Methods[mid]
+			vm.push(boolV(ok))
+		case bytecode.OpInstanceOf:
+			o := vm.pop()
+			vm.push(boolV(o.R != nil && o.R.Class != nil && o.R.Class.SubclassOf(vm.Prog.Classes[ins.A])))
+		case bytecode.OpCast:
+			o := vm.stack[len(vm.stack)-1]
+			if o.R != nil && (o.R.Class == nil || !o.R.Class.SubclassOf(vm.Prog.Classes[ins.A])) {
+				return Value{}, vm.trap("cannot cast %s to %s", castClassName(o.R), vm.Prog.Classes[ins.A].Name)
+			}
+		case bytecode.OpIsNull:
+			o := vm.pop()
+			vm.push(boolV(o.R == nil && o.I == 0))
+		case bytecode.OpNull:
+			vm.push(Value{})
+
+		case bytecode.OpPrint:
+			v := vm.pop()
+			vm.Output = append(vm.Output, v.I)
+		case bytecode.OpHalt:
+			vm.stack = vm.stack[:entryBase]
+			vm.frames = vm.frames[:baseDepth]
+			return Value{}, nil
+
+		default:
+			return Value{}, vm.trap("unimplemented opcode %v", ins.Op)
+		}
+		f.PC++
+	}
+}
+
+func castClassName(o *Object) string {
+	if o.Class == nil {
+		return "array"
+	}
+	return o.Class.Name
+}
+
+func boolV(b bool) Value {
+	if b {
+		return IntV(1)
+	}
+	return IntV(0)
+}

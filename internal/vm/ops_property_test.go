@@ -1,0 +1,103 @@
+package vm
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"gocbs/internal/bytecode"
+)
+
+// binOpProgram compiles a two-argument program applying one operator.
+func binOpProgram(t *testing.T, op bytecode.Opcode) *bytecode.Program {
+	t.Helper()
+	pb := bytecode.NewProgramBuilder()
+	f := pb.NewFunc("main", 2)
+	f.Emit(bytecode.OpLoad, 0)
+	f.Emit(bytecode.OpLoad, 1)
+	f.Emit(op)
+	f.Emit(bytecode.OpReturn)
+	pb.SetEntry(f)
+	p, err := pb.Link()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// TestEveryBinaryOpMatchesGo checks each arithmetic/bitwise/comparison
+// opcode against Go's semantics over random int64 inputs, including
+// extreme values.
+func TestEveryBinaryOpMatchesGo(t *testing.T) {
+	cases := []struct {
+		op  bytecode.Opcode
+		ref func(a, b int64) (int64, bool) // (result, defined)
+	}{
+		{bytecode.OpAdd, func(a, b int64) (int64, bool) { return a + b, true }},
+		{bytecode.OpSub, func(a, b int64) (int64, bool) { return a - b, true }},
+		{bytecode.OpMul, func(a, b int64) (int64, bool) { return a * b, true }},
+		{bytecode.OpDiv, func(a, b int64) (int64, bool) {
+			if b == 0 {
+				return 0, false
+			}
+			if b == -1 { // Java idiv semantics: MinInt64 / -1 wraps
+				return -a, true
+			}
+			return a / b, true
+		}},
+		{bytecode.OpRem, func(a, b int64) (int64, bool) {
+			if b == 0 {
+				return 0, false
+			}
+			if b == -1 {
+				return 0, true
+			}
+			return a % b, true
+		}},
+		{bytecode.OpAnd, func(a, b int64) (int64, bool) { return a & b, true }},
+		{bytecode.OpOr, func(a, b int64) (int64, bool) { return a | b, true }},
+		{bytecode.OpXor, func(a, b int64) (int64, bool) { return a ^ b, true }},
+		{bytecode.OpShl, func(a, b int64) (int64, bool) { return a << (uint64(b) & 63), true }},
+		{bytecode.OpShr, func(a, b int64) (int64, bool) { return a >> (uint64(b) & 63), true }},
+		{bytecode.OpLt, func(a, b int64) (int64, bool) { return b2i(a < b), true }},
+		{bytecode.OpLe, func(a, b int64) (int64, bool) { return b2i(a <= b), true }},
+		{bytecode.OpGt, func(a, b int64) (int64, bool) { return b2i(a > b), true }},
+		{bytecode.OpGe, func(a, b int64) (int64, bool) { return b2i(a >= b), true }},
+		{bytecode.OpEq, func(a, b int64) (int64, bool) { return b2i(a == b), true }},
+		{bytecode.OpNe, func(a, b int64) (int64, bool) { return b2i(a != b), true }},
+	}
+	// Always-check corner values plus quick-generated randoms.
+	corners := []int64{0, 1, -1, math.MaxInt64, math.MinInt64, 63, 64, -64}
+	for _, tc := range cases {
+		prog := binOpProgram(t, tc.op)
+		check := func(a, b int64) bool {
+			want, defined := tc.ref(a, b)
+			m := New(prog)
+			got, err := m.Run(a, b)
+			if !defined {
+				return true // skip cases with divergent trap semantics
+			}
+			if err != nil {
+				return false
+			}
+			return got.I == want
+		}
+		for _, a := range corners {
+			for _, b := range corners {
+				if !check(a, b) {
+					t.Errorf("%v(%d, %d) diverges from Go", tc.op, a, b)
+				}
+			}
+		}
+		if err := quick.Check(check, &quick.Config{MaxCount: 100}); err != nil {
+			t.Errorf("%v: %v", tc.op, err)
+		}
+	}
+}
+
+func b2i(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}

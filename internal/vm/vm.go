@@ -1,0 +1,349 @@
+// Package vm implements the MJ virtual machine: a deterministic
+// bytecode interpreter with the runtime structure the paper's profiling
+// technique depends on — prologue/epilogue/backedge yieldpoints guarded
+// by a tri-state control word, a virtual timer that periodically
+// requests yieldpoints, a call-stack walker, and a modeled cycle
+// counter that separates workload cycles from profiling cycles.
+//
+// Determinism is the central property: given the same program, inputs,
+// and profiler seed, every run executes the identical instruction
+// stream and charges the identical cycles, so profile accuracy and
+// overhead are exactly reproducible. The paper's run-to-run variation
+// (median of 10) is recovered by varying only the profiler's RNG seed.
+package vm
+
+import (
+	"fmt"
+
+	"gocbs/internal/bytecode"
+)
+
+// Value is one MJ runtime value: an integer or an object reference.
+// Exactly one of the interpretations is meaningful at a time; the MJ
+// typechecker guarantees programs never confuse them.
+type Value struct {
+	I int64
+	R *Object
+}
+
+// IntV wraps an integer as a Value.
+func IntV(i int64) Value { return Value{I: i} }
+
+// RefV wraps a reference as a Value.
+func RefV(o *Object) Value { return Value{R: o} }
+
+// Object is a heap object: a class instance (Fields) or an array
+// (Elems, with Class == nil).
+type Object struct {
+	Class  *bytecode.Class
+	Fields []Value
+	Elems  []Value
+}
+
+// IsArray reports whether o is an array object.
+func (o *Object) IsArray() bool { return o != nil && o.Class == nil }
+
+// YieldKind identifies which yieldpoint fired.
+type YieldKind uint8
+
+// Yieldpoint kinds, matching Jikes RVM's placement (§5.1 of the paper).
+const (
+	YieldPrologue YieldKind = iota
+	YieldEpilogue
+	YieldBackedge
+)
+
+func (k YieldKind) String() string {
+	switch k {
+	case YieldPrologue:
+		return "prologue"
+	case YieldEpilogue:
+		return "epilogue"
+	case YieldBackedge:
+		return "backedge"
+	default:
+		return "yield?"
+	}
+}
+
+// Control-word states for the tri-state yieldpoint flag (§5.1):
+// prologue and epilogue yieldpoints are taken when the word is nonzero;
+// backedge yieldpoints only when it is positive.
+const (
+	ControlNone      int32 = 0  // no yieldpoints taken
+	ControlPrologues int32 = -1 // prologue/epilogue yieldpoints taken
+	ControlAll       int32 = 1  // all yieldpoints taken (timer just fired)
+)
+
+// TickListener is notified when the virtual timer fires. The listener
+// typically sets the VM's control word to request yieldpoints.
+type TickListener interface {
+	OnTimerTick(vm *VM)
+}
+
+// YieldListener is notified when a yieldpoint is taken (control word
+// permitting). All sampling profilers hang off this hook.
+type YieldListener interface {
+	OnYieldpoint(vm *VM, kind YieldKind)
+}
+
+// CallListener observes every dynamic call. Only exhaustive profilers
+// use it; the hook is skipped entirely when no listener is installed.
+type CallListener interface {
+	OnCall(vm *VM, caller *bytecode.Method, site int, callee *bytecode.Method)
+}
+
+// EntryListener observes every method entry (after the frame is
+// pushed), independent of yieldpoints. The code-patching comparator
+// uses it to model per-method prologue listeners.
+type EntryListener interface {
+	OnEntry(vm *VM, m *bytecode.Method)
+}
+
+// Frame is one activation record.
+type Frame struct {
+	M      *bytecode.Method
+	PC     int
+	Locals []Value
+	// Site is the call-site ID whose execution created this frame, or
+	// -1 for frames pushed directly by the harness.
+	Site int
+	// CallerPC is the pc of the call instruction in the caller.
+	CallerPC int
+	// base is this frame's operand-stack base in the shared stack.
+	base int
+}
+
+// VM executes one MJ program. A VM is single-threaded and not safe for
+// concurrent use; experiments run one VM per goroutine.
+type VM struct {
+	Prog *bytecode.Program
+	Cost *CostModel
+
+	// Cycles is the total modeled cycle count (workload + profiling).
+	Cycles uint64
+	// ProfilingCycles is the subset of Cycles charged to profiling
+	// work (taken yieldpoints, counter updates, stack walks). Overhead
+	// is ProfilingCycles / (Cycles - ProfilingCycles).
+	ProfilingCycles uint64
+	// Instrs counts executed bytecode instructions.
+	Instrs uint64
+	// Calls counts executed dynamic calls.
+	Calls uint64
+
+	// TimerPeriod is the virtual timer granularity in cycles; 0
+	// disables the timer.
+	TimerPeriod uint64
+	nextTimer   uint64
+
+	// ControlWord is the tri-state yieldpoint flag (see Control*).
+	ControlWord int32
+
+	// EntryCheckCost, when positive, charges that many profiling
+	// cycles on *every* method entry, modeling a VM with no existing
+	// prologue test to overload (the paper's three-instruction case).
+	// The default 0 models the overloaded-flag implementation.
+	EntryCheckCost uint64
+
+	// EpilogueYieldpoints controls whether method returns execute a
+	// yieldpoint. Jikes RVM places yieldpoints in prologues, epilogues,
+	// and backedges; J9 only checks on method entry, so the J9-flavour
+	// experiments disable this. Set by New to true.
+	EpilogueYieldpoints bool
+
+	// MaxSteps aborts runaway programs (0 = no limit).
+	MaxSteps uint64
+
+	// Output accumulates values printed by OpPrint.
+	Output []int64
+
+	// Trace, when non-nil, is invoked before every instruction with
+	// the executing method and pc — a debugging aid (see mjc -dis for
+	// static inspection). Tracing charges no modeled cycles.
+	Trace func(m *bytecode.Method, pc int, ins bytecode.Instr)
+
+	tick    TickListener
+	yield   YieldListener
+	callH   CallListener
+	entryH  EntryListener
+	statics []Value
+	frames  []Frame
+	stack   []Value
+
+	executed []bool // methods entered at least once
+	nExec    int
+}
+
+// New creates a VM for prog with the default cost model and a disabled
+// timer.
+func New(prog *bytecode.Program) *VM {
+	statics := make([]Value, prog.NumStatics)
+	for i, init := range prog.StaticInit {
+		statics[i] = IntV(init)
+	}
+	return &VM{
+		Prog:                prog,
+		Cost:                DefaultCostModel(),
+		statics:             statics,
+		executed:            make([]bool, len(prog.Methods)),
+		EpilogueYieldpoints: true,
+	}
+}
+
+// SetProfiler installs a profiler, wiring up whichever of the optional
+// listener interfaces it implements.
+func (vm *VM) SetProfiler(p any) {
+	vm.tick, _ = p.(TickListener)
+	vm.yield, _ = p.(YieldListener)
+	vm.callH, _ = p.(CallListener)
+	vm.entryH, _ = p.(EntryListener)
+}
+
+// SetTimer enables the virtual timer with the given period in cycles.
+func (vm *VM) SetTimer(period uint64) {
+	vm.TimerPeriod = period
+	vm.nextTimer = vm.Cycles + period
+}
+
+// Static returns the value of the named static slot.
+func (vm *VM) Static(name string) (Value, error) {
+	i := vm.Prog.StaticSlot(name)
+	if i < 0 {
+		return Value{}, fmt.Errorf("no static named %q", name)
+	}
+	return vm.statics[i], nil
+}
+
+// SetStatic stores into the named static slot.
+func (vm *VM) SetStatic(name string, v Value) error {
+	i := vm.Prog.StaticSlot(name)
+	if i < 0 {
+		return fmt.Errorf("no static named %q", name)
+	}
+	vm.statics[i] = v
+	return nil
+}
+
+// MethodsExecuted returns how many distinct methods have been entered.
+func (vm *VM) MethodsExecuted() int { return vm.nExec }
+
+// BaseCycles returns the modeled cycles attributable to the workload
+// itself (total minus profiling).
+func (vm *VM) BaseCycles() uint64 { return vm.Cycles - vm.ProfilingCycles }
+
+// Overhead returns profiling cycles as a fraction of base cycles.
+func (vm *VM) Overhead() float64 {
+	base := vm.BaseCycles()
+	if base == 0 {
+		return 0
+	}
+	return float64(vm.ProfilingCycles) / float64(base)
+}
+
+// Depth returns the current call-stack depth.
+func (vm *VM) Depth() int { return len(vm.frames) }
+
+// ChargeProfiling adds n cycles, attributed to profiling work. The
+// charge advances the virtual clock, so heavy profiling perturbs timer
+// phase exactly as real profiling perturbs real time.
+func (vm *VM) ChargeProfiling(n uint64) {
+	vm.Cycles += n
+	vm.ProfilingCycles += n
+}
+
+// ChargeCycles advances the clock by n cycles of non-profiling work,
+// e.g. modeled compilation time spent by the adaptive system.
+func (vm *VM) ChargeCycles(n uint64) {
+	vm.Cycles += n
+}
+
+// chargeWork adds n workload cycles.
+func (vm *VM) chargeWork(n uint64) {
+	vm.Cycles += n
+}
+
+// pollTimer fires the virtual timer if the clock passed the deadline.
+// Called between instructions, which models interrupt delivery at the
+// next instruction boundary.
+func (vm *VM) pollTimer() {
+	if vm.TimerPeriod == 0 {
+		return
+	}
+	for vm.Cycles >= vm.nextTimer {
+		vm.nextTimer += vm.TimerPeriod
+		if vm.tick != nil {
+			vm.tick.OnTimerTick(vm)
+		}
+	}
+}
+
+// takeYieldpoint transfers to the runtime when a yieldpoint's condition
+// holds. The transfer itself costs cycles (charged to profiling, since
+// without a profiler the control word would stay zero).
+func (vm *VM) takeYieldpoint(kind YieldKind) {
+	vm.ChargeProfiling(vm.Cost.YieldpointTaken)
+	if vm.yield != nil {
+		vm.yield.OnYieldpoint(vm, kind)
+	}
+}
+
+// WalkStack visits frames top-down (innermost first) as (method, pc);
+// pc is the frame's current program counter (for non-top frames, the
+// pc of the call instruction being executed). The walk stops early if
+// fn returns false. The walker charges no cycles; samplers charge
+// per-frame costs themselves via the cost model.
+func (vm *VM) WalkStack(fn func(m *bytecode.Method, pc int) bool) {
+	for i := len(vm.frames) - 1; i >= 0; i-- {
+		f := &vm.frames[i]
+		if !fn(f.M, f.PC) {
+			return
+		}
+	}
+}
+
+// WalkCallers visits frames top-down as (method, site) pairs, where
+// site is the call-site ID whose execution created the frame (-1 for
+// harness-pushed frames). Context-sensitive samplers use it to capture
+// full call paths.
+func (vm *VM) WalkCallers(fn func(m *bytecode.Method, site int) bool) {
+	for i := len(vm.frames) - 1; i >= 0; i-- {
+		f := &vm.frames[i]
+		if !fn(f.M, f.Site) {
+			return
+		}
+	}
+}
+
+// TopCallEdge returns the innermost dynamic call edge: the top frame's
+// method as callee, the frame below as caller, and the call-site ID
+// that created the top frame. ok is false when fewer than two frames
+// are live or the top frame was pushed by the harness.
+func (vm *VM) TopCallEdge() (caller *bytecode.Method, site int, callee *bytecode.Method, ok bool) {
+	n := len(vm.frames)
+	if n < 2 {
+		return nil, 0, nil, false
+	}
+	top := &vm.frames[n-1]
+	if top.Site < 0 {
+		return nil, 0, nil, false
+	}
+	return vm.frames[n-2].M, top.Site, top.M, true
+}
+
+// TopMethod returns the currently executing method, or nil.
+func (vm *VM) TopMethod() *bytecode.Method {
+	if len(vm.frames) == 0 {
+		return nil
+	}
+	return vm.frames[len(vm.frames)-1].M
+}
+
+// trap builds a runtime error annotated with the current location.
+func (vm *VM) trap(format string, args ...any) error {
+	loc := "<no frame>"
+	if len(vm.frames) > 0 {
+		f := &vm.frames[len(vm.frames)-1]
+		loc = fmt.Sprintf("%s@%d", f.M.Name, f.PC)
+	}
+	return fmt.Errorf("trap at %s: %s", loc, fmt.Sprintf(format, args...))
+}

@@ -1,0 +1,721 @@
+package vm
+
+import (
+	"testing"
+	"testing/quick"
+
+	"gocbs/internal/bytecode"
+)
+
+// buildAndRun links a single-function program and executes it.
+func buildAndRun(t *testing.T, build func(pb *bytecode.ProgramBuilder) *bytecode.MethodBuilder, args ...int64) (Value, *VM) {
+	t.Helper()
+	pb := bytecode.NewProgramBuilder()
+	entry := build(pb)
+	pb.SetEntry(entry)
+	prog, err := pb.Link()
+	if err != nil {
+		t.Fatalf("Link: %v", err)
+	}
+	m := New(prog)
+	m.MaxSteps = 10_000_000
+	v, err := m.Run(args...)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	return v, m
+}
+
+func TestArithmetic(t *testing.T) {
+	cases := []struct {
+		op   bytecode.Opcode
+		a, b int64
+		want int64
+	}{
+		{bytecode.OpAdd, 7, 5, 12},
+		{bytecode.OpSub, 7, 5, 2},
+		{bytecode.OpMul, 7, 5, 35},
+		{bytecode.OpDiv, 7, 5, 1},
+		{bytecode.OpDiv, -7, 5, -1},
+		{bytecode.OpRem, 7, 5, 2},
+		{bytecode.OpRem, -7, 5, -2},
+		{bytecode.OpAnd, 6, 3, 2},
+		{bytecode.OpOr, 6, 3, 7},
+		{bytecode.OpXor, 6, 3, 5},
+		{bytecode.OpShl, 3, 2, 12},
+		{bytecode.OpShr, -8, 1, -4},
+		{bytecode.OpEq, 4, 4, 1},
+		{bytecode.OpEq, 4, 5, 0},
+		{bytecode.OpNe, 4, 5, 1},
+		{bytecode.OpLt, 4, 5, 1},
+		{bytecode.OpLe, 5, 5, 1},
+		{bytecode.OpGt, 5, 4, 1},
+		{bytecode.OpGe, 4, 5, 0},
+	}
+	for _, tc := range cases {
+		v, _ := buildAndRun(t, func(pb *bytecode.ProgramBuilder) *bytecode.MethodBuilder {
+			f := pb.NewFunc("main", 0)
+			f.Const(tc.a)
+			f.Const(tc.b)
+			f.Emit(tc.op)
+			f.Emit(bytecode.OpReturn)
+			return f
+		})
+		if v.I != tc.want {
+			t.Errorf("%d %v %d = %d, want %d", tc.a, tc.op, tc.b, v.I, tc.want)
+		}
+	}
+}
+
+func TestNegNot(t *testing.T) {
+	v, _ := buildAndRun(t, func(pb *bytecode.ProgramBuilder) *bytecode.MethodBuilder {
+		f := pb.NewFunc("main", 0)
+		f.Const(9)
+		f.Emit(bytecode.OpNeg)
+		f.Emit(bytecode.OpNot) // -9 is truthy -> 0
+		f.Emit(bytecode.OpReturn)
+		return f
+	})
+	if v.I != 0 {
+		t.Errorf("not(neg(9)) = %d, want 0", v.I)
+	}
+}
+
+func TestDivByZeroTraps(t *testing.T) {
+	pb := bytecode.NewProgramBuilder()
+	f := pb.NewFunc("main", 0)
+	f.Const(1)
+	f.Const(0)
+	f.Emit(bytecode.OpDiv)
+	f.Emit(bytecode.OpReturn)
+	pb.SetEntry(f)
+	prog, err := pb.Link()
+	if err != nil {
+		t.Fatalf("Link: %v", err)
+	}
+	if _, err := New(prog).Run(); err == nil {
+		t.Fatal("division by zero should trap")
+	}
+}
+
+func TestLoopCountdown(t *testing.T) {
+	// f(n): sum 1..n via loop.
+	v, m := buildAndRun(t, func(pb *bytecode.ProgramBuilder) *bytecode.MethodBuilder {
+		f := pb.NewFunc("main", 1)
+		sum := f.AllocLocal()
+		f.Const(0)
+		f.Emit(bytecode.OpStore, int32(sum))
+		loop := f.NewLabel()
+		done := f.NewLabel()
+		f.Bind(loop)
+		f.Emit(bytecode.OpLoad, 0)
+		f.Branch(bytecode.OpJumpZ, done)
+		f.Emit(bytecode.OpLoad, int32(sum))
+		f.Emit(bytecode.OpLoad, 0)
+		f.Emit(bytecode.OpAdd)
+		f.Emit(bytecode.OpStore, int32(sum))
+		f.Emit(bytecode.OpLoad, 0)
+		f.Const(1)
+		f.Emit(bytecode.OpSub)
+		f.Emit(bytecode.OpStore, 0)
+		f.Branch(bytecode.OpJump, loop)
+		f.Bind(done)
+		f.Emit(bytecode.OpLoad, int32(sum))
+		f.Emit(bytecode.OpReturn)
+		return f
+	}, 100)
+	if v.I != 5050 {
+		t.Errorf("sum 1..100 = %d, want 5050", v.I)
+	}
+	if m.Instrs == 0 || m.Cycles == 0 {
+		t.Error("instruction/cycle counters not advancing")
+	}
+}
+
+func TestStaticCallAndReturn(t *testing.T) {
+	v, m := buildAndRun(t, func(pb *bytecode.ProgramBuilder) *bytecode.MethodBuilder {
+		double := pb.NewFunc("double", 1)
+		double.Emit(bytecode.OpLoad, 0)
+		double.Const(2)
+		double.Emit(bytecode.OpMul)
+		double.Emit(bytecode.OpReturn)
+
+		f := pb.NewFunc("main", 1)
+		f.Emit(bytecode.OpLoad, 0)
+		f.CallStatic(double)
+		f.CallStatic(double)
+		f.Emit(bytecode.OpReturn)
+		return f
+	}, 5)
+	if v.I != 20 {
+		t.Errorf("double(double(5)) = %d, want 20", v.I)
+	}
+	if m.Calls != 2 {
+		t.Errorf("Calls = %d, want 2", m.Calls)
+	}
+	if m.MethodsExecuted() != 2 {
+		t.Errorf("MethodsExecuted = %d, want 2", m.MethodsExecuted())
+	}
+}
+
+func TestRecursion(t *testing.T) {
+	// fib(20) = 6765 via naive recursion.
+	v, _ := buildAndRun(t, func(pb *bytecode.ProgramBuilder) *bytecode.MethodBuilder {
+		fib := pb.NewFunc("fib", 1)
+		rec := fib // self-reference
+		els := fib.NewLabel()
+		fib.Emit(bytecode.OpLoad, 0)
+		fib.Const(2)
+		fib.Emit(bytecode.OpLt)
+		fib.Branch(bytecode.OpJumpZ, els)
+		fib.Emit(bytecode.OpLoad, 0)
+		fib.Emit(bytecode.OpReturn)
+		fib.Bind(els)
+		fib.Emit(bytecode.OpLoad, 0)
+		fib.Const(1)
+		fib.Emit(bytecode.OpSub)
+		fib.CallStatic(rec)
+		fib.Emit(bytecode.OpLoad, 0)
+		fib.Const(2)
+		fib.Emit(bytecode.OpSub)
+		fib.CallStatic(rec)
+		fib.Emit(bytecode.OpAdd)
+		fib.Emit(bytecode.OpReturn)
+
+		main := pb.NewFunc("main", 1)
+		main.Emit(bytecode.OpLoad, 0)
+		main.CallStatic(fib)
+		main.Emit(bytecode.OpReturn)
+		return main
+	}, 20)
+	if v.I != 6765 {
+		t.Errorf("fib(20) = %d, want 6765", v.I)
+	}
+}
+
+// buildShapes returns a program with a Shape/Circle/Square hierarchy
+// and main(n) that sums area() over a mixed sequence of receivers.
+func buildShapes(t *testing.T) *bytecode.Program {
+	t.Helper()
+	pb := bytecode.NewProgramBuilder()
+	shape := pb.NewClass("Shape", nil)
+	sa := shape.NewMethod("area", false, 1)
+	sa.Const(1)
+	sa.Emit(bytecode.OpReturn)
+
+	circle := pb.NewClass("Circle", shape)
+	ca := circle.NewMethod("area", false, 1)
+	ca.Const(3)
+	ca.Emit(bytecode.OpReturn)
+
+	square := pb.NewClass("Square", shape)
+	qa := square.NewMethod("area", false, 1)
+	qa.Const(4)
+	qa.Emit(bytecode.OpReturn)
+
+	// main(n): loop n times, alternating Circle/Square receivers.
+	main := pb.NewFunc("main", 1)
+	sum := main.AllocLocal()
+	obj := main.AllocLocal()
+	main.Const(0)
+	main.Emit(bytecode.OpStore, int32(sum))
+	loop := main.NewLabel()
+	done := main.NewLabel()
+	odd := main.NewLabel()
+	merged := main.NewLabel()
+	main.Bind(loop)
+	main.Emit(bytecode.OpLoad, 0)
+	main.Branch(bytecode.OpJumpZ, done)
+	main.Emit(bytecode.OpLoad, 0)
+	main.Const(1)
+	main.Emit(bytecode.OpAnd)
+	main.Branch(bytecode.OpJumpNZ, odd)
+	main.Emit(bytecode.OpNew, int32(circle.ID()))
+	main.Emit(bytecode.OpStore, int32(obj))
+	main.Branch(bytecode.OpJump, merged)
+	main.Bind(odd)
+	main.Emit(bytecode.OpNew, int32(square.ID()))
+	main.Emit(bytecode.OpStore, int32(obj))
+	main.Bind(merged)
+	main.Emit(bytecode.OpLoad, int32(sum))
+	main.Emit(bytecode.OpLoad, int32(obj))
+	main.CallVirtual(shape, "area")
+	main.Emit(bytecode.OpAdd)
+	main.Emit(bytecode.OpStore, int32(sum))
+	main.Emit(bytecode.OpLoad, 0)
+	main.Const(1)
+	main.Emit(bytecode.OpSub)
+	main.Emit(bytecode.OpStore, 0)
+	main.Branch(bytecode.OpJump, loop)
+	main.Bind(done)
+	main.Emit(bytecode.OpLoad, int32(sum))
+	main.Emit(bytecode.OpReturn)
+	pb.SetEntry(main)
+	prog, err := pb.Link()
+	if err != nil {
+		t.Fatalf("Link: %v", err)
+	}
+	return prog
+}
+
+func TestVirtualDispatch(t *testing.T) {
+	prog := buildShapes(t)
+	m := New(prog)
+	// n=4: iterations n=4,3,2,1 -> even,odd,even,odd -> 3+4+3+4 = 14.
+	v, err := m.Run(4)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if v.I != 14 {
+		t.Errorf("sum = %d, want 14", v.I)
+	}
+}
+
+func TestObjectsAndFields(t *testing.T) {
+	v, _ := buildAndRun(t, func(pb *bytecode.ProgramBuilder) *bytecode.MethodBuilder {
+		p := pb.NewClass("Pair", nil)
+		fx := p.AddField("x", false)
+		fy := p.AddField("y", false)
+		f := pb.NewFunc("main", 0)
+		o := f.AllocLocal()
+		f.Emit(bytecode.OpNew, int32(p.ID()))
+		f.Emit(bytecode.OpStore, int32(o))
+		f.Emit(bytecode.OpLoad, int32(o))
+		f.Const(11)
+		f.Emit(bytecode.OpPutField, int32(fx))
+		f.Emit(bytecode.OpLoad, int32(o))
+		f.Const(31)
+		f.Emit(bytecode.OpPutField, int32(fy))
+		f.Emit(bytecode.OpLoad, int32(o))
+		f.Emit(bytecode.OpGetField, int32(fx))
+		f.Emit(bytecode.OpLoad, int32(o))
+		f.Emit(bytecode.OpGetField, int32(fy))
+		f.Emit(bytecode.OpAdd)
+		f.Emit(bytecode.OpReturn)
+		return f
+	})
+	if v.I != 42 {
+		t.Errorf("x+y = %d, want 42", v.I)
+	}
+}
+
+func TestArrays(t *testing.T) {
+	v, _ := buildAndRun(t, func(pb *bytecode.ProgramBuilder) *bytecode.MethodBuilder {
+		f := pb.NewFunc("main", 0)
+		arr := f.AllocLocal()
+		f.Const(10)
+		f.Emit(bytecode.OpNewArr)
+		f.Emit(bytecode.OpStore, int32(arr))
+		// arr[3] = 99
+		f.Emit(bytecode.OpLoad, int32(arr))
+		f.Const(3)
+		f.Const(99)
+		f.Emit(bytecode.OpAStore)
+		// return arr[3] + len(arr)
+		f.Emit(bytecode.OpLoad, int32(arr))
+		f.Const(3)
+		f.Emit(bytecode.OpALoad)
+		f.Emit(bytecode.OpLoad, int32(arr))
+		f.Emit(bytecode.OpArrLen)
+		f.Emit(bytecode.OpAdd)
+		f.Emit(bytecode.OpReturn)
+		return f
+	})
+	if v.I != 109 {
+		t.Errorf("arr[3]+len = %d, want 109", v.I)
+	}
+}
+
+func TestArrayBoundsTrap(t *testing.T) {
+	pb := bytecode.NewProgramBuilder()
+	f := pb.NewFunc("main", 0)
+	f.Const(2)
+	f.Emit(bytecode.OpNewArr)
+	f.Const(5)
+	f.Emit(bytecode.OpALoad)
+	f.Emit(bytecode.OpReturn)
+	pb.SetEntry(f)
+	prog, _ := pb.Link()
+	if _, err := New(prog).Run(); err == nil {
+		t.Fatal("out-of-bounds load should trap")
+	}
+}
+
+func TestNilFieldTrap(t *testing.T) {
+	pb := bytecode.NewProgramBuilder()
+	c := pb.NewClass("C", nil)
+	c.AddField("x", false)
+	f := pb.NewFunc("main", 0)
+	f.Emit(bytecode.OpNull)
+	f.Emit(bytecode.OpGetField, 0)
+	f.Emit(bytecode.OpReturn)
+	pb.SetEntry(f)
+	prog, _ := pb.Link()
+	if _, err := New(prog).Run(); err == nil {
+		t.Fatal("getfield on nil should trap")
+	}
+}
+
+func TestStaticsAndPrint(t *testing.T) {
+	pb := bytecode.NewProgramBuilder()
+	slot := pb.AddStatic("g")
+	f := pb.NewFunc("main", 0)
+	f.Const(5)
+	f.Emit(bytecode.OpPutStatic, int32(slot))
+	f.Emit(bytecode.OpGetStatic, int32(slot))
+	f.Emit(bytecode.OpDup)
+	f.Emit(bytecode.OpPrint)
+	f.Emit(bytecode.OpReturn)
+	pb.SetEntry(f)
+	prog, err := pb.Link()
+	if err != nil {
+		t.Fatalf("Link: %v", err)
+	}
+	m := New(prog)
+	v, err := m.Run()
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if v.I != 5 || len(m.Output) != 1 || m.Output[0] != 5 {
+		t.Errorf("v=%d output=%v", v.I, m.Output)
+	}
+	got, err := m.Static("g")
+	if err != nil || got.I != 5 {
+		t.Errorf("Static(g) = %v, %v", got, err)
+	}
+}
+
+func TestClassEqAndIsNull(t *testing.T) {
+	v, _ := buildAndRun(t, func(pb *bytecode.ProgramBuilder) *bytecode.MethodBuilder {
+		ca := pb.NewClass("A", nil)
+		cb := pb.NewClass("B", nil)
+		f := pb.NewFunc("main", 0)
+		f.Emit(bytecode.OpNew, int32(ca.ID()))     // A instance
+		f.Emit(bytecode.OpClassEq, int32(cb.ID())) // is it B? no -> 0
+		f.Emit(bytecode.OpNew, int32(ca.ID()))
+		f.Emit(bytecode.OpClassEq, int32(ca.ID())) // is it A? yes -> 1
+		f.Emit(bytecode.OpAdd)
+		f.Emit(bytecode.OpNull)
+		f.Emit(bytecode.OpIsNull) // 1
+		f.Emit(bytecode.OpAdd)
+		f.Emit(bytecode.OpReturn)
+		return f
+	})
+	if v.I != 2 {
+		t.Errorf("classeq/isnull combo = %d, want 2", v.I)
+	}
+}
+
+func TestHaltStopsExecution(t *testing.T) {
+	v, m := buildAndRun(t, func(pb *bytecode.ProgramBuilder) *bytecode.MethodBuilder {
+		f := pb.NewFunc("main", 0)
+		f.Const(1)
+		f.Emit(bytecode.OpPrint)
+		f.Emit(bytecode.OpHalt)
+		f.Const(2)
+		f.Emit(bytecode.OpPrint)
+		f.Emit(bytecode.OpReturn)
+		return f
+	})
+	if v.I != 0 {
+		t.Errorf("halt should return zero, got %d", v.I)
+	}
+	if len(m.Output) != 1 {
+		t.Errorf("output after halt = %v, want [1]", m.Output)
+	}
+	if m.Depth() != 0 {
+		t.Errorf("frames not unwound after halt: depth %d", m.Depth())
+	}
+}
+
+func TestMaxStepsAborts(t *testing.T) {
+	pb := bytecode.NewProgramBuilder()
+	f := pb.NewFunc("main", 0)
+	top := f.NewLabel()
+	f.Bind(top)
+	f.Emit(bytecode.OpNop)
+	f.Branch(bytecode.OpJump, top)
+	pb.SetEntry(f)
+	prog, _ := pb.Link()
+	m := New(prog)
+	m.MaxSteps = 1000
+	if _, err := m.Run(); err == nil {
+		t.Fatal("infinite loop should hit step limit")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() (int64, uint64, uint64) {
+		prog := buildShapes(t)
+		m := New(prog)
+		v, err := m.Run(1000)
+		if err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+		return v.I, m.Cycles, m.Instrs
+	}
+	v1, c1, i1 := run()
+	v2, c2, i2 := run()
+	if v1 != v2 || c1 != c2 || i1 != i2 {
+		t.Errorf("nondeterministic execution: (%d,%d,%d) vs (%d,%d,%d)", v1, c1, i1, v2, c2, i2)
+	}
+}
+
+// recordingProfiler counts hook invocations for yieldpoint tests.
+type recordingProfiler struct {
+	ticks     int
+	yields    map[YieldKind]int
+	calls     int
+	entries   int
+	setOnTick int32 // control word to set on each tick
+}
+
+func (r *recordingProfiler) OnTimerTick(vm *VM) {
+	r.ticks++
+	if r.setOnTick != 0 {
+		vm.ControlWord = r.setOnTick
+	}
+}
+func (r *recordingProfiler) OnYieldpoint(vm *VM, kind YieldKind) {
+	if r.yields == nil {
+		r.yields = map[YieldKind]int{}
+	}
+	r.yields[kind]++
+}
+func (r *recordingProfiler) OnCall(vm *VM, caller *bytecode.Method, site int, callee *bytecode.Method) {
+	r.calls++
+}
+func (r *recordingProfiler) OnEntry(vm *VM, m *bytecode.Method) { r.entries++ }
+
+func TestTimerTicksFire(t *testing.T) {
+	prog := buildShapes(t)
+	m := New(prog)
+	rec := &recordingProfiler{}
+	m.SetProfiler(rec)
+	m.SetTimer(10_000)
+	if _, err := m.Run(5000); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if rec.ticks == 0 {
+		t.Fatal("timer never fired")
+	}
+	want := int(m.Cycles / 10_000)
+	if rec.ticks < want-1 || rec.ticks > want+1 {
+		t.Errorf("ticks = %d, want about %d", rec.ticks, want)
+	}
+}
+
+func TestCallHookSeesEveryCall(t *testing.T) {
+	prog := buildShapes(t)
+	m := New(prog)
+	rec := &recordingProfiler{}
+	m.SetProfiler(rec)
+	if _, err := m.Run(100); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if uint64(rec.calls) != m.Calls {
+		t.Errorf("call hook saw %d calls, VM counted %d", rec.calls, m.Calls)
+	}
+	if rec.calls != 100 {
+		t.Errorf("calls = %d, want 100 (one virtual call per iteration)", rec.calls)
+	}
+	// Entry hook also sees the harness entry into main.
+	if rec.entries != rec.calls+1 {
+		t.Errorf("entries = %d, want %d", rec.entries, rec.calls+1)
+	}
+}
+
+func TestYieldpointGating(t *testing.T) {
+	// With control word forced to ControlPrologues, every method entry
+	// and exit takes a yieldpoint but backedges do not.
+	prog := buildShapes(t)
+	m := New(prog)
+	rec := &recordingProfiler{}
+	m.SetProfiler(rec)
+	m.ControlWord = ControlPrologues
+	if _, err := m.Run(50); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if rec.yields[YieldBackedge] != 0 {
+		t.Errorf("backedge yieldpoints taken with word=-1: %d", rec.yields[YieldBackedge])
+	}
+	if rec.yields[YieldPrologue] != 51 { // 50 calls + harness entry
+		t.Errorf("prologue yields = %d, want 51", rec.yields[YieldPrologue])
+	}
+	if rec.yields[YieldEpilogue] != 51 {
+		t.Errorf("epilogue yields = %d, want 51", rec.yields[YieldEpilogue])
+	}
+
+	// With ControlAll, backedges fire too.
+	m2 := New(prog)
+	rec2 := &recordingProfiler{}
+	m2.SetProfiler(rec2)
+	m2.ControlWord = ControlAll
+	if _, err := m2.Run(50); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if rec2.yields[YieldBackedge] == 0 {
+		t.Error("backedge yieldpoints not taken with word=1")
+	}
+}
+
+func TestProfilingCyclesSeparated(t *testing.T) {
+	prog := buildShapes(t)
+	base := New(prog)
+	if _, err := base.Run(500); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if base.ProfilingCycles != 0 {
+		t.Fatalf("unprofiled run charged %d profiling cycles", base.ProfilingCycles)
+	}
+
+	prof := New(prog)
+	prof.ControlWord = ControlPrologues // force yieldpoints
+	rec := &recordingProfiler{}
+	prof.SetProfiler(rec)
+	if _, err := prof.Run(500); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if prof.ProfilingCycles == 0 {
+		t.Fatal("profiled run charged no profiling cycles")
+	}
+	if prof.BaseCycles() != base.Cycles {
+		t.Errorf("base cycles differ: profiled %d vs clean %d", prof.BaseCycles(), base.Cycles)
+	}
+	if prof.Overhead() <= 0 {
+		t.Errorf("overhead = %v, want > 0", prof.Overhead())
+	}
+}
+
+func TestEntryCheckCost(t *testing.T) {
+	prog := buildShapes(t)
+	m := New(prog)
+	m.EntryCheckCost = 3
+	if _, err := m.Run(100); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	want := uint64(3 * 101) // 100 calls + harness entry
+	if m.ProfilingCycles != want {
+		t.Errorf("ProfilingCycles = %d, want %d", m.ProfilingCycles, want)
+	}
+}
+
+func TestWalkStackAndTopCallEdge(t *testing.T) {
+	// Build main -> a -> b; sample inside b via the call hook.
+	pb := bytecode.NewProgramBuilder()
+	b := pb.NewFunc("b", 0)
+	b.Const(1)
+	b.Emit(bytecode.OpReturn)
+	a := pb.NewFunc("a", 0)
+	a.CallStatic(b)
+	a.Emit(bytecode.OpReturn)
+	main := pb.NewFunc("main", 0)
+	main.CallStatic(a)
+	main.Emit(bytecode.OpReturn)
+	pb.SetEntry(main)
+	prog, err := pb.Link()
+	if err != nil {
+		t.Fatalf("Link: %v", err)
+	}
+
+	var depths []int
+	var edges []string
+	m := New(prog)
+	m.SetProfiler(walkProbe{depths: &depths, edges: &edges})
+	if _, err := m.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	// Entries: main (harness), a, b -> depths observed at entry: 1, 2, 3.
+	if len(depths) != 3 || depths[0] != 1 || depths[1] != 2 || depths[2] != 3 {
+		t.Errorf("entry depths = %v, want [1 2 3]", depths)
+	}
+	if len(edges) != 3 || edges[0] != "<none>" || edges[1] != "$Globals.main->$Globals.a" || edges[2] != "$Globals.a->$Globals.b" {
+		t.Errorf("edges = %v", edges)
+	}
+}
+
+type walkProbe struct {
+	depths *[]int
+	edges  *[]string
+}
+
+func (w walkProbe) OnEntry(vm *VM, m *bytecode.Method) {
+	n := 0
+	vm.WalkStack(func(m *bytecode.Method, pc int) bool { n++; return true })
+	*w.depths = append(*w.depths, n)
+	caller, _, callee, ok := vm.TopCallEdge()
+	if !ok {
+		*w.edges = append(*w.edges, "<none>")
+	} else {
+		*w.edges = append(*w.edges, caller.Name+"->"+callee.Name)
+	}
+}
+
+func TestReentrantCall(t *testing.T) {
+	pb := bytecode.NewProgramBuilder()
+	sq := pb.NewFunc("sq", 1)
+	sq.Emit(bytecode.OpLoad, 0)
+	sq.Emit(bytecode.OpLoad, 0)
+	sq.Emit(bytecode.OpMul)
+	sq.Emit(bytecode.OpReturn)
+	main := pb.NewFunc("main", 0)
+	main.Const(0)
+	main.Emit(bytecode.OpReturn)
+	pb.SetEntry(main)
+	prog, err := pb.Link()
+	if err != nil {
+		t.Fatalf("Link: %v", err)
+	}
+	m := New(prog)
+	f := prog.MethodByName("$Globals.sq")
+	for i := int64(1); i <= 5; i++ {
+		v, err := m.Call(f, IntV(i))
+		if err != nil {
+			t.Fatalf("Call: %v", err)
+		}
+		if v.I != i*i {
+			t.Errorf("sq(%d) = %d", i, v.I)
+		}
+	}
+	if m.Depth() != 0 {
+		t.Errorf("depth = %d after re-entrant calls", m.Depth())
+	}
+}
+
+// Property: the interpreter computes the same arithmetic results as Go.
+func TestArithmeticAgainstGoReference(t *testing.T) {
+	pb := bytecode.NewProgramBuilder()
+	f := pb.NewFunc("expr", 2)
+	// (a*3 + b) ^ (a - b/7 ... avoid div-by-zero: use b|1)
+	f.Emit(bytecode.OpLoad, 0)
+	f.Const(3)
+	f.Emit(bytecode.OpMul)
+	f.Emit(bytecode.OpLoad, 1)
+	f.Emit(bytecode.OpAdd)
+	f.Emit(bytecode.OpLoad, 0)
+	f.Emit(bytecode.OpLoad, 0)
+	f.Emit(bytecode.OpLoad, 1)
+	f.Const(1)
+	f.Emit(bytecode.OpOr)
+	f.Emit(bytecode.OpDiv)
+	f.Emit(bytecode.OpSub)
+	f.Emit(bytecode.OpXor)
+	f.Emit(bytecode.OpReturn)
+	pb.SetEntry(f)
+	prog, err := pb.Link()
+	if err != nil {
+		t.Fatalf("Link: %v", err)
+	}
+	check := func(a, b int64) bool {
+		m := New(prog)
+		v, err := m.Run(a, b)
+		if err != nil {
+			return false
+		}
+		want := (a*3 + b) ^ (a - a/(b|1))
+		return v.I == want
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
