@@ -1,0 +1,30 @@
+GO ?= go
+
+.PHONY: all tier1 build test test-race vet ci bench
+
+all: tier1
+
+# Tier-1 verification: the gate every PR must keep green.
+tier1:
+	$(GO) build ./...
+	$(GO) test ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Race coverage for the concurrent layers: the parallel experiment
+# runner, the experiments that fan out over it, and the profilers the
+# jobs drive.
+test-race:
+	$(GO) test -race ./internal/runner/... ./internal/experiment/... ./internal/profiler/...
+
+vet:
+	$(GO) vet ./...
+
+ci: tier1 vet test-race
+
+bench:
+	$(GO) test -bench=. -benchtime=1x -run=^$$ ./...

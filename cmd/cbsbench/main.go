@@ -18,18 +18,25 @@
 // Use -quick for a cheap single-seed run on a benchmark subset, -input
 // to pick small/large where applicable, and -benchmarks for a comma
 // separated subset of the suite.
+//
+// Experiments fan their independent jobs over -parallel workers
+// (default: GOMAXPROCS); output is byte-identical at any setting.
+// -progress renders a live meter on stderr: jobs completed/total,
+// modeled cycles simulated, wall-clock rate, and ETA.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
 	"gocbs/internal/bench"
 	"gocbs/internal/experiment"
 	"gocbs/internal/profiler"
+	"gocbs/internal/runner"
 )
 
 func main() {
@@ -41,6 +48,8 @@ func main() {
 	input := flag.String("input", "small", "input size for grids/figures/studies: small or large")
 	benchList := flag.String("benchmarks", "", "comma-separated benchmark subset (default: whole suite)")
 	fullGrid := flag.Bool("full", false, "use the paper's full samples-per-tick row set in table 2")
+	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "worker count for experiment jobs; 1 = serial (same output either way)")
+	progress := flag.Bool("progress", false, "render a live job/cycle/ETA meter on stderr")
 	flag.Parse()
 
 	cfg := experiment.DefaultConfig()
@@ -59,6 +68,10 @@ func main() {
 		}
 		cfg.Benchmarks = sub
 	}
+	cfg.Parallel = *parallel
+	if *progress {
+		cfg.Progress = progressMeter()
+	}
 
 	ran := false
 	run := func(name string, f func() error) {
@@ -66,6 +79,9 @@ func main() {
 		start := time.Now()
 		if err := f(); err != nil {
 			fatal(fmt.Errorf("%s: %w", name, err))
+		}
+		if *progress {
+			fmt.Fprintln(os.Stderr) // terminate the meter line
 		}
 		fmt.Fprintf(os.Stderr, "[%s done in %v]\n", name, time.Since(start).Round(time.Millisecond))
 	}
@@ -231,4 +247,22 @@ func main() {
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "cbsbench:", err)
 	os.Exit(1)
+}
+
+// progressMeter returns a runner progress hook that redraws one stderr
+// line per ~100 ms: jobs completed/total, modeled megacycles simulated,
+// simulation rate, and ETA. Experiments run sequentially and the pool
+// serializes hook calls, so the unsynchronized lastDraw is safe.
+func progressMeter() func(runner.Progress) {
+	var lastDraw time.Time
+	return func(p runner.Progress) {
+		now := time.Now()
+		if p.JobsDone < p.JobsTotal && now.Sub(lastDraw) < 100*time.Millisecond {
+			return
+		}
+		lastDraw = now
+		fmt.Fprintf(os.Stderr, "\r[%d/%d jobs  %.0f Mcyc  %.1f Mcyc/s  ETA %v]   ",
+			p.JobsDone, p.JobsTotal, float64(p.Cycles)/1e6, p.Rate(),
+			p.ETA().Round(time.Second))
+	}
 }

@@ -102,6 +102,82 @@ type Program struct {
 	SitePC    []int
 }
 
+// Clone returns a deep copy of the program. The copy shares nothing
+// mutable with the original: method code and constant pools, class
+// field lists and vtables, and the site tables are all fresh slices,
+// and every *Method/*Class reference (Entry, SiteOwner, VTable,
+// Class.Methods, Method.Class, Class.Super) is remapped to the cloned
+// counterpart. Inlining rewrites methods in place, so callers that
+// cache a compiled program must hand out clones, never the original.
+//
+// Clone relies on the linker invariant that every referenced method
+// and class appears in p.Methods / p.Classes.
+func (p *Program) Clone() *Program {
+	q := &Program{
+		NumStatics:   p.NumStatics,
+		StaticNames:  append([]string(nil), p.StaticNames...),
+		StaticInit:   append([]int64(nil), p.StaticInit...),
+		NumCallSites: p.NumCallSites,
+		SitePC:       append([]int(nil), p.SitePC...),
+	}
+
+	mmap := make(map[*Method]*Method, len(p.Methods))
+	q.Methods = make([]*Method, len(p.Methods))
+	for i, m := range p.Methods {
+		if m == nil {
+			continue
+		}
+		n := new(Method)
+		*n = *m
+		n.Code = append([]Instr(nil), m.Code...)
+		n.Consts = append([]int64(nil), m.Consts...)
+		q.Methods[i] = n
+		mmap[m] = n
+	}
+
+	cmap := make(map[*Class]*Class, len(p.Classes))
+	q.Classes = make([]*Class, len(p.Classes))
+	for i, c := range p.Classes {
+		if c == nil {
+			continue
+		}
+		n := new(Class)
+		*n = *c
+		n.Fields = append([]FieldDef(nil), c.Fields...)
+		q.Classes[i] = n
+		cmap[c] = n
+	}
+
+	// Second pass: remap every cross-reference into the clone.
+	for i, c := range p.Classes {
+		if c == nil {
+			continue
+		}
+		n := q.Classes[i]
+		n.Super = cmap[c.Super]
+		n.VTable = make([]*Method, len(c.VTable))
+		for j, m := range c.VTable {
+			n.VTable[j] = mmap[m]
+		}
+		n.Methods = make([]*Method, len(c.Methods))
+		for j, m := range c.Methods {
+			n.Methods[j] = mmap[m]
+		}
+	}
+	for i, m := range p.Methods {
+		if m == nil {
+			continue
+		}
+		q.Methods[i].Class = cmap[m.Class]
+	}
+	q.Entry = mmap[p.Entry]
+	q.SiteOwner = make([]*Method, len(p.SiteOwner))
+	for i, m := range p.SiteOwner {
+		q.SiteOwner[i] = mmap[m]
+	}
+	return q
+}
+
 // MethodByName returns the method with the given qualified name, or nil.
 func (p *Program) MethodByName(name string) *Method {
 	for _, m := range p.Methods {

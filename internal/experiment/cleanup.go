@@ -7,6 +7,7 @@ import (
 	"gocbs/internal/adaptive"
 	"gocbs/internal/inline"
 	"gocbs/internal/profiler"
+	"gocbs/internal/runner"
 	"gocbs/internal/vm"
 )
 
@@ -34,48 +35,60 @@ func CleanupAblation(cfg Config, input string) ([]CleanupRow, error) {
 	if len(cfg.Seeds) > 0 {
 		pc.Seed = cfg.Seeds[0]
 	}
-	var rows []CleanupRow
-	for _, b := range cfg.Benchmarks {
+	// One job per (benchmark × {inline-only, inline+cleanup}) build.
+	pool := cfg.startPool()
+	type job struct {
+		bi    int
+		clean bool
+	}
+	type build struct {
+		per  uint64
+		size int
+	}
+	var jobs []job
+	for bi := range cfg.Benchmarks {
+		jobs = append(jobs, job{bi: bi, clean: false}, job{bi: bi, clean: true})
+	}
+	builds, err := runner.Map(pool, jobs, func(_ int, j job) (build, error) {
+		b := cfg.Benchmarks[j.bi]
 		size := b.SizeFor(input)
-		build := func(clean bool) (uint64, int, error) {
-			prog, err := prepare(b)
-			if err != nil {
-				return 0, 0, err
-			}
-			g, err := profilePhase(cfg, prog, b, size, pc, b.SteadyIters)
-			if err != nil {
-				return 0, 0, err
-			}
-			var st adaptive.CompileStats
-			if clean {
-				st, err = adaptive.RecompileWithCleanup(prog, vm.DefaultCostModel(), inline.NewNewLinear(), g, inline.DefaultOptions())
-			} else {
-				st, err = adaptive.Recompile(prog, vm.DefaultCostModel(), inline.NewNewLinear(), g, inline.DefaultOptions())
-			}
-			if err != nil {
-				return 0, 0, err
-			}
-			per, err := steadyState(cfg, prog, size, b.SteadyIters)
-			if err != nil {
-				return 0, 0, err
-			}
-			return per, st.TotalCodeSize, nil
-		}
-		inlined, inlinedSize, err := build(false)
+		prog, err := cfg.prepare(b)
 		if err != nil {
-			return nil, fmt.Errorf("%s: %w", b.Name, err)
+			return build{}, fmt.Errorf("%s: %w", b.Name, err)
 		}
-		cleaned, cleanedSize, err := build(true)
+		g, err := profilePhase(cfg, prog, b, size, pc, b.SteadyIters)
 		if err != nil {
-			return nil, fmt.Errorf("%s: %w", b.Name, err)
+			return build{}, fmt.Errorf("%s: %w", b.Name, err)
 		}
+		var st adaptive.CompileStats
+		if j.clean {
+			st, err = adaptive.RecompileWithCleanup(prog, vm.DefaultCostModel(), inline.NewNewLinear(), g, inline.DefaultOptions())
+		} else {
+			st, err = adaptive.Recompile(prog, vm.DefaultCostModel(), inline.NewNewLinear(), g, inline.DefaultOptions())
+		}
+		if err != nil {
+			return build{}, fmt.Errorf("%s: %w", b.Name, err)
+		}
+		per, err := steadyState(cfg, prog, size, b.SteadyIters)
+		if err != nil {
+			return build{}, fmt.Errorf("%s: %w", b.Name, err)
+		}
+		return build{per: per, size: st.TotalCodeSize}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	var rows []CleanupRow
+	for bi, b := range cfg.Benchmarks {
+		inlined, cleaned := builds[bi*2], builds[bi*2+1]
 		rows = append(rows, CleanupRow{
 			Name:              b.Name,
-			InlinedIterCycles: inlined,
-			CleanedIterCycles: cleaned,
-			SpeedupPct:        speedup(inlined, cleaned),
-			InlinedCodeSize:   inlinedSize,
-			CleanedCodeSize:   cleanedSize,
+			InlinedIterCycles: inlined.per,
+			CleanedIterCycles: cleaned.per,
+			SpeedupPct:        speedup(inlined.per, cleaned.per),
+			InlinedCodeSize:   inlined.size,
+			CleanedCodeSize:   cleaned.size,
 		})
 	}
 	return rows, nil

@@ -6,6 +6,13 @@
 // profile-directed inlining under timer-only vs CBS profiles), plus the
 // supplementary studies indexed in DESIGN.md (convergence, skew
 // ablation, §3 comparators, old-vs-new inliner, context sensitivity).
+//
+// Every experiment fans its independent (benchmark × size × seed ×
+// grid-point) jobs across an internal/runner worker pool. Jobs are
+// pure functions of their inputs — each gets a private clone of a
+// once-compiled program and a profiler RNG seeded from the job key —
+// and results are folded in input order, so output is byte-identical
+// at any Config.Parallel setting.
 package experiment
 
 import (
@@ -16,6 +23,7 @@ import (
 	"gocbs/internal/inline"
 	"gocbs/internal/profile"
 	"gocbs/internal/profiler"
+	"gocbs/internal/runner"
 	"gocbs/internal/stats"
 	"gocbs/internal/vm"
 )
@@ -37,6 +45,21 @@ type Config struct {
 	Benchmarks []*bench.Benchmark
 	// MaxSteps caps each VM run.
 	MaxSteps uint64
+
+	// Parallel is the worker count experiment jobs fan out over;
+	// 0 or 1 runs the serial path. Any setting produces byte-identical
+	// results: jobs are independent and aggregation is input-ordered.
+	Parallel int
+	// Progress, when non-nil, receives a counter snapshot after every
+	// completed job (cbsbench -progress renders it as a meter).
+	Progress func(runner.Progress)
+
+	// cache serves clones of once-compiled benchmarks; nil falls back
+	// to recompiling per call (zero-value Configs stay usable).
+	cache *runner.ProgramCache
+	// pool is attached by each experiment entry point so helpers can
+	// report modeled cycles to the progress counters.
+	pool *runner.Pool
 }
 
 // DefaultConfig returns the configuration used by the committed
@@ -47,6 +70,7 @@ func DefaultConfig() Config {
 		Seeds:       []int64{11, 42, 1973},
 		Benchmarks:  bench.All(),
 		MaxSteps:    4_000_000_000,
+		cache:       runner.NewProgramCache(compileJITOnly),
 	}
 }
 
@@ -58,10 +82,29 @@ func QuickConfig() Config {
 	return c
 }
 
-// prepare compiles a benchmark in the §6.2 "JIT-only" configuration:
-// all methods at the lowest optimization level, trivial methods inlined
-// at load time, every other call observable.
-func prepare(b *bench.Benchmark) (*bytecode.Program, error) {
+// startPool attaches a worker pool sized by c.Parallel to this Config
+// copy and returns it. Experiment entry points call it once so that
+// nested helpers can account modeled cycles against the same meter.
+func (c *Config) startPool() *runner.Pool {
+	p := runner.New(c.Parallel)
+	if c.Progress != nil {
+		p.SetHook(c.Progress)
+	}
+	c.pool = p
+	return p
+}
+
+// addCycles reports modeled VM cycles to the attached pool, if any.
+func (c Config) addCycles(n uint64) {
+	if c.pool != nil {
+		c.pool.AddCycles(n)
+	}
+}
+
+// compileJITOnly compiles a benchmark in the §6.2 "JIT-only"
+// configuration: all methods at the lowest optimization level, trivial
+// methods inlined at load time, every other call observable.
+func compileJITOnly(b *bench.Benchmark) (*bytecode.Program, error) {
 	prog, err := b.Compile()
 	if err != nil {
 		return nil, err
@@ -72,10 +115,21 @@ func prepare(b *bench.Benchmark) (*bytecode.Program, error) {
 	return prog, nil
 }
 
+// prepare returns a private JIT-only program for the benchmark: a deep
+// clone of the cached compilation when a cache is attached, a fresh
+// compile otherwise. Callers may mutate the result freely (the inliner
+// rewrites methods in place) without affecting other jobs.
+func (c Config) prepare(b *bench.Benchmark) (*bytecode.Program, error) {
+	if c.cache != nil {
+		return c.cache.Get(b)
+	}
+	return compileJITOnly(b)
+}
+
 // PerfectDCG runs a benchmark exhaustively in the JIT-only
 // configuration and returns the ground-truth call graph.
 func PerfectDCG(cfg Config, b *bench.Benchmark, size int64) (*profile.DCG, error) {
-	prog, err := prepare(b)
+	prog, err := cfg.prepare(b)
 	if err != nil {
 		return nil, err
 	}
@@ -86,6 +140,7 @@ func PerfectDCG(cfg Config, b *bench.Benchmark, size int64) (*profile.DCG, error
 	if _, err := m.Run(size); err != nil {
 		return nil, fmt.Errorf("%s perfect run: %w", b.Name, err)
 	}
+	cfg.addCycles(m.Cycles)
 	return e.Graph, nil
 }
 
@@ -96,35 +151,67 @@ type AccuracyResult struct {
 	Samples     float64 // samples taken
 }
 
-// MeasureCBS runs one benchmark under a CBS configuration (median over
-// cfg.Seeds) and scores it against the given perfect profile.
-func MeasureCBS(cfg Config, b *bench.Benchmark, size int64, pc profiler.Config, perfect *profile.DCG) (AccuracyResult, error) {
+// seedMeas is one single-seed CBS measurement, the unit the parallel
+// grids fan out over before taking per-configuration medians.
+type seedMeas struct {
+	ovh, acc, smp float64
+}
+
+// measureOneSeed runs one benchmark once under a fully seeded CBS
+// configuration and scores it against the given perfect profile.
+func measureOneSeed(cfg Config, b *bench.Benchmark, size int64, pc profiler.Config, perfect *profile.DCG) (seedMeas, error) {
+	prog, err := cfg.prepare(b)
+	if err != nil {
+		return seedMeas{}, err
+	}
+	c := profiler.NewCBS(pc)
+	m := vm.New(prog)
+	m.MaxSteps = cfg.MaxSteps
+	if pc.Flavour == profiler.FlavourJ9 {
+		m.EpilogueYieldpoints = false
+	}
+	m.SetProfiler(c)
+	m.SetTimer(cfg.TimerPeriod)
+	if _, err := m.Run(size); err != nil {
+		return seedMeas{}, fmt.Errorf("%s cbs run: %w", b.Name, err)
+	}
+	cfg.addCycles(m.Cycles)
+	return seedMeas{
+		ovh: m.Overhead() * 100,
+		acc: profile.Accuracy(c.Graph, perfect),
+		smp: float64(c.SamplesTaken),
+	}, nil
+}
+
+// medianMeas folds single-seed measurements into the per-configuration
+// medians reported everywhere (the analog of the paper's median of 10
+// runs).
+func medianMeas(ms []seedMeas) AccuracyResult {
 	var ovh, acc, smp []float64
-	for _, seed := range cfg.Seeds {
-		pcs := pc
-		pcs.Seed = seed
-		prog, err := prepare(b)
-		if err != nil {
-			return AccuracyResult{}, err
-		}
-		c := profiler.NewCBS(pcs)
-		m := vm.New(prog)
-		m.MaxSteps = cfg.MaxSteps
-		if pcs.Flavour == profiler.FlavourJ9 {
-			m.EpilogueYieldpoints = false
-		}
-		m.SetProfiler(c)
-		m.SetTimer(cfg.TimerPeriod)
-		if _, err := m.Run(size); err != nil {
-			return AccuracyResult{}, fmt.Errorf("%s cbs run: %w", b.Name, err)
-		}
-		ovh = append(ovh, m.Overhead()*100)
-		acc = append(acc, profile.Accuracy(c.Graph, perfect))
-		smp = append(smp, float64(c.SamplesTaken))
+	for _, m := range ms {
+		ovh = append(ovh, m.ovh)
+		acc = append(acc, m.acc)
+		smp = append(smp, m.smp)
 	}
 	return AccuracyResult{
 		OverheadPct: stats.Median(ovh),
 		Accuracy:    stats.Median(acc),
 		Samples:     stats.Median(smp),
-	}, nil
+	}
+}
+
+// MeasureCBS runs one benchmark under a CBS configuration (median over
+// cfg.Seeds) and scores it against the given perfect profile.
+func MeasureCBS(cfg Config, b *bench.Benchmark, size int64, pc profiler.Config, perfect *profile.DCG) (AccuracyResult, error) {
+	ms := make([]seedMeas, 0, len(cfg.Seeds))
+	for _, seed := range cfg.Seeds {
+		pcs := pc
+		pcs.Seed = seed
+		m, err := measureOneSeed(cfg, b, size, pcs, perfect)
+		if err != nil {
+			return AccuracyResult{}, err
+		}
+		ms = append(ms, m)
+	}
+	return medianMeas(ms), nil
 }

@@ -21,6 +21,7 @@ func testCfg(t *testing.T, names ...string) Config {
 }
 
 func TestTable1ShapesAndFormat(t *testing.T) {
+	skipSerialUnderRace(t)
 	cfg := testCfg(t, "jess", "soot")
 	rows, err := Table1(cfg)
 	if err != nil {
@@ -107,7 +108,20 @@ func TestTable2GridMonotoneInSamples(t *testing.T) {
 	}
 }
 
+// skipSerialUnderRace skips tests that run the experiment pipeline on
+// the runner's serial fast path: they add no concurrency coverage, and
+// under the race detector's interpreter slowdown they would push the
+// package toward go test's default timeout. Their logic stays covered
+// by every non-race run.
+func skipSerialUnderRace(t *testing.T) {
+	t.Helper()
+	if raceLite {
+		t.Skip("serial-path experiment test; covered by the non-race run")
+	}
+}
+
 func TestTable3RowsComplete(t *testing.T) {
+	skipSerialUnderRace(t)
 	cfg := testCfg(t, "compress")
 	rows, err := Table3(cfg, DefaultTable3Params())
 	if err != nil {
@@ -245,6 +259,7 @@ func TestContextStudyRuns(t *testing.T) {
 }
 
 func TestInlinerAblationRuns(t *testing.T) {
+	skipSerialUnderRace(t)
 	cfg := testCfg(t, "mtrt")
 	rows, err := InlinerAblation(cfg, "small")
 	if err != nil {

@@ -10,6 +10,7 @@ import (
 	"gocbs/internal/inline"
 	"gocbs/internal/profile"
 	"gocbs/internal/profiler"
+	"gocbs/internal/runner"
 	"gocbs/internal/vm"
 )
 
@@ -73,6 +74,7 @@ func profilePhase(cfg Config, prog *bytecode.Program, b *bench.Benchmark, size i
 			return nil, err
 		}
 	}
+	cfg.addCycles(m.Cycles)
 	return c.Graph, nil
 }
 
@@ -92,13 +94,14 @@ func steadyState(cfg Config, prog *bytecode.Program, size int64, iters int) (uin
 			return 0, err
 		}
 	}
+	cfg.addCycles(m.Cycles)
 	return (m.Cycles - start) / uint64(iters), nil
 }
 
 // buildOptimized compiles a fresh copy, profiles it (unless pc is nil),
 // recompiles under the policy, and reports steady-state cycles.
 func buildOptimized(cfg Config, b *bench.Benchmark, size int64, policy inline.Policy, pc *profiler.Config, warmup, measure int) (uint64, adaptive.CompileStats, error) {
-	prog, err := prepare(b)
+	prog, err := cfg.prepare(b)
 	if err != nil {
 		return 0, adaptive.CompileStats{}, err
 	}
@@ -152,36 +155,71 @@ func Figure5(cfg Config, which Figure5VM, input string) ([]Figure5Row, error) {
 		cbsCfg.Seed = cfg.Seeds[0]
 	}
 
-	var rows []Figure5Row
-	for _, b := range cfg.Benchmarks {
+	// One runner job per (benchmark × {baseline, timer, cbs}) build.
+	pool := cfg.startPool()
+	type build struct {
+		per uint64
+		st  adaptive.CompileStats
+	}
+	type job struct {
+		bi, variant int
+	}
+	const nVariants = 3
+	var jobs []job
+	for bi := range cfg.Benchmarks {
+		for v := 0; v < nVariants; v++ {
+			jobs = append(jobs, job{bi: bi, variant: v})
+		}
+	}
+	builds, err := runner.Map(pool, jobs, func(_ int, j job) (build, error) {
+		b := cfg.Benchmarks[j.bi]
 		size := b.SizeFor(input)
 		warmup := b.SteadyIters
 		measure := b.SteadyIters
+		var (
+			per uint64
+			st  adaptive.CompileStats
+			err error
+		)
+		switch j.variant {
+		case 0:
+			per, st, err = buildOptimized(cfg, b, size, basePolicy, nil, warmup, measure)
+			if err != nil {
+				err = fmt.Errorf("%s baseline: %w", b.Name, err)
+			}
+		case 1:
+			per, st, err = buildOptimized(cfg, b, size, profPolicy, &timerCfg, warmup, measure)
+			if err != nil {
+				err = fmt.Errorf("%s timer: %w", b.Name, err)
+			}
+		default:
+			per, st, err = buildOptimized(cfg, b, size, profPolicy, &cbsCfg, warmup, measure)
+			if err != nil {
+				err = fmt.Errorf("%s cbs: %w", b.Name, err)
+			}
+		}
+		return build{per: per, st: st}, err
+	})
+	if err != nil {
+		return nil, err
+	}
 
-		basePer, baseSt, err := buildOptimized(cfg, b, size, basePolicy, nil, warmup, measure)
-		if err != nil {
-			return nil, fmt.Errorf("%s baseline: %w", b.Name, err)
-		}
-		timerPer, timerSt, err := buildOptimized(cfg, b, size, profPolicy, &timerCfg, warmup, measure)
-		if err != nil {
-			return nil, fmt.Errorf("%s timer: %w", b.Name, err)
-		}
-		cbsPer, cbsSt, err := buildOptimized(cfg, b, size, profPolicy, &cbsCfg, warmup, measure)
-		if err != nil {
-			return nil, fmt.Errorf("%s cbs: %w", b.Name, err)
-		}
-
-		rows = append(rows, Figure5Row{
+	rows := make([]Figure5Row, len(cfg.Benchmarks))
+	for bi, b := range cfg.Benchmarks {
+		base := builds[bi*nVariants]
+		timer := builds[bi*nVariants+1]
+		cbs := builds[bi*nVariants+2]
+		rows[bi] = Figure5Row{
 			Name:                  b.Name,
-			TimerSpeedupPct:       speedup(basePer, timerPer),
-			CBSSpeedupPct:         speedup(basePer, cbsPer),
-			BaselineCompileCycles: baseSt.CompileCycles,
-			TimerCompileCycles:    timerSt.CompileCycles,
-			CBSCompileCycles:      cbsSt.CompileCycles,
-			BaselineIterCycles:    basePer,
-			TimerIterCycles:       timerPer,
-			CBSIterCycles:         cbsPer,
-		})
+			TimerSpeedupPct:       speedup(base.per, timer.per),
+			CBSSpeedupPct:         speedup(base.per, cbs.per),
+			BaselineCompileCycles: base.st.CompileCycles,
+			TimerCompileCycles:    timer.st.CompileCycles,
+			CBSCompileCycles:      cbs.st.CompileCycles,
+			BaselineIterCycles:    base.per,
+			TimerIterCycles:       timer.per,
+			CBSIterCycles:         cbs.per,
+		}
 	}
 	return rows, nil
 }

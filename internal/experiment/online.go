@@ -5,8 +5,10 @@ import (
 	"strings"
 
 	"gocbs/internal/adaptive"
+	"gocbs/internal/bench"
 	"gocbs/internal/inline"
 	"gocbs/internal/profiler"
+	"gocbs/internal/runner"
 	"gocbs/internal/vm"
 )
 
@@ -37,14 +39,16 @@ func Online(cfg Config, input string) ([]OnlineRow, error) {
 	if len(cfg.Seeds) > 0 {
 		seed = cfg.Seeds[0]
 	}
-	var rows []OnlineRow
-	for _, b := range cfg.Benchmarks {
+	// One job per benchmark: the adaptive run is a single inherently
+	// serial pipeline (profile → recompile → keep running).
+	pool := cfg.startPool()
+	return runner.Map(pool, cfg.Benchmarks, func(_ int, b *bench.Benchmark) (OnlineRow, error) {
 		size := b.SizeFor(input)
 		iters := b.SteadyIters * 3
 
-		prog, err := prepare(b)
+		prog, err := cfg.prepare(b)
 		if err != nil {
-			return nil, err
+			return OnlineRow{}, err
 		}
 		cbs := profiler.NewCBS(profiler.Config{Stride: 3, SamplesPerTick: 16, Flavour: profiler.FlavourRVM, Seed: seed})
 		ctl := adaptive.NewController(prog, inline.NewNewLinear(), cbs.Graph, inline.DefaultOptions(), 2)
@@ -56,19 +60,20 @@ func Online(cfg Config, input string) ([]OnlineRow, error) {
 		setup := prog.MethodByName("$Globals.setup")
 		iter := prog.MethodByName("$Globals.iter")
 		if _, err := m.Call(setup, vm.IntV(size)); err != nil {
-			return nil, fmt.Errorf("%s setup: %w", b.Name, err)
+			return OnlineRow{}, fmt.Errorf("%s setup: %w", b.Name, err)
 		}
 		perIter := make([]uint64, 0, iters)
 		for i := 0; i < iters; i++ {
 			before := m.Cycles
 			if _, err := m.Call(iter); err != nil {
-				return nil, fmt.Errorf("%s iter %d: %w", b.Name, i, err)
+				return OnlineRow{}, fmt.Errorf("%s iter %d: %w", b.Name, i, err)
 			}
 			perIter = append(perIter, m.Cycles-before)
 		}
 		if ctl.Err != nil {
-			return nil, fmt.Errorf("%s controller: %w", b.Name, ctl.Err)
+			return OnlineRow{}, fmt.Errorf("%s controller: %w", b.Name, ctl.Err)
 		}
+		cfg.addCycles(m.Cycles)
 
 		mean3 := func(xs []uint64) uint64 {
 			var s uint64
@@ -79,7 +84,7 @@ func Online(cfg Config, input string) ([]OnlineRow, error) {
 		}
 		first := mean3(perIter[:3])
 		last := mean3(perIter[len(perIter)-3:])
-		rows = append(rows, OnlineRow{
+		return OnlineRow{
 			Name:              b.Name,
 			FirstIterCycles:   first,
 			LastIterCycles:    last,
@@ -87,9 +92,8 @@ func Online(cfg Config, input string) ([]OnlineRow, error) {
 			MethodsRecompiled: ctl.Stats.MethodsCompiled,
 			InlinesApplied:    ctl.Stats.InlinesApplied,
 			CompileCycles:     ctl.Stats.CompileCycles,
-		})
-	}
-	return rows, nil
+		}, nil
+	})
 }
 
 // FormatOnline renders the study.

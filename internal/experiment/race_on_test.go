@@ -1,0 +1,11 @@
+//go:build race
+
+package experiment
+
+// raceLite trims the heaviest determinism/golden cases when the race
+// detector is on. Its 10-20x slowdown over the interpreter-dense jobs
+// would otherwise push this package past go test's default 10-minute
+// timeout on a single-core machine. Full-breadth byte-identity and the
+// golden pins are covered by the non-race runs; under -race the goal
+// is concurrency coverage of the runner/cache/experiment fan-out.
+const raceLite = true

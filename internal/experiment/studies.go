@@ -8,6 +8,7 @@ import (
 	"gocbs/internal/inline"
 	"gocbs/internal/profile"
 	"gocbs/internal/profiler"
+	"gocbs/internal/runner"
 	"gocbs/internal/stats"
 	"gocbs/internal/vm"
 )
@@ -41,15 +42,17 @@ func (p *convergenceProbe) OnTimerTick(m *vm.VM) {
 
 func (p *convergenceProbe) OnYieldpoint(m *vm.VM, k vm.YieldKind) { p.inner.OnYieldpoint(m, k) }
 
-// Convergence measures accuracy-over-time for one benchmark.
+// Convergence measures accuracy-over-time for one benchmark. The two
+// probe series run as parallel jobs after the shared perfect profile.
 func Convergence(cfg Config, b *bench.Benchmark, input string) ([]ConvergencePoint, error) {
+	pool := cfg.startPool()
 	size := b.SizeFor(input)
 	perfect, err := PerfectDCG(cfg, b, size)
 	if err != nil {
 		return nil, err
 	}
 	runSeries := func(pc profiler.Config) ([]ConvergencePoint, error) {
-		prog, err := prepare(b)
+		prog, err := cfg.prepare(b)
 		if err != nil {
 			return nil, err
 		}
@@ -61,20 +64,23 @@ func Convergence(cfg Config, b *bench.Benchmark, input string) ([]ConvergencePoi
 		if _, err := m.Run(size); err != nil {
 			return nil, err
 		}
+		cfg.addCycles(m.Cycles)
 		return probe.points, nil
 	}
 	seed := int64(42)
 	if len(cfg.Seeds) > 0 {
 		seed = cfg.Seeds[0]
 	}
-	timer, err := runSeries(profiler.Config{Stride: 1, SamplesPerTick: 1, Flavour: profiler.FlavourRVM, Seed: seed})
+	series, err := runner.Map(pool, []profiler.Config{
+		{Stride: 1, SamplesPerTick: 1, Flavour: profiler.FlavourRVM, Seed: seed},
+		{Stride: 3, SamplesPerTick: 16, Flavour: profiler.FlavourRVM, Seed: seed},
+	}, func(_ int, pc profiler.Config) ([]ConvergencePoint, error) {
+		return runSeries(pc)
+	})
 	if err != nil {
 		return nil, err
 	}
-	cbs, err := runSeries(profiler.Config{Stride: 3, SamplesPerTick: 16, Flavour: profiler.FlavourRVM, Seed: seed})
-	if err != nil {
-		return nil, err
-	}
+	timer, cbs := series[0], series[1]
 	n := len(timer)
 	if len(cbs) < n {
 		n = len(cbs)
@@ -115,28 +121,51 @@ type SkewRow struct {
 }
 
 // SkewAblation compares skip policies at a wide stride where the
-// choice of initial skip matters most.
+// choice of initial skip matters most. Perfect profiles are computed
+// once per benchmark (they are policy-independent), then one job runs
+// per (policy × benchmark).
 func SkewAblation(cfg Config, input string, stride, samples int) ([]SkewRow, error) {
+	pool := cfg.startPool()
 	policies := []profiler.SkipPolicy{profiler.SkipRandom, profiler.SkipRoundRobin, profiler.SkipImmediate}
-	var rows []SkewRow
-	for _, sp := range policies {
-		var accs []float64
-		for _, b := range cfg.Benchmarks {
-			size := b.SizeFor(input)
-			perfect, err := PerfectDCG(cfg, b, size)
-			if err != nil {
-				return nil, err
-			}
-			res, err := MeasureCBS(cfg, b, size, profiler.Config{
-				Stride: stride, SamplesPerTick: samples,
-				Flavour: profiler.FlavourRVM, SkipPolicy: sp,
-			}, perfect)
-			if err != nil {
-				return nil, err
-			}
-			accs = append(accs, res.Accuracy)
+
+	perfects, err := runner.Map(pool, cfg.Benchmarks, func(_ int, b *bench.Benchmark) (*profile.DCG, error) {
+		return PerfectDCG(cfg, b, b.SizeFor(input))
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	type job struct {
+		pi, bi int
+	}
+	var jobs []job
+	for pi := range policies {
+		for bi := range cfg.Benchmarks {
+			jobs = append(jobs, job{pi: pi, bi: bi})
 		}
-		rows = append(rows, SkewRow{Policy: sp.String(), Accuracy: stats.Mean(accs)})
+	}
+	accs, err := runner.Map(pool, jobs, func(_ int, j job) (float64, error) {
+		b := cfg.Benchmarks[j.bi]
+		res, err := MeasureCBS(cfg, b, b.SizeFor(input), profiler.Config{
+			Stride: stride, SamplesPerTick: samples,
+			Flavour: profiler.FlavourRVM, SkipPolicy: policies[j.pi],
+		}, perfects[j.bi])
+		if err != nil {
+			return 0, err
+		}
+		return res.Accuracy, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	var rows []SkewRow
+	for pi, sp := range policies {
+		n := len(cfg.Benchmarks)
+		rows = append(rows, SkewRow{
+			Policy:   sp.String(),
+			Accuracy: stats.Mean(accs[pi*n : (pi+1)*n]),
+		})
 	}
 	return rows, nil
 }
@@ -163,27 +192,38 @@ type ComparatorRow struct {
 	Accuracy    float64
 }
 
-// Comparators measures every §3 technique on the suite.
+// Comparators measures every §3 technique on the suite: perfect
+// profiles first (one job per benchmark), then one job per
+// (benchmark × technique).
 func Comparators(cfg Config, input string) ([]ComparatorRow, error) {
-	type meas struct{ ovh, acc []float64 }
-	results := map[string]*meas{}
+	pool := cfg.startPool()
 	order := []string{"exhaustive-instrumented", "whaley", "code-patching", "timer-only", "cbs(3,16)"}
-	for _, name := range order {
-		results[name] = &meas{}
-	}
-	add := func(name string, o, a float64) {
-		results[name].ovh = append(results[name].ovh, o)
-		results[name].acc = append(results[name].acc, a)
+
+	perfects, err := runner.Map(pool, cfg.Benchmarks, func(_ int, b *bench.Benchmark) (*profile.DCG, error) {
+		return PerfectDCG(cfg, b, b.SizeFor(input))
+	})
+	if err != nil {
+		return nil, err
 	}
 
-	for _, b := range cfg.Benchmarks {
-		size := b.SizeFor(input)
-		perfect, err := PerfectDCG(cfg, b, size)
-		if err != nil {
-			return nil, err
+	type job struct {
+		bi, ti int
+	}
+	type pair struct {
+		ovh, acc float64
+	}
+	var jobs []job
+	for bi := range cfg.Benchmarks {
+		for ti := range order {
+			jobs = append(jobs, job{bi: bi, ti: ti})
 		}
+	}
+	meas, err := runner.Map(pool, jobs, func(_ int, j job) (pair, error) {
+		b := cfg.Benchmarks[j.bi]
+		size := b.SizeFor(input)
+		perfect := perfects[j.bi]
 		runWith := func(p any) (*vm.VM, error) {
-			prog, err := prepare(b)
+			prog, err := cfg.prepare(b)
 			if err != nil {
 				return nil, err
 			}
@@ -194,55 +234,72 @@ func Comparators(cfg Config, input string) ([]ComparatorRow, error) {
 			if _, err := m.Run(size); err != nil {
 				return nil, err
 			}
+			cfg.addCycles(m.Cycles)
 			return m, nil
 		}
-
-		inst := profiler.NewInstrumented()
-		m, err := runWith(inst)
-		if err != nil {
-			return nil, err
+		switch order[j.ti] {
+		case "exhaustive-instrumented":
+			inst := profiler.NewInstrumented()
+			m, err := runWith(inst)
+			if err != nil {
+				return pair{}, err
+			}
+			return pair{m.Overhead() * 100, profile.Accuracy(inst.Graph, perfect)}, nil
+		case "whaley":
+			wh := profiler.NewWhaley()
+			m, err := runWith(wh)
+			if err != nil {
+				return pair{}, err
+			}
+			return pair{m.Overhead() * 100, profile.Accuracy(wh.Graph, perfect)}, nil
+		case "code-patching":
+			prog, err := cfg.prepare(b)
+			if err != nil {
+				return pair{}, err
+			}
+			pt := profiler.NewPatching(len(prog.Methods), 100, 64)
+			mp := vm.New(prog)
+			mp.MaxSteps = cfg.MaxSteps
+			mp.SetProfiler(pt)
+			if _, err := mp.Run(size); err != nil {
+				return pair{}, err
+			}
+			cfg.addCycles(mp.Cycles)
+			return pair{mp.Overhead() * 100, profile.Accuracy(pt.Graph, perfect)}, nil
+		case "timer-only":
+			res, err := MeasureCBS(cfg, b, size, profiler.TimerOnly(profiler.FlavourRVM), perfect)
+			if err != nil {
+				return pair{}, err
+			}
+			return pair{res.OverheadPct, res.Accuracy}, nil
+		default: // cbs(3,16)
+			res, err := MeasureCBS(cfg, b, size, profiler.Config{Stride: 3, SamplesPerTick: 16, Flavour: profiler.FlavourRVM}, perfect)
+			if err != nil {
+				return pair{}, err
+			}
+			return pair{res.OverheadPct, res.Accuracy}, nil
 		}
-		add("exhaustive-instrumented", m.Overhead()*100, profile.Accuracy(inst.Graph, perfect))
-
-		wh := profiler.NewWhaley()
-		m, err = runWith(wh)
-		if err != nil {
-			return nil, err
-		}
-		add("whaley", m.Overhead()*100, profile.Accuracy(wh.Graph, perfect))
-
-		prog, err := prepare(b)
-		if err != nil {
-			return nil, err
-		}
-		pt := profiler.NewPatching(len(prog.Methods), 100, 64)
-		mp := vm.New(prog)
-		mp.MaxSteps = cfg.MaxSteps
-		mp.SetProfiler(pt)
-		if _, err := mp.Run(size); err != nil {
-			return nil, err
-		}
-		add("code-patching", mp.Overhead()*100, profile.Accuracy(pt.Graph, perfect))
-
-		res, err := MeasureCBS(cfg, b, size, profiler.TimerOnly(profiler.FlavourRVM), perfect)
-		if err != nil {
-			return nil, err
-		}
-		add("timer-only", res.OverheadPct, res.Accuracy)
-
-		res, err = MeasureCBS(cfg, b, size, profiler.Config{Stride: 3, SamplesPerTick: 16, Flavour: profiler.FlavourRVM}, perfect)
-		if err != nil {
-			return nil, err
-		}
-		add("cbs(3,16)", res.OverheadPct, res.Accuracy)
+	})
+	if err != nil {
+		return nil, err
 	}
 
+	// Fold benchmark-major, matching the serial harness's append order.
+	ovh := make([][]float64, len(order))
+	acc := make([][]float64, len(order))
+	for bi := range cfg.Benchmarks {
+		for ti := range order {
+			p := meas[bi*len(order)+ti]
+			ovh[ti] = append(ovh[ti], p.ovh)
+			acc[ti] = append(acc[ti], p.acc)
+		}
+	}
 	var rows []ComparatorRow
-	for _, name := range order {
+	for ti, name := range order {
 		rows = append(rows, ComparatorRow{
 			Technique:   name,
-			OverheadPct: stats.Mean(results[name].ovh),
-			Accuracy:    stats.Mean(results[name].acc),
+			OverheadPct: stats.Mean(ovh[ti]),
+			Accuracy:    stats.Mean(acc[ti]),
 		})
 	}
 	return rows, nil
@@ -280,26 +337,45 @@ func InlinerAblation(cfg Config, input string) ([]InlinerRow, error) {
 		timerCfg.Seed = cfg.Seeds[0]
 		cbsCfg.Seed = cfg.Seeds[0]
 	}
-	var rows []InlinerRow
-	for _, b := range cfg.Benchmarks {
+	// One job per (benchmark × {old,new} × {timer,cbs}) build.
+	pool := cfg.startPool()
+	type job struct {
+		bi, vi int
+	}
+	const nVariants = 4
+	var jobs []job
+	for bi := range cfg.Benchmarks {
+		for vi := 0; vi < nVariants; vi++ {
+			jobs = append(jobs, job{bi: bi, vi: vi})
+		}
+	}
+	builds, err := runner.Map(pool, jobs, func(_ int, j job) (uint64, error) {
+		b := cfg.Benchmarks[j.bi]
 		size := b.SizeFor(input)
 		w, msr := b.SteadyIters, b.SteadyIters
-		oldTimer, _, err := buildOptimized(cfg, b, size, inline.NewOldJikes(), &timerCfg, w, msr)
-		if err != nil {
-			return nil, err
+		var policy inline.Policy
+		if j.vi == 0 || j.vi == 2 {
+			policy = inline.NewOldJikes()
+		} else {
+			policy = inline.NewNewLinear()
 		}
-		newTimer, _, err := buildOptimized(cfg, b, size, inline.NewNewLinear(), &timerCfg, w, msr)
-		if err != nil {
-			return nil, err
+		pc := &timerCfg
+		if j.vi >= 2 {
+			pc = &cbsCfg
 		}
-		oldCBS, _, err := buildOptimized(cfg, b, size, inline.NewOldJikes(), &cbsCfg, w, msr)
-		if err != nil {
-			return nil, err
-		}
-		newCBS, _, err := buildOptimized(cfg, b, size, inline.NewNewLinear(), &cbsCfg, w, msr)
-		if err != nil {
-			return nil, err
-		}
+		per, _, err := buildOptimized(cfg, b, size, policy, pc, w, msr)
+		return per, err
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	var rows []InlinerRow
+	for bi, b := range cfg.Benchmarks {
+		oldTimer := builds[bi*nVariants]
+		newTimer := builds[bi*nVariants+1]
+		oldCBS := builds[bi*nVariants+2]
+		newCBS := builds[bi*nVariants+3]
 		rows = append(rows, InlinerRow{
 			Name:            b.Name,
 			TimerSpeedupPct: speedup(oldTimer, newTimer),
@@ -341,53 +417,90 @@ type ContextRow struct {
 	OverheadPct     float64
 }
 
-// ContextStudy measures CBS in FullStack mode.
+// ContextStudy measures CBS in FullStack mode. Each benchmark needs
+// three independent runs — flat perfect DCG, exhaustive CCT, sampled
+// CCS run — which fan out as separate jobs; the cheap overlap scoring
+// happens in the input-ordered fold.
 func ContextStudy(cfg Config, input string) ([]ContextRow, error) {
+	pool := cfg.startPool()
 	seed := int64(42)
 	if len(cfg.Seeds) > 0 {
 		seed = cfg.Seeds[0]
 	}
-	var rows []ContextRow
-	for _, b := range cfg.Benchmarks {
-		size := b.SizeFor(input)
-		perfectFlat, err := PerfectDCG(cfg, b, size)
-		if err != nil {
-			return nil, err
-		}
-		prog, err := prepare(b)
-		if err != nil {
-			return nil, err
-		}
-		ex := profiler.NewExhaustiveCCT()
-		m := vm.New(prog)
-		m.MaxSteps = cfg.MaxSteps
-		m.SetProfiler(ex)
-		if _, err := m.Run(size); err != nil {
-			return nil, err
-		}
 
-		prog2, err := prepare(b)
-		if err != nil {
-			return nil, err
+	type runResult struct {
+		flat *profile.DCG            // kind 0
+		ex   *profiler.ExhaustiveCCT // kind 1
+		cbs  *profiler.CBS           // kind 2
+		ovh  float64
+	}
+	type job struct {
+		bi, kind int
+	}
+	const nKinds = 3
+	var jobs []job
+	for bi := range cfg.Benchmarks {
+		for k := 0; k < nKinds; k++ {
+			jobs = append(jobs, job{bi: bi, kind: k})
 		}
-		c := profiler.NewCBS(profiler.Config{
-			Stride: 3, SamplesPerTick: 16,
-			Flavour: profiler.FlavourRVM, Seed: seed, FullStack: true,
-		})
-		m2 := vm.New(prog2)
-		m2.MaxSteps = cfg.MaxSteps
-		m2.SetProfiler(c)
-		m2.SetTimer(cfg.TimerPeriod)
-		if _, err := m2.Run(size); err != nil {
-			return nil, err
+	}
+	runs, err := runner.Map(pool, jobs, func(_ int, j job) (runResult, error) {
+		b := cfg.Benchmarks[j.bi]
+		size := b.SizeFor(input)
+		switch j.kind {
+		case 0:
+			g, err := PerfectDCG(cfg, b, size)
+			return runResult{flat: g}, err
+		case 1:
+			prog, err := cfg.prepare(b)
+			if err != nil {
+				return runResult{}, err
+			}
+			ex := profiler.NewExhaustiveCCT()
+			m := vm.New(prog)
+			m.MaxSteps = cfg.MaxSteps
+			m.SetProfiler(ex)
+			if _, err := m.Run(size); err != nil {
+				return runResult{}, err
+			}
+			cfg.addCycles(m.Cycles)
+			return runResult{ex: ex}, nil
+		default:
+			prog, err := cfg.prepare(b)
+			if err != nil {
+				return runResult{}, err
+			}
+			c := profiler.NewCBS(profiler.Config{
+				Stride: 3, SamplesPerTick: 16,
+				Flavour: profiler.FlavourRVM, Seed: seed, FullStack: true,
+			})
+			m := vm.New(prog)
+			m.MaxSteps = cfg.MaxSteps
+			m.SetProfiler(c)
+			m.SetTimer(cfg.TimerPeriod)
+			if _, err := m.Run(size); err != nil {
+				return runResult{}, err
+			}
+			cfg.addCycles(m.Cycles)
+			return runResult{cbs: c, ovh: m.Overhead() * 100}, nil
 		}
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	var rows []ContextRow
+	for bi, b := range cfg.Benchmarks {
+		perfectFlat := runs[bi*nKinds].flat
+		ex := runs[bi*nKinds+1].ex
+		cbsRun := runs[bi*nKinds+2]
 		rows = append(rows, ContextRow{
 			Name:            b.Name,
-			FlatAccuracy:    profile.Accuracy(c.Graph, perfectFlat),
-			CCTAccuracy:     profile.OverlapCCT(c.Tree, ex.Tree),
-			CCTNodes:        c.Tree.NumNodes(),
+			FlatAccuracy:    profile.Accuracy(cbsRun.cbs.Graph, perfectFlat),
+			CCTAccuracy:     profile.OverlapCCT(cbsRun.cbs.Tree, ex.Tree),
+			CCTNodes:        cbsRun.cbs.Tree.NumNodes(),
 			PerfectCCTNodes: ex.Tree.NumNodes(),
-			OverheadPct:     m2.Overhead() * 100,
+			OverheadPct:     cbsRun.ovh,
 		})
 	}
 	return rows, nil
@@ -427,34 +540,46 @@ func EntryCheckStudy(cfg Config, input string) ([]EntryCheckRow, error) {
 	if len(cfg.Seeds) > 0 {
 		seed = cfg.Seeds[0]
 	}
-	var rows []EntryCheckRow
-	for _, b := range cfg.Benchmarks {
+	// One job per (benchmark × entry-check cost).
+	pool := cfg.startPool()
+	type job struct {
+		bi   int
+		cost uint64
+	}
+	var jobs []job
+	for bi := range cfg.Benchmarks {
+		jobs = append(jobs, job{bi: bi, cost: 0}, job{bi: bi, cost: 3})
+	}
+	ovhs, err := runner.Map(pool, jobs, func(_ int, j job) (float64, error) {
+		b := cfg.Benchmarks[j.bi]
 		size := b.SizeFor(input)
-		runWith := func(entryCost uint64) (float64, error) {
-			prog, err := prepare(b)
-			if err != nil {
-				return 0, err
-			}
-			c := profiler.NewCBS(profiler.Config{Stride: 3, SamplesPerTick: 16, Flavour: profiler.FlavourRVM, Seed: seed})
-			m := vm.New(prog)
-			m.MaxSteps = cfg.MaxSteps
-			m.EntryCheckCost = entryCost
-			m.SetProfiler(c)
-			m.SetTimer(cfg.TimerPeriod)
-			if _, err := m.Run(size); err != nil {
-				return 0, err
-			}
-			return m.Overhead() * 100, nil
-		}
-		overloaded, err := runWith(0)
+		prog, err := cfg.prepare(b)
 		if err != nil {
-			return nil, err
+			return 0, err
 		}
-		explicit, err := runWith(3)
-		if err != nil {
-			return nil, err
+		c := profiler.NewCBS(profiler.Config{Stride: 3, SamplesPerTick: 16, Flavour: profiler.FlavourRVM, Seed: seed})
+		m := vm.New(prog)
+		m.MaxSteps = cfg.MaxSteps
+		m.EntryCheckCost = j.cost
+		m.SetProfiler(c)
+		m.SetTimer(cfg.TimerPeriod)
+		if _, err := m.Run(size); err != nil {
+			return 0, err
 		}
-		rows = append(rows, EntryCheckRow{Name: b.Name, OverloadedPct: overloaded, ExplicitCheckPct: explicit})
+		cfg.addCycles(m.Cycles)
+		return m.Overhead() * 100, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	var rows []EntryCheckRow
+	for bi, b := range cfg.Benchmarks {
+		rows = append(rows, EntryCheckRow{
+			Name:             b.Name,
+			OverloadedPct:    ovhs[bi*2],
+			ExplicitCheckPct: ovhs[bi*2+1],
+		})
 	}
 	return rows, nil
 }

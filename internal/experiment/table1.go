@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"gocbs/internal/bench"
+	"gocbs/internal/runner"
 	"gocbs/internal/vm"
 )
 
@@ -19,31 +20,40 @@ type Table1Row struct {
 	Calls   uint64  // dynamic calls (extra diagnostic)
 }
 
-// Table1 measures benchmark characteristics for both input sizes.
+// Table1 measures benchmark characteristics for both input sizes, one
+// runner job per (input × benchmark).
 func Table1(cfg Config) ([]Table1Row, error) {
-	var rows []Table1Row
+	pool := cfg.startPool()
+	type key struct {
+		input string
+		b     *bench.Benchmark
+	}
+	var keys []key
 	for _, input := range []string{"small", "large"} {
 		for _, b := range cfg.Benchmarks {
-			prog, err := prepare(b)
-			if err != nil {
-				return nil, err
-			}
-			m := vm.New(prog)
-			m.MaxSteps = cfg.MaxSteps
-			if _, err := m.Run(b.SizeFor(input)); err != nil {
-				return nil, fmt.Errorf("%s-%s: %w", b.Name, input, err)
-			}
-			rows = append(rows, Table1Row{
-				Name:    b.Name,
-				Input:   input,
-				MCycles: float64(m.Cycles) / 1e6,
-				Methods: m.MethodsExecuted(),
-				SizeK:   float64(prog.TotalCodeSize()) / 1000,
-				Calls:   m.Calls,
-			})
+			keys = append(keys, key{input, b})
 		}
 	}
-	return rows, nil
+	return runner.Map(pool, keys, func(_ int, k key) (Table1Row, error) {
+		prog, err := cfg.prepare(k.b)
+		if err != nil {
+			return Table1Row{}, err
+		}
+		m := vm.New(prog)
+		m.MaxSteps = cfg.MaxSteps
+		if _, err := m.Run(k.b.SizeFor(k.input)); err != nil {
+			return Table1Row{}, fmt.Errorf("%s-%s: %w", k.b.Name, k.input, err)
+		}
+		cfg.addCycles(m.Cycles)
+		return Table1Row{
+			Name:    k.b.Name,
+			Input:   k.input,
+			MCycles: float64(m.Cycles) / 1e6,
+			Methods: m.MethodsExecuted(),
+			SizeK:   float64(prog.TotalCodeSize()) / 1000,
+			Calls:   m.Calls,
+		}, nil
+	})
 }
 
 // FormatTable1 renders Table 1 as text.

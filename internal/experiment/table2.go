@@ -4,8 +4,10 @@ import (
 	"fmt"
 	"strings"
 
+	"gocbs/internal/bench"
 	"gocbs/internal/profile"
 	"gocbs/internal/profiler"
+	"gocbs/internal/runner"
 	"gocbs/internal/stats"
 )
 
@@ -34,32 +36,67 @@ type Table2Cell struct {
 // Table2 computes the overhead/accuracy grid for one VM flavour,
 // averaging over the configured benchmarks at the given input size.
 // This regenerates Table 2A (FlavourRVM) and Table 2B (FlavourJ9).
+//
+// The grid fans out in two phases: one job per benchmark for the
+// profiler-independent perfect profiles, then one job per (cell ×
+// benchmark × seed). The fold walks cells row-major and benchmarks in
+// suite order — the exact arithmetic order of the serial harness — so
+// the result is identical at any parallelism.
 func Table2(cfg Config, flavour profiler.Flavour, input string, strides, samples []int) ([]Table2Cell, error) {
-	// Perfect profiles are profiler-independent: compute once per
-	// benchmark.
-	perfects := map[string]accPerfect{}
-	for _, b := range cfg.Benchmarks {
+	pool := cfg.startPool()
+	perfects, err := runner.Map(pool, cfg.Benchmarks, func(_ int, b *bench.Benchmark) (accPerfect, error) {
 		size := b.SizeFor(input)
 		g, err := PerfectDCG(cfg, b, size)
 		if err != nil {
-			return nil, err
+			return accPerfect{}, err
 		}
-		perfects[b.Name] = accPerfect{size: size, g: g}
+		return accPerfect{size: size, g: g}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
+
+	type job struct {
+		s, n int
+		bi   int
+		seed int64
+	}
+	var jobs []job
+	for _, n := range samples {
+		for _, s := range strides {
+			for bi := range cfg.Benchmarks {
+				for _, seed := range cfg.Seeds {
+					jobs = append(jobs, job{s: s, n: n, bi: bi, seed: seed})
+				}
+			}
+		}
+	}
+	meas, err := runner.Map(pool, jobs, func(_ int, j job) (seedMeas, error) {
+		b := cfg.Benchmarks[j.bi]
+		p := perfects[j.bi]
+		m, err := measureOneSeed(cfg, b, p.size, profiler.Config{
+			Stride:         j.s,
+			SamplesPerTick: j.n,
+			Flavour:        flavour,
+			Seed:           j.seed,
+		}, p.g)
+		if err != nil {
+			return seedMeas{}, fmt.Errorf("stride=%d samples=%d: %w", j.s, j.n, err)
+		}
+		return m, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
 	var cells []Table2Cell
+	i := 0
 	for _, n := range samples {
 		for _, s := range strides {
 			var ovh, acc []float64
-			for _, b := range cfg.Benchmarks {
-				p := perfects[b.Name]
-				res, err := MeasureCBS(cfg, b, p.size, profiler.Config{
-					Stride:         s,
-					SamplesPerTick: n,
-					Flavour:        flavour,
-				}, p.g)
-				if err != nil {
-					return nil, fmt.Errorf("stride=%d samples=%d: %w", s, n, err)
-				}
+			for range cfg.Benchmarks {
+				res := medianMeas(meas[i : i+len(cfg.Seeds)])
+				i += len(cfg.Seeds)
 				ovh = append(ovh, res.OverheadPct)
 				acc = append(acc, res.Accuracy)
 			}

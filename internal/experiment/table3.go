@@ -4,7 +4,10 @@ import (
 	"fmt"
 	"strings"
 
+	"gocbs/internal/bench"
+	"gocbs/internal/profile"
 	"gocbs/internal/profiler"
+	"gocbs/internal/runner"
 	"gocbs/internal/stats"
 )
 
@@ -35,46 +38,72 @@ func DefaultTable3Params() Table3CBSParams {
 }
 
 // Table3 measures the per-benchmark breakdown for both input sizes.
+// Jobs fan out at (input × benchmark) granularity for the perfect
+// profiles, then (input × benchmark × configuration × seed) for the
+// measurements; the fold rebuilds rows in the serial order.
 func Table3(cfg Config, params Table3CBSParams) ([]Table3Row, error) {
-	var rows []Table3Row
+	pool := cfg.startPool()
+	type key struct {
+		input string
+		b     *bench.Benchmark
+		size  int64
+	}
+	var keys []key
 	for _, input := range []string{"small", "large"} {
 		for _, b := range cfg.Benchmarks {
-			size := b.SizeFor(input)
-			perfect, err := PerfectDCG(cfg, b, size)
-			if err != nil {
-				return nil, err
-			}
-			row := Table3Row{Name: b.Name, Input: input}
-
-			measure := func(pc profiler.Config) (AccuracyResult, error) {
-				return MeasureCBS(cfg, b, size, pc, perfect)
-			}
-			r, err := measure(profiler.TimerOnly(profiler.FlavourRVM))
-			if err != nil {
-				return nil, err
-			}
-			row.RVMBaseOverhead, row.RVMBaseAccuracy = r.OverheadPct, r.Accuracy
-
-			r, err = measure(profiler.Config{Stride: params.RVMStride, SamplesPerTick: params.RVMSamples, Flavour: profiler.FlavourRVM})
-			if err != nil {
-				return nil, err
-			}
-			row.RVMCBSOverhead, row.RVMCBSAccuracy = r.OverheadPct, r.Accuracy
-
-			r, err = measure(profiler.TimerOnly(profiler.FlavourJ9))
-			if err != nil {
-				return nil, err
-			}
-			row.J9BaseOverhead, row.J9BaseAccuracy = r.OverheadPct, r.Accuracy
-
-			r, err = measure(profiler.Config{Stride: params.J9Stride, SamplesPerTick: params.J9Samples, Flavour: profiler.FlavourJ9})
-			if err != nil {
-				return nil, err
-			}
-			row.J9CBSOverhead, row.J9CBSAccuracy = r.OverheadPct, r.Accuracy
-
-			rows = append(rows, row)
+			keys = append(keys, key{input, b, b.SizeFor(input)})
 		}
+	}
+	perfects, err := runner.Map(pool, keys, func(_ int, k key) (*profile.DCG, error) {
+		return PerfectDCG(cfg, k.b, k.size)
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// The four measured configurations per row, in row-field order.
+	configs := []profiler.Config{
+		profiler.TimerOnly(profiler.FlavourRVM),
+		{Stride: params.RVMStride, SamplesPerTick: params.RVMSamples, Flavour: profiler.FlavourRVM},
+		profiler.TimerOnly(profiler.FlavourJ9),
+		{Stride: params.J9Stride, SamplesPerTick: params.J9Samples, Flavour: profiler.FlavourJ9},
+	}
+	type job struct {
+		ki, ci int
+		seed   int64
+	}
+	var jobs []job
+	for ki := range keys {
+		for ci := range configs {
+			for _, seed := range cfg.Seeds {
+				jobs = append(jobs, job{ki: ki, ci: ci, seed: seed})
+			}
+		}
+	}
+	meas, err := runner.Map(pool, jobs, func(_ int, j job) (seedMeas, error) {
+		k := keys[j.ki]
+		pc := configs[j.ci]
+		pc.Seed = j.seed
+		return measureOneSeed(cfg, k.b, k.size, pc, perfects[j.ki])
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	rows := make([]Table3Row, len(keys))
+	i := 0
+	for ki, k := range keys {
+		row := Table3Row{Name: k.b.Name, Input: k.input}
+		var res [4]AccuracyResult
+		for ci := range configs {
+			res[ci] = medianMeas(meas[i : i+len(cfg.Seeds)])
+			i += len(cfg.Seeds)
+		}
+		row.RVMBaseOverhead, row.RVMBaseAccuracy = res[0].OverheadPct, res[0].Accuracy
+		row.RVMCBSOverhead, row.RVMCBSAccuracy = res[1].OverheadPct, res[1].Accuracy
+		row.J9BaseOverhead, row.J9BaseAccuracy = res[2].OverheadPct, res[2].Accuracy
+		row.J9CBSOverhead, row.J9CBSAccuracy = res[3].OverheadPct, res[3].Accuracy
+		rows[ki] = row
 	}
 	return rows, nil
 }

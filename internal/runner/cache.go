@@ -1,0 +1,73 @@
+package runner
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"gocbs/internal/bench"
+	"gocbs/internal/bytecode"
+)
+
+// ProgramCache memoizes one compiled program per benchmark and serves
+// deep clones of it. Inlining mutates programs in place, so handing
+// the cached original to a job would poison every later run; instead
+// each Get pays one bytecode.Program.Clone — far cheaper than
+// re-running the MJ frontend (lex, parse, typecheck, codegen, link,
+// verify) per grid point.
+//
+// Get is safe for concurrent use and compiles each benchmark exactly
+// once even when many workers request it at the same time.
+type ProgramCache struct {
+	build func(*bench.Benchmark) (*bytecode.Program, error)
+
+	mu      sync.Mutex
+	entries map[string]*cacheEntry
+
+	hits, misses atomic.Int64
+}
+
+type cacheEntry struct {
+	once sync.Once
+	prog *bytecode.Program
+	err  error
+}
+
+// NewProgramCache returns a cache that compiles benchmarks with build
+// (typically the experiment harness's compile-plus-trivial-inline
+// preparation).
+func NewProgramCache(build func(*bench.Benchmark) (*bytecode.Program, error)) *ProgramCache {
+	return &ProgramCache{build: build, entries: map[string]*cacheEntry{}}
+}
+
+// Get returns a private deep clone of the benchmark's compiled
+// program, compiling it on first use.
+func (c *ProgramCache) Get(b *bench.Benchmark) (*bytecode.Program, error) {
+	c.mu.Lock()
+	e := c.entries[b.Name]
+	if e == nil {
+		e = &cacheEntry{}
+		c.entries[b.Name] = e
+	}
+	c.mu.Unlock()
+
+	first := false
+	e.once.Do(func() {
+		first = true
+		e.prog, e.err = c.build(b)
+	})
+	if first {
+		c.misses.Add(1)
+	} else {
+		c.hits.Add(1)
+	}
+	if e.err != nil {
+		return nil, e.err
+	}
+	return e.prog.Clone(), nil
+}
+
+// Stats reports how many Gets were served from the cache versus
+// compiled.
+func (c *ProgramCache) Stats() (hits, misses int64) {
+	return c.hits.Load(), c.misses.Load()
+}

@@ -1,0 +1,86 @@
+package runner
+
+import (
+	"bytes"
+	"sync/atomic"
+	"testing"
+
+	"gocbs/internal/bench"
+	"gocbs/internal/bytecode"
+)
+
+func encodeBytes(t *testing.T, p *bytecode.Program) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := bytecode.EncodeProgram(p, &buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestProgramCacheCompilesOnce hammers one entry from many workers and
+// checks the build function ran exactly once (run under -race this
+// also proves Get is data-race free).
+func TestProgramCacheCompilesOnce(t *testing.T) {
+	b := bench.ByName("compress")
+	if b == nil {
+		t.Fatal("compress benchmark missing")
+	}
+	var builds atomic.Int64
+	c := NewProgramCache(func(b *bench.Benchmark) (*bytecode.Program, error) {
+		builds.Add(1)
+		return b.Compile()
+	})
+	progs, err := Map(New(8), make([]int, 16), func(int, int) (*bytecode.Program, error) {
+		return c.Get(b)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if builds.Load() != 1 {
+		t.Fatalf("build ran %d times, want 1", builds.Load())
+	}
+	hits, misses := c.Stats()
+	if hits != 15 || misses != 1 {
+		t.Fatalf("stats = %d hits / %d misses, want 15/1", hits, misses)
+	}
+	// Every Get must hand out a distinct program.
+	for i := 1; i < len(progs); i++ {
+		if progs[i] == progs[0] || progs[i].Methods[0] == progs[0].Methods[0] {
+			t.Fatal("cache returned aliased programs")
+		}
+	}
+}
+
+// TestProgramCacheServesIsolatedClones mutates one served clone and
+// checks the next Get is unaffected.
+func TestProgramCacheServesIsolatedClones(t *testing.T) {
+	b := bench.ByName("compress")
+	c := NewProgramCache(func(b *bench.Benchmark) (*bytecode.Program, error) {
+		return b.Compile()
+	})
+	first, err := c.Get(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := encodeBytes(t, first)
+
+	// Deface the served clone the way the inliner would: rewrite code,
+	// grow the constant pool, clobber a vtable slot.
+	first.Methods[0].Code[0] = bytecode.Instr{Op: bytecode.OpNop}
+	first.Methods[0].Consts = append(first.Methods[0].Consts, 999)
+	for _, cl := range first.Classes {
+		if cl != nil && len(cl.VTable) > 0 {
+			cl.VTable[0] = nil
+			break
+		}
+	}
+
+	second, err := c.Get(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := encodeBytes(t, second); !bytes.Equal(got, want) {
+		t.Fatal("mutating a served clone leaked into the cached program")
+	}
+}

@@ -1,0 +1,137 @@
+package runner
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestMapOrderDeterministic checks that results land at their input
+// index no matter which worker finishes first: late indices are given
+// much cheaper work, so completion order is close to the reverse of
+// input order.
+func TestMapOrderDeterministic(t *testing.T) {
+	p := New(8)
+	items := make([]int, 64)
+	for i := range items {
+		items[i] = i
+	}
+	got, err := Map(p, items, func(i int, v int) (string, error) {
+		time.Sleep(time.Duration(64-i) * 100 * time.Microsecond)
+		return fmt.Sprintf("job-%d", v), nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range got {
+		if want := fmt.Sprintf("job-%d", i); s != want {
+			t.Fatalf("result[%d] = %q, want %q", i, s, want)
+		}
+	}
+}
+
+func TestMapSerialAndParallelAgree(t *testing.T) {
+	items := []int{5, 4, 3, 2, 1, 0, 9, 8, 7, 6}
+	fn := func(i int, v int) (int, error) { return v*v + i, nil }
+	serial, err := Map(New(1), items, fn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := Map(New(4), items, fn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range serial {
+		if serial[i] != par[i] {
+			t.Fatalf("index %d: serial %d != parallel %d", i, serial[i], par[i])
+		}
+	}
+}
+
+// TestMapErrorLowestIndex checks deterministic error selection: with
+// several failing jobs, Map returns the failure a serial loop would
+// have hit first.
+func TestMapErrorLowestIndex(t *testing.T) {
+	items := make([]int, 32)
+	fail := map[int]bool{3: true, 10: true, 25: true}
+	for workers := 1; workers <= 8; workers *= 2 {
+		_, err := Map(New(workers), items, func(i int, _ int) (int, error) {
+			if fail[i] {
+				return 0, fmt.Errorf("job %d failed", i)
+			}
+			return i, nil
+		})
+		if err == nil || err.Error() != "job 3 failed" {
+			t.Fatalf("workers=%d: err = %v, want job 3 failed", workers, err)
+		}
+	}
+}
+
+func TestMapNilPoolRunsSerially(t *testing.T) {
+	got, err := Map[int, int](nil, []int{1, 2, 3}, func(i int, v int) (int, error) {
+		return v * 10, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 10 || got[2] != 30 {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestPoolCountersAndHook(t *testing.T) {
+	p := New(4)
+	var hookCalls atomic.Int64
+	p.SetHook(func(pr Progress) {
+		hookCalls.Add(1)
+		if pr.JobsDone < 1 || pr.JobsDone > pr.JobsTotal {
+			t.Errorf("bad snapshot: %+v", pr)
+		}
+	})
+	items := make([]int, 20)
+	_, err := Map(p, items, func(i int, _ int) (int, error) {
+		p.AddCycles(100)
+		return 0, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := p.Snapshot()
+	if s.JobsDone != 20 || s.JobsTotal != 20 {
+		t.Fatalf("counters: %+v", s)
+	}
+	if s.Cycles != 2000 {
+		t.Fatalf("cycles = %d, want 2000", s.Cycles)
+	}
+	if hookCalls.Load() != 20 {
+		t.Fatalf("hook called %d times, want 20", hookCalls.Load())
+	}
+}
+
+func TestProgressDerived(t *testing.T) {
+	p := Progress{JobsDone: 2, JobsTotal: 6, Cycles: 4_000_000, Elapsed: 2 * time.Second}
+	if r := p.Rate(); r != 2 {
+		t.Errorf("Rate = %v, want 2 Mcyc/s", r)
+	}
+	if eta := p.ETA(); eta != 4*time.Second {
+		t.Errorf("ETA = %v, want 4s", eta)
+	}
+	if (Progress{}).ETA() != 0 || (Progress{}).Rate() != 0 {
+		t.Error("zero Progress should have zero rate/ETA")
+	}
+}
+
+func TestMapErrorTypePreserved(t *testing.T) {
+	sentinel := errors.New("sentinel")
+	_, err := Map(New(4), []int{0, 1, 2}, func(i int, _ int) (int, error) {
+		if i == 1 {
+			return 0, sentinel
+		}
+		return 0, nil
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v, want sentinel", err)
+	}
+}
