@@ -1,6 +1,10 @@
 GO ?= go
 
-.PHONY: all tier1 build test test-race vet ci bench
+# Every command binary, built explicitly by `make build-cmds` so ci
+# catches a cmd that ./... would skip (e.g. after a package rename).
+CMDS := ./cmd/cbsbench ./cmd/cbsd ./cmd/cbsvm ./cmd/dcgdiff ./cmd/mjc ./cmd/mjgen
+
+.PHONY: all tier1 build build-cmds test test-race test-daemon vet ci bench
 
 all: tier1
 
@@ -12,19 +16,28 @@ tier1:
 build:
 	$(GO) build ./...
 
+build-cmds:
+	$(GO) build $(CMDS)
+
 test:
 	$(GO) test ./...
 
 # Race coverage for the concurrent layers: the parallel experiment
-# runner, the experiments that fan out over it, and the profilers the
-# jobs drive.
+# runner, the experiments that fan out over it, the profilers the jobs
+# drive, and the sharded concurrent DCG store (its soak test is the
+# K-writers-vs-serial-reference check).
 test-race:
-	$(GO) test -race ./internal/runner/... ./internal/experiment/... ./internal/profiler/...
+	$(GO) test -race ./internal/runner/... ./internal/experiment/... ./internal/profiler/... ./internal/dcgstore/...
+
+# The cbsd aggregation daemon's httptest-based endpoint tests plus the
+# runner-driven multi-pusher convergence test.
+test-daemon:
+	$(GO) test ./cmd/cbsd/...
 
 vet:
 	$(GO) vet ./...
 
-ci: tier1 vet test-race
+ci: tier1 vet build-cmds test-daemon test-race
 
 bench:
 	$(GO) test -bench=. -benchtime=1x -run=^$$ ./...

@@ -1,0 +1,70 @@
+// Command cbsd is the DCG aggregation daemon: a long-running HTTP
+// service that ingests dynamic call graph snapshots pushed by profiling
+// VMs (cbsvm -push), merges them into a sharded concurrent store, and
+// serves query endpoints over the fleet-wide graph — the centralized
+// "exploit" half of the paper's collect-and-exploit loop, scaled from
+// one VM to many.
+//
+//	cbsd -addr :8944
+//	cbsd -addr :8944 -shards 64 -decay 0.5 -decay-every 30s
+//
+// Endpoints:
+//
+//	POST /ingest     merge a serialized DCG snapshot into the store
+//	GET  /snapshot   stream the merged DCG (binary wire format)
+//	GET  /top?k=N    heaviest N edges as JSON
+//	GET  /site?id=N  receiver-target distribution at one call site
+//	POST /overlap    overlap of the store against an uploaded reference DCG
+//	POST /decay      run one decay epoch (?factor=, optional ?prune=)
+//	GET  /metrics    operational counters (JSON)
+//	GET  /healthz    liveness probe
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"time"
+
+	"gocbs/internal/dcgstore"
+)
+
+func main() {
+	addr := flag.String("addr", ":8944", "listen address")
+	shards := flag.Int("shards", dcgstore.DefaultShards, "store shard count (rounded up to a power of two)")
+	decay := flag.Float64("decay", 0, "periodic decay factor in (0,1]; 0 disables background decay")
+	decayEvery := flag.Duration("decay-every", time.Minute, "interval between background decay epochs")
+	decayPrune := flag.Float64("decay-prune", 1e-6, "drop edges whose decayed weight falls below this")
+	flag.Parse()
+
+	if *decay < 0 || *decay > 1 {
+		log.Fatalf("cbsd: -decay %v out of range (0,1]", *decay)
+	}
+
+	store := dcgstore.New(*shards)
+	srv := newServer(store)
+
+	if *decay > 0 {
+		go func() {
+			for range time.Tick(*decayEvery) {
+				pruned := store.Decay(*decay, *decayPrune)
+				log.Printf("decay epoch %d: factor %v, pruned %d edges, %d remain",
+					store.Epoch(), *decay, pruned, store.NumEdges())
+			}
+		}()
+	}
+
+	log.Printf("cbsd listening on %s (%d shards, decay %s)",
+		*addr, store.NumShards(), decayDesc(*decay, *decayEvery))
+	if err := http.ListenAndServe(*addr, srv.handler()); err != nil {
+		log.Fatalf("cbsd: %v", err)
+	}
+}
+
+func decayDesc(factor float64, every time.Duration) string {
+	if factor == 0 {
+		return "off"
+	}
+	return fmt.Sprintf("%v every %s", factor, every)
+}

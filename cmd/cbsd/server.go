@@ -1,0 +1,212 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"gocbs/internal/dcgstore"
+	"gocbs/internal/profile"
+)
+
+// maxUploadBytes bounds ingest/overlap request bodies.
+const maxUploadBytes = 256 << 20
+
+// server is the cbsd HTTP surface over a dcgstore.Store. All handlers
+// are safe for concurrent use: mutation goes through the store's
+// sharded locks and the counters here are atomics.
+type server struct {
+	store *dcgstore.Store
+	start time.Time
+
+	ingests      atomic.Uint64
+	ingestErrors atomic.Uint64
+	mergeNanos   atomic.Int64
+}
+
+func newServer(store *dcgstore.Store) *server {
+	return &server{store: store, start: time.Now()}
+}
+
+// handler routes the daemon's endpoints.
+func (s *server) handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/ingest", s.handleIngest)
+	mux.HandleFunc("/snapshot", s.handleSnapshot)
+	mux.HandleFunc("/top", s.handleTop)
+	mux.HandleFunc("/site", s.handleSite)
+	mux.HandleFunc("/overlap", s.handleOverlap)
+	mux.HandleFunc("/decay", s.handleDecay)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+// readProfileBody parses a serialized DCG out of a request body.
+func readProfileBody(w http.ResponseWriter, r *http.Request) (*profile.DCG, bool) {
+	g, err := profile.ReadDCG(http.MaxBytesReader(w, r.Body, maxUploadBytes))
+	if err != nil {
+		http.Error(w, fmt.Sprintf("bad profile payload: %v", err), http.StatusBadRequest)
+		return nil, false
+	}
+	return g, true
+}
+
+// handleIngest merges one POSTed DCG snapshot into the store.
+func (s *server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST a serialized DCG", http.StatusMethodNotAllowed)
+		return
+	}
+	g, ok := readProfileBody(w, r)
+	if !ok {
+		s.ingestErrors.Add(1)
+		return
+	}
+	t0 := time.Now()
+	s.store.MergeDCG(g)
+	s.mergeNanos.Add(time.Since(t0).Nanoseconds())
+	s.ingests.Add(1)
+	st := s.store.Stats()
+	writeJSON(w, map[string]any{
+		"merged_edges":  g.NumEdges(),
+		"merged_weight": g.Total(),
+		"store_edges":   st.Edges,
+		"store_weight":  st.TotalWeight,
+	})
+}
+
+// handleSnapshot streams the consistent merged DCG in the binary wire
+// format.
+func (s *server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/octet-stream")
+	if _, err := s.store.Snapshot().WriteTo(w); err != nil {
+		// Headers are gone; all we can do is drop the connection.
+		return
+	}
+}
+
+type edgeJSON struct {
+	Caller  int     `json:"caller"`
+	Site    int     `json:"site"`
+	Callee  int     `json:"callee"`
+	Weight  float64 `json:"weight"`
+	Percent float64 `json:"percent"`
+}
+
+// handleTop returns the k heaviest edges of the current snapshot.
+func (s *server) handleTop(w http.ResponseWriter, r *http.Request) {
+	k := 20
+	if q := r.URL.Query().Get("k"); q != "" {
+		n, err := strconv.Atoi(q)
+		if err != nil || n < 1 {
+			http.Error(w, fmt.Sprintf("bad k %q", q), http.StatusBadRequest)
+			return
+		}
+		k = n
+	}
+	g := s.store.Snapshot()
+	edges := make([]edgeJSON, 0, k)
+	for _, e := range g.TopEdges(k) {
+		edges = append(edges, edgeJSON{
+			Caller: e.Caller, Site: e.Site, Callee: e.Callee,
+			Weight: g.Weight(e), Percent: g.Percent(e),
+		})
+	}
+	writeJSON(w, map[string]any{"edges": edges, "total_weight": g.Total()})
+}
+
+// handleSite returns the receiver-target distribution at one call
+// site — the daemon-side version of the paper's guarded-inlining
+// input.
+func (s *server) handleSite(w http.ResponseWriter, r *http.Request) {
+	id, err := strconv.Atoi(r.URL.Query().Get("id"))
+	if err != nil {
+		http.Error(w, "pass ?id=<call site id>", http.StatusBadRequest)
+		return
+	}
+	g := s.store.Snapshot()
+	writeJSON(w, map[string]any{
+		"site":           id,
+		"site_weight_pc": g.SiteWeightPercent(id),
+		"targets":        g.SiteDistribution(id),
+	})
+}
+
+// handleOverlap scores the store's snapshot against an uploaded
+// reference DCG with the paper's overlap metric.
+func (s *server) handleOverlap(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST a serialized reference DCG", http.StatusMethodNotAllowed)
+		return
+	}
+	ref, ok := readProfileBody(w, r)
+	if !ok {
+		return
+	}
+	g := s.store.Snapshot()
+	writeJSON(w, map[string]any{
+		"overlap":         profile.Overlap(g, ref),
+		"store_edges":     g.NumEdges(),
+		"reference_edges": ref.NumEdges(),
+	})
+}
+
+// handleDecay runs one decay epoch on demand.
+func (s *server) handleDecay(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST with ?factor= (and optional ?prune=)", http.StatusMethodNotAllowed)
+		return
+	}
+	factor, err := strconv.ParseFloat(r.URL.Query().Get("factor"), 64)
+	if err != nil || factor < 0 || factor > 1 {
+		http.Error(w, "pass ?factor= in [0,1]", http.StatusBadRequest)
+		return
+	}
+	prune := 0.0
+	if q := r.URL.Query().Get("prune"); q != "" {
+		prune, err = strconv.ParseFloat(q, 64)
+		if err != nil || prune < 0 {
+			http.Error(w, fmt.Sprintf("bad prune %q", q), http.StatusBadRequest)
+			return
+		}
+	}
+	pruned := s.store.Decay(factor, prune)
+	writeJSON(w, map[string]any{"epoch": s.store.Epoch(), "pruned_edges": pruned})
+}
+
+// handleMetrics reports expvar-style operational counters.
+func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	st := s.store.Stats()
+	ingests := s.ingests.Load()
+	nanos := s.mergeNanos.Load()
+	var meanMs float64
+	if ingests > 0 {
+		meanMs = float64(nanos) / float64(ingests) / 1e6
+	}
+	writeJSON(w, map[string]any{
+		"edges":            st.Edges,
+		"total_weight":     st.TotalWeight,
+		"samples_ingested": st.SamplesIngested,
+		"merges":           st.Merges,
+		"decay_epoch":      st.Epoch,
+		"shards":           st.Shards,
+		"ingests":          ingests,
+		"ingest_errors":    s.ingestErrors.Load(),
+		"merge_ms_total":   float64(nanos) / 1e6,
+		"merge_ms_mean":    meanMs,
+		"uptime_s":         time.Since(s.start).Seconds(),
+	})
+}

@@ -1,0 +1,270 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"gocbs/internal/bench"
+	"gocbs/internal/dcgstore"
+	"gocbs/internal/profile"
+	"gocbs/internal/profiler"
+	"gocbs/internal/runner"
+	"gocbs/internal/vm"
+)
+
+func edge(c, s, t int) profile.Edge { return profile.Edge{Caller: c, Site: s, Callee: t} }
+
+func newTestDaemon(t *testing.T) (*httptest.Server, *dcgstore.Store) {
+	t.Helper()
+	store := dcgstore.New(8)
+	ts := httptest.NewServer(newServer(store).handler())
+	t.Cleanup(ts.Close)
+	return ts, store
+}
+
+func postProfile(t *testing.T, url string, g *profile.DCG) *http.Response {
+	t.Helper()
+	var body bytes.Buffer
+	if _, err := g.WriteTo(&body); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/octet-stream", &body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+func decodeJSON(t *testing.T, resp *http.Response) map[string]any {
+	t.Helper()
+	defer resp.Body.Close()
+	var m map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestIngestSnapshotRoundTrip(t *testing.T) {
+	ts, _ := newTestDaemon(t)
+	g := profile.NewDCG()
+	g.AddSample(edge(1, 2, 3), 4)
+	g.AddSample(edge(5, 6, 7), 8)
+
+	resp := postProfile(t, ts.URL+"/ingest", g)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("ingest status %s", resp.Status)
+	}
+	m := decodeJSON(t, resp)
+	if m["merged_edges"].(float64) != 2 || m["store_weight"].(float64) != 12 {
+		t.Errorf("ingest response %v", m)
+	}
+
+	back, err := dcgstore.NewClient(ts.URL).Fetch()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumEdges() != 2 || back.Weight(edge(1, 2, 3)) != 4 || back.Total() != 12 {
+		t.Errorf("snapshot round trip wrong: %v", back.Dump(nil, nil))
+	}
+}
+
+func TestIngestRejectsGarbageAndWrongMethod(t *testing.T) {
+	ts, _ := newTestDaemon(t)
+	resp, err := http.Post(ts.URL+"/ingest", "application/octet-stream", strings.NewReader("not a profile"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("garbage ingest status %s, want 400", resp.Status)
+	}
+	resp, err = http.Get(ts.URL + "/ingest")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /ingest status %s, want 405", resp.Status)
+	}
+	// The bad ingest is visible in metrics.
+	mresp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := decodeJSON(t, mresp)
+	if m["ingest_errors"].(float64) != 1 {
+		t.Errorf("ingest_errors = %v, want 1", m["ingest_errors"])
+	}
+}
+
+func TestTopSiteAndOverlapEndpoints(t *testing.T) {
+	ts, _ := newTestDaemon(t)
+	g := profile.NewDCG()
+	g.AddSample(edge(1, 10, 2), 60)
+	g.AddSample(edge(1, 10, 3), 30)
+	g.AddSample(edge(4, 11, 5), 10)
+	postProfile(t, ts.URL+"/ingest", g).Body.Close()
+
+	resp, err := http.Get(ts.URL + "/top?k=2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := decodeJSON(t, resp)
+	edges := m["edges"].([]any)
+	if len(edges) != 2 {
+		t.Fatalf("top k=2 returned %d edges", len(edges))
+	}
+	first := edges[0].(map[string]any)
+	if first["weight"].(float64) != 60 || first["percent"].(float64) != 60 {
+		t.Errorf("top edge %v", first)
+	}
+
+	resp, err = http.Get(ts.URL + "/site?id=10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sm := decodeJSON(t, resp)
+	if sm["site_weight_pc"].(float64) != 90 {
+		t.Errorf("site weight = %v, want 90", sm["site_weight_pc"])
+	}
+	if targets := sm["targets"].([]any); len(targets) != 2 {
+		t.Errorf("site targets = %v", targets)
+	}
+	if resp, _ := http.Get(ts.URL + "/site?id=abc"); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad site id status %d", resp.StatusCode)
+	}
+
+	// Overlap of the store against itself is 100.
+	resp = postProfile(t, ts.URL+"/overlap", g)
+	om := decodeJSON(t, resp)
+	if ov := om["overlap"].(float64); ov < 99.999 {
+		t.Errorf("self overlap = %v, want 100", ov)
+	}
+}
+
+func TestDecayEndpoint(t *testing.T) {
+	ts, store := newTestDaemon(t)
+	g := profile.NewDCG()
+	g.AddSample(edge(1, 1, 1), 100)
+	g.AddSample(edge(2, 2, 2), 1)
+	postProfile(t, ts.URL+"/ingest", g).Body.Close()
+
+	resp, err := http.Post(ts.URL+"/decay?factor=0.5&prune=1", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := decodeJSON(t, resp)
+	if m["epoch"].(float64) != 1 || m["pruned_edges"].(float64) != 1 {
+		t.Errorf("decay response %v", m)
+	}
+	if w := store.Weight(edge(1, 1, 1)); w != 50 {
+		t.Errorf("post-decay weight %v", w)
+	}
+	if resp, _ := http.Post(ts.URL+"/decay?factor=7", "", nil); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("factor 7 accepted: %d", resp.StatusCode)
+	}
+}
+
+func TestMetricsAndHealthz(t *testing.T) {
+	ts, _ := newTestDaemon(t)
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if strings.TrimSpace(string(body)) != "ok" {
+		t.Errorf("healthz = %q", body)
+	}
+	g := profile.NewDCG()
+	g.AddSample(edge(1, 2, 3), 5)
+	postProfile(t, ts.URL+"/ingest", g).Body.Close()
+	mresp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := decodeJSON(t, mresp)
+	for _, key := range []string{"edges", "total_weight", "samples_ingested", "merges", "ingests", "merge_ms_total", "merge_ms_mean", "uptime_s", "shards", "decay_epoch", "ingest_errors"} {
+		if _, ok := m[key]; !ok {
+			t.Errorf("metrics missing %q", key)
+		}
+	}
+	if m["edges"].(float64) != 1 || m["ingests"].(float64) != 1 || m["samples_ingested"].(float64) != 5 {
+		t.Errorf("metrics %v", m)
+	}
+}
+
+// TestMultiPusherConvergence is the runner-driven multi-VM soak: K
+// concurrent pushers each run a real benchmark VM under CBS (distinct
+// seeds), stream periodic delta snapshots to the daemon mid-run, and
+// flush at the end. The daemon's merged DCG must be byte-identical
+// (canonical serialization) to a serial Merge of the K final graphs.
+func TestMultiPusherConvergence(t *testing.T) {
+	const K = 8
+	ts, _ := newTestDaemon(t)
+
+	b := bench.ByName("compress")
+	if b == nil {
+		t.Fatal("compress benchmark missing")
+	}
+
+	finals, err := runner.Map(runner.New(K), make([]int, K), func(k int, _ int) (*profile.DCG, error) {
+		prog, err := b.Compile()
+		if err != nil {
+			return nil, err
+		}
+		c := profiler.NewCBS(profiler.Config{
+			Stride: 3, SamplesPerTick: 16,
+			Flavour: profiler.FlavourRVM, Seed: int64(100 + k),
+		})
+		push := dcgstore.NewTickPusher(dcgstore.NewClient(ts.URL), c.Graph, 40)
+		m := vm.New(prog)
+		m.SetProfiler(profiler.Combine(c, push))
+		m.SetTimer(50_000)
+		if _, err := m.Run(b.SizeFor("small")); err != nil {
+			return nil, err
+		}
+		// Final flush: whatever accumulated since the last mid-run push.
+		if err := push.Flush(); err != nil {
+			return nil, err
+		}
+		if push.Pushes() < 2 {
+			return nil, fmt.Errorf("pusher %d sent only %d increments; periodic push never fired", k, push.Pushes())
+		}
+		return c.Graph, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	serial := profile.NewDCG()
+	for _, g := range finals {
+		serial.Merge(g)
+	}
+
+	merged, err := dcgstore.NewClient(ts.URL).Fetch()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mb, sb bytes.Buffer
+	if _, err := merged.WriteTo(&mb); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := serial.WriteTo(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(mb.Bytes(), sb.Bytes()) {
+		t.Errorf("daemon merge diverged from serial merge: %d edges/%v weight vs %d edges/%v weight",
+			merged.NumEdges(), merged.Total(), serial.NumEdges(), serial.Total())
+	}
+	if merged.Total() == 0 {
+		t.Error("no samples reached the daemon")
+	}
+}

@@ -7,6 +7,12 @@
 //	cbsvm -bench mtrt -stride 7 -samples 32 -flavour j9
 //	cbsvm -file prog.mj -arg 500 -profiler timer
 //	cbsvm -bench jess -profiler whaley -top 10
+//	cbsvm -bench compress -push http://localhost:8944 -push-every 50
+//
+// With -push, the collected DCG is streamed to a cbsd aggregation
+// daemon as non-overlapping delta snapshots: one every -push-every
+// timer ticks plus a final flush, so the daemon's merge of all
+// increments equals this run's final graph exactly.
 package main
 
 import (
@@ -16,6 +22,7 @@ import (
 
 	"gocbs/internal/bench"
 	"gocbs/internal/bytecode"
+	"gocbs/internal/dcgstore"
 	"gocbs/internal/experiment"
 	"gocbs/internal/inline"
 	"gocbs/internal/mj"
@@ -38,6 +45,8 @@ func main() {
 	timer := flag.Uint64("timer", experiment.DefaultTimerPeriod, "virtual timer period in cycles")
 	top := flag.Int("top", 20, "number of DCG edges to print")
 	saveProfile := flag.String("save", "", "write the collected DCG to this file")
+	pushURL := flag.String("push", "", "stream the DCG to a cbsd daemon at this base URL")
+	pushEvery := flag.Int("push-every", 50, "with -push: push a delta snapshot every N timer ticks (0 = final push only)")
 	flag.Parse()
 
 	if *list {
@@ -100,6 +109,7 @@ func main() {
 		m.EpilogueYieldpoints = false
 	}
 	var graph *profile.DCG
+	var mainProf vm.Profiler
 	name := *prof
 	switch *prof {
 	case "cbs", "timer":
@@ -109,29 +119,44 @@ func main() {
 			cfg.Seed = *seed
 		}
 		c := profiler.NewCBS(cfg)
-		m.SetProfiler(c)
+		mainProf = c
 		m.SetTimer(*timer)
 		graph = c.Graph
 		name = c.Name()
 	case "whaley":
 		w := profiler.NewWhaley()
-		m.SetProfiler(w)
+		mainProf = w
 		m.SetTimer(*timer)
 		graph = w.Graph
 	case "patching":
 		p := profiler.NewPatching(len(prog.Methods), 100, 64)
-		m.SetProfiler(p)
+		mainProf = p
 		graph = p.Graph
 	case "exhaustive":
 		e := profiler.NewInstrumented()
-		m.SetProfiler(e)
+		mainProf = e
 		graph = e.Graph
 	default:
 		fatal(fmt.Errorf("unknown profiler %q", *prof))
 	}
 
+	var push *dcgstore.TickPusher
+	if *pushURL != "" {
+		push = dcgstore.NewTickPusher(dcgstore.NewClient(*pushURL), graph, *pushEvery)
+		m.SetProfiler(profiler.Combine(mainProf, push))
+	} else {
+		m.SetProfiler(mainProf)
+	}
+
 	if _, err := m.Run(runArg); err != nil {
 		fatal(err)
+	}
+
+	if push != nil {
+		if err := push.Flush(); err != nil {
+			fatal(fmt.Errorf("push to %s: %w", *pushURL, err))
+		}
+		fmt.Fprintf(os.Stderr, "pushed %d snapshot(s) to %s\n", push.Pushes(), *pushURL)
 	}
 
 	fmt.Printf("profiler:  %s (flavour %s)\n", name, fl)

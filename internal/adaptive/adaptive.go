@@ -104,6 +104,11 @@ type Controller struct {
 	Err error
 }
 
+var (
+	_ vm.Profiler     = (*Controller)(nil)
+	_ vm.TickListener = (*Controller)(nil)
+)
+
 // NewController creates a controller for prog.
 func NewController(prog *bytecode.Program, policy inline.Policy, g *profile.DCG, opts inline.Options, hotThreshold int) *Controller {
 	if hotThreshold < 1 {
@@ -119,6 +124,9 @@ func NewController(prog *bytecode.Program, policy inline.Policy, g *profile.DCG,
 		level:        make([]int, len(prog.Methods)),
 	}
 }
+
+// Name implements vm.Profiler.
+func (c *Controller) Name() string { return "adaptive-controller" }
 
 // OnTimerTick implements vm.TickListener: sample the executing method,
 // promote it when hot, and drain any postponed recompilations whose

@@ -1,0 +1,103 @@
+package dcgstore
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"gocbs/internal/profile"
+)
+
+// Client talks to a cbsd aggregation daemon over HTTP.
+type Client struct {
+	// BaseURL is the daemon root, e.g. "http://localhost:8944".
+	BaseURL string
+	// HTTPClient defaults to a client with a 10s timeout.
+	HTTPClient *http.Client
+}
+
+// NewClient returns a client for the daemon at baseURL.
+func NewClient(baseURL string) *Client {
+	return &Client{
+		BaseURL:    baseURL,
+		HTTPClient: &http.Client{Timeout: 10 * time.Second},
+	}
+}
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTPClient != nil {
+		return c.HTTPClient
+	}
+	return http.DefaultClient
+}
+
+// Push serializes g and POSTs it to the daemon's /ingest endpoint.
+func (c *Client) Push(g *profile.DCG) error {
+	var body bytes.Buffer
+	if _, err := g.WriteTo(&body); err != nil {
+		return fmt.Errorf("serialize: %w", err)
+	}
+	resp, err := c.httpClient().Post(c.BaseURL+"/ingest", "application/octet-stream", &body)
+	if err != nil {
+		return fmt.Errorf("push: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return fmt.Errorf("push: daemon returned %s: %s", resp.Status, bytes.TrimSpace(msg))
+	}
+	return nil
+}
+
+// Fetch retrieves the daemon's current merged DCG from /snapshot.
+func (c *Client) Fetch() (*profile.DCG, error) {
+	resp, err := c.httpClient().Get(c.BaseURL + "/snapshot")
+	if err != nil {
+		return nil, fmt.Errorf("fetch: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return nil, fmt.Errorf("fetch: daemon returned %s: %s", resp.Status, bytes.TrimSpace(msg))
+	}
+	return profile.ReadDCG(resp.Body)
+}
+
+// DeltaPusher streams a monotonically growing DCG to a daemon as
+// non-overlapping increments: each Push sends only the weight added
+// since the previous Push, so the daemon's merge of all increments
+// equals the source graph exactly (no double counting). Workers use it
+// to push periodic snapshots mid-run plus one final flush.
+type DeltaPusher struct {
+	client *Client
+	last   *profile.DCG
+	// Pushes counts increments actually sent (empty deltas are
+	// skipped).
+	Pushes int
+}
+
+// NewDeltaPusher returns a pusher that streams to client.
+func NewDeltaPusher(client *Client) *DeltaPusher {
+	return &DeltaPusher{client: client}
+}
+
+// Push sends the weight cur has accumulated since the previous Push
+// (all of cur on the first call). Empty deltas are skipped without a
+// round trip. cur is captured by value (cloned) so the caller's graph
+// may keep growing immediately.
+func (p *DeltaPusher) Push(cur *profile.DCG) error {
+	delta := cur.DeltaSince(p.last)
+	snapshot := cur.Clone()
+	if delta.NumEdges() == 0 {
+		p.last = snapshot
+		return nil
+	}
+	if err := p.client.Push(delta); err != nil {
+		return err
+	}
+	p.last = snapshot
+	p.Pushes++
+	return nil
+}

@@ -1,0 +1,65 @@
+package dcgstore
+
+import (
+	"gocbs/internal/profile"
+	"gocbs/internal/vm"
+)
+
+// TickPusher streams a profiler's growing DCG to a cbsd daemon from
+// inside a running VM: every Every timer ticks it pushes the delta
+// accumulated since the previous push. Install it alongside the
+// collecting profiler via profiler.Combine, and call Flush after the
+// run for the final increment. Push failures are recorded in Err (the
+// first one wins) and stop further pushing rather than perturbing the
+// workload with repeated timeouts.
+type TickPusher struct {
+	// Every is the tick interval between pushes; <= 0 disables
+	// periodic pushing (only Flush sends).
+	Every int
+	// Err holds the first push failure.
+	Err error
+
+	graph  *profile.DCG
+	pusher *DeltaPusher
+	ticks  int
+}
+
+var (
+	_ vm.Profiler     = (*TickPusher)(nil)
+	_ vm.TickListener = (*TickPusher)(nil)
+)
+
+// NewTickPusher returns a pusher streaming graph to client every
+// `every` ticks.
+func NewTickPusher(client *Client, graph *profile.DCG, every int) *TickPusher {
+	return &TickPusher{Every: every, graph: graph, pusher: NewDeltaPusher(client)}
+}
+
+// Name implements vm.Profiler.
+func (t *TickPusher) Name() string { return "dcg-push" }
+
+// OnTimerTick implements vm.TickListener.
+func (t *TickPusher) OnTimerTick(*vm.VM) {
+	if t.Every <= 0 || t.Err != nil {
+		return
+	}
+	t.ticks++
+	if t.ticks%t.Every != 0 {
+		return
+	}
+	if err := t.pusher.Push(t.graph); err != nil {
+		t.Err = err
+	}
+}
+
+// Flush pushes the final increment and returns the first error the
+// pusher hit (mid-run or now).
+func (t *TickPusher) Flush() error {
+	if t.Err == nil {
+		t.Err = t.pusher.Push(t.graph)
+	}
+	return t.Err
+}
+
+// Pushes reports how many non-empty increments were actually sent.
+func (t *TickPusher) Pushes() int { return t.pusher.Pushes }

@@ -42,6 +42,11 @@ func (p *convergenceProbe) OnTimerTick(m *vm.VM) {
 
 func (p *convergenceProbe) OnYieldpoint(m *vm.VM, k vm.YieldKind) { p.inner.OnYieldpoint(m, k) }
 
+// Name implements vm.Profiler.
+func (p *convergenceProbe) Name() string { return "convergence-probe" }
+
+var _ vm.Profiler = (*convergenceProbe)(nil)
+
 // Convergence measures accuracy-over-time for one benchmark. The two
 // probe series run as parallel jobs after the shared perfect profile.
 func Convergence(cfg Config, b *bench.Benchmark, input string) ([]ConvergencePoint, error) {
@@ -222,7 +227,7 @@ func Comparators(cfg Config, input string) ([]ComparatorRow, error) {
 		b := cfg.Benchmarks[j.bi]
 		size := b.SizeFor(input)
 		perfect := perfects[j.bi]
-		runWith := func(p any) (*vm.VM, error) {
+		runWith := func(p vm.Profiler) (*vm.VM, error) {
 			prog, err := cfg.prepare(b)
 			if err != nil {
 				return nil, err

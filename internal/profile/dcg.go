@@ -101,12 +101,34 @@ func (g *DCG) Clone() *DCG {
 	return c
 }
 
-// Merge adds every edge of other into g.
+// Merge adds every edge of other into g. Edges carrying no weight are
+// skipped entirely, so merging never creates zero-weight map entries
+// and g.total always stays the exact sum of g's edge weights.
 func (g *DCG) Merge(other *DCG) {
 	for e, w := range other.weights {
+		if w <= 0 {
+			continue
+		}
 		g.weights[e] += w
 		g.total += w
 	}
+}
+
+// DeltaSince returns the weight accumulated in g since prev was
+// captured: a new DCG holding, for every edge, g's weight minus prev's
+// where the difference is positive. For a monotonically growing graph
+// (every profiler only adds samples), pushing successive deltas to an
+// aggregator and merging them reproduces g exactly — the property the
+// cbsd push protocol relies on. A nil prev yields a clone of g.
+func (g *DCG) DeltaSince(prev *DCG) *DCG {
+	d := NewDCG()
+	for e, w := range g.weights {
+		if prev != nil {
+			w -= prev.weights[e]
+		}
+		d.AddSample(e, w)
+	}
+	return d
 }
 
 // TargetWeight is one callee's share of a call site's samples.

@@ -1,0 +1,97 @@
+package profile
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestMergeSkipsZeroWeightEdges(t *testing.T) {
+	other := NewDCG()
+	other.AddSample(edge(1, 2, 3), 5)
+	// Force a zero-weight entry the way a buggy producer could: a map
+	// entry that carries no weight and contributes nothing to total.
+	other.weights[edge(7, 8, 9)] = 0
+
+	g := NewDCG()
+	g.Merge(other)
+	if g.NumEdges() != 1 {
+		t.Errorf("merge created %d edges, want 1 (zero-weight edge must not materialize)", g.NumEdges())
+	}
+	if g.Total() != 5 {
+		t.Errorf("total = %v, want 5", g.Total())
+	}
+	var sum float64
+	for _, e := range g.Edges() {
+		sum += g.Weight(e)
+	}
+	if sum != g.Total() {
+		t.Errorf("total %v diverged from edge-weight sum %v", g.Total(), sum)
+	}
+}
+
+func TestMergeOfClonesEqualsScaleByTwo(t *testing.T) {
+	f := func(ws []uint16) bool {
+		g := NewDCG()
+		for i, w := range ws {
+			if w > 0 {
+				g.AddSample(edge(i%13, i%7, i%5), float64(w))
+			}
+		}
+		m := g.Clone()
+		m.Merge(g.Clone())
+		if m.NumEdges() != g.NumEdges() {
+			return false
+		}
+		if math.Abs(m.Total()-2*g.Total()) > 1e-9 {
+			return false
+		}
+		for _, e := range g.Edges() {
+			if math.Abs(m.Weight(e)-2*g.Weight(e)) > 1e-9 {
+				return false
+			}
+			if math.Abs(m.Percent(e)-g.Percent(e)) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeltaSince(t *testing.T) {
+	prev := NewDCG()
+	prev.AddSample(edge(1, 1, 1), 3)
+	prev.AddSample(edge(2, 2, 2), 4)
+
+	cur := prev.Clone()
+	cur.AddSample(edge(1, 1, 1), 2) // grew
+	cur.AddSample(edge(3, 3, 3), 7) // new
+
+	d := cur.DeltaSince(prev)
+	if d.NumEdges() != 2 || d.Weight(edge(1, 1, 1)) != 2 || d.Weight(edge(3, 3, 3)) != 7 {
+		t.Errorf("delta wrong: %v", d.Dump(nil, nil))
+	}
+	if d.Total() != 9 {
+		t.Errorf("delta total = %v, want 9", d.Total())
+	}
+
+	// prev merged with the delta reproduces cur exactly.
+	rebuilt := prev.Clone()
+	rebuilt.Merge(d)
+	if rebuilt.Total() != cur.Total() || rebuilt.NumEdges() != cur.NumEdges() {
+		t.Errorf("prev+delta != cur: %v vs %v", rebuilt.Total(), cur.Total())
+	}
+	for _, e := range cur.Edges() {
+		if rebuilt.Weight(e) != cur.Weight(e) {
+			t.Errorf("edge %v: %v vs %v", e, rebuilt.Weight(e), cur.Weight(e))
+		}
+	}
+
+	// Nil prev clones.
+	if c := cur.DeltaSince(nil); c.Total() != cur.Total() || c.NumEdges() != cur.NumEdges() {
+		t.Error("DeltaSince(nil) should clone")
+	}
+}

@@ -2,36 +2,96 @@ package profile
 
 import (
 	"bufio"
+	"encoding/binary"
 	"fmt"
 	"io"
+	"math"
 	"sort"
 	"strconv"
 	"strings"
 )
 
-// Profiles persist in a simple line-oriented text format so collected
-// DCGs can be saved by one tool run and consumed by another (e.g.
-// profile offline with cbsvm, then feed the inliner), mirroring how
-// the paper's systems hand profiles from the profiler to the
-// optimizing compiler through a repository.
+// Profiles persist so collected DCGs can be saved by one tool run and
+// consumed by another (e.g. profile offline with cbsvm, then feed the
+// inliner, or stream snapshots to the cbsd aggregation daemon),
+// mirroring how the paper's systems hand profiles from the profiler to
+// the optimizing compiler through a repository.
 //
-// Format:
+// The wire format is versioned behind four magic bytes:
 //
-//	dcg v1
-//	edge <caller> <site> <callee> <weight>
-//	...
+//	"DCGB" | uint32 version | uint64 edge count |
+//	  (int64 caller, int64 site, int64 callee, float64-bits weight)*
 //
-// Weights are written with full float64 round-trip precision.
+// all little-endian, edges in canonical (caller, site, callee) order
+// and weights as exact IEEE-754 bit patterns, so serialization is
+// deterministic and byte-identical graphs really are identical graphs.
+// ReadDCG rejects payloads with unknown magic and versions newer than
+// this build, and still accepts the legacy line-oriented text format
+// ("dcg v1" header, one "edge caller site callee weight" line per
+// edge) that predates versioning — wire version 0.
 
-// WriteTo serializes the graph in deterministic edge order.
+// wireMagic introduces every binary profile.
+var wireMagic = [4]byte{'D', 'C', 'G', 'B'}
+
+// WireVersion is the newest binary format version this build writes
+// and reads. Version 0 is the legacy text format.
+const WireVersion = 1
+
+// legacyHeader is the first line of the pre-versioning text format.
+const legacyHeader = "dcg v1"
+
+// maxWireEdges bounds the declared edge count so a corrupt header
+// cannot request an absurd allocation.
+const maxWireEdges = 1 << 32
+
+// WriteTo serializes the graph in the current binary wire format, in
+// deterministic edge order. The output is canonical: two DCGs with the
+// same edges and weights serialize to identical bytes.
 func (g *DCG) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriter(w)
+	var n int64
+	write := func(v any) error {
+		if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
+			return err
+		}
+		n += int64(binary.Size(v))
+		return nil
+	}
+	if err := write(wireMagic); err != nil {
+		return n, err
+	}
+	if err := write(uint32(WireVersion)); err != nil {
+		return n, err
+	}
+	if err := write(uint64(g.NumEdges())); err != nil {
+		return n, err
+	}
+	for _, e := range g.Edges() {
+		rec := [4]uint64{
+			uint64(int64(e.Caller)),
+			uint64(int64(e.Site)),
+			uint64(int64(e.Callee)),
+			math.Float64bits(g.weights[e]),
+		}
+		if err := write(rec); err != nil {
+			return n, err
+		}
+	}
+	return n, bw.Flush()
+}
+
+// WriteText serializes the graph in the legacy (version 0) text
+// format, kept for human inspection and for producing inputs older
+// tooling understands. Weights are written with full float64
+// round-trip precision.
+func (g *DCG) WriteText(w io.Writer) (int64, error) {
 	bw := bufio.NewWriter(w)
 	var n int64
 	count := func(c int, err error) error {
 		n += int64(c)
 		return err
 	}
-	if err := count(fmt.Fprintln(bw, "dcg v1")); err != nil {
+	if err := count(fmt.Fprintln(bw, legacyHeader)); err != nil {
 		return n, err
 	}
 	for _, e := range g.Edges() {
@@ -44,15 +104,72 @@ func (g *DCG) WriteTo(w io.Writer) (int64, error) {
 	return n, bw.Flush()
 }
 
-// ReadDCG parses a serialized graph.
+// ReadDCG parses a serialized graph in either the binary wire format
+// or the legacy text format, rejecting bad magic and versions newer
+// than this build with a descriptive error.
 func ReadDCG(r io.Reader) (*DCG, error) {
-	sc := bufio.NewScanner(r)
+	br := bufio.NewReaderSize(r, 64*1024)
+	head, err := br.Peek(len(wireMagic))
+	if err != nil && len(head) == 0 {
+		return nil, fmt.Errorf("empty profile")
+	}
+	if len(head) == len(wireMagic) && [4]byte(head) == wireMagic {
+		return readBinary(br)
+	}
+	return readLegacyText(br)
+}
+
+// readBinary decodes the versioned binary format; br is positioned at
+// the magic bytes.
+func readBinary(br *bufio.Reader) (*DCG, error) {
+	var hdr struct {
+		Magic   [4]byte
+		Version uint32
+		Edges   uint64
+	}
+	if err := binary.Read(br, binary.LittleEndian, &hdr); err != nil {
+		return nil, fmt.Errorf("truncated profile header: %w", err)
+	}
+	if hdr.Version == 0 || hdr.Version > WireVersion {
+		return nil, fmt.Errorf("profile wire version %d not supported (this build reads 1..%d and the legacy text format)",
+			hdr.Version, WireVersion)
+	}
+	if hdr.Edges > maxWireEdges {
+		return nil, fmt.Errorf("profile declares %d edges, beyond the %d limit", hdr.Edges, maxWireEdges)
+	}
+	g := NewDCG()
+	var rec [4]uint64
+	for i := uint64(0); i < hdr.Edges; i++ {
+		if err := binary.Read(br, binary.LittleEndian, &rec); err != nil {
+			return nil, fmt.Errorf("edge %d of %d: truncated record: %w", i, hdr.Edges, err)
+		}
+		w := math.Float64frombits(rec[3])
+		if w <= 0 || math.IsInf(w, 0) || math.IsNaN(w) {
+			return nil, fmt.Errorf("edge %d: invalid weight %v", i, w)
+		}
+		e := Edge{Caller: int(int64(rec[0])), Site: int(int64(rec[1])), Callee: int(int64(rec[2]))}
+		if g.weights[e] != 0 {
+			return nil, fmt.Errorf("edge %d: duplicate edge %v", i, e)
+		}
+		g.AddSample(e, w)
+	}
+	// Trailing garbage means the payload is not what its header claims.
+	if _, err := br.Peek(1); err != io.EOF {
+		return nil, fmt.Errorf("trailing data after %d edges", hdr.Edges)
+	}
+	return g, nil
+}
+
+// readLegacyText decodes the pre-versioning text format (version 0).
+func readLegacyText(br *bufio.Reader) (*DCG, error) {
+	sc := bufio.NewScanner(br)
 	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
 	if !sc.Scan() {
 		return nil, fmt.Errorf("empty profile")
 	}
-	if strings.TrimSpace(sc.Text()) != "dcg v1" {
-		return nil, fmt.Errorf("bad profile header %q", sc.Text())
+	if strings.TrimSpace(sc.Text()) != legacyHeader {
+		return nil, fmt.Errorf("bad profile magic: want %q binary or %q text header, got %q",
+			wireMagic, legacyHeader, sc.Text())
 	}
 	g := NewDCG()
 	line := 1
@@ -73,8 +190,8 @@ func ReadDCG(r io.Reader) (*DCG, error) {
 		if err1 != nil || err2 != nil || err3 != nil || err4 != nil {
 			return nil, fmt.Errorf("line %d: malformed edge %q", line, text)
 		}
-		if w <= 0 {
-			return nil, fmt.Errorf("line %d: non-positive weight %v", line, w)
+		if w <= 0 || math.IsInf(w, 0) || math.IsNaN(w) {
+			return nil, fmt.Errorf("line %d: invalid weight %v", line, w)
 		}
 		g.AddSample(Edge{Caller: caller, Site: site, Callee: callee}, w)
 	}

@@ -1,0 +1,46 @@
+package profile
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzReadDCG feeds arbitrary bytes through the wire-format reader:
+// it must never panic, and any payload it accepts must survive a
+// canonical re-serialization round trip.
+func FuzzReadDCG(f *testing.F) {
+	g := NewDCG()
+	g.AddSample(Edge{Caller: 1, Site: 2, Callee: 3}, 4.25)
+	g.AddSample(Edge{Caller: -1, Site: 0, Callee: 9}, 1)
+	var bin, txt bytes.Buffer
+	if _, err := g.WriteTo(&bin); err != nil {
+		f.Fatal(err)
+	}
+	if _, err := g.WriteText(&txt); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(bin.Bytes())
+	f.Add(txt.Bytes())
+	f.Add([]byte("dcg v1\nedge 1 2 3 4\n"))
+	f.Add([]byte("DCGB"))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, err := ReadDCG(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var out bytes.Buffer
+		if _, err := got.WriteTo(&out); err != nil {
+			t.Fatalf("re-serialize: %v", err)
+		}
+		back, err := ReadDCG(&out)
+		if err != nil {
+			t.Fatalf("re-read: %v", err)
+		}
+		if back.NumEdges() != got.NumEdges() || back.Total() != got.Total() {
+			t.Fatalf("round trip changed graph: %d/%v vs %d/%v",
+				back.NumEdges(), back.Total(), got.NumEdges(), got.Total())
+		}
+	})
+}

@@ -117,6 +117,12 @@ type CBS struct {
 	SamplesTaken uint64
 }
 
+var (
+	_ vm.Profiler      = (*CBS)(nil)
+	_ vm.TickListener  = (*CBS)(nil)
+	_ vm.YieldListener = (*CBS)(nil)
+)
+
 // NewCBS validates cfg and returns a CBS profiler.
 func NewCBS(cfg Config) *CBS {
 	if cfg.Stride < 1 {

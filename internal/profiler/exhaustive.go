@@ -19,6 +19,11 @@ type Exhaustive struct {
 	Instrumented bool
 }
 
+var (
+	_ vm.Profiler     = (*Exhaustive)(nil)
+	_ vm.CallListener = (*Exhaustive)(nil)
+)
+
 // NewExhaustive returns a zero-overhead perfect profiler.
 func NewExhaustive() *Exhaustive {
 	return &Exhaustive{Graph: profile.NewDCG()}
@@ -53,6 +58,11 @@ func (e *Exhaustive) OnCall(m *vm.VM, caller *bytecode.Method, site int, callee 
 type ExhaustiveCCT struct {
 	Tree *profile.CCT
 }
+
+var (
+	_ vm.Profiler     = (*ExhaustiveCCT)(nil)
+	_ vm.CallListener = (*ExhaustiveCCT)(nil)
+)
 
 // NewExhaustiveCCT returns an empty ground-truth CCT collector.
 func NewExhaustiveCCT() *ExhaustiveCCT {

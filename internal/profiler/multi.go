@@ -1,6 +1,8 @@
 package profiler
 
 import (
+	"strings"
+
 	"gocbs/internal/bytecode"
 	"gocbs/internal/vm"
 )
@@ -11,16 +13,32 @@ import (
 // forwards each event to every part that implements the corresponding
 // interface, in order.
 type Multi struct {
+	names   []string
 	ticks   []vm.TickListener
 	yields  []vm.YieldListener
 	calls   []vm.CallListener
 	entries []vm.EntryListener
 }
 
-// Combine builds a Multi from any mix of listener implementations.
-func Combine(parts ...any) *Multi {
+var (
+	_ vm.Profiler      = (*Multi)(nil)
+	_ vm.TickListener  = (*Multi)(nil)
+	_ vm.YieldListener = (*Multi)(nil)
+	_ vm.CallListener  = (*Multi)(nil)
+	_ vm.EntryListener = (*Multi)(nil)
+)
+
+// Combine builds a Multi from any mix of profilers; nil parts are
+// skipped. Each event is forwarded to the parts that implement the
+// corresponding listener interface, in argument order; a part that
+// implements none of them rides along inert.
+func Combine(parts ...vm.Profiler) *Multi {
 	m := &Multi{}
 	for _, p := range parts {
+		if p == nil {
+			continue
+		}
+		m.names = append(m.names, p.Name())
 		if t, ok := p.(vm.TickListener); ok {
 			m.ticks = append(m.ticks, t)
 		}
@@ -35,6 +53,11 @@ func Combine(parts ...any) *Multi {
 		}
 	}
 	return m
+}
+
+// Name implements vm.Profiler, naming every combined part.
+func (m *Multi) Name() string {
+	return "multi(" + strings.Join(m.names, "+") + ")"
 }
 
 // OnTimerTick implements vm.TickListener.

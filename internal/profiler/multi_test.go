@@ -11,12 +11,19 @@ import (
 // tickCounter implements only the tick hook.
 type tickCounter struct{ n int }
 
+func (t *tickCounter) Name() string       { return "tick-counter" }
 func (t *tickCounter) OnTimerTick(*vm.VM) { t.n++ }
 
 // callCounter implements only the call hook.
 type callCounter struct{ n int }
 
+func (c *callCounter) Name() string                                           { return "call-counter" }
 func (c *callCounter) OnCall(*vm.VM, *bytecode.Method, int, *bytecode.Method) { c.n++ }
+
+// inert is a vm.Profiler that implements no listener interface at all.
+type inert struct{}
+
+func (inert) Name() string { return "inert" }
 
 func TestMultiFansOutToAllParts(t *testing.T) {
 	adv := buildAdversary(t, 60)
@@ -46,14 +53,33 @@ func TestMultiFansOutToAllParts(t *testing.T) {
 }
 
 func TestMultiWithNonListenersIsHarmless(t *testing.T) {
-	// Values implementing no listener interface are simply ignored.
-	m := Combine("not a listener", 42, struct{}{})
+	// Profilers implementing no listener interface ride along inert,
+	// and nil parts are skipped rather than crashing.
+	m := Combine(inert{}, nil, inert{})
 	adv := buildAdversary(t, 40)
 	v := vm.New(adv.prog)
 	v.SetProfiler(m)
 	v.SetTimer(50_000)
 	if _, err := v.Run(100); err != nil {
 		t.Fatal(err)
+	}
+	if got := m.Name(); got != "multi(inert+inert)" {
+		t.Errorf("Name() = %q", got)
+	}
+}
+
+func TestSetProfilerNilDetaches(t *testing.T) {
+	adv := buildAdversary(t, 40)
+	v := vm.New(adv.prog)
+	ticks := &tickCounter{}
+	v.SetProfiler(ticks)
+	v.SetTimer(50_000)
+	v.SetProfiler(nil)
+	if _, err := v.Run(100); err != nil {
+		t.Fatal(err)
+	}
+	if ticks.n != 0 {
+		t.Errorf("detached profiler still saw %d ticks", ticks.n)
 	}
 }
 

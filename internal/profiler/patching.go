@@ -43,6 +43,11 @@ type patchState struct {
 	taken       int
 }
 
+var (
+	_ vm.Profiler      = (*Patching)(nil)
+	_ vm.EntryListener = (*Patching)(nil)
+)
+
 // NewPatching returns a code-patching profiler for a program with
 // numMethods methods.
 func NewPatching(numMethods, installThreshold, samplesPerMethod int) *Patching {

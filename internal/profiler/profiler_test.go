@@ -90,7 +90,7 @@ func edgeWeightTo(g *profile.DCG, callee int) float64 {
 }
 
 // runAdversary executes the adversary under a profiler.
-func runAdversary(t testing.TB, adv *adversary, prof any, timer uint64, iters int64, j9 bool) *vm.VM {
+func runAdversary(t testing.TB, adv *adversary, prof vm.Profiler, timer uint64, iters int64, j9 bool) *vm.VM {
 	t.Helper()
 	m := vm.New(adv.prog)
 	m.MaxSteps = 200_000_000

@@ -25,6 +25,11 @@ type Whaley struct {
 	Samples uint64
 }
 
+var (
+	_ vm.Profiler     = (*Whaley)(nil)
+	_ vm.TickListener = (*Whaley)(nil)
+)
+
 // NewWhaley returns a Whaley-style stack sampler.
 func NewWhaley() *Whaley {
 	return &Whaley{Graph: profile.NewDCG(), Tree: profile.NewCCT()}

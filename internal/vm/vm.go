@@ -75,6 +75,19 @@ const (
 	ControlAll       int32 = 1  // all yieldpoints taken (timer just fired)
 )
 
+// Profiler is the typed hookup for anything installable on a VM via
+// SetProfiler. Name identifies the profiler in reports and
+// diagnostics. The VM additionally wires up whichever of the optional
+// listener interfaces (TickListener, YieldListener, CallListener,
+// EntryListener) the implementation also satisfies; implementing none
+// is legal — such a profiler simply observes nothing. Implementations
+// should carry a compile-time assertion, e.g.
+//
+//	var _ vm.Profiler = (*CBS)(nil)
+type Profiler interface {
+	Name() string
+}
+
 // TickListener is notified when the virtual timer fires. The listener
 // typically sets the VM's control word to request yieldpoints.
 type TickListener interface {
@@ -191,8 +204,13 @@ func New(prog *bytecode.Program) *VM {
 }
 
 // SetProfiler installs a profiler, wiring up whichever of the optional
-// listener interfaces it implements.
-func (vm *VM) SetProfiler(p any) {
+// listener interfaces it implements. A nil profiler detaches all
+// hooks.
+func (vm *VM) SetProfiler(p Profiler) {
+	if p == nil {
+		vm.tick, vm.yield, vm.callH, vm.entryH = nil, nil, nil, nil
+		return
+	}
 	vm.tick, _ = p.(TickListener)
 	vm.yield, _ = p.(YieldListener)
 	vm.callH, _ = p.(CallListener)

@@ -188,6 +188,8 @@ func TestTimerDisabled(t *testing.T) {
 // never wedge the VM.
 type chargeOnTick struct{ ticks int }
 
+func (c *chargeOnTick) Name() string { return "charge-on-tick" }
+
 func (c *chargeOnTick) OnTimerTick(m *VM) {
 	c.ticks++
 	if c.ticks < 3 {
@@ -293,6 +295,8 @@ func TestWalkCallersSites(t *testing.T) {
 }
 
 type walkSiteProbe struct{ sites *[]int }
+
+func (w walkSiteProbe) Name() string { return "walk-site-probe" }
 
 func (w walkSiteProbe) OnEntry(m *VM, meth *bytecode.Method) {
 	if meth.Name != "$Globals.leaf" {

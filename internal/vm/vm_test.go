@@ -470,6 +470,8 @@ type recordingProfiler struct {
 	setOnTick int32 // control word to set on each tick
 }
 
+func (r *recordingProfiler) Name() string { return "recording" }
+
 func (r *recordingProfiler) OnTimerTick(vm *VM) {
 	r.ticks++
 	if r.setOnTick != 0 {
@@ -638,6 +640,8 @@ type walkProbe struct {
 	depths *[]int
 	edges  *[]string
 }
+
+func (w walkProbe) Name() string { return "walk-probe" }
 
 func (w walkProbe) OnEntry(vm *VM, m *bytecode.Method) {
 	n := 0
