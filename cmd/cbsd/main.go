@@ -7,10 +7,19 @@
 //
 //	cbsd -addr :8944
 //	cbsd -addr :8944 -shards 64 -decay 0.5 -decay-every 30s
+//	cbsd -addr :8944 -state-dir /var/lib/cbsd -checkpoint-every 30s
+//
+// With -state-dir the daemon is durable: the store is checkpointed to
+// disk periodically and on graceful shutdown (SIGINT/SIGTERM drains
+// in-flight requests, stops the decay ticker, and writes a final
+// checkpoint), and a restarted daemon reloads the checkpoint — graph
+// and per-pusher ingest sequences — so the fleet graph survives
+// restarts and pusher retries stay deduplicated across them.
 //
 // Endpoints:
 //
 //	POST /ingest     merge a serialized DCG snapshot into the store
+//	                 (X-Cbs-Pusher/X-Cbs-Seq headers make it idempotent)
 //	GET  /snapshot   stream the merged DCG (binary wire format)
 //	GET  /top?k=N    heaviest N edges as JSON
 //	GET  /site?id=N  receiver-target distribution at one call site
@@ -21,45 +30,177 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
+	"os"
+	"os/signal"
+	"sync"
+	"syscall"
 	"time"
 
 	"gocbs/internal/dcgstore"
 )
 
+// config is everything main parses from flags; run takes it whole so
+// tests can drive the full daemon lifecycle in-process.
+type config struct {
+	addr            string
+	shards          int
+	decay           float64
+	decayEvery      time.Duration
+	decayPrune      float64
+	stateDir        string
+	checkpointEvery time.Duration
+	readTimeout     time.Duration
+	writeTimeout    time.Duration
+
+	// ready, when non-nil, receives the bound listen address once the
+	// daemon is serving (tests bind :0).
+	ready chan<- string
+	logf  func(format string, args ...any)
+}
+
 func main() {
-	addr := flag.String("addr", ":8944", "listen address")
-	shards := flag.Int("shards", dcgstore.DefaultShards, "store shard count (rounded up to a power of two)")
-	decay := flag.Float64("decay", 0, "periodic decay factor in (0,1]; 0 disables background decay")
-	decayEvery := flag.Duration("decay-every", time.Minute, "interval between background decay epochs")
-	decayPrune := flag.Float64("decay-prune", 1e-6, "drop edges whose decayed weight falls below this")
+	var cfg config
+	flag.StringVar(&cfg.addr, "addr", ":8944", "listen address")
+	flag.IntVar(&cfg.shards, "shards", dcgstore.DefaultShards, "store shard count (rounded up to a power of two)")
+	flag.Float64Var(&cfg.decay, "decay", 0, "periodic decay factor in (0,1]; 0 disables background decay")
+	flag.DurationVar(&cfg.decayEvery, "decay-every", time.Minute, "interval between background decay epochs")
+	flag.Float64Var(&cfg.decayPrune, "decay-prune", 1e-6, "drop edges whose decayed weight falls below this")
+	flag.StringVar(&cfg.stateDir, "state-dir", "", "directory for durable checkpoints; empty keeps the store memory-only")
+	flag.DurationVar(&cfg.checkpointEvery, "checkpoint-every", dcgstore.DefaultCheckpointEvery, "interval between periodic checkpoints (with -state-dir)")
+	flag.DurationVar(&cfg.readTimeout, "read-timeout", 30*time.Second, "HTTP server read timeout")
+	flag.DurationVar(&cfg.writeTimeout, "write-timeout", 60*time.Second, "HTTP server write timeout")
 	flag.Parse()
 
-	if *decay < 0 || *decay > 1 {
-		log.Fatalf("cbsd: -decay %v out of range (0,1]", *decay)
+	if cfg.decay < 0 || cfg.decay > 1 {
+		log.Fatalf("cbsd: -decay %v out of range (0,1]", cfg.decay)
+	}
+	cfg.logf = log.Printf
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, cfg); err != nil {
+		log.Fatalf("cbsd: %v", err)
+	}
+}
+
+// run brings the daemon up and serves until ctx is cancelled (a
+// signal, in production), then shuts down gracefully: the listener
+// closes, in-flight requests drain, the decay and checkpoint tickers
+// stop, and — with a state dir — a final checkpoint is written so a
+// graceful restart loses nothing.
+func run(ctx context.Context, cfg config) error {
+	logf := cfg.logf
+	if logf == nil {
+		logf = func(string, ...any) {}
 	}
 
-	store := dcgstore.New(*shards)
-	srv := newServer(store)
+	store := dcgstore.New(cfg.shards)
+	if cfg.stateDir != "" {
+		loaded, err := dcgstore.RestoreCheckpoint(store, cfg.stateDir)
+		if err != nil {
+			return fmt.Errorf("restore %s: %w", cfg.stateDir, err)
+		}
+		if loaded {
+			st := store.Stats()
+			logf("restored checkpoint from %s: %d edges, %.0f weight, %d pushers",
+				cfg.stateDir, st.Edges, st.TotalWeight, st.Pushers)
+		} else {
+			logf("no checkpoint in %s, starting fresh", cfg.stateDir)
+		}
+	}
 
-	if *decay > 0 {
+	srv := &http.Server{
+		Handler:           newServer(store).handler(),
+		ReadTimeout:       cfg.readTimeout,
+		ReadHeaderTimeout: 5 * time.Second,
+		WriteTimeout:      cfg.writeTimeout,
+		IdleTimeout:       2 * time.Minute,
+	}
+
+	ln, err := net.Listen("tcp", cfg.addr)
+	if err != nil {
+		return err
+	}
+	logf("cbsd listening on %s (%d shards, decay %s, state %s)",
+		ln.Addr(), store.NumShards(), decayDesc(cfg.decay, cfg.decayEvery), stateDesc(cfg))
+	if cfg.ready != nil {
+		cfg.ready <- ln.Addr().String()
+	}
+
+	// Background loops: decay and periodic checkpoints. Both are wired
+	// into the shutdown path — bg.Wait() below guarantees neither a
+	// decay epoch nor a periodic checkpoint races the final checkpoint.
+	bgCtx, stopBg := context.WithCancel(context.Background())
+	defer stopBg()
+	var bg sync.WaitGroup
+	if cfg.decay > 0 {
+		bg.Add(1)
 		go func() {
-			for range time.Tick(*decayEvery) {
-				pruned := store.Decay(*decay, *decayPrune)
-				log.Printf("decay epoch %d: factor %v, pruned %d edges, %d remain",
-					store.Epoch(), *decay, pruned, store.NumEdges())
+			defer bg.Done()
+			ticker := time.NewTicker(cfg.decayEvery)
+			defer ticker.Stop()
+			for {
+				select {
+				case <-bgCtx.Done():
+					return
+				case <-ticker.C:
+					pruned := store.Decay(cfg.decay, cfg.decayPrune)
+					logf("decay epoch %d: factor %v, pruned %d edges, %d remain",
+						store.Epoch(), cfg.decay, pruned, store.NumEdges())
+				}
 			}
 		}()
 	}
-
-	log.Printf("cbsd listening on %s (%d shards, decay %s)",
-		*addr, store.NumShards(), decayDesc(*decay, *decayEvery))
-	if err := http.ListenAndServe(*addr, srv.handler()); err != nil {
-		log.Fatalf("cbsd: %v", err)
+	if cfg.stateDir != "" {
+		bg.Add(1)
+		go func() {
+			defer bg.Done()
+			ckpt := &dcgstore.Checkpointer{
+				Dir: cfg.stateDir, Store: store, Every: cfg.checkpointEvery, Logf: logf,
+			}
+			ckpt.Run(bgCtx)
+		}()
 	}
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+
+	select {
+	case err := <-serveErr:
+		stopBg()
+		bg.Wait()
+		return err
+	case <-ctx.Done():
+	}
+
+	// Graceful shutdown: drain in-flight requests first so their
+	// merges make the final checkpoint, then stop the background
+	// tickers, then checkpoint.
+	logf("shutting down: draining requests")
+	drainCtx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	shutdownErr := srv.Shutdown(drainCtx)
+	stopBg()
+	bg.Wait()
+	if cfg.stateDir != "" {
+		if err := dcgstore.SaveCheckpoint(cfg.stateDir, store); err != nil {
+			return fmt.Errorf("final checkpoint: %w", err)
+		}
+		st := store.Stats()
+		logf("final checkpoint written to %s (%d edges, %.0f weight)", cfg.stateDir, st.Edges, st.TotalWeight)
+	}
+	if shutdownErr != nil && !errors.Is(shutdownErr, context.DeadlineExceeded) {
+		return shutdownErr
+	}
+	<-serveErr // Serve returns ErrServerClosed once Shutdown begins
+	return nil
 }
 
 func decayDesc(factor float64, every time.Duration) string {
@@ -67,4 +208,11 @@ func decayDesc(factor float64, every time.Duration) string {
 		return "off"
 	}
 	return fmt.Sprintf("%v every %s", factor, every)
+}
+
+func stateDesc(cfg config) string {
+	if cfg.stateDir == "" {
+		return "memory-only"
+	}
+	return fmt.Sprintf("%s every %s", cfg.stateDir, cfg.checkpointEvery)
 }

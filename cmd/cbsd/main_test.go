@@ -1,0 +1,160 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"io"
+	"net/http"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"syscall"
+	"testing"
+	"time"
+
+	"gocbs/internal/dcgstore"
+	"gocbs/internal/profile"
+)
+
+// startDaemon runs the full daemon lifecycle (run, the same function
+// main drives) under ctx and returns its bound address plus a channel
+// carrying run's result.
+func startDaemon(t *testing.T, ctx context.Context, stateDir string) (string, <-chan error) {
+	t.Helper()
+	ready := make(chan string, 1)
+	cfg := config{
+		addr:            "127.0.0.1:0",
+		shards:          8,
+		stateDir:        stateDir,
+		checkpointEvery: time.Hour, // only the shutdown checkpoint matters here
+		readTimeout:     10 * time.Second,
+		writeTimeout:    10 * time.Second,
+		ready:           ready,
+		logf:            t.Logf,
+	}
+	done := make(chan error, 1)
+	go func() { done <- run(ctx, cfg) }()
+	select {
+	case addr := <-ready:
+		return "http://" + addr, done
+	case err := <-done:
+		t.Fatalf("daemon exited before serving: %v", err)
+		return "", nil
+	}
+}
+
+func fetchSnapshotBytes(t *testing.T, baseURL string) []byte {
+	t.Helper()
+	resp, err := http.Get(baseURL + "/snapshot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// TestSigtermCheckpointAndRestart is the acceptance test for the
+// durability tentpole: a daemon killed with SIGTERM writes a final
+// checkpoint, and a restart with the same -state-dir serves a
+// /snapshot byte-identical to the one before the kill — with the
+// per-pusher ingest sequences intact, so a pre-kill increment retried
+// after the restart is still deduplicated.
+func TestSigtermCheckpointAndRestart(t *testing.T) {
+	stateDir := filepath.Join(t.TempDir(), "state")
+
+	// First incarnation: catch SIGTERM exactly as main does.
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM)
+	defer stop()
+	url, done := startDaemon(t, ctx, stateDir)
+
+	g := profile.NewDCG()
+	g.AddSample(profile.Edge{Caller: 1, Site: 2, Callee: 3}, 40)
+	g.AddSample(profile.Edge{Caller: 4, Site: 5, Callee: 6}, 2.5)
+	client := dcgstore.NewClient(url)
+	if err := client.PushDelta("vm-durable", 1, g); err != nil {
+		t.Fatal(err)
+	}
+	g2 := profile.NewDCG()
+	g2.AddSample(profile.Edge{Caller: 7, Site: 8, Callee: 9}, 11)
+	if err := client.PushDelta("vm-durable", 2, g2); err != nil {
+		t.Fatal(err)
+	}
+	before := fetchSnapshotBytes(t, url)
+
+	// Kill the daemon the way an orchestrator would.
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("daemon shutdown: %v", err)
+		}
+	case <-time.After(20 * time.Second):
+		t.Fatal("daemon did not shut down after SIGTERM")
+	}
+	for _, f := range []string{dcgstore.CheckpointGraphFile, dcgstore.CheckpointSeqFile} {
+		if _, err := os.Stat(filepath.Join(stateDir, f)); err != nil {
+			t.Fatalf("checkpoint file %s missing after SIGTERM: %v", f, err)
+		}
+	}
+
+	// Second incarnation, same state dir.
+	ctx2, cancel := context.WithCancel(context.Background())
+	url2, done2 := startDaemon(t, ctx2, stateDir)
+	after := fetchSnapshotBytes(t, url2)
+	if !bytes.Equal(before, after) {
+		t.Errorf("restarted /snapshot differs from the last checkpoint: %d vs %d bytes", len(after), len(before))
+	}
+
+	// A pusher retrying a pre-kill increment (it never saw the ack)
+	// must still be deduplicated by the restarted daemon.
+	client2 := dcgstore.NewClient(url2)
+	if err := client2.PushDelta("vm-durable", 2, g2); err != nil {
+		t.Fatal(err)
+	}
+	if got := fetchSnapshotBytes(t, url2); !bytes.Equal(before, got) {
+		t.Error("retried pre-restart increment inflated the restored store")
+	}
+	// A genuinely new increment still lands.
+	if err := client2.PushDelta("vm-durable", 3, g2); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := dcgstore.NewClient(url2).Fetch()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w := restored.Weight(profile.Edge{Caller: 7, Site: 8, Callee: 9}); w != 22 {
+		t.Errorf("post-restart weight = %v, want 22", w)
+	}
+
+	cancel()
+	select {
+	case err := <-done2:
+		if err != nil {
+			t.Fatalf("second shutdown: %v", err)
+		}
+	case <-time.After(20 * time.Second):
+		t.Fatal("second daemon did not shut down")
+	}
+}
+
+// TestRunRefusesCorruptCheckpoint: booting against an unreadable state
+// dir must fail loudly rather than serve an empty store that a later
+// checkpoint would overwrite the good state with.
+func TestRunRefusesCorruptCheckpoint(t *testing.T) {
+	stateDir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(stateDir, dcgstore.CheckpointGraphFile), []byte("garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	err := run(ctx, config{addr: "127.0.0.1:0", shards: 4, stateDir: stateDir, logf: t.Logf})
+	if err == nil {
+		t.Fatal("run accepted a corrupt checkpoint")
+	}
+}

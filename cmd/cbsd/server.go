@@ -3,8 +3,10 @@ package main
 import (
 	"encoding/json"
 	"fmt"
+	"log"
 	"net/http"
 	"strconv"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -25,33 +27,57 @@ type server struct {
 	ingests      atomic.Uint64
 	ingestErrors atomic.Uint64
 	mergeNanos   atomic.Int64
+
+	// encodeErrOnce gates the one log line writeJSON emits for encode
+	// failures (per-connection write errors would otherwise spam).
+	encodeErrOnce sync.Once
 }
 
 func newServer(store *dcgstore.Store) *server {
 	return &server{store: store, start: time.Now()}
 }
 
-// handler routes the daemon's endpoints.
+// handler routes the daemon's endpoints. Read endpoints are GET-only;
+// mutating endpoints are POST-only and say so with 405s.
 func (s *server) handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/ingest", s.handleIngest)
-	mux.HandleFunc("/snapshot", s.handleSnapshot)
-	mux.HandleFunc("/top", s.handleTop)
-	mux.HandleFunc("/site", s.handleSite)
+	mux.HandleFunc("/snapshot", getOnly(s.handleSnapshot))
+	mux.HandleFunc("/top", getOnly(s.handleTop))
+	mux.HandleFunc("/site", getOnly(s.handleSite))
 	mux.HandleFunc("/overlap", s.handleOverlap)
 	mux.HandleFunc("/decay", s.handleDecay)
-	mux.HandleFunc("/metrics", s.handleMetrics)
-	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+	mux.HandleFunc("/metrics", getOnly(s.handleMetrics))
+	mux.HandleFunc("/healthz", getOnly(func(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintln(w, "ok")
-	})
+	}))
 	return mux
 }
 
-func writeJSON(w http.ResponseWriter, v any) {
+// getOnly rejects every method but GET (and HEAD, which net/http
+// serves as a bodyless GET) with 405.
+func getOnly(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet && r.Method != http.MethodHead {
+			w.Header().Set("Allow", "GET")
+			http.Error(w, "read-only endpoint: use GET", http.StatusMethodNotAllowed)
+			return
+		}
+		h(w, r)
+	}
+}
+
+func (s *server) writeJSON(w http.ResponseWriter, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	enc.Encode(v)
+	if err := enc.Encode(v); err != nil {
+		// Almost always the client hanging up mid-response; log the
+		// first so a systematic encode bug is visible, stay quiet after.
+		s.encodeErrOnce.Do(func() {
+			log.Printf("cbsd: response encode failed (logged once): %v", err)
+		})
+	}
 }
 
 // readProfileBody parses a serialized DCG out of a request body.
@@ -64,10 +90,41 @@ func readProfileBody(w http.ResponseWriter, r *http.Request) (*profile.DCG, bool
 	return g, true
 }
 
-// handleIngest merges one POSTed DCG snapshot into the store.
+// ingestStamp extracts and validates the optional idempotency headers.
+// ok=false means the request was answered with an error.
+func (s *server) ingestStamp(w http.ResponseWriter, r *http.Request) (pusher string, seq uint64, ok bool) {
+	pusher = r.Header.Get(dcgstore.HeaderPusher)
+	seqHdr := r.Header.Get(dcgstore.HeaderSeq)
+	if pusher == "" && seqHdr == "" {
+		return "", 0, true // unstamped legacy push
+	}
+	if !dcgstore.ValidPusherID(pusher) {
+		http.Error(w, fmt.Sprintf("bad %s header: need 1-128 chars of [A-Za-z0-9._:-]", dcgstore.HeaderPusher),
+			http.StatusBadRequest)
+		return "", 0, false
+	}
+	seq, err := strconv.ParseUint(seqHdr, 10, 64)
+	if err != nil || seq == 0 {
+		http.Error(w, fmt.Sprintf("bad %s header %q: need a positive integer", dcgstore.HeaderSeq, seqHdr),
+			http.StatusBadRequest)
+		return "", 0, false
+	}
+	return pusher, seq, true
+}
+
+// handleIngest merges one POSTed DCG snapshot into the store. Requests
+// stamped with (pusher, sequence) headers are idempotent: a retry of
+// an increment that was already applied is acknowledged without being
+// merged again.
 func (s *server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", "POST")
 		http.Error(w, "POST a serialized DCG", http.StatusMethodNotAllowed)
+		return
+	}
+	pusher, seq, ok := s.ingestStamp(w, r)
+	if !ok {
+		s.ingestErrors.Add(1)
 		return
 	}
 	g, ok := readProfileBody(w, r)
@@ -76,11 +133,15 @@ func (s *server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	t0 := time.Now()
-	s.store.MergeDCG(g)
-	s.mergeNanos.Add(time.Since(t0).Nanoseconds())
+	applied := s.store.MergeDCGFrom(pusher, seq, g)
+	if applied {
+		s.mergeNanos.Add(time.Since(t0).Nanoseconds())
+	}
 	s.ingests.Add(1)
 	st := s.store.Stats()
-	writeJSON(w, map[string]any{
+	s.writeJSON(w, map[string]any{
+		"applied":       applied,
+		"duplicate":     !applied,
 		"merged_edges":  g.NumEdges(),
 		"merged_weight": g.Total(),
 		"store_edges":   st.Edges,
@@ -106,7 +167,9 @@ type edgeJSON struct {
 	Percent float64 `json:"percent"`
 }
 
-// handleTop returns the k heaviest edges of the current snapshot.
+// handleTop returns the k heaviest edges of the current snapshot. k is
+// clamped to the store's edge count before any allocation, so an
+// attacker-chosen k cannot force an arbitrarily large preallocation.
 func (s *server) handleTop(w http.ResponseWriter, r *http.Request) {
 	k := 20
 	if q := r.URL.Query().Get("k"); q != "" {
@@ -118,6 +181,9 @@ func (s *server) handleTop(w http.ResponseWriter, r *http.Request) {
 		k = n
 	}
 	g := s.store.Snapshot()
+	if k > g.NumEdges() {
+		k = g.NumEdges()
+	}
 	edges := make([]edgeJSON, 0, k)
 	for _, e := range g.TopEdges(k) {
 		edges = append(edges, edgeJSON{
@@ -125,7 +191,7 @@ func (s *server) handleTop(w http.ResponseWriter, r *http.Request) {
 			Weight: g.Weight(e), Percent: g.Percent(e),
 		})
 	}
-	writeJSON(w, map[string]any{"edges": edges, "total_weight": g.Total()})
+	s.writeJSON(w, map[string]any{"edges": edges, "total_weight": g.Total()})
 }
 
 // handleSite returns the receiver-target distribution at one call
@@ -138,7 +204,7 @@ func (s *server) handleSite(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	g := s.store.Snapshot()
-	writeJSON(w, map[string]any{
+	s.writeJSON(w, map[string]any{
 		"site":           id,
 		"site_weight_pc": g.SiteWeightPercent(id),
 		"targets":        g.SiteDistribution(id),
@@ -149,6 +215,7 @@ func (s *server) handleSite(w http.ResponseWriter, r *http.Request) {
 // reference DCG with the paper's overlap metric.
 func (s *server) handleOverlap(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", "POST")
 		http.Error(w, "POST a serialized reference DCG", http.StatusMethodNotAllowed)
 		return
 	}
@@ -157,7 +224,7 @@ func (s *server) handleOverlap(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	g := s.store.Snapshot()
-	writeJSON(w, map[string]any{
+	s.writeJSON(w, map[string]any{
 		"overlap":         profile.Overlap(g, ref),
 		"store_edges":     g.NumEdges(),
 		"reference_edges": ref.NumEdges(),
@@ -167,6 +234,7 @@ func (s *server) handleOverlap(w http.ResponseWriter, r *http.Request) {
 // handleDecay runs one decay epoch on demand.
 func (s *server) handleDecay(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", "POST")
 		http.Error(w, "POST with ?factor= (and optional ?prune=)", http.StatusMethodNotAllowed)
 		return
 	}
@@ -184,7 +252,7 @@ func (s *server) handleDecay(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	pruned := s.store.Decay(factor, prune)
-	writeJSON(w, map[string]any{"epoch": s.store.Epoch(), "pruned_edges": pruned})
+	s.writeJSON(w, map[string]any{"epoch": s.store.Epoch(), "pruned_edges": pruned})
 }
 
 // handleMetrics reports expvar-style operational counters.
@@ -193,20 +261,22 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	ingests := s.ingests.Load()
 	nanos := s.mergeNanos.Load()
 	var meanMs float64
-	if ingests > 0 {
-		meanMs = float64(nanos) / float64(ingests) / 1e6
+	if applied := ingests - st.Duplicates; applied > 0 {
+		meanMs = float64(nanos) / float64(applied) / 1e6
 	}
-	writeJSON(w, map[string]any{
-		"edges":            st.Edges,
-		"total_weight":     st.TotalWeight,
-		"samples_ingested": st.SamplesIngested,
-		"merges":           st.Merges,
-		"decay_epoch":      st.Epoch,
-		"shards":           st.Shards,
-		"ingests":          ingests,
-		"ingest_errors":    s.ingestErrors.Load(),
-		"merge_ms_total":   float64(nanos) / 1e6,
-		"merge_ms_mean":    meanMs,
-		"uptime_s":         time.Since(s.start).Seconds(),
+	s.writeJSON(w, map[string]any{
+		"edges":             st.Edges,
+		"total_weight":      st.TotalWeight,
+		"samples_ingested":  st.SamplesIngested,
+		"merges":            st.Merges,
+		"decay_epoch":       st.Epoch,
+		"shards":            st.Shards,
+		"pushers":           st.Pushers,
+		"ingests":           ingests,
+		"ingest_errors":     s.ingestErrors.Load(),
+		"ingest_duplicates": st.Duplicates,
+		"merge_ms_total":    float64(nanos) / 1e6,
+		"merge_ms_mean":     meanMs,
+		"uptime_s":          time.Since(s.start).Seconds(),
 	})
 }

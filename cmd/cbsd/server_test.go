@@ -268,3 +268,126 @@ func TestMultiPusherConvergence(t *testing.T) {
 		t.Error("no samples reached the daemon")
 	}
 }
+
+// TestTopClampsHugeK is the regression test for the /top allocation
+// DoS: an attacker-chosen k must be clamped to the store's edge count
+// before any slice is preallocated.
+func TestTopClampsHugeK(t *testing.T) {
+	ts, _ := newTestDaemon(t)
+	g := profile.NewDCG()
+	g.AddSample(edge(1, 1, 1), 3)
+	g.AddSample(edge(2, 2, 2), 2)
+	g.AddSample(edge(3, 3, 3), 1)
+	postProfile(t, ts.URL+"/ingest", g).Body.Close()
+
+	resp, err := http.Get(ts.URL + "/top?k=1000000000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("top k=1e9 status %s", resp.Status)
+	}
+	m := decodeJSON(t, resp)
+	if edges := m["edges"].([]any); len(edges) != 3 {
+		t.Errorf("top k=1e9 returned %d edges, want 3", len(edges))
+	}
+}
+
+// TestReadEndpointsRejectNonGET covers the method hardening on the
+// read-only surface.
+func TestReadEndpointsRejectNonGET(t *testing.T) {
+	ts, _ := newTestDaemon(t)
+	for _, path := range []string{"/snapshot", "/top", "/site?id=1", "/metrics", "/healthz"} {
+		resp, err := http.Post(ts.URL+path, "text/plain", strings.NewReader("x"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusMethodNotAllowed {
+			t.Errorf("POST %s status %d, want 405", path, resp.StatusCode)
+		}
+		if allow := resp.Header.Get("Allow"); allow != "GET" {
+			t.Errorf("POST %s Allow header %q, want GET", path, allow)
+		}
+	}
+}
+
+// postStamped posts g to /ingest under a (pusher, seq) stamp.
+func postStamped(t *testing.T, url string, g *profile.DCG, pusher, seq string) *http.Response {
+	t.Helper()
+	var body bytes.Buffer
+	if _, err := g.WriteTo(&body); err != nil {
+		t.Fatal(err)
+	}
+	req, err := http.NewRequest(http.MethodPost, url+"/ingest", &body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pusher != "" {
+		req.Header.Set(dcgstore.HeaderPusher, pusher)
+	}
+	if seq != "" {
+		req.Header.Set(dcgstore.HeaderSeq, seq)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+// TestIngestDeduplicatesStampedRetries: the same (pusher, seq) posted
+// twice — a retry whose first response was lost — must be acknowledged
+// but merged only once.
+func TestIngestDeduplicatesStampedRetries(t *testing.T) {
+	ts, store := newTestDaemon(t)
+	g := profile.NewDCG()
+	g.AddSample(edge(1, 2, 3), 10)
+
+	first := decodeJSON(t, postStamped(t, ts.URL, g, "vm-1", "1"))
+	if first["applied"] != true || first["duplicate"] != false {
+		t.Errorf("first stamped ingest response %v", first)
+	}
+	second := decodeJSON(t, postStamped(t, ts.URL, g, "vm-1", "1"))
+	if second["applied"] != false || second["duplicate"] != true {
+		t.Errorf("retried stamped ingest response %v", second)
+	}
+	if w := store.Snapshot().Weight(edge(1, 2, 3)); w != 10 {
+		t.Errorf("weight after retry = %v, want 10 (double count)", w)
+	}
+
+	mresp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := decodeJSON(t, mresp)
+	if m["ingest_duplicates"].(float64) != 1 || m["pushers"].(float64) != 1 {
+		t.Errorf("metrics duplicates/pushers = %v/%v, want 1/1", m["ingest_duplicates"], m["pushers"])
+	}
+}
+
+// TestIngestRejectsMalformedStamps: bad idempotency headers are 400s,
+// not silent fallbacks to at-least-once.
+func TestIngestRejectsMalformedStamps(t *testing.T) {
+	ts, store := newTestDaemon(t)
+	g := profile.NewDCG()
+	g.AddSample(edge(1, 1, 1), 1)
+	cases := []struct{ pusher, seq string }{
+		{"vm 1", "1"},  // space in pusher id
+		{"vm-1", "x"},  // non-numeric sequence
+		{"vm-1", "0"},  // sequences start at 1
+		{"vm-1", "-3"}, // negative
+		{"vm-1", ""},   // pusher without sequence
+		{"", "5"},      // sequence without pusher
+	}
+	for _, c := range cases {
+		resp := postStamped(t, ts.URL, g, c.pusher, c.seq)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("pusher=%q seq=%q status %d, want 400", c.pusher, c.seq, resp.StatusCode)
+		}
+	}
+	if n := store.Snapshot().NumEdges(); n != 0 {
+		t.Errorf("malformed stamps merged %d edges", n)
+	}
+}

@@ -12,7 +12,12 @@
 // With -push, the collected DCG is streamed to a cbsd aggregation
 // daemon as non-overlapping delta snapshots: one every -push-every
 // timer ticks plus a final flush, so the daemon's merge of all
-// increments equals this run's final graph exactly.
+// increments equals this run's final graph exactly. Each increment is
+// stamped with a (pusher, sequence) pair, making delivery idempotent:
+// transient failures are retried with backoff (-push-retries,
+// -push-backoff), undelivered increments stay queued for the next
+// tick, and a retry whose first attempt actually landed is
+// deduplicated by the daemon instead of double-counted.
 package main
 
 import (
@@ -47,6 +52,9 @@ func main() {
 	saveProfile := flag.String("save", "", "write the collected DCG to this file")
 	pushURL := flag.String("push", "", "stream the DCG to a cbsd daemon at this base URL")
 	pushEvery := flag.Int("push-every", 50, "with -push: push a delta snapshot every N timer ticks (0 = final push only)")
+	pushRetries := flag.Int("push-retries", dcgstore.DefaultRetries, "with -push: retries per push on transient failures (-1 disables)")
+	pushBackoff := flag.Duration("push-backoff", dcgstore.DefaultBackoff, "with -push: initial retry backoff (doubles per retry, jittered)")
+	pushGiveUp := flag.Int("push-give-up", dcgstore.DefaultGiveUpAfter, "with -push: stop periodic pushing after N consecutive failed ticks (0 = never)")
 	flag.Parse()
 
 	if *list {
@@ -142,7 +150,11 @@ func main() {
 
 	var push *dcgstore.TickPusher
 	if *pushURL != "" {
-		push = dcgstore.NewTickPusher(dcgstore.NewClient(*pushURL), graph, *pushEvery)
+		client := dcgstore.NewClient(*pushURL)
+		client.Retries = *pushRetries
+		client.Backoff = *pushBackoff
+		push = dcgstore.NewTickPusher(client, graph, *pushEvery)
+		push.GiveUpAfter = *pushGiveUp
 		m.SetProfiler(profiler.Combine(mainProf, push))
 	} else {
 		m.SetProfiler(mainProf)
@@ -154,7 +166,7 @@ func main() {
 
 	if push != nil {
 		if err := push.Flush(); err != nil {
-			fatal(fmt.Errorf("push to %s: %w", *pushURL, err))
+			fatal(fmt.Errorf("push to %s (%d increments undelivered): %w", *pushURL, push.Pending(), err))
 		}
 		fmt.Fprintf(os.Stderr, "pushed %d snapshot(s) to %s\n", push.Pushes(), *pushURL)
 	}

@@ -2,13 +2,47 @@ package dcgstore
 
 import (
 	"bytes"
+	crand "crypto/rand"
+	"encoding/hex"
+	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
+	"strconv"
 	"time"
 
 	"gocbs/internal/profile"
 )
+
+// Push retry defaults. Retrying a push is safe because every push is
+// stamped with a (pusher ID, sequence) pair and the daemon deduplicates
+// increments it already applied (see sequence.go), so an increment
+// whose response was lost cannot be double-counted.
+const (
+	// DefaultRetries is how many times a failed push is retried after
+	// the first attempt.
+	DefaultRetries = 4
+	// DefaultBackoff is the first retry's base delay; each further
+	// retry doubles it.
+	DefaultBackoff = 100 * time.Millisecond
+	// DefaultMaxBackoff caps the exponential growth.
+	DefaultMaxBackoff = 2 * time.Second
+)
+
+// newPusherID returns a fresh random pusher identity. IDs are random
+// (not host-derived) so two pushers never collide in the daemon's
+// sequence table: a colliding restarted pusher would have its early
+// increments dropped as duplicates of the previous incarnation's.
+func newPusherID() string {
+	var b [8]byte
+	if _, err := crand.Read(b[:]); err != nil {
+		// Fall back to the global PRNG; uniqueness is what matters and
+		// 64 random bits from either source give it.
+		return fmt.Sprintf("p-%016x", rand.Uint64())
+	}
+	return "p-" + hex.EncodeToString(b[:])
+}
 
 // Client talks to a cbsd aggregation daemon over HTTP.
 type Client struct {
@@ -16,13 +50,26 @@ type Client struct {
 	BaseURL string
 	// HTTPClient defaults to a client with a 10s timeout.
 	HTTPClient *http.Client
+	// PusherID identifies this client in the daemon's per-pusher
+	// ingest sequence; NewClient generates a random one.
+	PusherID string
+	// Retries, Backoff, MaxBackoff tune push retry behaviour; zero
+	// values select the Default* constants. Retries < 0 disables
+	// retrying.
+	Retries    int
+	Backoff    time.Duration
+	MaxBackoff time.Duration
+
+	seq uint64
 }
 
-// NewClient returns a client for the daemon at baseURL.
+// NewClient returns a client for the daemon at baseURL with a fresh
+// pusher identity and default retry policy.
 func NewClient(baseURL string) *Client {
 	return &Client{
 		BaseURL:    baseURL,
 		HTTPClient: &http.Client{Timeout: 10 * time.Second},
+		PusherID:   newPusherID(),
 	}
 }
 
@@ -33,20 +80,119 @@ func (c *Client) httpClient() *http.Client {
 	return http.DefaultClient
 }
 
-// Push serializes g and POSTs it to the daemon's /ingest endpoint.
+// nextSeq allocates the next sequence number. Not safe for concurrent
+// use: a pusher's sequence space is strictly ordered by design, so a
+// Client must push from one goroutine (use one Client per pusher).
+func (c *Client) nextSeq() uint64 {
+	c.seq++
+	return c.seq
+}
+
+// Push serializes g and POSTs it to the daemon's /ingest endpoint as
+// the client's next sequenced increment, with capped exponential
+// backoff on transient failures.
 func (c *Client) Push(g *profile.DCG) error {
+	return c.PushDelta(c.PusherID, c.nextSeq(), g)
+}
+
+// retryableStatus reports whether an HTTP status is worth retrying:
+// server-side trouble or throttling, never a 4xx protocol error (the
+// same bytes would just fail again).
+func retryableStatus(code int) bool {
+	return code >= 500 || code == http.StatusRequestTimeout || code == http.StatusTooManyRequests
+}
+
+// backoffDelay returns the sleep before retry attempt (0-based), an
+// exponentially growing delay capped at MaxBackoff with uniform jitter
+// in [d/2, d) so a fleet of pushers knocked over together does not
+// retry in lockstep.
+func (c *Client) backoffDelay(attempt int) time.Duration {
+	base, max := c.Backoff, c.MaxBackoff
+	if base <= 0 {
+		base = DefaultBackoff
+	}
+	if max <= 0 {
+		max = DefaultMaxBackoff
+	}
+	d := base << attempt
+	if d > max || d <= 0 { // <= 0: shift overflow
+		d = max
+	}
+	return d/2 + time.Duration(rand.Int63n(int64(d/2)+1))
+}
+
+// PushDelta sends one stamped increment: g under the given (pusher,
+// sequence) identity. Transient failures (network errors, 5xx,
+// throttling) are retried with capped exponential backoff and jitter;
+// a duplicate response — the daemon already applied this sequence on
+// an attempt whose response was lost — counts as success. The same
+// (pusher, seq) pair must always carry the same graph.
+func (c *Client) PushDelta(pusher string, seq uint64, g *profile.DCG) error {
 	var body bytes.Buffer
 	if _, err := g.WriteTo(&body); err != nil {
 		return fmt.Errorf("serialize: %w", err)
 	}
-	resp, err := c.httpClient().Post(c.BaseURL+"/ingest", "application/octet-stream", &body)
+	payload := body.Bytes()
+
+	retries := c.Retries
+	if retries == 0 {
+		retries = DefaultRetries
+	}
+	if retries < 0 {
+		retries = 0
+	}
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		err := c.pushOnce(pusher, seq, payload)
+		if err == nil {
+			return nil
+		}
+		lastErr = err
+		var pe *pushError
+		permanent := !errors.As(err, &pe) || !pe.retryable
+		if permanent || attempt >= retries {
+			if attempt > 0 {
+				return fmt.Errorf("push (after %d attempts): %w", attempt+1, lastErr)
+			}
+			return lastErr
+		}
+		time.Sleep(c.backoffDelay(attempt))
+	}
+}
+
+// pushError carries retryability alongside the message.
+type pushError struct {
+	err       error
+	retryable bool
+}
+
+func (e *pushError) Error() string { return e.err.Error() }
+func (e *pushError) Unwrap() error { return e.err }
+
+// pushOnce makes a single /ingest attempt.
+func (c *Client) pushOnce(pusher string, seq uint64, payload []byte) error {
+	req, err := http.NewRequest(http.MethodPost, c.BaseURL+"/ingest", bytes.NewReader(payload))
 	if err != nil {
 		return fmt.Errorf("push: %w", err)
+	}
+	req.Header.Set("Content-Type", "application/octet-stream")
+	if pusher != "" {
+		req.Header.Set(HeaderPusher, pusher)
+		req.Header.Set(HeaderSeq, strconv.FormatUint(seq, 10))
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		// Network-level failure: the request may or may not have been
+		// applied — exactly the case sequence stamping makes retryable.
+		return &pushError{err: fmt.Errorf("push: %w", err), retryable: true}
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
-		return fmt.Errorf("push: daemon returned %s: %s", resp.Status, bytes.TrimSpace(msg))
+		return &pushError{
+			err:       fmt.Errorf("push: daemon returned %s: %s", resp.Status, bytes.TrimSpace(msg)),
+			retryable: retryableStatus(resp.StatusCode),
+		}
 	}
 	return nil
 }
@@ -65,39 +211,79 @@ func (c *Client) Fetch() (*profile.DCG, error) {
 	return profile.ReadDCG(resp.Body)
 }
 
+// stampedDelta is one increment frozen with its sequence number. Once
+// stamped, the payload never changes: the daemon may have applied it
+// on an attempt whose response was lost, so re-sending different bytes
+// under the same sequence would desynchronize pusher and daemon.
+type stampedDelta struct {
+	seq   uint64
+	delta *profile.DCG
+}
+
 // DeltaPusher streams a monotonically growing DCG to a daemon as
-// non-overlapping increments: each Push sends only the weight added
+// non-overlapping increments: each Push captures only the weight added
 // since the previous Push, so the daemon's merge of all increments
 // equals the source graph exactly (no double counting). Workers use it
 // to push periodic snapshots mid-run plus one final flush.
+//
+// Delivery is exactly-once: every increment is stamped with this
+// pusher's identity and a strictly increasing sequence number, and
+// increments that could not be acknowledged stay queued — frozen, with
+// their original stamps — and are re-sent in order ahead of newer
+// increments on the next Push. The daemon drops any stamp it has
+// already applied, so neither a lost response nor a later give-up can
+// double-count an edge.
 type DeltaPusher struct {
 	client *Client
+	id     string
+	seq    uint64
 	last   *profile.DCG
-	// Pushes counts increments actually sent (empty deltas are
-	// skipped).
+	// pending holds unacknowledged increments in sequence order.
+	pending []stampedDelta
+	// Pushes counts increments acknowledged by the daemon (empty
+	// deltas are skipped).
 	Pushes int
 }
 
-// NewDeltaPusher returns a pusher that streams to client.
+// NewDeltaPusher returns a pusher that streams to client under its own
+// fresh pusher identity (so several DeltaPushers may share a Client).
 func NewDeltaPusher(client *Client) *DeltaPusher {
-	return &DeltaPusher{client: client}
+	return &DeltaPusher{client: client, id: newPusherID()}
 }
 
-// Push sends the weight cur has accumulated since the previous Push
-// (all of cur on the first call). Empty deltas are skipped without a
-// round trip. cur is captured by value (cloned) so the caller's graph
-// may keep growing immediately.
+// PusherID returns the identity this pusher's increments are stamped
+// with.
+func (p *DeltaPusher) PusherID() string { return p.id }
+
+// Pending reports how many stamped increments await acknowledgement.
+func (p *DeltaPusher) Pending() int { return len(p.pending) }
+
+// Push captures the weight cur has accumulated since the previous Push
+// (all of cur on the first call) as a new stamped increment, then
+// sends every pending increment in order. On failure the unsent tail
+// stays queued for the next call; the capture still happened, so no
+// weight is ever re-captured or lost. cur is cloned, so the caller's
+// graph may keep growing immediately.
 func (p *DeltaPusher) Push(cur *profile.DCG) error {
 	delta := cur.DeltaSince(p.last)
-	snapshot := cur.Clone()
-	if delta.NumEdges() == 0 {
-		p.last = snapshot
-		return nil
+	p.last = cur.Clone()
+	if delta.NumEdges() > 0 {
+		p.seq++
+		p.pending = append(p.pending, stampedDelta{seq: p.seq, delta: delta})
 	}
-	if err := p.client.Push(delta); err != nil {
-		return err
+	return p.flush()
+}
+
+// flush sends pending increments oldest-first, stopping at the first
+// failure.
+func (p *DeltaPusher) flush() error {
+	for len(p.pending) > 0 {
+		head := p.pending[0]
+		if err := p.client.PushDelta(p.id, head.seq, head.delta); err != nil {
+			return err
+		}
+		p.pending = p.pending[1:]
+		p.Pushes++
 	}
-	p.last = snapshot
-	p.Pushes++
 	return nil
 }

@@ -1,0 +1,143 @@
+package dcgstore
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"gocbs/internal/profile"
+)
+
+// canonical returns the graph's canonical serialization for
+// byte-identity checks.
+func canonical(t *testing.T, g *profile.DCG) []byte {
+	t.Helper()
+	var b bytes.Buffer
+	if _, err := g.WriteTo(&b); err != nil {
+		t.Fatal(err)
+	}
+	return b.Bytes()
+}
+
+func TestCheckpointRoundTripIsByteIdentical(t *testing.T) {
+	dir := t.TempDir()
+	s := New(8)
+	inc := profile.NewDCG()
+	inc.AddSample(edge(1, 2, 3), 4.5)
+	inc.AddSample(edge(7, 8, 9), 0.25)
+	s.MergeDCGFrom("p-a", 3, inc)
+	s.MergeDCGFrom("p-b", 11, inc)
+	s.AddSample(edge(5, 5, 5), 2) // unsequenced weight persists too
+
+	if err := SaveCheckpoint(dir, s); err != nil {
+		t.Fatal(err)
+	}
+	g, seqs, err := LoadCheckpoint(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := canonical(t, s.Snapshot())
+	if !bytes.Equal(canonical(t, g), want) {
+		t.Error("loaded graph is not byte-identical to the checkpointed snapshot")
+	}
+	if seqs["p-a"] != 3 || seqs["p-b"] != 11 || len(seqs) != 2 {
+		t.Errorf("loaded sequences %v, want p-a:3 p-b:11", seqs)
+	}
+
+	// A restarted store restored from the checkpoint serves the same
+	// snapshot and keeps deduplicating the old pushers' retries.
+	fresh := New(8)
+	loaded, err := RestoreCheckpoint(fresh, dir)
+	if err != nil || !loaded {
+		t.Fatalf("RestoreCheckpoint = %v, %v", loaded, err)
+	}
+	if !bytes.Equal(canonical(t, fresh.Snapshot()), want) {
+		t.Error("restored store snapshot differs from pre-restart snapshot")
+	}
+	if fresh.MergeDCGFrom("p-a", 3, inc) {
+		t.Error("retry of a pre-restart increment was applied after restore")
+	}
+	if !fresh.MergeDCGFrom("p-a", 4, inc) {
+		t.Error("next increment after restore rejected")
+	}
+}
+
+func TestLoadCheckpointMissingIsFreshStart(t *testing.T) {
+	g, seqs, err := LoadCheckpoint(filepath.Join(t.TempDir(), "never-written"))
+	if g != nil || seqs != nil || err != nil {
+		t.Errorf("LoadCheckpoint(missing) = %v, %v, %v; want nil, nil, nil", g, seqs, err)
+	}
+}
+
+func TestLoadCheckpointGraphWithoutSequencesTolerated(t *testing.T) {
+	dir := t.TempDir()
+	s := New(4)
+	s.AddSample(edge(1, 1, 1), 1)
+	if err := SaveCheckpoint(dir, s); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Remove(filepath.Join(dir, CheckpointSeqFile)); err != nil {
+		t.Fatal(err)
+	}
+	g, seqs, err := LoadCheckpoint(dir)
+	if err != nil || g == nil || len(seqs) != 0 {
+		t.Errorf("LoadCheckpoint without seq file = %v, %v, %v", g, seqs, err)
+	}
+}
+
+func TestLoadCheckpointRejectsCorruptFiles(t *testing.T) {
+	dir := t.TempDir()
+	s := New(4)
+	s.AddSample(edge(1, 1, 1), 1)
+	if err := SaveCheckpoint(dir, s); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt graph: must fail loudly, not load garbage weights.
+	if err := os.WriteFile(filepath.Join(dir, CheckpointGraphFile), []byte("not a DCG"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := LoadCheckpoint(dir); err == nil {
+		t.Error("corrupt graph file loaded without error")
+	}
+	// Restore the graph, corrupt the sequence file instead.
+	if err := SaveCheckpoint(dir, s); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, CheckpointSeqFile), []byte("cbsd-seq v1\nbroken"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := LoadCheckpoint(dir); err == nil {
+		t.Error("corrupt sequence file loaded without error")
+	}
+}
+
+func TestSaveCheckpointReplacesAtomically(t *testing.T) {
+	dir := t.TempDir()
+	s := New(4)
+	s.AddSample(edge(1, 1, 1), 1)
+	if err := SaveCheckpoint(dir, s); err != nil {
+		t.Fatal(err)
+	}
+	s.AddSample(edge(2, 2, 2), 2)
+	if err := SaveCheckpoint(dir, s); err != nil {
+		t.Fatal(err)
+	}
+	g, _, err := LoadCheckpoint(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(canonical(t, g), canonical(t, s.Snapshot())) {
+		t.Error("second checkpoint did not replace the first")
+	}
+	// No temp droppings left behind.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if e.Name() != CheckpointGraphFile && e.Name() != CheckpointSeqFile {
+			t.Errorf("unexpected file %q in state dir", e.Name())
+		}
+	}
+}

@@ -1,0 +1,148 @@
+package dcgstore
+
+import (
+	"sync"
+
+	"gocbs/internal/profile"
+)
+
+// Ingest idempotency.
+//
+// A pusher streams non-overlapping DCG increments to the daemon, but
+// HTTP gives it only at-least-once delivery: a push whose response is
+// lost (timeout, dropped connection) may or may not have been merged,
+// and blindly re-sending it risks double-counting every edge in the
+// delta. To make retries safe, each increment is stamped with a
+// (pusher ID, sequence number) pair — headers on /ingest — and the
+// store tracks the highest sequence applied per pusher. A pusher sends
+// its increments strictly in order and retries one increment until it
+// is acknowledged, so an arriving sequence at or below the high-water
+// mark is an increment that was already applied (the response was
+// lost) and is dropped instead of re-merged. Unstamped merges keep the
+// old at-most-once semantics.
+//
+// The high-water marks are part of the checkpoint (see persist.go):
+// restoring a graph without its sequences would let a post-restart
+// retry double-count, and restoring sequences ahead of the graph would
+// reject a legitimate increment. CheckpointState captures both under
+// an exclusive lock so they always agree.
+
+// Ingest headers shared by the push client and the cbsd daemon.
+const (
+	// HeaderPusher carries the pusher's stable ID on /ingest requests.
+	HeaderPusher = "X-Cbs-Pusher"
+	// HeaderSeq carries the increment's sequence number (uint64 >= 1,
+	// strictly increasing per pusher).
+	HeaderSeq = "X-Cbs-Seq"
+)
+
+// maxPusherIDLen bounds pusher IDs so a hostile client cannot grow the
+// sequence table (or the checkpoint's sequence file) without bound per
+// entry.
+const maxPusherIDLen = 128
+
+// ValidPusherID reports whether id is acceptable as a pusher identity:
+// non-empty, at most maxPusherIDLen bytes, and limited to a charset
+// that survives the line-oriented sequence checkpoint file (no spaces
+// or control characters).
+func ValidPusherID(id string) bool {
+	if id == "" || len(id) > maxPusherIDLen {
+		return false
+	}
+	for i := 0; i < len(id); i++ {
+		c := id[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9':
+		case c == '-' || c == '_' || c == '.' || c == ':':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// pusherSeq is one pusher's dedup state. Its mutex serializes the
+// check-merge-advance critical section for that pusher only, so
+// distinct pushers merge concurrently (shard striping still applies).
+type pusherSeq struct {
+	mu   sync.Mutex
+	high uint64
+}
+
+// pusherState returns the tracked state for id, creating it on first
+// use.
+func (s *Store) pusherState(id string) *pusherSeq {
+	s.seqMu.Lock()
+	defer s.seqMu.Unlock()
+	ps := s.pushers[id]
+	if ps == nil {
+		ps = &pusherSeq{}
+		s.pushers[id] = ps
+	}
+	return ps
+}
+
+// MergeDCGFrom merges g as increment seq from pusher (both taken from
+// the /ingest headers) and reports whether the increment was applied.
+// An empty pusher ID falls back to a plain unsequenced MergeDCG
+// (always applied). A sequence at or below the pusher's high-water
+// mark is a duplicate of an increment that already landed — the merge
+// is skipped and false is returned, fixing the double count a
+// retrying pusher would otherwise cause. Safe for concurrent use;
+// increments from the same pusher serialize, distinct pushers do not.
+func (s *Store) MergeDCGFrom(pusher string, seq uint64, g *profile.DCG) bool {
+	if pusher == "" {
+		s.MergeDCG(g)
+		return true
+	}
+	s.ckptMu.RLock()
+	defer s.ckptMu.RUnlock()
+	ps := s.pusherState(pusher)
+	ps.mu.Lock()
+	defer ps.mu.Unlock()
+	if seq <= ps.high {
+		s.duplicates.Add(1)
+		return false
+	}
+	s.MergeDCG(g)
+	ps.high = seq
+	return true
+}
+
+// Sequences returns a copy of every pusher's high-water mark.
+func (s *Store) Sequences() map[string]uint64 {
+	s.seqMu.Lock()
+	defer s.seqMu.Unlock()
+	out := make(map[string]uint64, len(s.pushers))
+	for id, ps := range s.pushers {
+		ps.mu.Lock()
+		out[id] = ps.high
+		ps.mu.Unlock()
+	}
+	return out
+}
+
+// RestoreSequences seeds high-water marks from a loaded checkpoint.
+// Existing marks are only ever raised, so restoring cannot reopen a
+// window for an already-deduplicated increment.
+func (s *Store) RestoreSequences(seqs map[string]uint64) {
+	for id, high := range seqs {
+		ps := s.pusherState(id)
+		ps.mu.Lock()
+		if high > ps.high {
+			ps.high = high
+		}
+		ps.mu.Unlock()
+	}
+}
+
+// CheckpointState returns a mutually consistent (graph, sequences)
+// pair: the exclusive lock excludes every in-flight sequenced merge,
+// so the snapshot contains an increment if and only if the sequence
+// map records it. Unsequenced merges may still interleave — they carry
+// no exactness contract.
+func (s *Store) CheckpointState() (*profile.DCG, map[string]uint64) {
+	s.ckptMu.Lock()
+	defer s.ckptMu.Unlock()
+	return s.Snapshot(), s.Sequences()
+}

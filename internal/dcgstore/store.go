@@ -74,6 +74,12 @@ type Stats struct {
 	Merges uint64
 	// Epoch counts completed decay epochs.
 	Epoch uint64
+	// Pushers is the number of distinct pusher IDs with a tracked
+	// ingest sequence.
+	Pushers int
+	// Duplicates counts sequenced increments rejected as already
+	// applied (retries whose first attempt actually landed).
+	Duplicates uint64
 }
 
 // Store is the sharded concurrent DCG store. The zero value is not
@@ -85,6 +91,17 @@ type Store struct {
 	ingested atomicFloat64
 	merges   atomic.Uint64
 	epoch    atomic.Uint64
+
+	// ckptMu makes a checkpoint's (graph, sequence) pair mutually
+	// consistent: sequenced merges hold it shared for the whole
+	// check-merge-advance critical section, and CheckpointState holds
+	// it exclusively, so a checkpoint never captures a merge whose
+	// high-water mark it missed (or vice versa). See sequence.go.
+	ckptMu sync.RWMutex
+	// seqMu guards the pushers map itself; each entry has its own lock.
+	seqMu      sync.Mutex
+	pushers    map[string]*pusherSeq
+	duplicates atomic.Uint64
 }
 
 // New returns a store with at least n shards (rounded up to a power of
@@ -97,7 +114,11 @@ func New(n int) *Store {
 	for size < n {
 		size <<= 1
 	}
-	s := &Store{shards: make([]shard, size), mask: uint64(size - 1)}
+	s := &Store{
+		shards:  make([]shard, size),
+		mask:    uint64(size - 1),
+		pushers: make(map[string]*pusherSeq),
+	}
 	for i := range s.shards {
 		s.shards[i].weights = make(map[profile.Edge]float64)
 		s.shards[i].snap.Store(emptySnap)
@@ -304,6 +325,9 @@ func (s *Store) Epoch() uint64 { return s.epoch.Load() }
 // Stats returns a lock-free summary built from published snapshots and
 // the store's cumulative counters.
 func (s *Store) Stats() Stats {
+	s.seqMu.Lock()
+	pushers := len(s.pushers)
+	s.seqMu.Unlock()
 	return Stats{
 		Shards:          len(s.shards),
 		Edges:           s.NumEdges(),
@@ -311,6 +335,8 @@ func (s *Store) Stats() Stats {
 		SamplesIngested: s.ingested.Load(),
 		Merges:          s.merges.Load(),
 		Epoch:           s.epoch.Load(),
+		Pushers:         pushers,
+		Duplicates:      s.duplicates.Load(),
 	}
 }
 
