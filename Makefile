@@ -4,7 +4,7 @@ GO ?= go
 # catches a cmd that ./... would skip (e.g. after a package rename).
 CMDS := ./cmd/cbsbench ./cmd/cbsd ./cmd/cbsvm ./cmd/dcgdiff ./cmd/mjc ./cmd/mjgen
 
-.PHONY: all tier1 build build-cmds test test-race test-daemon test-recovery vet vet-cmds ci bench
+.PHONY: all tier1 build build-cmds test test-race test-daemon test-recovery test-plan vet vet-cmds ci bench
 
 all: tier1
 
@@ -24,10 +24,11 @@ test:
 
 # Race coverage for the concurrent layers: the parallel experiment
 # runner, the experiments that fan out over it, the profilers the jobs
-# drive, and the sharded concurrent DCG store (its soak test is the
-# K-writers-vs-serial-reference check).
+# drive, the sharded concurrent DCG store (its soak test is the
+# K-writers-vs-serial-reference check), the inline transform's clone
+# isolation soak, and the plan service's version-cached compilation.
 test-race:
-	$(GO) test -race ./internal/runner/... ./internal/experiment/... ./internal/profiler/... ./internal/dcgstore/...
+	$(GO) test -race ./internal/runner/... ./internal/experiment/... ./internal/profiler/... ./internal/dcgstore/... ./internal/inline/... ./internal/plan/...
 
 # The cbsd aggregation daemon's httptest-based endpoint tests plus the
 # runner-driven multi-pusher convergence test.
@@ -41,6 +42,16 @@ test-daemon:
 test-recovery:
 	$(GO) test -race -run 'Checkpoint|Restore|Sequence|Sequenced|Duplicate|Dedup|Flaky|Retr|Outage|GiveUp|Sigterm|Corrupt' ./internal/dcgstore/... ./cmd/cbsd/...
 
+# The fleet PGO loop: plan wire round trip + rejection paths, the
+# fuzz seed corpus, stability/determinism properties, the K-pusher/
+# 1-puller end-to-end test against a live daemon, and the pulling VM's
+# divergence kill switch.
+test-plan:
+	$(GO) test ./internal/plan/...
+	$(GO) test -run 'Fuzz' ./internal/plan/...
+	$(GO) test -run 'TestPlan' ./cmd/cbsd/...
+	$(GO) test -run 'TestPull' ./cmd/cbsvm/...
+
 vet:
 	$(GO) vet ./...
 
@@ -49,7 +60,7 @@ vet:
 vet-cmds:
 	$(GO) vet ./cmd/...
 
-ci: tier1 vet vet-cmds build-cmds test-daemon test-race test-recovery
+ci: tier1 vet vet-cmds build-cmds test-daemon test-plan test-race test-recovery
 
 bench:
 	$(GO) test -bench=. -benchtime=1x -run=^$$ ./...

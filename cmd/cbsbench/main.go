@@ -13,6 +13,7 @@
 //	cbsbench -study comparators  §3 techniques side by side (E10)
 //	cbsbench -study inliners     old vs new inliner (E11)
 //	cbsbench -study context      calling-context-tree extension (E12)
+//	cbsbench -study planloop     fleet PGO loop: K pushers -> plan -> puller
 //	cbsbench -all                everything above
 //
 // Use -quick for a cheap single-seed run on a benchmark subset, -input
@@ -42,7 +43,7 @@ import (
 func main() {
 	table := flag.String("table", "", "regenerate a table: 1, 2a, 2b, or 3")
 	figure := flag.String("figure", "", "regenerate a figure: 5a or 5b")
-	study := flag.String("study", "", "run a study: convergence, skew, comparators, inliners, context, cleanup, online, entrycheck")
+	study := flag.String("study", "", "run a study: convergence, skew, comparators, inliners, context, cleanup, online, entrycheck, planloop")
 	all := flag.Bool("all", false, "regenerate every table, figure, and study")
 	quick := flag.Bool("quick", false, "single seed and a four-benchmark subset")
 	input := flag.String("input", "small", "input size for grids/figures/studies: small or large")
@@ -234,6 +235,16 @@ func main() {
 				return err
 			}
 			fmt.Println(experiment.FormatContext(rows))
+			return nil
+		})
+	}
+	if wantStudy("planloop") {
+		run("planloop", func() error {
+			rows, err := experiment.PlanLoop(cfg, *input, experiment.DefaultPlanLoopPushers)
+			if err != nil {
+				return err
+			}
+			fmt.Println(experiment.FormatPlanLoop(rows))
 			return nil
 		})
 	}

@@ -43,7 +43,11 @@ import (
 	"syscall"
 	"time"
 
+	"gocbs/internal/bench"
+	"gocbs/internal/bytecode"
 	"gocbs/internal/dcgstore"
+	"gocbs/internal/inline"
+	"gocbs/internal/plan"
 )
 
 // config is everything main parses from flags; run takes it whole so
@@ -58,6 +62,10 @@ type config struct {
 	checkpointEvery time.Duration
 	readTimeout     time.Duration
 	writeTimeout    time.Duration
+	planPolicy      string
+	planFloor       float64
+	planBand        float64
+	planHold        float64
 
 	// ready, when non-nil, receives the bound listen address once the
 	// daemon is serving (tests bind :0).
@@ -76,10 +84,18 @@ func main() {
 	flag.DurationVar(&cfg.checkpointEvery, "checkpoint-every", dcgstore.DefaultCheckpointEvery, "interval between periodic checkpoints (with -state-dir)")
 	flag.DurationVar(&cfg.readTimeout, "read-timeout", 30*time.Second, "HTTP server read timeout")
 	flag.DurationVar(&cfg.writeTimeout, "write-timeout", 60*time.Second, "HTTP server write timeout")
+	defaults := plan.DefaultParams()
+	flag.StringVar(&cfg.planPolicy, "plan-policy", defaults.Policy, "inline policy plans are compiled under (new-linear, old-jikes, j9-static, j9-dynamic)")
+	flag.Float64Var(&cfg.planFloor, "plan-floor", defaults.MinWeight, "plan stability: drop edges below this weight before planning")
+	flag.Float64Var(&cfg.planBand, "plan-band", defaults.Band, "plan stability: geometric weight-quantization band (0 disables)")
+	flag.Float64Var(&cfg.planHold, "plan-hold", defaults.HoldSharePct, "plan stability: retain a prior decision while its site holds at least this %% of graph weight")
 	flag.Parse()
 
 	if cfg.decay < 0 || cfg.decay > 1 {
 		log.Fatalf("cbsd: -decay %v out of range (0,1]", cfg.decay)
+	}
+	if _, err := plan.PolicyByName(cfg.planPolicy); err != nil {
+		log.Fatalf("cbsd: %v", err)
 	}
 	cfg.logf = log.Printf
 
@@ -116,8 +132,10 @@ func run(ctx context.Context, cfg config) error {
 		}
 	}
 
+	plans := newPlanService(cfg, store, logf)
+
 	srv := &http.Server{
-		Handler:           newServer(store).handler(),
+		Handler:           newServer(store, plans).handler(),
 		ReadTimeout:       cfg.readTimeout,
 		ReadHeaderTimeout: 5 * time.Second,
 		WriteTimeout:      cfg.writeTimeout,
@@ -154,6 +172,7 @@ func run(ctx context.Context, cfg config) error {
 					pruned := store.Decay(cfg.decay, cfg.decayPrune)
 					logf("decay epoch %d: factor %v, pruned %d edges, %d remain",
 						store.Epoch(), cfg.decay, pruned, store.NumEdges())
+					plans.RefreshAll()
 				}
 			}
 		}()
@@ -166,6 +185,23 @@ func run(ctx context.Context, cfg config) error {
 				Dir: cfg.stateDir, Store: store, Every: cfg.checkpointEvery, Logf: logf,
 			}
 			ckpt.Run(bgCtx)
+		}()
+		// Keep persisted plans fresh at the same cadence as checkpoints:
+		// a durable daemon re-plans on the checkpoint tick, not just on
+		// demand, so the plan files a restart restores from are recent.
+		bg.Add(1)
+		go func() {
+			defer bg.Done()
+			ticker := time.NewTicker(cfg.checkpointEvery)
+			defer ticker.Stop()
+			for {
+				select {
+				case <-bgCtx.Done():
+					return
+				case <-ticker.C:
+					plans.RefreshAll()
+				}
+			}
 		}()
 	}
 
@@ -201,6 +237,44 @@ func run(ctx context.Context, cfg config) error {
 	}
 	<-serveErr // Serve returns ErrServerClosed once Shutdown begins
 	return nil
+}
+
+// newPlanService builds the inlining-plan compiler over the live
+// store. Programs are resolved against the built-in benchmark suite
+// and prepared exactly the way cbsvm prepares them (JIT-only: trivial
+// same-class inlining, no profile-driven decisions), so the global
+// call-site IDs the plan keys on line up with every VM's clone of the
+// same program. With -state-dir, compiled plans persist next to the
+// store checkpoints and epochs survive restarts.
+func newPlanService(cfg config, store *dcgstore.Store, logf func(string, ...any)) *plan.Service {
+	params := plan.DefaultParams()
+	if cfg.planPolicy != "" {
+		params.Policy = cfg.planPolicy
+	}
+	params.MinWeight = cfg.planFloor
+	params.Band = cfg.planBand
+	params.HoldSharePct = cfg.planHold
+	return plan.NewService(plan.ServiceConfig{
+		Source:  store.Snapshot,
+		Version: store.Version,
+		CompileProgram: func(name string) (*bytecode.Program, error) {
+			b := bench.ByName(name)
+			if b == nil {
+				return nil, fmt.Errorf("%w: no benchmark named %q", plan.ErrUnknownProgram, name)
+			}
+			prog, err := b.Compile()
+			if err != nil {
+				return nil, fmt.Errorf("compile %s: %w", name, err)
+			}
+			if _, err := inline.Optimize(prog, inline.Trivial{}, nil, inline.DefaultOptions()); err != nil {
+				return nil, fmt.Errorf("prepare %s: %w", name, err)
+			}
+			return prog, nil
+		},
+		Params:   params,
+		StateDir: cfg.stateDir,
+		Logf:     logf,
+	})
 }
 
 func decayDesc(factor float64, every time.Duration) string {

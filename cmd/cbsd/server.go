@@ -2,6 +2,7 @@ package main
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"log"
 	"net/http"
@@ -11,6 +12,7 @@ import (
 	"time"
 
 	"gocbs/internal/dcgstore"
+	"gocbs/internal/plan"
 	"gocbs/internal/profile"
 )
 
@@ -22,19 +24,24 @@ const maxUploadBytes = 256 << 20
 // sharded locks and the counters here are atomics.
 type server struct {
 	store *dcgstore.Store
+	plans *plan.Service
 	start time.Time
 
 	ingests      atomic.Uint64
 	ingestErrors atomic.Uint64
 	mergeNanos   atomic.Int64
 
+	planRequests    atomic.Uint64
+	planNotModified atomic.Uint64
+	planErrors      atomic.Uint64
+
 	// encodeErrOnce gates the one log line writeJSON emits for encode
 	// failures (per-connection write errors would otherwise spam).
 	encodeErrOnce sync.Once
 }
 
-func newServer(store *dcgstore.Store) *server {
-	return &server{store: store, start: time.Now()}
+func newServer(store *dcgstore.Store, plans *plan.Service) *server {
+	return &server{store: store, plans: plans, start: time.Now()}
 }
 
 // handler routes the daemon's endpoints. Read endpoints are GET-only;
@@ -47,6 +54,7 @@ func (s *server) handler() http.Handler {
 	mux.HandleFunc("/site", getOnly(s.handleSite))
 	mux.HandleFunc("/overlap", s.handleOverlap)
 	mux.HandleFunc("/decay", s.handleDecay)
+	mux.HandleFunc("/plan", getOnly(s.handlePlan))
 	mux.HandleFunc("/metrics", getOnly(s.handleMetrics))
 	mux.HandleFunc("/healthz", getOnly(func(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintln(w, "ok")
@@ -255,6 +263,56 @@ func (s *server) handleDecay(w http.ResponseWriter, r *http.Request) {
 	s.writeJSON(w, map[string]any{"epoch": s.store.Epoch(), "pruned_edges": pruned})
 }
 
+// planETag renders a plan's strong validator: epoch plus content
+// hash. Epoch alone would not do — a restarted daemon could in
+// principle reach the same epoch through different decisions.
+func planETag(p *plan.Plan) string {
+	return fmt.Sprintf("\"plan-%d-%016x\"", p.Epoch, p.Hash)
+}
+
+// handlePlan serves the current inlining plan for ?program= in the
+// binary plan wire format. The response carries a strong ETag, so a
+// polling VM that already holds the latest plan pays one conditional
+// GET answered 304 — no recompile (the plan service caches by store
+// version), no body.
+func (s *server) handlePlan(w http.ResponseWriter, r *http.Request) {
+	s.planRequests.Add(1)
+	if s.plans == nil {
+		http.Error(w, "plan service disabled", http.StatusNotFound)
+		return
+	}
+	program := r.URL.Query().Get("program")
+	if program == "" {
+		s.planErrors.Add(1)
+		http.Error(w, "pass ?program=<benchmark name>", http.StatusBadRequest)
+		return
+	}
+	p, err := s.plans.PlanFor(program)
+	if err != nil {
+		s.planErrors.Add(1)
+		if errors.Is(err, plan.ErrUnknownProgram) {
+			http.Error(w, err.Error(), http.StatusNotFound)
+		} else {
+			http.Error(w, fmt.Sprintf("plan compilation failed: %v", err), http.StatusInternalServerError)
+		}
+		return
+	}
+	etag := planETag(p)
+	w.Header().Set("ETag", etag)
+	w.Header().Set("X-Plan-Epoch", strconv.FormatUint(p.Epoch, 10))
+	w.Header().Set("X-Plan-Policy", p.Policy)
+	if r.Header.Get("If-None-Match") == etag {
+		s.planNotModified.Add(1)
+		w.WriteHeader(http.StatusNotModified)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	if _, err := p.WriteTo(w); err != nil {
+		// Headers are gone; all we can do is drop the connection.
+		return
+	}
+}
+
 // handleMetrics reports expvar-style operational counters.
 func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	st := s.store.Stats()
@@ -264,7 +322,7 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	if applied := ingests - st.Duplicates; applied > 0 {
 		meanMs = float64(nanos) / float64(applied) / 1e6
 	}
-	s.writeJSON(w, map[string]any{
+	metrics := map[string]any{
 		"edges":             st.Edges,
 		"total_weight":      st.TotalWeight,
 		"samples_ingested":  st.SamplesIngested,
@@ -278,5 +336,16 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		"merge_ms_total":    float64(nanos) / 1e6,
 		"merge_ms_mean":     meanMs,
 		"uptime_s":          time.Since(s.start).Seconds(),
-	})
+	}
+	if s.plans != nil {
+		ps := s.plans.Stats()
+		metrics["plan_programs"] = ps.Programs
+		metrics["plan_computed"] = ps.Computed
+		metrics["plan_unchanged"] = ps.Unchanged
+		metrics["plan_compile_errors"] = ps.Errors
+		metrics["plan_requests"] = s.planRequests.Load()
+		metrics["plan_not_modified"] = s.planNotModified.Load()
+		metrics["plan_request_errors"] = s.planErrors.Load()
+	}
+	s.writeJSON(w, metrics)
 }

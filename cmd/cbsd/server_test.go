@@ -23,7 +23,8 @@ func edge(c, s, t int) profile.Edge { return profile.Edge{Caller: c, Site: s, Ca
 func newTestDaemon(t *testing.T) (*httptest.Server, *dcgstore.Store) {
 	t.Helper()
 	store := dcgstore.New(8)
-	ts := httptest.NewServer(newServer(store).handler())
+	cfg := config{planPolicy: "new-linear", planFloor: 1, planBand: 0.25, planHold: 0.05}
+	ts := httptest.NewServer(newServer(store, newPlanService(cfg, store, t.Logf)).handler())
 	t.Cleanup(ts.Close)
 	return ts, store
 }

@@ -55,6 +55,11 @@ func main() {
 	pushRetries := flag.Int("push-retries", dcgstore.DefaultRetries, "with -push: retries per push on transient failures (-1 disables)")
 	pushBackoff := flag.Duration("push-backoff", dcgstore.DefaultBackoff, "with -push: initial retry backoff (doubles per retry, jittered)")
 	pushGiveUp := flag.Int("push-give-up", dcgstore.DefaultGiveUpAfter, "with -push: stop periodic pushing after N consecutive failed ticks (0 = never)")
+	pullURL := flag.String("pull-plan", "", "run in plan-pulling mode against a cbsd daemon at this base URL (requires -bench)")
+	pullRounds := flag.Int("pull-rounds", 6, "with -pull-plan: total top-level benchmark rounds to run")
+	pullEvery := flag.Int("pull-every", 2, "with -pull-plan: poll the daemon every N rounds")
+	pullIters := flag.Int("pull-iters", 2, "with -pull-plan: benchmark iterations per round")
+	pullVerify := flag.Bool("pull-verify", true, "with -pull-plan: replay a candidate plan's output against the unoptimized program before swapping it in")
 	flag.Parse()
 
 	if *list {
@@ -95,6 +100,34 @@ func main() {
 	// JIT-only configuration, as in the paper's accuracy experiments.
 	if _, err := inline.Optimize(prog, inline.Trivial{}, nil, inline.DefaultOptions()); err != nil {
 		fatal(err)
+	}
+
+	// Plan-pulling mode: no local profiling run; the VM executes the
+	// benchmark in rounds and applies whatever inlining plan the
+	// daemon compiled from the fleet's aggregated profile.
+	if *pullURL != "" {
+		if *benchName == "" {
+			fatal(fmt.Errorf("-pull-plan requires -bench (plans are keyed by benchmark name)"))
+		}
+		if *pushURL != "" {
+			fatal(fmt.Errorf("-pull-plan and -push are mutually exclusive; run pushers and pullers as separate VMs"))
+		}
+		st, err := runPullLoop(prog, pullOptions{
+			URL: *pullURL, Program: *benchName, Size: runArg,
+			Rounds: *pullRounds, Every: *pullEvery, Iters: *pullIters,
+			Verify: *pullVerify, Opts: inline.DefaultOptions(),
+			Logf: func(format string, args ...any) { fmt.Fprintf(os.Stderr, format+"\n", args...) },
+		})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("pull mode:   %s from %s\n", *benchName, *pullURL)
+		fmt.Printf("rounds:      %d (%d iters each), polls %d, plan swaps %d\n",
+			st.Rounds, *pullIters, st.Polls, st.Swaps)
+		fmt.Printf("plan epoch:  %d (kill switch fired: %v)\n", st.Epoch, st.Killed)
+		fmt.Printf("cycles/round: %d unoptimized -> %d final (%.1f%% faster)\n",
+			st.BaseCycles, st.LastCycles, (float64(st.BaseCycles)/float64(st.LastCycles)-1)*100)
+		return
 	}
 
 	fl := profiler.FlavourRVM

@@ -1,0 +1,182 @@
+package main
+
+import (
+	"fmt"
+
+	"gocbs/internal/bytecode"
+	"gocbs/internal/inline"
+	"gocbs/internal/plan"
+	"gocbs/internal/vm"
+)
+
+// pullOptions configures the plan-pulling execution mode (-pull-plan):
+// the exploit half of the fleet loop, where this VM runs its benchmark
+// repeatedly and periodically asks a cbsd daemon for the inlining plan
+// compiled from the whole fleet's aggregated profile.
+type pullOptions struct {
+	URL     string // cbsd base URL
+	Program string // benchmark name, also the plan key
+	Size    int64  // setup argument
+
+	Rounds int // total top-level rounds to run
+	Every  int // poll the daemon every N rounds (>=1)
+	Iters  int // $Globals.iter calls per round
+	Verify bool
+
+	Opts inline.Options
+	Logf func(format string, args ...any)
+}
+
+// pullStats summarizes a pull-mode run.
+type pullStats struct {
+	Rounds int
+	Polls  int
+	Swaps  int
+	// Epoch is the plan epoch the VM ended on (0 = never applied one).
+	Epoch uint64
+	// Killed reports the divergence kill switch fired: a transformed
+	// program produced different output, the VM reverted to an
+	// unoptimized clone, and pulling was disabled for the rest of the
+	// run.
+	Killed bool
+	// BaseCycles / LastCycles are the steady-state cycles of the first
+	// (always unoptimized) and last round.
+	BaseCycles uint64
+	LastCycles uint64
+}
+
+// runRound executes one top-level round — setup(size) then iters
+// iterations on a fresh VM — and returns the per-iteration checksums
+// and the cycles spent iterating (setup excluded, steady state only).
+func runRound(prog *bytecode.Program, size int64, iters int) ([]int64, uint64, error) {
+	m := vm.New(prog)
+	setup := prog.MethodByName("$Globals.setup")
+	iter := prog.MethodByName("$Globals.iter")
+	if setup == nil || iter == nil {
+		return nil, 0, fmt.Errorf("program does not follow the setup/iter benchmark protocol")
+	}
+	if _, err := m.Call(setup, vm.IntV(size)); err != nil {
+		return nil, 0, err
+	}
+	start := m.Cycles
+	sums := make([]int64, iters)
+	for i := range sums {
+		v, err := m.Call(iter)
+		if err != nil {
+			return nil, 0, err
+		}
+		sums[i] = v.I
+	}
+	return sums, m.Cycles - start, nil
+}
+
+func sameSums(a, b []int64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// runPullLoop is the pulling VM's main loop. pristine must be the
+// JIT-only compile of the benchmark — the same preparation every VM in
+// the fleet (and the daemon's plan compiler) uses, so the plan's
+// call-site IDs line up.
+//
+// The loop runs Rounds top-level rounds of the benchmark. Every Every
+// rounds it polls the daemon with a conditional GET; when a new plan
+// epoch arrives, the plan is applied to a fresh clone of the pristine
+// program and — with Verify — the candidate first replays one round
+// and must reproduce the unoptimized reference checksums exactly.
+// Only then is it hot-swapped in as the active program for subsequent
+// rounds. Heap state never crosses a swap: objects hold vtable
+// pointers into the program that allocated them, so swaps happen only
+// at round boundaries where no benchmark state is live.
+//
+// The kill switch: if a candidate (or the active program, re-checked
+// every round) ever produces checksums that differ from the pristine
+// reference, the VM reverts to an unoptimized clone and stops pulling
+// for the rest of the run. A bad centrally-compiled plan degrades this
+// VM to baseline speed; it cannot corrupt its output.
+func runPullLoop(pristine *bytecode.Program, o pullOptions) (pullStats, error) {
+	if o.Rounds < 1 {
+		o.Rounds = 1
+	}
+	if o.Every < 1 {
+		o.Every = 1
+	}
+	if o.Iters < 1 {
+		o.Iters = 1
+	}
+	logf := o.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	// A zero Options would cap every inline budget at zero and make the
+	// whole loop a silent no-op.
+	if o.Opts.MaxDepth == 0 {
+		o.Opts = inline.DefaultOptions()
+	}
+
+	// Reference round on the unoptimized program: the ground truth
+	// every transformed round must reproduce, and the baseline cycle
+	// count speedups are judged against.
+	ref, baseCycles, err := runRound(pristine.Clone(), o.Size, o.Iters)
+	if err != nil {
+		return pullStats{}, fmt.Errorf("reference round: %w", err)
+	}
+	st := pullStats{BaseCycles: baseCycles, LastCycles: baseCycles}
+
+	client := plan.NewClient(o.URL)
+	active := pristine.Clone()
+	for round := 0; round < o.Rounds; round++ {
+		if !st.Killed && round%o.Every == 0 {
+			st.Polls++
+			p, changed, err := client.Fetch(o.Program)
+			switch {
+			case err != nil:
+				// Transient daemon trouble must not stop the workload.
+				logf("pull: poll %d failed (running on): %v", st.Polls, err)
+			case changed:
+				candidate := pristine.Clone()
+				rep, err := plan.Apply(candidate, p, o.Opts)
+				if err != nil {
+					logf("pull: plan epoch %d does not apply (keeping current code): %v", p.Epoch, err)
+					break
+				}
+				if o.Verify {
+					sums, _, err := runRound(candidate, o.Size, o.Iters)
+					if err != nil || !sameSums(sums, ref) {
+						st.Killed = true
+						active = pristine.Clone()
+						logf("pull: KILL SWITCH — plan epoch %d diverges from unoptimized output (err=%v); reverted to baseline, pulling disabled", p.Epoch, err)
+						break
+					}
+				}
+				active = candidate
+				st.Swaps++
+				st.Epoch = p.Epoch
+				logf("pull: swapped in plan epoch %d (%d decisions, %d inlines)", p.Epoch, len(p.Decisions), rep.InlinesApplied)
+			}
+		}
+
+		sums, cycles, err := runRound(active, o.Size, o.Iters)
+		if err != nil {
+			return st, fmt.Errorf("round %d: %w", round, err)
+		}
+		if !sameSums(sums, ref) {
+			// Belt and braces: divergence surfacing only in the live
+			// round (e.g. -pull-verify off) trips the same kill switch.
+			st.Killed = true
+			active = pristine.Clone()
+			logf("pull: KILL SWITCH — live round %d diverged; reverted to baseline, pulling disabled", round)
+		}
+		st.LastCycles = cycles
+		st.Rounds++
+	}
+	return st, nil
+}

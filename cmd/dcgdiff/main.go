@@ -4,6 +4,11 @@
 // useful for debugging profiler configurations against each other or
 // against an exhaustive profile.
 //
+// Both serialized DCG formats are accepted, in any combination: the
+// DCGB-v1 binary wire format (what cbsvm -save, cbsd /snapshot, and
+// checkpoints write today) and the legacy "dcg v1" text format, which
+// profile.ReadDCG detects by magic bytes.
+//
 //	cbsvm -bench jess -profiler timer -save timer.dcg
 //	cbsvm -bench jess -save cbs.dcg
 //	dcgdiff timer.dcg cbs.dcg
@@ -25,8 +30,16 @@ func main() {
 		fmt.Fprintln(os.Stderr, "usage: dcgdiff a.dcg b.dcg")
 		os.Exit(2)
 	}
-	a := load(flag.Arg(0))
-	b := load(flag.Arg(1))
+	a, err := loadProfile(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dcgdiff:", err)
+		os.Exit(1)
+	}
+	b, err := loadProfile(flag.Arg(1))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dcgdiff:", err)
+		os.Exit(1)
+	}
 
 	fmt.Printf("%-24s %8d edges, total weight %.0f\n", flag.Arg(0), a.NumEdges(), a.Total())
 	fmt.Printf("%-24s %8d edges, total weight %.0f\n", flag.Arg(1), b.NumEdges(), b.Total())
@@ -72,17 +85,17 @@ func abs(x float64) float64 {
 	return x
 }
 
-func load(path string) *profile.DCG {
+// loadProfile reads a serialized DCG in either supported format
+// (DCGB-v1 binary or legacy text; ReadDCG sniffs the magic).
+func loadProfile(path string) (*profile.DCG, error) {
 	f, err := os.Open(path)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "dcgdiff:", err)
-		os.Exit(1)
+		return nil, err
 	}
 	defer f.Close()
 	g, err := profile.ReadDCG(f)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "dcgdiff: %s: %v\n", path, err)
-		os.Exit(1)
+		return nil, fmt.Errorf("%s: %w", path, err)
 	}
-	return g
+	return g, nil
 }

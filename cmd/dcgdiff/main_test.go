@@ -1,0 +1,98 @@
+package main
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"gocbs/internal/profile"
+)
+
+func sampleDCG() *profile.DCG {
+	g := profile.NewDCG()
+	g.AddSample(profile.Edge{Caller: 1, Site: 2, Callee: 3}, 40)
+	g.AddSample(profile.Edge{Caller: 4, Site: 5, Callee: 6}, 2.5)
+	g.AddSample(profile.Edge{Caller: 7, Site: 8, Callee: 9}, 0.125)
+	return g
+}
+
+// TestLoadProfileBothFormats: loadProfile round-trips the DCGB-v1
+// binary wire format and still reads the legacy text format, and both
+// decode to the identical graph.
+func TestLoadProfileBothFormats(t *testing.T) {
+	dir := t.TempDir()
+	g := sampleDCG()
+
+	binPath := filepath.Join(dir, "p.dcgb")
+	bf, err := os.Create(binPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.WriteTo(bf); err != nil {
+		t.Fatal(err)
+	}
+	if err := bf.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	txtPath := filepath.Join(dir, "p.dcg")
+	tf, err := os.Create(txtPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.WriteText(tf); err != nil {
+		t.Fatal(err)
+	}
+	if err := tf.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The binary file must start with the DCGB magic (the format this
+	// tool documents), the text file with the legacy header.
+	if head, _ := os.ReadFile(binPath); string(head[:4]) != "DCGB" {
+		t.Fatalf("binary profile starts %q, want DCGB magic", head[:4])
+	}
+	if head, _ := os.ReadFile(txtPath); !strings.HasPrefix(string(head), "dcg v1") {
+		t.Fatalf("text profile does not start with the legacy header")
+	}
+
+	fromBin, err := loadProfile(binPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fromTxt, err := loadProfile(txtPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, got := range []*profile.DCG{fromBin, fromTxt} {
+		if got.NumEdges() != g.NumEdges() || got.Total() != g.Total() {
+			t.Fatalf("loaded graph %d edges/%v weight, want %d/%v",
+				got.NumEdges(), got.Total(), g.NumEdges(), g.Total())
+		}
+		for _, e := range g.Edges() {
+			if math.Float64bits(got.Weight(e)) != math.Float64bits(g.Weight(e)) {
+				t.Errorf("edge %v weight %v, want bit-exact %v", e, got.Weight(e), g.Weight(e))
+			}
+		}
+	}
+	// The binary round trip is bit-exact by construction; overlap of
+	// the two decodings must be a perfect 100.
+	if ov := profile.Overlap(fromBin, fromTxt); ov < 99.999 {
+		t.Errorf("binary/text decodings overlap %v, want 100", ov)
+	}
+}
+
+func TestLoadProfileErrors(t *testing.T) {
+	if _, err := loadProfile(filepath.Join(t.TempDir(), "missing.dcg")); err == nil {
+		t.Error("missing file loaded")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.dcg")
+	if err := os.WriteFile(bad, []byte("PLNB not a profile"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := loadProfile(bad); err == nil || !strings.Contains(err.Error(), "bad.dcg") {
+		t.Errorf("garbage profile: err = %v, want an error naming the file", err)
+	}
+}

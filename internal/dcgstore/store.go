@@ -322,6 +322,17 @@ func (s *Store) Decay(factor, prune float64) int {
 // Epoch returns the number of completed decay epochs.
 func (s *Store) Epoch() uint64 { return s.epoch.Load() }
 
+// Version returns the store's bulk-mutation counters: MergeDCG calls
+// applied and decay epochs completed. An unchanged (merges, epochs)
+// pair means no bulk merge or decay has landed since, which lets the
+// plan service serve cached plans without re-snapshotting the graph.
+// Direct AddSample writes do not bump either counter; version-based
+// caching is only sound for stores mutated through merges and decay
+// (cbsd's ingest path is exactly that).
+func (s *Store) Version() (merges, epochs uint64) {
+	return s.merges.Load(), s.epoch.Load()
+}
+
 // Stats returns a lock-free summary built from published snapshots and
 // the store's cumulative counters.
 func (s *Store) Stats() Stats {

@@ -1,0 +1,61 @@
+package experiment
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestPlanLoopRuns(t *testing.T) {
+	cfg := testCfg(t, "compress", "mtrt")
+	rows, err := PlanLoop(cfg, "small", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d, want 2", len(rows))
+	}
+	for _, r := range rows {
+		if r.Pushers != 3 || r.PlanEpoch != 1 {
+			t.Errorf("%s: pushers %d epoch %d, want 3 pushers and epoch 1", r.Name, r.Pushers, r.PlanEpoch)
+		}
+		if r.PlanDecisions == 0 {
+			t.Errorf("%s: fleet plan is empty", r.Name)
+		}
+		if r.BaselineIterCycles == 0 || r.PlanIterCycles == 0 || r.LocalIterCycles == 0 {
+			t.Errorf("%s: missing steady-state cycles: %+v", r.Name, r)
+		}
+		// The loop's whole point: the fleet plan must beat the JIT-only
+		// baseline and land in the local-exhaustive inliner's league.
+		if r.PlanSpeedupPct <= 0 {
+			t.Errorf("%s: plan speedup %.2f%%, want positive", r.Name, r.PlanSpeedupPct)
+		}
+		if float64(r.PlanIterCycles) > float64(r.LocalIterCycles)*1.10 {
+			t.Errorf("%s: plan-guided %d cycles/iter is >10%% behind local-exhaustive %d",
+				r.Name, r.PlanIterCycles, r.LocalIterCycles)
+		}
+	}
+	out := FormatPlanLoop(rows)
+	if !strings.Contains(out, "compress") || !strings.Contains(out, "average") {
+		t.Errorf("format wrong:\n%s", out)
+	}
+}
+
+func TestPlanLoopDeterministicAcrossParallelism(t *testing.T) {
+	skipSerialUnderRace(t)
+	serial := testCfg(t, "compress")
+	serial.Parallel = 1
+	a, err := PlanLoop(serial, "small", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par := testCfg(t, "compress")
+	par.Parallel = 4
+	b, err := PlanLoop(par, "small", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("parallel run diverged:\n%+v\nvs\n%+v", a, b)
+	}
+}

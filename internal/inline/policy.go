@@ -24,6 +24,12 @@ type Options struct {
 	// "bounded by a maximum allowable size to avoid observed
 	// performance degradations when inlining truly massive methods".
 	MaxMethodSize int
+	// Observer, when non-nil, is invoked once per *applied* decision
+	// with the global call-site ID the decision fired at. Splicing
+	// shifts PCs but call instructions keep their site IDs, so (site,
+	// target) pairs are the stable coordinates a recorded plan can be
+	// replayed from on a fresh clone of the same program.
+	Observer func(m *bytecode.Method, site int, d Decision)
 }
 
 // DefaultOptions returns the optimizer bounds used by the experiments.
@@ -83,13 +89,22 @@ func OptimizeMethod(prog *bytecode.Program, policy Policy, g *profile.DCG, m *by
 		if len(plan) == 0 {
 			break
 		}
-		for _, d := range plan {
+		// Capture site IDs before Apply: splicing shifts the PCs the
+		// decisions are keyed by, but not the site numbering.
+		sites := make([]int, len(plan))
+		for i, d := range plan {
+			sites[i] = siteOf(d.PC)
 			if d.Guarded || d.NullGuard {
-				guardedSites[siteOf(d.PC)] = true
+				guardedSites[sites[i]] = true
 			}
 		}
 		if err := Apply(prog, m, plan); err != nil {
 			return total, guarded, err
+		}
+		if opts.Observer != nil {
+			for i, d := range plan {
+				opts.Observer(m, sites[i], d)
+			}
 		}
 		total += len(plan)
 		for _, d := range plan {

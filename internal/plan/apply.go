@@ -1,0 +1,77 @@
+package plan
+
+import (
+	"fmt"
+
+	"gocbs/internal/bytecode"
+	"gocbs/internal/inline"
+	"gocbs/internal/profile"
+)
+
+// planPolicy adapts a Plan into an inline.Policy: instead of consulting
+// a profile, it elects exactly the call sites the plan names, with the
+// kind the plan prescribes. Running it through inline.Optimize reuses
+// the optimizer's machinery — per-round re-scanning (so nested inlines
+// spliced in by one round become matchable in the next), guard dedup,
+// and method-size bounding — for free.
+type planPolicy struct {
+	plan   *Plan
+	bySite map[int]Decision
+}
+
+// Name implements inline.Policy.
+func (p *planPolicy) Name() string {
+	return fmt.Sprintf("plan(%s@%d)", p.plan.Policy, p.plan.Epoch)
+}
+
+// Plan implements inline.Policy. Decisions that do not match the
+// program's actual call sites — wrong kind for the instruction, callee
+// out of range, callee not in the virtual slot a guarded decision
+// needs — are skipped rather than failing the whole application: a
+// plan is advisory, and a VM must stay healthy under a plan compiled
+// for a slightly different build of the program.
+func (p *planPolicy) Plan(prog *bytecode.Program, m *bytecode.Method, _ *profile.DCG) []inline.Decision {
+	var ds []inline.Decision
+	for _, cs := range inline.ScanCalls(prog, m) {
+		d, ok := p.bySite[cs.Site]
+		if !ok || d.Callee < 0 || d.Callee >= len(prog.Methods) {
+			continue
+		}
+		target := prog.Methods[d.Callee]
+		if target == nil || target == m {
+			continue
+		}
+		switch cs.Op {
+		case bytecode.OpCallStatic:
+			// A static site must name its real target and use a direct
+			// splice; anything else is a stale plan entry.
+			if d.Kind != KindStatic || cs.Static != target {
+				continue
+			}
+			ds = append(ds, inline.Decision{PC: cs.PC, Target: target})
+		case bytecode.OpCallVirtual:
+			switch d.Kind {
+			case KindGuarded:
+				if target.VSlot != cs.Slot {
+					continue
+				}
+				ds = append(ds, inline.Decision{PC: cs.PC, Target: target, Guarded: true})
+			case KindNullGuard:
+				ds = append(ds, inline.Decision{PC: cs.PC, Target: target, NullGuard: true})
+			}
+		}
+	}
+	return ds
+}
+
+// Apply rewrites prog in place according to the plan, using the same
+// bounded optimizer the policies run under, and reports what was
+// inlined. Callers that need to keep an unoptimized copy (the pull
+// loop's kill switch does) must pass a clone.
+func Apply(prog *bytecode.Program, p *Plan, opts inline.Options) (inline.Report, error) {
+	bySite := make(map[int]Decision, len(p.Decisions))
+	for _, d := range p.Decisions {
+		bySite[d.Site] = d
+	}
+	return inline.Optimize(prog, &planPolicy{plan: p, bySite: bySite}, nil, opts)
+}

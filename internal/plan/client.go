@@ -1,0 +1,75 @@
+package plan
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"time"
+)
+
+// Client pulls plans from a cbsd daemon's /plan endpoint, using ETag
+// conditional requests so an idle fleet costs the daemon one cheap 304
+// per poll instead of a recompile-and-retransmit.
+type Client struct {
+	baseURL string
+	httpc   *http.Client
+	state   map[string]*clientState
+}
+
+type clientState struct {
+	etag string
+	plan *Plan
+}
+
+// NewClient returns a plan puller for the daemon at baseURL. The
+// client is not safe for concurrent use; each pulling VM owns one.
+func NewClient(baseURL string) *Client {
+	return &Client{
+		baseURL: baseURL,
+		httpc:   &http.Client{Timeout: 30 * time.Second},
+		state:   make(map[string]*clientState),
+	}
+}
+
+// Fetch returns the daemon's current plan for a program and whether it
+// changed since this client's previous fetch. A 304 Not Modified
+// returns the cached plan with changed=false.
+func (c *Client) Fetch(program string) (p *Plan, changed bool, err error) {
+	req, err := http.NewRequest(http.MethodGet,
+		c.baseURL+"/plan?program="+url.QueryEscape(program), nil)
+	if err != nil {
+		return nil, false, err
+	}
+	st := c.state[program]
+	if st != nil && st.etag != "" {
+		req.Header.Set("If-None-Match", st.etag)
+	}
+	resp, err := c.httpc.Do(req)
+	if err != nil {
+		return nil, false, err
+	}
+	defer func() {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}()
+	switch resp.StatusCode {
+	case http.StatusNotModified:
+		if st == nil || st.plan == nil {
+			return nil, false, fmt.Errorf("plan fetch %s: 304 without a cached plan", program)
+		}
+		return st.plan, false, nil
+	case http.StatusOK:
+		got, err := ReadPlan(resp.Body)
+		if err != nil {
+			return nil, false, fmt.Errorf("plan fetch %s: %w", program, err)
+		}
+		changed := st == nil || st.plan == nil ||
+			st.plan.Epoch != got.Epoch || st.plan.Hash != got.Hash
+		c.state[program] = &clientState{etag: resp.Header.Get("ETag"), plan: got}
+		return got, changed, nil
+	default:
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return nil, false, fmt.Errorf("plan fetch %s: %s: %s", program, resp.Status, body)
+	}
+}

@@ -1,0 +1,244 @@
+package plan
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+
+	"gocbs/internal/bytecode"
+	"gocbs/internal/profile"
+)
+
+// ErrUnknownProgram marks a plan request for a program the service's
+// compiler cannot resolve; servers map it to 404.
+var ErrUnknownProgram = errors.New("unknown program")
+
+// ServiceConfig wires a Service to its surroundings. Source and
+// Version come from the aggregation store; CompileProgram resolves a
+// program name to its pristine bytecode.
+type ServiceConfig struct {
+	// Source returns the current aggregated graph (a consistent
+	// snapshot).
+	Source func() *profile.DCG
+	// Version returns the store's mutation counters (merges applied,
+	// decay epochs). A pair that has not changed means the graph has
+	// not changed, so cached plans can be served without recompiling.
+	Version func() (merges, epochs uint64)
+	// CompileProgram resolves a program name to a pristine program the
+	// plan is extracted from. Return an error wrapping
+	// ErrUnknownProgram for names that do not exist. The result is
+	// owned by the service (it is cloned before every mutation).
+	CompileProgram func(name string) (*bytecode.Program, error)
+	// Params selects the policy and stability parameters.
+	Params Params
+	// StateDir, when non-empty, persists each program's latest plan to
+	// plan-<program>.plnb so epochs survive restarts: a restarted
+	// daemon whose restored graph compiles to the same decisions
+	// serves the byte-identical prior plan instead of resetting to
+	// epoch 1.
+	StateDir string
+	// Logf receives operational log lines; nil discards them.
+	Logf func(format string, args ...any)
+}
+
+// Service compiles, caches, and persists plans per program. It is safe
+// for concurrent use by HTTP handlers and background refresh ticks.
+type Service struct {
+	cfg ServiceConfig
+
+	mu      sync.Mutex
+	entries map[string]*entry
+
+	// Counters for /metrics.
+	computed  atomic.Uint64 // compilations that produced a new epoch
+	unchanged atomic.Uint64 // recompilations that returned the prior verbatim
+	errors    atomic.Uint64
+}
+
+type entry struct {
+	pristine *bytecode.Program
+	plan     *Plan
+	// merges/epochs are the store version the cached plan was compiled
+	// from.
+	merges, epochs uint64
+	valid          bool
+}
+
+// NewService returns a plan service; it validates nothing until the
+// first request.
+func NewService(cfg ServiceConfig) *Service {
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	return &Service{cfg: cfg, entries: make(map[string]*entry)}
+}
+
+// ServiceStats is a snapshot of the service counters.
+type ServiceStats struct {
+	Programs  int
+	Computed  uint64
+	Unchanged uint64
+	Errors    uint64
+}
+
+// Stats returns the current counters.
+func (s *Service) Stats() ServiceStats {
+	s.mu.Lock()
+	n := len(s.entries)
+	s.mu.Unlock()
+	return ServiceStats{
+		Programs:  n,
+		Computed:  s.computed.Load(),
+		Unchanged: s.unchanged.Load(),
+		Errors:    s.errors.Load(),
+	}
+}
+
+// PlanFor returns the current plan for a program, recompiling only
+// when the aggregated graph has changed since the cached plan was
+// compiled. The first request for a program compiles its pristine
+// bytecode and, with a state dir, restores the persisted prior plan so
+// epochs continue across restarts.
+func (s *Service) PlanFor(program string) (*Plan, error) {
+	if !ValidProgramName(program) {
+		return nil, fmt.Errorf("%w: invalid program name %q", ErrUnknownProgram, program)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	p, err := s.planForLocked(program)
+	if err != nil {
+		s.errors.Add(1)
+	}
+	return p, err
+}
+
+func (s *Service) planForLocked(program string) (*Plan, error) {
+	e := s.entries[program]
+	if e == nil {
+		pristine, err := s.cfg.CompileProgram(program)
+		if err != nil {
+			return nil, err
+		}
+		e = &entry{pristine: pristine, plan: s.restore(program)}
+		s.entries[program] = e
+	}
+	merges, epochs := s.cfg.Version()
+	if e.valid && e.merges == merges && e.epochs == epochs {
+		return e.plan, nil
+	}
+	prior := e.plan
+	p, err := Compile(program, e.pristine, s.cfg.Source(), s.cfg.Params, prior)
+	if err != nil {
+		return nil, err
+	}
+	e.plan, e.merges, e.epochs, e.valid = p, merges, epochs, true
+	if p == prior {
+		s.unchanged.Add(1)
+		return p, nil
+	}
+	s.computed.Add(1)
+	s.cfg.Logf("plan %s: epoch %d, %d decisions, hash %016x", program, p.Epoch, len(p.Decisions), p.Hash)
+	if err := s.persist(program, p); err != nil {
+		// Serving a fresh plan beats failing the request; the next
+		// change will retry the write.
+		s.cfg.Logf("plan %s: persist failed: %v", program, err)
+	}
+	return p, nil
+}
+
+// RefreshAll recompiles the plan of every program that has been
+// requested at least once. cbsd calls it from its decay and checkpoint
+// ticks so pullers usually receive precomputed plans.
+func (s *Service) RefreshAll() {
+	s.mu.Lock()
+	programs := make([]string, 0, len(s.entries))
+	for name := range s.entries {
+		programs = append(programs, name)
+	}
+	s.mu.Unlock()
+	for _, name := range programs {
+		if _, err := s.PlanFor(name); err != nil {
+			s.cfg.Logf("plan refresh %s: %v", name, err)
+		}
+	}
+}
+
+// Invalidate marks every cached plan stale without discarding priors,
+// forcing the next request to recompile. Decay changes the graph
+// without going through a merge, so cbsd calls this after manual
+// /decay requests (background decay bumps the epoch counter, which the
+// version check already observes).
+func (s *Service) Invalidate() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, e := range s.entries {
+		e.valid = false
+	}
+}
+
+// planFile returns the persistence path for one program's plan.
+// Program names pass ValidProgramName, whose charset has no path
+// separators, so the name cannot escape the state dir.
+func planFile(dir, program string) string {
+	return filepath.Join(dir, "plan-"+program+".plnb")
+}
+
+// restore loads the persisted prior plan, if any. Errors are logged
+// and treated as "no prior": a corrupt plan file costs an epoch reset,
+// not an outage.
+func (s *Service) restore(program string) *Plan {
+	if s.cfg.StateDir == "" {
+		return nil
+	}
+	path := planFile(s.cfg.StateDir, program)
+	b, err := os.ReadFile(path)
+	if err != nil {
+		if !errors.Is(err, os.ErrNotExist) {
+			s.cfg.Logf("plan %s: read prior %s: %v", program, path, err)
+		}
+		return nil
+	}
+	p, err := ReadPlan(bytes.NewReader(b))
+	if err != nil {
+		s.cfg.Logf("plan %s: corrupt prior %s: %v", program, path, err)
+		return nil
+	}
+	if p.Program != program {
+		s.cfg.Logf("plan %s: prior file %s is for program %q, ignoring", program, path, p.Program)
+		return nil
+	}
+	return p
+}
+
+// persist atomically writes the plan file (write-temp-then-rename, the
+// same discipline as the store checkpoints).
+func (s *Service) persist(program string, p *Plan) error {
+	if s.cfg.StateDir == "" {
+		return nil
+	}
+	if err := os.MkdirAll(s.cfg.StateDir, 0o755); err != nil {
+		return err
+	}
+	path := planFile(s.cfg.StateDir, program)
+	tmp, err := os.CreateTemp(s.cfg.StateDir, "plan-*.tmp")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	if _, err := p.WriteTo(tmp); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}

@@ -1,0 +1,202 @@
+package plan_test
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"gocbs/internal/bench"
+	"gocbs/internal/bytecode"
+	"gocbs/internal/inline"
+	"gocbs/internal/plan"
+	"gocbs/internal/profile"
+)
+
+// fakeStore stands in for the dcgstore: a graph plus a version the
+// test bumps explicitly.
+type fakeStore struct {
+	graph     *profile.DCG
+	merges    uint64
+	snapshots int
+}
+
+func (f *fakeStore) service(t *testing.T, stateDir string) *plan.Service {
+	t.Helper()
+	return plan.NewService(plan.ServiceConfig{
+		Source: func() *profile.DCG {
+			f.snapshots++
+			return f.graph.Clone()
+		},
+		Version: func() (uint64, uint64) { return f.merges, 0 },
+		CompileProgram: func(name string) (*bytecode.Program, error) {
+			b := bench.ByName(name)
+			if b == nil {
+				return nil, fmt.Errorf("%w: %q", plan.ErrUnknownProgram, name)
+			}
+			return jitProgramErr(b)
+		},
+		Params:   plan.DefaultParams(),
+		StateDir: stateDir,
+		Logf:     t.Logf,
+	})
+}
+
+func jitProgramErr(b *bench.Benchmark) (*bytecode.Program, error) {
+	prog, err := b.Compile()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := inline.Optimize(prog, inline.Trivial{}, nil, inline.DefaultOptions()); err != nil {
+		return nil, err
+	}
+	return prog, nil
+}
+
+func TestServiceCachesUntilStoreChanges(t *testing.T) {
+	pristine := jitProgram(t, "compress")
+	b := bench.ByName("compress")
+	fs := &fakeStore{graph: exhaustiveGraph(t, pristine.Clone(), b.Small, 3), merges: 1}
+	svc := fs.service(t, "")
+
+	p1, err := svc.PlanFor("compress")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p1.Decisions) == 0 || p1.Epoch != 1 {
+		t.Fatalf("unexpected first plan: epoch %d, %d decisions", p1.Epoch, len(p1.Decisions))
+	}
+	// Same store version: served from cache, no new snapshot.
+	before := fs.snapshots
+	p2, err := svc.PlanFor("compress")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p2 != p1 {
+		t.Error("cached request recompiled the plan")
+	}
+	if fs.snapshots != before {
+		t.Errorf("cached request took %d extra snapshots", fs.snapshots-before)
+	}
+
+	// Version bump with unchanged content: recompiles, but the prior
+	// is returned verbatim and counted as unchanged.
+	fs.merges++
+	p3, err := svc.PlanFor("compress")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p3 != p1 {
+		t.Error("identical graph minted a new plan after a version bump")
+	}
+
+	// A real graph change — the profile vanishing entirely — mints a
+	// new epoch with the profile-driven decisions gone.
+	fs.graph = profile.NewDCG()
+	fs.merges++
+	p4, err := svc.PlanFor("compress")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p4 == p1 {
+		t.Fatal("profile-driven and profile-free plans are identical; compress no longer exercises the profile")
+	}
+	if p4.Epoch != p1.Epoch+1 {
+		t.Errorf("changed graph: epoch %d, want %d", p4.Epoch, p1.Epoch+1)
+	}
+
+	st := svc.Stats()
+	if st.Programs != 1 || st.Computed < 1 || st.Unchanged < 1 {
+		t.Errorf("stats = %+v, want 1 program, >=1 computed, >=1 unchanged", st)
+	}
+}
+
+func TestServiceUnknownProgram(t *testing.T) {
+	fs := &fakeStore{graph: profile.NewDCG()}
+	svc := fs.service(t, "")
+	if _, err := svc.PlanFor("no-such-benchmark"); !errors.Is(err, plan.ErrUnknownProgram) {
+		t.Errorf("unknown benchmark: err = %v, want ErrUnknownProgram", err)
+	}
+	if _, err := svc.PlanFor("../escape"); !errors.Is(err, plan.ErrUnknownProgram) {
+		t.Errorf("invalid name: err = %v, want ErrUnknownProgram", err)
+	}
+	if st := svc.Stats(); st.Errors == 0 {
+		t.Error("error counter did not advance")
+	}
+}
+
+// TestServiceEpochSurvivesRestart: a second service over the same
+// state dir and an equivalent graph serves the byte-identical plan —
+// same epoch, same hash — and a later genuine change continues the
+// epoch sequence rather than restarting at 1.
+func TestServiceEpochSurvivesRestart(t *testing.T) {
+	dir := t.TempDir()
+	pristine := jitProgram(t, "compress")
+	b := bench.ByName("compress")
+	g := exhaustiveGraph(t, pristine.Clone(), b.Small, 3)
+
+	fs1 := &fakeStore{graph: g, merges: 1}
+	svc1 := fs1.service(t, dir)
+	p1, err := svc1.PlanFor("compress")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Advance to epoch 2 so the restart has something nontrivial to
+	// preserve.
+	fs1.graph = profile.NewDCG()
+	fs1.merges++
+	p2, err := svc1.PlanFor("compress")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p2 == p1 {
+		t.Fatal("profile-free recompile returned the profile-driven plan")
+	}
+	if _, err := os.Stat(filepath.Join(dir, "plan-compress.plnb")); err != nil {
+		t.Fatalf("plan file not persisted: %v", err)
+	}
+
+	// "Restart": fresh service, same state dir, same (restored) graph.
+	fs2 := &fakeStore{graph: fs1.graph.Clone(), merges: 1}
+	svc2 := fs2.service(t, dir)
+	p3, err := svc2.PlanFor("compress")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(p3.Encode(), p2.Encode()) {
+		t.Errorf("restarted service serves different bytes: epoch %d hash %016x vs epoch %d hash %016x",
+			p3.Epoch, p3.Hash, p2.Epoch, p2.Hash)
+	}
+
+	// A post-restart change continues the epoch chain (the profile
+	// returns, so the profile-driven decisions come back as epoch 3).
+	fs2.graph = g.Clone()
+	fs2.merges++
+	p4, err := svc2.PlanFor("compress")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p4.Epoch != p3.Epoch+1 {
+		t.Errorf("post-restart change: epoch %d, want %d", p4.Epoch, p3.Epoch+1)
+	}
+}
+
+func TestServiceInvalidateForcesRecompile(t *testing.T) {
+	pristine := jitProgram(t, "compress")
+	b := bench.ByName("compress")
+	fs := &fakeStore{graph: exhaustiveGraph(t, pristine.Clone(), b.Small, 3), merges: 1}
+	svc := fs.service(t, "")
+	if _, err := svc.PlanFor("compress"); err != nil {
+		t.Fatal(err)
+	}
+	before := fs.snapshots
+	svc.Invalidate()
+	if _, err := svc.PlanFor("compress"); err != nil {
+		t.Fatal(err)
+	}
+	if fs.snapshots == before {
+		t.Error("Invalidate did not force a recompile")
+	}
+}

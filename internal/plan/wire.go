@@ -1,0 +1,198 @@
+package plan
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// The plan wire format is versioned behind four magic bytes and, unlike
+// the profile format, is legacy-free — there never was a text plan:
+//
+//	"PLNB" | uint32 version |
+//	uint16 len | program bytes | uint16 len | policy bytes |
+//	uint64 epoch | uint64 content hash | uint32 decision count |
+//	  (int64 site, int64 callee, uint8 kind)*
+//
+// all little-endian, decisions in strictly increasing site order. The
+// encoding is canonical — two plans with equal content serialize to
+// identical bytes — and self-checking: ReadPlan recomputes the content
+// hash over the decoded decisions and rejects a payload whose header
+// hash disagrees, so a corrupted or truncated-and-padded plan can
+// never be applied.
+
+// planMagic introduces every serialized plan.
+var planMagic = [4]byte{'P', 'L', 'N', 'B'}
+
+// PlanWireVersion is the newest plan wire version this build writes
+// and reads.
+const PlanWireVersion = 1
+
+// Wire format bounds: a corrupt header cannot demand an absurd
+// allocation, and names stay within ValidProgramName-scale sizes.
+const (
+	maxWireName      = 4096
+	maxWireDecisions = 1 << 22
+)
+
+// WriteTo serializes the plan in the canonical binary wire format.
+func (p *Plan) WriteTo(w io.Writer) (int64, error) {
+	if len(p.Program) > maxWireName || len(p.Policy) > maxWireName {
+		return 0, fmt.Errorf("plan: name too long to serialize")
+	}
+	if len(p.Decisions) > maxWireDecisions {
+		return 0, fmt.Errorf("plan: %d decisions exceed the wire limit %d", len(p.Decisions), maxWireDecisions)
+	}
+	bw := bufio.NewWriter(w)
+	var n int64
+	write := func(v any) error {
+		if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
+			return err
+		}
+		n += int64(binary.Size(v))
+		return nil
+	}
+	writeName := func(s string) error {
+		if err := write(uint16(len(s))); err != nil {
+			return err
+		}
+		if _, err := bw.WriteString(s); err != nil {
+			return err
+		}
+		n += int64(len(s))
+		return nil
+	}
+	if err := write(planMagic); err != nil {
+		return n, err
+	}
+	if err := write(uint32(PlanWireVersion)); err != nil {
+		return n, err
+	}
+	if err := writeName(p.Program); err != nil {
+		return n, err
+	}
+	if err := writeName(p.Policy); err != nil {
+		return n, err
+	}
+	if err := write(p.Epoch); err != nil {
+		return n, err
+	}
+	if err := write(p.Hash); err != nil {
+		return n, err
+	}
+	if err := write(uint32(len(p.Decisions))); err != nil {
+		return n, err
+	}
+	for _, d := range p.Decisions {
+		rec := struct {
+			Site   int64
+			Callee int64
+			Kind   uint8
+		}{int64(d.Site), int64(d.Callee), uint8(d.Kind)}
+		if err := write(rec); err != nil {
+			return n, err
+		}
+	}
+	return n, bw.Flush()
+}
+
+// Encode returns the plan's canonical wire bytes.
+func (p *Plan) Encode() []byte {
+	var buf writerBuf
+	p.WriteTo(&buf) // in-memory writes cannot fail
+	return buf.b
+}
+
+type writerBuf struct{ b []byte }
+
+func (w *writerBuf) Write(p []byte) (int, error) {
+	w.b = append(w.b, p...)
+	return len(p), nil
+}
+
+// ReadPlan decodes a plan from the binary wire format, rejecting bad
+// magic, unknown versions, malformed names, out-of-order or duplicate
+// sites, invalid kinds, a content hash that does not match the decoded
+// decisions, and trailing data.
+func ReadPlan(r io.Reader) (*Plan, error) {
+	br := bufio.NewReaderSize(r, 64*1024)
+	var hdr struct {
+		Magic   [4]byte
+		Version uint32
+	}
+	if err := binary.Read(br, binary.LittleEndian, &hdr); err != nil {
+		return nil, fmt.Errorf("truncated plan header: %w", err)
+	}
+	if hdr.Magic != planMagic {
+		return nil, fmt.Errorf("bad plan magic %q: want %q", hdr.Magic[:], planMagic[:])
+	}
+	if hdr.Version == 0 || hdr.Version > PlanWireVersion {
+		return nil, fmt.Errorf("plan wire version %d not supported (this build reads 1..%d)",
+			hdr.Version, PlanWireVersion)
+	}
+	readName := func(what string) (string, error) {
+		var ln uint16
+		if err := binary.Read(br, binary.LittleEndian, &ln); err != nil {
+			return "", fmt.Errorf("truncated %s length: %w", what, err)
+		}
+		if ln == 0 || int(ln) > maxWireName {
+			return "", fmt.Errorf("bad %s length %d", what, ln)
+		}
+		b := make([]byte, ln)
+		if _, err := io.ReadFull(br, b); err != nil {
+			return "", fmt.Errorf("truncated %s: %w", what, err)
+		}
+		return string(b), nil
+	}
+	p := &Plan{}
+	var err error
+	if p.Program, err = readName("program name"); err != nil {
+		return nil, err
+	}
+	if p.Policy, err = readName("policy name"); err != nil {
+		return nil, err
+	}
+	var mid struct {
+		Epoch uint64
+		Hash  uint64
+		Count uint32
+	}
+	if err := binary.Read(br, binary.LittleEndian, &mid); err != nil {
+		return nil, fmt.Errorf("truncated plan header: %w", err)
+	}
+	if mid.Epoch == 0 {
+		return nil, fmt.Errorf("plan epoch 0 is invalid (epochs start at 1)")
+	}
+	if mid.Count > maxWireDecisions {
+		return nil, fmt.Errorf("plan declares %d decisions, beyond the %d limit", mid.Count, maxWireDecisions)
+	}
+	p.Epoch, p.Hash = mid.Epoch, mid.Hash
+	p.Decisions = make([]Decision, 0, mid.Count)
+	prevSite := -1 << 62
+	for i := uint32(0); i < mid.Count; i++ {
+		var rec struct {
+			Site   int64
+			Callee int64
+			Kind   uint8
+		}
+		if err := binary.Read(br, binary.LittleEndian, &rec); err != nil {
+			return nil, fmt.Errorf("decision %d of %d: truncated record: %w", i, mid.Count, err)
+		}
+		if rec.Kind > uint8(KindNullGuard) {
+			return nil, fmt.Errorf("decision %d: unknown kind %d", i, rec.Kind)
+		}
+		if int(rec.Site) <= prevSite {
+			return nil, fmt.Errorf("decision %d: site %d out of order (canonical plans are strictly increasing by site)", i, rec.Site)
+		}
+		prevSite = int(rec.Site)
+		p.Decisions = append(p.Decisions, Decision{Site: int(rec.Site), Callee: int(rec.Callee), Kind: Kind(rec.Kind)})
+	}
+	if got := p.ContentHash(); got != p.Hash {
+		return nil, fmt.Errorf("plan content hash mismatch: header %016x, decoded content %016x", p.Hash, got)
+	}
+	if _, err := br.Peek(1); err != io.EOF {
+		return nil, fmt.Errorf("trailing data after %d decisions", mid.Count)
+	}
+	return p, nil
+}

@@ -131,6 +131,35 @@ func (g *DCG) DeltaSince(prev *DCG) *DCG {
 	return d
 }
 
+// FilterBelow returns a copy of g without edges lighter than min. The
+// copy is rebuilt in canonical edge order, so its total weight is a
+// deterministic function of the surviving edge multiset — two graphs
+// with the same edges filter to byte-identically-summing copies
+// regardless of the insertion order that built them (float addition is
+// not associative, so map-order accumulation would not guarantee
+// that). Plan compilation relies on this to keep thresholds stable.
+func (g *DCG) FilterBelow(min float64) *DCG {
+	c := NewDCG()
+	for _, e := range g.Edges() {
+		if w := g.weights[e]; w >= min {
+			c.AddSample(e, w)
+		}
+	}
+	return c
+}
+
+// MapWeights returns a copy of g with every weight replaced by
+// f(edge, weight); edges mapped to a non-positive weight are dropped.
+// Like FilterBelow, the copy is rebuilt in canonical edge order so the
+// resulting total is deterministic.
+func (g *DCG) MapWeights(f func(e Edge, w float64) float64) *DCG {
+	c := NewDCG()
+	for _, e := range g.Edges() {
+		c.AddSample(e, f(e, g.weights[e]))
+	}
+	return c
+}
+
 // TargetWeight is one callee's share of a call site's samples.
 type TargetWeight struct {
 	Callee  int
@@ -142,14 +171,20 @@ type TargetWeight struct {
 // one call site, heaviest first. Profile-directed inliners use this for
 // the paper's "callee accounts for more than 40% of the distribution"
 // guarded-inlining rule.
+//
+// The site total is accumulated over the matching edges in canonical
+// order, not map order: float addition is not associative, so summing
+// in map-iteration order could return percentages differing in the
+// last ulp between two calls on the same graph — enough to flap a
+// policy threshold and break plan determinism.
 func (g *DCG) SiteDistribution(site int) []TargetWeight {
+	es := g.siteEdges(site)
 	var tot float64
-	var ts []TargetWeight
-	for e, w := range g.weights {
-		if e.Site == site {
-			ts = append(ts, TargetWeight{Callee: e.Callee, Weight: w})
-			tot += w
-		}
+	ts := make([]TargetWeight, 0, len(es))
+	for _, e := range es {
+		w := g.weights[e]
+		ts = append(ts, TargetWeight{Callee: e.Callee, Weight: w})
+		tot += w
 	}
 	for i := range ts {
 		if tot > 0 {
@@ -167,18 +202,36 @@ func (g *DCG) SiteDistribution(site int) []TargetWeight {
 
 // SiteWeightPercent returns the share (0–100) of the graph's total
 // weight attributed to the call site across all its targets — the
-// "how hot is this call site" input to inlining heuristics.
+// "how hot is this call site" input to inlining heuristics. Summed in
+// canonical edge order for the same determinism reason as
+// SiteDistribution.
 func (g *DCG) SiteWeightPercent(site int) float64 {
 	if g.total == 0 {
 		return 0
 	}
 	var w float64
-	for e, ew := range g.weights {
-		if e.Site == site {
-			w += ew
-		}
+	for _, e := range g.siteEdges(site) {
+		w += g.weights[e]
 	}
 	return w / g.total * 100
+}
+
+// siteEdges returns the edges at one call site in canonical (caller,
+// callee) order.
+func (g *DCG) siteEdges(site int) []Edge {
+	var es []Edge
+	for e := range g.weights {
+		if e.Site == site {
+			es = append(es, e)
+		}
+	}
+	sort.Slice(es, func(i, j int) bool {
+		if es[i].Caller != es[j].Caller {
+			return es[i].Caller < es[j].Caller
+		}
+		return es[i].Callee < es[j].Callee
+	})
+	return es
 }
 
 // Sites returns the distinct call-site IDs present, sorted.

@@ -1,0 +1,99 @@
+package profile
+
+import (
+	"math"
+	"testing"
+)
+
+func TestFilterBelow(t *testing.T) {
+	g := NewDCG()
+	g.AddSample(Edge{Caller: 1, Site: 1, Callee: 2}, 10)
+	g.AddSample(Edge{Caller: 1, Site: 2, Callee: 3}, 0.5)
+	g.AddSample(Edge{Caller: 2, Site: 3, Callee: 4}, 1)
+
+	f := g.FilterBelow(1)
+	if f.NumEdges() != 2 {
+		t.Fatalf("FilterBelow kept %d edges, want 2", f.NumEdges())
+	}
+	if w := f.Weight(Edge{Caller: 1, Site: 2, Callee: 3}); w != 0 {
+		t.Errorf("sub-floor edge survived with weight %v", w)
+	}
+	if f.Total() != 11 {
+		t.Errorf("filtered total = %v, want 11", f.Total())
+	}
+	// The receiver is untouched.
+	if g.NumEdges() != 3 || g.Total() != 11.5 {
+		t.Errorf("FilterBelow mutated its receiver: %d edges, total %v", g.NumEdges(), g.Total())
+	}
+}
+
+func TestMapWeights(t *testing.T) {
+	g := NewDCG()
+	g.AddSample(Edge{Caller: 1, Site: 1, Callee: 2}, 8)
+	g.AddSample(Edge{Caller: 1, Site: 2, Callee: 3}, 2)
+
+	halved := g.MapWeights(func(_ Edge, w float64) float64 { return w / 2 })
+	if got := halved.Weight(Edge{Caller: 1, Site: 1, Callee: 2}); got != 4 {
+		t.Errorf("mapped weight = %v, want 4", got)
+	}
+	if halved.Total() != 5 {
+		t.Errorf("mapped total = %v, want 5", halved.Total())
+	}
+
+	dropped := g.MapWeights(func(e Edge, w float64) float64 {
+		if e.Site == 2 {
+			return 0 // non-positive drops the edge
+		}
+		return w
+	})
+	if dropped.NumEdges() != 1 || dropped.Total() != 8 {
+		t.Errorf("drop-mapping kept %d edges, total %v; want 1 edge, total 8", dropped.NumEdges(), dropped.Total())
+	}
+}
+
+// TestSiteAggregationOrderIndependent: two graphs holding the same
+// edges, inserted in different orders, must agree bit-for-bit on every
+// derived site quantity — float addition is not associative, so this
+// only holds because the aggregations sum in canonical edge order.
+func TestSiteAggregationOrderIndependent(t *testing.T) {
+	// Awkward weights whose sum is order-sensitive in the last ulp.
+	edges := []struct {
+		e Edge
+		w float64
+	}{
+		{Edge{Caller: 1, Site: 7, Callee: 10}, 0.1},
+		{Edge{Caller: 2, Site: 7, Callee: 11}, 1e16},
+		{Edge{Caller: 3, Site: 7, Callee: 12}, 0.2},
+		{Edge{Caller: 4, Site: 7, Callee: 13}, 0.3},
+		{Edge{Caller: 5, Site: 9, Callee: 14}, 3.7},
+	}
+	a := NewDCG()
+	for i := 0; i < len(edges); i++ {
+		a.AddSample(edges[i].e, edges[i].w)
+	}
+	b := NewDCG()
+	for i := len(edges) - 1; i >= 0; i-- {
+		b.AddSample(edges[i].e, edges[i].w)
+	}
+
+	fa, fb := a.FilterBelow(0.15), b.FilterBelow(0.15)
+	if math.Float64bits(fa.Total()) != math.Float64bits(fb.Total()) {
+		t.Errorf("FilterBelow totals differ: %x vs %x",
+			math.Float64bits(fa.Total()), math.Float64bits(fb.Total()))
+	}
+	for _, site := range []int{7, 9} {
+		pa, pb := fa.SiteWeightPercent(site), fb.SiteWeightPercent(site)
+		if math.Float64bits(pa) != math.Float64bits(pb) {
+			t.Errorf("site %d: SiteWeightPercent differs: %v vs %v", site, pa, pb)
+		}
+		da, db := fa.SiteDistribution(site), fb.SiteDistribution(site)
+		if len(da) != len(db) {
+			t.Fatalf("site %d: distribution lengths differ", site)
+		}
+		for i := range da {
+			if da[i] != db[i] {
+				t.Errorf("site %d entry %d: %+v vs %+v", site, i, da[i], db[i])
+			}
+		}
+	}
+}
