@@ -2,9 +2,15 @@ GO ?= go
 
 # Every command binary, built explicitly by `make build-cmds` so ci
 # catches a cmd that ./... would skip (e.g. after a package rename).
-CMDS := ./cmd/cbsbench ./cmd/cbsd ./cmd/cbsvm ./cmd/dcgdiff ./cmd/mjc ./cmd/mjgen
+CMDS := ./cmd/cbsbench ./cmd/cbsd ./cmd/cbsload ./cmd/cbsvm ./cmd/dcgdiff ./cmd/mjc ./cmd/mjgen
 
-.PHONY: all tier1 build build-cmds test test-race test-daemon test-recovery test-plan vet vet-cmds ci bench
+# Seed for the reproducible short soak `make test-fleet` runs in ci;
+# `make soak` picks a fresh one per invocation and prints it, so a
+# failing soak is always reproducible with SOAK_SEED=<printed seed>.
+FLEET_SEED ?= 1
+SOAK_SEED ?= 0
+
+.PHONY: all tier1 build build-cmds test test-race test-daemon test-recovery test-plan test-fleet soak vet vet-cmds ci bench
 
 all: tier1
 
@@ -19,28 +25,29 @@ build:
 build-cmds:
 	$(GO) build $(CMDS)
 
-test:
-	$(GO) test ./...
-
 # Race coverage for the concurrent layers: the parallel experiment
 # runner, the experiments that fan out over it, the profilers the jobs
 # drive, the sharded concurrent DCG store (its soak test is the
-# K-writers-vs-serial-reference check), the inline transform's clone
-# isolation soak, and the plan service's version-cached compilation.
+# K-writers-vs-serial-reference check plus the decay-race property
+# test), the inline transform's clone isolation soak, the plan
+# service's version-cached compilation, the in-process daemon, the
+# pulling VM, and the chaos fleet simulator.
 test-race:
-	$(GO) test -race ./internal/runner/... ./internal/experiment/... ./internal/profiler/... ./internal/dcgstore/... ./internal/inline/... ./internal/plan/...
+	$(GO) test -race ./internal/runner/... ./internal/experiment/... ./internal/profiler/... ./internal/dcgstore/... ./internal/inline/... ./internal/plan/... ./internal/daemon/... ./internal/puller/... ./internal/fleetsim/...
 
-# The cbsd aggregation daemon's httptest-based endpoint tests plus the
-# runner-driven multi-pusher convergence test.
+# The cbsd aggregation daemon's httptest-based endpoint tests, the
+# hostile-pusher fuzz corpus, and the runner-driven multi-pusher
+# convergence test (the daemon lives in internal/daemon; cmd/cbsd is a
+# thin main).
 test-daemon:
-	$(GO) test ./cmd/cbsd/...
+	$(GO) test ./internal/daemon/...
 
 # Durability and exactly-once delivery, under the race detector: the
 # checkpoint round trip, sequence dedup, the flaky-pusher soak (a
 # daemon that drops responses while pushers retry), and the SIGTERM
 # kill-and-restart lifecycle.
 test-recovery:
-	$(GO) test -race -run 'Checkpoint|Restore|Sequence|Sequenced|Duplicate|Dedup|Flaky|Retr|Outage|GiveUp|Sigterm|Corrupt' ./internal/dcgstore/... ./cmd/cbsd/...
+	$(GO) test -race -run 'Checkpoint|Restore|Sequence|Sequenced|Duplicate|Dedup|Flaky|Retr|Outage|GiveUp|Sigterm|Corrupt' ./internal/dcgstore/... ./internal/daemon/...
 
 # The fleet PGO loop: plan wire round trip + rejection paths, the
 # fuzz seed corpus, stability/determinism properties, the K-pusher/
@@ -49,8 +56,22 @@ test-recovery:
 test-plan:
 	$(GO) test ./internal/plan/...
 	$(GO) test -run 'Fuzz' ./internal/plan/...
-	$(GO) test -run 'TestPlan' ./cmd/cbsd/...
-	$(GO) test -run 'TestPull' ./cmd/cbsvm/...
+	$(GO) test -run 'TestPlan' ./internal/daemon/...
+	$(GO) test -run 'TestPull' ./internal/puller/...
+
+# The chaos harness, twice over: the fleetsim unit + negative tests
+# (every invariant checker must be shown to fire), then a short
+# fixed-seed soak through the real cbsload binary — all four fault
+# kinds, a mid-run daemon restart, exit 1 on any invariant failure.
+test-fleet:
+	$(GO) test ./internal/fleetsim/...
+	$(GO) run ./cmd/cbsload -vms 8 -rounds 4 -seed $(FLEET_SEED) -faults all -restarts 1
+
+# A bigger randomized soak for hunting; cbsload prints the chosen seed
+# up front and repeats it on failure, so any hit replays with
+# `make soak SOAK_SEED=<seed>`.
+soak:
+	$(GO) run ./cmd/cbsload -vms 32 -rounds 8 -seed $(SOAK_SEED) -faults all -restarts 2
 
 vet:
 	$(GO) vet ./...
@@ -60,7 +81,7 @@ vet:
 vet-cmds:
 	$(GO) vet ./cmd/...
 
-ci: tier1 vet vet-cmds build-cmds test-daemon test-plan test-race test-recovery
+ci: tier1 vet vet-cmds build-cmds test-daemon test-plan test-race test-recovery test-fleet
 
 bench:
 	$(GO) test -bench=. -benchtime=1x -run=^$$ ./...

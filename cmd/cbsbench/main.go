@@ -14,6 +14,7 @@
 //	cbsbench -study inliners     old vs new inliner (E11)
 //	cbsbench -study context      calling-context-tree extension (E12)
 //	cbsbench -study planloop     fleet PGO loop: K pushers -> plan -> puller
+//	cbsbench -study fleetsoak    chaos soak: fleet vs faults, invariant-gated
 //	cbsbench -all                everything above
 //
 // Use -quick for a cheap single-seed run on a benchmark subset, -input
@@ -43,7 +44,7 @@ import (
 func main() {
 	table := flag.String("table", "", "regenerate a table: 1, 2a, 2b, or 3")
 	figure := flag.String("figure", "", "regenerate a figure: 5a or 5b")
-	study := flag.String("study", "", "run a study: convergence, skew, comparators, inliners, context, cleanup, online, entrycheck, planloop")
+	study := flag.String("study", "", "run a study: convergence, skew, comparators, inliners, context, cleanup, online, entrycheck, planloop, fleetsoak")
 	all := flag.Bool("all", false, "regenerate every table, figure, and study")
 	quick := flag.Bool("quick", false, "single seed and a four-benchmark subset")
 	input := flag.String("input", "small", "input size for grids/figures/studies: small or large")
@@ -245,6 +246,20 @@ func main() {
 				return err
 			}
 			fmt.Println(experiment.FormatPlanLoop(rows))
+			return nil
+		})
+	}
+	if wantStudy("fleetsoak") {
+		run("fleetsoak", func() error {
+			params := experiment.DefaultFleetSoakParams()
+			if *quick {
+				params = experiment.QuickFleetSoakParams()
+			}
+			rep, err := experiment.FleetSoak(cfg, params)
+			if err != nil {
+				return err
+			}
+			fmt.Println(experiment.FormatFleetSoak(rep))
 			return nil
 		})
 	}

@@ -27,266 +27,56 @@
 //	POST /decay      run one decay epoch (?factor=, optional ?prune=)
 //	GET  /metrics    operational counters (JSON)
 //	GET  /healthz    liveness probe
+//
+// The daemon itself lives in internal/daemon so tests and the fleet
+// simulator (internal/fleetsim, cmd/cbsload) can run the identical
+// lifecycle in-process; this command is the flag-parsing shell.
 package main
 
 import (
 	"context"
-	"errors"
 	"flag"
-	"fmt"
 	"log"
-	"net"
-	"net/http"
 	"os"
 	"os/signal"
-	"sync"
 	"syscall"
 	"time"
 
-	"gocbs/internal/bench"
-	"gocbs/internal/bytecode"
+	"gocbs/internal/daemon"
 	"gocbs/internal/dcgstore"
-	"gocbs/internal/inline"
 	"gocbs/internal/plan"
 )
 
-// config is everything main parses from flags; run takes it whole so
-// tests can drive the full daemon lifecycle in-process.
-type config struct {
-	addr            string
-	shards          int
-	decay           float64
-	decayEvery      time.Duration
-	decayPrune      float64
-	stateDir        string
-	checkpointEvery time.Duration
-	readTimeout     time.Duration
-	writeTimeout    time.Duration
-	planPolicy      string
-	planFloor       float64
-	planBand        float64
-	planHold        float64
-
-	// ready, when non-nil, receives the bound listen address once the
-	// daemon is serving (tests bind :0).
-	ready chan<- string
-	logf  func(format string, args ...any)
-}
-
 func main() {
-	var cfg config
-	flag.StringVar(&cfg.addr, "addr", ":8944", "listen address")
-	flag.IntVar(&cfg.shards, "shards", dcgstore.DefaultShards, "store shard count (rounded up to a power of two)")
-	flag.Float64Var(&cfg.decay, "decay", 0, "periodic decay factor in (0,1]; 0 disables background decay")
-	flag.DurationVar(&cfg.decayEvery, "decay-every", time.Minute, "interval between background decay epochs")
-	flag.Float64Var(&cfg.decayPrune, "decay-prune", 1e-6, "drop edges whose decayed weight falls below this")
-	flag.StringVar(&cfg.stateDir, "state-dir", "", "directory for durable checkpoints; empty keeps the store memory-only")
-	flag.DurationVar(&cfg.checkpointEvery, "checkpoint-every", dcgstore.DefaultCheckpointEvery, "interval between periodic checkpoints (with -state-dir)")
-	flag.DurationVar(&cfg.readTimeout, "read-timeout", 30*time.Second, "HTTP server read timeout")
-	flag.DurationVar(&cfg.writeTimeout, "write-timeout", 60*time.Second, "HTTP server write timeout")
+	var cfg daemon.Config
+	flag.StringVar(&cfg.Addr, "addr", ":8944", "listen address")
+	flag.IntVar(&cfg.Shards, "shards", dcgstore.DefaultShards, "store shard count (rounded up to a power of two)")
+	flag.Float64Var(&cfg.Decay, "decay", 0, "periodic decay factor in (0,1]; 0 disables background decay")
+	flag.DurationVar(&cfg.DecayEvery, "decay-every", time.Minute, "interval between background decay epochs")
+	flag.Float64Var(&cfg.DecayPrune, "decay-prune", 1e-6, "drop edges whose decayed weight falls below this")
+	flag.StringVar(&cfg.StateDir, "state-dir", "", "directory for durable checkpoints; empty keeps the store memory-only")
+	flag.DurationVar(&cfg.CheckpointEvery, "checkpoint-every", dcgstore.DefaultCheckpointEvery, "interval between periodic checkpoints (with -state-dir)")
+	flag.DurationVar(&cfg.ReadTimeout, "read-timeout", 30*time.Second, "HTTP server read timeout")
+	flag.DurationVar(&cfg.WriteTimeout, "write-timeout", 60*time.Second, "HTTP server write timeout")
+	flag.Int64Var(&cfg.MaxUploadBytes, "max-upload", daemon.DefaultMaxUploadBytes, "largest accepted ingest/overlap body in bytes (413 beyond)")
 	defaults := plan.DefaultParams()
-	flag.StringVar(&cfg.planPolicy, "plan-policy", defaults.Policy, "inline policy plans are compiled under (new-linear, old-jikes, j9-static, j9-dynamic)")
-	flag.Float64Var(&cfg.planFloor, "plan-floor", defaults.MinWeight, "plan stability: drop edges below this weight before planning")
-	flag.Float64Var(&cfg.planBand, "plan-band", defaults.Band, "plan stability: geometric weight-quantization band (0 disables)")
-	flag.Float64Var(&cfg.planHold, "plan-hold", defaults.HoldSharePct, "plan stability: retain a prior decision while its site holds at least this %% of graph weight")
+	flag.StringVar(&cfg.PlanPolicy, "plan-policy", defaults.Policy, "inline policy plans are compiled under (new-linear, old-jikes, j9-static, j9-dynamic)")
+	flag.Float64Var(&cfg.PlanFloor, "plan-floor", defaults.MinWeight, "plan stability: drop edges below this weight before planning")
+	flag.Float64Var(&cfg.PlanBand, "plan-band", defaults.Band, "plan stability: geometric weight-quantization band (0 disables)")
+	flag.Float64Var(&cfg.PlanHold, "plan-hold", defaults.HoldSharePct, "plan stability: retain a prior decision while its site holds at least this %% of graph weight")
 	flag.Parse()
 
-	if cfg.decay < 0 || cfg.decay > 1 {
-		log.Fatalf("cbsd: -decay %v out of range (0,1]", cfg.decay)
+	if cfg.Decay < 0 || cfg.Decay > 1 {
+		log.Fatalf("cbsd: -decay %v out of range (0,1]", cfg.Decay)
 	}
-	if _, err := plan.PolicyByName(cfg.planPolicy); err != nil {
+	if _, err := plan.PolicyByName(cfg.PlanPolicy); err != nil {
 		log.Fatalf("cbsd: %v", err)
 	}
-	cfg.logf = log.Printf
+	cfg.Logf = log.Printf
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	if err := run(ctx, cfg); err != nil {
+	if err := daemon.Run(ctx, cfg); err != nil {
 		log.Fatalf("cbsd: %v", err)
 	}
-}
-
-// run brings the daemon up and serves until ctx is cancelled (a
-// signal, in production), then shuts down gracefully: the listener
-// closes, in-flight requests drain, the decay and checkpoint tickers
-// stop, and — with a state dir — a final checkpoint is written so a
-// graceful restart loses nothing.
-func run(ctx context.Context, cfg config) error {
-	logf := cfg.logf
-	if logf == nil {
-		logf = func(string, ...any) {}
-	}
-
-	store := dcgstore.New(cfg.shards)
-	if cfg.stateDir != "" {
-		loaded, err := dcgstore.RestoreCheckpoint(store, cfg.stateDir)
-		if err != nil {
-			return fmt.Errorf("restore %s: %w", cfg.stateDir, err)
-		}
-		if loaded {
-			st := store.Stats()
-			logf("restored checkpoint from %s: %d edges, %.0f weight, %d pushers",
-				cfg.stateDir, st.Edges, st.TotalWeight, st.Pushers)
-		} else {
-			logf("no checkpoint in %s, starting fresh", cfg.stateDir)
-		}
-	}
-
-	plans := newPlanService(cfg, store, logf)
-
-	srv := &http.Server{
-		Handler:           newServer(store, plans).handler(),
-		ReadTimeout:       cfg.readTimeout,
-		ReadHeaderTimeout: 5 * time.Second,
-		WriteTimeout:      cfg.writeTimeout,
-		IdleTimeout:       2 * time.Minute,
-	}
-
-	ln, err := net.Listen("tcp", cfg.addr)
-	if err != nil {
-		return err
-	}
-	logf("cbsd listening on %s (%d shards, decay %s, state %s)",
-		ln.Addr(), store.NumShards(), decayDesc(cfg.decay, cfg.decayEvery), stateDesc(cfg))
-	if cfg.ready != nil {
-		cfg.ready <- ln.Addr().String()
-	}
-
-	// Background loops: decay and periodic checkpoints. Both are wired
-	// into the shutdown path — bg.Wait() below guarantees neither a
-	// decay epoch nor a periodic checkpoint races the final checkpoint.
-	bgCtx, stopBg := context.WithCancel(context.Background())
-	defer stopBg()
-	var bg sync.WaitGroup
-	if cfg.decay > 0 {
-		bg.Add(1)
-		go func() {
-			defer bg.Done()
-			ticker := time.NewTicker(cfg.decayEvery)
-			defer ticker.Stop()
-			for {
-				select {
-				case <-bgCtx.Done():
-					return
-				case <-ticker.C:
-					pruned := store.Decay(cfg.decay, cfg.decayPrune)
-					logf("decay epoch %d: factor %v, pruned %d edges, %d remain",
-						store.Epoch(), cfg.decay, pruned, store.NumEdges())
-					plans.RefreshAll()
-				}
-			}
-		}()
-	}
-	if cfg.stateDir != "" {
-		bg.Add(1)
-		go func() {
-			defer bg.Done()
-			ckpt := &dcgstore.Checkpointer{
-				Dir: cfg.stateDir, Store: store, Every: cfg.checkpointEvery, Logf: logf,
-			}
-			ckpt.Run(bgCtx)
-		}()
-		// Keep persisted plans fresh at the same cadence as checkpoints:
-		// a durable daemon re-plans on the checkpoint tick, not just on
-		// demand, so the plan files a restart restores from are recent.
-		bg.Add(1)
-		go func() {
-			defer bg.Done()
-			ticker := time.NewTicker(cfg.checkpointEvery)
-			defer ticker.Stop()
-			for {
-				select {
-				case <-bgCtx.Done():
-					return
-				case <-ticker.C:
-					plans.RefreshAll()
-				}
-			}
-		}()
-	}
-
-	serveErr := make(chan error, 1)
-	go func() { serveErr <- srv.Serve(ln) }()
-
-	select {
-	case err := <-serveErr:
-		stopBg()
-		bg.Wait()
-		return err
-	case <-ctx.Done():
-	}
-
-	// Graceful shutdown: drain in-flight requests first so their
-	// merges make the final checkpoint, then stop the background
-	// tickers, then checkpoint.
-	logf("shutting down: draining requests")
-	drainCtx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
-	defer cancel()
-	shutdownErr := srv.Shutdown(drainCtx)
-	stopBg()
-	bg.Wait()
-	if cfg.stateDir != "" {
-		if err := dcgstore.SaveCheckpoint(cfg.stateDir, store); err != nil {
-			return fmt.Errorf("final checkpoint: %w", err)
-		}
-		st := store.Stats()
-		logf("final checkpoint written to %s (%d edges, %.0f weight)", cfg.stateDir, st.Edges, st.TotalWeight)
-	}
-	if shutdownErr != nil && !errors.Is(shutdownErr, context.DeadlineExceeded) {
-		return shutdownErr
-	}
-	<-serveErr // Serve returns ErrServerClosed once Shutdown begins
-	return nil
-}
-
-// newPlanService builds the inlining-plan compiler over the live
-// store. Programs are resolved against the built-in benchmark suite
-// and prepared exactly the way cbsvm prepares them (JIT-only: trivial
-// same-class inlining, no profile-driven decisions), so the global
-// call-site IDs the plan keys on line up with every VM's clone of the
-// same program. With -state-dir, compiled plans persist next to the
-// store checkpoints and epochs survive restarts.
-func newPlanService(cfg config, store *dcgstore.Store, logf func(string, ...any)) *plan.Service {
-	params := plan.DefaultParams()
-	if cfg.planPolicy != "" {
-		params.Policy = cfg.planPolicy
-	}
-	params.MinWeight = cfg.planFloor
-	params.Band = cfg.planBand
-	params.HoldSharePct = cfg.planHold
-	return plan.NewService(plan.ServiceConfig{
-		Source:  store.Snapshot,
-		Version: store.Version,
-		CompileProgram: func(name string) (*bytecode.Program, error) {
-			b := bench.ByName(name)
-			if b == nil {
-				return nil, fmt.Errorf("%w: no benchmark named %q", plan.ErrUnknownProgram, name)
-			}
-			prog, err := b.Compile()
-			if err != nil {
-				return nil, fmt.Errorf("compile %s: %w", name, err)
-			}
-			if _, err := inline.Optimize(prog, inline.Trivial{}, nil, inline.DefaultOptions()); err != nil {
-				return nil, fmt.Errorf("prepare %s: %w", name, err)
-			}
-			return prog, nil
-		},
-		Params:   params,
-		StateDir: cfg.stateDir,
-		Logf:     logf,
-	})
-}
-
-func decayDesc(factor float64, every time.Duration) string {
-	if factor == 0 {
-		return "off"
-	}
-	return fmt.Sprintf("%v every %s", factor, every)
-}
-
-func stateDesc(cfg config) string {
-	if cfg.stateDir == "" {
-		return "memory-only"
-	}
-	return fmt.Sprintf("%s every %s", cfg.stateDir, cfg.checkpointEvery)
 }

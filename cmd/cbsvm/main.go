@@ -33,6 +33,7 @@ import (
 	"gocbs/internal/mj"
 	"gocbs/internal/profile"
 	"gocbs/internal/profiler"
+	"gocbs/internal/puller"
 	"gocbs/internal/vm"
 )
 
@@ -112,7 +113,7 @@ func main() {
 		if *pushURL != "" {
 			fatal(fmt.Errorf("-pull-plan and -push are mutually exclusive; run pushers and pullers as separate VMs"))
 		}
-		st, err := runPullLoop(prog, pullOptions{
+		st, err := puller.Run(prog, puller.Options{
 			URL: *pullURL, Program: *benchName, Size: runArg,
 			Rounds: *pullRounds, Every: *pullEvery, Iters: *pullIters,
 			Verify: *pullVerify, Opts: inline.DefaultOptions(),

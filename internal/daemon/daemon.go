@@ -1,0 +1,242 @@
+// Package daemon is the cbsd aggregation daemon as a library: the HTTP
+// surface over a dcgstore.Store plus the full serve/decay/checkpoint/
+// shutdown lifecycle, extracted from cmd/cbsd so that tests and the
+// fleet simulator (internal/fleetsim) can run a real daemon in-process
+// — same handlers, same checkpoint files, same graceful-shutdown
+// semantics — and kill/restart it mid-run.
+package daemon
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"sync"
+	"time"
+
+	"gocbs/internal/bench"
+	"gocbs/internal/bytecode"
+	"gocbs/internal/dcgstore"
+	"gocbs/internal/inline"
+	"gocbs/internal/plan"
+)
+
+// Config is everything cbsd parses from flags; Run takes it whole so
+// tests and the fleet simulator can drive the full daemon lifecycle
+// in-process.
+type Config struct {
+	Addr            string
+	Shards          int
+	Decay           float64
+	DecayEvery      time.Duration
+	DecayPrune      float64
+	StateDir        string
+	CheckpointEvery time.Duration
+	ReadTimeout     time.Duration
+	WriteTimeout    time.Duration
+	PlanPolicy      string
+	PlanFloor       float64
+	PlanBand        float64
+	PlanHold        float64
+
+	// MaxUploadBytes bounds ingest/overlap request bodies; 0 selects
+	// DefaultMaxUploadBytes. Tests shrink it to exercise the 413 path.
+	MaxUploadBytes int64
+
+	// Ready, when non-nil, receives the bound listen address once the
+	// daemon is serving (tests bind :0).
+	Ready chan<- string
+	Logf  func(format string, args ...any)
+}
+
+// Run brings the daemon up and serves until ctx is cancelled (a
+// signal, in production), then shuts down gracefully: the listener
+// closes, in-flight requests drain, the decay and checkpoint tickers
+// stop, and — with a state dir — a final checkpoint is written so a
+// graceful restart loses nothing.
+func Run(ctx context.Context, cfg Config) error {
+	logf := cfg.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+
+	store := dcgstore.New(cfg.Shards)
+	if cfg.StateDir != "" {
+		loaded, err := dcgstore.RestoreCheckpoint(store, cfg.StateDir)
+		if err != nil {
+			return fmt.Errorf("restore %s: %w", cfg.StateDir, err)
+		}
+		if loaded {
+			st := store.Stats()
+			logf("restored checkpoint from %s: %d edges, %.0f weight, %d pushers",
+				cfg.StateDir, st.Edges, st.TotalWeight, st.Pushers)
+		} else {
+			logf("no checkpoint in %s, starting fresh", cfg.StateDir)
+		}
+	}
+
+	plans := NewPlanService(cfg, store, logf)
+
+	srv := &http.Server{
+		Handler:           newServer(store, plans, cfg.MaxUploadBytes).handler(),
+		ReadTimeout:       cfg.ReadTimeout,
+		ReadHeaderTimeout: 5 * time.Second,
+		WriteTimeout:      cfg.WriteTimeout,
+		IdleTimeout:       2 * time.Minute,
+	}
+
+	ln, err := net.Listen("tcp", cfg.Addr)
+	if err != nil {
+		return err
+	}
+	logf("cbsd listening on %s (%d shards, decay %s, state %s)",
+		ln.Addr(), store.NumShards(), decayDesc(cfg.Decay, cfg.DecayEvery), stateDesc(cfg))
+	if cfg.Ready != nil {
+		cfg.Ready <- ln.Addr().String()
+	}
+
+	// Background loops: decay and periodic checkpoints. Both are wired
+	// into the shutdown path — bg.Wait() below guarantees neither a
+	// decay epoch nor a periodic checkpoint races the final checkpoint.
+	bgCtx, stopBg := context.WithCancel(context.Background())
+	defer stopBg()
+	var bg sync.WaitGroup
+	if cfg.Decay > 0 {
+		bg.Add(1)
+		go func() {
+			defer bg.Done()
+			ticker := time.NewTicker(cfg.DecayEvery)
+			defer ticker.Stop()
+			for {
+				select {
+				case <-bgCtx.Done():
+					return
+				case <-ticker.C:
+					pruned := store.Decay(cfg.Decay, cfg.DecayPrune)
+					logf("decay epoch %d: factor %v, pruned %d edges, %d remain",
+						store.Epoch(), cfg.Decay, pruned, store.NumEdges())
+					plans.RefreshAll()
+				}
+			}
+		}()
+	}
+	if cfg.StateDir != "" {
+		bg.Add(1)
+		go func() {
+			defer bg.Done()
+			ckpt := &dcgstore.Checkpointer{
+				Dir: cfg.StateDir, Store: store, Every: cfg.CheckpointEvery, Logf: logf,
+			}
+			ckpt.Run(bgCtx)
+		}()
+		// Keep persisted plans fresh at the same cadence as checkpoints:
+		// a durable daemon re-plans on the checkpoint tick, not just on
+		// demand, so the plan files a restart restores from are recent.
+		bg.Add(1)
+		go func() {
+			defer bg.Done()
+			ticker := time.NewTicker(cfg.CheckpointEvery)
+			defer ticker.Stop()
+			for {
+				select {
+				case <-bgCtx.Done():
+					return
+				case <-ticker.C:
+					plans.RefreshAll()
+				}
+			}
+		}()
+	}
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+
+	select {
+	case err := <-serveErr:
+		stopBg()
+		bg.Wait()
+		return err
+	case <-ctx.Done():
+	}
+
+	// Graceful shutdown: drain in-flight requests first so their
+	// merges make the final checkpoint, then stop the background
+	// tickers, then checkpoint.
+	logf("shutting down: draining requests")
+	drainCtx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	shutdownErr := srv.Shutdown(drainCtx)
+	stopBg()
+	bg.Wait()
+	if cfg.StateDir != "" {
+		if err := dcgstore.SaveCheckpoint(cfg.StateDir, store); err != nil {
+			return fmt.Errorf("final checkpoint: %w", err)
+		}
+		st := store.Stats()
+		logf("final checkpoint written to %s (%d edges, %.0f weight)", cfg.StateDir, st.Edges, st.TotalWeight)
+	}
+	if shutdownErr != nil && !errors.Is(shutdownErr, context.DeadlineExceeded) {
+		return shutdownErr
+	}
+	<-serveErr // Serve returns ErrServerClosed once Shutdown begins
+	return nil
+}
+
+// NewPlanService builds the inlining-plan compiler over the live
+// store. Programs are resolved against the built-in benchmark suite
+// and prepared exactly the way cbsvm prepares them (JIT-only: trivial
+// same-class inlining, no profile-driven decisions), so the global
+// call-site IDs the plan keys on line up with every VM's clone of the
+// same program. With a state dir, compiled plans persist next to the
+// store checkpoints and epochs survive restarts.
+func NewPlanService(cfg Config, store *dcgstore.Store, logf func(string, ...any)) *plan.Service {
+	params := plan.DefaultParams()
+	if cfg.PlanPolicy != "" {
+		params.Policy = cfg.PlanPolicy
+	}
+	if cfg.PlanFloor != 0 {
+		params.MinWeight = cfg.PlanFloor
+	}
+	if cfg.PlanBand != 0 {
+		params.Band = cfg.PlanBand
+	}
+	if cfg.PlanHold != 0 {
+		params.HoldSharePct = cfg.PlanHold
+	}
+	return plan.NewService(plan.ServiceConfig{
+		Source:  store.Snapshot,
+		Version: store.Version,
+		CompileProgram: func(name string) (*bytecode.Program, error) {
+			b := bench.ByName(name)
+			if b == nil {
+				return nil, fmt.Errorf("%w: no benchmark named %q", plan.ErrUnknownProgram, name)
+			}
+			prog, err := b.Compile()
+			if err != nil {
+				return nil, fmt.Errorf("compile %s: %w", name, err)
+			}
+			if _, err := inline.Optimize(prog, inline.Trivial{}, nil, inline.DefaultOptions()); err != nil {
+				return nil, fmt.Errorf("prepare %s: %w", name, err)
+			}
+			return prog, nil
+		},
+		Params:   params,
+		StateDir: cfg.StateDir,
+		Logf:     logf,
+	})
+}
+
+func decayDesc(factor float64, every time.Duration) string {
+	if factor == 0 {
+		return "off"
+	}
+	return fmt.Sprintf("%v every %s", factor, every)
+}
+
+func stateDesc(cfg Config) string {
+	if cfg.StateDir == "" {
+		return "memory-only"
+	}
+	return fmt.Sprintf("%s every %s", cfg.StateDir, cfg.CheckpointEvery)
+}

@@ -1,4 +1,4 @@
-package main
+package daemon
 
 import (
 	"bytes"
@@ -22,18 +22,18 @@ import (
 func startDaemon(t *testing.T, ctx context.Context, stateDir string) (string, <-chan error) {
 	t.Helper()
 	ready := make(chan string, 1)
-	cfg := config{
-		addr:            "127.0.0.1:0",
-		shards:          8,
-		stateDir:        stateDir,
-		checkpointEvery: time.Hour, // only the shutdown checkpoint matters here
-		readTimeout:     10 * time.Second,
-		writeTimeout:    10 * time.Second,
-		ready:           ready,
-		logf:            t.Logf,
+	cfg := Config{
+		Addr:            "127.0.0.1:0",
+		Shards:          8,
+		StateDir:        stateDir,
+		CheckpointEvery: time.Hour, // only the shutdown checkpoint matters here
+		ReadTimeout:     10 * time.Second,
+		WriteTimeout:    10 * time.Second,
+		Ready:           ready,
+		Logf:            t.Logf,
 	}
 	done := make(chan error, 1)
-	go func() { done <- run(ctx, cfg) }()
+	go func() { done <- Run(ctx, cfg) }()
 	select {
 	case addr := <-ready:
 		return "http://" + addr, done
@@ -153,7 +153,7 @@ func TestRunRefusesCorruptCheckpoint(t *testing.T) {
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
-	err := run(ctx, config{addr: "127.0.0.1:0", shards: 4, stateDir: stateDir, logf: t.Logf})
+	err := Run(ctx, Config{Addr: "127.0.0.1:0", Shards: 4, StateDir: stateDir, Logf: t.Logf})
 	if err == nil {
 		t.Fatal("run accepted a corrupt checkpoint")
 	}

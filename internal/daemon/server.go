@@ -1,4 +1,4 @@
-package main
+package daemon
 
 import (
 	"encoding/json"
@@ -16,16 +16,18 @@ import (
 	"gocbs/internal/profile"
 )
 
-// maxUploadBytes bounds ingest/overlap request bodies.
-const maxUploadBytes = 256 << 20
+// DefaultMaxUploadBytes bounds ingest/overlap request bodies unless
+// Config.MaxUploadBytes overrides it.
+const DefaultMaxUploadBytes = 256 << 20
 
 // server is the cbsd HTTP surface over a dcgstore.Store. All handlers
 // are safe for concurrent use: mutation goes through the store's
 // sharded locks and the counters here are atomics.
 type server struct {
-	store *dcgstore.Store
-	plans *plan.Service
-	start time.Time
+	store     *dcgstore.Store
+	plans     *plan.Service
+	start     time.Time
+	maxUpload int64
 
 	ingests      atomic.Uint64
 	ingestErrors atomic.Uint64
@@ -40,8 +42,11 @@ type server struct {
 	encodeErrOnce sync.Once
 }
 
-func newServer(store *dcgstore.Store, plans *plan.Service) *server {
-	return &server{store: store, plans: plans, start: time.Now()}
+func newServer(store *dcgstore.Store, plans *plan.Service, maxUpload int64) *server {
+	if maxUpload <= 0 {
+		maxUpload = DefaultMaxUploadBytes
+	}
+	return &server{store: store, plans: plans, start: time.Now(), maxUpload: maxUpload}
 }
 
 // handler routes the daemon's endpoints. Read endpoints are GET-only;
@@ -88,10 +93,19 @@ func (s *server) writeJSON(w http.ResponseWriter, v any) {
 	}
 }
 
-// readProfileBody parses a serialized DCG out of a request body.
-func readProfileBody(w http.ResponseWriter, r *http.Request) (*profile.DCG, bool) {
-	g, err := profile.ReadDCG(http.MaxBytesReader(w, r.Body, maxUploadBytes))
+// readProfileBody parses a serialized DCG out of a request body. The
+// body is capped with http.MaxBytesReader: a payload that exceeds the
+// cap is answered 413 (distinct from the 400 a malformed body earns),
+// and the server never buffers more than the cap in memory.
+func (s *server) readProfileBody(w http.ResponseWriter, r *http.Request) (*profile.DCG, bool) {
+	g, err := profile.ReadDCG(http.MaxBytesReader(w, r.Body, s.maxUpload))
 	if err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			http.Error(w, fmt.Sprintf("profile payload exceeds %d bytes", tooBig.Limit),
+				http.StatusRequestEntityTooLarge)
+			return nil, false
+		}
 		http.Error(w, fmt.Sprintf("bad profile payload: %v", err), http.StatusBadRequest)
 		return nil, false
 	}
@@ -135,7 +149,7 @@ func (s *server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		s.ingestErrors.Add(1)
 		return
 	}
-	g, ok := readProfileBody(w, r)
+	g, ok := s.readProfileBody(w, r)
 	if !ok {
 		s.ingestErrors.Add(1)
 		return
@@ -227,7 +241,7 @@ func (s *server) handleOverlap(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "POST a serialized reference DCG", http.StatusMethodNotAllowed)
 		return
 	}
-	ref, ok := readProfileBody(w, r)
+	ref, ok := s.readProfileBody(w, r)
 	if !ok {
 		return
 	}

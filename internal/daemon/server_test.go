@@ -1,4 +1,4 @@
-package main
+package daemon
 
 import (
 	"bytes"
@@ -23,8 +23,8 @@ func edge(c, s, t int) profile.Edge { return profile.Edge{Caller: c, Site: s, Ca
 func newTestDaemon(t *testing.T) (*httptest.Server, *dcgstore.Store) {
 	t.Helper()
 	store := dcgstore.New(8)
-	cfg := config{planPolicy: "new-linear", planFloor: 1, planBand: 0.25, planHold: 0.05}
-	ts := httptest.NewServer(newServer(store, newPlanService(cfg, store, t.Logf)).handler())
+	cfg := Config{PlanPolicy: "new-linear", PlanFloor: 1, PlanBand: 0.25, PlanHold: 0.05}
+	ts := httptest.NewServer(newServer(store, NewPlanService(cfg, store, t.Logf), cfg.MaxUploadBytes).handler())
 	t.Cleanup(ts.Close)
 	return ts, store
 }
@@ -102,6 +102,45 @@ func TestIngestRejectsGarbageAndWrongMethod(t *testing.T) {
 	m := decodeJSON(t, mresp)
 	if m["ingest_errors"].(float64) != 1 {
 		t.Errorf("ingest_errors = %v, want 1", m["ingest_errors"])
+	}
+}
+
+// TestIngestRejectsOversizeBody: a push body above the configured cap
+// is answered 413 (not 400, which retrying clients treat the same as
+// any other malformed body) and leaves the store untouched — the
+// MaxBytesReader guarantees the daemon never buffered the excess.
+func TestIngestRejectsOversizeBody(t *testing.T) {
+	store := dcgstore.New(4)
+	cfg := Config{MaxUploadBytes: 128}
+	ts := httptest.NewServer(newServer(store, NewPlanService(cfg, store, t.Logf), cfg.MaxUploadBytes).handler())
+	t.Cleanup(ts.Close)
+
+	big := profile.NewDCG()
+	for i := 0; i < 100; i++ {
+		big.AddSample(edge(i, i, i+1), 1)
+	}
+	for _, path := range []string{"/ingest", "/overlap"} {
+		resp := postProfile(t, ts.URL+path, big)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusRequestEntityTooLarge {
+			t.Errorf("oversize POST %s status %d, want 413", path, resp.StatusCode)
+		}
+	}
+	if n := store.Snapshot().NumEdges(); n != 0 {
+		t.Errorf("oversize body merged %d edges", n)
+	}
+
+	// A small body still lands under the same cap.
+	small := profile.NewDCG()
+	small.AddSample(edge(1, 2, 3), 4)
+	resp := postProfile(t, ts.URL+"/ingest", small)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("small ingest under cap: status %d", resp.StatusCode)
+	}
+	m := decodeJSON(t, mustGet(t, ts.URL+"/metrics"))
+	if m["ingest_errors"].(float64) != 1 {
+		t.Errorf("ingest_errors = %v, want 1 (the oversize /ingest)", m["ingest_errors"])
 	}
 }
 

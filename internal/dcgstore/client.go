@@ -240,6 +240,9 @@ type DeltaPusher struct {
 	last   *profile.DCG
 	// pending holds unacknowledged increments in sequence order.
 	pending []stampedDelta
+	// acked accumulates every increment the daemon acknowledged; it is
+	// by construction the exact graph the daemon owes this pusher.
+	acked *profile.DCG
 	// Pushes counts increments acknowledged by the daemon (empty
 	// deltas are skipped).
 	Pushes int
@@ -248,7 +251,19 @@ type DeltaPusher struct {
 // NewDeltaPusher returns a pusher that streams to client under its own
 // fresh pusher identity (so several DeltaPushers may share a Client).
 func NewDeltaPusher(client *Client) *DeltaPusher {
-	return &DeltaPusher{client: client, id: newPusherID()}
+	return NewDeltaPusherWithID(client, "")
+}
+
+// NewDeltaPusherWithID returns a pusher under a caller-chosen identity;
+// an empty or invalid id falls back to a fresh random one. Fixed IDs
+// are for deterministic harnesses (the fleet simulator names its
+// pushers after their seed); production pushers want NewDeltaPusher's
+// random identity — see newPusherID for why collisions are dangerous.
+func NewDeltaPusherWithID(client *Client, id string) *DeltaPusher {
+	if !ValidPusherID(id) {
+		id = newPusherID()
+	}
+	return &DeltaPusher{client: client, id: id, acked: profile.NewDCG()}
 }
 
 // PusherID returns the identity this pusher's increments are stamped
@@ -257,6 +272,13 @@ func (p *DeltaPusher) PusherID() string { return p.id }
 
 // Pending reports how many stamped increments await acknowledgement.
 func (p *DeltaPusher) Pending() int { return len(p.pending) }
+
+// Acknowledged returns a clone of the cumulative graph the daemon has
+// acknowledged from this pusher — the sum of every frozen increment
+// whose push succeeded. Under exactly-once delivery the daemon's store
+// owes this pusher precisely this graph, which is what the fleet
+// simulator's conservation checker asserts.
+func (p *DeltaPusher) Acknowledged() *profile.DCG { return p.acked.Clone() }
 
 // Push captures the weight cur has accumulated since the previous Push
 // (all of cur on the first call) as a new stamped increment, then
@@ -283,6 +305,7 @@ func (p *DeltaPusher) flush() error {
 			return err
 		}
 		p.pending = p.pending[1:]
+		p.acked.Merge(head.delta)
 		p.Pushes++
 	}
 	return nil

@@ -18,6 +18,7 @@ package dcgstore
 
 import (
 	"math"
+	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -165,27 +166,38 @@ func (s *Store) AddSample(e profile.Edge, w float64) {
 }
 
 // MergeDCG bulk-merges a collected DCG snapshot into the store. Edges
-// are grouped by shard first, so each shard is locked exactly once per
-// merge regardless of the snapshot's size, and every touched shard
-// republishes its read snapshot before unlocking (the bulk operation
-// amortizes the copy). Zero-weight edges are skipped, mirroring
-// profile.DCG.Merge. Safe for concurrent use; concurrent merges
-// interleave at shard granularity but each edge's weight is the exact
-// sum of all merged contributions.
+// are grouped by shard first, then every touched shard is locked
+// simultaneously — in index order, the same order lockAll uses, so
+// merges cannot deadlock against Snapshot, Decay, or each other — the
+// whole snapshot is applied, and each shard republishes its read view
+// before the locks drop. Holding all touched shards at once is what
+// makes Snapshot's consistency promise true: a concurrent Snapshot
+// observes this merge fully applied or not at all, never split across
+// shards. Zero-weight edges are skipped, mirroring profile.DCG.Merge.
+// Safe for concurrent use; each edge's weight is the exact sum of all
+// merged contributions.
 func (s *Store) MergeDCG(g *profile.DCG) {
 	if g == nil || g.NumEdges() == 0 {
 		s.merges.Add(1)
 		return
 	}
-	byShard := make(map[*shard][]profile.Edge, len(s.shards))
+	byShard := make(map[int][]profile.Edge, len(s.shards))
 	for _, e := range g.Edges() {
-		sh := s.shardFor(e)
-		byShard[sh] = append(byShard[sh], e)
+		i := int(edgeHash(e) & s.mask)
+		byShard[i] = append(byShard[i], e)
+	}
+	idxs := make([]int, 0, len(byShard))
+	for i := range byShard {
+		idxs = append(idxs, i)
+	}
+	sort.Ints(idxs)
+	for _, i := range idxs {
+		s.shards[i].mu.Lock()
 	}
 	var added float64
-	for sh, edges := range byShard {
-		sh.mu.Lock()
-		for _, e := range edges {
+	for _, i := range idxs {
+		sh := &s.shards[i]
+		for _, e := range byShard[i] {
 			w := g.Weight(e)
 			if w <= 0 {
 				continue
@@ -195,7 +207,9 @@ func (s *Store) MergeDCG(g *profile.DCG) {
 			added += w
 		}
 		sh.publishLocked()
-		sh.mu.Unlock()
+	}
+	for _, i := range idxs {
+		s.shards[i].mu.Unlock()
 	}
 	s.ingested.Add(added)
 	s.merges.Add(1)

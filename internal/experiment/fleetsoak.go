@@ -1,0 +1,66 @@
+package experiment
+
+import (
+	"fmt"
+
+	"gocbs/internal/fleetsim"
+)
+
+// FleetSoak is the chaos-harness study: a deterministic fleet of CBS
+// pusher VMs and plan pullers runs against a real in-process cbsd
+// under injected latency, dropped responses, connection resets,
+// synthetic 5xx, and mid-run daemon kill/restart cycles, while the
+// fleetsim invariant checkers watch the end-to-end guarantees
+// (exactly-once ingest, monotone plan epochs, restart byte-identity,
+// no puller divergence). CI gates on the verdicts: a failed invariant
+// is an error, not a table entry.
+
+// FleetSoakParams sizes the soak.
+type FleetSoakParams struct {
+	VMs      int
+	Pullers  int
+	Rounds   int
+	Restarts int
+	Seed     int64
+}
+
+// DefaultFleetSoakParams is the CI-sized soak; QuickFleetSoakParams is
+// the -quick variant.
+func DefaultFleetSoakParams() FleetSoakParams {
+	return FleetSoakParams{VMs: 16, Pullers: 4, Rounds: 6, Restarts: 2, Seed: 42}
+}
+
+// QuickFleetSoakParams returns a smaller soak for -quick runs.
+func QuickFleetSoakParams() FleetSoakParams {
+	return FleetSoakParams{VMs: 4, Pullers: 2, Rounds: 4, Restarts: 1, Seed: 42}
+}
+
+// FleetSoak runs the soak with every fault kind enabled and returns
+// the report; any failed invariant is returned as an error so callers
+// (cbsbench, CI) fail loudly.
+func FleetSoak(cfg Config, p FleetSoakParams) (*fleetsim.Report, error) {
+	if len(cfg.Seeds) > 0 {
+		p.Seed = cfg.Seeds[0]
+	}
+	faults, _ := fleetsim.ParseFaults("all")
+	rep, err := fleetsim.Run(fleetsim.Config{
+		VMs:      p.VMs,
+		Pullers:  p.Pullers,
+		Rounds:   p.Rounds,
+		Seed:     p.Seed,
+		Faults:   faults,
+		Restarts: p.Restarts,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if !rep.AllPassed() {
+		return rep, fmt.Errorf("fleet soak (seed %d) failed invariants:\n%s", p.Seed, rep.Format())
+	}
+	return rep, nil
+}
+
+// FormatFleetSoak renders the study.
+func FormatFleetSoak(rep *fleetsim.Report) string {
+	return rep.Format()
+}

@@ -1,0 +1,173 @@
+package fleetsim
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestParseFaults(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want string
+		err  bool
+	}{
+		{"all", "latency,drop-response,reset,5xx", false},
+		{"none", "none", false},
+		{"", "none", false},
+		{"latency,5xx", "latency,5xx", false},
+		{" reset ", "reset", false},
+		{"bogus", "", true},
+		{"latency,bogus", "", true},
+	} {
+		fs, err := ParseFaults(tc.in)
+		if tc.err {
+			if err == nil {
+				t.Errorf("ParseFaults(%q): expected error", tc.in)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("ParseFaults(%q): %v", tc.in, err)
+			continue
+		}
+		if got := fs.String(); got != tc.want {
+			t.Errorf("ParseFaults(%q) = %q, want %q", tc.in, got, tc.want)
+		}
+	}
+}
+
+// TestTransportDrawsAreDeterministic is the core of the determinism
+// contract: two transports for the same (seed, actor) draw identical
+// fault sequences, and the disable switch does not perturb the stream.
+func TestTransportDrawsAreDeterministic(t *testing.T) {
+	faults, _ := ParseFaults("all")
+	const n = 2000
+
+	sequence := func(c *chaos, actor string) []FaultEvent {
+		tr := c.transportFor(actor, "push")
+		var out []FaultEvent
+		for i := 1; i <= n; i++ {
+			if k, _, ok := tr.draw(); ok {
+				out = append(out, FaultEvent{Actor: actor, Request: i, Kind: k})
+			}
+		}
+		return out
+	}
+
+	c1 := newChaos(42, faults, 0)
+	c2 := newChaos(42, faults, 0)
+	a, b := sequence(c1, "pusher-001"), sequence(c2, "pusher-001")
+	if len(a) == 0 {
+		t.Fatalf("no faults drawn in %d requests at rate %v", n, faultRate)
+	}
+	if len(a) != len(b) {
+		t.Fatalf("same (seed, actor) drew %d vs %d faults", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("draw %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+
+	// A different actor under the same seed gets an independent stream.
+	other := sequence(newChaos(42, faults, 0), "pusher-002")
+	same := len(other) == len(a)
+	if same {
+		for i := range a {
+			if other[i].Request != a[i].Request || other[i].Kind != a[i].Kind {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatal("two distinct actors drew identical fault sequences")
+	}
+}
+
+// TestTransportFaultSemantics drives real requests through the chaos
+// transport at a live backend and checks each fault kind's observable
+// contract: drop-response and latency requests reach the backend,
+// reset and synthetic-5xx requests do not, and clean requests succeed.
+func TestTransportFaultSemantics(t *testing.T) {
+	var hits atomic.Int64
+	backend := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		io.WriteString(w, "ok")
+	}))
+	defer backend.Close()
+
+	faults, _ := ParseFaults("all")
+	c := newChaos(1, faults, time.Millisecond)
+	defer c.close()
+	c.router.setTarget(strings.TrimPrefix(backend.URL, "http://"))
+
+	hc := &http.Client{Transport: c.transportFor("probe", "push")}
+	const n = 400
+	var errs, fiveohthree int
+	for i := 0; i < n; i++ {
+		resp, err := hc.Get("http://" + PlaceholderHost + "/x")
+		if err != nil {
+			errs++
+			continue
+		}
+		if resp.StatusCode == http.StatusServiceUnavailable {
+			fiveohthree++
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+
+	counts := c.countsCopy()
+	if counts[FaultReset] == 0 || counts[Fault5xx] == 0 || counts[FaultDropResponse] == 0 || counts[FaultLatency] == 0 {
+		t.Fatalf("expected all fault kinds in %d requests, got %v", n, counts)
+	}
+	if fiveohthree != counts[Fault5xx] {
+		t.Errorf("synthetic 503s seen %d, drawn %d", fiveohthree, counts[Fault5xx])
+	}
+	// Resets and drop-responses surface as client errors.
+	if want := counts[FaultReset] + counts[FaultDropResponse]; errs != want {
+		t.Errorf("client errors %d, want resets+drops = %d", errs, want)
+	}
+	// The backend sees everything except resets and synthetic 503s —
+	// crucially, dropped responses WERE delivered.
+	if got, want := int(hits.Load()), n-counts[FaultReset]-counts[Fault5xx]; got != want {
+		t.Errorf("backend hits %d, want %d (n=%d minus %d resets, %d 503s)",
+			got, want, n, counts[FaultReset], counts[Fault5xx])
+	}
+
+	// With no target, requests fail with a synthetic refusal and reach
+	// nothing.
+	c.router.setTarget("")
+	c.enabled.Store(false)
+	before := hits.Load()
+	if _, err := hc.Get("http://" + PlaceholderHost + "/x"); err == nil {
+		t.Error("request with daemon down did not fail")
+	} else if !strings.Contains(err.Error(), "connection refused") {
+		t.Errorf("daemon-down error %q does not look like a refusal", err)
+	}
+	if hits.Load() != before {
+		t.Error("daemon-down request reached the backend")
+	}
+}
+
+func TestRestartRoundsSpread(t *testing.T) {
+	if got := restartRounds(8, 0); len(got) != 0 {
+		t.Errorf("restartRounds(8,0) = %v", got)
+	}
+	got := restartRounds(9, 2)
+	if len(got) != 2 || !got[2] || !got[5] {
+		t.Errorf("restartRounds(9,2) = %v, want rounds 2 and 5", got)
+	}
+	// Never schedules after the final round; tiny runs clamp sensibly.
+	for r := range restartRounds(2, 5) {
+		if r >= 1 {
+			t.Errorf("restartRounds(2,5) scheduled after round %d", r)
+		}
+	}
+}

@@ -1,0 +1,501 @@
+package fleetsim
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sync"
+	"time"
+
+	"gocbs/internal/bench"
+	"gocbs/internal/bytecode"
+	"gocbs/internal/daemon"
+	"gocbs/internal/dcgstore"
+	"gocbs/internal/inline"
+	"gocbs/internal/plan"
+	"gocbs/internal/profile"
+	"gocbs/internal/profiler"
+	"gocbs/internal/puller"
+	"gocbs/internal/vm"
+)
+
+// Config parameterizes one fleet soak.
+type Config struct {
+	// VMs is the number of pusher VMs; Pullers the number of
+	// plan-pulling VMs running concurrently.
+	VMs     int
+	Pullers int
+	// Rounds is how many push rounds each pusher runs;, each round is
+	// ItersPerRound benchmark iterations followed by one delta push.
+	// Pullers run the same number of rounds, polling every round.
+	Rounds        int
+	ItersPerRound int
+	// Seed drives every random decision in the run: the fault schedule
+	// and the pushers' CBS sampling.
+	Seed int64
+	// Faults selects which fault kinds to inject (nil or empty = none).
+	Faults FaultSet
+	// Restarts is how many daemon kill/restart cycles to schedule at
+	// round boundaries, evenly spread across the run.
+	Restarts int
+	// Program names the benchmark the whole fleet runs (default
+	// "compress").
+	Program string
+	// StateDir is the daemon's checkpoint directory; empty means a
+	// fresh temporary directory, removed when the run ends.
+	StateDir string
+	// MaxLatency bounds injected latency faults (default 2ms).
+	MaxLatency time.Duration
+
+	Logf func(format string, args ...any)
+}
+
+func (c *Config) setDefaults() {
+	if c.VMs <= 0 {
+		c.VMs = 4
+	}
+	if c.Pullers <= 0 {
+		c.Pullers = 2
+	}
+	if c.Rounds <= 0 {
+		c.Rounds = 6
+	}
+	if c.ItersPerRound <= 0 {
+		c.ItersPerRound = 2
+	}
+	if c.Program == "" {
+		c.Program = "compress"
+	}
+	if c.Logf == nil {
+		c.Logf = func(string, ...any) {}
+	}
+}
+
+// pusherActor is one profiled VM streaming CBS deltas to the daemon
+// through its own fault-injecting transport. Actors advance in
+// lockstep rounds so daemon restarts happen at known-quiesced points.
+type pusherActor struct {
+	name string
+	cbs  *profiler.CBS
+	m    *vm.VM
+	iter *bytecode.Method
+	push *dcgstore.DeltaPusher
+
+	pushErrs int
+}
+
+func (a *pusherActor) round(iters int) error {
+	for i := 0; i < iters; i++ {
+		if _, err := a.m.Call(a.iter); err != nil {
+			return fmt.Errorf("%s: iter: %w", a.name, err)
+		}
+	}
+	if err := a.push.Push(a.cbs.Graph); err != nil {
+		// Expected under chaos: the increment stays pending, frozen with
+		// its stamp, and the next round's push re-sends it first.
+		a.pushErrs++
+	}
+	return nil
+}
+
+// drain pushes until nothing is pending. Callers disable chaos first;
+// the retry cap only guards against a genuinely broken daemon.
+func (a *pusherActor) drain() error {
+	var lastErr error
+	for attempt := 0; attempt < 50; attempt++ {
+		lastErr = a.push.Push(a.cbs.Graph)
+		if lastErr == nil && a.push.Pending() == 0 {
+			return nil
+		}
+	}
+	return fmt.Errorf("%s: %d increment(s) still pending after drain: %v", a.name, a.push.Pending(), lastErr)
+}
+
+// daemonHandle is one in-process daemon incarnation.
+type daemonHandle struct {
+	addr   string
+	cancel context.CancelFunc
+	done   chan error
+}
+
+// fleet is the per-run state Run threads through its phases.
+type fleet struct {
+	cfg      Config
+	chaos    *chaos
+	d        *daemonHandle
+	stateDir string
+	// direct bypasses chaos for capture/verification traffic.
+	direct *http.Client
+}
+
+func (f *fleet) startDaemon() error {
+	ready := make(chan string, 1)
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		done <- daemon.Run(ctx, daemon.Config{
+			Addr:            "127.0.0.1:0",
+			Shards:          8,
+			StateDir:        f.stateDir,
+			CheckpointEvery: time.Hour,
+			ReadTimeout:     10 * time.Second,
+			WriteTimeout:    10 * time.Second,
+			// Sensitive plan params so short soaks with small graphs still
+			// produce non-empty plans (mirrors the daemon package's tests).
+			PlanFloor: 1, PlanBand: 0.25, PlanHold: 0.05,
+			Ready: ready,
+			Logf:  f.cfg.Logf,
+		})
+	}()
+	select {
+	case addr := <-ready:
+		f.d = &daemonHandle{addr: addr, cancel: cancel, done: done}
+		f.chaos.router.setTarget(addr)
+		return nil
+	case err := <-done:
+		cancel()
+		return fmt.Errorf("daemon failed to start: %w", err)
+	case <-time.After(30 * time.Second):
+		cancel()
+		return fmt.Errorf("daemon did not become ready")
+	}
+}
+
+// stopDaemon cancels the daemon's context — the same code path a
+// SIGTERM takes in production (cmd/cbsd uses signal.NotifyContext) —
+// and waits for the graceful shutdown, including the final checkpoint.
+func (f *fleet) stopDaemon() error {
+	f.chaos.router.setTarget("")
+	f.d.cancel()
+	err := <-f.d.done
+	f.d = nil
+	return err
+}
+
+// capture fetches path directly (no chaos) from the live daemon.
+func (f *fleet) capture(path string) ([]byte, error) {
+	resp, err := f.direct.Get("http://" + f.d.addr + path)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("GET %s: %s: %s", path, resp.Status, b)
+	}
+	return b, nil
+}
+
+// jitCompile prepares one clone of the fleet's program exactly the way
+// cbsvm and the daemon's plan compiler do (trivial same-class inlining
+// only), so plan call-site IDs line up across every copy.
+func jitCompile(name string) (*bytecode.Program, *bench.Benchmark, error) {
+	b := bench.ByName(name)
+	if b == nil {
+		return nil, nil, fmt.Errorf("no benchmark named %q", name)
+	}
+	prog, err := b.Compile()
+	if err != nil {
+		return nil, nil, err
+	}
+	if _, err := inline.Optimize(prog, inline.Trivial{}, nil, inline.DefaultOptions()); err != nil {
+		return nil, nil, err
+	}
+	return prog, b, nil
+}
+
+// restartRounds spreads cfg.Restarts evenly over the round boundaries;
+// the returned set holds 0-based round indices after which to restart.
+func restartRounds(rounds, restarts int) map[int]bool {
+	set := make(map[int]bool)
+	for i := 1; i <= restarts; i++ {
+		r := i*rounds/(restarts+1) - 1
+		if r < 0 {
+			r = 0
+		}
+		if r >= rounds-1 {
+			// Restarting after the last round would verify nothing the
+			// final drain doesn't; keep it inside the run.
+			r = rounds - 2
+		}
+		if r >= 0 {
+			set[r] = true
+		}
+	}
+	return set
+}
+
+// Run executes one fleet soak and returns its report. The run is
+// deterministic in the sense documented on Deterministic: same Config
+// (including Seed) ⇒ same fault schedule, same invariant verdicts,
+// same final aggregate graph, same digest.
+func Run(cfg Config) (*Report, error) {
+	cfg.setDefaults()
+	if cfg.Faults == nil {
+		cfg.Faults = make(FaultSet)
+	}
+
+	stateDir := cfg.StateDir
+	if stateDir == "" {
+		dir, err := os.MkdirTemp("", "fleetsim-*")
+		if err != nil {
+			return nil, err
+		}
+		defer os.RemoveAll(dir)
+		stateDir = dir
+	}
+
+	f := &fleet{
+		cfg:      cfg,
+		chaos:    newChaos(cfg.Seed, cfg.Faults, cfg.MaxLatency),
+		stateDir: stateDir,
+		direct:   &http.Client{Timeout: 10 * time.Second},
+	}
+	defer f.chaos.close()
+
+	if err := f.startDaemon(); err != nil {
+		return nil, err
+	}
+	defer func() {
+		if f.d != nil {
+			f.stopDaemon()
+		}
+	}()
+	cfg.Logf("fleetsim: daemon up at %s, state %s", f.d.addr, stateDir)
+
+	_, b, err := jitCompile(cfg.Program)
+	if err != nil {
+		return nil, err
+	}
+	size := b.SizeFor("small")
+	planPath := "/plan?program=" + cfg.Program
+
+	// Build the pusher actors: per-VM program clone, CBS profiler with
+	// a per-VM seed, and a DeltaPusher under a fixed, name-derived
+	// identity (deterministic harness; production uses random IDs).
+	pushers := make([]*pusherActor, cfg.VMs)
+	for k := range pushers {
+		name := fmt.Sprintf("pusher-%03d", k)
+		prog, _, err := jitCompile(cfg.Program)
+		if err != nil {
+			return nil, err
+		}
+		cbs := profiler.NewCBS(profiler.Config{
+			Stride: 3, SamplesPerTick: 16,
+			Flavour: profiler.FlavourRVM, Seed: cfg.Seed + int64(k),
+		})
+		m := vm.New(prog)
+		m.SetProfiler(cbs)
+		m.SetTimer(50_000)
+		setup := prog.MethodByName("$Globals.setup")
+		iter := prog.MethodByName("$Globals.iter")
+		if setup == nil || iter == nil {
+			return nil, fmt.Errorf("%s does not follow the setup/iter protocol", cfg.Program)
+		}
+		if _, err := m.Call(setup, vm.IntV(size)); err != nil {
+			return nil, fmt.Errorf("%s setup: %w", name, err)
+		}
+		client := &dcgstore.Client{
+			BaseURL:    "http://" + PlaceholderHost,
+			HTTPClient: &http.Client{Transport: f.chaos.transportFor(name, "push"), Timeout: 10 * time.Second},
+			// Keep retry backoff tiny: chaos makes retries common and the
+			// soak's wall clock should measure the system, not sleeps.
+			Backoff: time.Millisecond, MaxBackoff: 4 * time.Millisecond,
+		}
+		pushers[k] = &pusherActor{
+			name: name,
+			cbs:  cbs,
+			m:    m,
+			iter: iter,
+			push: dcgstore.NewDeltaPusherWithID(client, name),
+		}
+	}
+
+	// Checkers.
+	planCk := newPlanChecker()
+	restartCk := &restartChecker{}
+
+	// Pullers free-run against the chaos transport for the whole soak;
+	// they are built to tolerate a daemon that is down or lying.
+	var pullerWG sync.WaitGroup
+	outcomes := make([]pullerOutcome, cfg.Pullers)
+	for k := 0; k < cfg.Pullers; k++ {
+		name := fmt.Sprintf("puller-%02d", k)
+		pristine, _, err := jitCompile(cfg.Program)
+		if err != nil {
+			return nil, err
+		}
+		pc := plan.NewClient("http://" + PlaceholderHost)
+		pc.SetHTTPClient(&http.Client{Transport: f.chaos.transportFor(name, "pull"), Timeout: 10 * time.Second})
+		k, name := k, name
+		pullerWG.Add(1)
+		go func() {
+			defer pullerWG.Done()
+			st, err := puller.Run(pristine, puller.Options{
+				Program: cfg.Program,
+				Size:    size,
+				Rounds:  cfg.Rounds,
+				Every:   1,
+				Iters:   1,
+				Verify:  true,
+				Client:  pc,
+				Observe: func(p *plan.Plan, swapped bool) { planCk.Observe(name, p, swapped) },
+				Logf:    cfg.Logf,
+			})
+			outcomes[k] = pullerOutcome{Name: name, Killed: st.Killed, Rounds: st.Rounds, Swaps: st.Swaps, Err: err}
+		}()
+	}
+
+	cfg.Logf("fleetsim: actors ready")
+	// The main soak loop: lockstep pusher rounds with scheduled
+	// kill/restart cycles at quiesced boundaries.
+	restarts := restartRounds(cfg.Rounds, cfg.Restarts)
+	restartsDone := 0
+	start := time.Now()
+	for r := 0; r < cfg.Rounds; r++ {
+		var wg sync.WaitGroup
+		errs := make([]error, len(pushers))
+		for i, a := range pushers {
+			i, a := i, a
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				errs[i] = a.round(cfg.ItersPerRound)
+			}()
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				return nil, err
+			}
+		}
+
+		if !restarts[r] {
+			continue
+		}
+
+		// Quiesce: suspend fault effects (draws continue — see chaos.go),
+		// drain every pusher so the acknowledged graphs and the store
+		// agree, then capture, kill, restart, recapture.
+		f.chaos.enabled.Store(false)
+		for _, a := range pushers {
+			if err := a.drain(); err != nil {
+				return nil, err
+			}
+		}
+		snapBefore, err := f.capture("/snapshot")
+		if err != nil {
+			return nil, fmt.Errorf("pre-restart snapshot: %w", err)
+		}
+		planBefore, err := f.capture(planPath)
+		if err != nil {
+			return nil, fmt.Errorf("pre-restart plan: %w", err)
+		}
+		if err := f.stopDaemon(); err != nil {
+			return nil, fmt.Errorf("daemon shutdown (restart %d): %w", restartsDone+1, err)
+		}
+		if err := f.startDaemon(); err != nil {
+			return nil, fmt.Errorf("daemon restart %d: %w", restartsDone+1, err)
+		}
+		snapAfter, err := f.capture("/snapshot")
+		if err != nil {
+			return nil, fmt.Errorf("post-restart snapshot: %w", err)
+		}
+		planAfter, err := f.capture(planPath)
+		if err != nil {
+			return nil, fmt.Errorf("post-restart plan: %w", err)
+		}
+		restartsDone++
+		restartCk.Record(restartsDone, snapBefore, snapAfter, planBefore, planAfter)
+		cfg.Logf("fleetsim: restart %d after round %d: daemon back at %s", restartsDone, r+1, f.d.addr)
+		f.chaos.enabled.Store(true)
+	}
+
+	// Final drain: everything captured must be acknowledged before the
+	// conservation check reads the store.
+	f.chaos.enabled.Store(false)
+	for _, a := range pushers {
+		if err := a.drain(); err != nil {
+			return nil, err
+		}
+	}
+	pullerWG.Wait()
+	elapsed := time.Since(start)
+
+	snapBytes, err := f.capture("/snapshot")
+	if err != nil {
+		return nil, fmt.Errorf("final snapshot: %w", err)
+	}
+	snapshot, err := profile.ReadDCG(bytes.NewReader(snapBytes))
+	if err != nil {
+		return nil, fmt.Errorf("final snapshot: %w", err)
+	}
+
+	acked := make(map[string]*profile.DCG, len(pushers))
+	ackedPushes := 0
+	for _, a := range pushers {
+		acked[a.name] = a.push.Acknowledged()
+		ackedPushes += a.push.Pushes
+	}
+
+	verdicts := []Verdict{
+		checkConservation(snapshot, acked),
+		planCk.Verdict(),
+		restartCk.Verdict(restartsDone),
+		checkDivergence(outcomes),
+	}
+
+	rep := &Report{
+		Deterministic: Deterministic{
+			Seed:          cfg.Seed,
+			Program:       cfg.Program,
+			VMs:           cfg.VMs,
+			Pullers:       cfg.Pullers,
+			Rounds:        cfg.Rounds,
+			ItersPerRound: cfg.ItersPerRound,
+			Faults:        cfg.Faults.String(),
+			RestartsDone:  restartsDone,
+			FaultSchedule: f.chaos.scheduleCopy(),
+			FaultCounts:   f.chaos.countsCopy(),
+			AckedPushes:   ackedPushes,
+			FinalEdges:    snapshot.NumEdges(),
+			FinalWeight:   snapshot.Total(),
+			Invariants:    make(map[string]bool, len(verdicts)),
+		},
+		Verdicts: verdicts,
+	}
+	for _, v := range verdicts {
+		rep.Deterministic.Invariants[v.Name] = v.Passed
+	}
+	rep.finalize()
+
+	var polls, swaps int
+	var topEpoch uint64
+	for _, o := range outcomes {
+		swaps += o.Swaps
+	}
+	planCk.mu.Lock()
+	polls = planCk.observations
+	for e := range planCk.epochHash {
+		if e > topEpoch {
+			topEpoch = e
+		}
+	}
+	planCk.mu.Unlock()
+	rep.Timing = Timing{
+		DurationMs:     float64(elapsed.Nanoseconds()) / 1e6,
+		IngestPerSec:   float64(ackedPushes) / elapsed.Seconds(),
+		PushLatency:    f.chaos.pushLatency.Summary(),
+		PullLatency:    f.chaos.pullLatency.Summary(),
+		PullerPolls:    polls,
+		PullerSwaps:    swaps,
+		FinalPlanEpoch: topEpoch,
+	}
+	return rep, nil
+}

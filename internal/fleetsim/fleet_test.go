@@ -1,0 +1,106 @@
+package fleetsim
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// TestFleetSoakAllFaults is the end-to-end soak at test scale: a small
+// fleet under every fault kind plus a mid-run daemon kill/restart, and
+// every invariant checker must pass.
+func TestFleetSoakAllFaults(t *testing.T) {
+	faults, _ := ParseFaults("all")
+	rep, err := Run(Config{
+		VMs:      3,
+		Pullers:  2,
+		Rounds:   4,
+		Seed:     1,
+		Faults:   faults,
+		Restarts: 1,
+		Logf:     t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s", rep.Format())
+	if !rep.AllPassed() {
+		t.Fatal("invariant checkers failed")
+	}
+	d := &rep.Deterministic
+	if len(d.FaultSchedule) == 0 {
+		t.Error("seed 1 drew no faults — the soak exercised nothing")
+	}
+	if d.AckedPushes == 0 || d.FinalEdges == 0 || d.FinalWeight <= 0 {
+		t.Errorf("empty aggregate: %d pushes, %d edges, %.0f weight", d.AckedPushes, d.FinalEdges, d.FinalWeight)
+	}
+	if d.RestartsDone != 1 {
+		t.Errorf("restarts done = %d, want 1", d.RestartsDone)
+	}
+	if rep.Digest == "" {
+		t.Error("report has no digest")
+	}
+	if rep.Timing.PushLatency.Count == 0 || rep.Timing.PullLatency.Count == 0 {
+		t.Errorf("latency histograms empty: push n=%d pull n=%d",
+			rep.Timing.PushLatency.Count, rep.Timing.PullLatency.Count)
+	}
+	// The report must round-trip as JSON (CI consumes it).
+	var decoded Report
+	if err := json.Unmarshal(rep.JSON(), &decoded); err != nil {
+		t.Fatalf("report JSON does not parse: %v", err)
+	}
+	if decoded.Digest != rep.Digest {
+		t.Error("digest lost in JSON round trip")
+	}
+}
+
+// TestFleetSameSeedIsDeterministic runs the same chaotic configuration
+// twice and requires byte-identical deterministic sections: the same
+// fault schedule, the same acknowledged-push count, the same final
+// aggregate graph, the same verdicts, the same digest.
+func TestFleetSameSeedIsDeterministic(t *testing.T) {
+	faults, _ := ParseFaults("all")
+	cfg := Config{
+		VMs:      2,
+		Pullers:  1,
+		Rounds:   3,
+		Seed:     7,
+		Faults:   faults,
+		Restarts: 1,
+	}
+	run := func() []byte {
+		rep, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !rep.AllPassed() {
+			t.Fatalf("invariants failed:\n%s", rep.Format())
+		}
+		b, err := json.MarshalIndent(rep.Deterministic, "", " ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return append(b, []byte("\ndigest: "+rep.Digest)...)
+	}
+	first, second := run(), run()
+	t.Logf("deterministic section:\n%s", first)
+	if !bytes.Equal(first, second) {
+		t.Errorf("same seed produced different deterministic reports:\n--- run 1 ---\n%s\n--- run 2 ---\n%s", first, second)
+	}
+}
+
+// TestFleetNoFaultsNoRestarts is the control: with chaos off the soak
+// must of course pass, and no fault events may be drawn.
+func TestFleetNoFaultsNoRestarts(t *testing.T) {
+	rep, err := Run(Config{VMs: 2, Pullers: 1, Rounds: 2, Seed: 3, Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s", rep.Format())
+	if !rep.AllPassed() {
+		t.Fatalf("clean run failed invariants:\n%s", rep.Format())
+	}
+	if n := len(rep.Deterministic.FaultSchedule); n != 0 {
+		t.Errorf("clean run drew %d faults", n)
+	}
+}

@@ -1,0 +1,145 @@
+package fleetsim
+
+// Negative tests: every invariant checker must actually fire when its
+// invariant is broken. A checker that cannot fail would make the whole
+// harness a green rubber stamp.
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"gocbs/internal/plan"
+	"gocbs/internal/profile"
+)
+
+func TestConservationCheckerFires(t *testing.T) {
+	e := profile.Edge{Caller: 1, Site: 2, Callee: 3}
+	ackedGraph := profile.NewDCG()
+	ackedGraph.AddSample(e, 10)
+	acked := map[string]*profile.DCG{"pusher-000": ackedGraph}
+
+	match := profile.NewDCG()
+	match.AddSample(e, 10)
+	if v := checkConservation(match, acked); !v.Passed {
+		t.Fatalf("equal graphs failed conservation: %s", v.Detail)
+	}
+
+	// A double-applied retry (extra weight in the store) must fail...
+	double := profile.NewDCG()
+	double.AddSample(e, 20)
+	if v := checkConservation(double, acked); v.Passed {
+		t.Fatal("duplicated weight passed conservation")
+	} else if !strings.Contains(v.Detail, "first diff") {
+		t.Errorf("failure detail does not locate the diff: %s", v.Detail)
+	}
+
+	// ...and so must a lost increment (store missing an acked edge).
+	if v := checkConservation(profile.NewDCG(), acked); v.Passed {
+		t.Fatal("lost increment passed conservation")
+	}
+}
+
+func mkPlan(epoch uint64, decisions []plan.Decision) *plan.Plan {
+	p := &plan.Plan{Program: "compress", Policy: "new-linear", Epoch: epoch, Decisions: decisions}
+	p.Hash = p.ContentHash()
+	return p
+}
+
+func TestPlanCheckerFires(t *testing.T) {
+	d1 := []plan.Decision{{Site: 1, Callee: 2, Kind: plan.KindStatic}}
+	d2 := []plan.Decision{{Site: 1, Callee: 3, Kind: plan.KindGuarded}}
+
+	t.Run("clean history passes", func(t *testing.T) {
+		c := newPlanChecker()
+		c.Observe("puller-00", mkPlan(1, d1), false)
+		c.Observe("puller-00", mkPlan(2, d2), true)
+		c.Observe("puller-01", mkPlan(1, d1), false)
+		if v := c.Verdict(); !v.Passed {
+			t.Fatalf("clean history failed: %s", v.Detail)
+		}
+	})
+	t.Run("no observations fails", func(t *testing.T) {
+		if v := newPlanChecker().Verdict(); v.Passed {
+			t.Fatal("zero observations passed")
+		}
+	})
+	t.Run("forged content hash fires", func(t *testing.T) {
+		c := newPlanChecker()
+		p := mkPlan(1, d1)
+		p.Hash++
+		c.Observe("puller-00", p, false)
+		if v := c.Verdict(); v.Passed {
+			t.Fatal("forged hash passed")
+		}
+	})
+	t.Run("epoch regression fires", func(t *testing.T) {
+		c := newPlanChecker()
+		c.Observe("puller-00", mkPlan(2, d2), false)
+		c.Observe("puller-00", mkPlan(1, d1), false)
+		if v := c.Verdict(); v.Passed {
+			t.Fatal("epoch regression passed")
+		}
+	})
+	t.Run("one epoch two decision sets fires", func(t *testing.T) {
+		c := newPlanChecker()
+		c.Observe("puller-00", mkPlan(1, d1), false)
+		c.Observe("puller-01", mkPlan(1, d2), false)
+		if v := c.Verdict(); v.Passed {
+			t.Fatal("conflicting epoch content passed")
+		}
+	})
+	t.Run("epoch bump without decision change fires", func(t *testing.T) {
+		c := newPlanChecker()
+		c.Observe("puller-00", mkPlan(1, d1), false)
+		c.Observe("puller-00", mkPlan(2, d1), false)
+		if v := c.Verdict(); v.Passed {
+			t.Fatal("hash reuse across epochs passed")
+		}
+	})
+}
+
+func TestRestartCheckerFires(t *testing.T) {
+	snap, pl := []byte("snapshot"), []byte("plan")
+
+	c := &restartChecker{}
+	c.Record(1, snap, snap, pl, pl)
+	if v := c.Verdict(1); !v.Passed {
+		t.Fatalf("identical captures failed: %s", v.Detail)
+	}
+
+	c = &restartChecker{}
+	c.Record(1, snap, []byte("snapshot2"), pl, pl)
+	if v := c.Verdict(1); v.Passed {
+		t.Fatal("diverged snapshot passed")
+	}
+
+	c = &restartChecker{}
+	c.Record(1, snap, snap, pl, []byte("plan2"))
+	if v := c.Verdict(1); v.Passed {
+		t.Fatal("diverged plan passed")
+	}
+
+	// A restart that never got checked is itself a failure.
+	c = &restartChecker{}
+	if v := c.Verdict(1); v.Passed {
+		t.Fatal("missing restart check passed")
+	}
+}
+
+func TestDivergenceCheckerFires(t *testing.T) {
+	ok := pullerOutcome{Name: "puller-00", Rounds: 4, Swaps: 1}
+	if v := checkDivergence([]pullerOutcome{ok}); !v.Passed {
+		t.Fatalf("clean puller failed: %s", v.Detail)
+	}
+	killed := pullerOutcome{Name: "puller-01", Killed: true}
+	if v := checkDivergence([]pullerOutcome{ok, killed}); v.Passed {
+		t.Fatal("kill-switch puller passed")
+	} else if !strings.Contains(v.Detail, "puller-01") {
+		t.Errorf("detail does not name the diverging puller: %s", v.Detail)
+	}
+	errored := pullerOutcome{Name: "puller-02", Err: errors.New("boom")}
+	if v := checkDivergence([]pullerOutcome{errored}); v.Passed {
+		t.Fatal("errored puller passed")
+	}
+}

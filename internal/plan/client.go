@@ -32,6 +32,15 @@ func NewClient(baseURL string) *Client {
 	}
 }
 
+// SetHTTPClient replaces the underlying HTTP client. It is the
+// injection seam the fleet simulator uses to route fetches through a
+// fault-injecting transport; production callers keep the default.
+func (c *Client) SetHTTPClient(hc *http.Client) {
+	if hc != nil {
+		c.httpc = hc
+	}
+}
+
 // Fetch returns the daemon's current plan for a program and whether it
 // changed since this client's previous fetch. A 304 Not Modified
 // returns the cached plan with changed=false.

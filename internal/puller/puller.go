@@ -1,4 +1,8 @@
-package main
+// Package puller is the plan-pulling execution mode of cbsvm as a
+// library — the exploit half of the fleet loop, extracted so the fleet
+// simulator (internal/fleetsim) can run many pulling VMs in-process
+// with an injected, fault-wrapped plan client.
+package puller
 
 import (
 	"fmt"
@@ -9,11 +13,11 @@ import (
 	"gocbs/internal/vm"
 )
 
-// pullOptions configures the plan-pulling execution mode (-pull-plan):
+// Options configures the plan-pulling execution mode (-pull-plan):
 // the exploit half of the fleet loop, where this VM runs its benchmark
 // repeatedly and periodically asks a cbsd daemon for the inlining plan
 // compiled from the whole fleet's aggregated profile.
-type pullOptions struct {
+type Options struct {
 	URL     string // cbsd base URL
 	Program string // benchmark name, also the plan key
 	Size    int64  // setup argument
@@ -25,10 +29,20 @@ type pullOptions struct {
 
 	Opts inline.Options
 	Logf func(format string, args ...any)
+
+	// Client, when non-nil, replaces the plan client Run would build
+	// from URL — the seam the fleet simulator uses to route polls
+	// through a fault-injecting transport.
+	Client *plan.Client
+	// Observe, when non-nil, is called once per successful poll with
+	// the plan the daemon served (new or cached) and once more, with
+	// swapped=true, when a plan passes verification and is hot-swapped
+	// in. The fleet simulator's invariant checkers hang off this hook.
+	Observe func(p *plan.Plan, swapped bool)
 }
 
-// pullStats summarizes a pull-mode run.
-type pullStats struct {
+// Stats summarizes a pull-mode run.
+type Stats struct {
 	Rounds int
 	Polls  int
 	Swaps  int
@@ -48,7 +62,7 @@ type pullStats struct {
 // runRound executes one top-level round — setup(size) then iters
 // iterations on a fresh VM — and returns the per-iteration checksums
 // and the cycles spent iterating (setup excluded, steady state only).
-func runRound(prog *bytecode.Program, size int64, iters int) ([]int64, uint64, error) {
+func RunRound(prog *bytecode.Program, size int64, iters int) ([]int64, uint64, error) {
 	m := vm.New(prog)
 	setup := prog.MethodByName("$Globals.setup")
 	iter := prog.MethodByName("$Globals.iter")
@@ -102,7 +116,7 @@ func sameSums(a, b []int64) bool {
 // reference, the VM reverts to an unoptimized clone and stops pulling
 // for the rest of the run. A bad centrally-compiled plan degrades this
 // VM to baseline speed; it cannot corrupt its output.
-func runPullLoop(pristine *bytecode.Program, o pullOptions) (pullStats, error) {
+func Run(pristine *bytecode.Program, o Options) (Stats, error) {
 	if o.Rounds < 1 {
 		o.Rounds = 1
 	}
@@ -125,18 +139,28 @@ func runPullLoop(pristine *bytecode.Program, o pullOptions) (pullStats, error) {
 	// Reference round on the unoptimized program: the ground truth
 	// every transformed round must reproduce, and the baseline cycle
 	// count speedups are judged against.
-	ref, baseCycles, err := runRound(pristine.Clone(), o.Size, o.Iters)
+	ref, baseCycles, err := RunRound(pristine.Clone(), o.Size, o.Iters)
 	if err != nil {
-		return pullStats{}, fmt.Errorf("reference round: %w", err)
+		return Stats{}, fmt.Errorf("reference round: %w", err)
 	}
-	st := pullStats{BaseCycles: baseCycles, LastCycles: baseCycles}
+	st := Stats{BaseCycles: baseCycles, LastCycles: baseCycles}
 
-	client := plan.NewClient(o.URL)
+	client := o.Client
+	if client == nil {
+		client = plan.NewClient(o.URL)
+	}
+	observe := o.Observe
+	if observe == nil {
+		observe = func(*plan.Plan, bool) {}
+	}
 	active := pristine.Clone()
 	for round := 0; round < o.Rounds; round++ {
 		if !st.Killed && round%o.Every == 0 {
 			st.Polls++
 			p, changed, err := client.Fetch(o.Program)
+			if err == nil {
+				observe(p, false)
+			}
 			switch {
 			case err != nil:
 				// Transient daemon trouble must not stop the workload.
@@ -149,7 +173,7 @@ func runPullLoop(pristine *bytecode.Program, o pullOptions) (pullStats, error) {
 					break
 				}
 				if o.Verify {
-					sums, _, err := runRound(candidate, o.Size, o.Iters)
+					sums, _, err := RunRound(candidate, o.Size, o.Iters)
 					if err != nil || !sameSums(sums, ref) {
 						st.Killed = true
 						active = pristine.Clone()
@@ -160,11 +184,12 @@ func runPullLoop(pristine *bytecode.Program, o pullOptions) (pullStats, error) {
 				active = candidate
 				st.Swaps++
 				st.Epoch = p.Epoch
+				observe(p, true)
 				logf("pull: swapped in plan epoch %d (%d decisions, %d inlines)", p.Epoch, len(p.Decisions), rep.InlinesApplied)
 			}
 		}
 
-		sums, cycles, err := runRound(active, o.Size, o.Iters)
+		sums, cycles, err := RunRound(active, o.Size, o.Iters)
 		if err != nil {
 			return st, fmt.Errorf("round %d: %w", round, err)
 		}

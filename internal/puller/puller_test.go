@@ -1,4 +1,4 @@
-package main
+package puller
 
 import (
 	"net/http"
@@ -87,7 +87,7 @@ func TestPullLoopAppliesFleetPlan(t *testing.T) {
 	}
 	ts, requests, notModified := planServer(t, p)
 
-	st, err := runPullLoop(pristine, pullOptions{
+	st, err := Run(pristine, Options{
 		URL: ts.URL, Program: "compress", Size: b.Small,
 		Rounds: 4, Every: 2, Iters: 2, Verify: true,
 		Logf: t.Logf,
@@ -120,7 +120,7 @@ func TestPullLoopAppliesFleetPlan(t *testing.T) {
 // application) to change the benchmark's output.
 func findDivergingDecision(t *testing.T, program string, prog *bytecode.Program, g *profile.DCG, size int64, iters int) *plan.Plan {
 	t.Helper()
-	ref, _, err := runRound(prog.Clone(), size, iters)
+	ref, _, err := RunRound(prog.Clone(), size, iters)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -142,7 +142,7 @@ func findDivergingDecision(t *testing.T, program string, prog *bytecode.Program,
 			if err != nil || rep.InlinesApplied == 0 {
 				continue
 			}
-			sums, _, err := runRound(victim, size, iters)
+			sums, _, err := RunRound(victim, size, iters)
 			if err != nil || !sameSums(sums, ref) {
 				t.Logf("diverging vector: site %d null-guard-inlines minority callee %d (%.1f%% of receivers)",
 					site, tw.Callee, tw.Percent)
@@ -170,7 +170,7 @@ func TestPullLoopKillSwitch(t *testing.T) {
 	}
 	ts, _, _ := planServer(t, bad)
 
-	st, err := runPullLoop(pristine, pullOptions{
+	st, err := Run(pristine, Options{
 		URL: ts.URL, Program: "mtrt", Size: b.Small,
 		Rounds: 3, Every: 1, Iters: 2, Verify: true,
 		Logf: t.Logf,
@@ -197,7 +197,7 @@ func TestPullLoopKillSwitch(t *testing.T) {
 // puller to baseline execution, never an error.
 func TestPullLoopSurvivesDeadDaemon(t *testing.T) {
 	b, pristine := jitBench(t, "compress")
-	st, err := runPullLoop(pristine, pullOptions{
+	st, err := Run(pristine, Options{
 		URL: "http://127.0.0.1:1", Program: "compress", Size: b.Small,
 		Rounds: 2, Every: 1, Iters: 1, Verify: true,
 		Logf: t.Logf,

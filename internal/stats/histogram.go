@@ -1,0 +1,110 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Histogram accumulates observations for latency-style summaries:
+// count, min/mean/max, and exact quantiles. Observations are kept (one
+// float64 each), so it is meant for harness-scale populations —
+// thousands of requests, not billions. Safe for concurrent use.
+type Histogram struct {
+	mu     sync.Mutex
+	values []float64
+	sorted bool
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	h.mu.Lock()
+	h.values = append(h.values, v)
+	h.sorted = false
+	h.mu.Unlock()
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.values)
+}
+
+// Quantile returns the q-quantile (0 <= q <= 1) by the nearest-rank
+// method, or 0 with no observations.
+func (h *Histogram) Quantile(q float64) float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.quantileLocked(q)
+}
+
+func (h *Histogram) quantileLocked(q float64) float64 {
+	n := len(h.values)
+	if n == 0 {
+		return 0
+	}
+	if !h.sorted {
+		sort.Float64s(h.values)
+		h.sorted = true
+	}
+	if q <= 0 {
+		return h.values[0]
+	}
+	if q >= 1 {
+		return h.values[n-1]
+	}
+	i := int(math.Ceil(q*float64(n))) - 1
+	if i < 0 {
+		i = 0
+	}
+	return h.values[i]
+}
+
+// HistogramSummary is the JSON-friendly digest of a Histogram.
+type HistogramSummary struct {
+	Count int     `json:"count"`
+	Min   float64 `json:"min"`
+	Mean  float64 `json:"mean"`
+	P50   float64 `json:"p50"`
+	P90   float64 `json:"p90"`
+	P99   float64 `json:"p99"`
+	Max   float64 `json:"max"`
+}
+
+// Summary returns the digest of everything observed so far.
+func (h *Histogram) Summary() HistogramSummary {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	n := len(h.values)
+	if n == 0 {
+		return HistogramSummary{}
+	}
+	var sum float64
+	for _, v := range h.values {
+		sum += v
+	}
+	return HistogramSummary{
+		Count: n,
+		Min:   h.quantileLocked(0),
+		Mean:  sum / float64(n),
+		P50:   h.quantileLocked(0.50),
+		P90:   h.quantileLocked(0.90),
+		P99:   h.quantileLocked(0.99),
+		Max:   h.quantileLocked(1),
+	}
+}
+
+// String renders the summary on one line (values interpreted as
+// milliseconds, the harness's unit).
+func (s HistogramSummary) String() string {
+	if s.Count == 0 {
+		return "n=0"
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "n=%d min=%.2fms p50=%.2fms p90=%.2fms p99=%.2fms max=%.2fms mean=%.2fms",
+		s.Count, s.Min, s.P50, s.P90, s.P99, s.Max, s.Mean)
+	return sb.String()
+}

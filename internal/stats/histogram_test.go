@@ -1,0 +1,51 @@
+package stats
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestHistogramQuantilesAndSummary(t *testing.T) {
+	var h Histogram
+	if got := h.Summary(); got.Count != 0 {
+		t.Fatalf("empty summary %+v", got)
+	}
+	// 1..100 in a scrambled order: quantiles must not depend on
+	// observation order.
+	for i := 0; i < 100; i++ {
+		h.Observe(float64((i*37)%100 + 1))
+	}
+	s := h.Summary()
+	if s.Count != 100 || s.Min != 1 || s.Max != 100 {
+		t.Errorf("summary %+v", s)
+	}
+	if s.P50 != 50 || s.P90 != 90 || s.P99 != 99 {
+		t.Errorf("quantiles p50=%v p90=%v p99=%v, want 50/90/99", s.P50, s.P90, s.P99)
+	}
+	if s.Mean != 50.5 {
+		t.Errorf("mean %v, want 50.5", s.Mean)
+	}
+	// Observing after a summary re-sorts correctly.
+	h.Observe(1000)
+	if got := h.Quantile(1); got != 1000 {
+		t.Errorf("max after late observe = %v", got)
+	}
+}
+
+func TestHistogramConcurrentObserve(t *testing.T) {
+	var h Histogram
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				h.Observe(float64(i))
+			}
+		}()
+	}
+	wg.Wait()
+	if got := h.Count(); got != 8000 {
+		t.Fatalf("count %d, want 8000", got)
+	}
+}
