@@ -10,7 +10,7 @@ CMDS := ./cmd/cbsbench ./cmd/cbsd ./cmd/cbsload ./cmd/cbsvm ./cmd/dcgdiff ./cmd/
 FLEET_SEED ?= 1
 SOAK_SEED ?= 0
 
-.PHONY: all tier1 build build-cmds test test-race test-daemon test-recovery test-plan test-fleet soak vet vet-cmds ci bench
+.PHONY: all tier1 build build-cmds test test-race test-daemon test-recovery test-plan test-fleet soak vet vet-cmds ci bench bench-smoke bench-baseline
 
 all: tier1
 
@@ -85,3 +85,20 @@ ci: tier1 vet vet-cmds build-cmds test-daemon test-plan test-race test-recovery 
 
 bench:
 	$(GO) test -bench=. -benchtime=1x -run=^$$ ./...
+
+# Perf-trajectory smoke: a quick -study perf pass whose report is
+# schema-validated (the emitter round-trips it through perf.ReadFile)
+# and gated against the checked-in BENCH_1.json baseline — the run
+# fails on a >10% geomean Mcyc/s regression over the benchmarks the
+# quick subset shares with the baseline. The report itself goes to a
+# scratch path so the committed trajectory only grows deliberately.
+BENCH_SMOKE_OUT ?= /tmp/BENCH_smoke.json
+bench-smoke:
+	$(GO) run ./cmd/cbsbench -study perf -quick \
+		-perf-out $(BENCH_SMOKE_OUT) -perf-baseline BENCH_1.json -perf-gate 0.10
+	@rm -f $(BENCH_SMOKE_OUT)
+
+# Regenerate the committed baseline with the full suite and default
+# measurement parameters. Run on a quiet machine; commit the diff.
+bench-baseline:
+	$(GO) run ./cmd/cbsbench -study perf -perf-out BENCH_1.json

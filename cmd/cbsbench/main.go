@@ -15,6 +15,7 @@
 //	cbsbench -study context      calling-context-tree extension (E12)
 //	cbsbench -study planloop     fleet PGO loop: K pushers -> plan -> puller
 //	cbsbench -study fleetsoak    chaos soak: fleet vs faults, invariant-gated
+//	cbsbench -study perf         perf trajectory: BENCH_<n>.json emission
 //	cbsbench -all                everything above
 //
 // Use -quick for a cheap single-seed run on a benchmark subset, -input
@@ -31,12 +32,14 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"runtime"
 	"strings"
 	"time"
 
 	"gocbs/internal/bench"
 	"gocbs/internal/experiment"
+	"gocbs/internal/perf"
 	"gocbs/internal/profiler"
 	"gocbs/internal/runner"
 )
@@ -44,7 +47,10 @@ import (
 func main() {
 	table := flag.String("table", "", "regenerate a table: 1, 2a, 2b, or 3")
 	figure := flag.String("figure", "", "regenerate a figure: 5a or 5b")
-	study := flag.String("study", "", "run a study: convergence, skew, comparators, inliners, context, cleanup, online, entrycheck, planloop, fleetsoak")
+	study := flag.String("study", "", "run a study: convergence, skew, comparators, inliners, context, cleanup, online, entrycheck, planloop, fleetsoak, perf")
+	perfOut := flag.String("perf-out", "", "perf study: write the BENCH report to this path (default: next free BENCH_<n>.json)")
+	perfBaseline := flag.String("perf-baseline", "", "perf study: gate the run against this baseline BENCH_*.json")
+	perfGate := flag.Float64("perf-gate", 0.10, "perf study: fail when geomean Mcyc/s regresses more than this fraction vs the baseline")
 	all := flag.Bool("all", false, "regenerate every table, figure, and study")
 	quick := flag.Bool("quick", false, "single seed and a four-benchmark subset")
 	input := flag.String("input", "small", "input size for grids/figures/studies: small or large")
@@ -249,6 +255,38 @@ func main() {
 			return nil
 		})
 	}
+	if wantStudy("perf") {
+		run("perf", func() error {
+			params := experiment.DefaultPerfParams()
+			if *quick {
+				params = experiment.QuickPerfParams()
+			}
+			rep, err := experiment.PerfTrajectory(cfg, *input, params)
+			if err != nil {
+				return err
+			}
+			fmt.Println(experiment.FormatPerf(rep))
+			out := *perfOut
+			if out == "" {
+				out = nextBenchPath(".")
+			}
+			if err := rep.WriteFile(out); err != nil {
+				return err
+			}
+			fmt.Fprintf(os.Stderr, "[perf report written to %s]\n", out)
+			if *perfBaseline != "" {
+				base, err := perf.ReadFile(*perfBaseline)
+				if err != nil {
+					return fmt.Errorf("baseline: %w", err)
+				}
+				if err := perf.Gate(rep, base, *perfGate); err != nil {
+					return err
+				}
+				fmt.Fprintf(os.Stderr, "[perf gate vs %s passed at %.0f%%]\n", *perfBaseline, *perfGate*100)
+			}
+			return nil
+		})
+	}
 	if wantStudy("fleetsoak") {
 		run("fleetsoak", func() error {
 			params := experiment.DefaultFleetSoakParams()
@@ -275,6 +313,18 @@ func fatal(err error) {
 	os.Exit(1)
 }
 
+// nextBenchPath returns the first BENCH_<n>.json (n from 1) that does
+// not exist in dir, so successive perf runs append to the trajectory
+// instead of clobbering the checked-in baseline.
+func nextBenchPath(dir string) string {
+	for n := 1; ; n++ {
+		p := filepath.Join(dir, fmt.Sprintf("BENCH_%d.json", n))
+		if _, err := os.Stat(p); os.IsNotExist(err) {
+			return p
+		}
+	}
+}
+
 // progressMeter returns a runner progress hook that redraws one stderr
 // line per ~100 ms: jobs completed/total, modeled megacycles simulated,
 // simulation rate, and ETA. Experiments run sequentially and the pool
@@ -288,7 +338,7 @@ func progressMeter() func(runner.Progress) {
 		}
 		lastDraw = now
 		fmt.Fprintf(os.Stderr, "\r[%d/%d jobs  %.0f Mcyc  %.1f Mcyc/s  ETA %v]   ",
-			p.JobsDone, p.JobsTotal, float64(p.Cycles)/1e6, p.Rate(),
+			p.JobsDone, p.JobsTotal, p.Mcyc(), p.Rate(),
 			p.ETA().Round(time.Second))
 	}
 }

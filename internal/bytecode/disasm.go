@@ -73,6 +73,20 @@ func disasmInstr(p *Program, m *Method, pc int, ins Instr) string {
 	case OpCallVirtual:
 		slot, nargs := DecodeVirtual(ins.A)
 		return fmt.Sprintf("callvirtual slot=%d nargs=%d site=%d", slot, nargs, ins.B)
+	case OpLoadLoad:
+		return fmt.Sprintf("loadload %d %d", ins.A, ins.B)
+	case OpLoadConst:
+		return fmt.Sprintf("loadconst %d %d", ins.A, ins.B)
+	case OpAddConst:
+		return fmt.Sprintf("addconst %d", ins.A)
+	case OpIncLocal:
+		return fmt.Sprintf("inclocal %d %+d", ins.A, ins.B)
+	case OpJumpCmp:
+		tag := ""
+		if int(ins.A) <= pc {
+			tag = " ; backedge"
+		}
+		return fmt.Sprintf("jumpcmp %s -> %d%s", Opcode(ins.B), ins.A, tag)
 	default:
 		return fmt.Sprintf("%s %d %d", ins.Op, ins.A, ins.B)
 	}

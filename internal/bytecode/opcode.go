@@ -102,6 +102,29 @@ const (
 	// OpHalt stops the VM immediately.
 	OpHalt
 
+	// Superinstructions: fused forms of adjacent instruction sequences,
+	// emitted only by the opt.Fuse pass (never by the MJ front end).
+	// Each one executes with the exact stack, local, and trap semantics
+	// of its unfused expansion and is charged the summed cycle cost of
+	// its parts, so fused and unfused execution produce byte-identical
+	// profiles and outputs; the win is Go-level dispatch overhead.
+
+	// OpLoadLoad pushes locals[A] then locals[B] (Load A; Load B).
+	OpLoadLoad
+	// OpLoadConst pushes locals[A] then the int32 operand B
+	// (Load A; Const B).
+	OpLoadConst
+	// OpAddConst pops a and pushes a.I + A as an integer
+	// (Const A; Add).
+	OpAddConst
+	// OpIncLocal adds the int32 operand B to locals[A] in place,
+	// storing an integer (Load A; Const B; Add; Store A).
+	OpIncLocal
+	// OpJumpCmp pops b then a and branches to A when the comparison
+	// named by operand B (one of OpEq..OpGe) holds (<cmp>; JumpNZ A —
+	// fusing <cmp>; JumpZ negates the comparison first).
+	OpJumpCmp
+
 	numOpcodes
 )
 
@@ -129,6 +152,8 @@ var opNames = [numOpcodes]string{
 	OpClassEq: "classeq", OpVTEq: "vteq", OpInstanceOf: "instanceof", OpCast: "cast",
 	OpIsNull: "isnull", OpNull: "null",
 	OpPrint: "print", OpHalt: "halt",
+	OpLoadLoad: "loadload", OpLoadConst: "loadconst", OpAddConst: "addconst",
+	OpIncLocal: "inclocal", OpJumpCmp: "jumpcmp",
 }
 
 // String returns the mnemonic for op.
@@ -146,7 +171,46 @@ func (op Opcode) Valid() bool { return op < numOpcodes }
 func (op Opcode) IsCall() bool { return op == OpCallStatic || op == OpCallVirtual }
 
 // IsBranch reports whether op is a jump (conditional or not).
-func (op Opcode) IsBranch() bool { return op == OpJump || op == OpJumpZ || op == OpJumpNZ }
+func (op Opcode) IsBranch() bool {
+	return op == OpJump || op == OpJumpZ || op == OpJumpNZ || op == OpJumpCmp
+}
+
+// IsCondBranch reports whether op is a conditional branch (both the
+// branch target and the fallthrough are successors).
+func (op Opcode) IsCondBranch() bool {
+	return op == OpJumpZ || op == OpJumpNZ || op == OpJumpCmp
+}
+
+// IsFused reports whether op is a superinstruction produced by fusion.
+func (op Opcode) IsFused() bool {
+	return op == OpLoadLoad || op == OpLoadConst || op == OpAddConst ||
+		op == OpIncLocal || op == OpJumpCmp
+}
+
+// IsCmp reports whether op is an integer comparison usable as the B
+// operand of an OpJumpCmp superinstruction.
+func (op Opcode) IsCmp() bool { return op >= OpEq && op <= OpGe }
+
+// NegateCmp returns the comparison with the opposite truth value
+// (Eq<->Ne, Lt<->Ge, Le<->Gt); it panics on non-comparison opcodes.
+func NegateCmp(op Opcode) Opcode {
+	switch op {
+	case OpEq:
+		return OpNe
+	case OpNe:
+		return OpEq
+	case OpLt:
+		return OpGe
+	case OpLe:
+		return OpGt
+	case OpGt:
+		return OpLe
+	case OpGe:
+		return OpLt
+	default:
+		panic(fmt.Sprintf("NegateCmp(%v): not a comparison", op))
+	}
+}
 
 // IsReturn reports whether op exits the current method.
 func (op Opcode) IsReturn() bool { return op == OpReturn || op == OpReturnVoid }
@@ -193,8 +257,14 @@ func stackEffect(op Opcode) (pops, pushes int) {
 		return 1, 0
 	case OpDup:
 		return 1, 2
-	case OpNeg, OpNot, OpGetField, OpNewArr, OpArrLen, OpClassEq, OpVTEq, OpInstanceOf, OpCast, OpIsNull:
+	case OpNeg, OpNot, OpGetField, OpNewArr, OpArrLen, OpClassEq, OpVTEq, OpInstanceOf, OpCast, OpIsNull, OpAddConst:
 		return 1, 1
+	case OpLoadLoad, OpLoadConst:
+		return 0, 2
+	case OpIncLocal:
+		return 0, 0
+	case OpJumpCmp:
+		return 2, 0
 	case OpAdd, OpSub, OpMul, OpDiv, OpRem,
 		OpAnd, OpOr, OpXor, OpShl, OpShr,
 		OpEq, OpNe, OpLt, OpLe, OpGt, OpGe, OpALoad:

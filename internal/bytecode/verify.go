@@ -61,9 +61,20 @@ func Verify(p *Program, m *Method) error {
 			if int(ins.A) < 0 || int(ins.A) >= len(m.Consts) {
 				return fmt.Errorf("pc %d: constl index %d out of range", pc, ins.A)
 			}
-		case OpLoad, OpStore:
+		case OpLoad, OpStore, OpLoadConst, OpIncLocal:
 			if int(ins.A) < 0 || int(ins.A) >= m.NLocals {
 				return fmt.Errorf("pc %d: local %d out of range [0,%d)", pc, ins.A, m.NLocals)
+			}
+		case OpLoadLoad:
+			if int(ins.A) < 0 || int(ins.A) >= m.NLocals {
+				return fmt.Errorf("pc %d: local %d out of range [0,%d)", pc, ins.A, m.NLocals)
+			}
+			if int(ins.B) < 0 || int(ins.B) >= m.NLocals {
+				return fmt.Errorf("pc %d: local %d out of range [0,%d)", pc, ins.B, m.NLocals)
+			}
+		case OpJumpCmp:
+			if !Opcode(ins.B).IsCmp() {
+				return fmt.Errorf("pc %d: jumpcmp with non-comparison operand %d", pc, ins.B)
 			}
 		case OpGetStatic, OpPutStatic:
 			if int(ins.A) < 0 || int(ins.A) >= p.NumStatics {
@@ -116,7 +127,7 @@ func Verify(p *Program, m *Method) error {
 			if err := push(int(ins.A), nd); err != nil {
 				return fmt.Errorf("pc %d: %w", pc, err)
 			}
-		case ins.Op == OpJumpZ || ins.Op == OpJumpNZ:
+		case ins.Op.IsCondBranch():
 			if err := push(int(ins.A), nd); err != nil {
 				return fmt.Errorf("pc %d: %w", pc, err)
 			}

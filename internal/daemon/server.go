@@ -14,6 +14,7 @@ import (
 	"gocbs/internal/dcgstore"
 	"gocbs/internal/plan"
 	"gocbs/internal/profile"
+	"gocbs/internal/stats"
 )
 
 // DefaultMaxUploadBytes bounds ingest/overlap request bodies unless
@@ -33,6 +34,11 @@ type server struct {
 	ingestErrors atomic.Uint64
 	mergeNanos   atomic.Int64
 
+	// ingestLat tracks whole-request ingest latency (read + decode +
+	// merge) in milliseconds; /metrics surfaces its p50/p99 and the
+	// perf trajectory (BENCH_*.json) records them.
+	ingestLat stats.Histogram
+
 	planRequests    atomic.Uint64
 	planNotModified atomic.Uint64
 	planErrors      atomic.Uint64
@@ -47,6 +53,31 @@ func newServer(store *dcgstore.Store, plans *plan.Service, maxUpload int64) *ser
 		maxUpload = DefaultMaxUploadBytes
 	}
 	return &server{store: store, plans: plans, start: time.Now(), maxUpload: maxUpload}
+}
+
+// InProcess is a daemon HTTP surface without the process scaffolding
+// (no listener management, checkpoints, or plan service) — the form
+// the perf trajectory uses to benchmark the ingest fast path and tests
+// use to poke handlers directly. It additionally exposes the ingest
+// latency histogram, which over HTTP is only visible as a /metrics
+// digest.
+type InProcess struct {
+	s *server
+}
+
+// NewInProcess returns an in-process daemon over the given store.
+// maxUpload <= 0 selects DefaultMaxUploadBytes.
+func NewInProcess(store *dcgstore.Store, maxUpload int64) *InProcess {
+	return &InProcess{s: newServer(store, nil, maxUpload)}
+}
+
+// Handler returns the daemon's HTTP mux.
+func (p *InProcess) Handler() http.Handler { return p.s.handler() }
+
+// IngestLatency returns the digest of the daemon-side whole-request
+// ingest latency histogram (milliseconds).
+func (p *InProcess) IngestLatency() stats.HistogramSummary {
+	return p.s.ingestLat.Summary()
 }
 
 // handler routes the daemon's endpoints. Read endpoints are GET-only;
@@ -97,15 +128,26 @@ func (s *server) writeJSON(w http.ResponseWriter, v any) {
 // body is capped with http.MaxBytesReader: a payload that exceeds the
 // cap is answered 413 (distinct from the 400 a malformed body earns),
 // and the server never buffers more than the cap in memory.
+//
+// This is the ingest fast path: the body is slurped into a pooled
+// buffer and batch-decoded in place (profile.DecodeDCGBytes retains
+// nothing from the slice), so steady-state ingest does zero
+// body-buffer allocation and no per-record decode overhead.
 func (s *server) readProfileBody(w http.ResponseWriter, r *http.Request) (*profile.DCG, bool) {
-	g, err := profile.ReadDCG(http.MaxBytesReader(w, r.Body, s.maxUpload))
-	if err != nil {
+	buf := dcgstore.DecodeBuffers.Get()
+	defer dcgstore.DecodeBuffers.Put(buf)
+	if _, err := buf.ReadFrom(http.MaxBytesReader(w, r.Body, s.maxUpload)); err != nil {
 		var tooBig *http.MaxBytesError
 		if errors.As(err, &tooBig) {
 			http.Error(w, fmt.Sprintf("profile payload exceeds %d bytes", tooBig.Limit),
 				http.StatusRequestEntityTooLarge)
 			return nil, false
 		}
+		http.Error(w, fmt.Sprintf("bad profile payload: %v", err), http.StatusBadRequest)
+		return nil, false
+	}
+	g, err := profile.DecodeDCGBytes(buf.Bytes())
+	if err != nil {
 		http.Error(w, fmt.Sprintf("bad profile payload: %v", err), http.StatusBadRequest)
 		return nil, false
 	}
@@ -144,6 +186,10 @@ func (s *server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "POST a serialized DCG", http.StatusMethodNotAllowed)
 		return
 	}
+	reqStart := time.Now()
+	defer func() {
+		s.ingestLat.Observe(float64(time.Since(reqStart).Nanoseconds()) / 1e6)
+	}()
 	pusher, seq, ok := s.ingestStamp(w, r)
 	if !ok {
 		s.ingestErrors.Add(1)
@@ -350,6 +396,13 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		"merge_ms_total":    float64(nanos) / 1e6,
 		"merge_ms_mean":     meanMs,
 		"uptime_s":          time.Since(s.start).Seconds(),
+	}
+	if lat := s.ingestLat.Summary(); lat.Count > 0 {
+		metrics["ingest_ms_count"] = lat.Count
+		metrics["ingest_ms_mean"] = lat.Mean
+		metrics["ingest_ms_p50"] = lat.P50
+		metrics["ingest_ms_p99"] = lat.P99
+		metrics["ingest_ms_max"] = lat.Max
 	}
 	if s.plans != nil {
 		ps := s.plans.Stats()

@@ -1,0 +1,57 @@
+package dcgstore
+
+import (
+	"bytes"
+	"sync"
+)
+
+// BufPool recycles the byte buffers the daemon reads DCGB request
+// bodies into before batch-decoding them. Ingest is the daemon's hot
+// write path: without pooling, every push allocates (and garbage
+// collects) a body-sized buffer. Buffers handed back by Put are
+// retained only up to maxRetain bytes of capacity, so one pathological
+// giant upload cannot pin its allocation in the pool forever.
+//
+// The decode contract that makes pooling safe lives on the consumer
+// side: profile.DecodeDCGBytes copies every value out of the slice and
+// retains nothing, so a buffer may be reused the moment decoding
+// returns. The -race soak in internal/daemon drives concurrent pushers
+// through this pool and fails if any request's graph ever aliases
+// another's bytes.
+type BufPool struct {
+	maxRetain int
+	pool      sync.Pool
+}
+
+// NewBufPool returns a pool that keeps returned buffers up to
+// maxRetain bytes of capacity (larger ones are dropped for the GC).
+func NewBufPool(maxRetain int) *BufPool {
+	return &BufPool{
+		maxRetain: maxRetain,
+		pool: sync.Pool{
+			New: func() any { return new(bytes.Buffer) },
+		},
+	}
+}
+
+// Get returns an empty buffer ready for reuse.
+func (p *BufPool) Get() *bytes.Buffer {
+	b := p.pool.Get().(*bytes.Buffer)
+	b.Reset()
+	return b
+}
+
+// Put returns a buffer to the pool. Oversized buffers are discarded so
+// the pool's steady-state footprint tracks typical request sizes, not
+// the worst one ever seen.
+func (p *BufPool) Put(b *bytes.Buffer) {
+	if b == nil || b.Cap() > p.maxRetain {
+		return
+	}
+	p.pool.Put(b)
+}
+
+// DecodeBuffers is the shared ingest-body pool, sized to retain
+// buffers up to 4 MiB — comfortably above the suite's biggest DCG
+// snapshots while keeping the pool's idle footprint bounded.
+var DecodeBuffers = NewBufPool(4 << 20)

@@ -220,7 +220,7 @@ func eliminateDead(p *bytecode.Program, m *bytecode.Method) (int, error) {
 		case ins.Op.IsReturn(), ins.Op == bytecode.OpHalt:
 		case ins.Op == bytecode.OpJump:
 			push(int(ins.A))
-		case ins.Op == bytecode.OpJumpZ || ins.Op == bytecode.OpJumpNZ:
+		case ins.Op.IsCondBranch():
 			push(int(ins.A))
 			push(pc + 1)
 		default:

@@ -1,0 +1,298 @@
+// Package perf defines the schema of the repo's performance
+// trajectory: the BENCH_<n>.json reports cbsbench emits so that
+// interpreter throughput, profiling overhead, and daemon ingest
+// performance are measured the same way in every PR and regressions
+// are caught by diffing machine-readable artifacts instead of eyeballs.
+//
+// The schema is versioned (SchemaVersion) and fingerprinted
+// (Fingerprint): any change to the report's shape — a field added,
+// removed, renamed, retyped, or reordered — changes the fingerprint,
+// and a golden test pins (version, fingerprint) pairs so the shape
+// cannot drift without an explicit version bump. Field order in the
+// emitted JSON is the struct declaration order below, which Go's
+// encoding/json preserves, so reports diff cleanly line by line.
+package perf
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"reflect"
+	"sort"
+	"strings"
+
+	"gocbs/internal/stats"
+)
+
+// SchemaVersion identifies the report shape. Bump it whenever any
+// struct in this file changes shape; the schema fingerprint test
+// enforces the bump.
+const SchemaVersion = 1
+
+// Report is one complete perf-trajectory measurement, the top-level
+// object of a BENCH_<n>.json file.
+type Report struct {
+	// Schema is the SchemaVersion the emitting build wrote.
+	Schema int `json:"schema"`
+	// Meta records where the numbers came from.
+	Meta Meta `json:"meta"`
+	// Interpreter holds per-benchmark dispatch throughput, unfused and
+	// fused.
+	Interpreter []BenchRate `json:"interpreter"`
+	// Summary aggregates the interpreter rows.
+	Summary Summary `json:"summary"`
+	// Overhead holds per-benchmark profiling overhead percentages.
+	Overhead []OverheadRow `json:"overhead"`
+	// Ingest reports daemon ingest throughput and latency.
+	Ingest Ingest `json:"ingest"`
+}
+
+// Meta is the provenance block of a report.
+type Meta struct {
+	// Commit is the VCS revision of the emitting build, or "unknown"
+	// when the binary carries no build info.
+	Commit string `json:"commit"`
+	// GoVersion is the toolchain that built the harness.
+	GoVersion string `json:"go_version"`
+	// Input names the benchmark input size used ("small" or "large").
+	Input string `json:"input"`
+	// Seeds lists the profiler RNG seeds overhead medians were taken
+	// over.
+	Seeds []int64 `json:"seeds"`
+	// TimerPeriod is the virtual timer granularity in modeled cycles.
+	TimerPeriod uint64 `json:"timer_period"`
+	// Quick marks reports from the cheap -quick configuration; gates
+	// compare quick reports against full baselines benchmark by
+	// benchmark, never by whole-suite aggregates.
+	Quick bool `json:"quick"`
+}
+
+// BenchRate is one benchmark's interpreter throughput measurement.
+// Modeled cycles are identical fused and unfused by construction (the
+// differential suite enforces it), so the two rates divide out to a
+// pure dispatch-speed ratio.
+type BenchRate struct {
+	Name string `json:"name"`
+	// Cycles is the modeled cycle count of one bare run.
+	Cycles uint64 `json:"cycles"`
+	// McycPerSec is unfused interpreter throughput: modeled megacycles
+	// per wall-clock second, best of the measurement repetitions.
+	McycPerSec float64 `json:"mcyc_per_s"`
+	// FusedMcycPerSec is the same program with superinstruction fusion.
+	FusedMcycPerSec float64 `json:"fused_mcyc_per_s"`
+	// FusedSpeedupPct is the relative dispatch speedup fusion bought.
+	FusedSpeedupPct float64 `json:"fused_speedup_pct"`
+	// DispatchBound marks members of bench.DispatchBound(), the subset
+	// the fusion acceptance gate is scored on.
+	DispatchBound bool `json:"dispatch_bound"`
+}
+
+// Summary aggregates the interpreter rows of one report.
+type Summary struct {
+	// GeomeanMcycPerSec is the geometric mean of unfused per-benchmark
+	// throughput — the regression gate's primary series.
+	GeomeanMcycPerSec float64 `json:"geomean_mcyc_per_s"`
+	// GeomeanFusedMcycPerSec is the fused counterpart.
+	GeomeanFusedMcycPerSec float64 `json:"geomean_fused_mcyc_per_s"`
+	// FusedSpeedupPct is the whole-suite geomean fused speedup.
+	FusedSpeedupPct float64 `json:"fused_speedup_pct"`
+	// DispatchBoundFusedSpeedupPct is the geomean fused speedup over
+	// the dispatch-bound subset only.
+	DispatchBoundFusedSpeedupPct float64 `json:"dispatch_bound_fused_speedup_pct"`
+	// HarnessMcycPerSec is the whole-run simulation rate from the
+	// runner pool's cycle accumulator — the same Progress.Rate() the
+	// -progress meter displays.
+	HarnessMcycPerSec float64 `json:"harness_mcyc_per_s"`
+	// HarnessMcyc is total modeled megacycles simulated, from the same
+	// accumulator.
+	HarnessMcyc float64 `json:"harness_mcyc"`
+}
+
+// OverheadRow is one benchmark's profiling overhead, each value the
+// median over Meta.Seeds where sampling is involved.
+type OverheadRow struct {
+	Name string `json:"name"`
+	// ExhaustivePct is call-instrumentation overhead (the paper's
+	// Vortex-style exhaustive counters).
+	ExhaustivePct float64 `json:"exhaustive_pct"`
+	// CBSPct is counter-based sampling overhead.
+	CBSPct float64 `json:"cbs_pct"`
+	// AdaptivePct is CBS plus the online adaptive controller,
+	// recompilation cycles included.
+	AdaptivePct float64 `json:"adaptive_pct"`
+}
+
+// Ingest reports the daemon ingest measurement: concurrent pushers
+// posting DCGB snapshots at an in-process daemon through the pooled
+// batched-decode path.
+type Ingest struct {
+	// Requests is how many pushes the measurement made.
+	Requests int `json:"requests"`
+	// Pushers is the concurrency level.
+	Pushers int `json:"pushers"`
+	// EdgesPerRequest is the DCGB payload size in edges.
+	EdgesPerRequest int `json:"edges_per_request"`
+	// ReqPerSec is sustained ingest throughput.
+	ReqPerSec float64 `json:"req_per_s"`
+	// LatencyMs is the daemon-side whole-request latency digest from
+	// the internal/stats histogram behind /metrics.
+	LatencyMs stats.HistogramSummary `json:"latency_ms"`
+}
+
+// Fingerprint renders the report schema as a canonical string: every
+// struct, field name, JSON tag, and type, in declaration order. Any
+// shape change changes this string.
+func Fingerprint() string {
+	var sb strings.Builder
+	seen := map[reflect.Type]bool{}
+	var walk func(t reflect.Type)
+	walk = func(t reflect.Type) {
+		switch t.Kind() {
+		case reflect.Pointer, reflect.Slice, reflect.Array:
+			walk(t.Elem())
+		case reflect.Struct:
+			if seen[t] {
+				return
+			}
+			seen[t] = true
+			fmt.Fprintf(&sb, "%s{", t.Name())
+			for i := 0; i < t.NumField(); i++ {
+				f := t.Field(i)
+				fmt.Fprintf(&sb, "%s:%s:%s;", f.Tag.Get("json"), f.Name, typeName(f.Type))
+			}
+			sb.WriteString("}")
+			for i := 0; i < t.NumField(); i++ {
+				walk(t.Field(i).Type)
+			}
+		}
+	}
+	walk(reflect.TypeOf(Report{}))
+	return sb.String()
+}
+
+func typeName(t reflect.Type) string {
+	switch t.Kind() {
+	case reflect.Slice:
+		return "[]" + typeName(t.Elem())
+	case reflect.Pointer:
+		return "*" + typeName(t.Elem())
+	default:
+		return t.String()
+	}
+}
+
+// Validate checks that a report is structurally sound: the schema
+// version is one this build understands, every rate is finite and
+// positive, and the aggregate blocks are present.
+func (r *Report) Validate() error {
+	if r.Schema != SchemaVersion {
+		return fmt.Errorf("report schema %d, this build reads %d", r.Schema, SchemaVersion)
+	}
+	if r.Meta.Commit == "" || r.Meta.GoVersion == "" || r.Meta.Input == "" {
+		return fmt.Errorf("incomplete meta block: %+v", r.Meta)
+	}
+	if len(r.Interpreter) == 0 {
+		return fmt.Errorf("no interpreter rows")
+	}
+	names := map[string]bool{}
+	for _, b := range r.Interpreter {
+		if b.Name == "" {
+			return fmt.Errorf("interpreter row with empty name")
+		}
+		if names[b.Name] {
+			return fmt.Errorf("duplicate interpreter row %q", b.Name)
+		}
+		names[b.Name] = true
+		for _, v := range []float64{b.McycPerSec, b.FusedMcycPerSec} {
+			if v <= 0 || math.IsInf(v, 0) || math.IsNaN(v) {
+				return fmt.Errorf("%s: bad rate %v", b.Name, v)
+			}
+		}
+		if b.Cycles == 0 {
+			return fmt.Errorf("%s: zero modeled cycles", b.Name)
+		}
+	}
+	if r.Summary.GeomeanMcycPerSec <= 0 || r.Summary.GeomeanFusedMcycPerSec <= 0 {
+		return fmt.Errorf("bad summary geomeans: %+v", r.Summary)
+	}
+	if r.Ingest.Requests > 0 {
+		if r.Ingest.ReqPerSec <= 0 {
+			return fmt.Errorf("ingest made %d requests at rate %v", r.Ingest.Requests, r.Ingest.ReqPerSec)
+		}
+		if r.Ingest.LatencyMs.Count != r.Ingest.Requests {
+			return fmt.Errorf("ingest latency histogram saw %d of %d requests",
+				r.Ingest.LatencyMs.Count, r.Ingest.Requests)
+		}
+	}
+	return nil
+}
+
+// Gate compares a current report against a baseline and returns an
+// error describing every regression beyond maxRegression (e.g. 0.10
+// fails anything slower than 90% of baseline).
+//
+// The comparison is per benchmark over the intersection of the two
+// reports' benchmark sets, folded with a geometric mean of the
+// current/baseline rate ratios. Comparing ratios rather than absolute
+// aggregates makes the gate meaningful when the current run is a
+// -quick subset of the baseline suite, and the geomean keeps one noisy
+// benchmark from dominating.
+func Gate(current, baseline *Report, maxRegression float64) error {
+	if err := current.Validate(); err != nil {
+		return fmt.Errorf("current report: %w", err)
+	}
+	if err := baseline.Validate(); err != nil {
+		return fmt.Errorf("baseline report: %w", err)
+	}
+	base := map[string]BenchRate{}
+	for _, b := range baseline.Interpreter {
+		base[b.Name] = b
+	}
+	var ratios []float64
+	var common []string
+	for _, b := range current.Interpreter {
+		ref, ok := base[b.Name]
+		if !ok {
+			continue
+		}
+		ratios = append(ratios, b.McycPerSec/ref.McycPerSec)
+		common = append(common, b.Name)
+	}
+	if len(ratios) == 0 {
+		return fmt.Errorf("no common benchmarks between current and baseline")
+	}
+	sort.Strings(common)
+	ratio := stats.GeoMean(ratios)
+	if ratio < 1-maxRegression {
+		return fmt.Errorf("interpreter throughput regressed: geomean %.1f%% of baseline over %d benchmarks (%s), gate is %.0f%%",
+			ratio*100, len(common), strings.Join(common, ","), (1-maxRegression)*100)
+	}
+	return nil
+}
+
+// WriteFile writes the report as indented JSON, trailing newline
+// included, so checked-in baselines diff like source files.
+func (r *Report) WriteFile(path string) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// ReadFile loads and validates a report.
+func ReadFile(path string) (*Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r Report
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if err := r.Validate(); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &r, nil
+}

@@ -1,0 +1,199 @@
+package perf
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"gocbs/internal/stats"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// sampleReport is a fully populated report with recognizable values,
+// used to pin the emitted JSON byte for byte.
+func sampleReport() *Report {
+	return &Report{
+		Schema: SchemaVersion,
+		Meta: Meta{
+			Commit:      "0123456789abcdef",
+			GoVersion:   "go1.99",
+			Input:       "small",
+			Seeds:       []int64{11, 42, 1973},
+			TimerPeriod: 3_000_000,
+			Quick:       false,
+		},
+		Interpreter: []BenchRate{
+			{Name: "compress", Cycles: 123456789, McycPerSec: 100.5, FusedMcycPerSec: 120.25, FusedSpeedupPct: 19.65, DispatchBound: true},
+			{Name: "jess", Cycles: 987654321, McycPerSec: 80, FusedMcycPerSec: 84, FusedSpeedupPct: 5, DispatchBound: false},
+		},
+		Summary: Summary{
+			GeomeanMcycPerSec:            89.66,
+			GeomeanFusedMcycPerSec:       100.5,
+			FusedSpeedupPct:              12.09,
+			DispatchBoundFusedSpeedupPct: 19.65,
+			HarnessMcycPerSec:            150.25,
+			HarnessMcyc:                  1111.11,
+		},
+		Overhead: []OverheadRow{
+			{Name: "compress", ExhaustivePct: 28.4, CBSPct: 2.1, AdaptivePct: 3.3},
+			{Name: "jess", ExhaustivePct: 41.0, CBSPct: 1.7, AdaptivePct: 2.8},
+		},
+		Ingest: Ingest{
+			Requests:        240,
+			Pushers:         8,
+			EdgesPerRequest: 500,
+			ReqPerSec:       12345.6,
+			LatencyMs: stats.HistogramSummary{
+				Count: 240, Min: 0.05, Mean: 0.4, P50: 0.3, P90: 0.8, P99: 1.5, Max: 2.25,
+			},
+		},
+	}
+}
+
+// TestGoldenJSON pins the exact bytes a report serializes to: field
+// names, field order, and indentation. encoding/json emits struct
+// fields in declaration order, so this golden fails if anyone reorders
+// or renames a schema field — the signal to bump SchemaVersion and
+// regenerate with -update.
+func TestGoldenJSON(t *testing.T) {
+	r := sampleReport()
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	data = append(data, '\n')
+	golden := filepath.Join("testdata", "bench_schema_v1.golden.json")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to regenerate): %v", err)
+	}
+	if !bytes.Equal(data, want) {
+		t.Errorf("serialized report diverges from %s.\nIf the schema change is intentional, bump SchemaVersion and regenerate with -update.\ngot:\n%s\nwant:\n%s",
+			golden, data, want)
+	}
+}
+
+// fingerprints pins the schema shape for every version ever shipped.
+// When TestSchemaFingerprint fails you changed the shape of a schema
+// struct: bump SchemaVersion, add the new (version, fingerprint) pair
+// here, and regenerate the golden JSON — never edit an existing entry.
+var fingerprints = map[int]string{
+	1: "Report{schema:Schema:int;meta:Meta:perf.Meta;interpreter:Interpreter:[]perf.BenchRate;summary:Summary:perf.Summary;overhead:Overhead:[]perf.OverheadRow;ingest:Ingest:perf.Ingest;}" +
+		"Meta{commit:Commit:string;go_version:GoVersion:string;input:Input:string;seeds:Seeds:[]int64;timer_period:TimerPeriod:uint64;quick:Quick:bool;}" +
+		"BenchRate{name:Name:string;cycles:Cycles:uint64;mcyc_per_s:McycPerSec:float64;fused_mcyc_per_s:FusedMcycPerSec:float64;fused_speedup_pct:FusedSpeedupPct:float64;dispatch_bound:DispatchBound:bool;}" +
+		"Summary{geomean_mcyc_per_s:GeomeanMcycPerSec:float64;geomean_fused_mcyc_per_s:GeomeanFusedMcycPerSec:float64;fused_speedup_pct:FusedSpeedupPct:float64;dispatch_bound_fused_speedup_pct:DispatchBoundFusedSpeedupPct:float64;harness_mcyc_per_s:HarnessMcycPerSec:float64;harness_mcyc:HarnessMcyc:float64;}" +
+		"OverheadRow{name:Name:string;exhaustive_pct:ExhaustivePct:float64;cbs_pct:CBSPct:float64;adaptive_pct:AdaptivePct:float64;}" +
+		"Ingest{requests:Requests:int;pushers:Pushers:int;edges_per_request:EdgesPerRequest:int;req_per_s:ReqPerSec:float64;latency_ms:LatencyMs:stats.HistogramSummary;}" +
+		"HistogramSummary{count:Count:int;min:Min:float64;mean:Mean:float64;p50:P50:float64;p90:P90:float64;p99:P99:float64;max:Max:float64;}",
+}
+
+func TestSchemaFingerprint(t *testing.T) {
+	want, ok := fingerprints[SchemaVersion]
+	if !ok {
+		t.Fatalf("SchemaVersion %d has no pinned fingerprint; add it to the fingerprints table", SchemaVersion)
+	}
+	if got := Fingerprint(); got != want {
+		t.Errorf("schema shape changed without a version bump.\nBump SchemaVersion and pin the new fingerprint.\ngot:  %s\nwant: %s", got, want)
+	}
+}
+
+func TestValidateCatchesBadReports(t *testing.T) {
+	breakers := []struct {
+		name  string
+		mutht func(*Report)
+		want  string
+	}{
+		{"wrong schema", func(r *Report) { r.Schema = 99 }, "schema"},
+		{"missing commit", func(r *Report) { r.Meta.Commit = "" }, "meta"},
+		{"no rows", func(r *Report) { r.Interpreter = nil }, "no interpreter rows"},
+		{"duplicate row", func(r *Report) { r.Interpreter[1].Name = "compress" }, "duplicate"},
+		{"zero rate", func(r *Report) { r.Interpreter[0].McycPerSec = 0 }, "bad rate"},
+		{"zero cycles", func(r *Report) { r.Interpreter[0].Cycles = 0 }, "zero modeled cycles"},
+		{"bad geomean", func(r *Report) { r.Summary.GeomeanMcycPerSec = 0 }, "geomean"},
+		{"latency count mismatch", func(r *Report) { r.Ingest.LatencyMs.Count = 1 }, "histogram"},
+	}
+	if err := sampleReport().Validate(); err != nil {
+		t.Fatalf("pristine sample invalid: %v", err)
+	}
+	for _, tc := range breakers {
+		r := sampleReport()
+		tc.mutht(r)
+		err := r.Validate()
+		if err == nil {
+			t.Errorf("%s: validated", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestGate(t *testing.T) {
+	base := sampleReport()
+	// Identical report passes.
+	if err := Gate(sampleReport(), base, 0.10); err != nil {
+		t.Errorf("identical report gated: %v", err)
+	}
+	// 5% slower on every benchmark passes a 10% gate.
+	ok := sampleReport()
+	for i := range ok.Interpreter {
+		ok.Interpreter[i].McycPerSec *= 0.95
+	}
+	if err := Gate(ok, base, 0.10); err != nil {
+		t.Errorf("5%% regression gated at 10%%: %v", err)
+	}
+	// 20% slower fails.
+	bad := sampleReport()
+	for i := range bad.Interpreter {
+		bad.Interpreter[i].McycPerSec *= 0.80
+	}
+	if err := Gate(bad, base, 0.10); err == nil {
+		t.Error("20% regression passed a 10% gate")
+	}
+	// A quick subset still gates against the full baseline.
+	sub := sampleReport()
+	sub.Interpreter = sub.Interpreter[:1]
+	sub.Interpreter[0].McycPerSec *= 0.5
+	if err := Gate(sub, base, 0.10); err == nil {
+		t.Error("subset regression passed")
+	}
+	// Disjoint benchmark sets are an error, not a pass.
+	alien := sampleReport()
+	for i := range alien.Interpreter {
+		alien.Interpreter[i].Name = "other-" + alien.Interpreter[i].Name
+	}
+	if err := Gate(alien, base, 0.10); err == nil {
+		t.Error("disjoint benchmark sets passed the gate")
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_9.json")
+	r := sampleReport()
+	if err := r.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := json.Marshal(r)
+	b, _ := json.Marshal(back)
+	if !bytes.Equal(a, b) {
+		t.Errorf("round trip changed report:\n%s\nvs\n%s", a, b)
+	}
+}

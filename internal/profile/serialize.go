@@ -2,6 +2,7 @@ package profile
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/binary"
 	"fmt"
 	"io"
@@ -119,43 +120,109 @@ func ReadDCG(r io.Reader) (*DCG, error) {
 	return readLegacyText(br)
 }
 
-// readBinary decodes the versioned binary format; br is positioned at
-// the magic bytes.
-func readBinary(br *bufio.Reader) (*DCG, error) {
-	var hdr struct {
-		Magic   [4]byte
-		Version uint32
-		Edges   uint64
+// DecodeDCGBytes parses a serialized graph held entirely in memory —
+// the daemon's ingest fast path. It accepts the same formats ReadDCG
+// does but decodes binary records straight out of the slice with no
+// reflection, no intermediate reader, and no per-record allocation, so
+// a pooled request buffer can be decoded and returned to its pool with
+// nothing retained: the resulting DCG never aliases data.
+func DecodeDCGBytes(data []byte) (*DCG, error) {
+	if len(data) == 0 {
+		return nil, fmt.Errorf("empty profile")
 	}
-	if err := binary.Read(br, binary.LittleEndian, &hdr); err != nil {
-		return nil, fmt.Errorf("truncated profile header: %w", err)
+	if len(data) < len(wireMagic) || [4]byte(data[:4]) != wireMagic {
+		return readLegacyText(bufio.NewReader(bytes.NewReader(data)))
 	}
-	if hdr.Version == 0 || hdr.Version > WireVersion {
+	const hdrSize = 16 // magic + u32 version + u64 edge count
+	if len(data) < hdrSize {
+		return nil, fmt.Errorf("truncated profile header: %d bytes", len(data))
+	}
+	version := binary.LittleEndian.Uint32(data[4:8])
+	edges := binary.LittleEndian.Uint64(data[8:16])
+	if version == 0 || version > WireVersion {
 		return nil, fmt.Errorf("profile wire version %d not supported (this build reads 1..%d and the legacy text format)",
-			hdr.Version, WireVersion)
+			version, WireVersion)
 	}
-	if hdr.Edges > maxWireEdges {
-		return nil, fmt.Errorf("profile declares %d edges, beyond the %d limit", hdr.Edges, maxWireEdges)
+	if edges > maxWireEdges {
+		return nil, fmt.Errorf("profile declares %d edges, beyond the %d limit", edges, maxWireEdges)
+	}
+	body := data[hdrSize:]
+	if uint64(len(body)) != edges*wireRecSize {
+		if uint64(len(body)) < edges*wireRecSize {
+			return nil, fmt.Errorf("edge %d of %d: truncated record: %w",
+				uint64(len(body))/wireRecSize, edges, io.ErrUnexpectedEOF)
+		}
+		return nil, fmt.Errorf("trailing data after %d edges", edges)
 	}
 	g := NewDCG()
-	var rec [4]uint64
-	for i := uint64(0); i < hdr.Edges; i++ {
-		if err := binary.Read(br, binary.LittleEndian, &rec); err != nil {
-			return nil, fmt.Errorf("edge %d of %d: truncated record: %w", i, hdr.Edges, err)
+	for i := uint64(0); i < edges; i++ {
+		if err := g.addWireRecord(i, body[i*wireRecSize:(i+1)*wireRecSize]); err != nil {
+			return nil, err
 		}
-		w := math.Float64frombits(rec[3])
-		if w <= 0 || math.IsInf(w, 0) || math.IsNaN(w) {
-			return nil, fmt.Errorf("edge %d: invalid weight %v", i, w)
+	}
+	return g, nil
+}
+
+// wireRecSize is the byte size of one binary edge record.
+const wireRecSize = 32
+
+// addWireRecord validates and merges one 32-byte wire record.
+func (g *DCG) addWireRecord(i uint64, rec []byte) error {
+	w := math.Float64frombits(binary.LittleEndian.Uint64(rec[24:32]))
+	if w <= 0 || math.IsInf(w, 0) || math.IsNaN(w) {
+		return fmt.Errorf("edge %d: invalid weight %v", i, w)
+	}
+	e := Edge{
+		Caller: int(int64(binary.LittleEndian.Uint64(rec[0:8]))),
+		Site:   int(int64(binary.LittleEndian.Uint64(rec[8:16]))),
+		Callee: int(int64(binary.LittleEndian.Uint64(rec[16:24]))),
+	}
+	if g.weights[e] != 0 {
+		return fmt.Errorf("edge %d: duplicate edge %v", i, e)
+	}
+	g.AddSample(e, w)
+	return nil
+}
+
+// readBinary decodes the versioned binary format; br is positioned at
+// the magic bytes. Records are decoded in batches through a fixed
+// chunk buffer — one ReadFull and zero reflection per batch rather
+// than one binary.Read per record.
+func readBinary(br *bufio.Reader) (*DCG, error) {
+	var hdr [16]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, fmt.Errorf("truncated profile header: %w", err)
+	}
+	version := binary.LittleEndian.Uint32(hdr[4:8])
+	edges := binary.LittleEndian.Uint64(hdr[8:16])
+	if version == 0 || version > WireVersion {
+		return nil, fmt.Errorf("profile wire version %d not supported (this build reads 1..%d and the legacy text format)",
+			version, WireVersion)
+	}
+	if edges > maxWireEdges {
+		return nil, fmt.Errorf("profile declares %d edges, beyond the %d limit", edges, maxWireEdges)
+	}
+	g := NewDCG()
+	const batch = 512
+	var chunk [batch * wireRecSize]byte
+	for done := uint64(0); done < edges; {
+		n := edges - done
+		if n > batch {
+			n = batch
 		}
-		e := Edge{Caller: int(int64(rec[0])), Site: int(int64(rec[1])), Callee: int(int64(rec[2]))}
-		if g.weights[e] != 0 {
-			return nil, fmt.Errorf("edge %d: duplicate edge %v", i, e)
+		if _, err := io.ReadFull(br, chunk[:n*wireRecSize]); err != nil {
+			return nil, fmt.Errorf("edge %d of %d: truncated record: %w", done, edges, err)
 		}
-		g.AddSample(e, w)
+		for i := uint64(0); i < n; i++ {
+			if err := g.addWireRecord(done+i, chunk[i*wireRecSize:(i+1)*wireRecSize]); err != nil {
+				return nil, err
+			}
+		}
+		done += n
 	}
 	// Trailing garbage means the payload is not what its header claims.
 	if _, err := br.Peek(1); err != io.EOF {
-		return nil, fmt.Errorf("trailing data after %d edges", hdr.Edges)
+		return nil, fmt.Errorf("trailing data after %d edges", edges)
 	}
 	return g, nil
 }

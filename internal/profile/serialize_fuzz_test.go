@@ -27,8 +27,18 @@ func FuzzReadDCG(f *testing.F) {
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		got, err := ReadDCG(bytes.NewReader(data))
+		fast, fastErr := DecodeDCGBytes(data)
+		// The streaming reader and the in-memory fast path must agree
+		// on accept/reject and on the decoded graph.
+		if (err == nil) != (fastErr == nil) {
+			t.Fatalf("ReadDCG err=%v but DecodeDCGBytes err=%v", err, fastErr)
+		}
 		if err != nil {
 			return
+		}
+		if fast.NumEdges() != got.NumEdges() || fast.Total() != got.Total() {
+			t.Fatalf("fast path decoded %d/%v, reader %d/%v",
+				fast.NumEdges(), fast.Total(), got.NumEdges(), got.Total())
 		}
 		var out bytes.Buffer
 		if _, err := got.WriteTo(&out); err != nil {

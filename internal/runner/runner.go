@@ -27,12 +27,18 @@ type Progress struct {
 	Elapsed   time.Duration
 }
 
+// Mcyc returns modeled megacycles simulated so far. The progress meter
+// and the perf-trajectory JSON emitter both read this accessor, so the
+// number on the live meter and the number in BENCH_*.json come from
+// the same accumulator by construction.
+func (p Progress) Mcyc() float64 { return float64(p.Cycles) / 1e6 }
+
 // Rate returns modeled megacycles simulated per wall-clock second.
 func (p Progress) Rate() float64 {
 	if p.Elapsed <= 0 {
 		return 0
 	}
-	return float64(p.Cycles) / 1e6 / p.Elapsed.Seconds()
+	return p.Mcyc() / p.Elapsed.Seconds()
 }
 
 // ETA estimates remaining wall-clock time from the mean job cost so

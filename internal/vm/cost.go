@@ -88,6 +88,16 @@ func DefaultCostModel() *CostModel {
 	set(2, bytecode.OpClassEq)
 	set(3, bytecode.OpVTEq)
 	set(4, bytecode.OpPrint)
+	// Superinstructions charge exactly the summed cost of their parts,
+	// so the modeled cycle trajectory — and with it timer phase,
+	// yieldpoint placement, and every profile — is identical whether a
+	// method runs fused or unfused.
+	c.Instr[bytecode.OpLoadLoad] = 2 * c.Instr[bytecode.OpLoad]
+	c.Instr[bytecode.OpLoadConst] = c.Instr[bytecode.OpLoad] + c.Instr[bytecode.OpConst]
+	c.Instr[bytecode.OpAddConst] = c.Instr[bytecode.OpConst] + c.Instr[bytecode.OpAdd]
+	c.Instr[bytecode.OpIncLocal] = c.Instr[bytecode.OpLoad] + c.Instr[bytecode.OpConst] +
+		c.Instr[bytecode.OpAdd] + c.Instr[bytecode.OpStore]
+	c.Instr[bytecode.OpJumpCmp] = c.Instr[bytecode.OpLt] + c.Instr[bytecode.OpJumpNZ]
 	return c
 }
 

@@ -349,6 +349,50 @@ func (vm *VM) run(baseDepth int) (Value, error) {
 		case bytecode.OpNull:
 			vm.push(Value{})
 
+		// Superinstructions (emitted by opt.Fuse): each case is the
+		// literal composition of its unfused parts, executed under the
+		// single summed cycle charge taken above.
+		case bytecode.OpLoadLoad:
+			vm.push(f.Locals[ins.A])
+			vm.push(f.Locals[ins.B])
+		case bytecode.OpLoadConst:
+			vm.push(f.Locals[ins.A])
+			vm.push(IntV(int64(ins.B)))
+		case bytecode.OpAddConst:
+			a := vm.pop()
+			vm.push(IntV(a.I + int64(ins.A)))
+		case bytecode.OpIncLocal:
+			// Like Load;Const;Add;Store, the result is a pure integer:
+			// any reference interpretation of the local is dropped.
+			f.Locals[ins.A] = IntV(f.Locals[ins.A].I + int64(ins.B))
+		case bytecode.OpJumpCmp:
+			b, a := vm.pop(), vm.pop()
+			var take bool
+			switch bytecode.Opcode(ins.B) {
+			case bytecode.OpEq:
+				take = a.I == b.I && a.R == b.R
+			case bytecode.OpNe:
+				take = a.I != b.I || a.R != b.R
+			case bytecode.OpLt:
+				take = a.I < b.I
+			case bytecode.OpLe:
+				take = a.I <= b.I
+			case bytecode.OpGt:
+				take = a.I > b.I
+			case bytecode.OpGe:
+				take = a.I >= b.I
+			default:
+				return Value{}, vm.trap("jumpcmp with bad comparison %d", ins.B)
+			}
+			if take {
+				target := int(ins.A)
+				if target <= f.PC && vm.ControlWord > ControlNone {
+					vm.takeYieldpoint(YieldBackedge)
+				}
+				f.PC = target
+				continue
+			}
+
 		case bytecode.OpPrint:
 			v := vm.pop()
 			vm.Output = append(vm.Output, v.I)
