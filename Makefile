@@ -10,7 +10,7 @@ CMDS := ./cmd/cbsbench ./cmd/cbsd ./cmd/cbsload ./cmd/cbsvm ./cmd/dcgdiff ./cmd/
 FLEET_SEED ?= 1
 SOAK_SEED ?= 0
 
-.PHONY: all tier1 build build-cmds test test-race test-daemon test-recovery test-plan test-fleet soak vet vet-cmds ci bench bench-smoke bench-baseline
+.PHONY: all tier1 build build-cmds test test-race test-daemon test-recovery test-plan test-fleet test-federation soak vet vet-cmds ci bench bench-smoke bench-baseline
 
 all: tier1
 
@@ -33,7 +33,7 @@ build-cmds:
 # service's version-cached compilation, the in-process daemon, the
 # pulling VM, and the chaos fleet simulator.
 test-race:
-	$(GO) test -race ./internal/runner/... ./internal/experiment/... ./internal/profiler/... ./internal/dcgstore/... ./internal/inline/... ./internal/plan/... ./internal/daemon/... ./internal/puller/... ./internal/fleetsim/...
+	$(GO) test -race ./internal/runner/... ./internal/experiment/... ./internal/profiler/... ./internal/dcgstore/... ./internal/inline/... ./internal/plan/... ./internal/daemon/... ./internal/puller/... ./internal/fleetsim/... ./internal/federation/... ./internal/api/...
 
 # The cbsd aggregation daemon's httptest-based endpoint tests, the
 # hostile-pusher fuzz corpus, and the runner-driven multi-pusher
@@ -67,6 +67,19 @@ test-fleet:
 	$(GO) test ./internal/fleetsim/...
 	$(GO) run ./cmd/cbsload -vms 8 -rounds 4 -seed $(FLEET_SEED) -faults all -restarts 1
 
+# The federated aggregation tier: the api surface (routes, envelope,
+# client retry policy), the federation package's property tests
+# (rendezvous routing stable under leaf churn and spread over
+# same-length keys; forwarder crash/restart exactness; re-routed
+# pusher never double-counts at the root), the live two-daemon
+# leaf→root tree, and a short fixed-seed federated chaos soak —
+# 16 VMs sharded over 4 leaves + 1 root, leaf kills mid-merge,
+# conservation checked fleet-wide at the root.
+test-federation:
+	$(GO) test ./internal/api/... ./internal/federation/...
+	$(GO) test -run 'TestLeafForwardsToRoot|TestTree' ./internal/daemon/... ./internal/fleetsim/...
+	$(GO) run ./cmd/cbsload -vms 16 -leaves 4 -rounds 4 -seed $(FLEET_SEED) -faults all -restarts 2
+
 # A bigger randomized soak for hunting; cbsload prints the chosen seed
 # up front and repeats it on failure, so any hit replays with
 # `make soak SOAK_SEED=<seed>`.
@@ -81,7 +94,7 @@ vet:
 vet-cmds:
 	$(GO) vet ./cmd/...
 
-ci: tier1 vet vet-cmds build-cmds test-daemon test-plan test-race test-recovery test-fleet
+ci: tier1 vet vet-cmds build-cmds test-daemon test-plan test-race test-recovery test-fleet test-federation
 
 bench:
 	$(GO) test -bench=. -benchtime=1x -run=^$$ ./...

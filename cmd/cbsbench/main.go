@@ -15,6 +15,7 @@
 //	cbsbench -study context      calling-context-tree extension (E12)
 //	cbsbench -study planloop     fleet PGO loop: K pushers -> plan -> puller
 //	cbsbench -study fleetsoak    chaos soak: fleet vs faults, invariant-gated
+//	cbsbench -study fleetscale   federated ingest scaling: 1/4/16 leaves + root
 //	cbsbench -study perf         perf trajectory: BENCH_<n>.json emission
 //	cbsbench -all                everything above
 //
@@ -47,7 +48,7 @@ import (
 func main() {
 	table := flag.String("table", "", "regenerate a table: 1, 2a, 2b, or 3")
 	figure := flag.String("figure", "", "regenerate a figure: 5a or 5b")
-	study := flag.String("study", "", "run a study: convergence, skew, comparators, inliners, context, cleanup, online, entrycheck, planloop, fleetsoak, perf")
+	study := flag.String("study", "", "run a study: convergence, skew, comparators, inliners, context, cleanup, online, entrycheck, planloop, fleetsoak, fleetscale, perf")
 	perfOut := flag.String("perf-out", "", "perf study: write the BENCH report to this path (default: next free BENCH_<n>.json)")
 	perfBaseline := flag.String("perf-baseline", "", "perf study: gate the run against this baseline BENCH_*.json")
 	perfGate := flag.Float64("perf-gate", 0.10, "perf study: fail when geomean Mcyc/s regresses more than this fraction vs the baseline")
@@ -284,6 +285,20 @@ func main() {
 				}
 				fmt.Fprintf(os.Stderr, "[perf gate vs %s passed at %.0f%%]\n", *perfBaseline, *perfGate*100)
 			}
+			return nil
+		})
+	}
+	if wantStudy("fleetscale") {
+		run("fleetscale", func() error {
+			params := experiment.DefaultPerfParams()
+			if *quick {
+				params = experiment.QuickPerfParams()
+			}
+			fs, err := experiment.FleetScale(params)
+			if err != nil {
+				return err
+			}
+			fmt.Println(experiment.FormatFleetScale(fs))
 			return nil
 		})
 	}

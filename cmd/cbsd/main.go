@@ -16,17 +16,34 @@
 // and per-pusher ingest sequences — so the fleet graph survives
 // restarts and pusher retries stay deduplicated across them.
 //
-// Endpoints:
+// Endpoints (all under /v1; the flat pre-versioning paths remain as
+// aliases for one release — see internal/api):
 //
-//	POST /ingest     merge a serialized DCG snapshot into the store
-//	                 (X-Cbs-Pusher/X-Cbs-Seq headers make it idempotent)
-//	GET  /snapshot   stream the merged DCG (binary wire format)
-//	GET  /top?k=N    heaviest N edges as JSON
-//	GET  /site?id=N  receiver-target distribution at one call site
-//	POST /overlap    overlap of the store against an uploaded reference DCG
-//	POST /decay      run one decay epoch (?factor=, optional ?prune=)
-//	GET  /metrics    operational counters (JSON)
-//	GET  /healthz    liveness probe
+//	POST /v1/ingest    merge a serialized DCG snapshot into the store
+//	                   (X-Cbs-Pusher/X-Cbs-Seq headers make it idempotent)
+//	GET  /v1/snapshot  stream the merged DCG (binary wire format)
+//	GET  /v1/top?k=N   heaviest N edges as JSON
+//	GET  /v1/site?id=N receiver-target distribution at one call site
+//	GET  /v1/overlap   overlap of the store against a reference DCG
+//	                   carried in the request body
+//	POST /v1/decay     run one decay epoch (?factor=, optional ?prune=)
+//	GET  /v1/plan      compiled inlining plan (?program=)
+//	GET  /v1/metrics   operational counters (JSON)
+//	GET  /v1/healthz   liveness probe
+//	POST /v1/flush     leaf only: forward the accumulated delta upstream now
+//	POST /v1/register  root side: leaf registration/heartbeat
+//	GET  /v1/leaves    root side: registered leaves
+//
+// Federation: with -upstream the daemon runs as a LEAF in a two-level
+// aggregation tree. It still ingests from its shard of pushers, but
+// forwards merged deltas to the root over the same idempotent delta
+// protocol (the leaf is a pusher in its own right, with its own
+// identity and sequence stream), relays the root's compiled plans to
+// its pullers through an ETag cache, and never decays locally — decay
+// runs once, at the root.
+//
+//	cbsd -addr :9000                                  # root
+//	cbsd -addr :9001 -upstream http://localhost:9000  # leaf
 //
 // The daemon itself lives in internal/daemon so tests and the fleet
 // simulator (internal/fleetsim, cmd/cbsload) can run the identical
@@ -64,6 +81,11 @@ func main() {
 	flag.Float64Var(&cfg.PlanFloor, "plan-floor", defaults.MinWeight, "plan stability: drop edges below this weight before planning")
 	flag.Float64Var(&cfg.PlanBand, "plan-band", defaults.Band, "plan stability: geometric weight-quantization band (0 disables)")
 	flag.Float64Var(&cfg.PlanHold, "plan-hold", defaults.HoldSharePct, "plan stability: retain a prior decision while its site holds at least this %% of graph weight")
+	flag.StringVar(&cfg.Upstream, "upstream", "", "root daemon base URL; set to run as a federation leaf")
+	flag.StringVar(&cfg.UpstreamID, "upstream-id", "", "leaf identity for the upstream sequence stream (default: persisted, else random)")
+	flag.StringVar(&cfg.SelfURL, "self-url", "", "base URL this leaf advertises when registering with the root")
+	flag.DurationVar(&cfg.ForwardEvery, "forward-every", time.Second, "leaf delta-forward and heartbeat cadence (with -upstream)")
+	role := flag.String("role", "", "optional role assertion: 'root' or 'leaf'; fails fast when it contradicts -upstream")
 	flag.Parse()
 
 	if cfg.Decay < 0 || cfg.Decay > 1 {
@@ -71,6 +93,22 @@ func main() {
 	}
 	if _, err := plan.PolicyByName(cfg.PlanPolicy); err != nil {
 		log.Fatalf("cbsd: %v", err)
+	}
+	switch *role {
+	case "":
+	case "root":
+		if cfg.Upstream != "" {
+			log.Fatalf("cbsd: -role root contradicts -upstream %s", cfg.Upstream)
+		}
+	case "leaf":
+		if cfg.Upstream == "" {
+			log.Fatalf("cbsd: -role leaf requires -upstream")
+		}
+	default:
+		log.Fatalf("cbsd: -role %q must be 'root' or 'leaf'", *role)
+	}
+	if cfg.UpstreamID != "" && !dcgstore.ValidPusherID(cfg.UpstreamID) {
+		log.Fatalf("cbsd: -upstream-id %q invalid: need 1-128 chars of [A-Za-z0-9._:-]", cfg.UpstreamID)
 	}
 	cfg.Logf = log.Printf
 

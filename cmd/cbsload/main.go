@@ -15,6 +15,13 @@
 //
 //	cbsload -vms 64 -seed 1 -faults all
 //	cbsload -vms 16 -rounds 8 -restarts 2 -report soak.json
+//	cbsload -vms 16 -leaves 4 -restarts 2   # federated: 4 leaves + 1 root
+//
+// With -leaves N the soak runs against a federated aggregation tree:
+// the pusher fleet is rendezvous-sharded across N leaf daemons that
+// forward merged deltas into one root, restarts kill leaves instead of
+// the (only) daemon, and the conservation invariant is checked
+// fleet-wide against the root's aggregate.
 //
 // Exit status is 0 only when every invariant checker passed.
 package main
@@ -32,6 +39,7 @@ func main() {
 	var (
 		vms      = flag.Int("vms", 16, "number of pusher VMs")
 		pullers  = flag.Int("pullers", 0, "number of plan-pulling VMs (0 = default 2)")
+		leaves   = flag.Int("leaves", 0, "federated tree width: leaf daemons under one root (0 = single daemon)")
 		rounds   = flag.Int("rounds", 6, "lockstep pusher rounds")
 		iters    = flag.Int("iters", 2, "benchmark iterations per pusher per round")
 		seed     = flag.Int64("seed", 1, "fleet seed (0 = pick one; the seed is always printed)")
@@ -62,12 +70,17 @@ func main() {
 
 	// Print the seed before running: a hung or crashed soak must still
 	// be reproducible.
-	fmt.Printf("cbsload: %d vms, %d rounds, faults %s, %d restarts, seed %d\n",
-		*vms, *rounds, faults, *restarts, *seed)
+	topology := "single daemon"
+	if *leaves > 0 {
+		topology = fmt.Sprintf("%d leaves + 1 root", *leaves)
+	}
+	fmt.Printf("cbsload: %d vms, %s, %d rounds, faults %s, %d restarts, seed %d\n",
+		*vms, topology, *rounds, faults, *restarts, *seed)
 
 	rep, err := fleetsim.Run(fleetsim.Config{
 		VMs:           *vms,
 		Pullers:       *pullers,
+		Leaves:        *leaves,
 		Rounds:        *rounds,
 		ItersPerRound: *iters,
 		Seed:          *seed,

@@ -1,0 +1,92 @@
+package api
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"mime"
+	"net/http"
+	"strings"
+)
+
+// Error is the canonical JSON error envelope every non-2xx daemon
+// response carries: {"code": "...", "msg": "..."}. Code is one of the
+// Code* constants and is meant for programs; Msg is for humans and
+// carries no structure a client may rely on.
+type Error struct {
+	Code string `json:"code"`
+	Msg  string `json:"msg"`
+}
+
+func (e *Error) Error() string { return e.Code + ": " + e.Msg }
+
+// WriteError answers a request with status and the error envelope.
+func WriteError(w http.ResponseWriter, status int, code, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("X-Content-Type-Options", "nosniff")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(Error{Code: code, Msg: msg})
+}
+
+// WriteErrorf is WriteError with a format string.
+func WriteErrorf(w http.ResponseWriter, status int, code, format string, args ...any) {
+	WriteError(w, status, code, fmt.Sprintf(format, args...))
+}
+
+// WriteMethodNotAllowed answers 405 with the envelope and the Allow
+// header the RFC requires.
+func WriteMethodNotAllowed(w http.ResponseWriter, allow string) {
+	w.Header().Set("Allow", allow)
+	WriteError(w, http.StatusMethodNotAllowed, CodeMethodNotAllowed,
+		"method not allowed: use "+allow)
+}
+
+// HTTPError is the client-side view of a non-2xx response: the HTTP
+// status plus the decoded envelope. Responses from pre-envelope daemons
+// (plain-text http.Error bodies) decode with Code="" and the raw text
+// as Msg, so callers can still print something useful.
+type HTTPError struct {
+	Status int
+	Code   string
+	Msg    string
+}
+
+func (e *HTTPError) Error() string {
+	if e.Code != "" {
+		return fmt.Sprintf("%d %s: %s", e.Status, e.Code, e.Msg)
+	}
+	return fmt.Sprintf("%d: %s", e.Status, e.Msg)
+}
+
+// Retryable reports whether the response is worth retrying: server-side
+// trouble or throttling, never a 4xx protocol error (the same bytes
+// would just fail again).
+func (e *HTTPError) Retryable() bool {
+	return e.Status >= 500 ||
+		e.Status == http.StatusRequestTimeout ||
+		e.Status == http.StatusTooManyRequests
+}
+
+// errMaxBody caps how much of an error body a client reads.
+const errMaxBody = 2048
+
+// ReadHTTPError drains a non-2xx response into an HTTPError, decoding
+// the envelope when the body is JSON and falling back to the raw text
+// otherwise.
+func ReadHTTPError(resp *http.Response) *HTTPError {
+	he := &HTTPError{Status: resp.StatusCode}
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, errMaxBody))
+	ct, _, _ := mime.ParseMediaType(resp.Header.Get("Content-Type"))
+	if ct == "application/json" {
+		var env Error
+		if err := json.Unmarshal(body, &env); err == nil && env.Code != "" {
+			he.Code, he.Msg = env.Code, env.Msg
+			return he
+		}
+	}
+	he.Msg = strings.TrimSpace(string(body))
+	if he.Msg == "" {
+		he.Msg = resp.Status
+	}
+	return he
+}

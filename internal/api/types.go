@@ -1,0 +1,189 @@
+package api
+
+import "gocbs/internal/profile"
+
+// IngestResponse acknowledges one merged (or deduplicated) delta.
+type IngestResponse struct {
+	// Applied is true when the delta was merged; Duplicate is its
+	// complement — the (pusher, seq) stamp had already been applied, so
+	// the daemon acknowledged without re-merging.
+	Applied      bool    `json:"applied"`
+	Duplicate    bool    `json:"duplicate"`
+	MergedEdges  int     `json:"merged_edges"`
+	MergedWeight float64 `json:"merged_weight"`
+	StoreEdges   int     `json:"store_edges"`
+	StoreWeight  float64 `json:"store_weight"`
+}
+
+// Edge is one weighted call edge in a TopResponse.
+type Edge struct {
+	Caller  int     `json:"caller"`
+	Site    int     `json:"site"`
+	Callee  int     `json:"callee"`
+	Weight  float64 `json:"weight"`
+	Percent float64 `json:"percent"`
+}
+
+// TopResponse lists the k heaviest edges of the current snapshot.
+type TopResponse struct {
+	Edges       []Edge  `json:"edges"`
+	TotalWeight float64 `json:"total_weight"`
+}
+
+// SiteResponse is one call site's receiver-target distribution — the
+// guarded-inlining input of the paper, served over HTTP.
+type SiteResponse struct {
+	Site         int                    `json:"site"`
+	SiteWeightPc float64                `json:"site_weight_pc"`
+	Targets      []profile.TargetWeight `json:"targets"`
+}
+
+// OverlapResponse scores an uploaded reference DCG against the store
+// with the paper's overlap metric.
+type OverlapResponse struct {
+	Overlap        float64 `json:"overlap"`
+	StoreEdges     int     `json:"store_edges"`
+	ReferenceEdges int     `json:"reference_edges"`
+}
+
+// DecayResponse reports one on-demand decay epoch.
+type DecayResponse struct {
+	Epoch       uint64 `json:"epoch"`
+	PrunedEdges int    `json:"pruned_edges"`
+}
+
+// MetricsResponse is the daemon's operational-counter digest. The
+// ingest-latency fields appear once at least one ingest has been
+// observed; the plan_* fields appear when the plan service is enabled
+// (on a leaf, when the relay is enabled).
+type MetricsResponse struct {
+	Edges           int     `json:"edges"`
+	TotalWeight     float64 `json:"total_weight"`
+	SamplesIngested float64 `json:"samples_ingested"`
+	Merges          uint64  `json:"merges"`
+	DecayEpoch      uint64  `json:"decay_epoch"`
+	Shards          int     `json:"shards"`
+	Pushers         int     `json:"pushers"`
+	Ingests         uint64  `json:"ingests"`
+	IngestErrors    uint64  `json:"ingest_errors"`
+	IngestDups      uint64  `json:"ingest_duplicates"`
+	MergeMsTotal    float64 `json:"merge_ms_total"`
+	MergeMsMean     float64 `json:"merge_ms_mean"`
+	UptimeS         float64 `json:"uptime_s"`
+
+	IngestLat *LatencyMetrics `json:"ingest_lat,omitempty"`
+	Plan      *PlanMetrics    `json:"plan,omitempty"`
+	Forward   *ForwardMetrics `json:"forward,omitempty"`
+
+	// The flattened aliases below predate the nested groups; they are
+	// what existing scrapers (and the perf trajectory) read, so the
+	// daemon keeps populating both for one release.
+	IngestMsCount int     `json:"ingest_ms_count,omitempty"`
+	IngestMsMean  float64 `json:"ingest_ms_mean,omitempty"`
+	IngestMsP50   float64 `json:"ingest_ms_p50,omitempty"`
+	IngestMsP99   float64 `json:"ingest_ms_p99,omitempty"`
+	IngestMsMax   float64 `json:"ingest_ms_max,omitempty"`
+
+	PlanPrograms      int    `json:"plan_programs,omitempty"`
+	PlanComputed      uint64 `json:"plan_computed,omitempty"`
+	PlanUnchanged     uint64 `json:"plan_unchanged,omitempty"`
+	PlanCompileErrors uint64 `json:"plan_compile_errors,omitempty"`
+	PlanRequests      uint64 `json:"plan_requests,omitempty"`
+	PlanNotModified   uint64 `json:"plan_not_modified,omitempty"`
+	PlanReqErrors     uint64 `json:"plan_request_errors,omitempty"`
+}
+
+// LatencyMetrics is a histogram digest in milliseconds.
+type LatencyMetrics struct {
+	Count int     `json:"count"`
+	Mean  float64 `json:"mean"`
+	P50   float64 `json:"p50"`
+	P99   float64 `json:"p99"`
+	Max   float64 `json:"max"`
+}
+
+// PlanMetrics covers the plan service (root) or plan relay (leaf).
+type PlanMetrics struct {
+	Programs      int    `json:"programs"`
+	Computed      uint64 `json:"computed"`
+	Unchanged     uint64 `json:"unchanged"`
+	CompileErrors uint64 `json:"compile_errors"`
+	Requests      uint64 `json:"requests"`
+	NotModified   uint64 `json:"not_modified"`
+	RequestErrors uint64 `json:"request_errors"`
+	// Relay-only: conditional refreshes against the root and responses
+	// served stale because the root was unreachable.
+	RelayRefreshes uint64 `json:"relay_refreshes,omitempty"`
+	RelayStale     uint64 `json:"relay_stale,omitempty"`
+}
+
+// ForwardMetrics covers a leaf's upstream forwarder.
+type ForwardMetrics struct {
+	// Seq is the highest sequence number pushed upstream; Pending is
+	// how many captured increments await acknowledgement.
+	Seq       uint64  `json:"seq"`
+	Pending   int     `json:"pending"`
+	Forwards  uint64  `json:"forwards"`
+	Errors    uint64  `json:"errors"`
+	AckEdges  int     `json:"ack_edges"`
+	AckWeight float64 `json:"ack_weight"`
+}
+
+// FlushResponse reports one forced leaf→root forward cycle.
+type FlushResponse struct {
+	// Forwarded is true when every captured increment (including any
+	// newly captured by this flush) was acknowledged upstream.
+	Forwarded bool `json:"forwarded"`
+	// Seq is the highest sequence number acknowledged upstream;
+	// Pending counts increments still queued (non-zero only when the
+	// upstream push failed).
+	Seq     uint64 `json:"seq"`
+	Pending int    `json:"pending"`
+	// Edges/Weight describe the increment captured by this flush
+	// (zero when the store had nothing new).
+	Edges  int     `json:"edges"`
+	Weight float64 `json:"weight"`
+}
+
+// LeafStatus is one leaf's registration/heartbeat body and the root's
+// per-leaf ledger entry.
+type LeafStatus struct {
+	// ID is the leaf's upstream pusher identity — the X-Cbs-Pusher
+	// value its forwarded increments are stamped with.
+	ID string `json:"id"`
+	// Addr is the leaf's own base URL, so tools can walk the tree.
+	Addr string `json:"addr,omitempty"`
+	// Seq is the highest sequence the leaf has pushed upstream.
+	Seq uint64 `json:"seq"`
+	// Edges/Weight describe the leaf's acknowledged cumulative graph.
+	Edges  int     `json:"edges"`
+	Weight float64 `json:"weight"`
+}
+
+// RegisterResponse acknowledges a leaf registration.
+type RegisterResponse struct {
+	Registered bool `json:"registered"`
+	// Leaves is the root's current registered-leaf count.
+	Leaves int `json:"leaves"`
+}
+
+// LeavesResponse lists the leaves registered with a root, sorted by ID.
+type LeavesResponse struct {
+	Leaves []LeafStatus `json:"leaves"`
+}
+
+// PlanResult is a conditional plan fetch's outcome. Body is the binary
+// plan wire format (nil on NotModified); decoding it is the plan
+// package's business — api stays below plan in the import graph so
+// plan.Client can wrap api.Client.
+type PlanResult struct {
+	Body        []byte
+	ETag        string
+	NotModified bool
+	// Epoch and Policy mirror the response headers.
+	Epoch  uint64
+	Policy string
+	// Stale is true when a leaf relay served its cache because the
+	// root was unreachable.
+	Stale bool
+}

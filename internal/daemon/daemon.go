@@ -12,12 +12,15 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"path/filepath"
 	"sync"
 	"time"
 
+	"gocbs/internal/api"
 	"gocbs/internal/bench"
 	"gocbs/internal/bytecode"
 	"gocbs/internal/dcgstore"
+	"gocbs/internal/federation"
 	"gocbs/internal/inline"
 	"gocbs/internal/plan"
 )
@@ -43,6 +46,26 @@ type Config struct {
 	// MaxUploadBytes bounds ingest/overlap request bodies; 0 selects
 	// DefaultMaxUploadBytes. Tests shrink it to exercise the 413 path.
 	MaxUploadBytes int64
+
+	// Upstream, when set, runs this daemon as a federation LEAF: it
+	// keeps ingesting from its shard of pushers, but forwards merged
+	// deltas to the root at Upstream (as a pusher in its own right,
+	// under its own identity and sequence stream), relays the root's
+	// plans to its pullers through an ETag cache, and never decays
+	// locally — decay composes only once, at the root.
+	Upstream string
+	// UpstreamID is the leaf's upstream pusher identity. Empty adopts
+	// the identity persisted in the state dir, or mints a random one.
+	UpstreamID string
+	// SelfURL is the base URL this leaf advertises when registering
+	// with the root (the fleet simulator uses placeholder hosts).
+	SelfURL string
+	// ForwardEvery is the delta-forward + heartbeat cadence on a leaf;
+	// 0 selects one second.
+	ForwardEvery time.Duration
+	// UpstreamClient overrides the HTTP client for upstream calls; the
+	// fleet simulator injects its chaos transport here.
+	UpstreamClient *http.Client
 
 	// Ready, when non-nil, receives the bound listen address once the
 	// daemon is serving (tests bind :0).
@@ -76,10 +99,44 @@ func Run(ctx context.Context, cfg Config) error {
 		}
 	}
 
-	plans := NewPlanService(cfg, store, logf)
+	// Federation wiring. Every daemon carries the registry routes (any
+	// daemon can serve as a root); a daemon with an upstream is a leaf:
+	// plans come from the relay instead of a local compiler, and the
+	// forwarder streams the store's growth to the root.
+	fed := newFedState()
+	isLeaf := cfg.Upstream != ""
+	var plans planSource
+	var planSvc *plan.Service // non-nil only at the root; drives RefreshAll
+	if isLeaf {
+		up := &api.Client{BaseURL: cfg.Upstream, HTTPClient: cfg.UpstreamClient, Retries: -1}
+		statePath := ""
+		if cfg.StateDir != "" {
+			statePath = filepath.Join(cfg.StateDir, "forward-state.json")
+		}
+		fwd, err := federation.NewForwarder(federation.ForwarderConfig{
+			ID:        cfg.UpstreamID,
+			Upstream:  up,
+			Source:    store.Snapshot,
+			StatePath: statePath,
+		})
+		if err != nil {
+			return fmt.Errorf("leaf forwarder: %w", err)
+		}
+		fed.fwd = fwd
+		fed.upstream = up
+		fed.selfURL = cfg.SelfURL
+		plans = newPlanRelay(up)
+		logf("leaf mode: forwarding to %s as %s", cfg.Upstream, fwd.ID())
+		if cfg.Decay > 0 {
+			logf("leaf mode: local decay disabled (a leaf store must stay monotonic; decay runs at the root)")
+		}
+	} else {
+		planSvc = NewPlanService(cfg, store, logf)
+		plans = planSvc
+	}
 
 	srv := &http.Server{
-		Handler:           newServer(store, plans, cfg.MaxUploadBytes).handler(),
+		Handler:           newServer(store, plans, fed, cfg.MaxUploadBytes).handler(),
 		ReadTimeout:       cfg.ReadTimeout,
 		ReadHeaderTimeout: 5 * time.Second,
 		WriteTimeout:      cfg.WriteTimeout,
@@ -102,7 +159,7 @@ func Run(ctx context.Context, cfg Config) error {
 	bgCtx, stopBg := context.WithCancel(context.Background())
 	defer stopBg()
 	var bg sync.WaitGroup
-	if cfg.Decay > 0 {
+	if cfg.Decay > 0 && !isLeaf {
 		bg.Add(1)
 		go func() {
 			defer bg.Done()
@@ -116,7 +173,37 @@ func Run(ctx context.Context, cfg Config) error {
 					pruned := store.Decay(cfg.Decay, cfg.DecayPrune)
 					logf("decay epoch %d: factor %v, pruned %d edges, %d remain",
 						store.Epoch(), cfg.Decay, pruned, store.NumEdges())
-					plans.RefreshAll()
+					planSvc.RefreshAll()
+				}
+			}
+		}()
+	}
+	if fed.fwd != nil {
+		every := cfg.ForwardEvery
+		if every <= 0 {
+			every = time.Second
+		}
+		bg.Add(1)
+		go func() {
+			defer bg.Done()
+			// Registration is best-effort (the delta protocol carries
+			// correctness); a failed heartbeat just retries next tick.
+			if err := fed.register(); err != nil {
+				logf("register with %s: %v", cfg.Upstream, err)
+			}
+			ticker := time.NewTicker(every)
+			defer ticker.Stop()
+			for {
+				select {
+				case <-bgCtx.Done():
+					return
+				case <-ticker.C:
+					if _, err := fed.fwd.Flush(); err != nil {
+						logf("forward: %v", err)
+					}
+					if err := fed.register(); err != nil {
+						logf("register with %s: %v", cfg.Upstream, err)
+					}
 				}
 			}
 		}()
@@ -133,20 +220,24 @@ func Run(ctx context.Context, cfg Config) error {
 		// Keep persisted plans fresh at the same cadence as checkpoints:
 		// a durable daemon re-plans on the checkpoint tick, not just on
 		// demand, so the plan files a restart restores from are recent.
-		bg.Add(1)
-		go func() {
-			defer bg.Done()
-			ticker := time.NewTicker(cfg.CheckpointEvery)
-			defer ticker.Stop()
-			for {
-				select {
-				case <-bgCtx.Done():
-					return
-				case <-ticker.C:
-					plans.RefreshAll()
+		// (A leaf has no compiler — its relay cache is refreshed by the
+		// downstream pulls themselves.)
+		if planSvc != nil {
+			bg.Add(1)
+			go func() {
+				defer bg.Done()
+				ticker := time.NewTicker(cfg.CheckpointEvery)
+				defer ticker.Stop()
+				for {
+					select {
+					case <-bgCtx.Done():
+						return
+					case <-ticker.C:
+						planSvc.RefreshAll()
+					}
 				}
-			}
-		}()
+			}()
+		}
 	}
 
 	serveErr := make(chan error, 1)
@@ -169,6 +260,17 @@ func Run(ctx context.Context, cfg Config) error {
 	shutdownErr := srv.Shutdown(drainCtx)
 	stopBg()
 	bg.Wait()
+	if fed.fwd != nil {
+		// Final flush after the drain so every merged push makes the
+		// last increment. Failure is safe: the capture persisted before
+		// the push attempt, so a restart re-sends it and the root
+		// deduplicates.
+		if resp, err := fed.fwd.Flush(); err != nil {
+			logf("final flush: %v (%d increment(s) persisted for restart)", err, resp.Pending)
+		} else if resp.Edges > 0 {
+			logf("final flush: forwarded %d edges, %.0f weight (seq %d)", resp.Edges, resp.Weight, resp.Seq)
+		}
+	}
 	if cfg.StateDir != "" {
 		if err := dcgstore.SaveCheckpoint(cfg.StateDir, store); err != nil {
 			return fmt.Errorf("final checkpoint: %w", err)

@@ -12,6 +12,7 @@ import (
 	"testing"
 	"time"
 
+	"gocbs/internal/api"
 	"gocbs/internal/dcgstore"
 	"gocbs/internal/profile"
 )
@@ -45,7 +46,7 @@ func startDaemon(t *testing.T, ctx context.Context, stateDir string) (string, <-
 
 func fetchSnapshotBytes(t *testing.T, baseURL string) []byte {
 	t.Helper()
-	resp, err := http.Get(baseURL + "/snapshot")
+	resp, err := http.Get(baseURL + api.PathSnapshot)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,223 @@
+package daemon
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+
+	"gocbs/internal/api"
+	"gocbs/internal/dcgstore"
+	"gocbs/internal/federation"
+	"gocbs/internal/plan"
+)
+
+// fedState is the daemon's federation wiring. Every daemon carries a
+// leaf registry (any daemon can serve as a root; registering with a
+// standalone daemon is harmless), and a daemon configured with an
+// upstream additionally carries the leaf-side forwarder.
+type fedState struct {
+	registry *federation.Registry
+	// fwd is non-nil only on a leaf: the exactly-once upstream pusher.
+	fwd *federation.Forwarder
+	// upstream is the api client aimed at the root (leaf only), used
+	// for registration heartbeats alongside the forwarder's pushes.
+	upstream *api.Client
+	// selfURL is the base URL this leaf advertises when registering.
+	selfURL string
+}
+
+func newFedState() *fedState {
+	return &fedState{registry: federation.NewRegistry()}
+}
+
+// routes registers the federation endpoints. route also installs
+// legacy aliases, but these routes have none — they were born
+// versioned.
+func (f *fedState) routes(route func(string, http.HandlerFunc)) {
+	route(api.PathFlush, postOnly(f.handleFlush))
+	route(api.PathRegister, postOnly(f.handleRegister))
+	route(api.PathLeaves, getOnly(f.handleLeaves))
+}
+
+func (f *fedState) forwardMetrics() *api.ForwardMetrics {
+	if f.fwd == nil {
+		return nil
+	}
+	return f.fwd.Metrics()
+}
+
+// register sends one registration/heartbeat to the root. Best-effort:
+// the delta protocol, not the registry, carries correctness.
+func (f *fedState) register() error {
+	if f.fwd == nil || f.upstream == nil {
+		return nil
+	}
+	_, err := f.upstream.Register(f.fwd.Status(f.selfURL))
+	return err
+}
+
+// handleFlush forces this leaf to capture and forward its accumulated
+// delta upstream now. The fleet simulator uses it as a deterministic
+// drain point; operators use it before taking a leaf down.
+func (f *fedState) handleFlush(w http.ResponseWriter, r *http.Request) {
+	if f.fwd == nil {
+		api.WriteError(w, http.StatusNotFound, api.CodeNotFound,
+			"this daemon has no upstream (not a leaf)")
+		return
+	}
+	resp, err := f.fwd.Flush()
+	if err != nil {
+		api.WriteErrorf(w, http.StatusBadGateway, api.CodeUpstream,
+			"flush: %d increment(s) still pending: %v", resp.Pending, err)
+		return
+	}
+	writeJSONStatic(w, resp)
+}
+
+// handleRegister accepts a leaf's registration/heartbeat.
+func (f *fedState) handleRegister(w http.ResponseWriter, r *http.Request) {
+	var st api.LeafStatus
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&st); err != nil {
+		api.WriteErrorf(w, http.StatusBadRequest, api.CodeBadRequest, "bad leaf status: %v", err)
+		return
+	}
+	if !dcgstore.ValidPusherID(st.ID) {
+		api.WriteError(w, http.StatusBadRequest, api.CodeBadRequest,
+			"bad leaf id: need 1-128 chars of [A-Za-z0-9._:-]")
+		return
+	}
+	n := f.registry.Register(st)
+	writeJSONStatic(w, api.RegisterResponse{Registered: true, Leaves: n})
+}
+
+// handleLeaves lists the leaves registered with this daemon.
+func (f *fedState) handleLeaves(w http.ResponseWriter, r *http.Request) {
+	writeJSONStatic(w, api.LeavesResponse{Leaves: f.registry.List()})
+}
+
+// writeJSONStatic is writeJSON for handlers that hang off fedState
+// (no server receiver for the encode-error-once gate; these bodies
+// are tiny and static enough that a failed encode is a hangup).
+func writeJSONStatic(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+// errRelayUnavailable marks a plan request a leaf could not serve: no
+// cached plan and the root unreachable. The plan endpoint maps it to
+// 503 upstream_unavailable (a puller treats that like any transient
+// poll failure and keeps running).
+var errRelayUnavailable = errors.New("upstream unreachable")
+
+// planRelay is the leaf-side planSource: plans compile only at the
+// root, and the leaf relays them downward with an ETag cache so its
+// pullers keep polling the leaf. Every downstream request costs the
+// root at most one conditional GET (usually a 304); when the root is
+// unreachable the relay serves its cache stale and marks the response
+// (api.HeaderRelayStale) so observers can tell.
+type planRelay struct {
+	upstream *api.Client
+
+	mu      sync.Mutex
+	entries map[string]*relayEntry
+
+	// Counters for /metrics (under mu).
+	fetched    uint64 // upstream responses with a new plan body
+	notMod     uint64 // upstream 304s
+	errors     uint64 // upstream failures
+	refreshes  uint64 // upstream round trips attempted
+	staleServe uint64 // downstream serves satisfied from a stale cache
+}
+
+type relayEntry struct {
+	etag  string // the ROOT's validator, for upstream conditionals
+	plan  *plan.Plan
+	stale bool // last serve used the cache because the root was down
+}
+
+func newPlanRelay(upstream *api.Client) *planRelay {
+	return &planRelay{upstream: upstream, entries: make(map[string]*relayEntry)}
+}
+
+// PlanFor refreshes program's plan from the root (conditionally, via
+// the cached ETag) and returns it. Root unreachable: the cached plan
+// is served stale; with no cache the request fails with
+// errRelayUnavailable. A root 404 (unknown program) is relayed as
+// plan.ErrUnknownProgram so the endpoint keeps its status mapping.
+func (rl *planRelay) PlanFor(program string) (*plan.Plan, error) {
+	rl.mu.Lock()
+	defer rl.mu.Unlock()
+	e := rl.entries[program]
+	var etag string
+	if e != nil {
+		etag = e.etag
+	}
+	rl.refreshes++
+	res, err := rl.upstream.GetPlan(program, etag)
+	if err != nil {
+		rl.errors++
+		var he *api.HTTPError
+		if errors.As(err, &he) && he.Status == http.StatusNotFound {
+			// The root does not know the program; a stale cache would
+			// be wrong, not resilient.
+			return nil, fmt.Errorf("%w (relayed from root)", plan.ErrUnknownProgram)
+		}
+		if e != nil && e.plan != nil {
+			e.stale = true
+			rl.staleServe++
+			return e.plan, nil
+		}
+		return nil, fmt.Errorf("%w: %v", errRelayUnavailable, err)
+	}
+	if res.NotModified {
+		rl.notMod++
+		if e == nil || e.plan == nil {
+			return nil, fmt.Errorf("%w: root answered 304 with no cached plan", errRelayUnavailable)
+		}
+		e.stale = false
+		return e.plan, nil
+	}
+	p, err := plan.ReadPlan(bytes.NewReader(res.Body))
+	if err != nil {
+		rl.errors++
+		return nil, fmt.Errorf("relay: bad plan body from root: %w", err)
+	}
+	rl.fetched++
+	rl.entries[program] = &relayEntry{etag: res.ETag, plan: p}
+	return p, nil
+}
+
+// ServedStale reports whether program's most recent serve came from
+// the cache because the root was unreachable.
+func (rl *planRelay) ServedStale(program string) bool {
+	rl.mu.Lock()
+	defer rl.mu.Unlock()
+	e := rl.entries[program]
+	return e != nil && e.stale
+}
+
+// Counters returns (upstream refresh attempts, stale serves).
+func (rl *planRelay) Counters() (refreshes, stale uint64) {
+	rl.mu.Lock()
+	defer rl.mu.Unlock()
+	return rl.refreshes, rl.staleServe
+}
+
+// Stats adapts the relay's counters to the plan-service stat shape the
+// metrics endpoint reports: Computed = new plan bodies relayed,
+// Unchanged = upstream 304s.
+func (rl *planRelay) Stats() plan.ServiceStats {
+	rl.mu.Lock()
+	defer rl.mu.Unlock()
+	return plan.ServiceStats{
+		Programs:  len(rl.entries),
+		Computed:  rl.fetched,
+		Unchanged: rl.notMod,
+		Errors:    rl.errors,
+	}
+}

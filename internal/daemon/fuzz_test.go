@@ -6,6 +6,7 @@ import (
 	"net/http/httptest"
 	"testing"
 
+	"gocbs/internal/api"
 	"gocbs/internal/dcgstore"
 	"gocbs/internal/profile"
 )
@@ -59,8 +60,8 @@ func FuzzIngestHostilePusher(f *testing.F) {
 		}
 		before := dcgBytes(t, store.Snapshot())
 
-		h := newServer(store, nil, 1<<16).handler()
-		req := httptest.NewRequest("POST", "/ingest", bytes.NewReader(body))
+		h := newServer(store, nil, nil, 1<<16).handler()
+		req := httptest.NewRequest("POST", api.PathIngest, bytes.NewReader(body))
 		// Set headers through the map: hostile values (control bytes,
 		// overlong strings) must reach the handler's own validation.
 		if pusher != "" {

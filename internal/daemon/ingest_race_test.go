@@ -7,6 +7,7 @@ import (
 	"sync"
 	"testing"
 
+	"gocbs/internal/api"
 	"gocbs/internal/profile"
 )
 
@@ -57,7 +58,7 @@ func TestIngestPooledBuffersRace(t *testing.T) {
 					errs <- err
 					return
 				}
-				resp, err := http.Post(ts.URL+"/ingest", "application/octet-stream", &body)
+				resp, err := http.Post(ts.URL+api.PathIngest, "application/octet-stream", &body)
 				if err != nil {
 					errs <- err
 					return
@@ -72,7 +73,7 @@ func TestIngestPooledBuffersRace(t *testing.T) {
 	}
 	// Concurrent readers keep snapshot serialization and the metrics
 	// histogram summary racing against the writers.
-	for _, path := range []string{"/snapshot", "/metrics"} {
+	for _, path := range []string{api.PathSnapshot, api.PathMetrics} {
 		wg.Add(1)
 		go func(path string) {
 			defer wg.Done()
@@ -113,7 +114,7 @@ func TestIngestPooledBuffersRace(t *testing.T) {
 	}
 
 	// The latency histogram saw every successful push.
-	resp, err := http.Get(ts.URL + "/metrics")
+	resp, err := http.Get(ts.URL + api.PathMetrics)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -9,6 +9,7 @@ import (
 	"path/filepath"
 	"testing"
 
+	"gocbs/internal/api"
 	"gocbs/internal/bench"
 	"gocbs/internal/bytecode"
 	"gocbs/internal/dcgstore"
@@ -119,7 +120,7 @@ func TestPlanEndToEnd(t *testing.T) {
 	if changed || !bytes.Equal(p2.Encode(), p.Encode()) {
 		t.Error("conditional re-fetch did not return the identical cached plan")
 	}
-	m := decodeJSON(t, mustGet(t, ts.URL+"/metrics"))
+	m := decodeJSON(t, mustGet(t, ts.URL+api.PathMetrics))
 	if m["plan_not_modified"].(float64) < 1 {
 		t.Errorf("plan_not_modified = %v, want >= 1", m["plan_not_modified"])
 	}
@@ -187,23 +188,23 @@ func mustGet(t *testing.T, url string) *http.Response {
 // (400), unknown programs (404), and counts both.
 func TestPlanEndpointErrors(t *testing.T) {
 	ts, _ := newTestDaemon(t)
-	resp := mustGet(t, ts.URL+"/plan")
+	resp := mustGet(t, ts.URL+api.PathPlan)
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusBadRequest {
 		t.Errorf("missing ?program=: status %d, want 400", resp.StatusCode)
 	}
 	for _, q := range []string{"no-such-benchmark", "..%2Fescape"} {
-		resp := mustGet(t, ts.URL+"/plan?program="+q)
+		resp := mustGet(t, ts.URL+api.PathPlan+"?program="+q)
 		resp.Body.Close()
 		if resp.StatusCode != http.StatusNotFound {
 			t.Errorf("program=%s: status %d, want 404", q, resp.StatusCode)
 		}
 	}
-	m := decodeJSON(t, mustGet(t, ts.URL+"/metrics"))
+	m := decodeJSON(t, mustGet(t, ts.URL+api.PathMetrics))
 	if m["plan_request_errors"].(float64) != 3 {
 		t.Errorf("plan_request_errors = %v, want 3", m["plan_request_errors"])
 	}
-	if resp, _ := http.Post(ts.URL+"/plan?program=compress", "", nil); resp.StatusCode != http.StatusMethodNotAllowed {
+	if resp, _ := http.Post(ts.URL+api.PathPlan+"?program=compress", "", nil); resp.StatusCode != http.StatusMethodNotAllowed {
 		t.Errorf("POST /plan: status %d, want 405", resp.StatusCode)
 	}
 }
@@ -257,7 +258,7 @@ func TestPlanSurvivesDaemonRestart(t *testing.T) {
 
 func fetchPlanBytes(t *testing.T, baseURL string) []byte {
 	t.Helper()
-	resp := mustGet(t, baseURL+"/plan?program=compress")
+	resp := mustGet(t, baseURL+api.PathPlan+"?program=compress")
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		body, _ := io.ReadAll(resp.Body)

@@ -11,6 +11,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"gocbs/internal/api"
 	"gocbs/internal/dcgstore"
 	"gocbs/internal/plan"
 	"gocbs/internal/profile"
@@ -26,7 +27,8 @@ const DefaultMaxUploadBytes = 256 << 20
 // sharded locks and the counters here are atomics.
 type server struct {
 	store     *dcgstore.Store
-	plans     *plan.Service
+	plans     planSource
+	fed       *fedState
 	start     time.Time
 	maxUpload int64
 
@@ -48,11 +50,25 @@ type server struct {
 	encodeErrOnce sync.Once
 }
 
-func newServer(store *dcgstore.Store, plans *plan.Service, maxUpload int64) *server {
+// planSource is what the plan endpoint needs from whoever compiles or
+// relays plans: the root daemon's plan.Service compiles them from the
+// aggregated store; a leaf's planRelay serves its upstream cache. Both
+// also surface service-level stats for /metrics.
+type planSource interface {
+	PlanFor(program string) (*plan.Plan, error)
+	Stats() plan.ServiceStats
+}
+
+func newServer(store *dcgstore.Store, plans planSource, fed *fedState, maxUpload int64) *server {
 	if maxUpload <= 0 {
 		maxUpload = DefaultMaxUploadBytes
 	}
-	return &server{store: store, plans: plans, start: time.Now(), maxUpload: maxUpload}
+	// An interface holding a nil *plan.Service must read as "no plan
+	// source", not panic inside the handler.
+	if svc, ok := plans.(*plan.Service); ok && svc == nil {
+		plans = nil
+	}
+	return &server{store: store, plans: plans, fed: fed, start: time.Now(), maxUpload: maxUpload}
 }
 
 // InProcess is a daemon HTTP surface without the process scaffolding
@@ -68,7 +84,7 @@ type InProcess struct {
 // NewInProcess returns an in-process daemon over the given store.
 // maxUpload <= 0 selects DefaultMaxUploadBytes.
 func NewInProcess(store *dcgstore.Store, maxUpload int64) *InProcess {
-	return &InProcess{s: newServer(store, nil, maxUpload)}
+	return &InProcess{s: newServer(store, nil, nil, maxUpload)}
 }
 
 // Handler returns the daemon's HTTP mux.
@@ -80,31 +96,55 @@ func (p *InProcess) IngestLatency() stats.HistogramSummary {
 	return p.s.ingestLat.Summary()
 }
 
-// handler routes the daemon's endpoints. Read endpoints are GET-only;
-// mutating endpoints are POST-only and say so with 405s.
+// handler routes the daemon's endpoints. Every route lives under /v1
+// (paths and method guards from internal/api); the pre-versioning flat
+// paths stay served through api.LegacyAliases for one release. Read
+// endpoints are GET-only, mutating endpoints POST-only, and violations
+// get a 405 with the error envelope.
 func (s *server) handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("/ingest", s.handleIngest)
-	mux.HandleFunc("/snapshot", getOnly(s.handleSnapshot))
-	mux.HandleFunc("/top", getOnly(s.handleTop))
-	mux.HandleFunc("/site", getOnly(s.handleSite))
-	mux.HandleFunc("/overlap", s.handleOverlap)
-	mux.HandleFunc("/decay", s.handleDecay)
-	mux.HandleFunc("/plan", getOnly(s.handlePlan))
-	mux.HandleFunc("/metrics", getOnly(s.handleMetrics))
-	mux.HandleFunc("/healthz", getOnly(func(w http.ResponseWriter, r *http.Request) {
+	route := func(path string, h http.HandlerFunc) {
+		mux.HandleFunc(path, h)
+		for legacy, v1 := range api.LegacyAliases {
+			if v1 == path {
+				mux.HandleFunc(legacy, h)
+			}
+		}
+	}
+	route(api.PathIngest, postOnly(s.handleIngest))
+	route(api.PathSnapshot, getOnly(s.handleSnapshot))
+	route(api.PathTop, getOnly(s.handleTop))
+	route(api.PathSite, getOnly(s.handleSite))
+	route(api.PathOverlap, getOnly(s.handleOverlap))
+	route(api.PathDecay, postOnly(s.handleDecay))
+	route(api.PathPlan, getOnly(s.handlePlan))
+	route(api.PathMetrics, getOnly(s.handleMetrics))
+	route(api.PathHealthz, getOnly(func(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintln(w, "ok")
 	}))
+	if s.fed != nil {
+		s.fed.routes(route)
+	}
 	return mux
 }
 
 // getOnly rejects every method but GET (and HEAD, which net/http
-// serves as a bodyless GET) with 405.
+// serves as a bodyless GET) with an enveloped 405.
 func getOnly(h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodGet && r.Method != http.MethodHead {
-			w.Header().Set("Allow", "GET")
-			http.Error(w, "read-only endpoint: use GET", http.StatusMethodNotAllowed)
+			api.WriteMethodNotAllowed(w, http.MethodGet)
+			return
+		}
+		h(w, r)
+	}
+}
+
+// postOnly rejects every method but POST with an enveloped 405.
+func postOnly(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			api.WriteMethodNotAllowed(w, http.MethodPost)
 			return
 		}
 		h(w, r)
@@ -139,16 +179,16 @@ func (s *server) readProfileBody(w http.ResponseWriter, r *http.Request) (*profi
 	if _, err := buf.ReadFrom(http.MaxBytesReader(w, r.Body, s.maxUpload)); err != nil {
 		var tooBig *http.MaxBytesError
 		if errors.As(err, &tooBig) {
-			http.Error(w, fmt.Sprintf("profile payload exceeds %d bytes", tooBig.Limit),
-				http.StatusRequestEntityTooLarge)
+			api.WriteErrorf(w, http.StatusRequestEntityTooLarge, api.CodeTooLarge,
+				"profile payload exceeds %d bytes", tooBig.Limit)
 			return nil, false
 		}
-		http.Error(w, fmt.Sprintf("bad profile payload: %v", err), http.StatusBadRequest)
+		api.WriteErrorf(w, http.StatusBadRequest, api.CodeBadRequest, "bad profile payload: %v", err)
 		return nil, false
 	}
 	g, err := profile.DecodeDCGBytes(buf.Bytes())
 	if err != nil {
-		http.Error(w, fmt.Sprintf("bad profile payload: %v", err), http.StatusBadRequest)
+		api.WriteErrorf(w, http.StatusBadRequest, api.CodeBadRequest, "bad profile payload: %v", err)
 		return nil, false
 	}
 	return g, true
@@ -157,20 +197,20 @@ func (s *server) readProfileBody(w http.ResponseWriter, r *http.Request) (*profi
 // ingestStamp extracts and validates the optional idempotency headers.
 // ok=false means the request was answered with an error.
 func (s *server) ingestStamp(w http.ResponseWriter, r *http.Request) (pusher string, seq uint64, ok bool) {
-	pusher = r.Header.Get(dcgstore.HeaderPusher)
-	seqHdr := r.Header.Get(dcgstore.HeaderSeq)
+	pusher = r.Header.Get(api.HeaderPusher)
+	seqHdr := r.Header.Get(api.HeaderSeq)
 	if pusher == "" && seqHdr == "" {
 		return "", 0, true // unstamped legacy push
 	}
 	if !dcgstore.ValidPusherID(pusher) {
-		http.Error(w, fmt.Sprintf("bad %s header: need 1-128 chars of [A-Za-z0-9._:-]", dcgstore.HeaderPusher),
-			http.StatusBadRequest)
+		api.WriteErrorf(w, http.StatusBadRequest, api.CodeBadRequest,
+			"bad %s header: need 1-128 chars of [A-Za-z0-9._:-]", api.HeaderPusher)
 		return "", 0, false
 	}
 	seq, err := strconv.ParseUint(seqHdr, 10, 64)
 	if err != nil || seq == 0 {
-		http.Error(w, fmt.Sprintf("bad %s header %q: need a positive integer", dcgstore.HeaderSeq, seqHdr),
-			http.StatusBadRequest)
+		api.WriteErrorf(w, http.StatusBadRequest, api.CodeBadRequest,
+			"bad %s header %q: need a positive integer", api.HeaderSeq, seqHdr)
 		return "", 0, false
 	}
 	return pusher, seq, true
@@ -181,11 +221,6 @@ func (s *server) ingestStamp(w http.ResponseWriter, r *http.Request) (pusher str
 // an increment that was already applied is acknowledged without being
 // merged again.
 func (s *server) handleIngest(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodPost {
-		w.Header().Set("Allow", "POST")
-		http.Error(w, "POST a serialized DCG", http.StatusMethodNotAllowed)
-		return
-	}
 	reqStart := time.Now()
 	defer func() {
 		s.ingestLat.Observe(float64(time.Since(reqStart).Nanoseconds()) / 1e6)
@@ -207,13 +242,13 @@ func (s *server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	}
 	s.ingests.Add(1)
 	st := s.store.Stats()
-	s.writeJSON(w, map[string]any{
-		"applied":       applied,
-		"duplicate":     !applied,
-		"merged_edges":  g.NumEdges(),
-		"merged_weight": g.Total(),
-		"store_edges":   st.Edges,
-		"store_weight":  st.TotalWeight,
+	s.writeJSON(w, api.IngestResponse{
+		Applied:      applied,
+		Duplicate:    !applied,
+		MergedEdges:  g.NumEdges(),
+		MergedWeight: g.Total(),
+		StoreEdges:   st.Edges,
+		StoreWeight:  st.TotalWeight,
 	})
 }
 
@@ -227,14 +262,6 @@ func (s *server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
-type edgeJSON struct {
-	Caller  int     `json:"caller"`
-	Site    int     `json:"site"`
-	Callee  int     `json:"callee"`
-	Weight  float64 `json:"weight"`
-	Percent float64 `json:"percent"`
-}
-
 // handleTop returns the k heaviest edges of the current snapshot. k is
 // clamped to the store's edge count before any allocation, so an
 // attacker-chosen k cannot force an arbitrarily large preallocation.
@@ -243,7 +270,7 @@ func (s *server) handleTop(w http.ResponseWriter, r *http.Request) {
 	if q := r.URL.Query().Get("k"); q != "" {
 		n, err := strconv.Atoi(q)
 		if err != nil || n < 1 {
-			http.Error(w, fmt.Sprintf("bad k %q", q), http.StatusBadRequest)
+			api.WriteErrorf(w, http.StatusBadRequest, api.CodeBadRequest, "bad k %q", q)
 			return
 		}
 		k = n
@@ -252,14 +279,14 @@ func (s *server) handleTop(w http.ResponseWriter, r *http.Request) {
 	if k > g.NumEdges() {
 		k = g.NumEdges()
 	}
-	edges := make([]edgeJSON, 0, k)
+	edges := make([]api.Edge, 0, k)
 	for _, e := range g.TopEdges(k) {
-		edges = append(edges, edgeJSON{
+		edges = append(edges, api.Edge{
 			Caller: e.Caller, Site: e.Site, Callee: e.Callee,
 			Weight: g.Weight(e), Percent: g.Percent(e),
 		})
 	}
-	s.writeJSON(w, map[string]any{"edges": edges, "total_weight": g.Total()})
+	s.writeJSON(w, api.TopResponse{Edges: edges, TotalWeight: g.Total()})
 }
 
 // handleSite returns the receiver-target distribution at one call
@@ -268,59 +295,51 @@ func (s *server) handleTop(w http.ResponseWriter, r *http.Request) {
 func (s *server) handleSite(w http.ResponseWriter, r *http.Request) {
 	id, err := strconv.Atoi(r.URL.Query().Get("id"))
 	if err != nil {
-		http.Error(w, "pass ?id=<call site id>", http.StatusBadRequest)
+		api.WriteError(w, http.StatusBadRequest, api.CodeBadRequest, "pass ?id=<call site id>")
 		return
 	}
 	g := s.store.Snapshot()
-	s.writeJSON(w, map[string]any{
-		"site":           id,
-		"site_weight_pc": g.SiteWeightPercent(id),
-		"targets":        g.SiteDistribution(id),
+	s.writeJSON(w, api.SiteResponse{
+		Site:         id,
+		SiteWeightPc: g.SiteWeightPercent(id),
+		Targets:      g.SiteDistribution(id),
 	})
 }
 
 // handleOverlap scores the store's snapshot against an uploaded
-// reference DCG with the paper's overlap metric.
+// reference DCG with the paper's overlap metric. A read — the store is
+// untouched — so the route is GET (with a request body, like a
+// search), guarded by the mux.
 func (s *server) handleOverlap(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodPost {
-		w.Header().Set("Allow", "POST")
-		http.Error(w, "POST a serialized reference DCG", http.StatusMethodNotAllowed)
-		return
-	}
 	ref, ok := s.readProfileBody(w, r)
 	if !ok {
 		return
 	}
 	g := s.store.Snapshot()
-	s.writeJSON(w, map[string]any{
-		"overlap":         profile.Overlap(g, ref),
-		"store_edges":     g.NumEdges(),
-		"reference_edges": ref.NumEdges(),
+	s.writeJSON(w, api.OverlapResponse{
+		Overlap:        profile.Overlap(g, ref),
+		StoreEdges:     g.NumEdges(),
+		ReferenceEdges: ref.NumEdges(),
 	})
 }
 
 // handleDecay runs one decay epoch on demand.
 func (s *server) handleDecay(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodPost {
-		w.Header().Set("Allow", "POST")
-		http.Error(w, "POST with ?factor= (and optional ?prune=)", http.StatusMethodNotAllowed)
-		return
-	}
 	factor, err := strconv.ParseFloat(r.URL.Query().Get("factor"), 64)
 	if err != nil || factor < 0 || factor > 1 {
-		http.Error(w, "pass ?factor= in [0,1]", http.StatusBadRequest)
+		api.WriteError(w, http.StatusBadRequest, api.CodeBadRequest, "pass ?factor= in [0,1]")
 		return
 	}
 	prune := 0.0
 	if q := r.URL.Query().Get("prune"); q != "" {
 		prune, err = strconv.ParseFloat(q, 64)
 		if err != nil || prune < 0 {
-			http.Error(w, fmt.Sprintf("bad prune %q", q), http.StatusBadRequest)
+			api.WriteErrorf(w, http.StatusBadRequest, api.CodeBadRequest, "bad prune %q", q)
 			return
 		}
 	}
 	pruned := s.store.Decay(factor, prune)
-	s.writeJSON(w, map[string]any{"epoch": s.store.Epoch(), "pruned_edges": pruned})
+	s.writeJSON(w, api.DecayResponse{Epoch: s.store.Epoch(), PrunedEdges: pruned})
 }
 
 // planETag renders a plan's strong validator: epoch plus content
@@ -334,33 +353,43 @@ func planETag(p *plan.Plan) string {
 // binary plan wire format. The response carries a strong ETag, so a
 // polling VM that already holds the latest plan pays one conditional
 // GET answered 304 — no recompile (the plan service caches by store
-// version), no body.
+// version), no body. On a leaf the plan source is the upstream relay,
+// so pullers keep hitting their leaf while compilation happens only at
+// the root.
 func (s *server) handlePlan(w http.ResponseWriter, r *http.Request) {
 	s.planRequests.Add(1)
 	if s.plans == nil {
-		http.Error(w, "plan service disabled", http.StatusNotFound)
+		api.WriteError(w, http.StatusNotFound, api.CodeNotFound, "plan service disabled")
 		return
 	}
 	program := r.URL.Query().Get("program")
 	if program == "" {
 		s.planErrors.Add(1)
-		http.Error(w, "pass ?program=<benchmark name>", http.StatusBadRequest)
+		api.WriteError(w, http.StatusBadRequest, api.CodeBadRequest, "pass ?program=<benchmark name>")
 		return
 	}
 	p, err := s.plans.PlanFor(program)
 	if err != nil {
 		s.planErrors.Add(1)
-		if errors.Is(err, plan.ErrUnknownProgram) {
-			http.Error(w, err.Error(), http.StatusNotFound)
-		} else {
-			http.Error(w, fmt.Sprintf("plan compilation failed: %v", err), http.StatusInternalServerError)
+		switch {
+		case errors.Is(err, plan.ErrUnknownProgram):
+			api.WriteError(w, http.StatusNotFound, api.CodeNotFound, err.Error())
+		case errors.Is(err, errRelayUnavailable):
+			api.WriteErrorf(w, http.StatusServiceUnavailable, api.CodeUpstream,
+				"plan relay has no cached plan and the root is unreachable: %v", err)
+		default:
+			api.WriteErrorf(w, http.StatusInternalServerError, api.CodeInternal,
+				"plan compilation failed: %v", err)
 		}
 		return
 	}
 	etag := planETag(p)
 	w.Header().Set("ETag", etag)
-	w.Header().Set("X-Plan-Epoch", strconv.FormatUint(p.Epoch, 10))
-	w.Header().Set("X-Plan-Policy", p.Policy)
+	w.Header().Set(api.HeaderPlanEpoch, strconv.FormatUint(p.Epoch, 10))
+	w.Header().Set(api.HeaderPlanPolicy, p.Policy)
+	if relay, ok := s.plans.(*planRelay); ok && relay.ServedStale(program) {
+		w.Header().Set(api.HeaderRelayStale, "1")
+	}
 	if r.Header.Get("If-None-Match") == etag {
 		s.planNotModified.Add(1)
 		w.WriteHeader(http.StatusNotModified)
@@ -382,37 +411,55 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	if applied := ingests - st.Duplicates; applied > 0 {
 		meanMs = float64(nanos) / float64(applied) / 1e6
 	}
-	metrics := map[string]any{
-		"edges":             st.Edges,
-		"total_weight":      st.TotalWeight,
-		"samples_ingested":  st.SamplesIngested,
-		"merges":            st.Merges,
-		"decay_epoch":       st.Epoch,
-		"shards":            st.Shards,
-		"pushers":           st.Pushers,
-		"ingests":           ingests,
-		"ingest_errors":     s.ingestErrors.Load(),
-		"ingest_duplicates": st.Duplicates,
-		"merge_ms_total":    float64(nanos) / 1e6,
-		"merge_ms_mean":     meanMs,
-		"uptime_s":          time.Since(s.start).Seconds(),
+	m := api.MetricsResponse{
+		Edges:           st.Edges,
+		TotalWeight:     st.TotalWeight,
+		SamplesIngested: st.SamplesIngested,
+		Merges:          st.Merges,
+		DecayEpoch:      st.Epoch,
+		Shards:          st.Shards,
+		Pushers:         st.Pushers,
+		Ingests:         ingests,
+		IngestErrors:    s.ingestErrors.Load(),
+		IngestDups:      st.Duplicates,
+		MergeMsTotal:    float64(nanos) / 1e6,
+		MergeMsMean:     meanMs,
+		UptimeS:         time.Since(s.start).Seconds(),
 	}
 	if lat := s.ingestLat.Summary(); lat.Count > 0 {
-		metrics["ingest_ms_count"] = lat.Count
-		metrics["ingest_ms_mean"] = lat.Mean
-		metrics["ingest_ms_p50"] = lat.P50
-		metrics["ingest_ms_p99"] = lat.P99
-		metrics["ingest_ms_max"] = lat.Max
+		m.IngestLat = &api.LatencyMetrics{
+			Count: lat.Count, Mean: lat.Mean, P50: lat.P50, P99: lat.P99, Max: lat.Max,
+		}
+		m.IngestMsCount = lat.Count
+		m.IngestMsMean = lat.Mean
+		m.IngestMsP50 = lat.P50
+		m.IngestMsP99 = lat.P99
+		m.IngestMsMax = lat.Max
 	}
 	if s.plans != nil {
 		ps := s.plans.Stats()
-		metrics["plan_programs"] = ps.Programs
-		metrics["plan_computed"] = ps.Computed
-		metrics["plan_unchanged"] = ps.Unchanged
-		metrics["plan_compile_errors"] = ps.Errors
-		metrics["plan_requests"] = s.planRequests.Load()
-		metrics["plan_not_modified"] = s.planNotModified.Load()
-		metrics["plan_request_errors"] = s.planErrors.Load()
+		m.Plan = &api.PlanMetrics{
+			Programs:      ps.Programs,
+			Computed:      ps.Computed,
+			Unchanged:     ps.Unchanged,
+			CompileErrors: ps.Errors,
+			Requests:      s.planRequests.Load(),
+			NotModified:   s.planNotModified.Load(),
+			RequestErrors: s.planErrors.Load(),
+		}
+		if relay, ok := s.plans.(*planRelay); ok {
+			m.Plan.RelayRefreshes, m.Plan.RelayStale = relay.Counters()
+		}
+		m.PlanPrograms = ps.Programs
+		m.PlanComputed = ps.Computed
+		m.PlanUnchanged = ps.Unchanged
+		m.PlanCompileErrors = ps.Errors
+		m.PlanRequests = s.planRequests.Load()
+		m.PlanNotModified = s.planNotModified.Load()
+		m.PlanReqErrors = s.planErrors.Load()
 	}
-	s.writeJSON(w, metrics)
+	if s.fed != nil {
+		m.Forward = s.fed.forwardMetrics()
+	}
+	s.writeJSON(w, m)
 }

@@ -10,6 +10,7 @@ import (
 	"strings"
 	"testing"
 
+	"gocbs/internal/api"
 	"gocbs/internal/bench"
 	"gocbs/internal/dcgstore"
 	"gocbs/internal/profile"
@@ -24,7 +25,7 @@ func newTestDaemon(t *testing.T) (*httptest.Server, *dcgstore.Store) {
 	t.Helper()
 	store := dcgstore.New(8)
 	cfg := Config{PlanPolicy: "new-linear", PlanFloor: 1, PlanBand: 0.25, PlanHold: 0.05}
-	ts := httptest.NewServer(newServer(store, NewPlanService(cfg, store, t.Logf), cfg.MaxUploadBytes).handler())
+	ts := httptest.NewServer(newServer(store, NewPlanService(cfg, store, t.Logf), newFedState(), cfg.MaxUploadBytes).handler())
 	t.Cleanup(ts.Close)
 	return ts, store
 }
@@ -36,6 +37,27 @@ func postProfile(t *testing.T, url string, g *profile.DCG) *http.Response {
 		t.Fatal(err)
 	}
 	resp, err := http.Post(url, "application/octet-stream", &body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+// getProfile sends g as a GET request body — how /v1/overlap takes its
+// reference profile (a read parameterized by a payload, like a search
+// body).
+func getProfile(t *testing.T, url string, g *profile.DCG) *http.Response {
+	t.Helper()
+	var body bytes.Buffer
+	if _, err := g.WriteTo(&body); err != nil {
+		t.Fatal(err)
+	}
+	req, err := http.NewRequest(http.MethodGet, url, &body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/octet-stream")
+	resp, err := http.DefaultClient.Do(req)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -58,7 +80,7 @@ func TestIngestSnapshotRoundTrip(t *testing.T) {
 	g.AddSample(edge(1, 2, 3), 4)
 	g.AddSample(edge(5, 6, 7), 8)
 
-	resp := postProfile(t, ts.URL+"/ingest", g)
+	resp := postProfile(t, ts.URL+api.PathIngest, g)
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("ingest status %s", resp.Status)
 	}
@@ -78,7 +100,7 @@ func TestIngestSnapshotRoundTrip(t *testing.T) {
 
 func TestIngestRejectsGarbageAndWrongMethod(t *testing.T) {
 	ts, _ := newTestDaemon(t)
-	resp, err := http.Post(ts.URL+"/ingest", "application/octet-stream", strings.NewReader("not a profile"))
+	resp, err := http.Post(ts.URL+api.PathIngest, "application/octet-stream", strings.NewReader("not a profile"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -86,7 +108,7 @@ func TestIngestRejectsGarbageAndWrongMethod(t *testing.T) {
 	if resp.StatusCode != http.StatusBadRequest {
 		t.Errorf("garbage ingest status %s, want 400", resp.Status)
 	}
-	resp, err = http.Get(ts.URL + "/ingest")
+	resp, err = http.Get(ts.URL + api.PathIngest)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -95,7 +117,7 @@ func TestIngestRejectsGarbageAndWrongMethod(t *testing.T) {
 		t.Errorf("GET /ingest status %s, want 405", resp.Status)
 	}
 	// The bad ingest is visible in metrics.
-	mresp, err := http.Get(ts.URL + "/metrics")
+	mresp, err := http.Get(ts.URL + api.PathMetrics)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -112,18 +134,24 @@ func TestIngestRejectsGarbageAndWrongMethod(t *testing.T) {
 func TestIngestRejectsOversizeBody(t *testing.T) {
 	store := dcgstore.New(4)
 	cfg := Config{MaxUploadBytes: 128}
-	ts := httptest.NewServer(newServer(store, NewPlanService(cfg, store, t.Logf), cfg.MaxUploadBytes).handler())
+	ts := httptest.NewServer(newServer(store, NewPlanService(cfg, store, t.Logf), newFedState(), cfg.MaxUploadBytes).handler())
 	t.Cleanup(ts.Close)
 
 	big := profile.NewDCG()
 	for i := 0; i < 100; i++ {
 		big.AddSample(edge(i, i, i+1), 1)
 	}
-	for _, path := range []string{"/ingest", "/overlap"} {
-		resp := postProfile(t, ts.URL+path, big)
+	for _, rq := range []struct {
+		path string
+		send func(*testing.T, string, *profile.DCG) *http.Response
+	}{
+		{api.PathIngest, postProfile},
+		{api.PathOverlap, getProfile},
+	} {
+		resp := rq.send(t, ts.URL+rq.path, big)
 		resp.Body.Close()
 		if resp.StatusCode != http.StatusRequestEntityTooLarge {
-			t.Errorf("oversize POST %s status %d, want 413", path, resp.StatusCode)
+			t.Errorf("oversize %s status %d, want 413", rq.path, resp.StatusCode)
 		}
 	}
 	if n := store.Snapshot().NumEdges(); n != 0 {
@@ -133,12 +161,12 @@ func TestIngestRejectsOversizeBody(t *testing.T) {
 	// A small body still lands under the same cap.
 	small := profile.NewDCG()
 	small.AddSample(edge(1, 2, 3), 4)
-	resp := postProfile(t, ts.URL+"/ingest", small)
+	resp := postProfile(t, ts.URL+api.PathIngest, small)
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("small ingest under cap: status %d", resp.StatusCode)
 	}
-	m := decodeJSON(t, mustGet(t, ts.URL+"/metrics"))
+	m := decodeJSON(t, mustGet(t, ts.URL+api.PathMetrics))
 	if m["ingest_errors"].(float64) != 1 {
 		t.Errorf("ingest_errors = %v, want 1 (the oversize /ingest)", m["ingest_errors"])
 	}
@@ -150,9 +178,9 @@ func TestTopSiteAndOverlapEndpoints(t *testing.T) {
 	g.AddSample(edge(1, 10, 2), 60)
 	g.AddSample(edge(1, 10, 3), 30)
 	g.AddSample(edge(4, 11, 5), 10)
-	postProfile(t, ts.URL+"/ingest", g).Body.Close()
+	postProfile(t, ts.URL+api.PathIngest, g).Body.Close()
 
-	resp, err := http.Get(ts.URL + "/top?k=2")
+	resp, err := http.Get(ts.URL + api.PathTop + "?k=2")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -166,7 +194,7 @@ func TestTopSiteAndOverlapEndpoints(t *testing.T) {
 		t.Errorf("top edge %v", first)
 	}
 
-	resp, err = http.Get(ts.URL + "/site?id=10")
+	resp, err = http.Get(ts.URL + api.PathSite + "?id=10")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -177,12 +205,12 @@ func TestTopSiteAndOverlapEndpoints(t *testing.T) {
 	if targets := sm["targets"].([]any); len(targets) != 2 {
 		t.Errorf("site targets = %v", targets)
 	}
-	if resp, _ := http.Get(ts.URL + "/site?id=abc"); resp.StatusCode != http.StatusBadRequest {
+	if resp, _ := http.Get(ts.URL + api.PathSite + "?id=abc"); resp.StatusCode != http.StatusBadRequest {
 		t.Errorf("bad site id status %d", resp.StatusCode)
 	}
 
 	// Overlap of the store against itself is 100.
-	resp = postProfile(t, ts.URL+"/overlap", g)
+	resp = getProfile(t, ts.URL+api.PathOverlap, g)
 	om := decodeJSON(t, resp)
 	if ov := om["overlap"].(float64); ov < 99.999 {
 		t.Errorf("self overlap = %v, want 100", ov)
@@ -194,9 +222,9 @@ func TestDecayEndpoint(t *testing.T) {
 	g := profile.NewDCG()
 	g.AddSample(edge(1, 1, 1), 100)
 	g.AddSample(edge(2, 2, 2), 1)
-	postProfile(t, ts.URL+"/ingest", g).Body.Close()
+	postProfile(t, ts.URL+api.PathIngest, g).Body.Close()
 
-	resp, err := http.Post(ts.URL+"/decay?factor=0.5&prune=1", "", nil)
+	resp, err := http.Post(ts.URL+api.PathDecay+"?factor=0.5&prune=1", "", nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -207,14 +235,14 @@ func TestDecayEndpoint(t *testing.T) {
 	if w := store.Weight(edge(1, 1, 1)); w != 50 {
 		t.Errorf("post-decay weight %v", w)
 	}
-	if resp, _ := http.Post(ts.URL+"/decay?factor=7", "", nil); resp.StatusCode != http.StatusBadRequest {
+	if resp, _ := http.Post(ts.URL+api.PathDecay+"?factor=7", "", nil); resp.StatusCode != http.StatusBadRequest {
 		t.Errorf("factor 7 accepted: %d", resp.StatusCode)
 	}
 }
 
 func TestMetricsAndHealthz(t *testing.T) {
 	ts, _ := newTestDaemon(t)
-	resp, err := http.Get(ts.URL + "/healthz")
+	resp, err := http.Get(ts.URL + api.PathHealthz)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -225,8 +253,8 @@ func TestMetricsAndHealthz(t *testing.T) {
 	}
 	g := profile.NewDCG()
 	g.AddSample(edge(1, 2, 3), 5)
-	postProfile(t, ts.URL+"/ingest", g).Body.Close()
-	mresp, err := http.Get(ts.URL + "/metrics")
+	postProfile(t, ts.URL+api.PathIngest, g).Body.Close()
+	mresp, err := http.Get(ts.URL + api.PathMetrics)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -318,9 +346,9 @@ func TestTopClampsHugeK(t *testing.T) {
 	g.AddSample(edge(1, 1, 1), 3)
 	g.AddSample(edge(2, 2, 2), 2)
 	g.AddSample(edge(3, 3, 3), 1)
-	postProfile(t, ts.URL+"/ingest", g).Body.Close()
+	postProfile(t, ts.URL+api.PathIngest, g).Body.Close()
 
-	resp, err := http.Get(ts.URL + "/top?k=1000000000")
+	resp, err := http.Get(ts.URL + api.PathTop + "?k=1000000000")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -334,20 +362,88 @@ func TestTopClampsHugeK(t *testing.T) {
 }
 
 // TestReadEndpointsRejectNonGET covers the method hardening on the
-// read-only surface.
+// read-only surface: /overlap is a read (the reference profile rides
+// in a GET body), so POSTing it is a 405 like the rest.
 func TestReadEndpointsRejectNonGET(t *testing.T) {
 	ts, _ := newTestDaemon(t)
-	for _, path := range []string{"/snapshot", "/top", "/site?id=1", "/metrics", "/healthz"} {
+	for _, path := range []string{api.PathSnapshot, api.PathTop, api.PathSite + "?id=1", api.PathMetrics, api.PathHealthz, api.PathOverlap} {
 		resp, err := http.Post(ts.URL+path, "text/plain", strings.NewReader("x"))
 		if err != nil {
 			t.Fatal(err)
 		}
-		resp.Body.Close()
 		if resp.StatusCode != http.StatusMethodNotAllowed {
 			t.Errorf("POST %s status %d, want 405", path, resp.StatusCode)
 		}
 		if allow := resp.Header.Get("Allow"); allow != "GET" {
 			t.Errorf("POST %s Allow header %q, want GET", path, allow)
+		}
+		m := decodeJSON(t, resp)
+		if m["code"] != "method_not_allowed" {
+			t.Errorf("POST %s envelope code %v, want method_not_allowed", path, m["code"])
+		}
+	}
+}
+
+// TestMutatingEndpointsRejectGET: /decay mutates, so reading it is a
+// 405 carrying the envelope and an Allow: POST.
+func TestMutatingEndpointsRejectGET(t *testing.T) {
+	ts, store := newTestDaemon(t)
+	g := profile.NewDCG()
+	g.AddSample(edge(1, 1, 1), 100)
+	postProfile(t, ts.URL+api.PathIngest, g).Body.Close()
+
+	resp, err := http.Get(ts.URL + api.PathDecay + "?factor=0.5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /decay status %d, want 405", resp.StatusCode)
+	}
+	if allow := resp.Header.Get("Allow"); allow != "POST" {
+		t.Errorf("GET /decay Allow header %q, want POST", allow)
+	}
+	m := decodeJSON(t, resp)
+	if m["code"] != "method_not_allowed" {
+		t.Errorf("GET /decay envelope code %v, want method_not_allowed", m["code"])
+	}
+	if w := store.Weight(edge(1, 1, 1)); w != 100 {
+		t.Errorf("GET /decay mutated the store: weight %v, want 100", w)
+	}
+}
+
+// TestLegacyAliasesServed: every pre-versioning path in
+// api.LegacyAliases answers exactly like its /v1 route — same status
+// and same body for a GET — so old pushers and scrapers keep working
+// for the deprecation release. The alias table is the only source of
+// the unversioned strings.
+func TestLegacyAliasesServed(t *testing.T) {
+	ts, _ := newTestDaemon(t)
+	g := profile.NewDCG()
+	g.AddSample(edge(1, 2, 3), 10)
+	postProfile(t, ts.URL+api.PathIngest, g).Body.Close()
+
+	get := func(path string) (int, []byte) {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		b, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, b
+	}
+	for legacy, v1 := range api.LegacyAliases {
+		legacyStatus, legacyBody := get(legacy)
+		v1Status, v1Body := get(v1)
+		if legacyStatus != v1Status {
+			t.Errorf("GET %s status %d, %s status %d — alias diverged", legacy, legacyStatus, v1, v1Status)
+		}
+		// Metrics bodies contain wall-clock uptime; everything else must
+		// byte-match (snapshot bytes, JSON, and 405/400 envelopes alike).
+		if v1 != api.PathMetrics && !bytes.Equal(legacyBody, v1Body) {
+			t.Errorf("GET %s body diverged from %s:\n%s\nvs\n%s", legacy, v1, legacyBody, v1Body)
 		}
 	}
 }
@@ -359,7 +455,7 @@ func postStamped(t *testing.T, url string, g *profile.DCG, pusher, seq string) *
 	if _, err := g.WriteTo(&body); err != nil {
 		t.Fatal(err)
 	}
-	req, err := http.NewRequest(http.MethodPost, url+"/ingest", &body)
+	req, err := http.NewRequest(http.MethodPost, url+api.PathIngest, &body)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -396,7 +492,7 @@ func TestIngestDeduplicatesStampedRetries(t *testing.T) {
 		t.Errorf("weight after retry = %v, want 10 (double count)", w)
 	}
 
-	mresp, err := http.Get(ts.URL + "/metrics")
+	mresp, err := http.Get(ts.URL + api.PathMetrics)
 	if err != nil {
 		t.Fatal(err)
 	}

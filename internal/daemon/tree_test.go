@@ -1,0 +1,187 @@
+package daemon
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"testing"
+	"time"
+
+	"gocbs/internal/api"
+	"gocbs/internal/dcgstore"
+	"gocbs/internal/profile"
+)
+
+// startTreeDaemon is startDaemon with federation knobs: an upstream
+// turns the daemon into a leaf.
+func startTreeDaemon(t *testing.T, ctx context.Context, cfg Config) (string, <-chan error) {
+	t.Helper()
+	ready := make(chan string, 1)
+	cfg.Addr = "127.0.0.1:0"
+	if cfg.Shards == 0 {
+		cfg.Shards = 4
+	}
+	cfg.ReadTimeout = 10 * time.Second
+	cfg.WriteTimeout = 10 * time.Second
+	cfg.Ready = ready
+	cfg.Logf = t.Logf
+	done := make(chan error, 1)
+	go func() { done <- Run(ctx, cfg) }()
+	select {
+	case addr := <-ready:
+		return "http://" + addr, done
+	case err := <-done:
+		t.Fatalf("daemon exited before serving: %v", err)
+		return "", nil
+	}
+}
+
+// TestLeafForwardsToRoot runs a real two-daemon tree in-process: a
+// pusher ingests at the leaf, /v1/flush drains the leaf upstream, and
+// the weight lands at the root exactly once (a second flush with
+// nothing new forwards nothing). The leaf registers with the root, and
+// the leaf's /plan relays the root's compiled plan.
+func TestLeafForwardsToRoot(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	rootCfg := Config{PlanPolicy: "new-linear", PlanFloor: 1, PlanBand: 0.25, PlanHold: 0.05}
+	rootURL, rootDone := startTreeDaemon(t, ctx, rootCfg)
+
+	leafURL, leafDone := startTreeDaemon(t, ctx, Config{
+		Upstream:     rootURL,
+		UpstreamID:   "leaf-test-0",
+		SelfURL:      "http://leaf-0.test",
+		ForwardEvery: time.Hour, // flush manually for determinism
+	})
+
+	// Ingest at the leaf under a pusher stamp.
+	g := profile.NewDCG()
+	g.AddSample(edge(1, 2, 3), 40)
+	g.AddSample(edge(4, 5, 6), 2)
+	resp := postStamped(t, leafURL, g, "vm-0", "1")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("leaf ingest status %s", resp.Status)
+	}
+	resp.Body.Close()
+
+	// Drain the leaf upstream.
+	flushResp, err := http.Post(leafURL+api.PathFlush, "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fr api.FlushResponse
+	if err := json.NewDecoder(flushResp.Body).Decode(&fr); err != nil {
+		t.Fatal(err)
+	}
+	flushResp.Body.Close()
+	if !fr.Forwarded || fr.Edges != 2 || fr.Weight != 42 {
+		t.Fatalf("flush response %+v, want forwarded 2 edges / 42 weight", fr)
+	}
+
+	// The weight is at the root, once.
+	rootGraph, err := dcgstore.NewClient(rootURL).Fetch()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rootGraph.Total() != 42 || rootGraph.NumEdges() != 2 {
+		t.Fatalf("root holds %.0f weight / %d edges, want 42 / 2",
+			rootGraph.Total(), rootGraph.NumEdges())
+	}
+
+	// An idle flush forwards nothing new and double-counts nothing.
+	flushResp, err = http.Post(leafURL+api.PathFlush, "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fr = api.FlushResponse{}
+	if err := json.NewDecoder(flushResp.Body).Decode(&fr); err != nil {
+		t.Fatal(err)
+	}
+	flushResp.Body.Close()
+	if fr.Edges != 0 || fr.Pending != 0 {
+		t.Fatalf("idle flush captured %d edges (%d pending), want 0", fr.Edges, fr.Pending)
+	}
+	rootGraph, err = dcgstore.NewClient(rootURL).Fetch()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rootGraph.Total() != 42 {
+		t.Fatalf("root weight after idle flush %.0f, want 42", rootGraph.Total())
+	}
+
+	// The flush path registers nothing by itself; heartbeats do. Force
+	// one by waiting for the registration the forward loop sent at
+	// startup (it fires immediately, before the first tick).
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		lr, err := (&api.Client{BaseURL: rootURL}).Leaves()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(lr.Leaves) == 1 && lr.Leaves[0].ID == "leaf-test-0" {
+			if lr.Leaves[0].Addr != "http://leaf-0.test" {
+				t.Fatalf("registered addr %q", lr.Leaves[0].Addr)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("leaf never registered with root: %+v", lr.Leaves)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// The leaf relays the root's plan: same body the root serves, with
+	// the plan epoch header intact.
+	rootPlan := getBody(t, rootURL+api.PathPlan+"?program=compress")
+	leafPlan := getBody(t, leafURL+api.PathPlan+"?program=compress")
+	if string(rootPlan) != string(leafPlan) {
+		t.Errorf("leaf-relayed plan differs from root plan (%d vs %d bytes)",
+			len(leafPlan), len(rootPlan))
+	}
+
+	// A program the root does not know 404s through the relay too.
+	nf, err := http.Get(leafURL + api.PathPlan + "?program=no-such-benchmark")
+	if err != nil {
+		t.Fatal(err)
+	}
+	nf.Body.Close()
+	if nf.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown program via relay: status %d, want 404", nf.StatusCode)
+	}
+
+	// /v1/flush on the root (no upstream) is a 404 with the envelope.
+	rf, err := http.Post(rootURL+api.PathFlush, "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := decodeJSON(t, rf)
+	if rf.StatusCode != http.StatusNotFound || m["code"] != "not_found" {
+		t.Errorf("root /v1/flush: status %d code %v, want 404 not_found", rf.StatusCode, m["code"])
+	}
+
+	cancel()
+	for _, done := range []<-chan error{leafDone, rootDone} {
+		if err := <-done; err != nil {
+			t.Fatalf("daemon exited with %v", err)
+		}
+	}
+}
+
+func getBody(t *testing.T, url string) []byte {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s status %s", url, resp.Status)
+	}
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}

@@ -1,33 +1,31 @@
 package dcgstore
 
 import (
-	"bytes"
 	crand "crypto/rand"
 	"encoding/hex"
-	"errors"
 	"fmt"
-	"io"
 	"math/rand"
 	"net/http"
-	"strconv"
 	"time"
 
+	"gocbs/internal/api"
 	"gocbs/internal/profile"
 )
 
-// Push retry defaults. Retrying a push is safe because every push is
-// stamped with a (pusher ID, sequence) pair and the daemon deduplicates
-// increments it already applied (see sequence.go), so an increment
-// whose response was lost cannot be double-counted.
+// Push retry defaults, aliased from the unified api client so every
+// consumer shares one policy. Retrying a push is safe because every
+// push is stamped with a (pusher ID, sequence) pair and the daemon
+// deduplicates increments it already applied (see sequence.go), so an
+// increment whose response was lost cannot be double-counted.
 const (
 	// DefaultRetries is how many times a failed push is retried after
 	// the first attempt.
-	DefaultRetries = 4
+	DefaultRetries = api.DefaultRetries
 	// DefaultBackoff is the first retry's base delay; each further
 	// retry doubles it.
-	DefaultBackoff = 100 * time.Millisecond
+	DefaultBackoff = api.DefaultBackoff
 	// DefaultMaxBackoff caps the exponential growth.
-	DefaultMaxBackoff = 2 * time.Second
+	DefaultMaxBackoff = api.DefaultMaxBackoff
 )
 
 // newPusherID returns a fresh random pusher identity. IDs are random
@@ -44,11 +42,14 @@ func newPusherID() string {
 	return "p-" + hex.EncodeToString(b[:])
 }
 
-// Client talks to a cbsd aggregation daemon over HTTP.
+// Client is the delta-push view of a cbsd daemon: api.Client plus a
+// pusher identity and its sequence counter. The HTTP mechanics —
+// endpoint paths, retry/backoff/timeout, error decoding — live in
+// internal/api; this wrapper owns only what is push-specific.
 type Client struct {
 	// BaseURL is the daemon root, e.g. "http://localhost:8944".
 	BaseURL string
-	// HTTPClient defaults to a client with a 10s timeout.
+	// HTTPClient defaults to a client with api.DefaultTimeout.
 	HTTPClient *http.Client
 	// PusherID identifies this client in the daemon's per-pusher
 	// ingest sequence; NewClient generates a random one.
@@ -68,16 +69,22 @@ type Client struct {
 func NewClient(baseURL string) *Client {
 	return &Client{
 		BaseURL:    baseURL,
-		HTTPClient: &http.Client{Timeout: 10 * time.Second},
+		HTTPClient: &http.Client{Timeout: api.DefaultTimeout},
 		PusherID:   newPusherID(),
 	}
 }
 
-func (c *Client) httpClient() *http.Client {
-	if c.HTTPClient != nil {
-		return c.HTTPClient
+// api materializes the unified client this wrapper delegates to. Built
+// per call so field mutations (tests tune Retries/Backoff after
+// NewClient) keep taking effect.
+func (c *Client) api() *api.Client {
+	return &api.Client{
+		BaseURL:    c.BaseURL,
+		HTTPClient: c.HTTPClient,
+		Retries:    c.Retries,
+		Backoff:    c.Backoff,
+		MaxBackoff: c.MaxBackoff,
 	}
-	return http.DefaultClient
 }
 
 // nextSeq allocates the next sequence number. Not safe for concurrent
@@ -88,37 +95,11 @@ func (c *Client) nextSeq() uint64 {
 	return c.seq
 }
 
-// Push serializes g and POSTs it to the daemon's /ingest endpoint as
+// Push serializes g and POSTs it to the daemon's ingest endpoint as
 // the client's next sequenced increment, with capped exponential
 // backoff on transient failures.
 func (c *Client) Push(g *profile.DCG) error {
 	return c.PushDelta(c.PusherID, c.nextSeq(), g)
-}
-
-// retryableStatus reports whether an HTTP status is worth retrying:
-// server-side trouble or throttling, never a 4xx protocol error (the
-// same bytes would just fail again).
-func retryableStatus(code int) bool {
-	return code >= 500 || code == http.StatusRequestTimeout || code == http.StatusTooManyRequests
-}
-
-// backoffDelay returns the sleep before retry attempt (0-based), an
-// exponentially growing delay capped at MaxBackoff with uniform jitter
-// in [d/2, d) so a fleet of pushers knocked over together does not
-// retry in lockstep.
-func (c *Client) backoffDelay(attempt int) time.Duration {
-	base, max := c.Backoff, c.MaxBackoff
-	if base <= 0 {
-		base = DefaultBackoff
-	}
-	if max <= 0 {
-		max = DefaultMaxBackoff
-	}
-	d := base << attempt
-	if d > max || d <= 0 { // <= 0: shift overflow
-		d = max
-	}
-	return d/2 + time.Duration(rand.Int63n(int64(d/2)+1))
 }
 
 // PushDelta sends one stamped increment: g under the given (pusher,
@@ -128,87 +109,14 @@ func (c *Client) backoffDelay(attempt int) time.Duration {
 // an attempt whose response was lost — counts as success. The same
 // (pusher, seq) pair must always carry the same graph.
 func (c *Client) PushDelta(pusher string, seq uint64, g *profile.DCG) error {
-	var body bytes.Buffer
-	if _, err := g.WriteTo(&body); err != nil {
-		return fmt.Errorf("serialize: %w", err)
-	}
-	payload := body.Bytes()
-
-	retries := c.Retries
-	if retries == 0 {
-		retries = DefaultRetries
-	}
-	if retries < 0 {
-		retries = 0
-	}
-	var lastErr error
-	for attempt := 0; ; attempt++ {
-		err := c.pushOnce(pusher, seq, payload)
-		if err == nil {
-			return nil
-		}
-		lastErr = err
-		var pe *pushError
-		permanent := !errors.As(err, &pe) || !pe.retryable
-		if permanent || attempt >= retries {
-			if attempt > 0 {
-				return fmt.Errorf("push (after %d attempts): %w", attempt+1, lastErr)
-			}
-			return lastErr
-		}
-		time.Sleep(c.backoffDelay(attempt))
-	}
+	_, err := c.api().PushDCG(pusher, seq, g)
+	return err
 }
 
-// pushError carries retryability alongside the message.
-type pushError struct {
-	err       error
-	retryable bool
-}
-
-func (e *pushError) Error() string { return e.err.Error() }
-func (e *pushError) Unwrap() error { return e.err }
-
-// pushOnce makes a single /ingest attempt.
-func (c *Client) pushOnce(pusher string, seq uint64, payload []byte) error {
-	req, err := http.NewRequest(http.MethodPost, c.BaseURL+"/ingest", bytes.NewReader(payload))
-	if err != nil {
-		return fmt.Errorf("push: %w", err)
-	}
-	req.Header.Set("Content-Type", "application/octet-stream")
-	if pusher != "" {
-		req.Header.Set(HeaderPusher, pusher)
-		req.Header.Set(HeaderSeq, strconv.FormatUint(seq, 10))
-	}
-	resp, err := c.httpClient().Do(req)
-	if err != nil {
-		// Network-level failure: the request may or may not have been
-		// applied — exactly the case sequence stamping makes retryable.
-		return &pushError{err: fmt.Errorf("push: %w", err), retryable: true}
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
-		return &pushError{
-			err:       fmt.Errorf("push: daemon returned %s: %s", resp.Status, bytes.TrimSpace(msg)),
-			retryable: retryableStatus(resp.StatusCode),
-		}
-	}
-	return nil
-}
-
-// Fetch retrieves the daemon's current merged DCG from /snapshot.
+// Fetch retrieves the daemon's current merged DCG from the snapshot
+// endpoint.
 func (c *Client) Fetch() (*profile.DCG, error) {
-	resp, err := c.httpClient().Get(c.BaseURL + "/snapshot")
-	if err != nil {
-		return nil, fmt.Errorf("fetch: %w", err)
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
-		return nil, fmt.Errorf("fetch: daemon returned %s: %s", resp.Status, bytes.TrimSpace(msg))
-	}
-	return profile.ReadDCG(resp.Body)
+	return c.api().FetchSnapshot()
 }
 
 // stampedDelta is one increment frozen with its sequence number. Once

@@ -3,6 +3,7 @@ package dcgstore
 import (
 	"sync"
 
+	"gocbs/internal/api"
 	"gocbs/internal/profile"
 )
 
@@ -27,13 +28,15 @@ import (
 // reject a legitimate increment. CheckpointState captures both under
 // an exclusive lock so they always agree.
 
-// Ingest headers shared by the push client and the cbsd daemon.
+// Ingest headers shared by the push client and the cbsd daemon. The
+// canonical definitions live in internal/api; these aliases keep the
+// many existing dcgstore.Header* references compiling.
 const (
-	// HeaderPusher carries the pusher's stable ID on /ingest requests.
-	HeaderPusher = "X-Cbs-Pusher"
+	// HeaderPusher carries the pusher's stable ID on ingest requests.
+	HeaderPusher = api.HeaderPusher
 	// HeaderSeq carries the increment's sequence number (uint64 >= 1,
 	// strictly increasing per pusher).
-	HeaderSeq = "X-Cbs-Seq"
+	HeaderSeq = api.HeaderSeq
 )
 
 // maxPusherIDLen bounds pusher IDs so a hostile client cannot grow the

@@ -1,0 +1,202 @@
+package experiment
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"gocbs/internal/api"
+	"gocbs/internal/daemon"
+	"gocbs/internal/federation"
+	"gocbs/internal/perf"
+	"gocbs/internal/profile"
+)
+
+// The fleetscale study measures how ingest throughput behaves as the
+// pusher fleet is rendezvous-sharded across a federated aggregation
+// tree: the same stamped-delta load driven into 1, 4, and 16 leaf
+// daemons forwarding into one root, scored against the single-daemon
+// direct-ingest baseline. Each point also reports the root's ingest
+// count — the fan-in reduction the tier buys, since a leaf coalesces
+// its whole shard's traffic into one stamped increment per flush.
+//
+// On a single-core host the pusher-side rate cannot exceed the
+// baseline by parallelism (every daemon shares the CPU); the honest
+// signal here is the rate staying flat while root fan-in drops from
+// N pusher requests to one increment per leaf. The numbers ride in
+// the perf report's fleet_scale section (BENCH_*.json, schema v2) so
+// the trajectory tracks them across commits without gating on a
+// core-count-dependent speedup.
+
+// FleetScaleWidths are the tree widths the study measures.
+var FleetScaleWidths = []int{1, 4, 16}
+
+// FleetScale runs the standalone study (cbsbench -study fleetscale):
+// the single-daemon baseline first, then one point per tree width.
+func FleetScale(params PerfParams) (*perf.FleetScale, error) {
+	baseline, err := measureIngest(params)
+	if err != nil {
+		return nil, err
+	}
+	return measureFleetScale(params, baseline)
+}
+
+// measureFleetScale runs one point per width in FleetScaleWidths.
+// baseline is the single-daemon direct-ingest measurement of the same
+// run (same payload shape, same pusher concurrency).
+func measureFleetScale(params PerfParams, baseline perf.Ingest) (*perf.FleetScale, error) {
+	g := profile.NewDCG()
+	for i := 0; i < params.IngestEdges; i++ {
+		g.AddSample(profile.Edge{Caller: i % 97, Site: i, Callee: (i * 7) % 89}, float64(1+i%13))
+	}
+	var payload bytes.Buffer
+	if _, err := g.WriteTo(&payload); err != nil {
+		return nil, err
+	}
+
+	fs := &perf.FleetScale{BaselineReqPerSec: baseline.ReqPerSec}
+	for _, leaves := range FleetScaleWidths {
+		pt, err := fleetScalePoint(params, leaves, payload.Bytes())
+		if err != nil {
+			return nil, fmt.Errorf("fleetscale %d leaves: %w", leaves, err)
+		}
+		if fs.BaselineReqPerSec > 0 {
+			pt.SpeedupVsBaseline = pt.ReqPerSec / fs.BaselineReqPerSec
+		}
+		fs.Points = append(fs.Points, pt)
+	}
+	return fs, nil
+}
+
+// startScaleDaemon boots one in-process daemon on a loopback listener
+// and waits for it to serve.
+func startScaleDaemon(ctx context.Context, cfg daemon.Config) (string, <-chan error, error) {
+	ready := make(chan string, 1)
+	cfg.Addr = "127.0.0.1:0"
+	cfg.ReadTimeout = 30 * time.Second
+	cfg.WriteTimeout = 30 * time.Second
+	cfg.Ready = ready
+	cfg.Logf = func(string, ...any) {}
+	done := make(chan error, 1)
+	go func() { done <- daemon.Run(ctx, cfg) }()
+	select {
+	case addr := <-ready:
+		return "http://" + addr, done, nil
+	case err := <-done:
+		return "", nil, fmt.Errorf("daemon exited before serving: %v", err)
+	}
+}
+
+// fleetScalePoint measures one tree width: root + leaves come up,
+// pushers hammer their rendezvous-assigned leaf with stamped deltas,
+// the leaves drain upstream, and the root's metrics give the fan-in.
+func fleetScalePoint(params PerfParams, leaves int, payload []byte) (perf.FleetScalePoint, error) {
+	var zero perf.FleetScalePoint
+
+	// Leaves and root get separate contexts so shutdown can be ordered
+	// leaves-first: a leaf's graceful exit flushes upstream, which must
+	// find the root still serving.
+	rootCtx, stopRoot := context.WithCancel(context.Background())
+	defer stopRoot()
+	leafCtx, stopLeaves := context.WithCancel(context.Background())
+	defer stopLeaves()
+
+	rootURL, rootDone, err := startScaleDaemon(rootCtx, daemon.Config{})
+	if err != nil {
+		return zero, err
+	}
+
+	names := make([]string, leaves)
+	leafURL := map[string]string{}
+	var leafDones []<-chan error
+	for i := 0; i < leaves; i++ {
+		names[i] = fmt.Sprintf("scale-leaf-%02d", i)
+		url, done, err := startScaleDaemon(leafCtx, daemon.Config{
+			Upstream:     rootURL,
+			UpstreamID:   names[i],
+			ForwardEvery: time.Hour, // drained explicitly after the timed run
+		})
+		if err != nil {
+			stopLeaves()
+			return zero, err
+		}
+		leafURL[names[i]] = url
+		leafDones = append(leafDones, done)
+	}
+
+	// Shard pushers across the leaves with the same rendezvous router
+	// the production tier uses, keyed by pusher identity.
+	router := federation.NewRouter(names)
+	total := params.IngestPushers * params.IngestRequestsPerPusher
+	errCh := make(chan error, params.IngestPushers)
+	var wg sync.WaitGroup
+	t0 := time.Now()
+	for p := 0; p < params.IngestPushers; p++ {
+		pusher := fmt.Sprintf("scale-vm-%02d", p)
+		client := &api.Client{BaseURL: leafURL[router.Route(pusher)], Retries: -1}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < params.IngestRequestsPerPusher; i++ {
+				if _, err := client.PushDelta(pusher, uint64(i+1), payload); err != nil {
+					errCh <- err
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(t0)
+	close(errCh)
+	for err := range errCh {
+		return zero, err
+	}
+
+	// Drain every leaf upstream, then read the root's ingest counter:
+	// that is how many increments absorbed all `total` pusher requests.
+	for _, name := range names {
+		c := &api.Client{BaseURL: leafURL[name]}
+		if _, err := c.Flush(); err != nil {
+			return zero, fmt.Errorf("flush %s: %w", name, err)
+		}
+	}
+	m, err := api.NewClient(rootURL).Metrics()
+	if err != nil {
+		return zero, fmt.Errorf("root metrics: %w", err)
+	}
+
+	stopLeaves()
+	for _, done := range leafDones {
+		if err := <-done; err != nil {
+			return zero, fmt.Errorf("leaf shutdown: %w", err)
+		}
+	}
+	stopRoot()
+	if err := <-rootDone; err != nil {
+		return zero, fmt.Errorf("root shutdown: %w", err)
+	}
+
+	return perf.FleetScalePoint{
+		Leaves:      leaves,
+		Pushers:     params.IngestPushers,
+		Requests:    total,
+		ReqPerSec:   float64(total) / elapsed.Seconds(),
+		RootIngests: int(m.Ingests),
+	}, nil
+}
+
+// FormatFleetScale renders the fleet_scale section for the terminal.
+func FormatFleetScale(fs *perf.FleetScale) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "fleet scale (baseline %.0f req/s direct ingest):\n", fs.BaselineReqPerSec)
+	fmt.Fprintf(&sb, "%8s %8s %9s %10s %9s %13s\n",
+		"leaves", "pushers", "requests", "req/s", "speedup", "root ingests")
+	for _, p := range fs.Points {
+		fmt.Fprintf(&sb, "%8d %8d %9d %10.0f %8.2fx %13d\n",
+			p.Leaves, p.Pushers, p.Requests, p.ReqPerSec, p.SpeedupVsBaseline, p.RootIngests)
+	}
+	return sb.String()
+}

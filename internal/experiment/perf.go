@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"gocbs/internal/adaptive"
+	"gocbs/internal/api"
 	"gocbs/internal/bench"
 	"gocbs/internal/bytecode"
 	"gocbs/internal/daemon"
@@ -79,6 +80,10 @@ func PerfTrajectory(cfg Config, input string, params PerfParams) (*perf.Report, 
 	if err != nil {
 		return nil, err
 	}
+	fleetScale, err := measureFleetScale(params, ingest)
+	if err != nil {
+		return nil, err
+	}
 
 	var plainRates, fusedRates, ratios, dbRatios []float64
 	for _, r := range rates {
@@ -111,8 +116,9 @@ func PerfTrajectory(cfg Config, input string, params PerfParams) (*perf.Report, 
 			HarnessMcycPerSec: snap.Rate(),
 			HarnessMcyc:       snap.Mcyc(),
 		},
-		Overhead: overhead,
-		Ingest:   ingest,
+		Overhead:   overhead,
+		Ingest:     ingest,
+		FleetScale: fleetScale,
 	}, nil
 }
 
@@ -280,7 +286,7 @@ func measureIngest(params PerfParams) (perf.Ingest, error) {
 	srv := &http.Server{Handler: ip.Handler()}
 	go srv.Serve(ln)
 	defer srv.Close()
-	url := "http://" + ln.Addr().String() + "/ingest"
+	url := "http://" + ln.Addr().String() + api.PathIngest
 
 	total := params.IngestPushers * params.IngestRequestsPerPusher
 	errCh := make(chan error, params.IngestPushers)
@@ -363,6 +369,9 @@ func FormatPerf(r *perf.Report) string {
 		fmt.Fprintf(&sb, "ingest: %d reqs x %d edges, %d pushers: %.0f req/s, latency %s\n",
 			r.Ingest.Requests, r.Ingest.EdgesPerRequest, r.Ingest.Pushers,
 			r.Ingest.ReqPerSec, r.Ingest.LatencyMs)
+	}
+	if r.FleetScale != nil {
+		sb.WriteString(FormatFleetScale(r.FleetScale))
 	}
 	return sb.String()
 }

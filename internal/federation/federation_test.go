@@ -1,0 +1,374 @@
+package federation
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"strconv"
+	"sync/atomic"
+	"testing"
+
+	"gocbs/internal/api"
+	"gocbs/internal/dcgstore"
+	"gocbs/internal/profile"
+)
+
+func edge(c, s, t int) profile.Edge { return profile.Edge{Caller: c, Site: s, Callee: t} }
+
+// rootServer is a minimal root daemon: the sequenced ingest path over
+// a sharded store, with test-controlled fault injection. Using the
+// store's real MergeDCGFrom keeps the dedup semantics honest without
+// importing internal/daemon (which imports this package).
+type rootServer struct {
+	store *dcgstore.Store
+	// failNext, when > 0, answers that many requests with a 500
+	// WITHOUT applying them.
+	failNext atomic.Int32
+	// dropNext, when > 0, APPLIES that many requests but kills the
+	// connection before the response — the lost-ack hazard.
+	dropNext atomic.Int32
+}
+
+func newRootServer() *rootServer {
+	return &rootServer{store: dcgstore.New(8)}
+}
+
+func (rs *rootServer) handler(t testing.TB) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != api.PathIngest {
+			t.Errorf("root saw unexpected path %q", r.URL.Path)
+		}
+		if rs.failNext.Load() > 0 {
+			rs.failNext.Add(-1)
+			api.WriteError(w, http.StatusInternalServerError, api.CodeInternal, "injected")
+			return
+		}
+		g, err := profile.ReadDCG(r.Body)
+		if err != nil {
+			t.Errorf("root: bad payload: %v", err)
+			api.WriteError(w, http.StatusBadRequest, api.CodeBadRequest, err.Error())
+			return
+		}
+		var seq uint64
+		pusher := r.Header.Get(api.HeaderPusher)
+		if pusher != "" {
+			if seq, err = strconv.ParseUint(r.Header.Get(api.HeaderSeq), 10, 64); err != nil {
+				t.Errorf("root: bad seq: %v", err)
+			}
+		}
+		applied := rs.store.MergeDCGFrom(pusher, seq, g)
+		if rs.dropNext.Load() > 0 {
+			rs.dropNext.Add(-1)
+			panic(http.ErrAbortHandler)
+		}
+		fmt.Fprintf(w, `{"applied":%v,"duplicate":%v}`, applied, !applied)
+	})
+}
+
+// fastUpstream returns an api client for the root with near-zero
+// backoff and no retries (tests drive every attempt explicitly).
+func fastUpstream(url string) *api.Client {
+	c := api.NewClient(url)
+	c.Retries = -1
+	return c
+}
+
+func mustEqualDCG(t *testing.T, label string, got, want *profile.DCG) {
+	t.Helper()
+	var gb, wb bytes.Buffer
+	if _, err := got.WriteTo(&gb); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := want.WriteTo(&wb); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(gb.Bytes(), wb.Bytes()) {
+		t.Errorf("%s: graphs differ: %d edges/%v weight vs %d edges/%v weight",
+			label, got.NumEdges(), got.Total(), want.NumEdges(), want.Total())
+	}
+}
+
+// TestRoutingStableUnderLeafChanges is the satellite property test:
+// under rendezvous hashing, removing a leaf re-routes ONLY the
+// programs that lived on it, and adding a leaf moves programs ONLY
+// onto the new leaf. Everything else keeps its leaf, so pusher
+// sequence streams stay pinned.
+func TestRoutingStableUnderLeafChanges(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	leaves := []string{"leaf-0", "leaf-1", "leaf-2", "leaf-3"}
+	programs := make([]string, 500)
+	for i := range programs {
+		programs[i] = fmt.Sprintf("prog-%d-%d", i, rng.Int63())
+	}
+	full := NewRouter(leaves)
+
+	// Every program routes, deterministically, onto a real leaf.
+	onLeaf := make(map[string]int)
+	for _, p := range programs {
+		l := full.Route(p)
+		if l == "" {
+			t.Fatalf("program %q routed nowhere", p)
+		}
+		if again := NewRouter(leaves).Route(p); again != l {
+			t.Fatalf("routing not deterministic: %q -> %q then %q", p, l, again)
+		}
+		onLeaf[l]++
+	}
+	// Rendezvous should spread 500 programs over 4 leaves roughly
+	// evenly; a leaf with < 10% occupancy means the hash is broken.
+	for _, l := range leaves {
+		if onLeaf[l] < 50 {
+			t.Errorf("leaf %s got only %d/500 programs; distribution broken: %v", l, onLeaf[l], onLeaf)
+		}
+	}
+
+	// Same-length keys must spread too. Raw FNV-1a prefix hashing fails
+	// exactly here: with the leaf hashed first, the cross-leaf score
+	// difference is nearly constant for keys of one length, so every
+	// vm-NN landed on a single leaf until the avalanche finalizer.
+	sameLen := make(map[string]int)
+	for i := 0; i < 64; i++ {
+		sameLen[full.Route(fmt.Sprintf("vm-%02d", i))]++
+	}
+	for _, l := range leaves {
+		if sameLen[l] < 4 {
+			t.Errorf("leaf %s got only %d/64 same-length keys; distribution broken: %v", l, sameLen[l], sameLen)
+		}
+	}
+
+	// Remove leaf-2: only its programs may move.
+	shrunk := NewRouter([]string{"leaf-0", "leaf-1", "leaf-3"})
+	moved := 0
+	for _, p := range programs {
+		before, after := full.Route(p), shrunk.Route(p)
+		if before != "leaf-2" && before != after {
+			t.Errorf("program %q moved %s -> %s though %s still exists", p, before, after, before)
+		}
+		if before == "leaf-2" {
+			moved++
+		}
+	}
+	if moved != onLeaf["leaf-2"] {
+		t.Errorf("moved %d programs, want exactly leaf-2's %d", moved, onLeaf["leaf-2"])
+	}
+
+	// Add leaf-4: programs may only move TO the new leaf.
+	grown := NewRouter(append(leaves, "leaf-4"))
+	for _, p := range programs {
+		before, after := full.Route(p), grown.Route(p)
+		if before != after && after != "leaf-4" {
+			t.Errorf("program %q moved %s -> %s on leaf ADD; only moves onto leaf-4 are legal", p, before, after)
+		}
+	}
+}
+
+// TestReRoutedPusherDoesNotDoubleCountAtRoot is the second half of the
+// satellite property test: a pusher that drains at its old leaf and
+// then continues its stream at a new leaf contributes its graph to the
+// root exactly once, even though the two leaves forward under separate
+// upstream identities.
+func TestReRoutedPusherDoesNotDoubleCountAtRoot(t *testing.T) {
+	root := newRootServer()
+	ts := httptest.NewServer(root.handler(t))
+	defer ts.Close()
+
+	newLeaf := func(id string) (*dcgstore.Store, *Forwarder) {
+		store := dcgstore.New(4)
+		f, err := NewForwarder(ForwarderConfig{
+			ID:       id,
+			Upstream: fastUpstream(ts.URL),
+			Source:   store.Snapshot,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return store, f
+	}
+	leafA, fwdA := newLeaf("leaf-a")
+	leafB, fwdB := newLeaf("leaf-b")
+
+	// The pusher's source graph grows monotonically; it streams deltas
+	// to whichever leaf currently owns its program.
+	src := profile.NewDCG()
+	push := func(store *dcgstore.Store, seq uint64, delta *profile.DCG) {
+		if !store.MergeDCGFrom("vm-1", seq, delta.Clone()) {
+			t.Fatalf("leaf rejected seq %d as duplicate", seq)
+		}
+	}
+
+	// Rounds 1-2 land on leaf A and are forwarded up.
+	d1 := profile.NewDCG()
+	d1.AddSample(edge(1, 1, 2), 10)
+	src.Merge(d1)
+	push(leafA, 1, d1)
+	d2 := profile.NewDCG()
+	d2.AddSample(edge(1, 1, 2), 5)
+	d2.AddSample(edge(2, 3, 4), 7)
+	src.Merge(d2)
+	push(leafA, 2, d2)
+	if _, err := fwdA.Flush(); err != nil {
+		t.Fatalf("leaf A flush: %v", err)
+	}
+
+	// Re-route: the pusher drains at leaf A (everything above is
+	// acknowledged — the drain-before-switch rule), then resumes its
+	// sequence stream at leaf B. The same seq-3 increment retried at
+	// leaf B after a lost response dedups in LEAF B's store; leaf A
+	// never sees it, so the root cannot see it twice.
+	d3 := profile.NewDCG()
+	d3.AddSample(edge(2, 3, 4), 3)
+	src.Merge(d3)
+	push(leafB, 3, d3)
+	if leafB.MergeDCGFrom("vm-1", 3, d3.Clone()) {
+		t.Fatal("leaf B applied a duplicate of seq 3")
+	}
+	if _, err := fwdB.Flush(); err != nil {
+		t.Fatalf("leaf B flush: %v", err)
+	}
+	// Leaf A flushes again after the switch: it has nothing new for
+	// this pusher, so the root gains no weight from it.
+	if _, err := fwdA.Flush(); err != nil {
+		t.Fatalf("leaf A post-switch flush: %v", err)
+	}
+
+	mustEqualDCG(t, "root vs pusher source", root.store.Snapshot(), src)
+	// And the composition invariant: root == merge of the two leaves'
+	// acknowledged graphs.
+	comp := fwdA.Acknowledged()
+	comp.Merge(fwdB.Acknowledged())
+	mustEqualDCG(t, "root vs leaf acks", root.store.Snapshot(), comp)
+}
+
+// TestForwarderRestartExactness: a forwarder that dies after the root
+// applied an increment but before the ack landed re-sends the frozen
+// increment from its write-ahead state on restart, and the root
+// deduplicates — byte-identical totals, no loss, no double count.
+func TestForwarderRestartExactness(t *testing.T) {
+	root := newRootServer()
+	ts := httptest.NewServer(root.handler(t))
+	defer ts.Close()
+
+	statePath := filepath.Join(t.TempDir(), "fwd-state.json")
+	store := dcgstore.New(4)
+	fwd, err := NewForwarder(ForwarderConfig{
+		ID: "leaf-0", Upstream: fastUpstream(ts.URL), Source: store.Snapshot, StatePath: statePath,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	g1 := profile.NewDCG()
+	g1.AddSample(edge(1, 2, 3), 4)
+	store.MergeDCGFrom("vm-1", 1, g1)
+	if resp, err := fwd.Flush(); err != nil || !resp.Forwarded || resp.Seq != 1 {
+		t.Fatalf("first flush: resp=%+v err=%v", resp, err)
+	}
+
+	// More weight arrives; the root applies the forward but the ack is
+	// lost mid-flight (connection killed after merge).
+	g2 := profile.NewDCG()
+	g2.AddSample(edge(1, 2, 3), 6)
+	g2.AddSample(edge(9, 9, 9), 1)
+	store.MergeDCGFrom("vm-1", 2, g2)
+	root.dropNext.Store(1)
+	resp, err := fwd.Flush()
+	if err == nil {
+		t.Fatal("flush with dropped ack must error")
+	}
+	if resp.Pending != 1 || resp.Seq != 1 {
+		t.Fatalf("post-drop resp = %+v, want 1 pending above seq 1", resp)
+	}
+
+	// "Crash": rebuild the forwarder from the write-ahead state alone.
+	fwd2, err := NewForwarder(ForwarderConfig{
+		ID: "leaf-0", Upstream: fastUpstream(ts.URL), Source: store.Snapshot, StatePath: statePath,
+	})
+	if err != nil {
+		t.Fatalf("restart: %v", err)
+	}
+	if fwd2.Pending() != 1 {
+		t.Fatalf("restarted forwarder has %d pending, want 1", fwd2.Pending())
+	}
+	if resp, err := fwd2.Flush(); err != nil || !resp.Forwarded || resp.Seq != 2 {
+		t.Fatalf("post-restart flush: resp=%+v err=%v", resp, err)
+	}
+
+	// The re-sent increment was deduplicated, not re-merged.
+	if d := root.store.Stats().Duplicates; d != 1 {
+		t.Errorf("root deduplicated %d increments, want 1", d)
+	}
+	mustEqualDCG(t, "root vs leaf store", root.store.Snapshot(), store.Snapshot())
+	mustEqualDCG(t, "root vs restarted acked", root.store.Snapshot(), fwd2.Acknowledged())
+
+	// A third restart starts clean: nothing pending, and a flush with
+	// no new weight pushes nothing.
+	fwd3, err := NewForwarder(ForwarderConfig{
+		ID: "leaf-0", Upstream: fastUpstream(ts.URL), Source: store.Snapshot, StatePath: statePath,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp, err := fwd3.Flush(); err != nil || !resp.Forwarded || resp.Edges != 0 || resp.Seq != 2 {
+		t.Fatalf("idle flush after clean restart: resp=%+v err=%v", resp, err)
+	}
+}
+
+// TestForwarderTransientUpstreamFailure: a 500 from the root keeps the
+// increment pending (nothing applied), and the next flush delivers it
+// plus newer weight without gaps.
+func TestForwarderTransientUpstreamFailure(t *testing.T) {
+	root := newRootServer()
+	ts := httptest.NewServer(root.handler(t))
+	defer ts.Close()
+
+	store := dcgstore.New(4)
+	fwd, err := NewForwarder(ForwarderConfig{
+		ID: "leaf-0", Upstream: fastUpstream(ts.URL), Source: store.Snapshot,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	g := profile.NewDCG()
+	g.AddSample(edge(1, 1, 1), 2)
+	store.MergeDCGFrom("vm-1", 1, g)
+	root.failNext.Store(1)
+	if _, err := fwd.Flush(); err == nil {
+		t.Fatal("flush against failing root must error")
+	}
+	if fwd.Pending() != 1 {
+		t.Fatalf("pending = %d, want 1", fwd.Pending())
+	}
+
+	g2 := profile.NewDCG()
+	g2.AddSample(edge(2, 2, 2), 3)
+	store.MergeDCGFrom("vm-1", 2, g2)
+	if resp, err := fwd.Flush(); err != nil || !resp.Forwarded || resp.Seq != 2 {
+		t.Fatalf("recovery flush: resp=%+v err=%v", resp, err)
+	}
+	mustEqualDCG(t, "root vs leaf store", root.store.Snapshot(), store.Snapshot())
+	if d := root.store.Stats().Duplicates; d != 0 {
+		t.Errorf("root saw %d duplicates, want 0 (500 must not apply)", d)
+	}
+}
+
+func TestRegistryUpsertAndList(t *testing.T) {
+	r := NewRegistry()
+	if n := r.Register(api.LeafStatus{ID: "leaf-1", Seq: 1}); n != 1 {
+		t.Fatalf("count = %d", n)
+	}
+	if n := r.Register(api.LeafStatus{ID: "leaf-0", Seq: 2}); n != 2 {
+		t.Fatalf("count = %d", n)
+	}
+	// Heartbeat: same ID upserts, count unchanged.
+	if n := r.Register(api.LeafStatus{ID: "leaf-1", Seq: 9}); n != 2 {
+		t.Fatalf("upsert count = %d", n)
+	}
+	ls := r.List()
+	if len(ls) != 2 || ls[0].ID != "leaf-0" || ls[1].ID != "leaf-1" || ls[1].Seq != 9 {
+		t.Fatalf("list = %+v", ls)
+	}
+}

@@ -1,0 +1,351 @@
+package federation
+
+import (
+	"bytes"
+	crand "crypto/rand"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"gocbs/internal/api"
+	"gocbs/internal/profile"
+)
+
+// Forwarder streams a leaf store's accumulated weight upstream to the
+// root as stamped, exactly-once increments — the leaf-side half of the
+// federation tentpole. It is a DeltaPusher grown a write-ahead state
+// file: every capture is persisted *before* the first push attempt, so
+// a leaf that crashes after a push whose response was lost re-sends
+// the identical frozen increment on restart and the root deduplicates
+// it by (pusher, seq) — weight can neither vanish nor double-count
+// across a leaf restart.
+//
+// Crash matrix (state file written atomically via temp + rename):
+//
+//   - crash before capture persists: the weight is still in the
+//     store snapshot; the next capture picks it up under a new seq.
+//   - crash after capture persists, before/through the push: the
+//     increment is in pending; restart re-sends it verbatim. If the
+//     push had actually landed, the root drops it as a duplicate.
+//   - crash after the ack persists: nothing outstanding.
+//
+// The store snapshot the forwarder captures from must never shrink
+// (leaves do not decay locally — decay is the root's job), and on a
+// graceful restart the leaf checkpoints its store alongside this
+// state, so the restored snapshot is always >= the persisted capture
+// baseline.
+type Forwarder struct {
+	// ID is the leaf's upstream pusher identity.
+	id string
+	// upstream is the api client aimed at the root.
+	upstream *api.Client
+	// source returns the leaf store's consistent snapshot.
+	source func() *profile.DCG
+	// statePath, when non-empty, persists the write-ahead state.
+	statePath string
+
+	mu sync.Mutex
+	// last is the snapshot baseline of the previous capture.
+	last *profile.DCG
+	// seq is the last allocated sequence number.
+	seq uint64
+	// pending holds captured-but-unacknowledged increments in
+	// sequence order, frozen (bytes never change once stamped).
+	pending []stampedDelta
+	// acked accumulates every increment the root acknowledged — by
+	// construction exactly the graph the root owes this leaf.
+	acked *profile.DCG
+
+	forwards uint64
+	errs     uint64
+}
+
+// stampedDelta is one frozen increment.
+type stampedDelta struct {
+	seq   uint64
+	delta *profile.DCG
+}
+
+// ForwarderConfig configures a leaf's upstream forwarder.
+type ForwarderConfig struct {
+	// ID is the leaf's upstream pusher identity. Required unless a
+	// state file already records one.
+	ID string
+	// Upstream is the api client aimed at the root. Required.
+	Upstream *api.Client
+	// Source returns the leaf store's consistent snapshot. Required.
+	Source func() *profile.DCG
+	// StatePath, when non-empty, persists the forwarder's write-ahead
+	// state (capture baseline, sequence counter, pending increments)
+	// across restarts. Without it a restarted leaf would re-forward
+	// its whole restored store under fresh stamps.
+	StatePath string
+}
+
+// NewForwarder returns a forwarder, restoring persisted state from
+// cfg.StatePath when the file exists. A persisted identity must match
+// cfg.ID (the sequence stream belongs to the identity); cfg.ID may be
+// empty to adopt the persisted one.
+func NewForwarder(cfg ForwarderConfig) (*Forwarder, error) {
+	if cfg.Upstream == nil {
+		return nil, errors.New("federation: forwarder needs an upstream client")
+	}
+	if cfg.Source == nil {
+		return nil, errors.New("federation: forwarder needs a store source")
+	}
+	f := &Forwarder{
+		id:        cfg.ID,
+		upstream:  cfg.Upstream,
+		source:    cfg.Source,
+		statePath: cfg.StatePath,
+		acked:     profile.NewDCG(),
+	}
+	if cfg.StatePath != "" {
+		if err := f.restore(cfg.StatePath, cfg.ID); err != nil {
+			return nil, err
+		}
+	}
+	if f.id == "" {
+		// Fresh leaf with no configured identity: mint a random one
+		// (persisted on first flush, so restarts keep the stream).
+		f.id = newLeafID()
+	}
+	return f, nil
+}
+
+// newLeafID mints a random upstream identity for a leaf that was not
+// given one. Random, not host-derived: two leaves colliding in the
+// root's sequence table would have increments silently dropped as
+// duplicates of each other's.
+func newLeafID() string {
+	var b [8]byte
+	crand.Read(b[:]) // rand.Read never fails on supported platforms
+	return "leaf-" + hex.EncodeToString(b[:])
+}
+
+// ID returns the leaf's upstream pusher identity.
+func (f *Forwarder) ID() string { return f.id }
+
+// Flush captures the weight the store accumulated since the previous
+// capture as a new stamped increment, persists the state, then pushes
+// every pending increment upstream in order. A flush with nothing new
+// and nothing pending is a no-op. The returned response reports what
+// this flush captured and what remains pending (non-zero only when an
+// upstream push failed; those increments stay frozen for the next
+// flush).
+func (f *Forwarder) Flush() (api.FlushResponse, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+
+	resp := api.FlushResponse{}
+	cur := f.source()
+	delta := cur.DeltaSince(f.last)
+	if delta.NumEdges() > 0 {
+		f.seq++
+		f.pending = append(f.pending, stampedDelta{seq: f.seq, delta: delta})
+		f.last = cur.Clone()
+		resp.Edges = delta.NumEdges()
+		resp.Weight = delta.Total()
+		// Write-ahead: the capture must hit disk before the first push
+		// attempt, or a crash after a successful push would re-capture
+		// and double-send this weight under a new stamp.
+		if err := f.persistLocked(); err != nil {
+			// Roll the capture back; the weight stays in the store
+			// snapshot for the next flush.
+			f.pending = f.pending[:len(f.pending)-1]
+			f.seq--
+			f.last = nil // force a full re-capture baseline next flush
+			f.errs++
+			return resp, fmt.Errorf("federation: persist capture: %w", err)
+		}
+	}
+
+	for len(f.pending) > 0 {
+		head := f.pending[0]
+		if _, err := f.upstream.PushDelta(f.id, head.seq, encodeDCG(head.delta)); err != nil {
+			f.errs++
+			resp.Pending = len(f.pending)
+			resp.Seq = f.ackedSeqLocked()
+			return resp, fmt.Errorf("federation: forward seq %d: %w", head.seq, err)
+		}
+		f.pending = f.pending[1:]
+		f.acked.Merge(head.delta)
+		f.forwards++
+		if err := f.persistLocked(); err != nil {
+			// The ack is applied in memory; a stale state file only
+			// means a redundant (deduplicated) re-send after a crash.
+			f.errs++
+			resp.Pending = len(f.pending)
+			resp.Seq = f.ackedSeqLocked()
+			return resp, fmt.Errorf("federation: persist ack: %w", err)
+		}
+	}
+	resp.Forwarded = true
+	resp.Seq = f.seq
+	return resp, nil
+}
+
+// ackedSeqLocked returns the highest acknowledged sequence: the seq
+// just below the oldest pending increment, or the counter itself when
+// nothing is pending.
+func (f *Forwarder) ackedSeqLocked() uint64 {
+	if len(f.pending) > 0 {
+		return f.pending[0].seq - 1
+	}
+	return f.seq
+}
+
+// Acknowledged returns a clone of the cumulative graph the root has
+// acknowledged from this leaf — what the conservation checker holds
+// the root accountable for.
+func (f *Forwarder) Acknowledged() *profile.DCG {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.acked.Clone()
+}
+
+// Pending reports how many captured increments await acknowledgement.
+func (f *Forwarder) Pending() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return len(f.pending)
+}
+
+// Status returns the leaf's registration/heartbeat body.
+func (f *Forwarder) Status(addr string) api.LeafStatus {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return api.LeafStatus{
+		ID:     f.id,
+		Addr:   addr,
+		Seq:    f.ackedSeqLocked(),
+		Edges:  f.acked.NumEdges(),
+		Weight: f.acked.Total(),
+	}
+}
+
+// Metrics returns the forwarder's /metrics section.
+func (f *Forwarder) Metrics() *api.ForwardMetrics {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return &api.ForwardMetrics{
+		Seq:       f.seq,
+		Pending:   len(f.pending),
+		Forwards:  f.forwards,
+		Errors:    f.errs,
+		AckEdges:  f.acked.NumEdges(),
+		AckWeight: f.acked.Total(),
+	}
+}
+
+// forwarderState is the on-disk write-ahead state. Graph payloads are
+// the canonical DCGB wire format (base64 in JSON).
+type forwarderState struct {
+	ID      string         `json:"id"`
+	Seq     uint64         `json:"seq"`
+	Last    []byte         `json:"last,omitempty"`
+	Acked   []byte         `json:"acked,omitempty"`
+	Pending []pendingState `json:"pending,omitempty"`
+}
+
+type pendingState struct {
+	Seq   uint64 `json:"seq"`
+	Delta []byte `json:"delta"`
+}
+
+func encodeDCG(g *profile.DCG) []byte {
+	var buf bytes.Buffer
+	g.WriteTo(&buf) // in-memory write cannot fail
+	return buf.Bytes()
+}
+
+func decodeDCG(b []byte) (*profile.DCG, error) {
+	if len(b) == 0 {
+		return nil, nil
+	}
+	return profile.ReadDCG(bytes.NewReader(b))
+}
+
+// persistLocked writes the state atomically (temp file + rename into
+// place), a no-op without a StatePath.
+func (f *Forwarder) persistLocked() error {
+	if f.statePath == "" {
+		return nil
+	}
+	st := forwarderState{ID: f.id, Seq: f.seq}
+	if f.last != nil {
+		st.Last = encodeDCG(f.last)
+	}
+	if f.acked.NumEdges() > 0 {
+		st.Acked = encodeDCG(f.acked)
+	}
+	for _, p := range f.pending {
+		st.Pending = append(st.Pending, pendingState{Seq: p.seq, Delta: encodeDCG(p.delta)})
+	}
+	data, err := json.Marshal(st)
+	if err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(f.statePath), ".fwd-*")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return os.Rename(tmp.Name(), f.statePath)
+}
+
+// restore loads persisted state; a missing file is a fresh start.
+func (f *Forwarder) restore(path, wantID string) error {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	var st forwarderState
+	if err := json.Unmarshal(data, &st); err != nil {
+		return fmt.Errorf("federation: corrupt forwarder state %s: %w", path, err)
+	}
+	if wantID != "" && st.ID != wantID {
+		return fmt.Errorf("federation: forwarder state %s belongs to %q, not %q (sequence streams are per identity)",
+			path, st.ID, wantID)
+	}
+	f.id = st.ID
+	f.seq = st.Seq
+	if f.last, err = decodeDCG(st.Last); err != nil {
+		return fmt.Errorf("federation: corrupt capture baseline in %s: %w", path, err)
+	}
+	acked, err := decodeDCG(st.Acked)
+	if err != nil {
+		return fmt.Errorf("federation: corrupt acked graph in %s: %w", path, err)
+	}
+	if acked != nil {
+		f.acked = acked
+	}
+	for _, p := range st.Pending {
+		d, err := decodeDCG(p.Delta)
+		if err != nil {
+			return fmt.Errorf("federation: corrupt pending increment %d in %s: %w", p.Seq, path, err)
+		}
+		f.pending = append(f.pending, stampedDelta{seq: p.Seq, delta: d})
+	}
+	return nil
+}

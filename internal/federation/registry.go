@@ -1,0 +1,51 @@
+package federation
+
+import (
+	"sort"
+	"sync"
+
+	"gocbs/internal/api"
+)
+
+// Registry is the root daemon's leaf ledger: which leaves exist, where
+// they live, and how far their forwarded sequence streams have
+// progressed. Registration is an upsert keyed by the leaf's upstream
+// pusher identity — a leaf heartbeats the same body it registered
+// with, so a restarted leaf that resumed its persisted sequence stream
+// simply overwrites its previous entry.
+type Registry struct {
+	mu     sync.Mutex
+	leaves map[string]api.LeafStatus
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{leaves: make(map[string]api.LeafStatus)}
+}
+
+// Register upserts a leaf and returns the registered-leaf count.
+func (r *Registry) Register(st api.LeafStatus) int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.leaves[st.ID] = st
+	return len(r.leaves)
+}
+
+// List returns the registered leaves sorted by ID.
+func (r *Registry) List() []api.LeafStatus {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]api.LeafStatus, 0, len(r.leaves))
+	for _, st := range r.leaves {
+		out = append(out, st)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Len returns the registered-leaf count.
+func (r *Registry) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.leaves)
+}

@@ -117,28 +117,48 @@ type FaultEvent struct {
 	Kind    FaultKind `json:"kind"`
 }
 
-// router points every actor's HTTP client at the daemon's current
-// listen address. The daemon is restarted mid-run and comes back on a
-// fresh port (tests bind 127.0.0.1:0), so clients address a placeholder
-// host and the chaos transport rewrites it at request time. While the
-// daemon is down the target is empty and requests fail with a synthetic
-// connection-refused error.
+// router points every actor's HTTP client at the live listen address
+// of the daemon it talks to. Daemons are restarted mid-run and come
+// back on fresh ports (tests bind 127.0.0.1:0), so clients address
+// stable placeholder hosts and the chaos transport rewrites them at
+// request time. Single-daemon runs use one entry (PlaceholderHost); a
+// federation tree keys one entry per daemon (root + each leaf). While
+// a daemon is down its entry is empty and requests to it fail with a
+// synthetic connection-refused error.
 type router struct {
-	target atomic.Value // string
+	mu      sync.Mutex
+	targets map[string]string // placeholder host -> live addr
 }
 
-// PlaceholderHost is the host actors' base URLs use; the chaos
-// transport rewrites it to the daemon's live address.
+// PlaceholderHost is the host actors' base URLs use in single-daemon
+// runs; the chaos transport rewrites it to the daemon's live address.
 const PlaceholderHost = "cbsd.fleetsim.invalid"
 
+// LeafHost returns the stable placeholder host tree-mode actors use to
+// address leaf i.
+func LeafHost(i int) string { return fmt.Sprintf("leaf-%02d.fleetsim.invalid", i) }
+
 func newRouter() *router {
-	r := &router{}
-	r.target.Store("")
-	return r
+	return &router{targets: make(map[string]string)}
 }
 
-func (r *router) setTarget(addr string) { r.target.Store(addr) }
-func (r *router) current() string       { t, _ := r.target.Load().(string); return t }
+func (r *router) setTarget(addr string) { r.set(PlaceholderHost, addr) }
+
+func (r *router) set(host, addr string) {
+	r.mu.Lock()
+	r.targets[host] = addr
+	r.mu.Unlock()
+}
+
+// lookup resolves a placeholder host to the live address, "" when that
+// daemon is down. A host with no entry at all (a real address used
+// directly) passes through unchanged.
+func (r *router) lookup(host string) (addr string, known bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	addr, known = r.targets[host]
+	return addr, known
+}
 
 // chaos is the shared fault-injection state for one fleet run: the
 // router, the global enable switch (quiesced phases suspend fault
@@ -324,14 +344,16 @@ func (t *transport) RoundTrip(req *http.Request) (*http.Response, error) {
 		}
 	}
 
-	target := t.chaos.router.current()
-	if target == "" {
-		return nil, &connRefused{host: req.URL.Host}
+	r2 := req
+	if target, known := t.chaos.router.lookup(req.URL.Host); known {
+		if target == "" {
+			return nil, &connRefused{host: req.URL.Host}
+		}
+		// Clone before rewriting: RoundTrippers must not mutate the
+		// caller's request.
+		r2 = req.Clone(req.Context())
+		r2.URL.Host = target
 	}
-	// Clone before rewriting: RoundTrippers must not mutate the
-	// caller's request.
-	r2 := req.Clone(req.Context())
-	r2.URL.Host = target
 	resp, err := t.chaos.inner.RoundTrip(r2)
 	if err != nil {
 		return nil, err

@@ -10,6 +10,7 @@ import (
 	"sync"
 	"time"
 
+	"gocbs/internal/api"
 	"gocbs/internal/bench"
 	"gocbs/internal/bytecode"
 	"gocbs/internal/daemon"
@@ -33,6 +34,11 @@ type Config struct {
 	// Pullers run the same number of rounds, polling every round.
 	Rounds        int
 	ItersPerRound int
+	// Leaves, when positive, runs the soak against a federated tree —
+	// one root plus this many leaf daemons, with the pusher fleet
+	// rendezvous-sharded across the leaves (see tree.go). 0 keeps the
+	// original single-daemon topology.
+	Leaves int
 	// Seed drives every random decision in the run: the fault schedule
 	// and the pushers' CBS sampling.
 	Seed int64
@@ -240,6 +246,9 @@ func Run(cfg Config) (*Report, error) {
 	if cfg.Faults == nil {
 		cfg.Faults = make(FaultSet)
 	}
+	if cfg.Leaves > 0 {
+		return runTree(cfg)
+	}
 
 	stateDir := cfg.StateDir
 	if stateDir == "" {
@@ -274,7 +283,7 @@ func Run(cfg Config) (*Report, error) {
 		return nil, err
 	}
 	size := b.SizeFor("small")
-	planPath := "/plan?program=" + cfg.Program
+	planPath := api.PathPlan + "?program=" + cfg.Program
 
 	// Build the pusher actors: per-VM program clone, CBS profiler with
 	// a per-VM seed, and a DeltaPusher under a fixed, name-derived
@@ -389,7 +398,7 @@ func Run(cfg Config) (*Report, error) {
 				return nil, err
 			}
 		}
-		snapBefore, err := f.capture("/snapshot")
+		snapBefore, err := f.capture(api.PathSnapshot)
 		if err != nil {
 			return nil, fmt.Errorf("pre-restart snapshot: %w", err)
 		}
@@ -403,7 +412,7 @@ func Run(cfg Config) (*Report, error) {
 		if err := f.startDaemon(); err != nil {
 			return nil, fmt.Errorf("daemon restart %d: %w", restartsDone+1, err)
 		}
-		snapAfter, err := f.capture("/snapshot")
+		snapAfter, err := f.capture(api.PathSnapshot)
 		if err != nil {
 			return nil, fmt.Errorf("post-restart snapshot: %w", err)
 		}
@@ -428,7 +437,7 @@ func Run(cfg Config) (*Report, error) {
 	pullerWG.Wait()
 	elapsed := time.Since(start)
 
-	snapBytes, err := f.capture("/snapshot")
+	snapBytes, err := f.capture(api.PathSnapshot)
 	if err != nil {
 		return nil, fmt.Errorf("final snapshot: %w", err)
 	}

@@ -15,10 +15,14 @@ import (
 // equal Digests). Anything wall-clock- or interleaving-dependent lives
 // in Timing instead.
 type Deterministic struct {
-	Seed          int64  `json:"seed"`
-	Program       string `json:"program"`
-	VMs           int    `json:"vms"`
-	Pullers       int    `json:"pullers"`
+	Seed    int64  `json:"seed"`
+	Program string `json:"program"`
+	VMs     int    `json:"vms"`
+	Pullers int    `json:"pullers"`
+	// Leaves is the federated-tree width (0 = single daemon). In tree
+	// runs RestartsDone counts leaf kill/restart cycles and the final
+	// aggregate is read from the ROOT after a fleet-wide drain.
+	Leaves        int    `json:"leaves,omitempty"`
 	Rounds        int    `json:"rounds"`
 	ItersPerRound int    `json:"iters_per_round"`
 	Faults        string `json:"faults"`
@@ -107,8 +111,12 @@ func (r *Report) JSON() []byte {
 func (r *Report) Format() string {
 	var sb strings.Builder
 	d, tm := &r.Deterministic, &r.Timing
-	fmt.Fprintf(&sb, "fleet soak: %d pusher VMs, %d pullers, %d rounds of %s, seed %d, faults %s, %d restart(s)\n",
-		d.VMs, d.Pullers, d.Rounds, d.Program, d.Seed, d.Faults, d.RestartsDone)
+	topology := "single daemon"
+	if d.Leaves > 0 {
+		topology = fmt.Sprintf("%d leaves + 1 root", d.Leaves)
+	}
+	fmt.Fprintf(&sb, "fleet soak: %d pusher VMs, %d pullers, %s, %d rounds of %s, seed %d, faults %s, %d restart(s)\n",
+		d.VMs, d.Pullers, topology, d.Rounds, d.Program, d.Seed, d.Faults, d.RestartsDone)
 	fmt.Fprintf(&sb, "  faults drawn: %d", len(d.FaultSchedule))
 	for _, k := range AllFaults {
 		if n := d.FaultCounts[k]; n > 0 {

@@ -1,0 +1,490 @@
+package fleetsim
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"gocbs/internal/api"
+	"gocbs/internal/daemon"
+	"gocbs/internal/dcgstore"
+	"gocbs/internal/federation"
+	"gocbs/internal/plan"
+	"gocbs/internal/profile"
+	"gocbs/internal/profiler"
+	"gocbs/internal/puller"
+	"gocbs/internal/vm"
+)
+
+// tree.go is the federated variant of the fleet soak: one root daemon
+// plus Config.Leaves leaf daemons, each leaf owning a rendezvous-hashed
+// shard of the pusher fleet and forwarding its merged deltas upstream
+// over the same idempotent protocol the pushers use (a leaf is a pusher
+// in its own right). Pullers poll the leaves' plan relays, so every
+// plan any puller observes was compiled once, at the root.
+//
+// Determinism: pusher/puller traffic goes through the same per-actor
+// chaos transports as the flat soak (placeholder hosts resolve to
+// whichever incarnation of their leaf is live). Leaf→root forwarding is
+// driven by the harness — leaves run with the periodic forward loop
+// effectively off and get /v1/flush'd at round boundaries over the
+// direct (chaos-free) client — so the upstream sequence streams advance
+// at seed-determined points, not timer-determined ones. The leaf→root
+// retry path itself is proven under fire by internal/federation's
+// tests; what the tree soak adds is the end-to-end composition: pusher
+// exactly-once into the leaf, leaf exactly-once into the root, leaf
+// kill/restart in the middle.
+type treeFleet struct {
+	cfg    Config
+	chaos  *chaos
+	direct *http.Client
+
+	root     *daemonHandle
+	rootDir  string
+	leaves   []*daemonHandle // index i serves LeafHost(i); nil while down
+	leafDirs []string
+}
+
+// startRoot brings up the root daemon. The root never restarts in a
+// tree soak (leaf restarts are the interesting failure; the flat soak
+// already covers aggregator restarts), so actors may cache its address.
+func (tf *treeFleet) startRoot() error {
+	ready := make(chan string, 1)
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		done <- daemon.Run(ctx, daemon.Config{
+			Addr:            "127.0.0.1:0",
+			Shards:          8,
+			StateDir:        tf.rootDir,
+			CheckpointEvery: time.Hour,
+			ReadTimeout:     10 * time.Second,
+			WriteTimeout:    10 * time.Second,
+			PlanFloor:       1, PlanBand: 0.25, PlanHold: 0.05,
+			Ready: ready,
+			Logf:  tf.cfg.Logf,
+		})
+	}()
+	select {
+	case addr := <-ready:
+		tf.root = &daemonHandle{addr: addr, cancel: cancel, done: done}
+		return nil
+	case err := <-done:
+		cancel()
+		return fmt.Errorf("root daemon failed to start: %w", err)
+	case <-time.After(30 * time.Second):
+		cancel()
+		return fmt.Errorf("root daemon did not become ready")
+	}
+}
+
+// startLeaf brings up leaf i and routes its placeholder host to the new
+// incarnation. The forward cadence is set far beyond the soak's length:
+// the harness drives forwarding explicitly through /v1/flush so the
+// upstream sequence stream is a function of the round structure, not of
+// wall-clock timer alignment.
+func (tf *treeFleet) startLeaf(i int) error {
+	ready := make(chan string, 1)
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		done <- daemon.Run(ctx, daemon.Config{
+			Addr:            "127.0.0.1:0",
+			Shards:          8,
+			StateDir:        tf.leafDirs[i],
+			CheckpointEvery: time.Hour,
+			ReadTimeout:     10 * time.Second,
+			WriteTimeout:    10 * time.Second,
+			Upstream:        "http://" + tf.root.addr,
+			UpstreamID:      fmt.Sprintf("leaf-%02d", i),
+			SelfURL:         "http://" + LeafHost(i),
+			ForwardEvery:    time.Hour,
+			Ready:           ready,
+			Logf:            tf.cfg.Logf,
+		})
+	}()
+	select {
+	case addr := <-ready:
+		tf.leaves[i] = &daemonHandle{addr: addr, cancel: cancel, done: done}
+		tf.chaos.router.set(LeafHost(i), addr)
+		return nil
+	case err := <-done:
+		cancel()
+		return fmt.Errorf("leaf %d failed to start: %w", i, err)
+	case <-time.After(30 * time.Second):
+		cancel()
+		return fmt.Errorf("leaf %d did not become ready", i)
+	}
+}
+
+// stopLeaf gracefully stops leaf i — the same context-cancel path a
+// SIGTERM takes, which drains requests, runs the final upstream flush,
+// and writes the final checkpoint.
+func (tf *treeFleet) stopLeaf(i int) error {
+	tf.chaos.router.set(LeafHost(i), "")
+	h := tf.leaves[i]
+	tf.leaves[i] = nil
+	h.cancel()
+	return <-h.done
+}
+
+// get fetches path directly (no chaos) from addr.
+func (tf *treeFleet) get(addr, path string) ([]byte, error) {
+	resp, err := tf.direct.Get("http://" + addr + path)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("GET %s: %s: %s", path, resp.Status, b)
+	}
+	return b, nil
+}
+
+// flushLeaf drains leaf i's accumulated delta into the root through
+// /v1/flush on the direct client.
+func (tf *treeFleet) flushLeaf(i int) error {
+	resp, err := tf.direct.Post("http://"+tf.leaves[i].addr+api.PathFlush, "", nil)
+	if err != nil {
+		return fmt.Errorf("flush leaf %d: %w", i, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		b, _ := io.ReadAll(resp.Body)
+		return fmt.Errorf("flush leaf %d: %s: %s", i, resp.Status, b)
+	}
+	io.Copy(io.Discard, resp.Body)
+	return nil
+}
+
+func (tf *treeFleet) flushAll() error {
+	for i := range tf.leaves {
+		if tf.leaves[i] == nil {
+			continue
+		}
+		if err := tf.flushLeaf(i); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// runTree executes one federated fleet soak: Run dispatches here when
+// Config.Leaves > 0.
+func runTree(cfg Config) (*Report, error) {
+	stateDir := cfg.StateDir
+	if stateDir == "" {
+		dir, err := os.MkdirTemp("", "fleetsim-tree-*")
+		if err != nil {
+			return nil, err
+		}
+		defer os.RemoveAll(dir)
+		stateDir = dir
+	}
+
+	tf := &treeFleet{
+		cfg:      cfg,
+		chaos:    newChaos(cfg.Seed, cfg.Faults, cfg.MaxLatency),
+		direct:   &http.Client{Timeout: 10 * time.Second},
+		rootDir:  filepath.Join(stateDir, "root"),
+		leaves:   make([]*daemonHandle, cfg.Leaves),
+		leafDirs: make([]string, cfg.Leaves),
+	}
+	defer tf.chaos.close()
+	for i := range tf.leafDirs {
+		tf.leafDirs[i] = filepath.Join(stateDir, fmt.Sprintf("leaf-%02d", i))
+	}
+	for _, dir := range append([]string{tf.rootDir}, tf.leafDirs...) {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, err
+		}
+	}
+
+	if err := tf.startRoot(); err != nil {
+		return nil, err
+	}
+	defer func() {
+		for i, h := range tf.leaves {
+			if h != nil {
+				tf.stopLeaf(i)
+			}
+		}
+		tf.root.cancel()
+		<-tf.root.done
+	}()
+	for i := range tf.leaves {
+		if err := tf.startLeaf(i); err != nil {
+			return nil, err
+		}
+	}
+	cfg.Logf("fleetsim: tree up — root at %s, %d leaves, state %s", tf.root.addr, cfg.Leaves, stateDir)
+
+	_, b, err := jitCompile(cfg.Program)
+	if err != nil {
+		return nil, err
+	}
+	size := b.SizeFor("small")
+	planPath := api.PathPlan + "?program=" + cfg.Program
+
+	// Shard the pusher fleet over the leaves with the same rendezvous
+	// router production uses: the key is the pusher's program identity
+	// (its name — each pusher is one VM running one program instance),
+	// so a leaf-set change would re-route only the keys that hashed to
+	// the changed leaf.
+	leafNames := make([]string, cfg.Leaves)
+	for i := range leafNames {
+		leafNames[i] = LeafHost(i)
+	}
+	shardRouter := federation.NewRouter(leafNames)
+
+	pushers := make([]*pusherActor, cfg.VMs)
+	pusherLeaf := make([]string, cfg.VMs)
+	for k := range pushers {
+		name := fmt.Sprintf("pusher-%03d", k)
+		prog, _, err := jitCompile(cfg.Program)
+		if err != nil {
+			return nil, err
+		}
+		cbs := profiler.NewCBS(profiler.Config{
+			Stride: 3, SamplesPerTick: 16,
+			Flavour: profiler.FlavourRVM, Seed: cfg.Seed + int64(k),
+		})
+		m := vm.New(prog)
+		m.SetProfiler(cbs)
+		m.SetTimer(50_000)
+		setup := prog.MethodByName("$Globals.setup")
+		iter := prog.MethodByName("$Globals.iter")
+		if setup == nil || iter == nil {
+			return nil, fmt.Errorf("%s does not follow the setup/iter protocol", cfg.Program)
+		}
+		if _, err := m.Call(setup, vm.IntV(size)); err != nil {
+			return nil, fmt.Errorf("%s setup: %w", name, err)
+		}
+		pusherLeaf[k] = shardRouter.Route(name)
+		client := &dcgstore.Client{
+			BaseURL:    "http://" + pusherLeaf[k],
+			HTTPClient: &http.Client{Transport: tf.chaos.transportFor(name, "push"), Timeout: 10 * time.Second},
+			Backoff:    time.Millisecond, MaxBackoff: 4 * time.Millisecond,
+		}
+		pushers[k] = &pusherActor{
+			name: name,
+			cbs:  cbs,
+			m:    m,
+			iter: iter,
+			push: dcgstore.NewDeltaPusherWithID(client, name),
+		}
+	}
+
+	planCk := newPlanChecker()
+	restartCk := &restartChecker{}
+
+	// Pullers poll the leaves' plan relays, spread round-robin.
+	var pullerWG sync.WaitGroup
+	outcomes := make([]pullerOutcome, cfg.Pullers)
+	for k := 0; k < cfg.Pullers; k++ {
+		name := fmt.Sprintf("puller-%02d", k)
+		pristine, _, err := jitCompile(cfg.Program)
+		if err != nil {
+			return nil, err
+		}
+		pc := plan.NewClient("http://" + LeafHost(k%cfg.Leaves))
+		pc.SetHTTPClient(&http.Client{Transport: tf.chaos.transportFor(name, "pull"), Timeout: 10 * time.Second})
+		k, name := k, name
+		pullerWG.Add(1)
+		go func() {
+			defer pullerWG.Done()
+			st, err := puller.Run(pristine, puller.Options{
+				Program: cfg.Program,
+				Size:    size,
+				Rounds:  cfg.Rounds,
+				Every:   1,
+				Iters:   1,
+				Verify:  true,
+				Client:  pc,
+				Observe: func(p *plan.Plan, swapped bool) { planCk.Observe(name, p, swapped) },
+				Logf:    cfg.Logf,
+			})
+			outcomes[k] = pullerOutcome{Name: name, Killed: st.Killed, Rounds: st.Rounds, Swaps: st.Swaps, Err: err}
+		}()
+	}
+
+	cfg.Logf("fleetsim: tree actors ready")
+	restarts := restartRounds(cfg.Rounds, cfg.Restarts)
+	restartsDone := 0
+	start := time.Now()
+	for r := 0; r < cfg.Rounds; r++ {
+		var wg sync.WaitGroup
+		errs := make([]error, len(pushers))
+		for i, a := range pushers {
+			i, a := i, a
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				errs[i] = a.round(cfg.ItersPerRound)
+			}()
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				return nil, err
+			}
+		}
+		// Relay this round's growth up the tree.
+		if err := tf.flushAll(); err != nil {
+			return nil, err
+		}
+
+		if !restarts[r] {
+			continue
+		}
+
+		// Kill one leaf at a quiesced boundary — round-robin over the
+		// leaves so a multi-restart soak exercises each. The victim is
+		// killed with its latest round UNFLUSHED: its pushers have
+		// drained into it, but the increment has not gone upstream, so
+		// the graceful shutdown's final flush (or, had this been a hard
+		// crash, the persisted write-ahead capture replayed on restart)
+		// is what keeps the fleet-wide conservation equality intact.
+		victim := restartsDone % cfg.Leaves
+		tf.chaos.enabled.Store(false)
+		for _, a := range pushers {
+			if err := a.drain(); err != nil {
+				return nil, err
+			}
+		}
+		// Flush every OTHER leaf; the victim's delta rides its shutdown.
+		for i := range tf.leaves {
+			if i == victim {
+				continue
+			}
+			if err := tf.flushLeaf(i); err != nil {
+				return nil, err
+			}
+		}
+		snapBefore, err := tf.get(tf.leaves[victim].addr, api.PathSnapshot)
+		if err != nil {
+			return nil, fmt.Errorf("pre-restart leaf snapshot: %w", err)
+		}
+		planBefore, err := tf.get(tf.leaves[victim].addr, planPath)
+		if err != nil {
+			return nil, fmt.Errorf("pre-restart leaf plan: %w", err)
+		}
+		if err := tf.stopLeaf(victim); err != nil {
+			return nil, fmt.Errorf("leaf %d shutdown (restart %d): %w", victim, restartsDone+1, err)
+		}
+		if err := tf.startLeaf(victim); err != nil {
+			return nil, fmt.Errorf("leaf %d restart %d: %w", victim, restartsDone+1, err)
+		}
+		snapAfter, err := tf.get(tf.leaves[victim].addr, api.PathSnapshot)
+		if err != nil {
+			return nil, fmt.Errorf("post-restart leaf snapshot: %w", err)
+		}
+		planAfter, err := tf.get(tf.leaves[victim].addr, planPath)
+		if err != nil {
+			return nil, fmt.Errorf("post-restart leaf plan: %w", err)
+		}
+		restartsDone++
+		restartCk.Record(restartsDone, snapBefore, snapAfter, planBefore, planAfter)
+		cfg.Logf("fleetsim: restart %d after round %d: leaf %d back at %s",
+			restartsDone, r+1, victim, tf.leaves[victim].addr)
+		tf.chaos.enabled.Store(true)
+	}
+
+	// Final drain: pushers into leaves, leaves into the root, then read
+	// the root. The conservation equality is fleet-wide: the ROOT's
+	// aggregate must equal the merge of what every PUSHER knows was
+	// acknowledged — weight crossed two exactly-once hops to get there.
+	tf.chaos.enabled.Store(false)
+	for _, a := range pushers {
+		if err := a.drain(); err != nil {
+			return nil, err
+		}
+	}
+	if err := tf.flushAll(); err != nil {
+		return nil, err
+	}
+	pullerWG.Wait()
+	elapsed := time.Since(start)
+
+	snapBytes, err := tf.get(tf.root.addr, api.PathSnapshot)
+	if err != nil {
+		return nil, fmt.Errorf("final root snapshot: %w", err)
+	}
+	snapshot, err := profile.ReadDCG(bytes.NewReader(snapBytes))
+	if err != nil {
+		return nil, fmt.Errorf("final root snapshot: %w", err)
+	}
+
+	acked := make(map[string]*profile.DCG, len(pushers))
+	ackedPushes := 0
+	for _, a := range pushers {
+		acked[a.name] = a.push.Acknowledged()
+		ackedPushes += a.push.Pushes
+	}
+
+	verdicts := []Verdict{
+		checkConservation(snapshot, acked),
+		planCk.Verdict(),
+		restartCk.Verdict(restartsDone),
+		checkDivergence(outcomes),
+	}
+
+	rep := &Report{
+		Deterministic: Deterministic{
+			Seed:          cfg.Seed,
+			Program:       cfg.Program,
+			VMs:           cfg.VMs,
+			Pullers:       cfg.Pullers,
+			Leaves:        cfg.Leaves,
+			Rounds:        cfg.Rounds,
+			ItersPerRound: cfg.ItersPerRound,
+			Faults:        cfg.Faults.String(),
+			RestartsDone:  restartsDone,
+			FaultSchedule: tf.chaos.scheduleCopy(),
+			FaultCounts:   tf.chaos.countsCopy(),
+			AckedPushes:   ackedPushes,
+			FinalEdges:    snapshot.NumEdges(),
+			FinalWeight:   snapshot.Total(),
+			Invariants:    make(map[string]bool, len(verdicts)),
+		},
+		Verdicts: verdicts,
+	}
+	for _, v := range verdicts {
+		rep.Deterministic.Invariants[v.Name] = v.Passed
+	}
+	rep.finalize()
+
+	var polls, swaps int
+	var topEpoch uint64
+	for _, o := range outcomes {
+		swaps += o.Swaps
+	}
+	planCk.mu.Lock()
+	polls = planCk.observations
+	for e := range planCk.epochHash {
+		if e > topEpoch {
+			topEpoch = e
+		}
+	}
+	planCk.mu.Unlock()
+	rep.Timing = Timing{
+		DurationMs:     float64(elapsed.Nanoseconds()) / 1e6,
+		IngestPerSec:   float64(ackedPushes) / elapsed.Seconds(),
+		PushLatency:    tf.chaos.pushLatency.Summary(),
+		PullLatency:    tf.chaos.pullLatency.Summary(),
+		PullerPolls:    polls,
+		PullerSwaps:    swaps,
+		FinalPlanEpoch: topEpoch,
+	}
+	return rep, nil
+}

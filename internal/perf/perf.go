@@ -28,7 +28,9 @@ import (
 // SchemaVersion identifies the report shape. Bump it whenever any
 // struct in this file changes shape; the schema fingerprint test
 // enforces the bump.
-const SchemaVersion = 1
+//
+// v2 added the optional FleetScale section (federated ingest scaling).
+const SchemaVersion = 2
 
 // Report is one complete perf-trajectory measurement, the top-level
 // object of a BENCH_<n>.json file.
@@ -46,6 +48,9 @@ type Report struct {
 	Overhead []OverheadRow `json:"overhead"`
 	// Ingest reports daemon ingest throughput and latency.
 	Ingest Ingest `json:"ingest"`
+	// FleetScale reports federated ingest scaling (leaf/root trees);
+	// nil in pre-v2 reports and runs that skip the measurement.
+	FleetScale *FleetScale `json:"fleet_scale,omitempty"`
 }
 
 // Meta is the provenance block of a report.
@@ -140,6 +145,36 @@ type Ingest struct {
 	LatencyMs stats.HistogramSummary `json:"latency_ms"`
 }
 
+// FleetScale reports the federated ingest-scaling measurement: the
+// same pusher load driven into aggregation trees of increasing width,
+// against the single-daemon direct-ingest baseline in Ingest.
+type FleetScale struct {
+	// BaselineReqPerSec is the single-daemon direct-ingest rate the
+	// points are scored against (same payload, same pusher count —
+	// Ingest.ReqPerSec of the same run).
+	BaselineReqPerSec float64 `json:"baseline_req_per_s"`
+	// Points holds one measurement per tree width.
+	Points []FleetScalePoint `json:"points"`
+}
+
+// FleetScalePoint is one tree width's ingest measurement.
+type FleetScalePoint struct {
+	// Leaves is the tree width (leaf daemons under one root).
+	Leaves int `json:"leaves"`
+	// Pushers is the pusher concurrency, spread across the leaves.
+	Pushers int `json:"pushers"`
+	// Requests is the total pusher→leaf ingest requests made.
+	Requests int `json:"requests"`
+	// ReqPerSec is the fleet-wide sustained pusher-side ingest rate.
+	ReqPerSec float64 `json:"req_per_s"`
+	// SpeedupVsBaseline is ReqPerSec / BaselineReqPerSec.
+	SpeedupVsBaseline float64 `json:"speedup_vs_baseline"`
+	// RootIngests is how many upstream increments the root merged to
+	// absorb all Requests — the fan-in reduction the tree buys (each
+	// leaf coalesces its whole shard's round into one stamped delta).
+	RootIngests int `json:"root_ingests"`
+}
+
 // Fingerprint renders the report schema as a canonical string: every
 // struct, field name, JSON tag, and type, in declaration order. Any
 // shape change changes this string.
@@ -186,8 +221,11 @@ func typeName(t reflect.Type) string {
 // version is one this build understands, every rate is finite and
 // positive, and the aggregate blocks are present.
 func (r *Report) Validate() error {
-	if r.Schema != SchemaVersion {
-		return fmt.Errorf("report schema %d, this build reads %d", r.Schema, SchemaVersion)
+	// Older schemas stay readable: v1 reports are a strict subset of
+	// v2 (FleetScale is optional), and the perf gate must keep
+	// accepting the checked-in v1 baseline.
+	if r.Schema < 1 || r.Schema > SchemaVersion {
+		return fmt.Errorf("report schema %d, this build reads 1..%d", r.Schema, SchemaVersion)
 	}
 	if r.Meta.Commit == "" || r.Meta.GoVersion == "" || r.Meta.Input == "" {
 		return fmt.Errorf("incomplete meta block: %+v", r.Meta)

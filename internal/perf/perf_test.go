@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/json"
 	"flag"
+	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
@@ -52,6 +53,14 @@ func sampleReport() *Report {
 				Count: 240, Min: 0.05, Mean: 0.4, P50: 0.3, P90: 0.8, P99: 1.5, Max: 2.25,
 			},
 		},
+		FleetScale: &FleetScale{
+			BaselineReqPerSec: 12345.6,
+			Points: []FleetScalePoint{
+				{Leaves: 1, Pushers: 8, Requests: 240, ReqPerSec: 11000, SpeedupVsBaseline: 0.89, RootIngests: 1},
+				{Leaves: 4, Pushers: 8, Requests: 240, ReqPerSec: 13000, SpeedupVsBaseline: 1.05, RootIngests: 4},
+				{Leaves: 16, Pushers: 16, Requests: 480, ReqPerSec: 14000, SpeedupVsBaseline: 1.13, RootIngests: 16},
+			},
+		},
 	}
 }
 
@@ -67,7 +76,7 @@ func TestGoldenJSON(t *testing.T) {
 		t.Fatal(err)
 	}
 	data = append(data, '\n')
-	golden := filepath.Join("testdata", "bench_schema_v1.golden.json")
+	golden := filepath.Join("testdata", fmt.Sprintf("bench_schema_v%d.golden.json", SchemaVersion))
 	if *update {
 		if err := os.MkdirAll("testdata", 0o755); err != nil {
 			t.Fatal(err)
@@ -98,6 +107,15 @@ var fingerprints = map[int]string{
 		"OverheadRow{name:Name:string;exhaustive_pct:ExhaustivePct:float64;cbs_pct:CBSPct:float64;adaptive_pct:AdaptivePct:float64;}" +
 		"Ingest{requests:Requests:int;pushers:Pushers:int;edges_per_request:EdgesPerRequest:int;req_per_s:ReqPerSec:float64;latency_ms:LatencyMs:stats.HistogramSummary;}" +
 		"HistogramSummary{count:Count:int;min:Min:float64;mean:Mean:float64;p50:P50:float64;p90:P90:float64;p99:P99:float64;max:Max:float64;}",
+	2: "Report{schema:Schema:int;meta:Meta:perf.Meta;interpreter:Interpreter:[]perf.BenchRate;summary:Summary:perf.Summary;overhead:Overhead:[]perf.OverheadRow;ingest:Ingest:perf.Ingest;fleet_scale,omitempty:FleetScale:*perf.FleetScale;}" +
+		"Meta{commit:Commit:string;go_version:GoVersion:string;input:Input:string;seeds:Seeds:[]int64;timer_period:TimerPeriod:uint64;quick:Quick:bool;}" +
+		"BenchRate{name:Name:string;cycles:Cycles:uint64;mcyc_per_s:McycPerSec:float64;fused_mcyc_per_s:FusedMcycPerSec:float64;fused_speedup_pct:FusedSpeedupPct:float64;dispatch_bound:DispatchBound:bool;}" +
+		"Summary{geomean_mcyc_per_s:GeomeanMcycPerSec:float64;geomean_fused_mcyc_per_s:GeomeanFusedMcycPerSec:float64;fused_speedup_pct:FusedSpeedupPct:float64;dispatch_bound_fused_speedup_pct:DispatchBoundFusedSpeedupPct:float64;harness_mcyc_per_s:HarnessMcycPerSec:float64;harness_mcyc:HarnessMcyc:float64;}" +
+		"OverheadRow{name:Name:string;exhaustive_pct:ExhaustivePct:float64;cbs_pct:CBSPct:float64;adaptive_pct:AdaptivePct:float64;}" +
+		"Ingest{requests:Requests:int;pushers:Pushers:int;edges_per_request:EdgesPerRequest:int;req_per_s:ReqPerSec:float64;latency_ms:LatencyMs:stats.HistogramSummary;}" +
+		"HistogramSummary{count:Count:int;min:Min:float64;mean:Mean:float64;p50:P50:float64;p90:P90:float64;p99:P99:float64;max:Max:float64;}" +
+		"FleetScale{baseline_req_per_s:BaselineReqPerSec:float64;points:Points:[]perf.FleetScalePoint;}" +
+		"FleetScalePoint{leaves:Leaves:int;pushers:Pushers:int;requests:Requests:int;req_per_s:ReqPerSec:float64;speedup_vs_baseline:SpeedupVsBaseline:float64;root_ingests:RootIngests:int;}",
 }
 
 func TestSchemaFingerprint(t *testing.T) {

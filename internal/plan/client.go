@@ -1,20 +1,22 @@
 package plan
 
 import (
+	"bytes"
 	"fmt"
-	"io"
 	"net/http"
-	"net/url"
 	"time"
+
+	"gocbs/internal/api"
 )
 
-// Client pulls plans from a cbsd daemon's /plan endpoint, using ETag
+// Client pulls plans from a cbsd daemon's plan endpoint, using ETag
 // conditional requests so an idle fleet costs the daemon one cheap 304
-// per poll instead of a recompile-and-retransmit.
+// per poll instead of a recompile-and-retransmit. The HTTP mechanics
+// (paths, headers, error decoding) live in internal/api; this wrapper
+// owns the per-program ETag/plan cache and the wire decoding.
 type Client struct {
-	baseURL string
-	httpc   *http.Client
-	state   map[string]*clientState
+	api   *api.Client
+	state map[string]*clientState
 }
 
 type clientState struct {
@@ -24,11 +26,16 @@ type clientState struct {
 
 // NewClient returns a plan puller for the daemon at baseURL. The
 // client is not safe for concurrent use; each pulling VM owns one.
+// In-client retries are disabled: the pull loop polls every few rounds
+// anyway, so a failed poll is cheaper to skip than to block on.
 func NewClient(baseURL string) *Client {
 	return &Client{
-		baseURL: baseURL,
-		httpc:   &http.Client{Timeout: 30 * time.Second},
-		state:   make(map[string]*clientState),
+		api: &api.Client{
+			BaseURL:    baseURL,
+			HTTPClient: &http.Client{Timeout: 30 * time.Second},
+			Retries:    -1,
+		},
+		state: make(map[string]*clientState),
 	}
 }
 
@@ -37,7 +44,7 @@ func NewClient(baseURL string) *Client {
 // fault-injecting transport; production callers keep the default.
 func (c *Client) SetHTTPClient(hc *http.Client) {
 	if hc != nil {
-		c.httpc = hc
+		c.api.HTTPClient = hc
 	}
 }
 
@@ -45,40 +52,27 @@ func (c *Client) SetHTTPClient(hc *http.Client) {
 // changed since this client's previous fetch. A 304 Not Modified
 // returns the cached plan with changed=false.
 func (c *Client) Fetch(program string) (p *Plan, changed bool, err error) {
-	req, err := http.NewRequest(http.MethodGet,
-		c.baseURL+"/plan?program="+url.QueryEscape(program), nil)
-	if err != nil {
-		return nil, false, err
-	}
 	st := c.state[program]
-	if st != nil && st.etag != "" {
-		req.Header.Set("If-None-Match", st.etag)
+	var etag string
+	if st != nil {
+		etag = st.etag
 	}
-	resp, err := c.httpc.Do(req)
+	res, err := c.api.GetPlan(program, etag)
 	if err != nil {
 		return nil, false, err
 	}
-	defer func() {
-		io.Copy(io.Discard, resp.Body)
-		resp.Body.Close()
-	}()
-	switch resp.StatusCode {
-	case http.StatusNotModified:
+	if res.NotModified {
 		if st == nil || st.plan == nil {
 			return nil, false, fmt.Errorf("plan fetch %s: 304 without a cached plan", program)
 		}
 		return st.plan, false, nil
-	case http.StatusOK:
-		got, err := ReadPlan(resp.Body)
-		if err != nil {
-			return nil, false, fmt.Errorf("plan fetch %s: %w", program, err)
-		}
-		changed := st == nil || st.plan == nil ||
-			st.plan.Epoch != got.Epoch || st.plan.Hash != got.Hash
-		c.state[program] = &clientState{etag: resp.Header.Get("ETag"), plan: got}
-		return got, changed, nil
-	default:
-		body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
-		return nil, false, fmt.Errorf("plan fetch %s: %s: %s", program, resp.Status, body)
 	}
+	got, err := ReadPlan(bytes.NewReader(res.Body))
+	if err != nil {
+		return nil, false, fmt.Errorf("plan fetch %s: %w", program, err)
+	}
+	changed = st == nil || st.plan == nil ||
+		st.plan.Epoch != got.Epoch || st.plan.Hash != got.Hash
+	c.state[program] = &clientState{etag: res.ETag, plan: got}
+	return got, changed, nil
 }

@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 	"testing"
 
+	"gocbs/internal/api"
 	"gocbs/internal/bench"
 	"gocbs/internal/bytecode"
 	"gocbs/internal/inline"
@@ -55,7 +56,7 @@ func planServer(t *testing.T, p *plan.Plan) (*httptest.Server, *atomic.Uint64, *
 	var requests, notModified atomic.Uint64
 	etag := "\"plan-" + strconv.FormatUint(p.Epoch, 10) + "-" + strconv.FormatUint(p.Hash, 16) + "\""
 	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		if r.URL.Path != "/plan" {
+		if r.URL.Path != api.PathPlan {
 			http.NotFound(w, r)
 			return
 		}
