@@ -37,6 +37,8 @@ const (
 	// PathOverlap scores an uploaded reference DCG against the store
 	// with the paper's overlap metric. A read — the store is not
 	// mutated — so it is GET with a body, like Elasticsearch's _search.
+	// POST is also accepted (the only method the pre-versioning handler
+	// took) for the one release the legacy aliases live.
 	PathOverlap = "/v1/overlap"
 	// PathDecay runs one decay epoch (POST ?factor=&prune=).
 	PathDecay = "/v1/decay"
@@ -102,4 +104,7 @@ const (
 	CodeTooLarge         = "too_large"
 	CodeInternal         = "internal"
 	CodeUpstream         = "upstream_unavailable"
+	// CodeCapacity marks a request refused because a bounded server-side
+	// ledger (e.g. the leaf registry) is full; retry later.
+	CodeCapacity = "capacity"
 )

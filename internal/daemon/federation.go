@@ -89,7 +89,15 @@ func (f *fedState) handleRegister(w http.ResponseWriter, r *http.Request) {
 			"bad leaf id: need 1-128 chars of [A-Za-z0-9._:-]")
 		return
 	}
-	n := f.registry.Register(st)
+	n, ok := f.registry.Register(st)
+	if !ok {
+		// The registry is advisory and bounded; refusing a registration
+		// costs bookkeeping, not correctness, and 503 tells the leaf's
+		// best-effort heartbeat loop to simply try again later.
+		api.WriteErrorf(w, http.StatusServiceUnavailable, api.CodeCapacity,
+			"leaf registry full (%d entries)", n)
+		return
+	}
 	writeJSONStatic(w, api.RegisterResponse{Registered: true, Leaves: n})
 }
 
@@ -149,20 +157,32 @@ func newPlanRelay(upstream *api.Client) *planRelay {
 // is served stale; with no cache the request fails with
 // errRelayUnavailable. A root 404 (unknown program) is relayed as
 // plan.ErrUnknownProgram so the endpoint keeps its status mapping.
+//
+// The mutex guards only the cache map and counters, never the upstream
+// round trip — holding it across GetPlan (up to the client timeout)
+// would serialize every downstream plan request behind one slow root
+// call and stall ServedStale/Counters/Stats, i.e. the whole plan
+// surface and /metrics. Concurrent refreshes of the same program may
+// each pay a round trip; the last response wins the cache slot, which
+// is safe because plan bodies are immutable per ETag.
 func (rl *planRelay) PlanFor(program string) (*plan.Plan, error) {
 	rl.mu.Lock()
-	defer rl.mu.Unlock()
-	e := rl.entries[program]
 	var etag string
-	if e != nil {
+	if e := rl.entries[program]; e != nil {
 		etag = e.etag
 	}
 	rl.refreshes++
-	res, err := rl.upstream.GetPlan(program, etag)
-	if err != nil {
+	rl.mu.Unlock()
+
+	res, upErr := rl.upstream.GetPlan(program, etag)
+
+	rl.mu.Lock()
+	defer rl.mu.Unlock()
+	e := rl.entries[program]
+	if upErr != nil {
 		rl.errors++
 		var he *api.HTTPError
-		if errors.As(err, &he) && he.Status == http.StatusNotFound {
+		if errors.As(upErr, &he) && he.Status == http.StatusNotFound {
 			// The root does not know the program; a stale cache would
 			// be wrong, not resilient.
 			return nil, fmt.Errorf("%w (relayed from root)", plan.ErrUnknownProgram)
@@ -172,7 +192,7 @@ func (rl *planRelay) PlanFor(program string) (*plan.Plan, error) {
 			rl.staleServe++
 			return e.plan, nil
 		}
-		return nil, fmt.Errorf("%w: %v", errRelayUnavailable, err)
+		return nil, fmt.Errorf("%w: %v", errRelayUnavailable, upErr)
 	}
 	if res.NotModified {
 		rl.notMod++

@@ -115,7 +115,7 @@ func (s *server) handler() http.Handler {
 	route(api.PathSnapshot, getOnly(s.handleSnapshot))
 	route(api.PathTop, getOnly(s.handleTop))
 	route(api.PathSite, getOnly(s.handleSite))
-	route(api.PathOverlap, getOnly(s.handleOverlap))
+	route(api.PathOverlap, getOrDeprecatedPost(s.handleOverlap))
 	route(api.PathDecay, postOnly(s.handleDecay))
 	route(api.PathPlan, getOnly(s.handlePlan))
 	route(api.PathMetrics, getOnly(s.handleMetrics))
@@ -137,6 +137,24 @@ func getOnly(h http.HandlerFunc) http.HandlerFunc {
 			return
 		}
 		h(w, r)
+	}
+}
+
+// getOrDeprecatedPost is the overlap route's guard: GET (and HEAD) is
+// the documented method — the reference profile rides in the request
+// body like a search — but the pre-versioning handler required POST,
+// so existing clients POST /overlap. POST stays accepted on both the
+// v1 route and the legacy alias for the same one release the aliases
+// live, then this guard collapses to getOnly. Other methods get the
+// enveloped 405 advertising the methods that work today.
+func getOrDeprecatedPost(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		switch r.Method {
+		case http.MethodGet, http.MethodHead, http.MethodPost:
+			h(w, r)
+		default:
+			api.WriteMethodNotAllowed(w, "GET, POST")
+		}
 	}
 }
 
@@ -309,7 +327,8 @@ func (s *server) handleSite(w http.ResponseWriter, r *http.Request) {
 // handleOverlap scores the store's snapshot against an uploaded
 // reference DCG with the paper's overlap metric. A read — the store is
 // untouched — so the route is GET (with a request body, like a
-// search), guarded by the mux.
+// search); POST is still accepted for pre-versioning clients until the
+// legacy aliases drop (see getOrDeprecatedPost).
 func (s *server) handleOverlap(w http.ResponseWriter, r *http.Request) {
 	ref, ok := s.readProfileBody(w, r)
 	if !ok {

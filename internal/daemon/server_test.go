@@ -362,11 +362,10 @@ func TestTopClampsHugeK(t *testing.T) {
 }
 
 // TestReadEndpointsRejectNonGET covers the method hardening on the
-// read-only surface: /overlap is a read (the reference profile rides
-// in a GET body), so POSTing it is a 405 like the rest.
+// read-only surface: POSTing a pure read is a 405 with the envelope.
 func TestReadEndpointsRejectNonGET(t *testing.T) {
 	ts, _ := newTestDaemon(t)
-	for _, path := range []string{api.PathSnapshot, api.PathTop, api.PathSite + "?id=1", api.PathMetrics, api.PathHealthz, api.PathOverlap} {
+	for _, path := range []string{api.PathSnapshot, api.PathTop, api.PathSite + "?id=1", api.PathMetrics, api.PathHealthz} {
 		resp, err := http.Post(ts.URL+path, "text/plain", strings.NewReader("x"))
 		if err != nil {
 			t.Fatal(err)
@@ -381,6 +380,54 @@ func TestReadEndpointsRejectNonGET(t *testing.T) {
 		if m["code"] != "method_not_allowed" {
 			t.Errorf("POST %s envelope code %v, want method_not_allowed", path, m["code"])
 		}
+	}
+}
+
+// TestOverlapAcceptsGetAndLegacyPost: /overlap is documented as GET,
+// but the pre-versioning handler required POST, so POST must keep
+// working — on the legacy alias AND the v1 route — for the deprecation
+// release the aliases live. Anything else is a 405 advertising both.
+func TestOverlapAcceptsGetAndLegacyPost(t *testing.T) {
+	ts, _ := newTestDaemon(t)
+	g := profile.NewDCG()
+	g.AddSample(edge(1, 2, 3), 4)
+	postProfile(t, ts.URL+api.PathIngest, g).Body.Close()
+
+	// The unversioned path comes from the alias table — the only place
+	// it exists as a string.
+	var legacyOverlap string
+	for legacy, v1 := range api.LegacyAliases {
+		if v1 == api.PathOverlap {
+			legacyOverlap = legacy
+		}
+	}
+	for _, path := range []string{api.PathOverlap, legacyOverlap} {
+		for _, send := range []func(*testing.T, string, *profile.DCG) *http.Response{getProfile, postProfile} {
+			resp := send(t, ts.URL+path, g)
+			if resp.StatusCode != http.StatusOK {
+				t.Fatalf("%s overlap status %s", path, resp.Status)
+			}
+			m := decodeJSON(t, resp)
+			if ov := m["overlap"].(float64); ov < 99.999 {
+				t.Errorf("%s self overlap = %v, want 100", path, ov)
+			}
+		}
+
+		req, err := http.NewRequest(http.MethodDelete, ts.URL+path, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusMethodNotAllowed {
+			t.Errorf("DELETE %s status %d, want 405", path, resp.StatusCode)
+		}
+		if allow := resp.Header.Get("Allow"); allow != "GET, POST" {
+			t.Errorf("DELETE %s Allow header %q, want \"GET, POST\"", path, allow)
+		}
+		resp.Body.Close()
 	}
 }
 

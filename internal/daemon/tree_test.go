@@ -5,11 +5,13 @@ import (
 	"encoding/json"
 	"io"
 	"net/http"
+	"net/http/httptest"
 	"testing"
 	"time"
 
 	"gocbs/internal/api"
 	"gocbs/internal/dcgstore"
+	"gocbs/internal/plan"
 	"gocbs/internal/profile"
 )
 
@@ -166,6 +168,69 @@ func TestLeafForwardsToRoot(t *testing.T) {
 		if err := <-done; err != nil {
 			t.Fatalf("daemon exited with %v", err)
 		}
+	}
+}
+
+// TestPlanRelayDoesNotSerializeAcrossPrograms pins the relay's locking
+// contract: the mutex covers only the cache map and counters, not the
+// upstream round trip. One program whose root call is parked must not
+// block another program's plan request, nor the ServedStale/Counters/
+// Stats calls the plan handler and /metrics make.
+func TestPlanRelayDoesNotSerializeAcrossPrograms(t *testing.T) {
+	slowEntered := make(chan struct{})
+	release := make(chan struct{})
+	root := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		program := r.URL.Query().Get("program")
+		if program == "slow" {
+			close(slowEntered)
+			<-release
+		}
+		p := &plan.Plan{Program: program, Policy: "new-linear", Epoch: 1}
+		p.Hash = p.ContentHash()
+		w.Header().Set("ETag", planETag(p))
+		p.WriteTo(w)
+	}))
+	defer root.Close()
+
+	rl := newPlanRelay(api.NewClient(root.URL))
+	slowDone := make(chan error, 1)
+	go func() {
+		_, err := rl.PlanFor("slow")
+		slowDone <- err
+	}()
+	<-slowEntered
+
+	// With "slow" parked inside its upstream call, another program's
+	// request and the metrics surface must both complete.
+	fastDone := make(chan error, 1)
+	go func() {
+		_, err := rl.PlanFor("fast")
+		fastDone <- err
+	}()
+	select {
+	case err := <-fastDone:
+		if err != nil {
+			t.Fatalf("PlanFor(fast): %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("PlanFor(fast) blocked behind the slow program's upstream round trip")
+	}
+	statsDone := make(chan struct{})
+	go func() {
+		rl.ServedStale("fast")
+		rl.Counters()
+		rl.Stats()
+		close(statsDone)
+	}()
+	select {
+	case <-statsDone:
+	case <-time.After(5 * time.Second):
+		t.Fatal("relay metrics blocked behind the slow program's upstream round trip")
+	}
+
+	close(release)
+	if err := <-slowDone; err != nil {
+		t.Fatalf("PlanFor(slow): %v", err)
 	}
 }
 

@@ -6,10 +6,12 @@ import (
 	"math/rand"
 	"net/http"
 	"net/http/httptest"
+	"os"
 	"path/filepath"
 	"strconv"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"gocbs/internal/api"
 	"gocbs/internal/dcgstore"
@@ -316,6 +318,76 @@ func TestForwarderRestartExactness(t *testing.T) {
 	}
 }
 
+// TestForwarderPersistFailureConservesWeight: a capture whose
+// write-ahead persist fails is rolled back to the PRIOR baseline, so
+// the next flush re-captures the same delta — not the whole store. The
+// regression this pins: rolling back to a nil baseline made the next
+// flush send the full snapshot under a new seq, re-counting weight the
+// root had already acknowledged under earlier sequence numbers.
+func TestForwarderPersistFailureConservesWeight(t *testing.T) {
+	root := newRootServer()
+	ts := httptest.NewServer(root.handler(t))
+	defer ts.Close()
+
+	stateDir := filepath.Join(t.TempDir(), "state")
+	if err := os.MkdirAll(stateDir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	store := dcgstore.New(4)
+	fwd, err := NewForwarder(ForwarderConfig{
+		ID:        "leaf-0",
+		Upstream:  fastUpstream(ts.URL),
+		Source:    store.Snapshot,
+		StatePath: filepath.Join(stateDir, "fwd-state.json"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Seq 1 forwards and acks 10 weight.
+	g1 := profile.NewDCG()
+	g1.AddSample(edge(1, 2, 3), 10)
+	store.MergeDCGFrom("vm-1", 1, g1)
+	if resp, err := fwd.Flush(); err != nil || !resp.Forwarded || resp.Seq != 1 {
+		t.Fatalf("first flush: resp=%+v err=%v", resp, err)
+	}
+
+	// The store grows by 5, and persisting the next capture fails (the
+	// state directory is gone, so the temp-file create fails).
+	g2 := profile.NewDCG()
+	g2.AddSample(edge(1, 2, 3), 5)
+	store.MergeDCGFrom("vm-1", 2, g2)
+	if err := os.RemoveAll(stateDir); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fwd.Flush(); err == nil {
+		t.Fatal("flush with a failing persist must error")
+	}
+	if p := fwd.Pending(); p != 0 {
+		t.Fatalf("rolled-back capture left %d pending, want 0", p)
+	}
+
+	// Persistence recovers; the next flush must forward ONLY the 5-unit
+	// delta (as seq 2), never re-send the acknowledged 10.
+	if err := os.MkdirAll(stateDir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := fwd.Flush()
+	if err != nil || !resp.Forwarded || resp.Seq != 2 {
+		t.Fatalf("recovery flush: resp=%+v err=%v", resp, err)
+	}
+	if resp.Weight != 5 {
+		t.Errorf("recovery flush captured %v weight, want exactly the 5-unit delta", resp.Weight)
+	}
+	mustEqualDCG(t, "root vs leaf store", root.store.Snapshot(), store.Snapshot())
+	if got, want := root.store.Snapshot().Total(), store.Snapshot().Total(); got != want {
+		t.Errorf("root holds %v weight, leaf holds %v — conservation violated", got, want)
+	}
+	if d := root.store.Stats().Duplicates; d != 0 {
+		t.Errorf("root saw %d duplicates, want 0", d)
+	}
+}
+
 // TestForwarderTransientUpstreamFailure: a 500 from the root keeps the
 // increment pending (nothing applied), and the next flush delivers it
 // plus newer weight without gaps.
@@ -357,18 +429,59 @@ func TestForwarderTransientUpstreamFailure(t *testing.T) {
 
 func TestRegistryUpsertAndList(t *testing.T) {
 	r := NewRegistry()
-	if n := r.Register(api.LeafStatus{ID: "leaf-1", Seq: 1}); n != 1 {
-		t.Fatalf("count = %d", n)
+	if n, ok := r.Register(api.LeafStatus{ID: "leaf-1", Seq: 1}); n != 1 || !ok {
+		t.Fatalf("count = %d ok = %v", n, ok)
 	}
-	if n := r.Register(api.LeafStatus{ID: "leaf-0", Seq: 2}); n != 2 {
-		t.Fatalf("count = %d", n)
+	if n, ok := r.Register(api.LeafStatus{ID: "leaf-0", Seq: 2}); n != 2 || !ok {
+		t.Fatalf("count = %d ok = %v", n, ok)
 	}
 	// Heartbeat: same ID upserts, count unchanged.
-	if n := r.Register(api.LeafStatus{ID: "leaf-1", Seq: 9}); n != 2 {
-		t.Fatalf("upsert count = %d", n)
+	if n, ok := r.Register(api.LeafStatus{ID: "leaf-1", Seq: 9}); n != 2 || !ok {
+		t.Fatalf("upsert count = %d ok = %v", n, ok)
 	}
 	ls := r.List()
 	if len(ls) != 2 || ls[0].ID != "leaf-0" || ls[1].ID != "leaf-1" || ls[1].Seq != 9 {
 		t.Fatalf("list = %+v", ls)
+	}
+}
+
+// TestRegistryCapAndExpiry: registration is an unauthenticated upsert,
+// so the registry must bound itself — a flood of distinct IDs stops at
+// MaxLeaves, heartbeats from known leaves still land at capacity, and
+// entries that stop heartbeating age out to make room.
+func TestRegistryCapAndExpiry(t *testing.T) {
+	now := time.Unix(1_700_000_000, 0)
+	r := NewRegistry()
+	r.now = func() time.Time { return now }
+
+	for i := 0; i < MaxLeaves; i++ {
+		if _, ok := r.Register(api.LeafStatus{ID: fmt.Sprintf("leaf-%04d", i)}); !ok {
+			t.Fatalf("registration %d refused below the cap", i)
+		}
+	}
+	if n, ok := r.Register(api.LeafStatus{ID: "attacker-0"}); ok {
+		t.Fatalf("registration beyond MaxLeaves accepted (count %d)", n)
+	}
+	if r.Len() != MaxLeaves {
+		t.Fatalf("len = %d, want %d", r.Len(), MaxLeaves)
+	}
+	// A known leaf's heartbeat still lands at capacity.
+	if _, ok := r.Register(api.LeafStatus{ID: "leaf-0000", Seq: 7}); !ok {
+		t.Fatal("heartbeat from a known leaf refused at capacity")
+	}
+
+	// Everything except leaf-0000 (re-heartbeated below) goes quiet past
+	// the TTL; a fresh leaf then evicts the stale entries and registers.
+	now = now.Add(LeafTTL / 2)
+	if _, ok := r.Register(api.LeafStatus{ID: "leaf-0000", Seq: 8}); !ok {
+		t.Fatal("mid-TTL heartbeat refused")
+	}
+	now = now.Add(LeafTTL/2 + time.Second)
+	if n, ok := r.Register(api.LeafStatus{ID: "leaf-new"}); !ok || n != 2 {
+		t.Fatalf("post-expiry registration: count = %d ok = %v, want 2 live leaves", n, ok)
+	}
+	ls := r.List()
+	if len(ls) != 2 || ls[0].ID != "leaf-0000" || ls[1].ID != "leaf-new" {
+		t.Fatalf("post-expiry list = %+v", ls)
 	}
 }

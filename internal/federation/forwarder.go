@@ -145,6 +145,7 @@ func (f *Forwarder) Flush() (api.FlushResponse, error) {
 	cur := f.source()
 	delta := cur.DeltaSince(f.last)
 	if delta.NumEdges() > 0 {
+		prev := f.last
 		f.seq++
 		f.pending = append(f.pending, stampedDelta{seq: f.seq, delta: delta})
 		f.last = cur.Clone()
@@ -154,11 +155,15 @@ func (f *Forwarder) Flush() (api.FlushResponse, error) {
 		// attempt, or a crash after a successful push would re-capture
 		// and double-send this weight under a new stamp.
 		if err := f.persistLocked(); err != nil {
-			// Roll the capture back; the weight stays in the store
-			// snapshot for the next flush.
+			// Roll the capture back to the PRIOR baseline, so the next
+			// flush re-captures exactly this delta (plus anything newer)
+			// under the same seq. Resetting the baseline to nil instead
+			// would re-capture the whole store — weight the root already
+			// acknowledged under earlier seqs, double-counted under a
+			// fresh stamp.
 			f.pending = f.pending[:len(f.pending)-1]
 			f.seq--
-			f.last = nil // force a full re-capture baseline next flush
+			f.last = prev
 			f.errs++
 			return resp, fmt.Errorf("federation: persist capture: %w", err)
 		}

@@ -3,47 +3,94 @@ package federation
 import (
 	"sort"
 	"sync"
+	"time"
 
 	"gocbs/internal/api"
 )
+
+// MaxLeaves caps how many leaves a registry holds. Registration is an
+// unauthenticated upsert served by every daemon, so without a cap a
+// client minting distinct IDs could grow the map — and the memory
+// behind it — without bound. Far above any real tree fan-in.
+const MaxLeaves = 1024
+
+// LeafTTL is how long a leaf entry stays fresh without a heartbeat.
+// Entries older than this are evicted (lazily, when the registry is
+// full and needs room, and on List) — they are dead leaves or garbage,
+// not members of the tree.
+const LeafTTL = 15 * time.Minute
 
 // Registry is the root daemon's leaf ledger: which leaves exist, where
 // they live, and how far their forwarded sequence streams have
 // progressed. Registration is an upsert keyed by the leaf's upstream
 // pusher identity — a leaf heartbeats the same body it registered
 // with, so a restarted leaf that resumed its persisted sequence stream
-// simply overwrites its previous entry.
+// simply overwrites its previous entry. The ledger is advisory: the
+// delta protocol, not the registry, carries correctness, so bounding
+// it (MaxLeaves, LeafTTL) loses nothing but stale bookkeeping.
 type Registry struct {
 	mu     sync.Mutex
-	leaves map[string]api.LeafStatus
+	leaves map[string]leafEntry
+	// now is the clock, swappable by tests.
+	now func() time.Time
+}
+
+// leafEntry pairs a leaf's last heartbeat body with when it arrived.
+type leafEntry struct {
+	status api.LeafStatus
+	seen   time.Time
 }
 
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry {
-	return &Registry{leaves: make(map[string]api.LeafStatus)}
+	return &Registry{leaves: make(map[string]leafEntry), now: time.Now}
 }
 
-// Register upserts a leaf and returns the registered-leaf count.
-func (r *Registry) Register(st api.LeafStatus) int {
+// Register upserts a leaf and returns the registered-leaf count. A new
+// leaf arriving at a full registry first evicts entries whose last
+// heartbeat is older than LeafTTL; if the registry is still full, the
+// registration is refused (ok=false) — heartbeats from known leaves
+// always land.
+func (r *Registry) Register(st api.LeafStatus) (n int, ok bool) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	r.leaves[st.ID] = st
-	return len(r.leaves)
+	if _, known := r.leaves[st.ID]; !known && len(r.leaves) >= MaxLeaves {
+		r.evictStaleLocked()
+		if len(r.leaves) >= MaxLeaves {
+			return len(r.leaves), false
+		}
+	}
+	r.leaves[st.ID] = leafEntry{status: st, seen: r.now()}
+	return len(r.leaves), true
 }
 
-// List returns the registered leaves sorted by ID.
+// evictStaleLocked drops every entry whose last heartbeat is older
+// than LeafTTL.
+func (r *Registry) evictStaleLocked() {
+	cutoff := r.now().Add(-LeafTTL)
+	for id, e := range r.leaves {
+		if e.seen.Before(cutoff) {
+			delete(r.leaves, id)
+		}
+	}
+}
+
+// List returns the live (heartbeat within LeafTTL) leaves sorted by
+// ID, evicting the stale ones it passes over.
 func (r *Registry) List() []api.LeafStatus {
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	r.evictStaleLocked()
 	out := make([]api.LeafStatus, 0, len(r.leaves))
-	for _, st := range r.leaves {
-		out = append(out, st)
+	for _, e := range r.leaves {
+		out = append(out, e.status)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
 	return out
 }
 
-// Len returns the registered-leaf count.
+// Len returns the registered-leaf count (stale entries included until
+// something evicts them).
 func (r *Registry) Len() int {
 	r.mu.Lock()
 	defer r.mu.Unlock()
