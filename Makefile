@@ -10,7 +10,7 @@ CMDS := ./cmd/cbsbench ./cmd/cbsd ./cmd/cbsload ./cmd/cbsvm ./cmd/dcgdiff ./cmd/
 FLEET_SEED ?= 1
 SOAK_SEED ?= 0
 
-.PHONY: all tier1 build build-cmds test test-race test-daemon test-recovery test-plan test-fleet test-federation soak vet vet-cmds ci bench bench-smoke bench-baseline
+.PHONY: all tier1 build build-cmds test test-race test-daemon test-recovery test-plan test-fleet test-federation test-upgrade soak vet vet-cmds ci bench bench-smoke bench-baseline
 
 all: tier1
 
@@ -33,7 +33,7 @@ build-cmds:
 # service's version-cached compilation, the in-process daemon, the
 # pulling VM, and the chaos fleet simulator.
 test-race:
-	$(GO) test -race ./internal/runner/... ./internal/experiment/... ./internal/profiler/... ./internal/dcgstore/... ./internal/inline/... ./internal/plan/... ./internal/daemon/... ./internal/puller/... ./internal/fleetsim/... ./internal/federation/... ./internal/api/...
+	$(GO) test -race ./internal/runner/... ./internal/experiment/... ./internal/profiler/... ./internal/bytecode/... ./internal/dcgstore/... ./internal/inline/... ./internal/plan/... ./internal/daemon/... ./internal/puller/... ./internal/fleetsim/... ./internal/federation/... ./internal/api/...
 
 # The cbsd aggregation daemon's httptest-based endpoint tests, the
 # hostile-pusher fuzz corpus, and the runner-driven multi-pusher
@@ -80,6 +80,17 @@ test-federation:
 	$(GO) test -run 'TestLeafForwardsToRoot|TestTree' ./internal/daemon/... ./internal/fleetsim/...
 	$(GO) run ./cmd/cbsload -vms 16 -leaves 4 -rounds 4 -seed $(FLEET_SEED) -faults all -restarts 2
 
+# The version-identity loop end to end: the minimal-upgrade property
+# (one method fingerprint moves, no site moves), then the rolling
+# upgrade — half the fleet flips to a modified build mid-run, and the
+# harness checks weight conservation per version (v2's including the
+# carried-forward baseline), restart byte-identity for both builds,
+# monotone non-flapping plan epochs within each version, zero
+# cross-version plans observed, and a misrouted probe refusing v1
+# plans while running v2.
+test-upgrade:
+	$(GO) test -run 'TestRollingUpgrade|TestUpgradeProgram' -v ./internal/fleetsim/...
+
 # A bigger randomized soak for hunting; cbsload prints the chosen seed
 # up front and repeats it on failure, so any hit replays with
 # `make soak SOAK_SEED=<seed>`.
@@ -94,7 +105,7 @@ vet:
 vet-cmds:
 	$(GO) vet ./cmd/...
 
-ci: tier1 vet vet-cmds build-cmds test-daemon test-plan test-race test-recovery test-fleet test-federation
+ci: tier1 vet vet-cmds build-cmds test-daemon test-plan test-race test-recovery test-fleet test-upgrade test-federation
 
 bench:
 	$(GO) test -bench=. -benchtime=1x -run=^$$ ./...

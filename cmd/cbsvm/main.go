@@ -25,6 +25,7 @@ import (
 	"fmt"
 	"os"
 
+	"gocbs/internal/api"
 	"gocbs/internal/bench"
 	"gocbs/internal/bytecode"
 	"gocbs/internal/dcgstore"
@@ -187,6 +188,19 @@ func main() {
 		client := dcgstore.NewClient(*pushURL)
 		client.Retries = *pushRetries
 		client.Backoff = *pushBackoff
+		if *benchName != "" {
+			// Suite benchmarks have a fleet-wide canonical identity:
+			// stamp every push with (name, content version) so the daemon
+			// aggregates this build into its own ledger, and register the
+			// method/site manifest so carry-forward has fingerprints to
+			// match against. Ad-hoc -file programs stay unstamped (legacy
+			// default ledger). Manifest registration is best-effort: an
+			// old daemon 404s, and the keyed pushes still merge.
+			client.Key = api.ProgramKey{Program: *benchName, Version: prog.Version()}
+			if _, err := client.RegisterManifest(prog.BuildManifest(*benchName)); err != nil {
+				fmt.Fprintf(os.Stderr, "manifest registration skipped: %v\n", err)
+			}
+		}
 		push = dcgstore.NewTickPusher(client, graph, *pushEvery)
 		push.GiveUpAfter = *pushGiveUp
 		m.SetProfiler(profiler.Combine(mainProf, push))

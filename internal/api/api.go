@@ -57,6 +57,11 @@ const (
 	PathRegister = "/v1/register"
 	// PathLeaves lists the leaves registered with this daemon (GET).
 	PathLeaves = "/v1/leaves"
+	// PathManifest registers one program version's method/site manifest
+	// (POST, bytecode manifest JSON, stamped with HeaderProgram +
+	// HeaderProgramVersion). The store uses manifest pairs to carry
+	// profile edges forward across a version flip.
+	PathManifest = "/v1/manifest"
 )
 
 // LegacyAliases maps every pre-versioning path to its /v1 route. The
@@ -92,6 +97,14 @@ const (
 	// HeaderRelayStale marks a plan response served from a leaf relay's
 	// cache while the root was unreachable ("1" when stale).
 	HeaderRelayStale = "X-Cbs-Relay-Stale"
+	// HeaderProgram names the program a pushed profile delta was
+	// collected from. With HeaderProgramVersion it keys the store's
+	// per-(program, version) graphs; both must be present together.
+	// Unstamped pushes land in the legacy merged aggregate.
+	HeaderProgram = "X-Cbs-Program"
+	// HeaderProgramVersion carries the program's content-addressed
+	// version identity (bytecode.Program.Version — 16 hex chars).
+	HeaderProgramVersion = "X-Cbs-Program-Version"
 )
 
 // Error codes carried in the error envelope. Coarse by design: the code

@@ -188,10 +188,21 @@ func (c *Client) getJSON(path string, out any) error {
 // carry the same bytes. An empty pusher sends an unstamped legacy push
 // (no idempotency, still retried: the daemon's merge is commutative).
 func (c *Client) PushDelta(pusher string, seq uint64, payload []byte) (*IngestResponse, error) {
+	return c.PushDeltaKeyed(pusher, seq, ProgramKey{}, payload)
+}
+
+// PushDeltaKeyed is PushDelta with a program identity: the delta is
+// merged into the per-(program, version) graph named by key instead of
+// the legacy merged aggregate. A zero key degrades to PushDelta.
+func (c *Client) PushDeltaKeyed(pusher string, seq uint64, key ProgramKey, payload []byte) (*IngestResponse, error) {
 	hdr := http.Header{"Content-Type": {"application/octet-stream"}}
 	if pusher != "" {
 		hdr.Set(HeaderPusher, pusher)
 		hdr.Set(HeaderSeq, strconv.FormatUint(seq, 10))
+	}
+	if !key.IsZero() {
+		hdr.Set(HeaderProgram, key.Program)
+		hdr.Set(HeaderProgramVersion, key.Version)
 	}
 	var out IngestResponse
 	err := c.do(true, func() error {
@@ -205,13 +216,39 @@ func (c *Client) PushDelta(pusher string, seq uint64, payload []byte) (*IngestRe
 	return &out, nil
 }
 
+// PushManifest registers one program version's method/site manifest
+// (serialized bytecode manifest JSON) with the daemon. Idempotent:
+// re-registering the same version is a no-op acknowledgement.
+func (c *Client) PushManifest(key ProgramKey, manifestJSON []byte) (*ManifestResponse, error) {
+	hdr := http.Header{
+		"Content-Type":       {"application/json"},
+		HeaderProgram:        {key.Program},
+		HeaderProgramVersion: {key.Version},
+	}
+	var out ManifestResponse
+	err := c.do(true, func() error {
+		return c.roundTrip(http.MethodPost, PathManifest, hdr, manifestJSON, func(resp *http.Response) error {
+			return json.NewDecoder(resp.Body).Decode(&out)
+		})
+	})
+	if err != nil {
+		return nil, fmt.Errorf("manifest: %w", err)
+	}
+	return &out, nil
+}
+
 // PushDCG serializes g and pushes it via PushDelta.
 func (c *Client) PushDCG(pusher string, seq uint64, g *profile.DCG) (*IngestResponse, error) {
+	return c.PushDCGKeyed(pusher, seq, ProgramKey{}, g)
+}
+
+// PushDCGKeyed serializes g and pushes it via PushDeltaKeyed.
+func (c *Client) PushDCGKeyed(pusher string, seq uint64, key ProgramKey, g *profile.DCG) (*IngestResponse, error) {
 	var body bytes.Buffer
 	if _, err := g.WriteTo(&body); err != nil {
 		return nil, fmt.Errorf("serialize: %w", err)
 	}
-	return c.PushDelta(pusher, seq, body.Bytes())
+	return c.PushDeltaKeyed(pusher, seq, key, body.Bytes())
 }
 
 // FetchSnapshot retrieves the daemon's merged DCG from PathSnapshot.
@@ -235,7 +272,18 @@ func (c *Client) FetchSnapshot() (*profile.DCG, error) {
 // raw bytes: decoding is the plan package's business (api sits below
 // plan in the import graph).
 func (c *Client) GetPlan(program, ifNoneMatch string) (*PlanResult, error) {
+	return c.GetPlanVersion(program, "", ifNoneMatch)
+}
+
+// GetPlanVersion is GetPlan scoped to one program version: the daemon
+// serves only a plan compiled for exactly that build and answers 404
+// when it cannot. An empty version asks for the daemon's canonical
+// build of the program (the pre-versioning behaviour).
+func (c *Client) GetPlanVersion(program, version, ifNoneMatch string) (*PlanResult, error) {
 	path := PathPlan + "?program=" + url.QueryEscape(program)
+	if version != "" {
+		path += "&version=" + url.QueryEscape(version)
+	}
 	var hdr http.Header
 	if ifNoneMatch != "" {
 		hdr = http.Header{"If-None-Match": {ifNoneMatch}}

@@ -1,6 +1,47 @@
 package api
 
-import "gocbs/internal/profile"
+import (
+	"regexp"
+
+	"gocbs/internal/profile"
+)
+
+// ProgramKey identifies one build of one program: the name plus its
+// content-addressed version (bytecode.Program.Version). It is the
+// store's sharding key for per-version call graphs and the plan
+// cache's scoping key. The zero key means "unversioned" — the legacy
+// merged aggregate that unstamped pushes land in.
+type ProgramKey struct {
+	Program string `json:"program"`
+	Version string `json:"version"`
+}
+
+// IsZero reports whether the key carries no identity (legacy path).
+func (k ProgramKey) IsZero() bool { return k.Program == "" && k.Version == "" }
+
+// String renders the key in its canonical "program@version" spelling —
+// the form used in persistence file names and cache-map keys. '@' is
+// excluded from both the program-name and version alphabets, so the
+// rendering splits back unambiguously.
+func (k ProgramKey) String() string { return k.Program + "@" + k.Version }
+
+var versionRE = regexp.MustCompile(`^[0-9a-f]{1,64}$`)
+
+// ValidProgramVersion bounds a wire-supplied version string: lowercase
+// hex, 1-64 chars (the generator emits exactly 16).
+func ValidProgramVersion(v string) bool { return versionRE.MatchString(v) }
+
+// ManifestResponse acknowledges one registered program-version
+// manifest.
+type ManifestResponse struct {
+	Registered bool `json:"registered"`
+	// CarriedEdges counts edges carried forward into this version from
+	// its predecessor's graph (0 when there is no predecessor or no
+	// method survived unchanged).
+	CarriedEdges int `json:"carried_edges"`
+	// CarriedWeight is those edges' total weight.
+	CarriedWeight float64 `json:"carried_weight"`
+}
 
 // IngestResponse acknowledges one merged (or deduplicated) delta.
 type IngestResponse struct {
@@ -91,6 +132,16 @@ type MetricsResponse struct {
 	PlanRequests      uint64 `json:"plan_requests,omitempty"`
 	PlanNotModified   uint64 `json:"plan_not_modified,omitempty"`
 	PlanReqErrors     uint64 `json:"plan_request_errors,omitempty"`
+
+	// ProgramVersions counts the distinct (program, version) graphs the
+	// store currently keeps (0 on a daemon that has only seen unstamped
+	// pushes).
+	ProgramVersions int `json:"program_versions,omitempty"`
+	// PlanVersionMismatches counts plan requests refused because the
+	// requested program version is not the one the daemon serves — the
+	// fleet-visible signal that pullers are running a build the root
+	// does not know (they previously degraded silently).
+	PlanVersionMismatches uint64 `json:"plan_version_mismatches,omitempty"`
 }
 
 // LatencyMetrics is a histogram digest in milliseconds.
@@ -115,6 +166,9 @@ type PlanMetrics struct {
 	// served stale because the root was unreachable.
 	RelayRefreshes uint64 `json:"relay_refreshes,omitempty"`
 	RelayStale     uint64 `json:"relay_stale,omitempty"`
+	// VersionMismatches counts plan requests refused because the
+	// requested program version is unknown to this daemon.
+	VersionMismatches uint64 `json:"version_mismatches,omitempty"`
 }
 
 // ForwardMetrics covers a leaf's upstream forwarder.

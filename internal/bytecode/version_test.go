@@ -1,0 +1,141 @@
+package bytecode_test
+
+import (
+	"bytes"
+	"testing"
+
+	"gocbs/internal/bench"
+	"gocbs/internal/bytecode"
+	"gocbs/internal/inline"
+)
+
+func compileTwice(t *testing.T, name string) (*bytecode.Program, *bytecode.Program) {
+	t.Helper()
+	b := bench.ByName(name)
+	if b == nil {
+		t.Fatalf("no benchmark %q", name)
+	}
+	p1, err := b.Compile()
+	if err != nil {
+		t.Fatalf("compile 1: %v", err)
+	}
+	p2, err := b.Compile()
+	if err != nil {
+		t.Fatalf("compile 2: %v", err)
+	}
+	return p1, p2
+}
+
+func TestVersionIsContentAddressed(t *testing.T) {
+	p1, p2 := compileTwice(t, "compress")
+	if p1.Version() != p2.Version() {
+		t.Fatalf("identical builds disagree on version: %s vs %s", p1.Version(), p2.Version())
+	}
+	if len(p1.Version()) != 16 {
+		t.Fatalf("version %q is not a fixed-width hex string", p1.Version())
+	}
+	if got := p1.Clone().Version(); got != p1.Version() {
+		t.Fatalf("clone changed version: %s vs %s", got, p1.Version())
+	}
+
+	// A behaviour-preserving edit (one extra unused constant) is still a
+	// different build and must get a different identity.
+	p2.Methods[p2.Entry.ID].Consts = append(p2.Methods[p2.Entry.ID].Consts, 424242)
+	if p1.Version() == p2.Version() {
+		t.Fatal("modified build aliased the original version")
+	}
+}
+
+func TestVersionDistinguishesBenchmarks(t *testing.T) {
+	seen := map[string]string{}
+	for _, b := range bench.All() {
+		p, err := b.Compile()
+		if err != nil {
+			t.Fatalf("%s: %v", b.Name, err)
+		}
+		v := p.Version()
+		if prev, dup := seen[v]; dup {
+			t.Fatalf("version collision: %s and %s both hash to %s", prev, b.Name, v)
+		}
+		seen[v] = b.Name
+	}
+}
+
+func TestVersionChangesAfterInlining(t *testing.T) {
+	// The fleet protocol hashes the *pristine* program; an optimized
+	// clone is a different artifact and must not reuse the identity.
+	p1, p2 := compileTwice(t, "compress")
+	if _, err := inline.Optimize(p2, inline.Trivial{}, nil, inline.DefaultOptions()); err != nil {
+		t.Fatalf("optimize: %v", err)
+	}
+	if p2.TotalCodeSize() != p1.TotalCodeSize() && p1.Version() == p2.Version() {
+		t.Fatal("inlined program kept the pristine version")
+	}
+}
+
+func TestManifestFingerprintsExactlyChangedMethods(t *testing.T) {
+	p1, p2 := compileTwice(t, "compress")
+	m1 := p1.BuildManifest("compress")
+	m2 := p2.BuildManifest("compress")
+	if m1.Version != p1.Version() {
+		t.Fatalf("manifest version %s != program version %s", m1.Version, p1.Version())
+	}
+	if len(m1.Methods) != len(m2.Methods) || len(m1.Sites) != len(m2.Sites) {
+		t.Fatal("identical builds produced different manifest shapes")
+	}
+	for i := range m1.Methods {
+		if m1.Methods[i] != m2.Methods[i] {
+			t.Fatalf("method %d fingerprint differs between identical builds", i)
+		}
+	}
+
+	// Touch exactly one method body; exactly one fingerprint must move.
+	target := p2.Entry.ID
+	p2.Methods[target].Consts = append(p2.Methods[target].Consts, 7)
+	m2 = p2.BuildManifest("compress")
+	changed := 0
+	for i := range m1.Methods {
+		if m1.Methods[i].Name != m2.Methods[i].Name {
+			t.Fatalf("method %d renamed by a const append", i)
+		}
+		if m1.Methods[i].Hash != m2.Methods[i].Hash {
+			changed++
+			if i != target {
+				t.Fatalf("method %d fingerprint changed; only %d was edited", i, target)
+			}
+		}
+	}
+	if changed != 1 {
+		t.Fatalf("expected exactly 1 changed fingerprint, got %d", changed)
+	}
+	for i := range m1.Sites {
+		if m1.Sites[i] != m2.Sites[i] {
+			t.Fatalf("site %d moved under a const append", i)
+		}
+	}
+}
+
+func TestManifestRoundTrip(t *testing.T) {
+	p, _ := compileTwice(t, "mtrt")
+	m := p.BuildManifest("mtrt")
+	got, err := bytecode.DecodeManifest(bytes.NewReader(m.Encode()))
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if got.Program != m.Program || got.Version != m.Version ||
+		len(got.Methods) != len(m.Methods) || len(got.Sites) != len(m.Sites) {
+		t.Fatal("manifest did not round-trip")
+	}
+	for i := range m.Methods {
+		if got.Methods[i] != m.Methods[i] {
+			t.Fatalf("method %d did not round-trip", i)
+		}
+	}
+
+	if _, err := bytecode.DecodeManifest(bytes.NewReader([]byte(`{"program":"x","version":"v","sites":[{"owner":9,"pc":0}]}`))); err == nil {
+		t.Fatal("out-of-range site owner accepted")
+	}
+	if _, err := bytecode.DecodeManifest(bytes.NewReader([]byte(`{"bogus":1}`))); err == nil {
+		t.Fatal("unknown field accepted")
+	}
+}

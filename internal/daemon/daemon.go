@@ -23,6 +23,7 @@ import (
 	"gocbs/internal/federation"
 	"gocbs/internal/inline"
 	"gocbs/internal/plan"
+	"gocbs/internal/profile"
 )
 
 // Config is everything cbsd parses from flags; Run takes it whole so
@@ -67,6 +68,16 @@ type Config struct {
 	// fleet simulator injects its chaos transport here.
 	UpstreamClient *http.Client
 
+	// ResolveProgram, when non-nil, overrides how the plan service maps
+	// a (program name, content-addressed version) to pristine bytecode.
+	// version "" asks for the canonical build; a resolver that cannot
+	// produce the requested build should return the build it has — the
+	// service compares content hashes and refuses mismatches itself.
+	// Nil resolves against the built-in benchmark suite (canonical
+	// builds only), which is what production cbsd wants; the fleet
+	// simulator injects a resolver that also knows mid-upgrade builds.
+	ResolveProgram func(name, version string) (*bytecode.Program, error)
+
 	// Ready, when non-nil, receives the bound listen address once the
 	// daemon is serving (tests bind :0).
 	Ready chan<- string
@@ -84,16 +95,17 @@ func Run(ctx context.Context, cfg Config) error {
 		logf = func(string, ...any) {}
 	}
 
-	store := dcgstore.New(cfg.Shards)
+	multi := dcgstore.NewMulti(cfg.Shards)
+	store := multi.Default()
 	if cfg.StateDir != "" {
-		loaded, err := dcgstore.RestoreCheckpoint(store, cfg.StateDir)
+		loaded, err := dcgstore.RestoreMultiCheckpoint(multi, cfg.StateDir)
 		if err != nil {
 			return fmt.Errorf("restore %s: %w", cfg.StateDir, err)
 		}
 		if loaded {
 			st := store.Stats()
-			logf("restored checkpoint from %s: %d edges, %.0f weight, %d pushers",
-				cfg.StateDir, st.Edges, st.TotalWeight, st.Pushers)
+			logf("restored checkpoint from %s: %d edges, %.0f weight, %d pushers, %d keyed builds",
+				cfg.StateDir, st.Edges, st.TotalWeight, st.Pushers, multi.NumKeys())
 		} else {
 			logf("no checkpoint in %s, starting fresh", cfg.StateDir)
 		}
@@ -114,9 +126,19 @@ func Run(ctx context.Context, cfg Config) error {
 			statePath = filepath.Join(cfg.StateDir, "forward-state.json")
 		}
 		fwd, err := federation.NewForwarder(federation.ForwarderConfig{
-			ID:        cfg.UpstreamID,
-			Upstream:  up,
-			Source:    store.Snapshot,
+			ID:       cfg.UpstreamID,
+			Upstream: up,
+			Source:   store.Snapshot,
+			KeyedSource: func() map[api.ProgramKey]*profile.DCG {
+				out := make(map[api.ProgramKey]*profile.DCG)
+				for _, key := range multi.Keys() {
+					if sub := multi.Lookup(key); sub != nil {
+						out[key] = sub.Snapshot()
+					}
+				}
+				return out
+			},
+			Manifests: multi.ManifestsInOrder,
 			StatePath: statePath,
 		})
 		if err != nil {
@@ -131,12 +153,12 @@ func Run(ctx context.Context, cfg Config) error {
 			logf("leaf mode: local decay disabled (a leaf store must stay monotonic; decay runs at the root)")
 		}
 	} else {
-		planSvc = NewPlanService(cfg, store, logf)
+		planSvc = NewPlanService(cfg, multi, logf)
 		plans = planSvc
 	}
 
 	srv := &http.Server{
-		Handler:           newServer(store, plans, fed, cfg.MaxUploadBytes).handler(),
+		Handler:           newServer(multi, plans, fed, cfg.MaxUploadBytes).handler(),
 		ReadTimeout:       cfg.ReadTimeout,
 		ReadHeaderTimeout: 5 * time.Second,
 		WriteTimeout:      cfg.WriteTimeout,
@@ -170,7 +192,7 @@ func Run(ctx context.Context, cfg Config) error {
 				case <-bgCtx.Done():
 					return
 				case <-ticker.C:
-					pruned := store.Decay(cfg.Decay, cfg.DecayPrune)
+					pruned := multi.DecayAll(cfg.Decay, cfg.DecayPrune)
 					logf("decay epoch %d: factor %v, pruned %d edges, %d remain",
 						store.Epoch(), cfg.Decay, pruned, store.NumEdges())
 					planSvc.RefreshAll()
@@ -213,7 +235,7 @@ func Run(ctx context.Context, cfg Config) error {
 		go func() {
 			defer bg.Done()
 			ckpt := &dcgstore.Checkpointer{
-				Dir: cfg.StateDir, Store: store, Every: cfg.CheckpointEvery, Logf: logf,
+				Dir: cfg.StateDir, Store: store, Multi: multi, Every: cfg.CheckpointEvery, Logf: logf,
 			}
 			ckpt.Run(bgCtx)
 		}()
@@ -272,11 +294,12 @@ func Run(ctx context.Context, cfg Config) error {
 		}
 	}
 	if cfg.StateDir != "" {
-		if err := dcgstore.SaveCheckpoint(cfg.StateDir, store); err != nil {
+		if err := dcgstore.SaveMultiCheckpoint(cfg.StateDir, multi); err != nil {
 			return fmt.Errorf("final checkpoint: %w", err)
 		}
 		st := store.Stats()
-		logf("final checkpoint written to %s (%d edges, %.0f weight)", cfg.StateDir, st.Edges, st.TotalWeight)
+		logf("final checkpoint written to %s (%d edges, %.0f weight, %d keyed builds)",
+			cfg.StateDir, st.Edges, st.TotalWeight, multi.NumKeys())
 	}
 	if shutdownErr != nil && !errors.Is(shutdownErr, context.DeadlineExceeded) {
 		return shutdownErr
@@ -285,14 +308,19 @@ func Run(ctx context.Context, cfg Config) error {
 	return nil
 }
 
-// NewPlanService builds the inlining-plan compiler over the live
-// store. Programs are resolved against the built-in benchmark suite
-// and prepared exactly the way cbsvm prepares them (JIT-only: trivial
-// same-class inlining, no profile-driven decisions), so the global
-// call-site IDs the plan keys on line up with every VM's clone of the
-// same program. With a state dir, compiled plans persist next to the
-// store checkpoints and epochs survive restarts.
-func NewPlanService(cfg Config, store *dcgstore.Store, logf func(string, ...any)) *plan.Service {
+// NewPlanService builds the inlining-plan compiler over the live store
+// family. Programs are resolved against the built-in benchmark suite
+// (or Config.ResolveProgram) and prepared exactly the way cbsvm
+// prepares them (JIT-only: trivial same-class inlining, no
+// profile-driven decisions), so the global call-site IDs the plan keys
+// on line up with every VM's clone of the same build. Each build's plan
+// compiles from that build's own substore when one exists (falling back
+// to the default substore for unkeyed legacy fleets), and its cache
+// invalidates on that substore's counters alone — ingest for program A
+// no longer forces program B to recompile. With a state dir, compiled
+// plans persist next to the store checkpoints and epochs survive
+// restarts.
+func NewPlanService(cfg Config, multi *dcgstore.Multi, logf func(string, ...any)) *plan.Service {
 	params := plan.DefaultParams()
 	if cfg.PlanPolicy != "" {
 		params.Policy = cfg.PlanPolicy
@@ -306,10 +334,9 @@ func NewPlanService(cfg Config, store *dcgstore.Store, logf func(string, ...any)
 	if cfg.PlanHold != 0 {
 		params.HoldSharePct = cfg.PlanHold
 	}
-	return plan.NewService(plan.ServiceConfig{
-		Source:  store.Snapshot,
-		Version: store.Version,
-		CompileProgram: func(name string) (*bytecode.Program, error) {
+	resolve := cfg.ResolveProgram
+	if resolve == nil {
+		resolve = func(name, _ string) (*bytecode.Program, error) {
 			b := bench.ByName(name)
 			if b == nil {
 				return nil, fmt.Errorf("%w: no benchmark named %q", plan.ErrUnknownProgram, name)
@@ -322,10 +349,31 @@ func NewPlanService(cfg Config, store *dcgstore.Store, logf func(string, ...any)
 				return nil, fmt.Errorf("prepare %s: %w", name, err)
 			}
 			return prog, nil
+		}
+	}
+	def := multi.Default()
+	return plan.NewService(plan.ServiceConfig{
+		Source: func(program, version string) *profile.DCG {
+			if sub := multi.Lookup(api.ProgramKey{Program: program, Version: version}); sub != nil {
+				return sub.Snapshot()
+			}
+			return def.Snapshot()
 		},
-		Params:   params,
-		StateDir: cfg.StateDir,
-		Logf:     logf,
+		Version: func(program, version string) (merges, epochs uint64) {
+			if sub := multi.Lookup(api.ProgramKey{Program: program, Version: version}); sub != nil {
+				m, e := sub.Version()
+				// The tag bit marks "counters of the keyed substore": a
+				// build whose substore appears after its plan compiled
+				// from the default store must invalidate even if the raw
+				// counter pair happens to collide.
+				return m | 1<<63, e
+			}
+			return def.Version()
+		},
+		CompileProgram: resolve,
+		Params:         params,
+		StateDir:       cfg.StateDir,
+		Logf:           logf,
 	})
 }
 

@@ -135,11 +135,12 @@ type planRelay struct {
 	entries map[string]*relayEntry
 
 	// Counters for /metrics (under mu).
-	fetched    uint64 // upstream responses with a new plan body
-	notMod     uint64 // upstream 304s
-	errors     uint64 // upstream failures
-	refreshes  uint64 // upstream round trips attempted
-	staleServe uint64 // downstream serves satisfied from a stale cache
+	fetched         uint64 // upstream responses with a new plan body
+	notMod          uint64 // upstream 304s
+	errors          uint64 // upstream failures
+	refreshes       uint64 // upstream round trips attempted
+	staleServe      uint64 // downstream serves satisfied from a stale cache
+	versionMismatch uint64 // requests the root refused as unknown-version
 }
 
 type relayEntry struct {
@@ -152,39 +153,49 @@ func newPlanRelay(upstream *api.Client) *planRelay {
 	return &planRelay{upstream: upstream, entries: make(map[string]*relayEntry)}
 }
 
-// PlanFor refreshes program's plan from the root (conditionally, via
-// the cached ETag) and returns it. Root unreachable: the cached plan
-// is served stale; with no cache the request fails with
-// errRelayUnavailable. A root 404 (unknown program) is relayed as
-// plan.ErrUnknownProgram so the endpoint keeps its status mapping.
+// PlanForVersion refreshes the plan for one (program, version) from the
+// root (conditionally, via the cached ETag) and returns it. The cache
+// is keyed per build — a leaf serving a mixed fleet during a rolling
+// upgrade relays each version's plan independently, so the old build's
+// pullers cannot receive the new build's decisions. Root unreachable:
+// the cached plan is served stale; with no cache the request fails with
+// errRelayUnavailable. A root 404 is relayed as plan.ErrUnknownVersion
+// when a version was demanded (and counted for /metrics), otherwise as
+// plan.ErrUnknownProgram, so the endpoint keeps its status mapping.
 //
 // The mutex guards only the cache map and counters, never the upstream
-// round trip — holding it across GetPlan (up to the client timeout)
-// would serialize every downstream plan request behind one slow root
-// call and stall ServedStale/Counters/Stats, i.e. the whole plan
-// surface and /metrics. Concurrent refreshes of the same program may
+// round trip — holding it across GetPlanVersion (up to the client
+// timeout) would serialize every downstream plan request behind one
+// slow root call and stall ServedStale/Counters/Stats, i.e. the whole
+// plan surface and /metrics. Concurrent refreshes of the same build may
 // each pay a round trip; the last response wins the cache slot, which
 // is safe because plan bodies are immutable per ETag.
-func (rl *planRelay) PlanFor(program string) (*plan.Plan, error) {
+func (rl *planRelay) PlanForVersion(program, version string) (*plan.Plan, error) {
+	key := program + "@" + version
 	rl.mu.Lock()
 	var etag string
-	if e := rl.entries[program]; e != nil {
+	if e := rl.entries[key]; e != nil {
 		etag = e.etag
 	}
 	rl.refreshes++
 	rl.mu.Unlock()
 
-	res, upErr := rl.upstream.GetPlan(program, etag)
+	res, upErr := rl.upstream.GetPlanVersion(program, version, etag)
 
 	rl.mu.Lock()
 	defer rl.mu.Unlock()
-	e := rl.entries[program]
+	e := rl.entries[key]
 	if upErr != nil {
 		rl.errors++
 		var he *api.HTTPError
 		if errors.As(upErr, &he) && he.Status == http.StatusNotFound {
-			// The root does not know the program; a stale cache would
-			// be wrong, not resilient.
+			// The root does not know the program (or cannot produce the
+			// demanded build); a stale cache would be wrong, not
+			// resilient.
+			if version != "" {
+				rl.versionMismatch++
+				return nil, fmt.Errorf("%w: %s@%s (relayed from root)", plan.ErrUnknownVersion, program, version)
+			}
 			return nil, fmt.Errorf("%w (relayed from root)", plan.ErrUnknownProgram)
 		}
 		if e != nil && e.plan != nil {
@@ -207,17 +218,24 @@ func (rl *planRelay) PlanFor(program string) (*plan.Plan, error) {
 		rl.errors++
 		return nil, fmt.Errorf("relay: bad plan body from root: %w", err)
 	}
+	if version != "" && p.Version != version {
+		// A root must never answer a versioned request with another
+		// build's plan; refuse to cache or relay one that does.
+		rl.errors++
+		rl.versionMismatch++
+		return nil, fmt.Errorf("%w: root served version %q for %s@%s", plan.ErrUnknownVersion, p.Version, program, version)
+	}
 	rl.fetched++
-	rl.entries[program] = &relayEntry{etag: res.ETag, plan: p}
+	rl.entries[key] = &relayEntry{etag: res.ETag, plan: p}
 	return p, nil
 }
 
-// ServedStale reports whether program's most recent serve came from
-// the cache because the root was unreachable.
-func (rl *planRelay) ServedStale(program string) bool {
+// ServedStale reports whether the most recent serve for one build came
+// from the cache because the root was unreachable.
+func (rl *planRelay) ServedStale(program, version string) bool {
 	rl.mu.Lock()
 	defer rl.mu.Unlock()
-	e := rl.entries[program]
+	e := rl.entries[program+"@"+version]
 	return e != nil && e.stale
 }
 
@@ -235,9 +253,10 @@ func (rl *planRelay) Stats() plan.ServiceStats {
 	rl.mu.Lock()
 	defer rl.mu.Unlock()
 	return plan.ServiceStats{
-		Programs:  len(rl.entries),
-		Computed:  rl.fetched,
-		Unchanged: rl.notMod,
-		Errors:    rl.errors,
+		Programs:          len(rl.entries),
+		Computed:          rl.fetched,
+		Unchanged:         rl.notMod,
+		Errors:            rl.errors,
+		VersionMismatches: rl.versionMismatch,
 	}
 }

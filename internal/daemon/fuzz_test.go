@@ -60,7 +60,7 @@ func FuzzIngestHostilePusher(f *testing.F) {
 		}
 		before := dcgBytes(t, store.Snapshot())
 
-		h := newServer(store, nil, nil, 1<<16).handler()
+		h := newServer(dcgstore.NewMultiWithDefault(store, 4), nil, nil, 1<<16).handler()
 		req := httptest.NewRequest("POST", api.PathIngest, bytes.NewReader(body))
 		// Set headers through the map: hostile values (control bytes,
 		// overlong strings) must reach the handler's own validation.

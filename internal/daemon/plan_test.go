@@ -234,7 +234,7 @@ func TestPlanSurvivesDaemonRestart(t *testing.T) {
 	}
 
 	before := fetchPlanBytes(t, url1)
-	if _, err := os.Stat(filepath.Join(stateDir, "plan-compress.plnb")); err != nil {
+	if _, err := os.Stat(filepath.Join(stateDir, "plan-compress@"+prog.Version()+".plnb")); err != nil {
 		t.Fatalf("plan file not persisted alongside checkpoints: %v", err)
 	}
 

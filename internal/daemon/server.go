@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"gocbs/internal/api"
+	"gocbs/internal/bytecode"
 	"gocbs/internal/dcgstore"
 	"gocbs/internal/plan"
 	"gocbs/internal/profile"
@@ -22,11 +23,14 @@ import (
 // Config.MaxUploadBytes overrides it.
 const DefaultMaxUploadBytes = 256 << 20
 
-// server is the cbsd HTTP surface over a dcgstore.Store. All handlers
-// are safe for concurrent use: mutation goes through the store's
-// sharded locks and the counters here are atomics.
+// server is the cbsd HTTP surface over a dcgstore.Multi: one substore
+// per (program, version) build for stamped pushes, plus the default
+// substore that preserves the pre-versioning behaviour for unstamped
+// ones. All handlers are safe for concurrent use: mutation goes through
+// the substores' sharded locks and the counters here are atomics.
 type server struct {
-	store     *dcgstore.Store
+	multi     *dcgstore.Multi
+	store     *dcgstore.Store // multi.Default(), the unkeyed/legacy substore
 	plans     planSource
 	fed       *fedState
 	start     time.Time
@@ -44,6 +48,7 @@ type server struct {
 	planRequests    atomic.Uint64
 	planNotModified atomic.Uint64
 	planErrors      atomic.Uint64
+	manifests       atomic.Uint64
 
 	// encodeErrOnce gates the one log line writeJSON emits for encode
 	// failures (per-connection write errors would otherwise spam).
@@ -53,13 +58,15 @@ type server struct {
 // planSource is what the plan endpoint needs from whoever compiles or
 // relays plans: the root daemon's plan.Service compiles them from the
 // aggregated store; a leaf's planRelay serves its upstream cache. Both
-// also surface service-level stats for /metrics.
+// also surface service-level stats for /metrics. version "" asks for
+// the source's canonical build of the program; a non-empty version
+// demands that exact build or plan.ErrUnknownVersion.
 type planSource interface {
-	PlanFor(program string) (*plan.Plan, error)
+	PlanForVersion(program, version string) (*plan.Plan, error)
 	Stats() plan.ServiceStats
 }
 
-func newServer(store *dcgstore.Store, plans planSource, fed *fedState, maxUpload int64) *server {
+func newServer(multi *dcgstore.Multi, plans planSource, fed *fedState, maxUpload int64) *server {
 	if maxUpload <= 0 {
 		maxUpload = DefaultMaxUploadBytes
 	}
@@ -68,7 +75,10 @@ func newServer(store *dcgstore.Store, plans planSource, fed *fedState, maxUpload
 	if svc, ok := plans.(*plan.Service); ok && svc == nil {
 		plans = nil
 	}
-	return &server{store: store, plans: plans, fed: fed, start: time.Now(), maxUpload: maxUpload}
+	return &server{
+		multi: multi, store: multi.Default(),
+		plans: plans, fed: fed, start: time.Now(), maxUpload: maxUpload,
+	}
 }
 
 // InProcess is a daemon HTTP surface without the process scaffolding
@@ -81,10 +91,13 @@ type InProcess struct {
 	s *server
 }
 
-// NewInProcess returns an in-process daemon over the given store.
-// maxUpload <= 0 selects DefaultMaxUploadBytes.
+// NewInProcess returns an in-process daemon over the given store,
+// which becomes the default substore of a fresh Multi (version-stamped
+// pushes get per-build substores as usual). maxUpload <= 0 selects
+// DefaultMaxUploadBytes.
 func NewInProcess(store *dcgstore.Store, maxUpload int64) *InProcess {
-	return &InProcess{s: newServer(store, nil, nil, maxUpload)}
+	multi := dcgstore.NewMultiWithDefault(store, store.NumShards())
+	return &InProcess{s: newServer(multi, nil, nil, maxUpload)}
 }
 
 // Handler returns the daemon's HTTP mux.
@@ -116,6 +129,7 @@ func (s *server) handler() http.Handler {
 	route(api.PathTop, getOnly(s.handleTop))
 	route(api.PathSite, getOnly(s.handleSite))
 	route(api.PathOverlap, getOrDeprecatedPost(s.handleOverlap))
+	route(api.PathManifest, postOnly(s.handleManifest))
 	route(api.PathDecay, postOnly(s.handleDecay))
 	route(api.PathPlan, getOnly(s.handlePlan))
 	route(api.PathMetrics, getOnly(s.handleMetrics))
@@ -234,10 +248,43 @@ func (s *server) ingestStamp(w http.ResponseWriter, r *http.Request) (pusher str
 	return pusher, seq, true
 }
 
-// handleIngest merges one POSTed DCG snapshot into the store. Requests
-// stamped with (pusher, sequence) headers are idempotent: a retry of
-// an increment that was already applied is acknowledged without being
-// merged again.
+// ingestKey extracts and validates the optional program-identity
+// headers. Both headers come together or not at all: a program name
+// without the content-addressed version would recreate exactly the
+// name-only aliasing this key exists to prevent. ok=false means the
+// request was answered with an error.
+func (s *server) ingestKey(w http.ResponseWriter, r *http.Request) (key api.ProgramKey, ok bool) {
+	key = api.ProgramKey{
+		Program: r.Header.Get(api.HeaderProgram),
+		Version: r.Header.Get(api.HeaderProgramVersion),
+	}
+	if key.IsZero() {
+		return key, true // unkeyed legacy push
+	}
+	if key.Program == "" || key.Version == "" {
+		api.WriteErrorf(w, http.StatusBadRequest, api.CodeBadRequest,
+			"%s and %s must be sent together", api.HeaderProgram, api.HeaderProgramVersion)
+		return key, false
+	}
+	if !plan.ValidProgramName(key.Program) {
+		api.WriteErrorf(w, http.StatusBadRequest, api.CodeBadRequest,
+			"bad %s header: need 1-64 chars of [A-Za-z0-9._-]", api.HeaderProgram)
+		return key, false
+	}
+	if !api.ValidProgramVersion(key.Version) {
+		api.WriteErrorf(w, http.StatusBadRequest, api.CodeBadRequest,
+			"bad %s header: need 1-64 lowercase hex chars", api.HeaderProgramVersion)
+		return key, false
+	}
+	return key, true
+}
+
+// handleIngest merges one POSTed DCG snapshot into the store — into the
+// substore of the (program, version) build named by the identity
+// headers, or the default substore for unkeyed pushes. Requests stamped
+// with (pusher, sequence) headers are idempotent per substore: a retry
+// of an increment that was already applied is acknowledged without
+// being merged again.
 func (s *server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	reqStart := time.Now()
 	defer func() {
@@ -248,18 +295,32 @@ func (s *server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		s.ingestErrors.Add(1)
 		return
 	}
+	key, ok := s.ingestKey(w, r)
+	if !ok {
+		s.ingestErrors.Add(1)
+		return
+	}
+	sub := s.multi.For(key)
+	if sub == nil {
+		// The key validated above, so nil means the substore ledger is at
+		// its anti-DoS cap.
+		s.ingestErrors.Add(1)
+		api.WriteErrorf(w, http.StatusServiceUnavailable, api.CodeCapacity,
+			"program version ledger full (%d builds)", dcgstore.MaxProgramKeys)
+		return
+	}
 	g, ok := s.readProfileBody(w, r)
 	if !ok {
 		s.ingestErrors.Add(1)
 		return
 	}
 	t0 := time.Now()
-	applied := s.store.MergeDCGFrom(pusher, seq, g)
+	applied := sub.MergeDCGFrom(pusher, seq, g)
 	if applied {
 		s.mergeNanos.Add(time.Since(t0).Nanoseconds())
 	}
 	s.ingests.Add(1)
-	st := s.store.Stats()
+	st := sub.Stats()
 	s.writeJSON(w, api.IngestResponse{
 		Applied:      applied,
 		Duplicate:    !applied,
@@ -270,11 +331,83 @@ func (s *server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-// handleSnapshot streams the consistent merged DCG in the binary wire
-// format.
+// handleManifest accepts one build's method/site manifest (POSTed as
+// JSON) and registers it with the store, carrying forward still-valid
+// profile mass from the program's previous build. Idempotent, so
+// clients may retry freely.
+func (s *server) handleManifest(w http.ResponseWriter, r *http.Request) {
+	man, err := bytecode.DecodeManifest(http.MaxBytesReader(w, r.Body, s.maxUpload))
+	if err != nil {
+		api.WriteErrorf(w, http.StatusBadRequest, api.CodeBadRequest, "bad manifest: %v", err)
+		return
+	}
+	if !plan.ValidProgramName(man.Program) || !api.ValidProgramVersion(man.Version) {
+		api.WriteErrorf(w, http.StatusBadRequest, api.CodeBadRequest,
+			"bad manifest key %s@%s", man.Program, man.Version)
+		return
+	}
+	edges, weight, err := s.multi.RegisterManifest(man)
+	if err != nil {
+		api.WriteErrorf(w, http.StatusServiceUnavailable, api.CodeCapacity, "manifest: %v", err)
+		return
+	}
+	s.manifests.Add(1)
+	s.writeJSON(w, api.ManifestResponse{
+		Registered:    true,
+		CarriedEdges:  edges,
+		CarriedWeight: weight,
+	})
+}
+
+// queryGraph resolves the graph a read endpoint should serve:
+// ?program=&version= selects one build's substore (version may be
+// omitted to mean the program's latest registered build), no program
+// parameter selects the cross-version merged view (default substore
+// plus every keyed substore — the pre-versioning response for stores
+// that never saw a keyed push). ok=false means the request was
+// answered with an error.
+func (s *server) queryGraph(w http.ResponseWriter, r *http.Request) (g *profile.DCG, ok bool) {
+	q := r.URL.Query()
+	program, version := q.Get("program"), q.Get("version")
+	if program == "" && version == "" {
+		return s.multi.MergedSnapshot(), true
+	}
+	if program == "" {
+		api.WriteError(w, http.StatusBadRequest, api.CodeBadRequest,
+			"?version= needs ?program=")
+		return nil, false
+	}
+	if version == "" {
+		version = s.multi.LatestVersion(program)
+		if version == "" {
+			api.WriteErrorf(w, http.StatusNotFound, api.CodeNotFound,
+				"no profile for program %q", program)
+			return nil, false
+		}
+	}
+	if !api.ValidProgramVersion(version) {
+		api.WriteErrorf(w, http.StatusBadRequest, api.CodeBadRequest, "bad version %q", version)
+		return nil, false
+	}
+	sub := s.multi.Lookup(api.ProgramKey{Program: program, Version: version})
+	if sub == nil {
+		api.WriteErrorf(w, http.StatusNotFound, api.CodeNotFound,
+			"no profile for %s@%s", program, version)
+		return nil, false
+	}
+	return sub.Snapshot(), true
+}
+
+// handleSnapshot streams a consistent DCG in the binary wire format:
+// one build's graph with ?program=&version=, the cross-version merge
+// without.
 func (s *server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	g, ok := s.queryGraph(w, r)
+	if !ok {
+		return
+	}
 	w.Header().Set("Content-Type", "application/octet-stream")
-	if _, err := s.store.Snapshot().WriteTo(w); err != nil {
+	if _, err := g.WriteTo(w); err != nil {
 		// Headers are gone; all we can do is drop the connection.
 		return
 	}
@@ -293,7 +426,10 @@ func (s *server) handleTop(w http.ResponseWriter, r *http.Request) {
 		}
 		k = n
 	}
-	g := s.store.Snapshot()
+	g, ok := s.queryGraph(w, r)
+	if !ok {
+		return
+	}
 	if k > g.NumEdges() {
 		k = g.NumEdges()
 	}
@@ -316,7 +452,10 @@ func (s *server) handleSite(w http.ResponseWriter, r *http.Request) {
 		api.WriteError(w, http.StatusBadRequest, api.CodeBadRequest, "pass ?id=<call site id>")
 		return
 	}
-	g := s.store.Snapshot()
+	g, ok := s.queryGraph(w, r)
+	if !ok {
+		return
+	}
 	s.writeJSON(w, api.SiteResponse{
 		Site:         id,
 		SiteWeightPc: g.SiteWeightPercent(id),
@@ -334,7 +473,10 @@ func (s *server) handleOverlap(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	g := s.store.Snapshot()
+	g, ok := s.queryGraph(w, r)
+	if !ok {
+		return
+	}
 	s.writeJSON(w, api.OverlapResponse{
 		Overlap:        profile.Overlap(g, ref),
 		StoreEdges:     g.NumEdges(),
@@ -357,7 +499,10 @@ func (s *server) handleDecay(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	pruned := s.store.Decay(factor, prune)
+	// One epoch across the whole store family: each build's graph ages
+	// at the same rate, so no version's plan inputs drift relative to
+	// another's.
+	pruned := s.multi.DecayAll(factor, prune)
 	s.writeJSON(w, api.DecayResponse{Epoch: s.store.Epoch(), PrunedEdges: pruned})
 }
 
@@ -387,11 +532,21 @@ func (s *server) handlePlan(w http.ResponseWriter, r *http.Request) {
 		api.WriteError(w, http.StatusBadRequest, api.CodeBadRequest, "pass ?program=<benchmark name>")
 		return
 	}
-	p, err := s.plans.PlanFor(program)
+	version := r.URL.Query().Get("version")
+	if version != "" && !api.ValidProgramVersion(version) {
+		s.planErrors.Add(1)
+		api.WriteErrorf(w, http.StatusBadRequest, api.CodeBadRequest, "bad version %q", version)
+		return
+	}
+	p, err := s.plans.PlanForVersion(program, version)
 	if err != nil {
 		s.planErrors.Add(1)
 		switch {
-		case errors.Is(err, plan.ErrUnknownProgram):
+		case errors.Is(err, plan.ErrUnknownProgram), errors.Is(err, plan.ErrUnknownVersion):
+			// Unknown version maps to the same 404 as unknown program: a
+			// puller on a build this daemon cannot plan for keeps running
+			// unoptimized — the safe failure — and the mismatch is
+			// visible in /metrics.
 			api.WriteError(w, http.StatusNotFound, api.CodeNotFound, err.Error())
 		case errors.Is(err, errRelayUnavailable):
 			api.WriteErrorf(w, http.StatusServiceUnavailable, api.CodeUpstream,
@@ -406,7 +561,7 @@ func (s *server) handlePlan(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("ETag", etag)
 	w.Header().Set(api.HeaderPlanEpoch, strconv.FormatUint(p.Epoch, 10))
 	w.Header().Set(api.HeaderPlanPolicy, p.Policy)
-	if relay, ok := s.plans.(*planRelay); ok && relay.ServedStale(program) {
+	if relay, ok := s.plans.(*planRelay); ok && relay.ServedStale(program, version) {
 		w.Header().Set(api.HeaderRelayStale, "1")
 	}
 	if r.Header.Get("If-None-Match") == etag {
@@ -444,6 +599,7 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		MergeMsTotal:    float64(nanos) / 1e6,
 		MergeMsMean:     meanMs,
 		UptimeS:         time.Since(s.start).Seconds(),
+		ProgramVersions: s.multi.NumKeys(),
 	}
 	if lat := s.ingestLat.Summary(); lat.Count > 0 {
 		m.IngestLat = &api.LatencyMetrics{
@@ -457,14 +613,16 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	}
 	if s.plans != nil {
 		ps := s.plans.Stats()
+		m.PlanVersionMismatches = ps.VersionMismatches
 		m.Plan = &api.PlanMetrics{
-			Programs:      ps.Programs,
-			Computed:      ps.Computed,
-			Unchanged:     ps.Unchanged,
-			CompileErrors: ps.Errors,
-			Requests:      s.planRequests.Load(),
-			NotModified:   s.planNotModified.Load(),
-			RequestErrors: s.planErrors.Load(),
+			Programs:          ps.Programs,
+			Computed:          ps.Computed,
+			Unchanged:         ps.Unchanged,
+			CompileErrors:     ps.Errors,
+			Requests:          s.planRequests.Load(),
+			NotModified:       s.planNotModified.Load(),
+			RequestErrors:     s.planErrors.Load(),
+			VersionMismatches: ps.VersionMismatches,
 		}
 		if relay, ok := s.plans.(*planRelay); ok {
 			m.Plan.RelayRefreshes, m.Plan.RelayStale = relay.Counters()

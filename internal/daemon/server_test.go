@@ -23,9 +23,10 @@ func edge(c, s, t int) profile.Edge { return profile.Edge{Caller: c, Site: s, Ca
 
 func newTestDaemon(t *testing.T) (*httptest.Server, *dcgstore.Store) {
 	t.Helper()
-	store := dcgstore.New(8)
+	multi := dcgstore.NewMulti(8)
+	store := multi.Default()
 	cfg := Config{PlanPolicy: "new-linear", PlanFloor: 1, PlanBand: 0.25, PlanHold: 0.05}
-	ts := httptest.NewServer(newServer(store, NewPlanService(cfg, store, t.Logf), newFedState(), cfg.MaxUploadBytes).handler())
+	ts := httptest.NewServer(newServer(multi, NewPlanService(cfg, multi, t.Logf), newFedState(), cfg.MaxUploadBytes).handler())
 	t.Cleanup(ts.Close)
 	return ts, store
 }
@@ -132,9 +133,10 @@ func TestIngestRejectsGarbageAndWrongMethod(t *testing.T) {
 // any other malformed body) and leaves the store untouched — the
 // MaxBytesReader guarantees the daemon never buffered the excess.
 func TestIngestRejectsOversizeBody(t *testing.T) {
-	store := dcgstore.New(4)
+	multi := dcgstore.NewMulti(4)
+	store := multi.Default()
 	cfg := Config{MaxUploadBytes: 128}
-	ts := httptest.NewServer(newServer(store, NewPlanService(cfg, store, t.Logf), newFedState(), cfg.MaxUploadBytes).handler())
+	ts := httptest.NewServer(newServer(multi, NewPlanService(cfg, multi, t.Logf), newFedState(), cfg.MaxUploadBytes).handler())
 	t.Cleanup(ts.Close)
 
 	big := profile.NewDCG()

@@ -195,7 +195,7 @@ func TestPlanRelayDoesNotSerializeAcrossPrograms(t *testing.T) {
 	rl := newPlanRelay(api.NewClient(root.URL))
 	slowDone := make(chan error, 1)
 	go func() {
-		_, err := rl.PlanFor("slow")
+		_, err := rl.PlanForVersion("slow", "")
 		slowDone <- err
 	}()
 	<-slowEntered
@@ -204,7 +204,7 @@ func TestPlanRelayDoesNotSerializeAcrossPrograms(t *testing.T) {
 	// request and the metrics surface must both complete.
 	fastDone := make(chan error, 1)
 	go func() {
-		_, err := rl.PlanFor("fast")
+		_, err := rl.PlanForVersion("fast", "")
 		fastDone <- err
 	}()
 	select {
@@ -217,7 +217,7 @@ func TestPlanRelayDoesNotSerializeAcrossPrograms(t *testing.T) {
 	}
 	statsDone := make(chan struct{})
 	go func() {
-		rl.ServedStale("fast")
+		rl.ServedStale("fast", "")
 		rl.Counters()
 		rl.Stats()
 		close(statsDone)

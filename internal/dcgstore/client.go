@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"gocbs/internal/api"
+	"gocbs/internal/bytecode"
 	"gocbs/internal/profile"
 )
 
@@ -60,6 +61,11 @@ type Client struct {
 	Retries    int
 	Backoff    time.Duration
 	MaxBackoff time.Duration
+	// Key, when non-zero, stamps every push with a (program, version)
+	// identity so the daemon merges it into that build's own graph
+	// instead of the legacy shared aggregate. Set it to the pushing
+	// VM's program name and bytecode.Program.Version().
+	Key api.ProgramKey
 
 	seq uint64
 }
@@ -109,8 +115,15 @@ func (c *Client) Push(g *profile.DCG) error {
 // an attempt whose response was lost — counts as success. The same
 // (pusher, seq) pair must always carry the same graph.
 func (c *Client) PushDelta(pusher string, seq uint64, g *profile.DCG) error {
-	_, err := c.api().PushDCG(pusher, seq, g)
+	_, err := c.api().PushDCGKeyed(pusher, seq, c.Key, g)
 	return err
+}
+
+// RegisterManifest registers a build's method/site manifest with the
+// daemon, enabling cross-version profile carry-forward when a newer
+// build of the same program later registers. Idempotent.
+func (c *Client) RegisterManifest(man *bytecode.Manifest) (*api.ManifestResponse, error) {
+	return c.api().PushManifest(api.ProgramKey{Program: man.Program, Version: man.Version}, man.Encode())
 }
 
 // Fetch retrieves the daemon's current merged DCG from the snapshot

@@ -214,6 +214,9 @@ func readSequences(r io.Reader) (map[string]uint64, error) {
 type Checkpointer struct {
 	Dir   string
 	Store *Store
+	// Multi, when set, checkpoints the whole keyed store family
+	// (SaveMultiCheckpoint) instead of just Store.
+	Multi *Multi
 	// Every is the checkpoint interval; <= 0 selects
 	// DefaultCheckpointEvery.
 	Every time.Duration
@@ -237,7 +240,13 @@ func (c *Checkpointer) Run(ctx context.Context) {
 		case <-ctx.Done():
 			return
 		case <-ticker.C:
-			if err := SaveCheckpoint(c.Dir, c.Store); err != nil && c.Logf != nil {
+			var err error
+			if c.Multi != nil {
+				err = SaveMultiCheckpoint(c.Dir, c.Multi)
+			} else {
+				err = SaveCheckpoint(c.Dir, c.Store)
+			}
+			if err != nil && c.Logf != nil {
 				c.Logf("checkpoint: %v", err)
 			}
 		}

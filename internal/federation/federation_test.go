@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"gocbs/internal/api"
+	"gocbs/internal/bytecode"
 	"gocbs/internal/dcgstore"
 	"gocbs/internal/profile"
 )
@@ -26,6 +27,9 @@ func edge(c, s, t int) profile.Edge { return profile.Edge{Caller: c, Site: s, Ca
 // importing internal/daemon (which imports this package).
 type rootServer struct {
 	store *dcgstore.Store
+	// multi is the full per-build ledger; store is its default
+	// substore, which keeps the pre-versioning tests unchanged.
+	multi *dcgstore.Multi
 	// failNext, when > 0, answers that many requests with a 500
 	// WITHOUT applying them.
 	failNext atomic.Int32
@@ -35,18 +39,34 @@ type rootServer struct {
 }
 
 func newRootServer() *rootServer {
-	return &rootServer{store: dcgstore.New(8)}
+	multi := dcgstore.NewMulti(8)
+	return &rootServer{store: multi.Default(), multi: multi}
 }
 
 func (rs *rootServer) handler(t testing.TB) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		if r.URL.Path != api.PathIngest {
-			t.Errorf("root saw unexpected path %q", r.URL.Path)
-		}
 		if rs.failNext.Load() > 0 {
 			rs.failNext.Add(-1)
 			api.WriteError(w, http.StatusInternalServerError, api.CodeInternal, "injected")
 			return
+		}
+		if r.URL.Path == api.PathManifest {
+			man, err := bytecode.DecodeManifest(r.Body)
+			if err != nil {
+				t.Errorf("root: bad manifest: %v", err)
+				api.WriteError(w, http.StatusBadRequest, api.CodeBadRequest, err.Error())
+				return
+			}
+			edges, weight, err := rs.multi.RegisterManifest(man)
+			if err != nil {
+				api.WriteError(w, http.StatusServiceUnavailable, api.CodeCapacity, err.Error())
+				return
+			}
+			fmt.Fprintf(w, `{"registered":true,"carried_edges":%d,"carried_weight":%g}`, edges, weight)
+			return
+		}
+		if r.URL.Path != api.PathIngest {
+			t.Errorf("root saw unexpected path %q", r.URL.Path)
 		}
 		g, err := profile.ReadDCG(r.Body)
 		if err != nil {
@@ -61,7 +81,15 @@ func (rs *rootServer) handler(t testing.TB) http.Handler {
 				t.Errorf("root: bad seq: %v", err)
 			}
 		}
-		applied := rs.store.MergeDCGFrom(pusher, seq, g)
+		dest := rs.store
+		if prog := r.Header.Get(api.HeaderProgram); prog != "" {
+			dest = rs.multi.For(api.ProgramKey{Program: prog, Version: r.Header.Get(api.HeaderProgramVersion)})
+			if dest == nil {
+				api.WriteError(w, http.StatusServiceUnavailable, api.CodeCapacity, "ledger full")
+				return
+			}
+		}
+		applied := dest.MergeDCGFrom(pusher, seq, g)
 		if rs.dropNext.Load() > 0 {
 			rs.dropNext.Add(-1)
 			panic(http.ErrAbortHandler)
@@ -484,4 +512,107 @@ func TestRegistryCapAndExpiry(t *testing.T) {
 	if len(ls) != 2 || ls[0].ID != "leaf-0000" || ls[1].ID != "leaf-new" {
 		t.Fatalf("post-expiry list = %+v", ls)
 	}
+}
+
+// TestForwarderRelaysKeyedBuildsAndManifests: a leaf whose store holds
+// per-(program, version) substores and registered manifests forwards
+// all of it — manifests first, in registration order, then each keyed
+// stream — and the root reconstructs the same per-build ledger. A
+// restart from the write-ahead state neither loses nor re-counts any
+// keyed weight, and re-relayed manifests are idempotent at the root.
+func TestForwarderRelaysKeyedBuildsAndManifests(t *testing.T) {
+	root := newRootServer()
+	ts := httptest.NewServer(root.handler(t))
+	defer ts.Close()
+
+	leaf := dcgstore.NewMulti(4)
+	kA := api.ProgramKey{Program: "compress", Version: "00000000aaaaaaaa"}
+	kB := api.ProgramKey{Program: "compress", Version: "00000000bbbbbbbb"}
+	manA := &bytecode.Manifest{Program: kA.Program, Version: kA.Version,
+		Methods: []bytecode.MethodFingerprint{{Name: "$Globals.iter", Hash: 1}},
+		Sites:   []bytecode.SiteFingerprint{{Owner: 0, PC: 3}}}
+	if _, _, err := leaf.RegisterManifest(manA); err != nil {
+		t.Fatal(err)
+	}
+	gDef := profile.NewDCG()
+	gDef.AddSample(edge(5, 5, 6), 2)
+	leaf.Default().MergeDCGFrom("vm-0", 1, gDef)
+	gA := profile.NewDCG()
+	gA.AddSample(edge(0, 3, 1), 10)
+	leaf.For(kA).MergeDCGFrom("vm-1", 1, gA)
+
+	statePath := filepath.Join(t.TempDir(), "fwd-state.json")
+	mkFwd := func() *Forwarder {
+		t.Helper()
+		fwd, err := NewForwarder(ForwarderConfig{
+			ID: "leaf-0", Upstream: fastUpstream(ts.URL),
+			Source: leaf.Default().Snapshot,
+			KeyedSource: func() map[api.ProgramKey]*profile.DCG {
+				out := make(map[api.ProgramKey]*profile.DCG)
+				for _, k := range leaf.Keys() {
+					out[k] = leaf.Lookup(k).Snapshot()
+				}
+				return out
+			},
+			Manifests: leaf.ManifestsInOrder,
+			StatePath: statePath,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return fwd
+	}
+
+	fwd := mkFwd()
+	if resp, err := fwd.Flush(); err != nil || !resp.Forwarded {
+		t.Fatalf("first flush: resp=%+v err=%v", resp, err)
+	}
+	if root.multi.Manifest(kA) == nil {
+		t.Fatal("manifest A not relayed to root")
+	}
+	if root.multi.Lookup(kA) == nil {
+		t.Fatal("root has no substore for build A")
+	}
+	mustEqualDCG(t, "root build A", root.multi.Lookup(kA).Snapshot(), gA)
+	mustEqualDCG(t, "root default", root.store.Snapshot(), gDef)
+
+	// A second build appears at the leaf (manifest + data), plus more
+	// weight on the first: one flush relays the new manifest and both
+	// keyed deltas.
+	manB := &bytecode.Manifest{Program: kB.Program, Version: kB.Version,
+		Methods: []bytecode.MethodFingerprint{{Name: "$Globals.iter", Hash: 2}},
+		Sites:   []bytecode.SiteFingerprint{{Owner: 0, PC: 3}}}
+	if _, _, err := leaf.RegisterManifest(manB); err != nil {
+		t.Fatal(err)
+	}
+	gB := profile.NewDCG()
+	gB.AddSample(edge(0, 3, 2), 7)
+	leaf.For(kB).MergeDCGFrom("vm-2", 1, gB)
+	more := profile.NewDCG()
+	more.AddSample(edge(0, 3, 1), 5)
+	leaf.For(kA).MergeDCGFrom("vm-1", 2, more)
+	if resp, err := fwd.Flush(); err != nil || !resp.Forwarded {
+		t.Fatalf("second flush: resp=%+v err=%v", resp, err)
+	}
+	if root.multi.Manifest(kB) == nil {
+		t.Fatal("manifest B not relayed to root")
+	}
+	mustEqualDCG(t, "root build A after growth", root.multi.Lookup(kA).Snapshot(), leaf.Lookup(kA).Snapshot())
+	mustEqualDCG(t, "root build B", root.multi.Lookup(kB).Snapshot(), leaf.Lookup(kB).Snapshot())
+	mustEqualDCG(t, "acked keyed A", fwd.AcknowledgedKeyed(kA), leaf.Lookup(kA).Snapshot())
+	mustEqualDCG(t, "acked keyed B", fwd.AcknowledgedKeyed(kB), leaf.Lookup(kB).Snapshot())
+
+	// Restart from the write-ahead state: nothing pending, an idle
+	// flush moves nothing, and the keyed ledgers still agree — the
+	// restarted forwarder re-relays no manifest and re-counts no edge.
+	fwd2 := mkFwd()
+	if fwd2.Pending() != 0 {
+		t.Fatalf("restarted forwarder has %d pending, want 0", fwd2.Pending())
+	}
+	if resp, err := fwd2.Flush(); err != nil || resp.Edges != 0 {
+		t.Fatalf("idle flush after restart: resp=%+v err=%v", resp, err)
+	}
+	mustEqualDCG(t, "root build A after restart", root.multi.Lookup(kA).Snapshot(), leaf.Lookup(kA).Snapshot())
+	mustEqualDCG(t, "root build B after restart", root.multi.Lookup(kB).Snapshot(), leaf.Lookup(kB).Snapshot())
+	mustEqualDCG(t, "acked keyed A after restart", fwd2.AcknowledgedKeyed(kA), leaf.Lookup(kA).Snapshot())
 }

@@ -9,9 +9,11 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
 	"sync"
 
 	"gocbs/internal/api"
+	"gocbs/internal/bytecode"
 	"gocbs/internal/profile"
 )
 
@@ -45,28 +47,47 @@ type Forwarder struct {
 	upstream *api.Client
 	// source returns the leaf store's consistent snapshot.
 	source func() *profile.DCG
+	// keyedSource returns per-(program, version) snapshots; nil leaves
+	// forward only the default stream.
+	keyedSource func() map[api.ProgramKey]*profile.DCG
+	// manifests returns the leaf's registered manifests in registration
+	// order, for upward relay; nil skips manifest relay.
+	manifests func() []*bytecode.Manifest
 	// statePath, when non-empty, persists the write-ahead state.
 	statePath string
 
 	mu sync.Mutex
 	// last is the snapshot baseline of the previous capture.
 	last *profile.DCG
-	// seq is the last allocated sequence number.
+	// lastKeyed is the per-build capture baseline.
+	lastKeyed map[api.ProgramKey]*profile.DCG
+	// seq is the last allocated sequence number. One counter stamps
+	// both the default and every keyed stream: the root deduplicates
+	// per substore against a per-pusher high-water mark, and each
+	// stream sees a strictly increasing subsequence of one counter.
 	seq uint64
 	// pending holds captured-but-unacknowledged increments in
 	// sequence order, frozen (bytes never change once stamped).
 	pending []stampedDelta
-	// acked accumulates every increment the root acknowledged — by
-	// construction exactly the graph the root owes this leaf.
+	// acked accumulates every default-stream increment the root
+	// acknowledged — by construction exactly the graph the root owes
+	// this leaf.
 	acked *profile.DCG
+	// ackedKeyed is the same accounting per build.
+	ackedKeyed map[api.ProgramKey]*profile.DCG
+	// sentManifests records which manifests the root has acknowledged;
+	// relay is at-least-once and the root registers idempotently.
+	sentManifests map[api.ProgramKey]bool
 
 	forwards uint64
 	errs     uint64
 }
 
-// stampedDelta is one frozen increment.
+// stampedDelta is one frozen increment. A zero key targets the root's
+// default substore; a non-zero key its (program, version) substore.
 type stampedDelta struct {
 	seq   uint64
+	key   api.ProgramKey
 	delta *profile.DCG
 }
 
@@ -79,8 +100,18 @@ type ForwarderConfig struct {
 	Upstream *api.Client
 	// Source returns the leaf store's consistent snapshot. Required.
 	Source func() *profile.DCG
+	// KeyedSource returns per-(program, version) snapshots of the
+	// leaf's keyed substores. Optional: nil forwards only the default
+	// stream (the pre-versioning behaviour). Each keyed graph is
+	// forwarded to the same substore at the root, so version isolation
+	// survives federation end to end.
+	KeyedSource func() map[api.ProgramKey]*profile.DCG
+	// Manifests returns the leaf's registered manifests in
+	// registration order, relayed upstream (before any keyed deltas)
+	// so the root can run its own carry-forward. Optional.
+	Manifests func() []*bytecode.Manifest
 	// StatePath, when non-empty, persists the forwarder's write-ahead
-	// state (capture baseline, sequence counter, pending increments)
+	// state (capture baselines, sequence counter, pending increments)
 	// across restarts. Without it a restarted leaf would re-forward
 	// its whole restored store under fresh stamps.
 	StatePath string
@@ -98,11 +129,16 @@ func NewForwarder(cfg ForwarderConfig) (*Forwarder, error) {
 		return nil, errors.New("federation: forwarder needs a store source")
 	}
 	f := &Forwarder{
-		id:        cfg.ID,
-		upstream:  cfg.Upstream,
-		source:    cfg.Source,
-		statePath: cfg.StatePath,
-		acked:     profile.NewDCG(),
+		id:            cfg.ID,
+		upstream:      cfg.Upstream,
+		source:        cfg.Source,
+		keyedSource:   cfg.KeyedSource,
+		manifests:     cfg.Manifests,
+		statePath:     cfg.StatePath,
+		acked:         profile.NewDCG(),
+		lastKeyed:     make(map[api.ProgramKey]*profile.DCG),
+		ackedKeyed:    make(map[api.ProgramKey]*profile.DCG),
+		sentManifests: make(map[api.ProgramKey]bool),
 	}
 	if cfg.StatePath != "" {
 		if err := f.restore(cfg.StatePath, cfg.ID); err != nil {
@@ -130,55 +166,126 @@ func newLeafID() string {
 // ID returns the leaf's upstream pusher identity.
 func (f *Forwarder) ID() string { return f.id }
 
-// Flush captures the weight the store accumulated since the previous
-// capture as a new stamped increment, persists the state, then pushes
-// every pending increment upstream in order. A flush with nothing new
-// and nothing pending is a no-op. The returned response reports what
-// this flush captured and what remains pending (non-zero only when an
-// upstream push failed; those increments stay frozen for the next
-// flush).
+// Flush relays any newly registered manifests, captures the weight the
+// store (default and keyed substores alike) accumulated since the
+// previous capture as new stamped increments, persists the state, then
+// pushes every pending increment upstream in order. A flush with
+// nothing new and nothing pending is a no-op. The returned response
+// reports what this flush captured and what remains pending (non-zero
+// only when an upstream push failed; those increments stay frozen for
+// the next flush).
 func (f *Forwarder) Flush() (api.FlushResponse, error) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 
 	resp := api.FlushResponse{}
-	cur := f.source()
-	delta := cur.DeltaSince(f.last)
-	if delta.NumEdges() > 0 {
-		prev := f.last
+
+	// Manifests go first, in registration order, so the root learns a
+	// build's succession (and runs its carry-forward) before that
+	// build's deltas arrive. At-least-once: a relay whose response was
+	// lost re-sends, and the root registers idempotently.
+	if f.manifests != nil {
+		for _, man := range f.manifests() {
+			key := api.ProgramKey{Program: man.Program, Version: man.Version}
+			if f.sentManifests[key] {
+				continue
+			}
+			if _, err := f.upstream.PushManifest(key, man.Encode()); err != nil {
+				f.errs++
+				resp.Pending = len(f.pending)
+				resp.Seq = f.ackedSeqLocked()
+				return resp, fmt.Errorf("federation: relay manifest %s: %w", key.String(), err)
+			}
+			f.sentManifests[key] = true
+			if err := f.persistLocked(); err != nil {
+				// The relay landed; a stale sent-set only means one
+				// redundant (idempotent) re-register after a crash.
+				f.errs++
+			}
+		}
+	}
+
+	// Capture phase: one write-ahead persist covers every stream's
+	// capture, with a full rollback on persist failure so the next
+	// flush re-captures the identical deltas under the same seqs.
+	type rollback struct {
+		key  api.ProgramKey
+		prev *profile.DCG
+		def  bool
+	}
+	var rollbacks []rollback
+	capture := func(key api.ProgramKey, def bool, cur, base *profile.DCG) *profile.DCG {
+		delta := cur.DeltaSince(base)
+		if delta.NumEdges() == 0 {
+			return base
+		}
+		rollbacks = append(rollbacks, rollback{key: key, prev: base, def: def})
 		f.seq++
-		f.pending = append(f.pending, stampedDelta{seq: f.seq, delta: delta})
-		f.last = cur.Clone()
-		resp.Edges = delta.NumEdges()
-		resp.Weight = delta.Total()
-		// Write-ahead: the capture must hit disk before the first push
+		f.pending = append(f.pending, stampedDelta{seq: f.seq, key: key, delta: delta})
+		resp.Edges += delta.NumEdges()
+		resp.Weight += delta.Total()
+		return cur.Clone()
+	}
+	f.last = capture(api.ProgramKey{}, true, f.source(), f.last)
+	if f.keyedSource != nil {
+		keyed := f.keyedSource()
+		keys := make([]api.ProgramKey, 0, len(keyed))
+		for k := range keyed {
+			keys = append(keys, k)
+		}
+		sort.Slice(keys, func(i, j int) bool { return keys[i].String() < keys[j].String() })
+		for _, k := range keys {
+			if next := capture(k, false, keyed[k], f.lastKeyed[k]); next != nil {
+				f.lastKeyed[k] = next
+			}
+		}
+	}
+	if len(rollbacks) > 0 {
+		// Write-ahead: the captures must hit disk before the first push
 		// attempt, or a crash after a successful push would re-capture
-		// and double-send this weight under a new stamp.
+		// and double-send this weight under new stamps.
 		if err := f.persistLocked(); err != nil {
-			// Roll the capture back to the PRIOR baseline, so the next
-			// flush re-captures exactly this delta (plus anything newer)
-			// under the same seq. Resetting the baseline to nil instead
-			// would re-capture the whole store — weight the root already
-			// acknowledged under earlier seqs, double-counted under a
-			// fresh stamp.
-			f.pending = f.pending[:len(f.pending)-1]
-			f.seq--
-			f.last = prev
+			// Roll every capture back to its PRIOR baseline, so the next
+			// flush re-captures exactly these deltas (plus anything
+			// newer) under the same seqs. Resetting a baseline to nil
+			// instead would re-capture the whole stream — weight the
+			// root already acknowledged under earlier seqs,
+			// double-counted under fresh stamps.
+			f.pending = f.pending[:len(f.pending)-len(rollbacks)]
+			f.seq -= uint64(len(rollbacks))
+			for _, rb := range rollbacks {
+				switch {
+				case rb.def:
+					f.last = rb.prev
+				case rb.prev == nil:
+					delete(f.lastKeyed, rb.key)
+				default:
+					f.lastKeyed[rb.key] = rb.prev
+				}
+			}
 			f.errs++
+			resp.Edges, resp.Weight = 0, 0
 			return resp, fmt.Errorf("federation: persist capture: %w", err)
 		}
 	}
 
 	for len(f.pending) > 0 {
 		head := f.pending[0]
-		if _, err := f.upstream.PushDelta(f.id, head.seq, encodeDCG(head.delta)); err != nil {
+		if _, err := f.upstream.PushDeltaKeyed(f.id, head.seq, head.key, encodeDCG(head.delta)); err != nil {
 			f.errs++
 			resp.Pending = len(f.pending)
 			resp.Seq = f.ackedSeqLocked()
 			return resp, fmt.Errorf("federation: forward seq %d: %w", head.seq, err)
 		}
 		f.pending = f.pending[1:]
-		f.acked.Merge(head.delta)
+		if head.key.IsZero() {
+			f.acked.Merge(head.delta)
+		} else {
+			if f.ackedKeyed[head.key] == nil {
+				f.ackedKeyed[head.key] = profile.NewDCG()
+			}
+			f.ackedKeyed[head.key].Merge(head.delta)
+		}
 		f.forwards++
 		if err := f.persistLocked(); err != nil {
 			// The ack is applied in memory; a stale state file only
@@ -204,13 +311,24 @@ func (f *Forwarder) ackedSeqLocked() uint64 {
 	return f.seq
 }
 
-// Acknowledged returns a clone of the cumulative graph the root has
-// acknowledged from this leaf — what the conservation checker holds
-// the root accountable for.
+// Acknowledged returns a clone of the cumulative default-stream graph
+// the root has acknowledged from this leaf — what the conservation
+// checker holds the root accountable for.
 func (f *Forwarder) Acknowledged() *profile.DCG {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	return f.acked.Clone()
+}
+
+// AcknowledgedKeyed is Acknowledged for one (program, version) stream;
+// an empty graph when the root has acknowledged nothing for that build.
+func (f *Forwarder) AcknowledgedKeyed(key api.ProgramKey) *profile.DCG {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if g := f.ackedKeyed[key]; g != nil {
+		return g.Clone()
+	}
+	return profile.NewDCG()
 }
 
 // Pending reports how many captured increments await acknowledgement.
@@ -255,11 +373,27 @@ type forwarderState struct {
 	Last    []byte         `json:"last,omitempty"`
 	Acked   []byte         `json:"acked,omitempty"`
 	Pending []pendingState `json:"pending,omitempty"`
+	// Keyed carries the per-build baselines and acked graphs, in
+	// canonical key order; SentManifests the manifests the root has
+	// already acknowledged.
+	Keyed         []keyedState     `json:"keyed,omitempty"`
+	SentManifests []api.ProgramKey `json:"sent_manifests,omitempty"`
 }
 
 type pendingState struct {
-	Seq   uint64 `json:"seq"`
-	Delta []byte `json:"delta"`
+	Seq uint64 `json:"seq"`
+	// Program/Version name the target substore; empty targets the
+	// default stream.
+	Program string `json:"program,omitempty"`
+	Version string `json:"version,omitempty"`
+	Delta   []byte `json:"delta"`
+}
+
+type keyedState struct {
+	Program string `json:"program"`
+	Version string `json:"version"`
+	Last    []byte `json:"last,omitempty"`
+	Acked   []byte `json:"acked,omitempty"`
 }
 
 func encodeDCG(g *profile.DCG) []byte {
@@ -289,8 +423,41 @@ func (f *Forwarder) persistLocked() error {
 		st.Acked = encodeDCG(f.acked)
 	}
 	for _, p := range f.pending {
-		st.Pending = append(st.Pending, pendingState{Seq: p.seq, Delta: encodeDCG(p.delta)})
+		st.Pending = append(st.Pending, pendingState{
+			Seq: p.seq, Program: p.key.Program, Version: p.key.Version, Delta: encodeDCG(p.delta),
+		})
 	}
+	keys := make([]api.ProgramKey, 0, len(f.lastKeyed)+len(f.ackedKeyed))
+	seen := make(map[api.ProgramKey]bool)
+	for k := range f.lastKeyed {
+		if !seen[k] {
+			seen[k] = true
+			keys = append(keys, k)
+		}
+	}
+	for k := range f.ackedKeyed {
+		if !seen[k] {
+			seen[k] = true
+			keys = append(keys, k)
+		}
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i].String() < keys[j].String() })
+	for _, k := range keys {
+		ks := keyedState{Program: k.Program, Version: k.Version}
+		if g := f.lastKeyed[k]; g != nil {
+			ks.Last = encodeDCG(g)
+		}
+		if g := f.ackedKeyed[k]; g != nil && g.NumEdges() > 0 {
+			ks.Acked = encodeDCG(g)
+		}
+		st.Keyed = append(st.Keyed, ks)
+	}
+	for k := range f.sentManifests {
+		st.SentManifests = append(st.SentManifests, k)
+	}
+	sort.Slice(st.SentManifests, func(i, j int) bool {
+		return st.SentManifests[i].String() < st.SentManifests[j].String()
+	})
 	data, err := json.Marshal(st)
 	if err != nil {
 		return err
@@ -350,7 +517,25 @@ func (f *Forwarder) restore(path, wantID string) error {
 		if err != nil {
 			return fmt.Errorf("federation: corrupt pending increment %d in %s: %w", p.Seq, path, err)
 		}
-		f.pending = append(f.pending, stampedDelta{seq: p.Seq, delta: d})
+		f.pending = append(f.pending, stampedDelta{
+			seq: p.Seq, key: api.ProgramKey{Program: p.Program, Version: p.Version}, delta: d,
+		})
+	}
+	for _, ks := range st.Keyed {
+		key := api.ProgramKey{Program: ks.Program, Version: ks.Version}
+		if last, err := decodeDCG(ks.Last); err != nil {
+			return fmt.Errorf("federation: corrupt keyed baseline %s in %s: %w", key.String(), path, err)
+		} else if last != nil {
+			f.lastKeyed[key] = last
+		}
+		if acked, err := decodeDCG(ks.Acked); err != nil {
+			return fmt.Errorf("federation: corrupt keyed acked graph %s in %s: %w", key.String(), path, err)
+		} else if acked != nil {
+			f.ackedKeyed[key] = acked
+		}
+	}
+	for _, k := range st.SentManifests {
+		f.sentManifests[k] = true
 	}
 	return nil
 }

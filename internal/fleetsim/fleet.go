@@ -135,6 +135,12 @@ type fleet struct {
 	stateDir string
 	// direct bypasses chaos for capture/verification traffic.
 	direct *http.Client
+	// resolve, when non-nil, is passed to the daemon as its
+	// ResolveProgram hook. The rolling-upgrade scenario uses it to hand
+	// the daemon both builds of the program; nil keeps the daemon's
+	// default (canonical suite build only), and it survives restarts
+	// because the fleet, not the daemon incarnation, owns it.
+	resolve func(name, version string) (*bytecode.Program, error)
 }
 
 func (f *fleet) startDaemon() error {
@@ -152,8 +158,9 @@ func (f *fleet) startDaemon() error {
 			// Sensitive plan params so short soaks with small graphs still
 			// produce non-empty plans (mirrors the daemon package's tests).
 			PlanFloor: 1, PlanBand: 0.25, PlanHold: 0.05,
-			Ready: ready,
-			Logf:  f.cfg.Logf,
+			ResolveProgram: f.resolve,
+			Ready:          ready,
+			Logf:           f.cfg.Logf,
 		})
 	}()
 	select {

@@ -1,0 +1,73 @@
+package fleetsim
+
+import (
+	"testing"
+)
+
+// TestRollingUpgrade is the acceptance test for content-addressed
+// program versions: half the fleet flips to a modified build mid-run
+// and every invariant must hold per version — weight conservation
+// (v2's including the carried-forward baseline), restart byte-identity
+// for both builds' /snapshot and /plan, monotone non-flapping plan
+// epochs within each version, no cross-version plan ever observed, and
+// the misrouted probe refusing v1 plans while running v2.
+func TestRollingUpgrade(t *testing.T) {
+	rep, err := RunUpgrade(UpgradeConfig{
+		VMs:               4,
+		PullersPerVersion: 1,
+		Rounds:            6,
+		ItersPerRound:     2,
+		Seed:              7,
+		Logf:              t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.V1 == rep.V2 {
+		t.Fatalf("upgrade did not change the version: %s", rep.V1)
+	}
+	for _, v := range rep.Verdicts {
+		if !v.Passed {
+			t.Errorf("invariant %s FAILED: %s", v.Name, v.Detail)
+		} else {
+			t.Logf("invariant %s ok: %s", v.Name, v.Detail)
+		}
+	}
+	if !rep.Passed {
+		t.Fatal("rolling-upgrade soak failed")
+	}
+}
+
+// TestUpgradeProgramIsMinimal pins what "an upgrade" means to the
+// scenario: the version changes, exactly one method fingerprint
+// changes, and no call-site fingerprint moves — so carry-forward has a
+// well-defined survivor set.
+func TestUpgradeProgramIsMinimal(t *testing.T) {
+	v1prog, _, err := jitCompile("compress")
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2prog := upgradeProgram(v1prog)
+	if v1prog.Version() == v2prog.Version() {
+		t.Fatal("version unchanged by upgrade")
+	}
+	m1 := v1prog.BuildManifest("compress")
+	m2 := v2prog.BuildManifest("compress")
+	changed := 0
+	for i := range m1.Methods {
+		if m1.Methods[i] != m2.Methods[i] {
+			changed++
+		}
+	}
+	if changed != 1 {
+		t.Errorf("%d method fingerprints changed, want exactly 1", changed)
+	}
+	if len(m1.Sites) != len(m2.Sites) {
+		t.Fatalf("site count changed: %d -> %d", len(m1.Sites), len(m2.Sites))
+	}
+	for i := range m1.Sites {
+		if m1.Sites[i] != m2.Sites[i] {
+			t.Errorf("site %d fingerprint moved: %+v -> %+v", i, m1.Sites[i], m2.Sites[i])
+		}
+	}
+}

@@ -17,6 +17,11 @@ import (
 type planPolicy struct {
 	plan   *Plan
 	bySite map[int]Decision
+	// matched records plan sites that produced at least one applied
+	// decision; after the optimizer finishes, any plan site not in here
+	// was skipped — its decision is stale for this build of the
+	// program (missing site, wrong kind, wrong target layout).
+	matched map[int]bool
 }
 
 // Name implements inline.Policy.
@@ -48,6 +53,7 @@ func (p *planPolicy) Plan(prog *bytecode.Program, m *bytecode.Method, _ *profile
 			if d.Kind != KindStatic || cs.Static != target {
 				continue
 			}
+			p.matched[cs.Site] = true
 			ds = append(ds, inline.Decision{PC: cs.PC, Target: target})
 		case bytecode.OpCallVirtual:
 			switch d.Kind {
@@ -55,8 +61,10 @@ func (p *planPolicy) Plan(prog *bytecode.Program, m *bytecode.Method, _ *profile
 				if target.VSlot != cs.Slot {
 					continue
 				}
+				p.matched[cs.Site] = true
 				ds = append(ds, inline.Decision{PC: cs.PC, Target: target, Guarded: true})
 			case KindNullGuard:
+				p.matched[cs.Site] = true
 				ds = append(ds, inline.Decision{PC: cs.PC, Target: target, NullGuard: true})
 			}
 		}
@@ -64,14 +72,37 @@ func (p *planPolicy) Plan(prog *bytecode.Program, m *bytecode.Method, _ *profile
 	return ds
 }
 
+// ApplyResult is inline.Optimize's report plus the plan-application
+// accounting that used to be silently discarded.
+type ApplyResult struct {
+	inline.Report
+	// SkippedStale counts plan decisions that never matched a call site
+	// in this build of the program — the signature of a plan compiled
+	// for a different build. Zero on a version-matched application.
+	SkippedStale int
+}
+
 // Apply rewrites prog in place according to the plan, using the same
 // bounded optimizer the policies run under, and reports what was
-// inlined. Callers that need to keep an unoptimized copy (the pull
-// loop's kill switch does) must pass a clone.
-func Apply(prog *bytecode.Program, p *Plan, opts inline.Options) (inline.Report, error) {
+// inlined — and how many plan decisions were skipped as stale, so a
+// mismatched fleet degrades loudly instead of quietly. Callers that
+// need to keep an unoptimized copy (the pull loop's kill switch does)
+// must pass a clone.
+func Apply(prog *bytecode.Program, p *Plan, opts inline.Options) (ApplyResult, error) {
 	bySite := make(map[int]Decision, len(p.Decisions))
 	for _, d := range p.Decisions {
 		bySite[d.Site] = d
 	}
-	return inline.Optimize(prog, &planPolicy{plan: p, bySite: bySite}, nil, opts)
+	pol := &planPolicy{plan: p, bySite: bySite, matched: make(map[int]bool)}
+	rep, err := inline.Optimize(prog, pol, nil, opts)
+	res := ApplyResult{Report: rep}
+	if err != nil {
+		return res, err
+	}
+	for site := range bySite {
+		if !pol.matched[site] {
+			res.SkippedStale++
+		}
+	}
+	return res, nil
 }

@@ -2,12 +2,18 @@ package plan
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
 	"net/http"
 	"time"
 
 	"gocbs/internal/api"
 )
+
+// ErrVersionMismatch marks a fetch refused because the daemon served a
+// plan compiled for a different program version than the one demanded.
+// Callers (the puller's refusal accounting) detect it with errors.Is.
+var ErrVersionMismatch = errors.New("plan version mismatch")
 
 // Client pulls plans from a cbsd daemon's plan endpoint, using ETag
 // conditional requests so an idle fleet costs the daemon one cheap 304
@@ -48,31 +54,49 @@ func (c *Client) SetHTTPClient(hc *http.Client) {
 	}
 }
 
-// Fetch returns the daemon's current plan for a program and whether it
-// changed since this client's previous fetch. A 304 Not Modified
-// returns the cached plan with changed=false.
+// Fetch returns the daemon's current plan for its canonical build of a
+// program — FetchVersion with no version constraint.
 func (c *Client) Fetch(program string) (p *Plan, changed bool, err error) {
-	st := c.state[program]
+	return c.FetchVersion(program, "")
+}
+
+// FetchVersion returns the daemon's current plan for one build of a
+// program and whether it changed since this client's previous fetch. A
+// non-empty version demands that exact build: a daemon that cannot
+// produce it answers 404 (surfaced as an error here), and a plan that
+// decodes with a different version is rejected on the client side too —
+// applying another build's decisions is never acceptable. A 304 Not
+// Modified returns the cached plan with changed=false.
+func (c *Client) FetchVersion(program, version string) (p *Plan, changed bool, err error) {
+	key := program + "@" + version
+	st := c.state[key]
 	var etag string
 	if st != nil {
 		etag = st.etag
 	}
-	res, err := c.api.GetPlan(program, etag)
+	res, err := c.api.GetPlanVersion(program, version, etag)
 	if err != nil {
 		return nil, false, err
 	}
 	if res.NotModified {
 		if st == nil || st.plan == nil {
-			return nil, false, fmt.Errorf("plan fetch %s: 304 without a cached plan", program)
+			return nil, false, fmt.Errorf("plan fetch %s: 304 without a cached plan", key)
 		}
 		return st.plan, false, nil
 	}
 	got, err := ReadPlan(bytes.NewReader(res.Body))
 	if err != nil {
-		return nil, false, fmt.Errorf("plan fetch %s: %w", program, err)
+		return nil, false, fmt.Errorf("plan fetch %s: %w", key, err)
 	}
+	// A versioned plan for a different build is refused at the wire: it
+	// must never even enter the cache. A version-LESS plan (from a
+	// pre-versioning daemon that ignored the version parameter) passes
+	// through — the caller decides whether legacy plans are acceptable.
+	if version != "" && got.Version != "" && got.Version != version {
+		return nil, false, fmt.Errorf("plan fetch %s: daemon served version %q: %w", key, got.Version, ErrVersionMismatch)
+	}
+	c.state[key] = &clientState{etag: res.ETag, plan: got}
 	changed = st == nil || st.plan == nil ||
 		st.plan.Epoch != got.Epoch || st.plan.Hash != got.Hash
-	c.state[program] = &clientState{etag: res.ETag, plan: got}
 	return got, changed, nil
 }

@@ -142,6 +142,19 @@ func Compile(program string, pristine *bytecode.Program, g *profile.DCG, params 
 	if err != nil {
 		return nil, err
 	}
+	version := pristine.Version()
+	// A prior compiled for a different build is not a prior at all: its
+	// decisions name that build's method and site IDs, so neither
+	// hysteresis retention nor epoch continuation may read it. The
+	// epoch restarts at 1 for the new build — epochs are scoped to a
+	// (program, version), which is also why a version flip can never
+	// flap an existing version's epoch. A version-less prior (restored
+	// from a pre-versioning state file) is likewise dropped; that one
+	// documented epoch reset buys every later restore a real identity
+	// check.
+	if prior != nil && prior.Version != version {
+		prior = nil
+	}
 	cond := Condition(g, params.MinWeight, params.Band)
 	decisions, err := Extract(pristine, policy, cond, params.Opts)
 	if err != nil {
@@ -176,7 +189,7 @@ func Compile(program string, pristine *bytecode.Program, g *profile.DCG, params 
 		}
 	}
 
-	p := &Plan{Program: program, Policy: params.Policy, Epoch: 1, Decisions: decisions}
+	p := &Plan{Program: program, Version: version, Policy: params.Policy, Epoch: 1, Decisions: decisions}
 	if prior != nil && prior.Equal(p) {
 		return prior, nil
 	}

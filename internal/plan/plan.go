@@ -74,7 +74,14 @@ type Decision struct {
 // plans with equal hashes carry identical decisions regardless of how
 // many epochs each side has seen.
 type Plan struct {
-	Program   string
+	Program string
+	// Version is the content-addressed identity of the program build
+	// the plan was compiled for (bytecode.Program.Version of the
+	// pristine program). Decisions name method and site IDs, which are
+	// meaningless in any other build — a puller must refuse a plan
+	// whose Version is not its own program's. Empty only on plans
+	// decoded from the pre-versioning wire format.
+	Version   string
 	Policy    string
 	Epoch     uint64
 	Hash      uint64
@@ -107,6 +114,13 @@ func (p *Plan) ContentHash() uint64 {
 	}
 	h.Write([]byte(p.Program))
 	h.Write([]byte{0})
+	// Guarded inclusion: version-less plans (decoded from the v1 wire
+	// format) must keep hashing exactly as they did when written, or
+	// every persisted plan would fail its self-check on upgrade.
+	if p.Version != "" {
+		h.Write([]byte(p.Version))
+		h.Write([]byte{0})
+	}
 	h.Write([]byte(p.Policy))
 	h.Write([]byte{0})
 	for _, d := range p.Decisions {
@@ -118,13 +132,14 @@ func (p *Plan) ContentHash() uint64 {
 }
 
 // Equal reports whether two plans carry identical decisions for the
-// same program and policy (epochs and hashes are not compared; compare
-// those separately when byte identity matters).
+// same program build and policy (epochs and hashes are not compared;
+// compare those separately when byte identity matters).
 func (p *Plan) Equal(o *Plan) bool {
 	if p == nil || o == nil {
 		return p == o
 	}
-	if p.Program != o.Program || p.Policy != o.Policy || len(p.Decisions) != len(o.Decisions) {
+	if p.Program != o.Program || p.Version != o.Version ||
+		p.Policy != o.Policy || len(p.Decisions) != len(o.Decisions) {
 		return false
 	}
 	for i := range p.Decisions {

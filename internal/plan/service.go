@@ -17,49 +17,74 @@ import (
 // compiler cannot resolve; servers map it to 404.
 var ErrUnknownProgram = errors.New("unknown program")
 
+// ErrUnknownVersion marks a plan request for a program version this
+// daemon cannot produce a plan for — the requester is running a build
+// the root does not know. Servers map it to 404 (and count it): the
+// puller keeps running unoptimized, which is the safe failure mode,
+// instead of part-applying a plan for a different build.
+var ErrUnknownVersion = errors.New("unknown program version")
+
 // ServiceConfig wires a Service to its surroundings. Source and
 // Version come from the aggregation store; CompileProgram resolves a
-// program name to its pristine bytecode.
+// program name (and optionally a specific build version) to its
+// pristine bytecode.
 type ServiceConfig struct {
 	// Source returns the current aggregated graph (a consistent
-	// snapshot).
-	Source func() *profile.DCG
-	// Version returns the store's mutation counters (merges applied,
-	// decay epochs). A pair that has not changed means the graph has
-	// not changed, so cached plans can be served without recompiling.
-	Version func() (merges, epochs uint64)
-	// CompileProgram resolves a program name to a pristine program the
-	// plan is extracted from. Return an error wrapping
+	// snapshot) for one program build. version is the build's
+	// content-addressed identity, "" while the entry is being resolved.
+	// A store without per-version graphs may ignore both arguments.
+	Source func(program, version string) *profile.DCG
+	// Version returns the mutation counters (merges applied, decay
+	// epochs) of the graph Source would return for this program build.
+	// A pair that has not changed means that graph has not changed, so
+	// the cached plan is served without recompiling — and counters
+	// scoped to the program are what keep ingest for program A from
+	// invalidating program B's cached plan.
+	Version func(program, version string) (merges, epochs uint64)
+	// CompileProgram resolves a program name to the pristine program a
+	// plan is extracted from. version is the requested build identity:
+	// "" asks for the daemon's canonical build; a resolver that cannot
+	// produce the exact requested build must return an error wrapping
+	// ErrUnknownVersion (returning a different build is detected and
+	// refused by the service). Return an error wrapping
 	// ErrUnknownProgram for names that do not exist. The result is
 	// owned by the service (it is cloned before every mutation).
-	CompileProgram func(name string) (*bytecode.Program, error)
+	CompileProgram func(name, version string) (*bytecode.Program, error)
 	// Params selects the policy and stability parameters.
 	Params Params
-	// StateDir, when non-empty, persists each program's latest plan to
-	// plan-<program>.plnb so epochs survive restarts: a restarted
-	// daemon whose restored graph compiles to the same decisions
-	// serves the byte-identical prior plan instead of resetting to
-	// epoch 1.
+	// StateDir, when non-empty, persists each build's latest plan to
+	// plan-<program>@<version>.plnb so epochs survive restarts: a
+	// restarted daemon whose restored graph compiles to the same
+	// decisions serves the byte-identical prior plan instead of
+	// resetting to epoch 1.
 	StateDir string
 	// Logf receives operational log lines; nil discards them.
 	Logf func(format string, args ...any)
 }
 
-// Service compiles, caches, and persists plans per program. It is safe
-// for concurrent use by HTTP handlers and background refresh ticks.
+// Service compiles, caches, and persists plans per (program, version).
+// It is safe for concurrent use by HTTP handlers and background
+// refresh ticks.
 type Service struct {
 	cfg ServiceConfig
 
-	mu      sync.Mutex
-	entries map[string]*entry
+	mu sync.Mutex
+	// entries is keyed "program@version" with the build's actual
+	// version; canonical maps a program name to the version its
+	// unversioned requests resolve to.
+	entries   map[string]*entry
+	canonical map[string]string
 
 	// Counters for /metrics.
-	computed  atomic.Uint64 // compilations that produced a new epoch
-	unchanged atomic.Uint64 // recompilations that returned the prior verbatim
-	errors    atomic.Uint64
+	computed        atomic.Uint64 // compilations that produced a new epoch
+	unchanged       atomic.Uint64 // recompilations that returned the prior verbatim
+	errors          atomic.Uint64
+	versionMismatch atomic.Uint64 // requests refused with ErrUnknownVersion
 }
 
 type entry struct {
+	program  string
+	version  string
 	pristine *bytecode.Program
 	plan     *Plan
 	// merges/epochs are the store version the cached plan was compiled
@@ -74,7 +99,11 @@ func NewService(cfg ServiceConfig) *Service {
 	if cfg.Logf == nil {
 		cfg.Logf = func(string, ...any) {}
 	}
-	return &Service{cfg: cfg, entries: make(map[string]*entry)}
+	return &Service{
+		cfg:       cfg,
+		entries:   make(map[string]*entry),
+		canonical: make(map[string]string),
+	}
 }
 
 // ServiceStats is a snapshot of the service counters.
@@ -83,6 +112,9 @@ type ServiceStats struct {
 	Computed  uint64
 	Unchanged uint64
 	Errors    uint64
+	// VersionMismatches counts requests refused because the requested
+	// program version is not one this daemon can compile.
+	VersionMismatches uint64
 }
 
 // Stats returns the current counters.
@@ -91,47 +123,83 @@ func (s *Service) Stats() ServiceStats {
 	n := len(s.entries)
 	s.mu.Unlock()
 	return ServiceStats{
-		Programs:  n,
-		Computed:  s.computed.Load(),
-		Unchanged: s.unchanged.Load(),
-		Errors:    s.errors.Load(),
+		Programs:          n,
+		Computed:          s.computed.Load(),
+		Unchanged:         s.unchanged.Load(),
+		Errors:            s.errors.Load(),
+		VersionMismatches: s.versionMismatch.Load(),
 	}
 }
 
-// PlanFor returns the current plan for a program, recompiling only
-// when the aggregated graph has changed since the cached plan was
-// compiled. The first request for a program compiles its pristine
-// bytecode and, with a state dir, restores the persisted prior plan so
-// epochs continue across restarts.
+// PlanFor returns the current plan for the daemon's canonical build of
+// a program — PlanForVersion with no version constraint.
 func (s *Service) PlanFor(program string) (*Plan, error) {
+	return s.PlanForVersion(program, "")
+}
+
+// PlanForVersion returns the current plan for one build of a program,
+// recompiling only when that build's aggregated graph has changed since
+// the cached plan was compiled. A non-empty version demands that exact
+// build: if the resolver cannot produce it the request fails with
+// ErrUnknownVersion instead of serving a plan whose decisions would
+// silently misapply. The first request for a build compiles its
+// pristine bytecode and, with a state dir, restores the persisted prior
+// plan so epochs continue across restarts.
+func (s *Service) PlanForVersion(program, version string) (*Plan, error) {
 	if !ValidProgramName(program) {
 		return nil, fmt.Errorf("%w: invalid program name %q", ErrUnknownProgram, program)
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	p, err := s.planForLocked(program)
+	p, err := s.planForLocked(program, version)
 	if err != nil {
+		if errors.Is(err, ErrUnknownVersion) {
+			s.versionMismatch.Add(1)
+		}
 		s.errors.Add(1)
 	}
 	return p, err
 }
 
-func (s *Service) planForLocked(program string) (*Plan, error) {
-	e := s.entries[program]
+func (s *Service) planForLocked(program, version string) (*Plan, error) {
+	actual := version
+	if actual == "" {
+		actual = s.canonical[program]
+	}
+	var e *entry
+	if actual != "" {
+		e = s.entries[program+"@"+actual]
+	}
 	if e == nil {
-		pristine, err := s.cfg.CompileProgram(program)
+		pristine, err := s.cfg.CompileProgram(program, version)
 		if err != nil {
 			return nil, err
 		}
-		e = &entry{pristine: pristine, plan: s.restore(program)}
-		s.entries[program] = e
+		got := pristine.Version()
+		if version != "" && got != version {
+			return nil, fmt.Errorf("%w: %s@%s (this daemon builds %s)",
+				ErrUnknownVersion, program, version, got)
+		}
+		if version == "" {
+			s.canonical[program] = got
+		}
+		e = s.entries[program+"@"+got]
+		if e == nil {
+			e = &entry{
+				program:  program,
+				version:  got,
+				pristine: pristine,
+				plan:     s.restore(program, got),
+			}
+			s.entries[program+"@"+got] = e
+		}
 	}
-	merges, epochs := s.cfg.Version()
+	merges, epochs := s.cfg.Version(e.program, e.version)
 	if e.valid && e.merges == merges && e.epochs == epochs {
 		return e.plan, nil
 	}
 	prior := e.plan
-	p, err := Compile(program, e.pristine, s.cfg.Source(), s.cfg.Params, prior)
+	p, err := Compile(e.program, e.pristine, s.cfg.Source(e.program, e.version), s.cfg.Params, prior)
 	if err != nil {
 		return nil, err
 	}
@@ -141,28 +209,30 @@ func (s *Service) planForLocked(program string) (*Plan, error) {
 		return p, nil
 	}
 	s.computed.Add(1)
-	s.cfg.Logf("plan %s: epoch %d, %d decisions, hash %016x", program, p.Epoch, len(p.Decisions), p.Hash)
-	if err := s.persist(program, p); err != nil {
+	s.cfg.Logf("plan %s@%s: epoch %d, %d decisions, hash %016x",
+		e.program, e.version, p.Epoch, len(p.Decisions), p.Hash)
+	if err := s.persist(e.program, e.version, p); err != nil {
 		// Serving a fresh plan beats failing the request; the next
 		// change will retry the write.
-		s.cfg.Logf("plan %s: persist failed: %v", program, err)
+		s.cfg.Logf("plan %s@%s: persist failed: %v", e.program, e.version, err)
 	}
 	return p, nil
 }
 
-// RefreshAll recompiles the plan of every program that has been
-// requested at least once. cbsd calls it from its decay and checkpoint
-// ticks so pullers usually receive precomputed plans.
+// RefreshAll recompiles the plan of every build that has been requested
+// at least once. cbsd calls it from its decay and checkpoint ticks so
+// pullers usually receive precomputed plans.
 func (s *Service) RefreshAll() {
 	s.mu.Lock()
-	programs := make([]string, 0, len(s.entries))
-	for name := range s.entries {
-		programs = append(programs, name)
+	type pv struct{ program, version string }
+	builds := make([]pv, 0, len(s.entries))
+	for _, e := range s.entries {
+		builds = append(builds, pv{e.program, e.version})
 	}
 	s.mu.Unlock()
-	for _, name := range programs {
-		if _, err := s.PlanFor(name); err != nil {
-			s.cfg.Logf("plan refresh %s: %v", name, err)
+	for _, b := range builds {
+		if _, err := s.PlanForVersion(b.program, b.version); err != nil {
+			s.cfg.Logf("plan refresh %s@%s: %v", b.program, b.version, err)
 		}
 	}
 }
@@ -180,35 +250,53 @@ func (s *Service) Invalidate() {
 	}
 }
 
-// planFile returns the persistence path for one program's plan.
-// Program names pass ValidProgramName, whose charset has no path
-// separators, so the name cannot escape the state dir.
-func planFile(dir, program string) string {
+// planFile returns the persistence path for one build's plan. Program
+// names pass ValidProgramName and versions are hex, neither containing
+// path separators or '@', so the name cannot escape the state dir and
+// maps back to its key unambiguously.
+func planFile(dir, program, version string) string {
+	return filepath.Join(dir, "plan-"+program+"@"+version+".plnb")
+}
+
+// legacyPlanFile is the pre-versioning persistence path.
+func legacyPlanFile(dir, program string) string {
 	return filepath.Join(dir, "plan-"+program+".plnb")
 }
 
-// restore loads the persisted prior plan, if any. Errors are logged
-// and treated as "no prior": a corrupt plan file costs an epoch reset,
-// not an outage.
-func (s *Service) restore(program string) *Plan {
+// restore loads the persisted prior plan for one build, if any. The
+// restored plan must prove it belongs to this exact build — name AND
+// content-addressed version — or it is discarded with a log line; the
+// old behaviour of trusting whatever plan-<program>.plnb was in the
+// state dir served stale-build decisions after an upgrade. Read errors
+// are logged and treated as "no prior": a corrupt plan file costs an
+// epoch reset, not an outage.
+func (s *Service) restore(program, version string) *Plan {
 	if s.cfg.StateDir == "" {
 		return nil
 	}
-	path := planFile(s.cfg.StateDir, program)
+	path := planFile(s.cfg.StateDir, program, version)
 	b, err := os.ReadFile(path)
+	if errors.Is(err, os.ErrNotExist) {
+		// Fall back to the pre-versioning file name so an upgraded
+		// daemon still *sees* old state — and then subjects it to the
+		// same identity check instead of blindly serving it.
+		path = legacyPlanFile(s.cfg.StateDir, program)
+		b, err = os.ReadFile(path)
+	}
 	if err != nil {
 		if !errors.Is(err, os.ErrNotExist) {
-			s.cfg.Logf("plan %s: read prior %s: %v", program, path, err)
+			s.cfg.Logf("plan %s@%s: read prior %s: %v", program, version, path, err)
 		}
 		return nil
 	}
 	p, err := ReadPlan(bytes.NewReader(b))
 	if err != nil {
-		s.cfg.Logf("plan %s: corrupt prior %s: %v", program, path, err)
+		s.cfg.Logf("plan %s@%s: corrupt prior %s: %v", program, version, path, err)
 		return nil
 	}
-	if p.Program != program {
-		s.cfg.Logf("plan %s: prior file %s is for program %q, ignoring", program, path, p.Program)
+	if p.Program != program || p.Version != version {
+		s.cfg.Logf("plan %s@%s: prior file %s is for %s@%s, discarding (epoch will reset)",
+			program, version, path, p.Program, p.Version)
 		return nil
 	}
 	return p
@@ -216,14 +304,14 @@ func (s *Service) restore(program string) *Plan {
 
 // persist atomically writes the plan file (write-temp-then-rename, the
 // same discipline as the store checkpoints).
-func (s *Service) persist(program string, p *Plan) error {
+func (s *Service) persist(program, version string, p *Plan) error {
 	if s.cfg.StateDir == "" {
 		return nil
 	}
 	if err := os.MkdirAll(s.cfg.StateDir, 0o755); err != nil {
 		return err
 	}
-	path := planFile(s.cfg.StateDir, program)
+	path := planFile(s.cfg.StateDir, program, version)
 	tmp, err := os.CreateTemp(s.cfg.StateDir, "plan-*.tmp")
 	if err != nil {
 		return err

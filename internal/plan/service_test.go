@@ -26,12 +26,12 @@ type fakeStore struct {
 func (f *fakeStore) service(t *testing.T, stateDir string) *plan.Service {
 	t.Helper()
 	return plan.NewService(plan.ServiceConfig{
-		Source: func() *profile.DCG {
+		Source: func(_, _ string) *profile.DCG {
 			f.snapshots++
 			return f.graph.Clone()
 		},
-		Version: func() (uint64, uint64) { return f.merges, 0 },
-		CompileProgram: func(name string) (*bytecode.Program, error) {
+		Version: func(_, _ string) (uint64, uint64) { return f.merges, 0 },
+		CompileProgram: func(name, _ string) (*bytecode.Program, error) {
 			b := bench.ByName(name)
 			if b == nil {
 				return nil, fmt.Errorf("%w: %q", plan.ErrUnknownProgram, name)
@@ -154,7 +154,7 @@ func TestServiceEpochSurvivesRestart(t *testing.T) {
 	if p2 == p1 {
 		t.Fatal("profile-free recompile returned the profile-driven plan")
 	}
-	if _, err := os.Stat(filepath.Join(dir, "plan-compress.plnb")); err != nil {
+	if _, err := os.Stat(filepath.Join(dir, "plan-compress@"+pristine.Version()+".plnb")); err != nil {
 		t.Fatalf("plan file not persisted: %v", err)
 	}
 
@@ -198,5 +198,79 @@ func TestServiceInvalidateForcesRecompile(t *testing.T) {
 	}
 	if fs.snapshots == before {
 		t.Error("Invalidate did not force a recompile")
+	}
+}
+
+// TestServiceRestoreRefusesForeignPlan pins the blind-restore fix: a
+// prior plan file is only adopted when its program name AND
+// content-addressed version match the build being compiled. A file
+// left behind by another build (or another program entirely) is
+// discarded with an epoch reset — the old behaviour of trusting
+// whatever plan-<program>.plnb contained served another build's
+// decisions after an upgrade.
+func TestServiceRestoreRefusesForeignPlan(t *testing.T) {
+	pristine := jitProgram(t, "compress")
+	b := bench.ByName("compress")
+	g := exhaustiveGraph(t, pristine.Clone(), b.Small, 3)
+
+	// Build an epoch-2 plan worth preserving.
+	fs := &fakeStore{graph: g, merges: 1}
+	seedDir := t.TempDir()
+	svc := fs.service(t, seedDir)
+	if _, err := svc.PlanFor("compress"); err != nil {
+		t.Fatal(err)
+	}
+	fs.graph = profile.NewDCG()
+	fs.merges++
+	p2, err := svc.PlanFor("compress")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p2.Epoch != 2 {
+		t.Fatalf("setup: epoch %d, want 2", p2.Epoch)
+	}
+
+	restartEpoch := func(dir string) uint64 {
+		t.Helper()
+		fresh := &fakeStore{graph: fs.graph.Clone(), merges: 1}
+		p, err := fresh.service(t, dir).PlanFor("compress")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p.Epoch
+	}
+
+	// Identity match through the legacy file name: a pre-versioning
+	// state dir whose plan really is this build's continues its epochs.
+	legacyDir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(legacyDir, "plan-compress.plnb"), p2.Encode(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if e := restartEpoch(legacyDir); e != p2.Epoch {
+		t.Errorf("matching legacy prior: epoch %d, want %d (prior not adopted)", e, p2.Epoch)
+	}
+
+	// Version mismatch: the same decisions stamped as another build.
+	foreign := *p2
+	foreign.Version = "00000000deadbeef"
+	foreign.Hash = foreign.ContentHash()
+	foreignDir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(foreignDir, "plan-compress.plnb"), foreign.Encode(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if e := restartEpoch(foreignDir); e != 1 {
+		t.Errorf("foreign-version prior: epoch %d, want 1 (prior must be discarded)", e)
+	}
+
+	// Name mismatch: a different program's plan squatting on the file.
+	wrongName := *p2
+	wrongName.Program = "mtrt"
+	wrongName.Hash = wrongName.ContentHash()
+	wrongDir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(wrongDir, "plan-compress.plnb"), wrongName.Encode(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if e := restartEpoch(wrongDir); e != 1 {
+		t.Errorf("wrong-program prior: epoch %d, want 1 (prior must be discarded)", e)
 	}
 }

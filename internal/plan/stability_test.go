@@ -112,6 +112,7 @@ func TestHysteresisRetention(t *testing.T) {
 	// earlier, hotter snapshot had elected it).
 	prior := &plan.Plan{
 		Program:   "compress",
+		Version:   pristine.Version(),
 		Policy:    base.Policy,
 		Epoch:     5,
 		Decisions: append(append([]plan.Decision{}, base.Decisions...), plan.Decision{Site: warmSite, Callee: 0, Kind: plan.KindStatic}),

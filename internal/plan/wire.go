@@ -11,7 +11,9 @@ import (
 // the profile format, is legacy-free — there never was a text plan:
 //
 //	"PLNB" | uint32 version |
-//	uint16 len | program bytes | uint16 len | policy bytes |
+//	uint16 len | program bytes |
+//	uint16 len | program-version bytes   (wire v2+; may be length 0) |
+//	uint16 len | policy bytes |
 //	uint64 epoch | uint64 content hash | uint32 decision count |
 //	  (int64 site, int64 callee, uint8 kind)*
 //
@@ -21,13 +23,18 @@ import (
 // hash over the decoded decisions and rejects a payload whose header
 // hash disagrees, so a corrupted or truncated-and-padded plan can
 // never be applied.
+//
+// Wire v2 added the program-version string: the content-addressed
+// identity of the build the decisions were extracted from. v1 payloads
+// still decode (with an empty Version) so pre-versioning persisted
+// plans and caches keep working for one release.
 
 // planMagic introduces every serialized plan.
 var planMagic = [4]byte{'P', 'L', 'N', 'B'}
 
 // PlanWireVersion is the newest plan wire version this build writes
 // and reads.
-const PlanWireVersion = 1
+const PlanWireVersion = 2
 
 // Wire format bounds: a corrupt header cannot demand an absurd
 // allocation, and names stay within ValidProgramName-scale sizes.
@@ -38,7 +45,7 @@ const (
 
 // WriteTo serializes the plan in the canonical binary wire format.
 func (p *Plan) WriteTo(w io.Writer) (int64, error) {
-	if len(p.Program) > maxWireName || len(p.Policy) > maxWireName {
+	if len(p.Program) > maxWireName || len(p.Version) > maxWireName || len(p.Policy) > maxWireName {
 		return 0, fmt.Errorf("plan: name too long to serialize")
 	}
 	if len(p.Decisions) > maxWireDecisions {
@@ -70,6 +77,9 @@ func (p *Plan) WriteTo(w io.Writer) (int64, error) {
 		return n, err
 	}
 	if err := writeName(p.Program); err != nil {
+		return n, err
+	}
+	if err := writeName(p.Version); err != nil {
 		return n, err
 	}
 	if err := writeName(p.Policy); err != nil {
@@ -131,12 +141,12 @@ func ReadPlan(r io.Reader) (*Plan, error) {
 		return nil, fmt.Errorf("plan wire version %d not supported (this build reads 1..%d)",
 			hdr.Version, PlanWireVersion)
 	}
-	readName := func(what string) (string, error) {
+	readString := func(what string, allowEmpty bool) (string, error) {
 		var ln uint16
 		if err := binary.Read(br, binary.LittleEndian, &ln); err != nil {
 			return "", fmt.Errorf("truncated %s length: %w", what, err)
 		}
-		if ln == 0 || int(ln) > maxWireName {
+		if (ln == 0 && !allowEmpty) || int(ln) > maxWireName {
 			return "", fmt.Errorf("bad %s length %d", what, ln)
 		}
 		b := make([]byte, ln)
@@ -147,10 +157,18 @@ func ReadPlan(r io.Reader) (*Plan, error) {
 	}
 	p := &Plan{}
 	var err error
-	if p.Program, err = readName("program name"); err != nil {
+	if p.Program, err = readString("program name", false); err != nil {
 		return nil, err
 	}
-	if p.Policy, err = readName("policy name"); err != nil {
+	if hdr.Version >= 2 {
+		// The program version may be empty in principle (a v2 writer
+		// given a version-less plan), and v1 payloads have no field at
+		// all — both decode to Version "".
+		if p.Version, err = readString("program version", true); err != nil {
+			return nil, err
+		}
+	}
+	if p.Policy, err = readString("policy name", false); err != nil {
 		return nil, err
 	}
 	var mid struct {

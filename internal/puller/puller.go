@@ -5,6 +5,7 @@
 package puller
 
 import (
+	"errors"
 	"fmt"
 
 	"gocbs/internal/bytecode"
@@ -48,6 +49,16 @@ type Stats struct {
 	Swaps  int
 	// Epoch is the plan epoch the VM ended on (0 = never applied one).
 	Epoch uint64
+	// VersionRejects counts plans refused outright because their
+	// program version did not match this VM's running build — the
+	// loud replacement for silently part-applying another build's
+	// decisions.
+	VersionRejects int
+	// StaleDecisions is the cumulative count of plan decisions that
+	// found no matching call site when a plan was applied. Non-zero
+	// only for legacy version-less plans (a versioned plan either
+	// matches this build or is refused whole).
+	StaleDecisions int
 	// Killed reports the divergence kill switch fired: a transformed
 	// program produced different output, the VM reverted to an
 	// unoptimized clone, and pulling was disabled for the rest of the
@@ -153,24 +164,57 @@ func Run(pristine *bytecode.Program, o Options) (Stats, error) {
 	if observe == nil {
 		observe = func(*plan.Plan, bool) {}
 	}
+	// The version this VM demands of every plan: the content-addressed
+	// identity of its own prepared program. The daemon scopes its plan
+	// to this exact build, and anything else that slips through —
+	// a cached body, a misbehaving relay — is refused below.
+	version := pristine.Version()
 	active := pristine.Clone()
 	for round := 0; round < o.Rounds; round++ {
 		if !st.Killed && round%o.Every == 0 {
 			st.Polls++
-			p, changed, err := client.Fetch(o.Program)
+			p, changed, err := client.FetchVersion(o.Program, version)
 			if err == nil {
 				observe(p, false)
 			}
 			switch {
+			case errors.Is(err, plan.ErrVersionMismatch):
+				// The client refused a plan at the wire because it was
+				// compiled for a different build — a misrouting relay or a
+				// stale cache between this VM and the daemon. Counted
+				// separately from transient failures so a fleet serving the
+				// wrong build is visible, not just slow.
+				st.VersionRejects++
+				logf("pull: REFUSED plan: %v (this VM runs %s@%s)", err, o.Program, version)
 			case err != nil:
 				// Transient daemon trouble must not stop the workload.
 				logf("pull: poll %d failed (running on): %v", st.Polls, err)
 			case changed:
+				if p.Version != "" && p.Version != version {
+					// A plan for a different build of this program: its
+					// decisions name that build's method and site IDs.
+					// Refuse it whole — applying the subset that happens
+					// to line up is exactly the silent misapplication
+					// this check exists to end. (Version-less plans from
+					// a pre-versioning daemon still apply, guarded by
+					// the stale-skip accounting and the kill switch.)
+					st.VersionRejects++
+					logf("pull: REFUSED plan epoch %d: compiled for %s@%s, this VM runs %s@%s",
+						p.Epoch, p.Program, p.Version, o.Program, version)
+					break
+				}
 				candidate := pristine.Clone()
 				rep, err := plan.Apply(candidate, p, o.Opts)
 				if err != nil {
 					logf("pull: plan epoch %d does not apply (keeping current code): %v", p.Epoch, err)
 					break
+				}
+				if rep.SkippedStale > 0 {
+					// One line per plan, not per decision: enough to make
+					// a mismatched fleet visible without log spam.
+					st.StaleDecisions += rep.SkippedStale
+					logf("pull: plan epoch %d: %d of %d decisions skipped as stale for this build",
+						p.Epoch, rep.SkippedStale, len(p.Decisions))
 				}
 				if o.Verify {
 					sums, _, err := RunRound(candidate, o.Size, o.Iters)

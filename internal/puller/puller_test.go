@@ -210,3 +210,56 @@ func TestPullLoopSurvivesDeadDaemon(t *testing.T) {
 		t.Errorf("dead daemon: %+v", st)
 	}
 }
+
+// TestPullLoopRefusesWrongVersionPlan is the negative version test: a
+// daemon (or a cache in front of one) keeps serving a plan compiled
+// for a different build of the program. The puller must refuse every
+// such plan whole — zero swaps, zero applied epochs — count the
+// refusals, and keep the workload running unoptimized.
+func TestPullLoopRefusesWrongVersionPlan(t *testing.T) {
+	b, pristine := jitBench(t, "compress")
+	g := exhaustiveSetupIter(t, pristine.Clone(), b.Small, 3)
+	p, err := plan.Compile("compress", pristine, g, plan.DefaultParams(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Version != pristine.Version() {
+		t.Fatalf("compiled plan stamped %q, want %q", p.Version, pristine.Version())
+	}
+	ts, requests, _ := planServer(t, p)
+
+	// This VM runs an upgraded build: one extra unused constant, same
+	// behaviour, different content-addressed version. The served plan's
+	// decisions would even apply cleanly — which is exactly why the
+	// refusal must be identity-based, not best-effort.
+	upgraded := pristine.Clone()
+	m := upgraded.MethodByName("$Globals.setup")
+	m.Consts = append(m.Consts, 0x5F55504752414445)
+	if upgraded.Version() == pristine.Version() {
+		t.Fatal("upgrade did not change the version")
+	}
+
+	st, err := Run(upgraded, Options{
+		URL: ts.URL, Program: "compress", Size: b.Small,
+		Rounds: 4, Every: 1, Iters: 1, Verify: true,
+		Logf: t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Swaps != 0 || st.Epoch != 0 {
+		t.Errorf("puller APPLIED a wrong-version plan: %d swaps, epoch %d", st.Swaps, st.Epoch)
+	}
+	if st.VersionRejects != st.Polls || st.Polls == 0 {
+		t.Errorf("VersionRejects = %d over %d polls, want every poll refused", st.VersionRejects, st.Polls)
+	}
+	if st.Killed {
+		t.Error("kill switch fired — refused plans must never reach execution")
+	}
+	if st.Rounds != 4 {
+		t.Errorf("workload ran %d rounds, want 4 (refusals must not stop the VM)", st.Rounds)
+	}
+	if requests.Load() == 0 {
+		t.Error("puller never reached the server")
+	}
+}
