@@ -10,7 +10,7 @@ CMDS := ./cmd/cbsbench ./cmd/cbsd ./cmd/cbsload ./cmd/cbsvm ./cmd/dcgdiff ./cmd/
 FLEET_SEED ?= 1
 SOAK_SEED ?= 0
 
-.PHONY: all tier1 build build-cmds test test-race test-daemon test-recovery test-plan test-fleet test-federation test-upgrade soak vet vet-cmds ci bench bench-smoke bench-baseline
+.PHONY: all tier1 build build-cmds test test-race test-daemon test-recovery test-plan test-fleet test-federation test-upgrade test-mincover soak vet vet-cmds ci bench bench-smoke bench-baseline
 
 all: tier1
 
@@ -33,7 +33,7 @@ build-cmds:
 # service's version-cached compilation, the in-process daemon, the
 # pulling VM, and the chaos fleet simulator.
 test-race:
-	$(GO) test -race ./internal/runner/... ./internal/experiment/... ./internal/profiler/... ./internal/bytecode/... ./internal/dcgstore/... ./internal/inline/... ./internal/plan/... ./internal/daemon/... ./internal/puller/... ./internal/fleetsim/... ./internal/federation/... ./internal/api/...
+	$(GO) test -race ./internal/runner/... ./internal/experiment/... ./internal/profiler/... ./internal/bytecode/... ./internal/dcgstore/... ./internal/inline/... ./internal/plan/... ./internal/daemon/... ./internal/puller/... ./internal/fleetsim/... ./internal/federation/... ./internal/api/... ./internal/mincover/...
 
 # The cbsd aggregation daemon's httptest-based endpoint tests, the
 # hostile-pusher fuzz corpus, and the runner-driven multi-pusher
@@ -91,6 +91,15 @@ test-federation:
 test-upgrade:
 	$(GO) test -run 'TestRollingUpgrade|TestUpgradeProgram' -v ./internal/fleetsim/...
 
+# Minimum-coverage instrumentation: the unit tests, the 13-benchmark
+# differential gate (recovered DCG byte-identical to exhaustive with
+# strictly fewer probed call points, plain and inlined), the
+# random-program recovery fuzz, and the three-way profiler study
+# (exhaustive vs CBS vs mincover) through the real cbsbench binary.
+test-mincover:
+	$(GO) test ./internal/mincover/...
+	$(GO) run ./cmd/cbsbench -study profilers -quick
+
 # A bigger randomized soak for hunting; cbsload prints the chosen seed
 # up front and repeats it on failure, so any hit replays with
 # `make soak SOAK_SEED=<seed>`.
@@ -105,7 +114,7 @@ vet:
 vet-cmds:
 	$(GO) vet ./cmd/...
 
-ci: tier1 vet vet-cmds build-cmds test-daemon test-plan test-race test-recovery test-fleet test-upgrade test-federation
+ci: tier1 vet vet-cmds build-cmds test-daemon test-plan test-race test-recovery test-fleet test-upgrade test-federation test-mincover
 
 bench:
 	$(GO) test -bench=. -benchtime=1x -run=^$$ ./...

@@ -13,6 +13,7 @@
 //	cbsbench -study comparators  §3 techniques side by side (E10)
 //	cbsbench -study inliners     old vs new inliner (E11)
 //	cbsbench -study context      calling-context-tree extension (E12)
+//	cbsbench -study profilers    exhaustive vs CBS vs mincover accuracy/overhead
 //	cbsbench -study planloop     fleet PGO loop: K pushers -> plan -> puller
 //	cbsbench -study fleetsoak    chaos soak: fleet vs faults, invariant-gated
 //	cbsbench -study fleetscale   federated ingest scaling: 1/4/16 leaves + root
@@ -48,7 +49,7 @@ import (
 func main() {
 	table := flag.String("table", "", "regenerate a table: 1, 2a, 2b, or 3")
 	figure := flag.String("figure", "", "regenerate a figure: 5a or 5b")
-	study := flag.String("study", "", "run a study: convergence, skew, comparators, inliners, context, cleanup, online, entrycheck, planloop, fleetsoak, fleetscale, perf")
+	study := flag.String("study", "", "run a study: convergence, skew, comparators, inliners, context, cleanup, online, entrycheck, profilers, planloop, fleetsoak, fleetscale, perf")
 	perfOut := flag.String("perf-out", "", "perf study: write the BENCH report to this path (default: next free BENCH_<n>.json)")
 	perfBaseline := flag.String("perf-baseline", "", "perf study: gate the run against this baseline BENCH_*.json")
 	perfGate := flag.Float64("perf-gate", 0.10, "perf study: fail when geomean Mcyc/s regresses more than this fraction vs the baseline")
@@ -243,6 +244,16 @@ func main() {
 				return err
 			}
 			fmt.Println(experiment.FormatContext(rows))
+			return nil
+		})
+	}
+	if wantStudy("profilers") {
+		run("profilers", func() error {
+			rows, err := experiment.ProfilerStudy(cfg, *input)
+			if err != nil {
+				return err
+			}
+			fmt.Println(experiment.FormatProfilers(rows))
 			return nil
 		})
 	}

@@ -76,6 +76,7 @@ func main() {
 	flag.DurationVar(&cfg.ReadTimeout, "read-timeout", 30*time.Second, "HTTP server read timeout")
 	flag.DurationVar(&cfg.WriteTimeout, "write-timeout", 60*time.Second, "HTTP server write timeout")
 	flag.Int64Var(&cfg.MaxUploadBytes, "max-upload", daemon.DefaultMaxUploadBytes, "largest accepted ingest/overlap body in bytes (413 beyond)")
+	flag.DurationVar(&cfg.VersionTTL, "version-ttl", 0, "evict a retired program version's graph after this much write-idle time (0 keeps retired versions)")
 	defaults := plan.DefaultParams()
 	flag.StringVar(&cfg.PlanPolicy, "plan-policy", defaults.Policy, "inline policy plans are compiled under (new-linear, old-jikes, j9-static, j9-dynamic)")
 	flag.Float64Var(&cfg.PlanFloor, "plan-floor", defaults.MinWeight, "plan stability: drop edges below this weight before planning")

@@ -16,6 +16,7 @@
 //	cbsload -vms 64 -seed 1 -faults all
 //	cbsload -vms 16 -rounds 8 -restarts 2 -report soak.json
 //	cbsload -vms 16 -leaves 4 -restarts 2   # federated: 4 leaves + 1 root
+//	cbsload -vms 12 -profilers cbs,mincover # A/B mixed profile sources
 //
 // With -leaves N the soak runs against a federated aggregation tree:
 // the pusher fleet is rendezvous-sharded across N leaf daemons that
@@ -30,10 +31,23 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"gocbs/internal/fleetsim"
 )
+
+// splitCSV parses a comma-separated list, dropping empty elements so
+// "" means nil (keep the all-CBS default fleet).
+func splitCSV(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
+}
 
 func main() {
 	var (
@@ -46,6 +60,7 @@ func main() {
 		faultstr = flag.String("faults", "all", "faults to inject: all, none, or csv of latency,drop-response,reset,5xx")
 		restarts = flag.Int("restarts", 1, "scheduled daemon kill/restart cycles")
 		program  = flag.String("program", "compress", "benchmark program the fleet runs")
+		profs    = flag.String("profilers", "", "csv of profile sources assigned round-robin across pushers: cbs, exhaustive, mincover (empty = all cbs)")
 		stateDir = flag.String("state", "", "daemon state dir (default: fresh temp dir, removed on exit)")
 		maxWait  = flag.Duration("max-latency", 0, "upper bound for injected latency faults (0 = default)")
 		report   = flag.String("report", "", "write the JSON report to this file")
@@ -87,6 +102,7 @@ func main() {
 		Faults:        faults,
 		Restarts:      *restarts,
 		Program:       *program,
+		Profilers:     splitCSV(*profs),
 		StateDir:      *stateDir,
 		MaxLatency:    *maxWait,
 		Logf:          logf,

@@ -7,6 +7,7 @@
 //	cbsvm -bench mtrt -stride 7 -samples 32 -flavour j9
 //	cbsvm -file prog.mj -arg 500 -profiler timer
 //	cbsvm -bench jess -profiler whaley -top 10
+//	cbsvm -bench compress -profiler mincover
 //	cbsvm -bench compress -push http://localhost:8944 -push-every 50
 //
 // With -push, the collected DCG is streamed to a cbsd aggregation
@@ -31,6 +32,7 @@ import (
 	"gocbs/internal/dcgstore"
 	"gocbs/internal/experiment"
 	"gocbs/internal/inline"
+	"gocbs/internal/mincover"
 	"gocbs/internal/mj"
 	"gocbs/internal/profile"
 	"gocbs/internal/profiler"
@@ -44,7 +46,7 @@ func main() {
 	file := flag.String("file", "", "MJ source file to run instead of a suite benchmark")
 	arg := flag.Int64("arg", 0, "integer argument passed to main (with -file)")
 	size := flag.String("size", "small", "input size for -bench: small or large")
-	prof := flag.String("profiler", "cbs", "profiler: cbs, timer, whaley, patching, exhaustive")
+	prof := flag.String("profiler", "cbs", "profiler: cbs, timer, whaley, patching, exhaustive, mincover")
 	stride := flag.Int("stride", 3, "CBS stride")
 	samples := flag.Int("samples", 16, "CBS samples per timer tick")
 	flavour := flag.String("flavour", "rvm", "VM flavour: rvm or j9")
@@ -153,6 +155,7 @@ func main() {
 	}
 	var graph *profile.DCG
 	var mainProf vm.Profiler
+	var mc *mincover.Profiler
 	name := *prof
 	switch *prof {
 	case "cbs", "timer":
@@ -179,6 +182,10 @@ func main() {
 		e := profiler.NewInstrumented()
 		mainProf = e
 		graph = e.Graph
+	case "mincover":
+		mc = mincover.New(prog)
+		mainProf = mc
+		graph = mc.Graph
 	default:
 		fatal(fmt.Errorf("unknown profiler %q", *prof))
 	}
@@ -210,6 +217,17 @@ func main() {
 
 	if _, err := m.Run(runArg); err != nil {
 		fatal(err)
+	}
+
+	// Mincover recovers the unprobed remainder of the DCG before the
+	// final flush, so the pushed increments sum to the complete graph.
+	if mc != nil {
+		if err := mc.Finalize(); err != nil {
+			fatal(err)
+		}
+		c := mc.Cover
+		fmt.Printf("mincover:  %d of %d call points probed (ratio %.2f), %d static edges\n",
+			c.NumProbes(), c.NumPoints(), c.ProbeRatio(), len(c.Graph.Edges))
 	}
 
 	if push != nil {

@@ -15,14 +15,15 @@
 // # Versioning
 //
 // Routes live under /v1. The pre-versioning flat paths ("/ingest",
-// "/plan", ...) remain served as aliases of their /v1 equivalents for
-// one release — LegacyAliases is the complete table — after which only
-// the versioned routes remain. New-in-v1 routes (flush, register,
-// leaves) have no legacy alias.
+// "/plan", ...) were served as aliases of their /v1 equivalents for
+// one deprecation release and are now gone: the daemon answers them
+// with 404 and an error envelope naming the /v1 route to move to
+// (RetiredPaths is the hint table). New-in-v1 routes (flush, register,
+// leaves, manifest) never had an unversioned form.
 package api
 
-// Versioned endpoint paths. The daemon registers each of these plus the
-// legacy aliases below; clients use only these.
+// Versioned endpoint paths. The daemon registers each of these;
+// clients use only these.
 const (
 	// PathIngest accepts one POSTed DCGB-serialized call-graph delta,
 	// idempotent under the HeaderPusher/HeaderSeq stamp.
@@ -37,8 +38,8 @@ const (
 	// PathOverlap scores an uploaded reference DCG against the store
 	// with the paper's overlap metric. A read — the store is not
 	// mutated — so it is GET with a body, like Elasticsearch's _search.
-	// POST is also accepted (the only method the pre-versioning handler
-	// took) for the one release the legacy aliases live.
+	// (POST was tolerated during the legacy-alias deprecation release
+	// and is 405 now that the aliases are gone.)
 	PathOverlap = "/v1/overlap"
 	// PathDecay runs one decay epoch (POST ?factor=&prune=).
 	PathDecay = "/v1/decay"
@@ -64,10 +65,12 @@ const (
 	PathManifest = "/v1/manifest"
 )
 
-// LegacyAliases maps every pre-versioning path to its /v1 route. The
-// daemon serves both for one release; this table is the only place the
-// unversioned strings exist.
-var LegacyAliases = map[string]string{
+// RetiredPaths maps every retired pre-versioning path to the /v1 route
+// that replaced it. The aliases were served for one deprecation
+// release; the daemon now answers each with 404 whose error message
+// names the replacement, so a straggler's logs say where to go. This
+// table is the only place the unversioned strings exist.
+var RetiredPaths = map[string]string{
 	"/ingest":   PathIngest,
 	"/snapshot": PathSnapshot,
 	"/top":      PathTop,

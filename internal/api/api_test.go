@@ -22,32 +22,33 @@ func fastClient(srv *httptest.Server) *Client {
 	return c
 }
 
-func TestLegacyAliasesCoverEveryV1Route(t *testing.T) {
-	// Every pre-federation route must have exactly one alias pointing
-	// at it; the federation-era routes must have none (they never
-	// existed unversioned).
+func TestRetiredPathsCoverEveryPreFederationRoute(t *testing.T) {
+	// Every pre-federation route must have exactly one retired
+	// unversioned path pointing at it (the 404 hint table); the
+	// federation-era routes must have none (they never existed
+	// unversioned).
 	preFederation := []string{
 		PathIngest, PathSnapshot, PathTop, PathSite, PathOverlap,
 		PathDecay, PathPlan, PathMetrics, PathHealthz,
 	}
-	aliased := make(map[string]int)
-	for legacy, v1 := range LegacyAliases {
-		if strings.HasPrefix(legacy, "/v1/") {
-			t.Errorf("alias key %q is already versioned", legacy)
+	hinted := make(map[string]int)
+	for retired, v1 := range RetiredPaths {
+		if strings.HasPrefix(retired, "/v1/") {
+			t.Errorf("retired path %q is already versioned", retired)
 		}
-		if "/v1"+legacy != v1 {
-			t.Errorf("alias %q -> %q: want /v1%s", legacy, v1, legacy)
+		if "/v1"+retired != v1 {
+			t.Errorf("retired path %q -> %q: want /v1%s", retired, v1, retired)
 		}
-		aliased[v1]++
+		hinted[v1]++
 	}
 	for _, p := range preFederation {
-		if aliased[p] != 1 {
-			t.Errorf("route %s has %d aliases, want 1", p, aliased[p])
+		if hinted[p] != 1 {
+			t.Errorf("route %s has %d retired paths, want 1", p, hinted[p])
 		}
 	}
 	for _, p := range []string{PathFlush, PathRegister, PathLeaves} {
-		if aliased[p] != 0 {
-			t.Errorf("federation route %s must not have a legacy alias", p)
+		if hinted[p] != 0 {
+			t.Errorf("federation route %s must not have a retired unversioned form", p)
 		}
 	}
 }

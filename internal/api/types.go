@@ -137,6 +137,10 @@ type MetricsResponse struct {
 	// store currently keeps (0 on a daemon that has only seen unstamped
 	// pushes).
 	ProgramVersions int `json:"program_versions,omitempty"`
+	// VersionSubstoresEvicted counts retired (program, version)
+	// substores the TTL garbage collector has dropped since start —
+	// versions the fleet rolled off of whose graphs went idle.
+	VersionSubstoresEvicted uint64 `json:"version_substores_evicted,omitempty"`
 	// PlanVersionMismatches counts plan requests refused because the
 	// requested program version is not the one the daemon serves — the
 	// fleet-visible signal that pullers are running a build the root

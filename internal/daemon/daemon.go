@@ -44,6 +44,13 @@ type Config struct {
 	PlanBand        float64
 	PlanHold        float64
 
+	// VersionTTL, when positive, garbage-collects retired (program,
+	// version) substores: once a newer version is active for a program,
+	// the old version's graph is dropped after sitting write-idle for
+	// this long. 0 disables eviction (retired versions are kept until
+	// the substore cap bites).
+	VersionTTL time.Duration
+
 	// MaxUploadBytes bounds ingest/overlap request bodies; 0 selects
 	// DefaultMaxUploadBytes. Tests shrink it to exercise the 413 path.
 	MaxUploadBytes int64
@@ -196,6 +203,31 @@ func Run(ctx context.Context, cfg Config) error {
 					logf("decay epoch %d: factor %v, pruned %d edges, %d remain",
 						store.Epoch(), cfg.Decay, pruned, store.NumEdges())
 					planSvc.RefreshAll()
+				}
+			}
+		}()
+	}
+	if cfg.VersionTTL > 0 {
+		// Sweep at a fraction of the TTL so a retired version overstays
+		// by at most ~25%; the sweep itself is cheap (map walk).
+		every := cfg.VersionTTL / 4
+		if every < time.Second {
+			every = time.Second
+		}
+		bg.Add(1)
+		go func() {
+			defer bg.Done()
+			ticker := time.NewTicker(every)
+			defer ticker.Stop()
+			for {
+				select {
+				case <-bgCtx.Done():
+					return
+				case <-ticker.C:
+					if n := multi.EvictRetired(cfg.VersionTTL); n > 0 {
+						logf("version gc: evicted %d retired substore(s), %d live, %d total evictions",
+							n, multi.NumKeys(), multi.Evicted())
+					}
 				}
 			}
 		}()

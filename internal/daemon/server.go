@@ -111,24 +111,27 @@ func (p *InProcess) IngestLatency() stats.HistogramSummary {
 
 // handler routes the daemon's endpoints. Every route lives under /v1
 // (paths and method guards from internal/api); the pre-versioning flat
-// paths stay served through api.LegacyAliases for one release. Read
+// paths finished their one-release deprecation window and now answer
+// 404 with an error envelope naming the /v1 route to use instead. Read
 // endpoints are GET-only, mutating endpoints POST-only, and violations
 // get a 405 with the error envelope.
 func (s *server) handler() http.Handler {
 	mux := http.NewServeMux()
 	route := func(path string, h http.HandlerFunc) {
 		mux.HandleFunc(path, h)
-		for legacy, v1 := range api.LegacyAliases {
-			if v1 == path {
-				mux.HandleFunc(legacy, h)
-			}
-		}
+	}
+	for legacy, v1 := range api.RetiredPaths {
+		legacy, v1 := legacy, v1
+		mux.HandleFunc(legacy, func(w http.ResponseWriter, r *http.Request) {
+			api.WriteErrorf(w, http.StatusNotFound, api.CodeNotFound,
+				"%s is retired; use %s", legacy, v1)
+		})
 	}
 	route(api.PathIngest, postOnly(s.handleIngest))
 	route(api.PathSnapshot, getOnly(s.handleSnapshot))
 	route(api.PathTop, getOnly(s.handleTop))
 	route(api.PathSite, getOnly(s.handleSite))
-	route(api.PathOverlap, getOrDeprecatedPost(s.handleOverlap))
+	route(api.PathOverlap, getOnly(s.handleOverlap))
 	route(api.PathManifest, postOnly(s.handleManifest))
 	route(api.PathDecay, postOnly(s.handleDecay))
 	route(api.PathPlan, getOnly(s.handlePlan))
@@ -151,24 +154,6 @@ func getOnly(h http.HandlerFunc) http.HandlerFunc {
 			return
 		}
 		h(w, r)
-	}
-}
-
-// getOrDeprecatedPost is the overlap route's guard: GET (and HEAD) is
-// the documented method — the reference profile rides in the request
-// body like a search — but the pre-versioning handler required POST,
-// so existing clients POST /overlap. POST stays accepted on both the
-// v1 route and the legacy alias for the same one release the aliases
-// live, then this guard collapses to getOnly. Other methods get the
-// enveloped 405 advertising the methods that work today.
-func getOrDeprecatedPost(h http.HandlerFunc) http.HandlerFunc {
-	return func(w http.ResponseWriter, r *http.Request) {
-		switch r.Method {
-		case http.MethodGet, http.MethodHead, http.MethodPost:
-			h(w, r)
-		default:
-			api.WriteMethodNotAllowed(w, "GET, POST")
-		}
 	}
 }
 
@@ -466,8 +451,8 @@ func (s *server) handleSite(w http.ResponseWriter, r *http.Request) {
 // handleOverlap scores the store's snapshot against an uploaded
 // reference DCG with the paper's overlap metric. A read — the store is
 // untouched — so the route is GET (with a request body, like a
-// search); POST is still accepted for pre-versioning clients until the
-// legacy aliases drop (see getOrDeprecatedPost).
+// search). The POST tolerance for pre-versioning clients left with the
+// legacy aliases; POST now gets the standard 405.
 func (s *server) handleOverlap(w http.ResponseWriter, r *http.Request) {
 	ref, ok := s.readProfileBody(w, r)
 	if !ok {
@@ -599,7 +584,8 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		MergeMsTotal:    float64(nanos) / 1e6,
 		MergeMsMean:     meanMs,
 		UptimeS:         time.Since(s.start).Seconds(),
-		ProgramVersions: s.multi.NumKeys(),
+		ProgramVersions:         s.multi.NumKeys(),
+		VersionSubstoresEvicted: s.multi.Evicted(),
 	}
 	if lat := s.ingestLat.Summary(); lat.Count > 0 {
 		m.IngestLat = &api.LatencyMetrics{

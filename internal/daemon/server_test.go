@@ -385,37 +385,27 @@ func TestReadEndpointsRejectNonGET(t *testing.T) {
 	}
 }
 
-// TestOverlapAcceptsGetAndLegacyPost: /overlap is documented as GET,
-// but the pre-versioning handler required POST, so POST must keep
-// working — on the legacy alias AND the v1 route — for the deprecation
-// release the aliases live. Anything else is a 405 advertising both.
-func TestOverlapAcceptsGetAndLegacyPost(t *testing.T) {
+// TestOverlapIsGetOnly: with the legacy aliases gone, /v1/overlap's
+// one-release POST tolerance is gone too — the documented GET (with a
+// request body, like a search) works, and every other method is a 405
+// advertising GET alone.
+func TestOverlapIsGetOnly(t *testing.T) {
 	ts, _ := newTestDaemon(t)
 	g := profile.NewDCG()
 	g.AddSample(edge(1, 2, 3), 4)
 	postProfile(t, ts.URL+api.PathIngest, g).Body.Close()
 
-	// The unversioned path comes from the alias table — the only place
-	// it exists as a string.
-	var legacyOverlap string
-	for legacy, v1 := range api.LegacyAliases {
-		if v1 == api.PathOverlap {
-			legacyOverlap = legacy
-		}
+	resp := getProfile(t, ts.URL+api.PathOverlap, g)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET overlap status %s", resp.Status)
 	}
-	for _, path := range []string{api.PathOverlap, legacyOverlap} {
-		for _, send := range []func(*testing.T, string, *profile.DCG) *http.Response{getProfile, postProfile} {
-			resp := send(t, ts.URL+path, g)
-			if resp.StatusCode != http.StatusOK {
-				t.Fatalf("%s overlap status %s", path, resp.Status)
-			}
-			m := decodeJSON(t, resp)
-			if ov := m["overlap"].(float64); ov < 99.999 {
-				t.Errorf("%s self overlap = %v, want 100", path, ov)
-			}
-		}
+	m := decodeJSON(t, resp)
+	if ov := m["overlap"].(float64); ov < 99.999 {
+		t.Errorf("self overlap = %v, want 100", ov)
+	}
 
-		req, err := http.NewRequest(http.MethodDelete, ts.URL+path, nil)
+	for _, method := range []string{http.MethodPost, http.MethodDelete} {
+		req, err := http.NewRequest(method, ts.URL+api.PathOverlap, nil)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -424,10 +414,10 @@ func TestOverlapAcceptsGetAndLegacyPost(t *testing.T) {
 			t.Fatal(err)
 		}
 		if resp.StatusCode != http.StatusMethodNotAllowed {
-			t.Errorf("DELETE %s status %d, want 405", path, resp.StatusCode)
+			t.Errorf("%s overlap status %d, want 405", method, resp.StatusCode)
 		}
-		if allow := resp.Header.Get("Allow"); allow != "GET, POST" {
-			t.Errorf("DELETE %s Allow header %q, want \"GET, POST\"", path, allow)
+		if allow := resp.Header.Get("Allow"); allow != "GET" {
+			t.Errorf("%s overlap Allow header %q, want GET", method, allow)
 		}
 		resp.Body.Close()
 	}
@@ -460,39 +450,33 @@ func TestMutatingEndpointsRejectGET(t *testing.T) {
 	}
 }
 
-// TestLegacyAliasesServed: every pre-versioning path in
-// api.LegacyAliases answers exactly like its /v1 route — same status
-// and same body for a GET — so old pushers and scrapers keep working
-// for the deprecation release. The alias table is the only source of
-// the unversioned strings.
-func TestLegacyAliasesServed(t *testing.T) {
+// TestRetiredPathsGone: the pre-versioning flat paths finished their
+// one-release deprecation window. Every retired path — whatever the
+// method — now answers 404 with the standard error envelope whose
+// message names the /v1 route to move to, so a straggler's log line is
+// its own migration guide.
+func TestRetiredPathsGone(t *testing.T) {
 	ts, _ := newTestDaemon(t)
-	g := profile.NewDCG()
-	g.AddSample(edge(1, 2, 3), 10)
-	postProfile(t, ts.URL+api.PathIngest, g).Body.Close()
-
-	get := func(path string) (int, []byte) {
-		resp, err := http.Get(ts.URL + path)
-		if err != nil {
-			t.Fatal(err)
-		}
-		defer resp.Body.Close()
-		b, err := io.ReadAll(resp.Body)
-		if err != nil {
-			t.Fatal(err)
-		}
-		return resp.StatusCode, b
-	}
-	for legacy, v1 := range api.LegacyAliases {
-		legacyStatus, legacyBody := get(legacy)
-		v1Status, v1Body := get(v1)
-		if legacyStatus != v1Status {
-			t.Errorf("GET %s status %d, %s status %d — alias diverged", legacy, legacyStatus, v1, v1Status)
-		}
-		// Metrics bodies contain wall-clock uptime; everything else must
-		// byte-match (snapshot bytes, JSON, and 405/400 envelopes alike).
-		if v1 != api.PathMetrics && !bytes.Equal(legacyBody, v1Body) {
-			t.Errorf("GET %s body diverged from %s:\n%s\nvs\n%s", legacy, v1, legacyBody, v1Body)
+	for retired, v1 := range api.RetiredPaths {
+		for _, method := range []string{http.MethodGet, http.MethodPost} {
+			req, err := http.NewRequest(method, ts.URL+retired, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			resp, err := http.DefaultClient.Do(req)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if resp.StatusCode != http.StatusNotFound {
+				t.Errorf("%s %s status %d, want 404", method, retired, resp.StatusCode)
+			}
+			m := decodeJSON(t, resp)
+			if m["code"] != "not_found" {
+				t.Errorf("%s %s envelope code %v, want not_found", method, retired, m["code"])
+			}
+			if msg, _ := m["msg"].(string); !strings.Contains(msg, v1) {
+				t.Errorf("%s %s error %q does not name the replacement %s", method, retired, msg, v1)
+			}
 		}
 	}
 }

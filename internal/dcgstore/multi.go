@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 
 	"gocbs/internal/api"
 	"gocbs/internal/bytecode"
@@ -48,6 +49,14 @@ type Multi struct {
 	manifestOrder []api.ProgramKey
 	carried       map[api.ProgramKey]*profile.DCG
 	latest        map[string]string // program -> most recently registered version
+	// touched records the last write-path access (push-side For,
+	// manifest registration) per substore; EvictRetired uses it to find
+	// versions the fleet has moved off of. Read paths do not touch —
+	// the merged snapshot visits every key and would pin retired
+	// versions forever.
+	touched map[api.ProgramKey]time.Time
+	evicted uint64
+	now     func() time.Time
 }
 
 // NewMulti returns a Multi whose substores (including the default) use
@@ -67,6 +76,8 @@ func NewMultiWithDefault(def *Store, shards int) *Multi {
 		manifests: make(map[api.ProgramKey]*bytecode.Manifest),
 		carried:   make(map[api.ProgramKey]*profile.DCG),
 		latest:    make(map[string]string),
+		touched:   make(map[api.ProgramKey]time.Time),
+		now:       time.Now,
 	}
 }
 
@@ -116,6 +127,7 @@ func (m *Multi) For(key api.ProgramKey) *Store {
 
 func (m *Multi) forLocked(key api.ProgramKey) *Store {
 	if s := m.subs[key]; s != nil {
+		m.touched[key] = m.now()
 		return s
 	}
 	if len(m.subs) >= MaxProgramKeys {
@@ -123,6 +135,7 @@ func (m *Multi) forLocked(key api.ProgramKey) *Store {
 	}
 	s := New(m.shards)
 	m.subs[key] = s
+	m.touched[key] = m.now()
 	if m.latest[key.Program] == "" {
 		// First sighting of this program establishes succession; a
 		// manifest registration for a newer build will advance it.
@@ -224,6 +237,7 @@ func (m *Multi) RegisterManifest(man *bytecode.Manifest) (carriedEdges int, carr
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if m.manifests[key] != nil {
+		m.touched[key] = m.now()
 		if c := m.carried[key]; c != nil {
 			return c.NumEdges(), c.Total(), nil
 		}
@@ -276,6 +290,61 @@ func (m *Multi) DecayAll(factor, prune float64) int {
 		}
 	}
 	return pruned
+}
+
+// EvictRetired removes substores for retired versions — any (program,
+// version) that is no longer the program's latest version and has seen
+// no write-path access (push or manifest registration) for at least
+// ttl. The latest version of every program is always kept, however
+// idle, as is a program's sole version (never superseded = not
+// retired). Eviction drops the substore, its manifest, and its
+// carried-forward graph; the version can still come back cold if a
+// straggler pushes under it again, which is exactly the slot the cap
+// in forLocked guards. Returns how many substores were evicted.
+func (m *Multi) EvictRetired(ttl time.Duration) int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	cutoff := m.now().Add(-ttl)
+	n := 0
+	for key := range m.subs {
+		if m.latest[key.Program] == key.Version {
+			continue
+		}
+		if t, ok := m.touched[key]; ok && t.After(cutoff) {
+			continue
+		}
+		delete(m.subs, key)
+		delete(m.touched, key)
+		delete(m.carried, key)
+		delete(m.manifests, key)
+		n++
+	}
+	if n > 0 {
+		order := m.manifestOrder[:0]
+		for _, key := range m.manifestOrder {
+			if m.manifests[key] != nil {
+				order = append(order, key)
+			}
+		}
+		m.manifestOrder = order
+		m.evicted += uint64(n)
+	}
+	return n
+}
+
+// Evicted returns the total number of substores EvictRetired has
+// dropped over the Multi's lifetime.
+func (m *Multi) Evicted() uint64 {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.evicted
+}
+
+// SetClock replaces the idle-tracking clock (tests only).
+func (m *Multi) SetClock(now func() time.Time) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.now = now
 }
 
 // CarryForward computes the profile mass of old that remains valid in

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"os"
 	"testing"
+	"time"
 
 	"gocbs/internal/api"
 	"gocbs/internal/bench"
@@ -327,5 +328,71 @@ func TestMultiCheckpointRoundTrip(t *testing.T) {
 	}
 	if after := r.Lookup(key2).Snapshot().Total(); after != before {
 		t.Fatalf("post-restore re-registration changed the graph: %v -> %v", before, after)
+	}
+}
+
+// TestEvictRetiredVersions drives the version GC with a fake clock: a
+// version superseded by a newer registration is evicted once it sits
+// write-idle past the TTL, while the latest version of every program —
+// and a program that was never superseded — survive any amount of
+// idleness.
+func TestEvictRetiredVersions(t *testing.T) {
+	p1 := compileBench(t, "compress")
+	p2 := upgrade(p1)
+	man1 := p1.BuildManifest("compress")
+	man2 := p2.BuildManifest("compress")
+	key1 := api.ProgramKey{Program: "compress", Version: man1.Version}
+	key2 := api.ProgramKey{Program: "compress", Version: man2.Version}
+	soleKey := api.ProgramKey{Program: "db", Version: "00000000000000db"}
+
+	m := NewMulti(2)
+	now := time.Unix(1_000_000, 0)
+	m.SetClock(func() time.Time { return now })
+
+	if _, _, err := m.RegisterManifest(man1); err != nil {
+		t.Fatal(err)
+	}
+	m.For(key1).MergeDCGFrom("vm1", 1, dcgOf([4]int{1, 0, 2, 10}))
+	m.For(soleKey).MergeDCGFrom("vm2", 1, dcgOf([4]int{1, 0, 2, 5}))
+
+	// v2 ships: v1 is now retired, but a straggler keeps pushing to it.
+	now = now.Add(time.Hour)
+	if _, _, err := m.RegisterManifest(man2); err != nil {
+		t.Fatal(err)
+	}
+	m.For(key1).MergeDCGFrom("vm1", 2, dcgOf([4]int{1, 0, 2, 1}))
+
+	// The straggler's push just touched v1 — nothing is idle enough.
+	if n := m.EvictRetired(30 * time.Minute); n != 0 {
+		t.Fatalf("evicted %d substores while the retired version was still hot", n)
+	}
+
+	// An hour of silence later the retired version goes; the latest
+	// version and the never-superseded program stay, however idle.
+	now = now.Add(time.Hour)
+	if n := m.EvictRetired(30 * time.Minute); n != 1 {
+		t.Fatalf("evicted %d substores, want 1", n)
+	}
+	if m.Lookup(key1) != nil || m.Manifest(key1) != nil {
+		t.Fatal("retired version still present after eviction")
+	}
+	if m.Lookup(key2) == nil || m.Manifest(key2) == nil {
+		t.Fatal("latest version evicted")
+	}
+	if m.Lookup(soleKey) == nil {
+		t.Fatal("sole (never superseded) version evicted")
+	}
+	if got := m.Evicted(); got != 1 {
+		t.Fatalf("Evicted() = %d, want 1", got)
+	}
+	// Relayed manifest order no longer mentions the evicted build.
+	for _, man := range m.ManifestsInOrder() {
+		if man.Version == man1.Version {
+			t.Fatal("evicted manifest still relayed upstream")
+		}
+	}
+	// Repeat sweeps are no-ops.
+	if n := m.EvictRetired(30 * time.Minute); n != 0 {
+		t.Fatalf("second sweep evicted %d substores", n)
 	}
 }

@@ -84,6 +84,10 @@ func PerfTrajectory(cfg Config, input string, params PerfParams) (*perf.Report, 
 	if err != nil {
 		return nil, err
 	}
+	profilers, err := measureProfilers(cfg, pool, input)
+	if err != nil {
+		return nil, err
+	}
 
 	var plainRates, fusedRates, ratios, dbRatios []float64
 	for _, r := range rates {
@@ -119,6 +123,7 @@ func PerfTrajectory(cfg Config, input string, params PerfParams) (*perf.Report, 
 		Overhead:   overhead,
 		Ingest:     ingest,
 		FleetScale: fleetScale,
+		Profilers:  profilers,
 	}, nil
 }
 
@@ -372,6 +377,9 @@ func FormatPerf(r *perf.Report) string {
 	}
 	if r.FleetScale != nil {
 		sb.WriteString(FormatFleetScale(r.FleetScale))
+	}
+	if len(r.Profilers) > 0 {
+		sb.WriteString(FormatProfilers(r.Profilers))
 	}
 	return sb.String()
 }

@@ -1,0 +1,126 @@
+package experiment
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+
+	"gocbs/internal/bench"
+	"gocbs/internal/mincover"
+	"gocbs/internal/perf"
+	"gocbs/internal/profile"
+	"gocbs/internal/profiler"
+	"gocbs/internal/runner"
+	"gocbs/internal/vm"
+)
+
+// ProfilerStudy is the three-way accuracy-vs-overhead comparison of
+// the fleet's profile sources — exhaustive instrumentation, CBS
+// sampling, and minimum-coverage instrumentation — per benchmark, all
+// in the JIT-only configuration and scored against the same perfect
+// profile. Emitted into the perf schema (v3 Profilers section) so the
+// trajectory tracks how much accuracy each point of overhead buys.
+func ProfilerStudy(cfg Config, input string) ([]perf.ProfilerRow, error) {
+	pool := cfg.startPool()
+	return measureProfilers(cfg, pool, input)
+}
+
+func measureProfilers(cfg Config, pool *runner.Pool, input string) ([]perf.ProfilerRow, error) {
+	return runner.Map(pool, cfg.Benchmarks, func(_ int, b *bench.Benchmark) (perf.ProfilerRow, error) {
+		size := b.SizeFor(input)
+		perfect, err := PerfectDCG(cfg, b, size)
+		if err != nil {
+			return perf.ProfilerRow{}, err
+		}
+
+		// Exhaustive with modeled per-call counter cost: the accuracy
+		// ceiling and the overhead ceiling at once.
+		prog, err := cfg.prepare(b)
+		if err != nil {
+			return perf.ProfilerRow{}, err
+		}
+		m := vm.New(prog)
+		m.MaxSteps = cfg.MaxSteps
+		m.SetProfiler(profiler.NewInstrumented())
+		if _, err := m.Run(size); err != nil {
+			return perf.ProfilerRow{}, fmt.Errorf("%s instrumented: %w", b.Name, err)
+		}
+		cfg.addCycles(m.Cycles)
+		exhaustivePct := m.Overhead() * 100
+
+		// CBS at the paper's default operating point, median over seeds.
+		cbs, err := MeasureCBS(cfg, b, size,
+			profiler.Config{Stride: 3, SamplesPerTick: 16, Flavour: profiler.FlavourRVM}, perfect)
+		if err != nil {
+			return perf.ProfilerRow{}, err
+		}
+
+		// Mincover: deterministic, so a single run measures it fully.
+		mprog, err := cfg.prepare(b)
+		if err != nil {
+			return perf.ProfilerRow{}, err
+		}
+		mc := mincover.New(mprog)
+		mv := vm.New(mprog)
+		mv.MaxSteps = cfg.MaxSteps
+		mv.SetProfiler(mc)
+		if _, err := mv.Run(size); err != nil {
+			return perf.ProfilerRow{}, fmt.Errorf("%s mincover: %w", b.Name, err)
+		}
+		if err := mc.Finalize(); err != nil {
+			return perf.ProfilerRow{}, fmt.Errorf("%s mincover: %w", b.Name, err)
+		}
+		if mc.Unexpected != 0 {
+			return perf.ProfilerRow{}, fmt.Errorf("%s mincover: %d edges outside the static graph", b.Name, mc.Unexpected)
+		}
+		cfg.addCycles(mv.Cycles)
+		exact, err := sameDCG(mc.Graph, perfect)
+		if err != nil {
+			return perf.ProfilerRow{}, err
+		}
+		c := mc.Cover
+		return perf.ProfilerRow{
+			Name:             b.Name,
+			ExhaustivePct:    exhaustivePct,
+			CBSPct:           cbs.OverheadPct,
+			CBSAccuracy:      cbs.Accuracy,
+			MincoverPct:      mv.Overhead() * 100,
+			MincoverAccuracy: profile.Accuracy(mc.Graph, perfect),
+			ProbedSites:      c.NumProbes(),
+			TotalSites:       c.NumPoints(),
+			ProbeRatio:       c.ProbeRatio(),
+			Exact:            exact,
+		}, nil
+	})
+}
+
+// sameDCG compares two graphs by their canonical DCGB-v1 encoding, the
+// same byte-equality the differential tests gate on.
+func sameDCG(a, b *profile.DCG) (bool, error) {
+	var ab, bb bytes.Buffer
+	if _, err := a.WriteTo(&ab); err != nil {
+		return false, err
+	}
+	if _, err := b.WriteTo(&bb); err != nil {
+		return false, err
+	}
+	return bytes.Equal(ab.Bytes(), bb.Bytes()), nil
+}
+
+// FormatProfilers renders the study for the terminal.
+func FormatProfilers(rows []perf.ProfilerRow) string {
+	var sb strings.Builder
+	sb.WriteString("Profile sources: overhead (profiling cycles / base cycles) vs accuracy (overlap with perfect)\n")
+	fmt.Fprintf(&sb, "%-12s %9s  %8s %7s  %8s %7s %11s %6s\n",
+		"Benchmark", "exh ovh", "cbs ovh", "cbs acc", "mc ovh", "mc acc", "probes", "exact")
+	for _, r := range rows {
+		exact := "no"
+		if r.Exact {
+			exact = "yes"
+		}
+		fmt.Fprintf(&sb, "%-12s %8.1f%% %7.1f%% %7.1f %7.1f%% %7.1f %6d/%-4d %6s\n",
+			r.Name, r.ExhaustivePct, r.CBSPct, r.CBSAccuracy,
+			r.MincoverPct, r.MincoverAccuracy, r.ProbedSites, r.TotalSites, exact)
+	}
+	return sb.String()
+}

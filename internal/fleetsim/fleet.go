@@ -16,6 +16,7 @@ import (
 	"gocbs/internal/daemon"
 	"gocbs/internal/dcgstore"
 	"gocbs/internal/inline"
+	"gocbs/internal/mincover"
 	"gocbs/internal/plan"
 	"gocbs/internal/profile"
 	"gocbs/internal/profiler"
@@ -50,6 +51,13 @@ type Config struct {
 	// Program names the benchmark the whole fleet runs (default
 	// "compress").
 	Program string
+	// Profilers assigns profile sources round-robin across the pusher
+	// fleet: pusher k uses Profilers[k%len(Profilers)]. Valid kinds are
+	// "cbs", "exhaustive", and "mincover"; nil or empty keeps the
+	// all-CBS fleet. Mixed fleets exercise the A/B deployment story:
+	// every source feeds the same push protocol and the conservation
+	// invariant is checked across all of them together.
+	Profilers []string
 	// StateDir is the daemon's checkpoint directory; empty means a
 	// fresh temporary directory, removed when the run ends.
 	StateDir string
@@ -80,15 +88,22 @@ func (c *Config) setDefaults() {
 	}
 }
 
-// pusherActor is one profiled VM streaming CBS deltas to the daemon
-// through its own fault-injecting transport. Actors advance in
+// pusherActor is one profiled VM streaming profile deltas to the
+// daemon through its own fault-injecting transport. Actors advance in
 // lockstep rounds so daemon restarts happen at known-quiesced points.
+// The profile source behind graph is per-actor (CBS, exhaustive, or
+// mincover — see Config.Profilers); the push protocol only ever sees
+// the live DCG, so mixing sources changes nothing downstream.
 type pusherActor struct {
-	name string
-	cbs  *profiler.CBS
-	m    *vm.VM
-	iter *bytecode.Method
-	push *dcgstore.DeltaPusher
+	name  string
+	graph *profile.DCG
+	// finalize, when non-nil, completes the profile after the last
+	// iteration and before the final drain (mincover's count
+	// recovery). Must be idempotent.
+	finalize func() error
+	m        *vm.VM
+	iter     *bytecode.Method
+	push     *dcgstore.DeltaPusher
 
 	pushErrs int
 }
@@ -99,7 +114,7 @@ func (a *pusherActor) round(iters int) error {
 			return fmt.Errorf("%s: iter: %w", a.name, err)
 		}
 	}
-	if err := a.push.Push(a.cbs.Graph); err != nil {
+	if err := a.push.Push(a.graph); err != nil {
 		// Expected under chaos: the increment stays pending, frozen with
 		// its stamp, and the next round's push re-sends it first.
 		a.pushErrs++
@@ -112,12 +127,36 @@ func (a *pusherActor) round(iters int) error {
 func (a *pusherActor) drain() error {
 	var lastErr error
 	for attempt := 0; attempt < 50; attempt++ {
-		lastErr = a.push.Push(a.cbs.Graph)
+		lastErr = a.push.Push(a.graph)
 		if lastErr == nil && a.push.Pending() == 0 {
 			return nil
 		}
 	}
 	return fmt.Errorf("%s: %d increment(s) still pending after drain: %v", a.name, a.push.Pending(), lastErr)
+}
+
+// newPusherProfiler builds pusher k's profile source. Valid kinds are
+// "cbs" (the default sampling profiler), "exhaustive" (instrumented
+// per-call counters), and "mincover" (minimum-coverage probes with
+// count recovery at finalize). The returned finalize is nil when the
+// source needs no completion step.
+func newPusherProfiler(kind string, seed int64, prog *bytecode.Program) (vm.Profiler, *profile.DCG, func() error, error) {
+	switch kind {
+	case "", "cbs":
+		cbs := profiler.NewCBS(profiler.Config{
+			Stride: 3, SamplesPerTick: 16,
+			Flavour: profiler.FlavourRVM, Seed: seed,
+		})
+		return cbs, cbs.Graph, nil, nil
+	case "exhaustive":
+		e := profiler.NewInstrumented()
+		return e, e.Graph, nil, nil
+	case "mincover":
+		mc := mincover.New(prog)
+		return mc, mc.Graph, mc.Finalize, nil
+	default:
+		return nil, nil, nil, fmt.Errorf("unknown profile source %q (want cbs, exhaustive, or mincover)", kind)
+	}
 }
 
 // daemonHandle is one in-process daemon incarnation.
@@ -292,7 +331,7 @@ func Run(cfg Config) (*Report, error) {
 	size := b.SizeFor("small")
 	planPath := api.PathPlan + "?program=" + cfg.Program
 
-	// Build the pusher actors: per-VM program clone, CBS profiler with
+	// Build the pusher actors: per-VM program clone, profile source with
 	// a per-VM seed, and a DeltaPusher under a fixed, name-derived
 	// identity (deterministic harness; production uses random IDs).
 	pushers := make([]*pusherActor, cfg.VMs)
@@ -302,12 +341,16 @@ func Run(cfg Config) (*Report, error) {
 		if err != nil {
 			return nil, err
 		}
-		cbs := profiler.NewCBS(profiler.Config{
-			Stride: 3, SamplesPerTick: 16,
-			Flavour: profiler.FlavourRVM, Seed: cfg.Seed + int64(k),
-		})
+		kind := ""
+		if len(cfg.Profilers) > 0 {
+			kind = cfg.Profilers[k%len(cfg.Profilers)]
+		}
+		prof, graph, finalize, err := newPusherProfiler(kind, cfg.Seed+int64(k), prog)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", name, err)
+		}
 		m := vm.New(prog)
-		m.SetProfiler(cbs)
+		m.SetProfiler(prof)
 		m.SetTimer(50_000)
 		setup := prog.MethodByName("$Globals.setup")
 		iter := prog.MethodByName("$Globals.iter")
@@ -325,11 +368,12 @@ func Run(cfg Config) (*Report, error) {
 			Backoff: time.Millisecond, MaxBackoff: 4 * time.Millisecond,
 		}
 		pushers[k] = &pusherActor{
-			name: name,
-			cbs:  cbs,
-			m:    m,
-			iter: iter,
-			push: dcgstore.NewDeltaPusherWithID(client, name),
+			name:     name,
+			graph:    graph,
+			finalize: finalize,
+			m:        m,
+			iter:     iter,
+			push:     dcgstore.NewDeltaPusherWithID(client, name),
 		}
 	}
 
@@ -433,10 +477,17 @@ func Run(cfg Config) (*Report, error) {
 		f.chaos.enabled.Store(true)
 	}
 
-	// Final drain: everything captured must be acknowledged before the
-	// conservation check reads the store.
+	// Finalize profile sources that derive counts after the last
+	// iteration (mincover's recovery), then the final drain: everything
+	// captured must be acknowledged before the conservation check reads
+	// the store.
 	f.chaos.enabled.Store(false)
 	for _, a := range pushers {
+		if a.finalize != nil {
+			if err := a.finalize(); err != nil {
+				return nil, fmt.Errorf("%s: finalize: %w", a.name, err)
+			}
+		}
 		if err := a.drain(); err != nil {
 			return nil, err
 		}

@@ -89,6 +89,46 @@ func TestFleetSameSeedIsDeterministic(t *testing.T) {
 	}
 }
 
+// TestMixedProfileSources runs a fleet where the pushers split across
+// all three profile sources — CBS sampling, exhaustive counters, and
+// mincover probes with finalize-time count recovery — under faults and
+// a restart. The push protocol and every invariant, including
+// fleet-wide conservation, must hold across the mix.
+func TestMixedProfileSources(t *testing.T) {
+	faults, _ := ParseFaults("all")
+	rep, err := Run(Config{
+		VMs:       3,
+		Pullers:   1,
+		Rounds:    4,
+		Seed:      11,
+		Faults:    faults,
+		Restarts:  1,
+		Profilers: []string{"cbs", "mincover", "exhaustive"},
+		Logf:      t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s", rep.Format())
+	if !rep.AllPassed() {
+		t.Fatal("invariant checkers failed with mixed profile sources")
+	}
+	d := &rep.Deterministic
+	if d.AckedPushes == 0 || d.FinalEdges == 0 || d.FinalWeight <= 0 {
+		t.Errorf("empty aggregate: %d pushes, %d edges, %.0f weight", d.AckedPushes, d.FinalEdges, d.FinalWeight)
+	}
+}
+
+// TestUnknownProfileSourceRejected pins the error for a bad Profilers
+// entry: fail at fleet construction, not mid-soak.
+func TestUnknownProfileSourceRejected(t *testing.T) {
+	_, err := Run(Config{VMs: 1, Pullers: 1, Rounds: 1, Seed: 1, Profilers: []string{"psychic"}})
+	if err == nil {
+		t.Fatal("fleet with unknown profile source ran anyway")
+	}
+	t.Logf("got expected error: %v", err)
+}
+
 // TestFleetNoFaultsNoRestarts is the control: with chaos off the soak
 // must of course pass, and no fault events may be drawn.
 func TestFleetNoFaultsNoRestarts(t *testing.T) {

@@ -17,7 +17,6 @@ import (
 	"gocbs/internal/federation"
 	"gocbs/internal/plan"
 	"gocbs/internal/profile"
-	"gocbs/internal/profiler"
 	"gocbs/internal/puller"
 	"gocbs/internal/vm"
 )
@@ -255,12 +254,16 @@ func runTree(cfg Config) (*Report, error) {
 		if err != nil {
 			return nil, err
 		}
-		cbs := profiler.NewCBS(profiler.Config{
-			Stride: 3, SamplesPerTick: 16,
-			Flavour: profiler.FlavourRVM, Seed: cfg.Seed + int64(k),
-		})
+		kind := ""
+		if len(cfg.Profilers) > 0 {
+			kind = cfg.Profilers[k%len(cfg.Profilers)]
+		}
+		prof, graph, finalize, err := newPusherProfiler(kind, cfg.Seed+int64(k), prog)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", name, err)
+		}
 		m := vm.New(prog)
-		m.SetProfiler(cbs)
+		m.SetProfiler(prof)
 		m.SetTimer(50_000)
 		setup := prog.MethodByName("$Globals.setup")
 		iter := prog.MethodByName("$Globals.iter")
@@ -277,11 +280,12 @@ func runTree(cfg Config) (*Report, error) {
 			Backoff:    time.Millisecond, MaxBackoff: 4 * time.Millisecond,
 		}
 		pushers[k] = &pusherActor{
-			name: name,
-			cbs:  cbs,
-			m:    m,
-			iter: iter,
-			push: dcgstore.NewDeltaPusherWithID(client, name),
+			name:     name,
+			graph:    graph,
+			finalize: finalize,
+			m:        m,
+			iter:     iter,
+			push:     dcgstore.NewDeltaPusherWithID(client, name),
 		}
 	}
 
@@ -400,12 +404,19 @@ func runTree(cfg Config) (*Report, error) {
 		tf.chaos.enabled.Store(true)
 	}
 
-	// Final drain: pushers into leaves, leaves into the root, then read
-	// the root. The conservation equality is fleet-wide: the ROOT's
-	// aggregate must equal the merge of what every PUSHER knows was
-	// acknowledged — weight crossed two exactly-once hops to get there.
+	// Finalize profile sources that derive counts after the last
+	// iteration, then the final drain: pushers into leaves, leaves into
+	// the root, then read the root. The conservation equality is
+	// fleet-wide: the ROOT's aggregate must equal the merge of what
+	// every PUSHER knows was acknowledged — weight crossed two
+	// exactly-once hops to get there.
 	tf.chaos.enabled.Store(false)
 	for _, a := range pushers {
+		if a.finalize != nil {
+			if err := a.finalize(); err != nil {
+				return nil, fmt.Errorf("%s: finalize: %w", a.name, err)
+			}
+		}
 		if err := a.drain(); err != nil {
 			return nil, err
 		}

@@ -239,11 +239,11 @@ func RunUpgrade(cfg UpgradeConfig) (*UpgradeReport, error) {
 			Backoff:    time.Millisecond, MaxBackoff: 4 * time.Millisecond,
 		}
 		return &pusherActor{
-			name: name,
-			cbs:  cbs,
-			m:    m,
-			iter: p.MethodByName("$Globals.iter"),
-			push: dcgstore.NewDeltaPusherWithID(client, name),
+			name:  name,
+			graph: cbs.Graph,
+			m:     m,
+			iter:  p.MethodByName("$Globals.iter"),
+			push:  dcgstore.NewDeltaPusherWithID(client, name),
 		}, nil
 	}
 

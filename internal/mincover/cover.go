@@ -1,0 +1,245 @@
+package mincover
+
+import (
+	"fmt"
+
+	"gocbs/internal/bytecode"
+)
+
+// The conservation system relates three families of unknowns over the
+// static graph — edge frequencies f(e), method entry counts ent(m)
+// (dynamic calls in plus harness invocations), and point sitecounts
+// sc(p) = Σ f(e) over p's edges — through four derivation rules:
+//
+//	R1  all in-edges of m known            → ent(m) = harness(m) + Σ in
+//	R1b a sitecount of an anchor point of
+//	    m known                            → ent(m) = sc(p) / mult(p)
+//	R2  ent(m) and all but one in-edge
+//	    known                              → the last in-edge
+//	R3  ent(m) known, p an anchor point    → sc(p) = mult(p) × ent(m)
+//	R3b all edges of p known               → sc(p) = Σ
+//	R4  sc(p) and all but one edge of p
+//	    known                              → the last edge
+//
+// Rule applicability depends only on *which* quantities are known,
+// never on their values, so one closure serves two purposes: run
+// symbolically (all measurements zero) it decides whether a candidate
+// probe set covers the graph, and run on real probe counts it recovers
+// the full frequency vector. A probe set accepted symbolically is
+// therefore guaranteed to resolve at runtime.
+
+// solveState is the solver's workspace; values are only meaningful
+// where the corresponding known flag is set.
+type solveState struct {
+	edgeVal   []float64
+	edgeKnown []bool
+	entVal    []float64
+	entKnown  []bool
+	scVal     map[Point]float64
+	scKnown   map[Point]bool
+}
+
+// solve runs the derivation rules to fixpoint. Probed points seed the
+// system with their measured per-edge counts; knownZero points seed
+// zeros. Deterministic: iteration follows the graph's canonical order.
+func (g *Graph) solve(probed map[Point]bool, edgeMeas func(StaticEdge) float64, harness func(int) float64) *solveState {
+	s := &solveState{
+		edgeVal:   make([]float64, len(g.Edges)),
+		edgeKnown: make([]bool, len(g.Edges)),
+		entVal:    make([]float64, g.NumMethods),
+		entKnown:  make([]bool, g.NumMethods),
+		scVal:     make(map[Point]float64),
+		scKnown:   make(map[Point]bool),
+	}
+	for _, p := range g.Points {
+		pi := g.info[p]
+		switch {
+		case probed[p]:
+			sum := 0.0
+			for _, ei := range pi.edges {
+				v := edgeMeas(g.Edges[ei])
+				s.edgeVal[ei] = v
+				s.edgeKnown[ei] = true
+				sum += v
+			}
+			s.scVal[p] = sum
+			s.scKnown[p] = true
+		case pi.knownZero():
+			for _, ei := range pi.edges {
+				s.edgeKnown[ei] = true
+			}
+			s.scVal[p] = 0
+			s.scKnown[p] = true
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for m := 0; m < g.NumMethods; m++ {
+			if !s.entKnown[m] {
+				all, sum := true, 0.0
+				for _, ei := range g.in[m] {
+					if !s.edgeKnown[ei] {
+						all = false
+						break
+					}
+					sum += s.edgeVal[ei]
+				}
+				if all { // R1
+					s.entVal[m] = harness(m) + sum
+					s.entKnown[m] = true
+					changed = true
+				} else {
+					for _, p := range g.anchors[m] { // R1b
+						if s.scKnown[p] {
+							mult, _ := g.info[p].anchorMult()
+							s.entVal[m] = s.scVal[p] / float64(mult)
+							s.entKnown[m] = true
+							changed = true
+							break
+						}
+					}
+				}
+			}
+			if s.entKnown[m] {
+				unk, cnt, sum := -1, 0, 0.0
+				for _, ei := range g.in[m] {
+					if s.edgeKnown[ei] {
+						sum += s.edgeVal[ei]
+					} else {
+						unk, cnt = ei, cnt+1
+					}
+				}
+				if cnt == 1 { // R2
+					s.edgeVal[unk] = s.entVal[m] - harness(m) - sum
+					s.edgeKnown[unk] = true
+					changed = true
+				}
+			}
+		}
+		for _, p := range g.Points {
+			pi := g.info[p]
+			if !s.scKnown[p] {
+				if mult, ok := pi.anchorMult(); ok && s.entKnown[p.Method] { // R3
+					s.scVal[p] = float64(mult) * s.entVal[p.Method]
+					s.scKnown[p] = true
+					changed = true
+				} else {
+					all, sum := true, 0.0
+					for _, ei := range pi.edges {
+						if !s.edgeKnown[ei] {
+							all = false
+							break
+						}
+						sum += s.edgeVal[ei]
+					}
+					if all { // R3b
+						s.scVal[p] = sum
+						s.scKnown[p] = true
+						changed = true
+					}
+				}
+			}
+			if s.scKnown[p] {
+				unk, cnt, sum := -1, 0, 0.0
+				for _, ei := range pi.edges {
+					if s.edgeKnown[ei] {
+						sum += s.edgeVal[ei]
+					} else {
+						unk, cnt = ei, cnt+1
+					}
+				}
+				if cnt == 1 { // R4
+					s.edgeVal[unk] = s.scVal[p] - sum
+					s.edgeKnown[unk] = true
+					changed = true
+				}
+			}
+		}
+	}
+	return s
+}
+
+// covered reports whether the probe set determines every static edge,
+// by running the closure symbolically.
+func (g *Graph) covered(probed map[Point]bool) bool {
+	s := g.solve(probed, func(StaticEdge) float64 { return 0 }, func(int) float64 { return 0 })
+	for _, k := range s.edgeKnown {
+		if !k {
+			return false
+		}
+	}
+	return true
+}
+
+// Cover is a chosen probe set over a static graph: everything needed
+// to instrument a run and recover the full frequency vector afterwards.
+type Cover struct {
+	Graph  *Graph
+	Probed map[Point]bool
+}
+
+// Compute extracts prog's static graph and minimizes a probe set over
+// it. Purely static: nothing here touches the VM or charges cycles.
+func Compute(prog *bytecode.Program) *Cover {
+	return Extract(prog).MinCover()
+}
+
+// MinCover picks an irredundant probe set by reverse deletion: start
+// from every live point probed, then drop each point (in canonical
+// order) whose removal leaves the graph covered. The result is minimal
+// under deletion — no probe in it is redundant — which is the
+// guarantee the MCI paper's greedy matches; the globally optimum set
+// is NP-hard and not attempted (see DESIGN.md). Deterministic for a
+// given program.
+func (g *Graph) MinCover() *Cover {
+	probed := make(map[Point]bool)
+	for _, p := range g.Points {
+		pi := g.info[p]
+		if !pi.knownZero() && len(pi.edges) > 0 {
+			probed[p] = true
+		}
+	}
+	for _, p := range g.Points {
+		if !probed[p] {
+			continue
+		}
+		delete(probed, p)
+		if !g.covered(probed) {
+			probed[p] = true
+		}
+	}
+	return &Cover{Graph: g, Probed: probed}
+}
+
+// Recover solves the conservation system from measured probe counts
+// (edgeMeas per probed static edge; unprobed edges are never asked)
+// and per-method harness invocation counts, returning the recovered
+// frequency of every edge, aligned with Graph.Edges. It errors only if
+// the probe set fails to cover the graph — impossible for covers built
+// by MinCover, since the symbolic and numeric closures fire the same
+// rules.
+func (c *Cover) Recover(edgeMeas func(StaticEdge) float64, harness func(int) float64) ([]float64, error) {
+	s := c.Graph.solve(c.Probed, edgeMeas, harness)
+	for i, k := range s.edgeKnown {
+		if !k {
+			return nil, fmt.Errorf("mincover: %+v not derivable — probe set does not cover the graph", c.Graph.Edges[i])
+		}
+	}
+	return s.edgeVal, nil
+}
+
+// NumPoints counts the static call points of the graph — what
+// exhaustive instrumentation pays for.
+func (c *Cover) NumPoints() int { return len(c.Graph.Points) }
+
+// NumProbes counts the points this cover actually instruments.
+func (c *Cover) NumProbes() int { return len(c.Probed) }
+
+// ProbeRatio is NumProbes/NumPoints — the fraction of call points that
+// carry a probe (0 for an empty graph).
+func (c *Cover) ProbeRatio() float64 {
+	if len(c.Graph.Points) == 0 {
+		return 0
+	}
+	return float64(len(c.Probed)) / float64(len(c.Graph.Points))
+}

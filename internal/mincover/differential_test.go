@@ -1,0 +1,139 @@
+package mincover
+
+import (
+	"bytes"
+	"testing"
+
+	"gocbs/internal/bench"
+	"gocbs/internal/bytecode"
+	"gocbs/internal/inline"
+	"gocbs/internal/profile"
+	"gocbs/internal/profiler"
+	"gocbs/internal/vm"
+)
+
+// diffRun executes prog's entry on size under p (nil for bare) and
+// returns the VM for inspection.
+func diffRun(t *testing.T, prog *bytecode.Program, size int64, p vm.Profiler) *vm.VM {
+	t.Helper()
+	m := vm.New(prog)
+	m.MaxSteps = 4_000_000_000
+	if p != nil {
+		m.SetProfiler(p)
+	}
+	if _, err := m.Run(size); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return m
+}
+
+// dcgBytes serializes a DCG canonically, so byte equality is graph
+// equality.
+func dcgBytes(t *testing.T, g *profile.DCG) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if _, err := g.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// exhaustiveRun collects the ground-truth DCG of one deterministic run.
+func exhaustiveRun(t *testing.T, prog *bytecode.Program, size int64) *profile.DCG {
+	t.Helper()
+	ex := profiler.NewExhaustive()
+	diffRun(t, prog, size, ex)
+	return ex.Graph
+}
+
+// checkExact runs prog twice — exhaustive and mincover — and requires
+// the recovered DCG byte-identical to the exhaustive one, zero
+// unexpected edges, and (when wantStrict) strictly fewer probes than
+// static call points. Returns the mincover profiler for extra asserts.
+func checkExact(t *testing.T, prog *bytecode.Program, size int64, wantStrict bool) *Profiler {
+	t.Helper()
+	ex := profiler.NewExhaustive()
+	diffRun(t, prog, size, ex)
+
+	mc := New(prog)
+	diffRun(t, prog, size, mc)
+	if err := mc.Finalize(); err != nil {
+		t.Fatalf("finalize: %v", err)
+	}
+	if mc.Unexpected != 0 {
+		t.Errorf("observed %d dynamic edges outside the static graph", mc.Unexpected)
+	}
+	if !bytes.Equal(dcgBytes(t, mc.Graph), dcgBytes(t, ex.Graph)) {
+		t.Errorf("recovered DCG differs from exhaustive: %d edges / %.0f total vs %d edges / %.0f total",
+			mc.Graph.NumEdges(), mc.Graph.Total(), ex.Graph.NumEdges(), ex.Graph.Total())
+	}
+	c := mc.Cover
+	if wantStrict && c.NumProbes() >= c.NumPoints() {
+		t.Errorf("probes %d not strictly fewer than the %d static call points", c.NumProbes(), c.NumPoints())
+	}
+	return mc
+}
+
+// TestMincoverSuiteExactAndCheaper is the acceptance gate: on every
+// benchmark of the suite, the recovered DCG is byte-identical to
+// exhaustive's and the probe set is strictly smaller than the static
+// call-point set — both on the plain program and after trivial
+// inlining (which duplicates site IDs across methods).
+func TestMincoverSuiteExactAndCheaper(t *testing.T) {
+	suite := bench.All()
+	if len(suite) != 13 {
+		t.Fatalf("suite has %d benchmarks, want 13", len(suite))
+	}
+	for _, b := range suite {
+		b := b
+		t.Run(b.Name, func(t *testing.T) {
+			t.Parallel()
+			prog, err := b.Compile()
+			if err != nil {
+				t.Fatal(err)
+			}
+			mc := checkExact(t, prog, b.Small, true)
+			c := mc.Cover
+			t.Logf("plain: %d/%d points probed (ratio %.2f), %d static edges",
+				c.NumProbes(), c.NumPoints(), c.ProbeRatio(), len(c.Graph.Edges))
+
+			inlined, err := b.Compile()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := inline.Optimize(inlined, inline.Trivial{}, nil, inline.DefaultOptions()); err != nil {
+				t.Fatal(err)
+			}
+			ic := checkExact(t, inlined, b.Small, true).Cover
+			t.Logf("inlined: %d/%d points probed (ratio %.2f)",
+				ic.NumProbes(), ic.NumPoints(), ic.ProbeRatio())
+		})
+	}
+}
+
+// TestComputeDeterministic: the probe set is a pure function of the
+// program.
+func TestComputeDeterministic(t *testing.T) {
+	b := bench.All()[0]
+	prog, err := b.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, c := Compute(prog), Compute(prog)
+	if len(a.Probed) != len(c.Probed) {
+		t.Fatalf("probe set sizes differ: %d vs %d", len(a.Probed), len(c.Probed))
+	}
+	for p := range a.Probed {
+		if !c.Probed[p] {
+			t.Fatalf("probe sets differ at %+v", p)
+		}
+	}
+	if len(a.Graph.Edges) != len(c.Graph.Edges) {
+		t.Fatalf("edge counts differ")
+	}
+	for i := range a.Graph.Edges {
+		if a.Graph.Edges[i] != c.Graph.Edges[i] {
+			t.Fatalf("edge order differs at %d", i)
+		}
+	}
+}

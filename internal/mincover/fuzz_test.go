@@ -1,0 +1,68 @@
+package mincover
+
+import (
+	"bytes"
+	"testing"
+
+	"gocbs/internal/inline"
+	"gocbs/internal/mj"
+)
+
+// TestRecoveryFuzzDifferential is the property gate for probe-count
+// recovery: across a corpus of randomly generated, well-typed MJ
+// programs, mincover's recovered DCG must equal exhaustive's exactly
+// (byte-identical canonical encoding) on deterministic runs, with a
+// probe set never larger than the call-point set. Half the corpus is
+// additionally run through trivial inlining, which duplicates site IDs
+// across methods — the case the (method, site) probe granularity
+// exists for.
+func TestRecoveryFuzzDifferential(t *testing.T) {
+	n := 40
+	if testing.Short() {
+		n = 8
+	}
+	for seed := int64(0); seed < int64(n); seed++ {
+		src := mj.GenerateProgram(seed, 3+int(seed%4))
+		prog, err := mj.Compile(src)
+		if err != nil {
+			t.Fatalf("seed %d: compile: %v", seed, err)
+		}
+		if seed%2 == 1 {
+			if _, err := inline.Optimize(prog, inline.Trivial{}, nil, inline.DefaultOptions()); err != nil {
+				t.Fatalf("seed %d: inline: %v", seed, err)
+			}
+		}
+		arg := seed * 13 % 97
+		mc := checkExact(t, prog, arg, false)
+		if c := mc.Cover; c.NumProbes() > c.NumPoints() {
+			t.Errorf("seed %d: %d probes exceed %d points", seed, c.NumProbes(), c.NumPoints())
+		}
+	}
+}
+
+// TestRecoveryTwoRuns: the same cover instance drives two VMs (shared
+// static analysis, per-VM profilers) and recovery stays exact for
+// different arguments — the fleetsim usage pattern.
+func TestRecoveryTwoRuns(t *testing.T) {
+	src := mj.GenerateProgram(11, 5)
+	for _, arg := range []int64{3, 71} {
+		prog, err := mj.Compile(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cover := Compute(prog)
+		mc := FromCover(cover)
+		diffRun(t, prog, arg, mc)
+		if err := mc.Finalize(); err != nil {
+			t.Fatal(err)
+		}
+		ex, err := mj.Compile(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		exp := exhaustiveRun(t, ex, arg)
+		if !bytes.Equal(dcgBytes(t, mc.Graph), dcgBytes(t, exp)) {
+			t.Fatalf("arg %d: recovered DCG differs from exhaustive", arg)
+		}
+	}
+}

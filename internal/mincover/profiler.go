@@ -1,0 +1,135 @@
+package mincover
+
+import (
+	"fmt"
+
+	"gocbs/internal/bytecode"
+	"gocbs/internal/profile"
+	"gocbs/internal/vm"
+)
+
+// Profiler is the minimum-coverage profile source: a vm.Profiler that
+// pays instrumentation cost only at the cover's probed points and
+// reconstructs the complete DCG at Finalize time by solving the
+// conservation system. The recovered graph lands in the same live
+// *profile.DCG the probes increment, so delta pushers attached to
+// Graph see probed weight during the run and the derived remainder
+// after Finalize — everything downstream (DCGB-v1 encoding, dcgstore,
+// plans, federation) works unchanged.
+type Profiler struct {
+	Cover *Cover
+	Graph *profile.DCG
+
+	// Unexpected counts dynamic edges observed at probed points that
+	// the static graph does not contain. Always zero unless the
+	// extractor's soundness argument is violated; such edges are still
+	// recorded so no weight is silently dropped.
+	Unexpected uint64
+
+	// harness[m] counts invocations of method m pushed directly by the
+	// host via vm.Call (frames with no call site), recognized by
+	// TopCallEdge reporting no edge. These carry no modeled cost: the
+	// harness knows its own invocation counts without any VM-side
+	// instrumentation, just as the zero-cost Exhaustive baseline knows
+	// its samples.
+	harness []float64
+
+	edgeSet   map[profile.Edge]bool
+	finalized bool
+	finalErr  error
+}
+
+var (
+	_ vm.Profiler      = (*Profiler)(nil)
+	_ vm.CallListener  = (*Profiler)(nil)
+	_ vm.EntryListener = (*Profiler)(nil)
+)
+
+// New computes a minimal cover for prog and wraps it in a ready-to-run
+// profiler. Call it on the program the VM will actually execute (after
+// any inlining), so the static graph matches the executed code.
+func New(prog *bytecode.Program) *Profiler {
+	return FromCover(Compute(prog))
+}
+
+// FromCover builds a profiler over a precomputed cover, letting many
+// VMs running clones of one program share the static analysis.
+func FromCover(c *Cover) *Profiler {
+	p := &Profiler{
+		Cover:   c,
+		Graph:   profile.NewDCG(),
+		harness: make([]float64, c.Graph.NumMethods),
+		edgeSet: make(map[profile.Edge]bool, len(c.Graph.Edges)),
+	}
+	for _, e := range c.Graph.Edges {
+		p.edgeSet[profile.Edge{Caller: e.Caller, Site: e.Site, Callee: e.Callee}] = true
+	}
+	return p
+}
+
+// Name implements vm.Profiler.
+func (p *Profiler) Name() string { return "mincover" }
+
+// OnCall implements vm.CallListener: unprobed points return
+// immediately and free; probed points pay the same per-call
+// instrumentation cost the exhaustive-instrumented profiler models,
+// and record the edge.
+func (p *Profiler) OnCall(m *vm.VM, caller *bytecode.Method, site int, callee *bytecode.Method) {
+	if !p.Cover.Probed[Point{Method: caller.ID, Site: site}] {
+		return
+	}
+	m.ChargeProfiling(m.Cost.InstrumentationCost)
+	e := profile.Edge{Caller: caller.ID, Site: site, Callee: callee.ID}
+	if !p.edgeSet[e] {
+		p.Unexpected++
+	}
+	p.Graph.AddSample(e, 1)
+}
+
+// OnEntry implements vm.EntryListener, counting harness-pushed frames
+// (vm.Call invocations) per method. Entries that arrived through a
+// call instruction are already covered by the edge system and are
+// ignored here.
+func (p *Profiler) OnEntry(m *vm.VM, meth *bytecode.Method) {
+	if _, _, _, ok := m.TopCallEdge(); ok {
+		return
+	}
+	if meth.ID >= 0 && meth.ID < len(p.harness) {
+		p.harness[meth.ID]++
+	}
+}
+
+// Finalize solves the conservation system from the probe counts
+// accumulated in Graph plus the harness invocation counts, and injects
+// each edge's derived remainder into Graph — after which Graph is the
+// complete recovered DCG, exactly equal to what exhaustive profiling
+// would have collected on the same deterministic run. Idempotent;
+// returns the first error on repeat calls. Call it after the run
+// completes and before the final flush of any attached pusher.
+func (p *Profiler) Finalize() error {
+	if p.finalized {
+		return p.finalErr
+	}
+	p.finalized = true
+	vals, err := p.Cover.Recover(
+		func(e StaticEdge) float64 {
+			return p.Graph.Weight(profile.Edge{Caller: e.Caller, Site: e.Site, Callee: e.Callee})
+		},
+		func(m int) float64 { return p.harness[m] },
+	)
+	if err != nil {
+		p.finalErr = err
+		return err
+	}
+	for i, e := range p.Cover.Graph.Edges {
+		pe := profile.Edge{Caller: e.Caller, Site: e.Site, Callee: e.Callee}
+		d := vals[i] - p.Graph.Weight(pe)
+		if d > 0 {
+			p.Graph.AddSample(pe, d)
+		} else if d < -1e-6 {
+			p.finalErr = fmt.Errorf("mincover: recovered count for %v is %g below its measured probe count", pe, -d)
+			return p.finalErr
+		}
+	}
+	return nil
+}

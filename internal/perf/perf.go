@@ -30,7 +30,9 @@ import (
 // enforces the bump.
 //
 // v2 added the optional FleetScale section (federated ingest scaling).
-const SchemaVersion = 2
+// v3 added the optional Profilers section (the three-way accuracy-vs-
+// overhead comparison of exhaustive / CBS / mincover).
+const SchemaVersion = 3
 
 // Report is one complete perf-trajectory measurement, the top-level
 // object of a BENCH_<n>.json file.
@@ -51,6 +53,39 @@ type Report struct {
 	// FleetScale reports federated ingest scaling (leaf/root trees);
 	// nil in pre-v2 reports and runs that skip the measurement.
 	FleetScale *FleetScale `json:"fleet_scale,omitempty"`
+	// Profilers holds the per-benchmark accuracy-vs-overhead
+	// comparison of the three profile sources; empty in pre-v3
+	// reports and runs that skip the measurement.
+	Profilers []ProfilerRow `json:"profilers,omitempty"`
+}
+
+// ProfilerRow is one benchmark's three-way profile-source comparison:
+// modeled overhead and overlap accuracy for exhaustive instrumentation
+// (accuracy 100 by construction), CBS sampling (median over the run's
+// seeds), and minimum-coverage instrumentation — plus mincover's probe
+// economics and whether its recovered graph matched exhaustive's
+// byte-for-byte on the measured run.
+type ProfilerRow struct {
+	Name string `json:"name"`
+	// ExhaustivePct is the exhaustive-instrumented profiler's
+	// overhead, profiling cycles as a percentage of base cycles.
+	ExhaustivePct float64 `json:"exhaustive_pct"`
+	// CBSPct and CBSAccuracy are the sampling profiler's median
+	// overhead and overlap accuracy against the perfect profile.
+	CBSPct      float64 `json:"cbs_pct"`
+	CBSAccuracy float64 `json:"cbs_accuracy"`
+	// MincoverPct and MincoverAccuracy are the minimum-coverage
+	// profiler's overhead and overlap accuracy after recovery.
+	MincoverPct      float64 `json:"mincover_pct"`
+	MincoverAccuracy float64 `json:"mincover_accuracy"`
+	// ProbedSites of TotalSites static call points carry probes;
+	// ProbeRatio is their quotient.
+	ProbedSites int     `json:"probed_sites"`
+	TotalSites  int     `json:"total_sites"`
+	ProbeRatio  float64 `json:"probe_ratio"`
+	// Exact reports that mincover's recovered DCG was byte-identical
+	// to the exhaustive profile of the same deterministic run.
+	Exact bool `json:"exact"`
 }
 
 // Meta is the provenance block of a report.
@@ -221,9 +256,9 @@ func typeName(t reflect.Type) string {
 // version is one this build understands, every rate is finite and
 // positive, and the aggregate blocks are present.
 func (r *Report) Validate() error {
-	// Older schemas stay readable: v1 reports are a strict subset of
-	// v2 (FleetScale is optional), and the perf gate must keep
-	// accepting the checked-in v1 baseline.
+	// Older schemas stay readable: each version only adds optional
+	// sections (v2 FleetScale, v3 Profilers), and the perf gate must
+	// keep accepting the checked-in v1 baseline.
 	if r.Schema < 1 || r.Schema > SchemaVersion {
 		return fmt.Errorf("report schema %d, this build reads 1..%d", r.Schema, SchemaVersion)
 	}
@@ -261,6 +296,20 @@ func (r *Report) Validate() error {
 		if r.Ingest.LatencyMs.Count != r.Ingest.Requests {
 			return fmt.Errorf("ingest latency histogram saw %d of %d requests",
 				r.Ingest.LatencyMs.Count, r.Ingest.Requests)
+		}
+	}
+	profNames := map[string]bool{}
+	for _, p := range r.Profilers {
+		if p.Name == "" {
+			return fmt.Errorf("profiler row with empty name")
+		}
+		if profNames[p.Name] {
+			return fmt.Errorf("duplicate profiler row %q", p.Name)
+		}
+		profNames[p.Name] = true
+		if p.ProbeRatio < 0 || p.ProbeRatio > 1 || p.ProbedSites > p.TotalSites {
+			return fmt.Errorf("%s: bad probe economics %d/%d (ratio %v)",
+				p.Name, p.ProbedSites, p.TotalSites, p.ProbeRatio)
 		}
 	}
 	return nil

@@ -61,6 +61,12 @@ func sampleReport() *Report {
 				{Leaves: 16, Pushers: 16, Requests: 480, ReqPerSec: 14000, SpeedupVsBaseline: 1.13, RootIngests: 16},
 			},
 		},
+		Profilers: []ProfilerRow{
+			{Name: "compress", ExhaustivePct: 28.4, CBSPct: 2.1, CBSAccuracy: 94.5,
+				MincoverPct: 9.5, MincoverAccuracy: 100, ProbedSites: 8, TotalSites: 14, ProbeRatio: 0.57, Exact: true},
+			{Name: "jess", ExhaustivePct: 41.0, CBSPct: 1.7, CBSAccuracy: 91.2,
+				MincoverPct: 22.3, MincoverAccuracy: 100, ProbedSites: 17, TotalSites: 22, ProbeRatio: 0.77, Exact: true},
+		},
 	}
 }
 
@@ -116,6 +122,16 @@ var fingerprints = map[int]string{
 		"HistogramSummary{count:Count:int;min:Min:float64;mean:Mean:float64;p50:P50:float64;p90:P90:float64;p99:P99:float64;max:Max:float64;}" +
 		"FleetScale{baseline_req_per_s:BaselineReqPerSec:float64;points:Points:[]perf.FleetScalePoint;}" +
 		"FleetScalePoint{leaves:Leaves:int;pushers:Pushers:int;requests:Requests:int;req_per_s:ReqPerSec:float64;speedup_vs_baseline:SpeedupVsBaseline:float64;root_ingests:RootIngests:int;}",
+	3: "Report{schema:Schema:int;meta:Meta:perf.Meta;interpreter:Interpreter:[]perf.BenchRate;summary:Summary:perf.Summary;overhead:Overhead:[]perf.OverheadRow;ingest:Ingest:perf.Ingest;fleet_scale,omitempty:FleetScale:*perf.FleetScale;profilers,omitempty:Profilers:[]perf.ProfilerRow;}" +
+		"Meta{commit:Commit:string;go_version:GoVersion:string;input:Input:string;seeds:Seeds:[]int64;timer_period:TimerPeriod:uint64;quick:Quick:bool;}" +
+		"BenchRate{name:Name:string;cycles:Cycles:uint64;mcyc_per_s:McycPerSec:float64;fused_mcyc_per_s:FusedMcycPerSec:float64;fused_speedup_pct:FusedSpeedupPct:float64;dispatch_bound:DispatchBound:bool;}" +
+		"Summary{geomean_mcyc_per_s:GeomeanMcycPerSec:float64;geomean_fused_mcyc_per_s:GeomeanFusedMcycPerSec:float64;fused_speedup_pct:FusedSpeedupPct:float64;dispatch_bound_fused_speedup_pct:DispatchBoundFusedSpeedupPct:float64;harness_mcyc_per_s:HarnessMcycPerSec:float64;harness_mcyc:HarnessMcyc:float64;}" +
+		"OverheadRow{name:Name:string;exhaustive_pct:ExhaustivePct:float64;cbs_pct:CBSPct:float64;adaptive_pct:AdaptivePct:float64;}" +
+		"Ingest{requests:Requests:int;pushers:Pushers:int;edges_per_request:EdgesPerRequest:int;req_per_s:ReqPerSec:float64;latency_ms:LatencyMs:stats.HistogramSummary;}" +
+		"HistogramSummary{count:Count:int;min:Min:float64;mean:Mean:float64;p50:P50:float64;p90:P90:float64;p99:P99:float64;max:Max:float64;}" +
+		"FleetScale{baseline_req_per_s:BaselineReqPerSec:float64;points:Points:[]perf.FleetScalePoint;}" +
+		"FleetScalePoint{leaves:Leaves:int;pushers:Pushers:int;requests:Requests:int;req_per_s:ReqPerSec:float64;speedup_vs_baseline:SpeedupVsBaseline:float64;root_ingests:RootIngests:int;}" +
+		"ProfilerRow{name:Name:string;exhaustive_pct:ExhaustivePct:float64;cbs_pct:CBSPct:float64;cbs_accuracy:CBSAccuracy:float64;mincover_pct:MincoverPct:float64;mincover_accuracy:MincoverAccuracy:float64;probed_sites:ProbedSites:int;total_sites:TotalSites:int;probe_ratio:ProbeRatio:float64;exact:Exact:bool;}",
 }
 
 func TestSchemaFingerprint(t *testing.T) {
