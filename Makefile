@@ -9,8 +9,12 @@ CMDS := ./cmd/cbsbench ./cmd/cbsd ./cmd/cbsload ./cmd/cbsvm ./cmd/dcgdiff ./cmd/
 # failing soak is always reproducible with SOAK_SEED=<printed seed>.
 FLEET_SEED ?= 1
 SOAK_SEED ?= 0
+# Generator seed for `make soak-gen`: 0 means "pick one per invocation"
+# (derived from the clock below); the target echoes the seed so a failure
+# replays with GEN_SEED=<printed seed>.
+GEN_SEED ?= 0
 
-.PHONY: all tier1 build build-cmds test test-race test-daemon test-recovery test-plan test-fleet test-federation test-upgrade test-mincover soak vet vet-cmds ci bench bench-smoke bench-baseline
+.PHONY: all tier1 build build-cmds test test-race test-daemon test-recovery test-plan test-fleet test-federation test-upgrade test-mincover test-workload soak soak-gen vet vet-cmds ci bench bench-smoke bench-baseline
 
 all: tier1
 
@@ -33,7 +37,7 @@ build-cmds:
 # service's version-cached compilation, the in-process daemon, the
 # pulling VM, and the chaos fleet simulator.
 test-race:
-	$(GO) test -race ./internal/runner/... ./internal/experiment/... ./internal/profiler/... ./internal/bytecode/... ./internal/dcgstore/... ./internal/inline/... ./internal/plan/... ./internal/daemon/... ./internal/puller/... ./internal/fleetsim/... ./internal/federation/... ./internal/api/... ./internal/mincover/...
+	$(GO) test -race ./internal/runner/... ./internal/experiment/... ./internal/profiler/... ./internal/bytecode/... ./internal/dcgstore/... ./internal/inline/... ./internal/mj/... ./internal/plan/... ./internal/daemon/... ./internal/puller/... ./internal/fleetsim/... ./internal/federation/... ./internal/api/... ./internal/mincover/...
 
 # The cbsd aggregation daemon's httptest-based endpoint tests, the
 # hostile-pusher fuzz corpus, and the runner-driven multi-pusher
@@ -91,7 +95,7 @@ test-federation:
 test-upgrade:
 	$(GO) test -run 'TestRollingUpgrade|TestUpgradeProgram' -v ./internal/fleetsim/...
 
-# Minimum-coverage instrumentation: the unit tests, the 13-benchmark
+# Minimum-coverage instrumentation: the unit tests, the 15-benchmark
 # differential gate (recovered DCG byte-identical to exhaustive with
 # strictly fewer probed call points, plain and inlined), the
 # random-program recovery fuzz, and the three-way profiler study
@@ -100,11 +104,36 @@ test-mincover:
 	$(GO) test ./internal/mincover/...
 	$(GO) run ./cmd/cbsbench -study profilers -quick
 
+# The workload frontier: the shaped generator's determinism + shape
+# differential tests, the mjgen CLI contract (-check without -run,
+# non-zero exits with seed echo), the 50-seed differential gate every
+# generated program passes ({plain, inlined, fused} × {bare,
+# exhaustive, cbs, mincover} vs the reference interpreter, byte-exact
+# mincover recovery, closure points demoted not exhaustive), the
+# profiler closure-site tests, the closure opcode round-trip tests,
+# the fusion closure-barrier test, and a generated-workload fleet soak.
+test-workload:
+	$(GO) test -run 'TestShaped|TestDifferential|FuzzGeneratedDifferential' ./internal/mj/
+	$(GO) test ./cmd/mjgen/
+	$(GO) test -run 'TestGeneratedDifferentialGate|TestClosureBenchmarksDemoted' ./internal/mincover/
+	$(GO) test -run 'Closure' ./internal/profiler/ ./internal/bytecode/ ./internal/opt/
+	$(GO) test -run 'TestFleetSoakGenerated|TestFleetGeneratedWorkload' ./internal/fleetsim/
+
 # A bigger randomized soak for hunting; cbsload prints the chosen seed
 # up front and repeats it on failure, so any hit replays with
 # `make soak SOAK_SEED=<seed>`.
 soak:
 	$(GO) run ./cmd/cbsload -vms 32 -rounds 8 -seed $(SOAK_SEED) -faults all -restarts 2
+
+# The generated-workload soak: the full chaos fleet on a novel program
+# nobody tuned for. GEN_SEED=0 draws a random generator seed; the
+# banner cbsload prints carries the seed, so any failure replays with
+# `make soak-gen GEN_SEED=<seed>`.
+soak-gen:
+	@seed=$(GEN_SEED); if [ "$$seed" = "0" ]; then seed=$$(($$(date +%s) % 100000)); fi; \
+	echo "soak-gen: generator seed $$seed (replay: make soak-gen GEN_SEED=$$seed)"; \
+	$(GO) run ./cmd/cbsload -vms 16 -rounds 6 -seed $(SOAK_SEED) -faults all -restarts 1 \
+		-gen-seed $$seed -gen-shape closureheavy -profilers cbs,exhaustive,mincover
 
 vet:
 	$(GO) vet ./...
@@ -114,7 +143,7 @@ vet:
 vet-cmds:
 	$(GO) vet ./cmd/...
 
-ci: tier1 vet vet-cmds build-cmds test-daemon test-plan test-race test-recovery test-fleet test-upgrade test-federation test-mincover
+ci: tier1 vet vet-cmds build-cmds test-daemon test-plan test-race test-recovery test-fleet test-upgrade test-federation test-mincover test-workload
 
 bench:
 	$(GO) test -bench=. -benchtime=1x -run=^$$ ./...

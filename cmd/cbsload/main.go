@@ -17,6 +17,7 @@
 //	cbsload -vms 16 -rounds 8 -restarts 2 -report soak.json
 //	cbsload -vms 16 -leaves 4 -restarts 2   # federated: 4 leaves + 1 root
 //	cbsload -vms 12 -profilers cbs,mincover # A/B mixed profile sources
+//	cbsload -vms 8 -gen-seed 17 -gen-shape closureheavy  # generated workload
 //
 // With -leaves N the soak runs against a federated aggregation tree:
 // the pusher fleet is rendezvous-sharded across N leaf daemons that
@@ -60,6 +61,9 @@ func main() {
 		faultstr = flag.String("faults", "all", "faults to inject: all, none, or csv of latency,drop-response,reset,5xx")
 		restarts = flag.Int("restarts", 1, "scheduled daemon kill/restart cycles")
 		program  = flag.String("program", "compress", "benchmark program the fleet runs")
+		genSeed  = flag.Int64("gen-seed", -1, "run a generated workload with this generator seed instead of a benchmark (-1 = off)")
+		genSize  = flag.Int("gen-size", 3, "with -gen-seed: generator size knob")
+		genShape = flag.String("gen-shape", "", "with -gen-seed: generator shape (megamorphic, phaseshift, deepvirt, closureheavy; empty = default mix)")
 		profs    = flag.String("profilers", "", "csv of profile sources assigned round-robin across pushers: cbs, exhaustive, mincover (empty = all cbs)")
 		stateDir = flag.String("state", "", "daemon state dir (default: fresh temp dir, removed on exit)")
 		maxWait  = flag.Duration("max-latency", 0, "upper bound for injected latency faults (0 = default)")
@@ -89,23 +93,38 @@ func main() {
 	if *leaves > 0 {
 		topology = fmt.Sprintf("%d leaves + 1 root", *leaves)
 	}
-	fmt.Printf("cbsload: %d vms, %s, %d rounds, faults %s, %d restarts, seed %d\n",
-		*vms, topology, *rounds, faults, *restarts, *seed)
+	workload := *program
+	if *genSeed >= 0 {
+		shape := *genShape
+		if shape == "" {
+			shape = "default"
+		}
+		workload = fmt.Sprintf("generated %s (gen-seed %d, gen-size %d)", shape, *genSeed, *genSize)
+		// Let fleetsim derive the synthetic program name from the
+		// generator coordinates instead of the benchmark default.
+		*program = ""
+	}
+	fmt.Printf("cbsload: %d vms, %s, %d rounds of %s, faults %s, %d restarts, seed %d\n",
+		*vms, topology, *rounds, workload, faults, *restarts, *seed)
 
 	rep, err := fleetsim.Run(fleetsim.Config{
-		VMs:           *vms,
-		Pullers:       *pullers,
-		Leaves:        *leaves,
-		Rounds:        *rounds,
-		ItersPerRound: *iters,
-		Seed:          *seed,
-		Faults:        faults,
-		Restarts:      *restarts,
-		Program:       *program,
-		Profilers:     splitCSV(*profs),
-		StateDir:      *stateDir,
-		MaxLatency:    *maxWait,
-		Logf:          logf,
+		VMs:                *vms,
+		Pullers:            *pullers,
+		Leaves:             *leaves,
+		Rounds:             *rounds,
+		ItersPerRound:      *iters,
+		Seed:               *seed,
+		Faults:             faults,
+		Restarts:           *restarts,
+		Program:            *program,
+		Profilers:          splitCSV(*profs),
+		GeneratedWorkloads: *genSeed >= 0,
+		GenSeed:            *genSeed,
+		GenSize:            *genSize,
+		GenShape:           *genShape,
+		StateDir:           *stateDir,
+		MaxLatency:         *maxWait,
+		Logf:               logf,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "cbsload:", err)

@@ -2,75 +2,141 @@
 // the differential-testing generator — useful for fuzzing the pipeline
 // from the outside or producing synthetic workloads.
 //
-//	mjgen -seed 7 -size 4                print the program
-//	mjgen -seed 7 -run -arg 13           generate, compile, and run it
-//	mjgen -seed 7 -check                 also cross-check the VM against
-//	                                     the reference AST interpreter
+//	mjgen -seed 7 -size 4                  print the program
+//	mjgen -seed 7 -shape megamorphic       print an adversarially shaped one
+//	mjgen -seed 7 -workload                print a setup/iter protocol program
+//	mjgen -seed 7 -run -arg 13             generate, compile, and run it
+//	mjgen -seed 7 -check                   cross-check the VM against the
+//	                                       reference AST interpreter
+//
+// Every failure mode exits non-zero and echoes the generator
+// coordinates (seed, size, shape) so the case replays with one command.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"strings"
 
 	"gocbs/internal/mj"
 	"gocbs/internal/vm"
 )
 
 func main() {
-	seed := flag.Int64("seed", 1, "generator seed")
-	size := flag.Int("size", 4, "program size knob (1-8 is sensible)")
-	run := flag.Bool("run", false, "compile and run the generated program")
-	check := flag.Bool("check", false, "with -run: also execute the reference interpreter and compare")
-	arg := flag.Int64("arg", 10, "argument passed to main")
-	flag.Parse()
+	os.Exit(realMain(os.Args[1:], os.Stdout, os.Stderr))
+}
 
-	src := mj.GenerateProgram(*seed, *size)
-	if !*run {
-		fmt.Print(src)
-		return
+// realMain is main with its edges injected, so the CLI contract —
+// exit codes, seed echoes, divergence reports — is unit-testable.
+func realMain(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("mjgen", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	seed := fs.Int64("seed", 1, "generator seed")
+	size := fs.Int("size", 4, "program size knob (1-8 is sensible)")
+	shape := fs.String("shape", "", "adversarial shape: one of "+strings.Join(shapeNames(), ", "))
+	workload := fs.Bool("workload", false, "emit a setup/iter benchmark-protocol program")
+	run := fs.Bool("run", false, "compile and run the generated program")
+	check := fs.Bool("check", false, "execute both the VM and the reference interpreter and compare")
+	arg := fs.Int64("arg", 10, "argument passed to main")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	replay := fmt.Sprintf("replay: mjgen -seed %d -size %d", *seed, *size)
+	if *shape != "" {
+		replay += " -shape " + *shape
+	}
+	if *workload {
+		replay += " -workload"
+	}
+	fail := func(err error) int {
+		fmt.Fprintf(stderr, "mjgen: %v\n%s\n", err, replay)
+		return 1
+	}
+
+	if !mj.ValidShape(*shape) {
+		return fail(fmt.Errorf("unknown shape %q (want one of %s)", *shape, strings.Join(shapeNames(), ", ")))
+	}
+	var src string
+	if *workload {
+		src = mj.GenerateWorkload(*seed, *size, *shape)
+	} else {
+		src = mj.GenerateShaped(*seed, *size, *shape)
+	}
+	if !*run && !*check {
+		fmt.Fprint(stdout, src)
+		return 0
 	}
 
 	prog, err := mj.Compile(src)
 	if err != nil {
-		fatal(fmt.Errorf("generated program failed to compile (generator bug): %w", err))
+		return fail(fmt.Errorf("generated program failed to compile (generator bug): %w", err))
 	}
 	m := vm.New(prog)
 	m.MaxSteps = 200_000_000
 	v, err := m.Run(*arg)
 	if err != nil {
-		fatal(err)
+		return fail(fmt.Errorf("vm run: %w", err))
 	}
-	for _, o := range m.Output {
-		fmt.Println(o)
+	if *run {
+		for _, o := range m.Output {
+			fmt.Fprintln(stdout, o)
+		}
+		fmt.Fprintf(stdout, "result: %d  (%d instructions, %d calls)\n", v.I, m.Instrs, m.Calls)
 	}
-	fmt.Printf("result: %d  (%d instructions, %d calls)\n", v.I, m.Instrs, m.Calls)
 
 	if *check {
 		toks, err := mj.Lex(src)
 		if err != nil {
-			fatal(err)
+			return fail(err)
 		}
 		ast, err := mj.Parse(toks)
 		if err != nil {
-			fatal(err)
+			return fail(err)
 		}
 		if err := mj.Check(ast); err != nil {
-			fatal(err)
+			return fail(err)
 		}
 		ref := mj.NewRefInterp(ast, 100_000_000)
 		rr, err := ref.CallFunction("main", *arg)
 		if err != nil {
-			fatal(fmt.Errorf("reference interpreter: %w", err))
+			return fail(fmt.Errorf("reference interpreter: %w", err))
 		}
-		if rr != v.I || len(ref.Output) != len(m.Output) {
-			fatal(fmt.Errorf("DIVERGENCE: vm=%d ref=%d (outputs %d vs %d)", v.I, rr, len(m.Output), len(ref.Output)))
+		if diff := diverge(v.I, rr, m.Output, ref.Output); diff != "" {
+			fmt.Fprintf(stderr, "mjgen: DIVERGENCE: %s\n%s\ngenerated source:\n%s", diff, replay, src)
+			return 1
 		}
-		fmt.Println("reference interpreter agrees")
+		fmt.Fprintln(stdout, "reference interpreter agrees")
 	}
+	return 0
 }
 
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "mjgen:", err)
-	os.Exit(1)
+// diverge compares results and outputs element-wise; empty means equal.
+func diverge(vmR, refR int64, vmO, refO []int64) string {
+	if vmR != refR {
+		return fmt.Sprintf("result vm=%d ref=%d", vmR, refR)
+	}
+	if len(vmO) != len(refO) {
+		return fmt.Sprintf("output length vm=%d ref=%d", len(vmO), len(refO))
+	}
+	for i := range vmO {
+		if vmO[i] != refO[i] {
+			return fmt.Sprintf("output[%d] vm=%d ref=%d", i, vmO[i], refO[i])
+		}
+	}
+	return ""
+}
+
+func shapeNames() []string {
+	names := mj.Shapes()
+	out := make([]string, len(names))
+	for i, s := range names {
+		if s == "" {
+			s = "default (empty)"
+		}
+		out[i] = s
+	}
+	return out
 }

@@ -1,0 +1,94 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func runCLI(t *testing.T, args ...string) (code int, stdout, stderr string) {
+	t.Helper()
+	var out, errb strings.Builder
+	code = realMain(args, &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+func TestPrintDefault(t *testing.T) {
+	code, out, _ := runCLI(t, "-seed", "3")
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	if !strings.Contains(out, "int main(int n)") {
+		t.Fatalf("no main in output:\n%s", out)
+	}
+}
+
+func TestCheckWithoutRun(t *testing.T) {
+	// -check used to silently print nothing and exit 0 without -run;
+	// it must actually run the comparison on its own.
+	code, out, _ := runCLI(t, "-seed", "5", "-check")
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	if !strings.Contains(out, "reference interpreter agrees") {
+		t.Fatalf("-check alone did not run the comparison:\n%s", out)
+	}
+}
+
+func TestCheckEveryShape(t *testing.T) {
+	for _, shape := range []string{"", "megamorphic", "phaseshift", "deepvirt", "closureheavy"} {
+		args := []string{"-seed", "9", "-size", "3", "-check"}
+		if shape != "" {
+			args = append(args, "-shape", shape)
+		}
+		code, out, errb := runCLI(t, args...)
+		if code != 0 {
+			t.Fatalf("shape %q: exit %d\n%s", shape, code, errb)
+		}
+		if !strings.Contains(out, "reference interpreter agrees") {
+			t.Fatalf("shape %q: no agreement line:\n%s", shape, out)
+		}
+	}
+}
+
+func TestWorkloadProtocol(t *testing.T) {
+	code, out, _ := runCLI(t, "-seed", "4", "-workload")
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	for _, want := range []string{"void setup(int size)", "int iter()", "int main(int size)"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("workload output missing %q:\n%s", want, out)
+		}
+	}
+	if code, _, _ := runCLI(t, "-seed", "4", "-workload", "-check"); code != 0 {
+		t.Fatalf("workload -check exit %d", code)
+	}
+}
+
+func TestBadShapeFailsWithSeedEcho(t *testing.T) {
+	code, _, errb := runCLI(t, "-seed", "11", "-shape", "bogus")
+	if code == 0 {
+		t.Fatal("bad shape exited 0")
+	}
+	if !strings.Contains(errb, "replay: mjgen -seed 11") {
+		t.Fatalf("failure did not echo the seed:\n%s", errb)
+	}
+}
+
+func TestDivergenceReporting(t *testing.T) {
+	// diverge is the element-wise comparator behind DIVERGENCE reports;
+	// a same-length output with one differing element must be caught
+	// (the old length-only compare missed exactly this).
+	if d := diverge(1, 1, []int64{1, 2, 3}, []int64{1, 9, 3}); !strings.Contains(d, "output[1]") {
+		t.Fatalf("element-wise mismatch not reported: %q", d)
+	}
+	if d := diverge(1, 2, nil, nil); !strings.Contains(d, "result") {
+		t.Fatalf("result mismatch not reported: %q", d)
+	}
+	if d := diverge(1, 1, []int64{1}, []int64{1, 2}); !strings.Contains(d, "length") {
+		t.Fatalf("length mismatch not reported: %q", d)
+	}
+	if d := diverge(7, 7, []int64{4, 5}, []int64{4, 5}); d != "" {
+		t.Fatalf("equal runs reported divergent: %q", d)
+	}
+}

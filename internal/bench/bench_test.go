@@ -14,7 +14,7 @@ import (
 
 func TestSuiteComplete(t *testing.T) {
 	want := []string{"compress", "jess", "db", "javac", "mpegaudio", "mtrt",
-		"jack", "ipsixql", "xerces", "daikon", "kawa", "jbb", "soot"}
+		"jack", "ipsixql", "xerces", "daikon", "kawa", "jbb", "soot", "closures", "phases"}
 	names := Names()
 	if len(names) != len(want) {
 		t.Fatalf("suite has %d benchmarks, want %d", len(names), len(want))

@@ -1,0 +1,133 @@
+package bench
+
+// Closure-dispatch additions to the suite: closures and phases. Both
+// exercise OpCallClosure as a first-class dispatch mechanism — the
+// call-site kind the class-bound RTA in mincover cannot resolve — so
+// the profiler, fusion, and recovery gates all see closure edges in
+// their steady diets, not only in generated programs.
+
+func init() {
+	register(&Benchmark{
+		Name: "closures",
+		Description: "event pipeline of first-class handlers: one hot closure " +
+			"call site dispatching over eight lambda variants, higher-order " +
+			"compose/apply combinators, and a capture-mutating accumulator",
+		Small: 4_800, Large: 20_000, SteadyIters: 12,
+		Source: rngPrelude + `
+			int[] events;
+
+			fn(int) int pickHandler(int e) {
+				int k = (e % 8 + 8) % 8;
+				if (k == 0) { return fn(int x) int { return (x + e) & 0xFFFF; }; }
+				if (k == 1) { return fn(int x) int { return (x * 31) ^ k; }; }
+				if (k == 2) { return fn(int x) int { return (x >> 2) + e; }; }
+				if (k == 3) { return fn(int x) int { return (x << 1) ^ (e >> 1); }; }
+				if (k == 4) { return fn(int x) int { return (x & e) + 7; }; }
+				if (k == 5) { return fn(int x) int { return (x | k) * 3; }; }
+				if (k == 6) { return fn(int x) int { return x - (e & 255); }; }
+				return fn(int x) int { return (x ^ e) + k; };
+			}
+			int applyH(fn(int) int f, int x) { return f(x); }
+			fn(int) int compose(fn(int) int f, fn(int) int g) {
+				return fn(int x) int { return f(g(x)); };
+			}
+
+			void setup(int size) {
+				reseed(size);
+				events = new int[size];
+				for (int i = 0; i < size; i = i + 1) {
+					events[i] = rnd(4096);
+				}
+			}
+			int iter() {
+				int c = 17;
+				fn(int) int tally = fn(int x) int { c = (c + x) & 0xFFFFF; return c; };
+				fn(int) int sink = fn(int x) int { return (x * 17) & 0xFFFF; };
+				int acc = 0;
+				for (int i = 0; i < events.length; i = i + 1) {
+					fn(int) int h = pickHandler(events[i]);
+					acc = (acc + h(events[i])) & 0xFFFFFF;
+					acc = (acc + tally(i)) & 0xFFFFFF;
+					if ((i & 255) == 0) { sink = compose(h, sink); }
+					if ((i & 63) == 0) { acc = (acc + applyH(sink, i)) & 0xFFFFFF; }
+				}
+				return acc;
+			}
+			int main(int size) {
+				setup(size);
+				int r = 0;
+				for (int k = 0; k < 18; k = k + 1) { r = (r * 31 + iter()) & 0xFFFFFF; }
+				return r;
+			}
+		`,
+	})
+
+	register(&Benchmark{
+		Name: "phases",
+		Description: "phase-shifting dispatch: one virtual site and one closure " +
+			"site, each monomorphic within a phase but rotating targets " +
+			"between phases — sampling profilers see phase-local truth, the " +
+			"union is polymorphic",
+		Small: 4_200, Large: 18_000, SteadyIters: 12,
+		Source: rngPrelude + `
+			int n;
+			int phase = 0;
+
+			class Shape {
+				int v;
+				int area(int x) { return (x * 3 + v) & 0xFFFF; }
+			}
+			class Circle extends Shape {
+				int area(int x) { return ((x * x) >> 3) ^ v; }
+			}
+			class Square extends Shape {
+				int area(int x) { return (x << 2) + v; }
+			}
+			class Hex extends Shape {
+				int area(int x) { return (x * 6 - v) & 0xFFFF; }
+			}
+
+			Shape makeShape(int k) {
+				int m = (k % 4 + 4) % 4;
+				if (m == 0) { return new Shape(); }
+				if (m == 1) { return new Circle(); }
+				if (m == 2) { return new Square(); }
+				return new Hex();
+			}
+			fn(int) int pickOp(int k) {
+				int m = (k % 5 + 5) % 5;
+				if (m == 0) { return fn(int x) int { return x + k; }; }
+				if (m == 1) { return fn(int x) int { return x * 5; }; }
+				if (m == 2) { return fn(int x) int { return x ^ (k << 2); }; }
+				if (m == 3) { return fn(int x) int { return (x >> 1) + m; }; }
+				return fn(int x) int { return x - k; };
+			}
+
+			void setup(int size) {
+				reseed(size);
+				n = size;
+				phase = 0;
+			}
+			int iter() {
+				phase = phase + 1;
+				Shape s = makeShape(phase);
+				fn(int) int op = pickOp(phase + 2);
+				int acc = 0;
+				for (int i = 0; i < n; i = i + 1) {
+					acc = (acc + s.area(i) + op(i)) & 0xFFFFFF;
+					if ((i & 511) == 0) {
+						s = makeShape(phase + (i >> 9));
+						op = pickOp(phase + (i >> 9));
+					}
+				}
+				return acc;
+			}
+			int main(int size) {
+				setup(size);
+				int r = 0;
+				for (int k = 0; k < 34; k = k + 1) { r = (r * 31 + iter()) & 0xFFFFFF; }
+				return r;
+			}
+		`,
+	})
+}

@@ -136,9 +136,17 @@ type labelPatch struct {
 
 type callRef struct {
 	pc      int
-	static  *MethodBuilder // static target, or nil for virtual
+	static  *MethodBuilder // static target, or nil for virtual/closure
 	recv    *ClassBuilder  // virtual: static receiver class
 	virtual string         // virtual: method name
+	closure bool           // closure call: A (arity) already emitted, only the site ID is assigned
+}
+
+// closureRef records an OpMakeClosure whose target method ID is
+// resolved at link time.
+type closureRef struct {
+	pc     int
+	target *MethodBuilder
 }
 
 // MethodBuilder accumulates the body of one method.
@@ -148,11 +156,12 @@ type MethodBuilder struct {
 	static  bool
 	nargs   int
 	nlocals int
-	code    []Instr
-	consts  []int64
-	labels  []int // label -> bound pc, or -1
-	patches []labelPatch
-	calls   []callRef
+	code     []Instr
+	consts   []int64
+	labels   []int // label -> bound pc, or -1
+	patches  []labelPatch
+	calls    []callRef
+	closures []closureRef
 
 	linked *Method // set during Link
 }
@@ -234,6 +243,22 @@ func (mb *MethodBuilder) CallStatic(target *MethodBuilder) {
 func (mb *MethodBuilder) CallVirtual(recv *ClassBuilder, method string) {
 	mb.calls = append(mb.calls, callRef{pc: len(mb.code), recv: recv, virtual: method})
 	mb.Emit(OpCallVirtual, -1, -1)
+}
+
+// MakeClosure emits an OpMakeClosure over target (a static method whose
+// argument 0 is the closure itself) capturing the top ncaps stack
+// values. The target's method ID is resolved at link time.
+func (mb *MethodBuilder) MakeClosure(target *MethodBuilder, ncaps int) {
+	mb.closures = append(mb.closures, closureRef{pc: len(mb.code), target: target})
+	mb.Emit(OpMakeClosure, -1, int32(ncaps))
+}
+
+// CallClosure emits a closure call with nargs arguments on the stack,
+// the closure itself first (it becomes the callee's argument 0). The
+// call-site ID is assigned at link time.
+func (mb *MethodBuilder) CallClosure(nargs int) {
+	mb.calls = append(mb.calls, callRef{pc: len(mb.code), closure: true})
+	mb.Emit(OpCallClosure, int32(nargs), -1)
 }
 
 // TrivialSizeLimit is the body size (in instructions) at or below which
@@ -398,13 +423,25 @@ func (pb *ProgramBuilder) Link() (*Program, error) {
 				}
 				code[p.pc].A = int32(t)
 			}
+			for _, c := range mb.closures {
+				if c.target.linked == nil {
+					return nil, fmt.Errorf("%s: makeclosure over unlinked method %s", mb.QualifiedName(), c.target.QualifiedName())
+				}
+				if !c.target.static {
+					return nil, fmt.Errorf("%s: makeclosure over virtual method %s", mb.QualifiedName(), c.target.QualifiedName())
+				}
+				code[c.pc].A = int32(c.target.linked.ID)
+			}
 			for _, c := range mb.calls {
 				site := prog.NumCallSites
 				prog.NumCallSites++
 				prog.SiteOwner = append(prog.SiteOwner, mb.linked)
 				prog.SitePC = append(prog.SitePC, c.pc)
 				code[c.pc].B = int32(site)
-				if c.static != nil {
+				if c.closure {
+					// A (the arity) was emitted inline; only the site ID
+					// above needed assignment.
+				} else if c.static != nil {
 					if c.static.linked == nil {
 						return nil, fmt.Errorf("%s: call to unlinked method %s", mb.QualifiedName(), c.static.QualifiedName())
 					}

@@ -87,6 +87,14 @@ func disasmInstr(p *Program, m *Method, pc int, ins Instr) string {
 			tag = " ; backedge"
 		}
 		return fmt.Sprintf("jumpcmp %s -> %d%s", Opcode(ins.B), ins.A, tag)
+	case OpMakeClosure:
+		name := fmt.Sprintf("method#%d", ins.A)
+		if p != nil && int(ins.A) < len(p.Methods) {
+			name = p.Methods[ins.A].Name
+		}
+		return fmt.Sprintf("makeclosure %s ncaps=%d", name, ins.B)
+	case OpCallClosure:
+		return fmt.Sprintf("callclosure nargs=%d site=%d", ins.A, ins.B)
 	default:
 		return fmt.Sprintf("%s %d %d", ins.Op, ins.A, ins.B)
 	}

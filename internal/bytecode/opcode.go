@@ -125,6 +125,22 @@ const (
 	// fusing <cmp>; JumpZ negates the comparison first).
 	OpJumpCmp
 
+	// Closures: first-class functions as a third dispatch mechanism.
+	// A closure is an ordinary heap object whose Fn names the lambda's
+	// lowered static body and whose fields hold the captured values.
+
+	// OpMakeClosure pops B captured values (pushed left to right) into a
+	// new closure object over method A and pushes the closure. The
+	// target must be a static method taking the closure itself as
+	// argument 0.
+	OpMakeClosure
+	// OpCallClosure calls the closure at stack[-A]; A is the argument
+	// count including the closure itself (which becomes the callee's
+	// argument 0, mirroring the virtual-call receiver convention), and
+	// B is the call-site ID. The call target is carried by the closure
+	// value, not the instruction — closure sites are not class-bound.
+	OpCallClosure
+
 	numOpcodes
 )
 
@@ -154,6 +170,7 @@ var opNames = [numOpcodes]string{
 	OpPrint: "print", OpHalt: "halt",
 	OpLoadLoad: "loadload", OpLoadConst: "loadconst", OpAddConst: "addconst",
 	OpIncLocal: "inclocal", OpJumpCmp: "jumpcmp",
+	OpMakeClosure: "makeclosure", OpCallClosure: "callclosure",
 }
 
 // String returns the mnemonic for op.
@@ -168,7 +185,9 @@ func (op Opcode) String() string {
 func (op Opcode) Valid() bool { return op < numOpcodes }
 
 // IsCall reports whether op transfers control to another method.
-func (op Opcode) IsCall() bool { return op == OpCallStatic || op == OpCallVirtual }
+func (op Opcode) IsCall() bool {
+	return op == OpCallStatic || op == OpCallVirtual || op == OpCallClosure
+}
 
 // IsBranch reports whether op is a jump (conditional or not).
 func (op Opcode) IsBranch() bool {

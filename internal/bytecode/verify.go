@@ -110,6 +110,29 @@ func Verify(p *Program, m *Method) error {
 				return fmt.Errorf("pc %d: virtual call with arity %d", pc, nargs)
 			}
 			pops, pushes = nargs, 1
+		case OpCallClosure:
+			// A is the argument count including the closure itself, so it
+			// is at least 1; the target is resolved from the closure value
+			// at run time.
+			if ins.A < 1 {
+				return fmt.Errorf("pc %d: closure call with arity %d", pc, ins.A)
+			}
+			pops, pushes = int(ins.A), 1
+		case OpMakeClosure:
+			if int(ins.A) < 0 || int(ins.A) >= len(p.Methods) {
+				return fmt.Errorf("pc %d: makeclosure method id %d out of range", pc, ins.A)
+			}
+			target := p.Methods[ins.A]
+			if !target.Static {
+				return fmt.Errorf("pc %d: makeclosure targets virtual method %s", pc, target.Name)
+			}
+			if target.NArgs < 1 {
+				return fmt.Errorf("pc %d: makeclosure target %s takes no closure argument", pc, target.Name)
+			}
+			if ins.B < 0 {
+				return fmt.Errorf("pc %d: makeclosure with %d captures", pc, ins.B)
+			}
+			pops, pushes = int(ins.B), 1
 		}
 
 		if d < pops {

@@ -17,6 +17,7 @@ import (
 	"gocbs/internal/dcgstore"
 	"gocbs/internal/inline"
 	"gocbs/internal/mincover"
+	"gocbs/internal/mj"
 	"gocbs/internal/plan"
 	"gocbs/internal/profile"
 	"gocbs/internal/profiler"
@@ -51,6 +52,16 @@ type Config struct {
 	// Program names the benchmark the whole fleet runs (default
 	// "compress").
 	Program string
+	// GeneratedWorkloads switches the fleet from the named benchmark to
+	// a program produced by mj.GenerateWorkload(GenSeed, GenSize,
+	// GenShape): chaos soaks then run on novel call graphs instead of
+	// the fixed suite. Program defaults to a descriptive synthetic name
+	// and the daemon resolves it through the generator, so the full
+	// push → aggregate → plan → pull loop runs on the generated build.
+	GeneratedWorkloads bool
+	GenSeed            int64
+	GenSize            int
+	GenShape           string
 	// Profilers assigns profile sources round-robin across the pusher
 	// fleet: pusher k uses Profilers[k%len(Profilers)]. Valid kinds are
 	// "cbs", "exhaustive", and "mincover"; nil or empty keeps the
@@ -79,6 +90,18 @@ func (c *Config) setDefaults() {
 	}
 	if c.ItersPerRound <= 0 {
 		c.ItersPerRound = 2
+	}
+	if c.GeneratedWorkloads {
+		if c.GenSize <= 0 {
+			c.GenSize = 3
+		}
+		if c.Program == "" {
+			shape := c.GenShape
+			if shape == "" {
+				shape = "default"
+			}
+			c.Program = fmt.Sprintf("gen-%s-%d", shape, c.GenSeed)
+		}
 	}
 	if c.Program == "" {
 		c.Program = "compress"
@@ -262,6 +285,42 @@ func jitCompile(name string) (*bytecode.Program, *bench.Benchmark, error) {
 	return prog, b, nil
 }
 
+// jit prepares one clone of the fleet's program — the generated
+// workload in GeneratedWorkloads mode, the named benchmark otherwise —
+// and returns the setup size every actor uses with it.
+func (c *Config) jit() (*bytecode.Program, int64, error) {
+	if c.GeneratedWorkloads {
+		src := mj.GenerateWorkload(c.GenSeed, c.GenSize, c.GenShape)
+		prog, err := mj.Compile(src)
+		if err != nil {
+			return nil, 0, fmt.Errorf("generated workload (seed %d size %d shape %q): %w",
+				c.GenSeed, c.GenSize, c.GenShape, err)
+		}
+		if _, err := inline.Optimize(prog, inline.Trivial{}, nil, inline.DefaultOptions()); err != nil {
+			return nil, 0, err
+		}
+		return prog, int64(11 + c.GenSize*7), nil
+	}
+	prog, b, err := jitCompile(c.Program)
+	if err != nil {
+		return nil, 0, err
+	}
+	return prog, b.SizeFor("small"), nil
+}
+
+// generatedResolver hands the daemon the generated build under the
+// fleet's program name, so plan compilation works for programs that
+// are not in the benchmark registry.
+func generatedResolver(cfg Config) func(name, version string) (*bytecode.Program, error) {
+	return func(name, _ string) (*bytecode.Program, error) {
+		if name != cfg.Program {
+			return nil, fmt.Errorf("%w: fleet runs %q, not %q", plan.ErrUnknownProgram, cfg.Program, name)
+		}
+		prog, _, err := cfg.jit()
+		return prog, err
+	}
+}
+
 // restartRounds spreads cfg.Restarts evenly over the round boundaries;
 // the returned set holds 0-based round indices after which to restart.
 func restartRounds(rounds, restarts int) map[int]bool {
@@ -314,6 +373,9 @@ func Run(cfg Config) (*Report, error) {
 	}
 	defer f.chaos.close()
 
+	if cfg.GeneratedWorkloads {
+		f.resolve = generatedResolver(cfg)
+	}
 	if err := f.startDaemon(); err != nil {
 		return nil, err
 	}
@@ -324,11 +386,10 @@ func Run(cfg Config) (*Report, error) {
 	}()
 	cfg.Logf("fleetsim: daemon up at %s, state %s", f.d.addr, stateDir)
 
-	_, b, err := jitCompile(cfg.Program)
+	_, size, err := cfg.jit()
 	if err != nil {
 		return nil, err
 	}
-	size := b.SizeFor("small")
 	planPath := api.PathPlan + "?program=" + cfg.Program
 
 	// Build the pusher actors: per-VM program clone, profile source with
@@ -337,7 +398,7 @@ func Run(cfg Config) (*Report, error) {
 	pushers := make([]*pusherActor, cfg.VMs)
 	for k := range pushers {
 		name := fmt.Sprintf("pusher-%03d", k)
-		prog, _, err := jitCompile(cfg.Program)
+		prog, _, err := cfg.jit()
 		if err != nil {
 			return nil, err
 		}
@@ -387,7 +448,7 @@ func Run(cfg Config) (*Report, error) {
 	outcomes := make([]pullerOutcome, cfg.Pullers)
 	for k := 0; k < cfg.Pullers; k++ {
 		name := fmt.Sprintf("puller-%02d", k)
-		pristine, _, err := jitCompile(cfg.Program)
+		pristine, _, err := cfg.jit()
 		if err != nil {
 			return nil, err
 		}

@@ -1,0 +1,70 @@
+package fleetsim
+
+import (
+	"testing"
+)
+
+// TestFleetSoakGeneratedClosureWorkload runs the full fleet loop —
+// push → aggregate → plan → pull — on a generated closure-heavy
+// program (not a suite benchmark) with a mixed profiler fleet and
+// chaos, and requires every invariant checker green. This is the
+// acceptance test for GeneratedWorkloads: novel programs with closure
+// dispatch survive the same soak the fixed suite does.
+func TestFleetSoakGeneratedClosureWorkload(t *testing.T) {
+	faults, _ := ParseFaults("all")
+	rep, err := Run(Config{
+		VMs:                3,
+		Pullers:            2,
+		Rounds:             4,
+		Seed:               3,
+		Faults:             faults,
+		Restarts:           1,
+		GeneratedWorkloads: true,
+		GenSeed:            17,
+		GenSize:            3,
+		GenShape:           "closureheavy",
+		Profilers:          []string{"cbs", "exhaustive", "mincover"},
+		Logf:               t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s", rep.Format())
+	if !rep.AllPassed() {
+		t.Fatal("invariant checkers failed on the generated workload")
+	}
+	d := &rep.Deterministic
+	if d.AckedPushes == 0 || d.FinalEdges == 0 || d.FinalWeight <= 0 {
+		t.Errorf("empty aggregate: %d pushes, %d edges, %.0f weight", d.AckedPushes, d.FinalEdges, d.FinalWeight)
+	}
+}
+
+// TestFleetGeneratedWorkloadDeterministic: the same generated-workload
+// soak twice must yield identical deterministic sections, so soak-gen
+// failures replay from the printed seed.
+func TestFleetGeneratedWorkloadDeterministic(t *testing.T) {
+	cfg := Config{
+		VMs:                2,
+		Pullers:            1,
+		Rounds:             3,
+		Seed:               5,
+		GeneratedWorkloads: true,
+		GenSeed:            23,
+		GenShape:           "megamorphic",
+	}
+	var first string
+	for i := 0; i < 2; i++ {
+		rep, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !rep.AllPassed() {
+			t.Fatalf("invariants failed:\n%s", rep.Format())
+		}
+		if i == 0 {
+			first = rep.Digest
+		} else if rep.Digest != first {
+			t.Fatalf("digests differ across identical runs: %s vs %s", first, rep.Digest)
+		}
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"gocbs/internal/api"
+	"gocbs/internal/bytecode"
 	"gocbs/internal/daemon"
 	"gocbs/internal/dcgstore"
 	"gocbs/internal/federation"
@@ -48,6 +49,11 @@ type treeFleet struct {
 	rootDir  string
 	leaves   []*daemonHandle // index i serves LeafHost(i); nil while down
 	leafDirs []string
+
+	// resolve, when non-nil, is the root daemon's ResolveProgram hook
+	// (set for generated workloads, which are not in the benchmark
+	// registry; plans compile only at the root).
+	resolve func(name, version string) (*bytecode.Program, error)
 }
 
 // startRoot brings up the root daemon. The root never restarts in a
@@ -66,8 +72,9 @@ func (tf *treeFleet) startRoot() error {
 			ReadTimeout:     10 * time.Second,
 			WriteTimeout:    10 * time.Second,
 			PlanFloor:       1, PlanBand: 0.25, PlanHold: 0.05,
-			Ready: ready,
-			Logf:  tf.cfg.Logf,
+			ResolveProgram: tf.resolve,
+			Ready:          ready,
+			Logf:           tf.cfg.Logf,
 		})
 	}()
 	select {
@@ -200,6 +207,9 @@ func runTree(cfg Config) (*Report, error) {
 		leafDirs: make([]string, cfg.Leaves),
 	}
 	defer tf.chaos.close()
+	if cfg.GeneratedWorkloads {
+		tf.resolve = generatedResolver(cfg)
+	}
 	for i := range tf.leafDirs {
 		tf.leafDirs[i] = filepath.Join(stateDir, fmt.Sprintf("leaf-%02d", i))
 	}
@@ -228,11 +238,10 @@ func runTree(cfg Config) (*Report, error) {
 	}
 	cfg.Logf("fleetsim: tree up — root at %s, %d leaves, state %s", tf.root.addr, cfg.Leaves, stateDir)
 
-	_, b, err := jitCompile(cfg.Program)
+	_, size, err := cfg.jit()
 	if err != nil {
 		return nil, err
 	}
-	size := b.SizeFor("small")
 	planPath := api.PathPlan + "?program=" + cfg.Program
 
 	// Shard the pusher fleet over the leaves with the same rendezvous
@@ -250,7 +259,7 @@ func runTree(cfg Config) (*Report, error) {
 	pusherLeaf := make([]string, cfg.VMs)
 	for k := range pushers {
 		name := fmt.Sprintf("pusher-%03d", k)
-		prog, _, err := jitCompile(cfg.Program)
+		prog, _, err := cfg.jit()
 		if err != nil {
 			return nil, err
 		}
@@ -297,7 +306,7 @@ func runTree(cfg Config) (*Report, error) {
 	outcomes := make([]pullerOutcome, cfg.Pullers)
 	for k := 0; k < cfg.Pullers; k++ {
 		name := fmt.Sprintf("puller-%02d", k)
-		pristine, _, err := jitCompile(cfg.Program)
+		pristine, _, err := cfg.jit()
 		if err != nil {
 			return nil, err
 		}

@@ -203,6 +203,12 @@ func (g *Graph) MinCover() *Cover {
 		if !probed[p] {
 			continue
 		}
+		// Closure points stay probed unconditionally: their static
+		// target set (every OpMakeClosure body in the program) is too
+		// coarse to trust conservation-only derivation through it.
+		if g.info[p].closure {
+			continue
+		}
 		delete(probed, p)
 		if !g.covered(probed) {
 			probed[p] = true

@@ -81,8 +81,8 @@ func checkExact(t *testing.T, prog *bytecode.Program, size int64, wantStrict boo
 // inlining (which duplicates site IDs across methods).
 func TestMincoverSuiteExactAndCheaper(t *testing.T) {
 	suite := bench.All()
-	if len(suite) != 13 {
-		t.Fatalf("suite has %d benchmarks, want 13", len(suite))
+	if len(suite) != 15 {
+		t.Fatalf("suite has %d benchmarks, want 15", len(suite))
 	}
 	for _, b := range suite {
 		b := b

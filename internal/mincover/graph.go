@@ -60,6 +60,13 @@ type pointInfo struct {
 	// blocks that execute exactly once per completed invocation;
 	// occDead counts statically unreachable occurrences.
 	occTotal, occAnchor, occDead int
+
+	// closure marks a point with at least one OpCallClosure occurrence.
+	// Closure dispatch is not class-bound: the static target set is the
+	// whole-program set of OpMakeClosure targets, a superset so coarse
+	// that deriving such a point's edges from conservation alone is not
+	// attempted — MinCover demotes closure points to always-probed.
+	closure bool
 }
 
 // knownZero reports that every occurrence of the point is statically
@@ -99,6 +106,12 @@ type Graph struct {
 	// canonical order: measuring any one of them (or deriving its
 	// sitecount) yields m's total entry count by division.
 	anchors [][]Point
+}
+
+// IsClosurePoint reports whether p contains closure-call instructions.
+func (g *Graph) IsClosurePoint(p Point) bool {
+	pi := g.info[p]
+	return pi != nil && pi.closure
 }
 
 // EdgesAt returns the indexes into g.Edges owned by point p.
@@ -142,6 +155,8 @@ func Extract(prog *bytecode.Program) *Graph {
 	// so in practice this costs nothing.
 	instantiated := make([]bool, len(prog.Classes))
 	anchorsSafe := true
+	closureSeen := make(map[int]bool)
+	var closureTargets []int // closure-RTA: every OpMakeClosure target
 	for _, m := range prog.Methods {
 		if m == nil {
 			continue
@@ -152,11 +167,17 @@ func Extract(prog *bytecode.Program) *Graph {
 				if c := int(ins.A); c >= 0 && c < len(instantiated) {
 					instantiated[c] = true
 				}
+			case bytecode.OpMakeClosure:
+				if t := int(ins.A); !closureSeen[t] {
+					closureSeen[t] = true
+					closureTargets = append(closureTargets, t)
+				}
 			case bytecode.OpHalt:
 				anchorsSafe = false
 			}
 		}
 	}
+	sort.Ints(closureTargets)
 
 	// Virtual targets per vtable slot, memoized: the distinct
 	// implementations visible from any instantiated class.
@@ -206,9 +227,17 @@ func Extract(prog *bytecode.Program) *Graph {
 				pi.occDead++
 			}
 			var targets []int
-			if ins.Op == bytecode.OpCallStatic {
+			switch ins.Op {
+			case bytecode.OpCallStatic:
 				targets = []int{int(ins.A)}
-			} else {
+			case bytecode.OpCallClosure:
+				// Closure dispatch is not class-bound; the sound target
+				// set is every closure body created anywhere in the
+				// program. The point is marked so MinCover keeps it
+				// probed rather than trusting this coarse superset.
+				targets = closureTargets
+				pi.closure = true
+			default:
 				slot, _ := bytecode.DecodeVirtual(ins.A)
 				targets = resolve(slot)
 			}

@@ -1,11 +1,17 @@
 package mj
 
 // TypeExpr is a syntactic type: a base name ("int", "boolean", "void",
-// or a class name) plus array dimensions.
+// or a class name) plus array dimensions, or a function type
+// "fn(T1, T2) R" (Fn set; Name and Dims unused — arrays of closures
+// are not expressible).
 type TypeExpr struct {
 	Name string
 	Dims int
 	Pos  Pos
+
+	Fn       bool
+	FnParams []TypeExpr
+	FnRet    *TypeExpr
 }
 
 // Program is a parsed MJ compilation unit.
@@ -13,6 +19,11 @@ type Program struct {
 	Classes []*ClassDecl
 	Funcs   []*MethodDecl // free functions
 	Globals []*GlobalDecl
+
+	// Lambdas collects every function literal in the program, in the
+	// order the checker visited them; codegen lowers each to a synthetic
+	// static method on $Globals.
+	Lambdas []*Lambda
 }
 
 // ClassDecl is a class declaration.
@@ -227,7 +238,8 @@ const (
 	IdentUnresolved IdentKind = iota
 	IdentLocal
 	IdentGlobal
-	IdentField // implicit this.field
+	IdentField   // implicit this.field
+	IdentCapture // variable captured by the enclosing lambda; Slot is the capture's field index
 )
 
 // Ident is a bare identifier: a local, a global, or an implicit-this
@@ -301,17 +313,24 @@ const (
 	CallFree                // free function
 	CallStaticM             // static method Class.m(...)
 	CallVirtual             // expr.m(...) or implicit this.m(...)
+	CallClosureV            // closure call through a function-typed value
 )
 
 // Call is any call expression. For bare calls Recv is nil; the checker
-// resolves the name against the enclosing class, then free functions.
-// For expr.m(...) the checker resolves against expr's static class; a
-// bare identifier receiver that names a class becomes a static call.
+// resolves the name against function-typed locals, then the enclosing
+// class, then free functions, then function-typed globals. For
+// expr.m(...) the checker resolves against expr's static class (methods
+// first, then function-typed fields); a bare identifier receiver that
+// names a class becomes a static call. FnExpr is set by the parser for
+// a direct call on an arbitrary expression "e(args)" and by the checker
+// when a named call resolves to a function-typed value; such calls
+// dispatch through the closure (CallClosureV).
 type Call struct {
 	exprBase
-	Recv Expr // nil for bare f(...)
-	Name string
-	Args []Expr
+	Recv   Expr // nil for bare f(...)
+	FnExpr Expr // closure callee expression, when call is through a value
+	Name   string
+	Args   []Expr
 
 	Kind         CallKind
 	Target       *MethodDecl // resolved declaration (for virtual: the statically visible one)
@@ -335,4 +354,35 @@ type NewArray struct {
 	exprBase
 	Elem TypeExpr // element type (trailing dims folded in)
 	Len  Expr
+}
+
+// Capture is one variable a lambda captures from its enclosing
+// function, by value at closure-creation time. FieldIndex is the
+// capture's field slot in the closure object; OuterKind/OuterSlot say
+// where the value lives in the *enclosing* frame (a local slot, or the
+// enclosing lambda's own capture when lambdas nest).
+type Capture struct {
+	Name string
+	Type Type
+
+	OuterKind  IdentKind // IdentLocal or IdentCapture
+	OuterSlot  int
+	FieldIndex int
+}
+
+// Lambda is a function literal "fn(int x, int y) int { ... }". It
+// lowers to a synthetic static method ($Globals.$lambda$N) whose
+// argument 0 is the closure object itself; captured variables are
+// fields of that object.
+type Lambda struct {
+	exprBase
+	Params  []*Param
+	RetType TypeExpr
+	Body    *Block
+
+	// Resolved by the checker.
+	Name      string // synthetic method name, unique per program
+	Ret       Type
+	NumLocals int // local slots including slot 0 (the closure)
+	Captures  []*Capture
 }

@@ -49,6 +49,27 @@ type checker struct {
 	scopes    []map[string]*localVar
 	nextSlot  int
 	loopDepth int
+
+	// Lambda state: curLam is the lambda whose body is being checked
+	// (nil in the outermost method/function body), curRet the return
+	// type of the innermost function context, frames the suspended
+	// enclosing contexts (outermost first), and captures the per-lambda
+	// name -> capture table.
+	curLam   *Lambda
+	curRet   Type
+	frames   []fnFrame
+	captures map[*Lambda]map[string]*Capture
+}
+
+// fnFrame is a suspended enclosing function context, pushed while a
+// nested lambda body is checked. lam is the lambda whose body the
+// suspended context was checking (nil for the outermost body).
+type fnFrame struct {
+	lam       *Lambda
+	scopes    []map[string]*localVar
+	nextSlot  int
+	loopDepth int
+	ret       Type
 }
 
 func (c *checker) errorf(pos Pos, format string, args ...any) {
@@ -111,6 +132,13 @@ func (c *checker) collect() {
 
 // resolveType converts a TypeExpr to a semantic type.
 func (c *checker) resolveType(te TypeExpr) Type {
+	if te.Fn {
+		ft := &FuncType{Ret: c.resolveType(*te.FnRet)}
+		for _, p := range te.FnParams {
+			ft.Params = append(ft.Params, c.resolveType(p))
+		}
+		return ft
+	}
 	var base Type
 	switch te.Name {
 	case "int":
@@ -271,6 +299,9 @@ func (c *checker) checkBody(m *MethodDecl) {
 	c.scopes = []map[string]*localVar{{}}
 	c.nextSlot = 0
 	c.loopDepth = 0
+	c.curLam = nil
+	c.curRet = m.Ret
+	c.frames = c.frames[:0]
 	if hasThis(m) {
 		c.nextSlot = 1 // slot 0 = this
 	}
@@ -283,6 +314,14 @@ func (c *checker) checkBody(m *MethodDecl) {
 	}
 	m.NumLocals = c.nextSlot
 	c.cur = nil
+}
+
+// fnName names the innermost function context for error messages.
+func (c *checker) fnName() string {
+	if c.curLam != nil {
+		return "lambda " + c.curLam.Name
+	}
+	return c.cur.QualifiedName()
 }
 
 func (c *checker) declare(name string, t Type, pos Pos) *localVar {
@@ -391,15 +430,15 @@ func (c *checker) checkStmt(s Stmt) bool {
 		return false
 
 	case *ReturnStmt:
-		if sameType(c.cur.Ret, PrimType(TypeVoid)) {
+		if sameType(c.curRet, PrimType(TypeVoid)) {
 			if s.E != nil {
-				c.errorf(s.Pos, "%s returns void; no return value allowed", c.cur.QualifiedName())
+				c.errorf(s.Pos, "%s returns void; no return value allowed", c.fnName())
 			}
 		} else {
 			if s.E == nil {
-				c.errorf(s.Pos, "%s must return %s", c.cur.QualifiedName(), c.cur.Ret)
-			} else if t := c.checkExpr(s.E); t != nil && !assignable(c.cur.Ret, t) {
-				c.errorf(s.Pos, "cannot return %s from %s (want %s)", t, c.cur.QualifiedName(), c.cur.Ret)
+				c.errorf(s.Pos, "%s must return %s", c.fnName(), c.curRet)
+			} else if t := c.checkExpr(s.E); t != nil && !assignable(c.curRet, t) {
+				c.errorf(s.Pos, "cannot return %s from %s (want %s)", t, c.fnName(), c.curRet)
 			}
 		}
 		return true
@@ -424,6 +463,10 @@ func (c *checker) checkStmt(s Stmt) bool {
 		return false
 
 	case *SuperCallStmt:
+		if c.curLam != nil {
+			c.errorf(s.Pos, "super(...) is not available inside a lambda")
+			return false
+		}
 		if c.cur == nil || !c.cur.IsCtor {
 			c.errorf(s.Pos, "super(...) is only legal inside a constructor")
 			return false
@@ -520,6 +563,10 @@ func (c *checker) checkExpr(e Expr) Type {
 	case *NullLit:
 		e.T = PrimType(TypeNull)
 	case *ThisExpr:
+		if c.curLam != nil {
+			c.errorf(e.Pos, "this is not available inside a lambda (captures are by value)")
+			return nil
+		}
 		if c.cur == nil || c.cur.Owner == nil || !hasThis(c.cur) {
 			c.errorf(e.Pos, "this is not available here")
 			return nil
@@ -603,6 +650,8 @@ func (c *checker) checkExpr(e Expr) Type {
 		e.T = f.Type
 	case *Call:
 		return c.checkCall(e)
+	case *Lambda:
+		return c.checkLambda(e)
 	case *NewObject:
 		cd, ok := c.classes[e.TypeName]
 		if !ok {
@@ -639,7 +688,17 @@ func (c *checker) checkIdent(e *Ident) Type {
 		e.T = lv.typ
 		return e.T
 	}
-	if c.cur != nil && c.cur.Owner != nil && hasThis(c.cur) {
+	if c.curLam != nil {
+		if cap, ok := c.resolveCapture(e.Name); ok {
+			e.Kind = IdentCapture
+			e.Slot = cap.FieldIndex
+			e.T = cap.Type
+			return e.T
+		}
+	}
+	// Implicit-this fields are not visible inside lambdas: that would
+	// require capturing this, and captures are by value only.
+	if c.curLam == nil && c.cur != nil && c.cur.Owner != nil && hasThis(c.cur) {
 		if f := lookupField(c.cur.Owner, e.Name); f != nil {
 			e.Kind = IdentField
 			e.Field = f
@@ -655,6 +714,134 @@ func (c *checker) checkIdent(e *Ident) Type {
 	}
 	c.errorf(e.Pos, "undefined: %s", e.Name)
 	return nil
+}
+
+// lookupIn searches a scope stack (innermost last) for name.
+func lookupIn(scopes []map[string]*localVar, name string) *localVar {
+	for i := len(scopes) - 1; i >= 0; i-- {
+		if lv, ok := scopes[i][name]; ok {
+			return lv
+		}
+	}
+	return nil
+}
+
+// outerVar reports whether name is visible in some enclosing function
+// frame, without registering any capture. Used to decide resolution
+// order before committing to a capture chain.
+func (c *checker) outerVar(name string) (Type, bool) {
+	for i := len(c.frames) - 1; i >= 0; i-- {
+		fr := &c.frames[i]
+		if lv := lookupIn(fr.scopes, name); lv != nil {
+			return lv.typ, true
+		}
+		if fr.lam != nil {
+			if cap, ok := c.captures[fr.lam][name]; ok {
+				return cap.Type, true
+			}
+		}
+	}
+	return nil, false
+}
+
+// resolveCapture makes name (a variable of some enclosing function)
+// available inside the current lambda, registering a capture in every
+// lambda between the defining frame and here. Returns the current
+// lambda's capture for it.
+func (c *checker) resolveCapture(name string) (*Capture, bool) {
+	if c.curLam == nil {
+		return nil, false
+	}
+	if cap, ok := c.captures[c.curLam][name]; ok {
+		return cap, true
+	}
+	for i := len(c.frames) - 1; i >= 0; i-- {
+		fr := &c.frames[i]
+		var (
+			typ       Type
+			outerKind IdentKind
+			outerSlot int
+		)
+		if lv := lookupIn(fr.scopes, name); lv != nil {
+			typ, outerKind, outerSlot = lv.typ, IdentLocal, lv.slot
+		} else if fr.lam != nil {
+			cap, ok := c.captures[fr.lam][name]
+			if !ok {
+				continue
+			}
+			typ, outerKind, outerSlot = cap.Type, IdentCapture, cap.FieldIndex
+		} else {
+			continue
+		}
+		// Thread the value through every lambda from just inside the
+		// defining frame down to the current one.
+		var last *Capture
+		for j := i + 1; j <= len(c.frames); j++ {
+			lam := c.curLam
+			if j < len(c.frames) {
+				lam = c.frames[j].lam
+			}
+			cap := &Capture{
+				Name: name, Type: typ,
+				OuterKind: outerKind, OuterSlot: outerSlot,
+				FieldIndex: len(lam.Captures),
+			}
+			lam.Captures = append(lam.Captures, cap)
+			c.captures[lam][name] = cap
+			outerKind, outerSlot = IdentCapture, cap.FieldIndex
+			last = cap
+		}
+		return last, true
+	}
+	return nil, false
+}
+
+// checkLambda checks a function literal in the current context and
+// assigns it a synthetic $Globals method name.
+func (c *checker) checkLambda(e *Lambda) Type {
+	e.Ret = c.resolveType(e.RetType)
+	params := make([]Type, len(e.Params))
+	for i, p := range e.Params {
+		p.Type = c.resolveType(p.TypeExpr)
+		if sameType(p.Type, PrimType(TypeVoid)) {
+			c.errorf(p.Pos, "lambda parameter %s cannot have type void", p.Name)
+			p.Type = PrimType(TypeInt) // recover
+		}
+		params[i] = p.Type
+	}
+	e.Name = fmt.Sprintf("$lambda$%d", len(c.prog.Lambdas))
+	c.prog.Lambdas = append(c.prog.Lambdas, e)
+	if c.captures == nil {
+		c.captures = map[*Lambda]map[string]*Capture{}
+	}
+	c.captures[e] = map[string]*Capture{}
+
+	// Suspend the enclosing function context and enter the lambda.
+	c.frames = append(c.frames, fnFrame{
+		lam: c.curLam, scopes: c.scopes, nextSlot: c.nextSlot,
+		loopDepth: c.loopDepth, ret: c.curRet,
+	})
+	c.curLam = e
+	c.curRet = e.Ret
+	c.scopes = []map[string]*localVar{{}}
+	c.nextSlot = 1 // slot 0 = the closure object
+	c.loopDepth = 0
+	for _, p := range e.Params {
+		c.declare(p.Name, p.Type, p.Pos)
+	}
+	terminates := c.checkStmt(e.Body)
+	if !sameType(e.Ret, PrimType(TypeVoid)) && !terminates {
+		c.errorf(e.Pos, "lambda %s: missing return statement (not all paths return %s)", e.Name, e.Ret)
+	}
+	e.NumLocals = c.nextSlot
+
+	fr := c.frames[len(c.frames)-1]
+	c.frames = c.frames[:len(c.frames)-1]
+	c.curLam, c.scopes, c.nextSlot = fr.lam, fr.scopes, fr.nextSlot
+	c.loopDepth, c.curRet = fr.loopDepth, fr.ret
+
+	e.T = &FuncType{Params: params, Ret: e.Ret}
+	return e.T
 }
 
 func (c *checker) checkBinary(e *Binary) Type {
@@ -683,8 +870,35 @@ func (c *checker) checkBinary(e *Binary) Type {
 }
 
 func (c *checker) checkCall(e *Call) Type {
-	// Case 1: bare call f(args).
+	// Case 0: direct call on an arbitrary expression, "e(args)".
+	if e.FnExpr != nil {
+		t := c.checkExpr(e.FnExpr)
+		ft, ok := t.(*FuncType)
+		if !ok {
+			if t != nil {
+				c.errorf(e.Pos, "calling non-function value of type %s", t)
+			}
+			return nil
+		}
+		return c.checkClosureCall(e, ft)
+	}
+
+	// Case 1: bare call f(args). A function-typed local (or captured
+	// variable) shadows methods and free functions; a non-function
+	// local does not — variables and methods live in separate
+	// namespaces, like Java.
 	if e.Recv == nil {
+		if lv := c.lookupLocal(e.Name); lv != nil {
+			if ft, ok := lv.typ.(*FuncType); ok {
+				return c.closureCallNamed(e, ft)
+			}
+		} else if c.curLam != nil {
+			if t, ok := c.outerVar(e.Name); ok {
+				if ft, ok := t.(*FuncType); ok {
+					return c.closureCallNamed(e, ft)
+				}
+			}
+		}
 		if c.cur != nil && c.cur.Owner != nil {
 			if m := lookupMethod(c.cur.Owner, e.Name); m != nil {
 				if m.Static {
@@ -706,16 +920,28 @@ func (c *checker) checkCall(e *Call) Type {
 				return e.T
 			}
 		}
-		fn, ok := c.funcs[e.Name]
-		if !ok {
-			c.errorf(e.Pos, "undefined function %s", e.Name)
-			return nil
+		if fn, ok := c.funcs[e.Name]; ok {
+			e.Kind = CallFree
+			e.Target = fn
+			c.checkArgs(e.Pos, fn, e.Args, "function")
+			e.T = fn.Ret
+			return e.T
 		}
-		e.Kind = CallFree
-		e.Target = fn
-		c.checkArgs(e.Pos, fn, e.Args, "function")
-		e.T = fn.Ret
-		return e.T
+		// Function-typed implicit-this field or global.
+		if c.curLam == nil && c.cur != nil && c.cur.Owner != nil && hasThis(c.cur) {
+			if f := lookupField(c.cur.Owner, e.Name); f != nil {
+				if ft, ok := f.Type.(*FuncType); ok {
+					return c.closureCallNamed(e, ft)
+				}
+			}
+		}
+		if g, ok := c.globals[e.Name]; ok {
+			if ft, ok := g.Type.(*FuncType); ok {
+				return c.closureCallNamed(e, ft)
+			}
+		}
+		c.errorf(e.Pos, "undefined function %s", e.Name)
+		return nil
 	}
 
 	// Case 2: receiver is a bare identifier naming a class -> static
@@ -753,6 +979,15 @@ func (c *checker) checkCall(e *Call) Type {
 	}
 	m := lookupMethod(ct.Decl, e.Name)
 	if m == nil {
+		// A function-typed field can be called directly: r.f(args)
+		// loads the field and dispatches through the closure.
+		if f := lookupField(ct.Decl, e.Name); f != nil {
+			if ft, ok := f.Type.(*FuncType); ok {
+				fa := &FieldAccess{exprBase: exprBase{T: f.Type, Pos: e.Pos}, X: e.Recv, Name: e.Name, Field: f}
+				e.FnExpr = fa
+				return c.checkClosureCall(e, ft)
+			}
+		}
 		c.errorf(e.Pos, "class %s has no method %s", ct.Decl.Name, e.Name)
 		return nil
 	}
@@ -765,6 +1000,38 @@ func (c *checker) checkCall(e *Call) Type {
 	e.RecvClass = ct.Decl
 	c.checkArgs(e.Pos, m, e.Args, "method")
 	e.T = m.Ret
+	return e.T
+}
+
+// closureCallNamed rewrites a bare named call whose name resolved to a
+// function-typed value into a closure call through an Ident callee.
+func (c *checker) closureCallNamed(e *Call, ft *FuncType) Type {
+	id := &Ident{exprBase: exprBase{Pos: e.Pos}, Name: e.Name}
+	c.checkExpr(id)
+	e.FnExpr = id
+	return c.checkClosureCall(e, ft)
+}
+
+// checkClosureCall validates a call through a function-typed value.
+func (c *checker) checkClosureCall(e *Call, ft *FuncType) Type {
+	e.Kind = CallClosureV
+	if len(e.Args) != len(ft.Params) {
+		c.errorf(e.Pos, "closure of type %s takes %d arguments, got %d", ft, len(ft.Params), len(e.Args))
+	}
+	n := len(e.Args)
+	if len(ft.Params) < n {
+		n = len(ft.Params)
+	}
+	for i := 0; i < n; i++ {
+		at := c.checkExpr(e.Args[i])
+		if at != nil && !assignable(ft.Params[i], at) {
+			c.errorf(e.Args[i].Position(), "argument %d of closure call: cannot pass %s as %s", i+1, at, ft.Params[i])
+		}
+	}
+	for i := n; i < len(e.Args); i++ {
+		c.checkExpr(e.Args[i])
+	}
+	e.T = ft.Ret
 	return e.T
 }
 

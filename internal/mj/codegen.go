@@ -14,6 +14,7 @@ func Generate(prog *Program, entry string) (*bytecode.Program, error) {
 		pb:         bytecode.NewProgramBuilder(),
 		classOf:    map[*ClassDecl]*bytecode.ClassBuilder{},
 		methodOf:   map[*MethodDecl]*bytecode.MethodBuilder{},
+		lambdaOf:   map[*Lambda]*bytecode.MethodBuilder{},
 		fieldIndex: map[*FieldDecl]int{},
 	}
 	if err := g.declare(); err != nil {
@@ -40,6 +41,7 @@ type generator struct {
 	pb         *bytecode.ProgramBuilder
 	classOf    map[*ClassDecl]*bytecode.ClassBuilder
 	methodOf   map[*MethodDecl]*bytecode.MethodBuilder
+	lambdaOf   map[*Lambda]*bytecode.MethodBuilder
 	fieldIndex map[*FieldDecl]int
 
 	// Per-function state.
@@ -95,6 +97,11 @@ func (g *generator) declare() error {
 	for _, fn := range g.prog.Funcs {
 		g.methodOf[fn] = g.pb.NewFunc(fn.Name, len(fn.Params))
 	}
+	// Lambdas lower to static $Globals methods whose argument 0 is the
+	// closure object itself.
+	for _, lam := range g.prog.Lambdas {
+		g.lambdaOf[lam] = g.pb.NewFunc(lam.Name, 1+len(lam.Params))
+	}
 	for _, gd := range g.prog.Globals {
 		init := int64(0)
 		if gd.Init != nil {
@@ -146,6 +153,21 @@ func (g *generator) generateBodies() error {
 			if err := gen(ct); err != nil {
 				return err
 			}
+		}
+	}
+	for _, lam := range g.prog.Lambdas {
+		g.mb = g.lambdaOf[lam]
+		g.breaks = g.breaks[:0]
+		g.continues = g.continues[:0]
+		nargs := 1 + len(lam.Params) // closure object + declared params
+		for i := nargs; i < lam.NumLocals; i++ {
+			g.mb.AllocLocal()
+		}
+		if err := g.stmt(lam.Body); err != nil {
+			return fmt.Errorf("%s: %w", lam.Name, err)
+		}
+		if sameType(lam.Ret, PrimType(TypeVoid)) {
+			g.mb.Emit(bytecode.OpReturnVoid)
 		}
 	}
 	return nil
@@ -320,6 +342,12 @@ func (g *generator) assign(s *AssignStmt) error {
 				return err
 			}
 			g.mb.Emit(bytecode.OpPutField, int32(g.fieldIndex[lhs.Field]))
+		case IdentCapture:
+			g.mb.Emit(bytecode.OpLoad, 0) // the closure object
+			if err := g.expr(s.RHS); err != nil {
+				return err
+			}
+			g.mb.Emit(bytecode.OpPutField, int32(lhs.Slot))
 		default:
 			return fmt.Errorf("internal: unresolved identifier %s", lhs.Name)
 		}
@@ -380,6 +408,9 @@ func (g *generator) expr(e Expr) error {
 		case IdentField:
 			g.mb.Emit(bytecode.OpLoad, 0)
 			g.mb.Emit(bytecode.OpGetField, int32(g.fieldIndex[e.Field]))
+		case IdentCapture:
+			g.mb.Emit(bytecode.OpLoad, 0) // the closure object
+			g.mb.Emit(bytecode.OpGetField, int32(e.Slot))
 		default:
 			return fmt.Errorf("internal: unresolved identifier %s", e.Name)
 		}
@@ -442,6 +473,16 @@ func (g *generator) expr(e Expr) error {
 				}
 			}
 			g.mb.CallVirtual(g.classOf[e.RecvClass], e.Name)
+		case CallClosureV:
+			if err := g.expr(e.FnExpr); err != nil {
+				return err
+			}
+			for _, a := range e.Args {
+				if err := g.expr(a); err != nil {
+					return err
+				}
+			}
+			g.mb.CallClosure(1 + len(e.Args))
 		default:
 			return fmt.Errorf("internal: unresolved call %s", e.Name)
 		}
@@ -462,6 +503,20 @@ func (g *generator) expr(e Expr) error {
 			return err
 		}
 		g.mb.Emit(bytecode.OpNewArr)
+	case *Lambda:
+		// Push captured values left to right, then make the closure.
+		for _, cap := range e.Captures {
+			switch cap.OuterKind {
+			case IdentLocal:
+				g.mb.Emit(bytecode.OpLoad, int32(cap.OuterSlot))
+			case IdentCapture:
+				g.mb.Emit(bytecode.OpLoad, 0) // enclosing closure
+				g.mb.Emit(bytecode.OpGetField, int32(cap.OuterSlot))
+			default:
+				return fmt.Errorf("internal: bad capture kind for %s in %s", cap.Name, e.Name)
+			}
+		}
+		g.mb.MakeClosure(g.lambdaOf[e], len(e.Captures))
 	default:
 		return fmt.Errorf("internal: cannot generate expression %T", e)
 	}

@@ -5,6 +5,44 @@ import (
 	"strings"
 )
 
+// Generator shapes. Each targets a call-graph pathology that stresses
+// a different part of the profiling stack:
+//
+//   - megamorphic: one hot virtual site and one hot closure site, each
+//     dispatching over many distinct targets (CBS bucket pressure,
+//     RTA edge blowup in mincover).
+//   - phaseshift: the same sites cycle through disjoint target subsets
+//     in phases (hotness drift; sampling profilers see phase-local
+//     truth, exhaustive sees the union).
+//   - deepvirt: a deep single-inheritance chain whose methods chain
+//     virtual calls downward (long caller→callee paths, inliner depth
+//     limits).
+//   - closureheavy: closures created, captured, composed, and called
+//     everywhere (every call-site kind the VM supports, dominated by
+//     OpCallClosure).
+const (
+	ShapeDefault      = ""
+	ShapeMegamorphic  = "megamorphic"
+	ShapePhaseShift   = "phaseshift"
+	ShapeDeepVirt     = "deepvirt"
+	ShapeClosureHeavy = "closureheavy"
+)
+
+// Shapes lists every generator shape, the default first.
+func Shapes() []string {
+	return []string{ShapeDefault, ShapeMegamorphic, ShapePhaseShift, ShapeDeepVirt, ShapeClosureHeavy}
+}
+
+// ValidShape reports whether s names a generator shape.
+func ValidShape(s string) bool {
+	for _, k := range Shapes() {
+		if s == k {
+			return true
+		}
+	}
+	return false
+}
+
 // GenerateProgram produces a random, well-typed, terminating MJ
 // program as source text. It is used for differential testing (the
 // reference interpreter vs the compiled VM vs the inlined VM) and as a
@@ -12,26 +50,63 @@ import (
 //
 // Termination is guaranteed by construction: all loops are counted
 // with small constant bounds, free functions only call
-// previously-generated functions, and virtual methods only call
-// lower-indexed methods of their hierarchy, so every call chain
-// strictly decreases.
+// previously-generated functions, virtual methods only call
+// lower-indexed methods of their hierarchy, and lambda bodies contain
+// no calls (except through higher-order combinators that only receive
+// call-free closures), so every call chain strictly decreases.
 func GenerateProgram(seed int64, size int) string {
-	g := &progGen{rng: uint64(seed)*2654435761 + 12345}
+	return GenerateShaped(seed, size, ShapeDefault)
+}
+
+// GenerateShaped is GenerateProgram with an adversarial shape knob.
+// Unknown shapes fall back to the default mix.
+func GenerateShaped(seed int64, size int, shape string) string {
+	g := newProgGen(seed, size, shape)
+	return g.program(false)
+}
+
+// GenerateWorkload produces a shaped program that additionally follows
+// the benchmark harness protocol — void setup(int size), int iter() —
+// so fleetsim pushers and cbsload can soak on generated programs. The
+// emitted main(size) calls setup then folds a fixed number of iter
+// results, so the same source still works for differential testing.
+func GenerateWorkload(seed int64, size int, shape string) string {
+	g := newProgGen(seed, size, shape)
+	return g.program(true)
+}
+
+func newProgGen(seed int64, size int, shape string) *progGen {
+	g := &progGen{rng: uint64(seed)*2654435761 + 12345, shape: shape}
 	if size < 1 {
 		size = 1
 	}
 	g.size = size
-	return g.program()
+	return g
 }
 
 type progGen struct {
-	rng  uint64
-	size int
-	b    strings.Builder
+	rng   uint64
+	size  int
+	shape string
+	b     strings.Builder
 
 	globals []string // int globals in scope everywhere
 	funcs   []genFunc
 	classes []genClass
+	pickers []genPicker
+
+	// deep forces every method body to chain into its next-lower sibling
+	// (set by chainHierarchy) so deepvirt programs build long virtual
+	// call paths instead of occasional ones.
+	deep bool
+}
+
+// genPicker is a free function fn(int) int pickN(int s) returning one
+// of `variants` call-free lambdas (each capturing s), selected by s.
+// Calling through its result is the generator's closure dispatch site.
+type genPicker struct {
+	name     string
+	variants int
 }
 
 type genFunc struct {
@@ -74,8 +149,9 @@ func (g *progGen) line(depth int, format string, args ...any) {
 	g.b.WriteString("\n")
 }
 
-// program emits globals, class hierarchies, free functions, and main.
-func (g *progGen) program() string {
+// program emits globals, class hierarchies, closure pickers, free
+// functions, and either a plain main or the setup/iter harness.
+func (g *progGen) program(workload bool) string {
 	nGlobals := 1 + g.intn(3)
 	for i := 0; i < nGlobals; i++ {
 		name := fmt.Sprintf("g%d", i)
@@ -87,9 +163,31 @@ func (g *progGen) program() string {
 		}
 	}
 
-	nRoots := 1 + g.intn(2)
-	for r := 0; r < nRoots; r++ {
-		g.hierarchy(r)
+	switch g.shape {
+	case ShapeMegamorphic:
+		g.wideHierarchy(0, 5+g.intn(4), true)
+	case ShapePhaseShift:
+		g.wideHierarchy(0, 3+g.intn(2), true)
+	case ShapeDeepVirt:
+		g.chainHierarchy(0, 4+g.intn(3))
+	case ShapeClosureHeavy:
+		g.hierarchy(0)
+	default:
+		nRoots := 1 + g.intn(2)
+		for r := 0; r < nRoots; r++ {
+			g.hierarchy(r)
+		}
+	}
+
+	switch g.shape {
+	case ShapeMegamorphic:
+		g.picker(6 + g.intn(4))
+	case ShapePhaseShift:
+		g.picker(4 + g.intn(3))
+	case ShapeClosureHeavy:
+		g.picker(3 + g.intn(3))
+		g.picker(2 + g.intn(4))
+		g.combinators()
 	}
 
 	nFuncs := 2 + g.intn(1+g.size/2)
@@ -97,10 +195,55 @@ func (g *progGen) program() string {
 		g.function(f)
 	}
 
-	// main: exercise functions, classes, arrays, and prints.
+	if workload {
+		g.workloadHarness()
+	} else {
+		g.mainFn()
+	}
+	return g.b.String()
+}
+
+// mainFn emits a plain int main(int n) exercising the whole program.
+func (g *progGen) mainFn() {
 	g.line(0, "int main(int n) {")
 	scope := []string{"n", "acc"}
 	g.line(1, "int acc = 0;")
+	g.mainCommon(scope)
+	g.shapeSection(1, scope)
+	g.line(1, "print(acc & 0xFFFF);")
+	g.line(1, "return acc & 0xFFFFFF;")
+	g.line(0, "}")
+}
+
+// workloadHarness emits the benchmark protocol — void setup(int size),
+// int iter() — plus a main that drives it, so the same source works
+// under fleetsim pushers, cbsload, and the differential gate.
+func (g *progGen) workloadHarness() {
+	g.line(0, "int wseed = 1;")
+	g.line(0, "void setup(int size) {")
+	g.line(1, "wseed = ((size * 2654435761) ^ %d) & 0x7FFFFFFF;", g.intn(1<<16))
+	g.line(0, "}")
+	g.line(0, "int iter() {")
+	g.line(1, "wseed = (wseed * 1103515245 + 12345) & 0x7FFFFFFF;")
+	g.line(1, "int n = wseed %% 97;")
+	g.line(1, "int acc = 0;")
+	scope := []string{"n", "acc"}
+	g.mainCommon(scope)
+	g.shapeSection(1, scope)
+	g.line(1, "return acc & 0xFFFFFF;")
+	g.line(0, "}")
+	g.line(0, "int main(int size) {")
+	g.line(1, "setup(size);")
+	g.line(1, "int r = 0;")
+	g.line(1, "for (int k = 0; k < 8; k = k + 1) { r = (r * 31 + iter()) & 0xFFFFFF; }")
+	g.line(1, "print(r);")
+	g.line(1, "return r;")
+	g.line(0, "}")
+}
+
+// mainCommon exercises every class, every free function, and arrays.
+// Emitted at depth 1 into main or iter; scope must contain "acc".
+func (g *progGen) mainCommon(scope []string) {
 	for _, cls := range g.classes {
 		v := "o" + cls.name
 		if cls.hasCtor {
@@ -108,13 +251,12 @@ func (g *progGen) program() string {
 		} else {
 			g.line(1, "%s %s = new %s();", cls.name, v, cls.name)
 		}
-		for mi, m := range cls.methods {
+		for _, m := range cls.methods {
 			args := make([]string, m.nargs)
 			for i := range args {
 				args[i] = g.intExpr(scope, 1)
 			}
 			g.line(1, "acc = acc + %s.%s(%s);", v, m.name, strings.Join(args, ", "))
-			_ = mi
 		}
 	}
 	g.line(1, "int[] buf = new int[%d];", 4+g.intn(12))
@@ -127,10 +269,191 @@ func (g *progGen) program() string {
 		}
 		g.line(1, "acc = (acc ^ %s(%s)) + buf[%d];", fn.name, strings.Join(args, ", "), g.intn(4))
 	}
-	g.line(1, "print(acc & 0xFFFF);")
-	g.line(1, "return acc & 0xFFFFFF;")
+}
+
+// shapeSection emits the shape's adversarial hot section into main or
+// iter.
+func (g *progGen) shapeSection(depth int, scope []string) {
+	switch g.shape {
+	case ShapeMegamorphic:
+		// One hot virtual site and one hot closure site, each cycling
+		// through every target.
+		root := g.classes[0]
+		m := root.methods[0]
+		nCls := len(g.classes)
+		g.line(depth, "%s recv = new %s();", root.name, root.name)
+		g.line(depth, "for (int hi = 0; hi < %d; hi = hi + 1) {", 12+4*nCls)
+		g.line(depth+1, "int hk = hi %% %d;", nCls)
+		for idx, cls := range g.classes {
+			g.line(depth+1, "if (hk == %d) { recv = new %s(); }", idx, cls.name)
+		}
+		args := make([]string, m.nargs)
+		for i := range args {
+			args[i] = g.intExpr(append(scope, "hi"), 1)
+		}
+		g.line(depth+1, "acc = acc + recv.%s(%s);", m.name, strings.Join(args, ", "))
+		g.line(depth, "}")
+		p := g.pickers[0]
+		g.line(depth, "for (int ci = 0; ci < %d; ci = ci + 1) {", 8+2*p.variants)
+		g.line(depth+1, "fn(int) int hf = %s(ci);", p.name)
+		g.line(depth+1, "acc = acc + hf(ci + n);")
+		g.line(depth, "}")
+
+	case ShapePhaseShift:
+		// The same two sites (one virtual, one closure) switch targets
+		// between phases: phase-local profiles look monomorphic while
+		// the union is polymorphic.
+		root := g.classes[0]
+		m := root.methods[0]
+		nCls := len(g.classes)
+		p := g.pickers[0]
+		phases := 3 + g.intn(3)
+		g.line(depth, "%s pr = new %s();", root.name, root.name)
+		g.line(depth, "fn(int) int pf = %s(0);", p.name)
+		g.line(depth, "for (int ph = 0; ph < %d; ph = ph + 1) {", phases)
+		g.line(depth+1, "int pk = ph %% %d;", nCls)
+		for idx, cls := range g.classes {
+			g.line(depth+1, "if (pk == %d) { pr = new %s(); }", idx, cls.name)
+		}
+		g.line(depth+1, "pf = %s(ph);", p.name)
+		g.line(depth+1, "for (int pi = 0; pi < %d; pi = pi + 1) {", 6+g.intn(6))
+		args := make([]string, m.nargs)
+		for i := range args {
+			args[i] = g.intExpr(append(scope, "pi"), 1)
+		}
+		g.line(depth+2, "acc = acc + pr.%s(%s) + pf(pi);", m.name, strings.Join(args, ", "))
+		g.line(depth+1, "}")
+		g.line(depth, "}")
+
+	case ShapeDeepVirt:
+		// Hot calls into the deepest override; its body chains virtual
+		// calls down the sibling-method ladder.
+		root := g.classes[0]
+		deepest := g.classes[len(g.classes)-1]
+		m := root.methods[len(root.methods)-1]
+		g.line(depth, "%s dv = new %s();", root.name, deepest.name)
+		g.line(depth, "for (int di = 0; di < %d; di = di + 1) {", 8+g.intn(8))
+		g.line(depth+1, "if (di %% 3 == 0) { dv = new %s(); }", g.classes[g.intn(len(g.classes))].name)
+		args := make([]string, m.nargs)
+		for i := range args {
+			args[i] = g.intExpr(append(scope, "di"), 1)
+		}
+		g.line(depth+1, "acc = acc + dv.%s(%s);", m.name, strings.Join(args, ", "))
+		g.line(depth, "}")
+
+	case ShapeClosureHeavy:
+		// Closures created, composed, re-bound, and called in a loop,
+		// plus a nested capture chain.
+		p0, p1 := g.pickers[0], g.pickers[1]
+		g.line(depth, "fn(int) int ca = %s(n);", p0.name)
+		g.line(depth, "fn(int) int cb = %s(n + 1);", p1.name)
+		g.line(depth, "fn(int) int cc = comp0(ca, cb);")
+		g.line(depth, "for (int ci = 0; ci < %d; ci = ci + 1) {", 10+g.intn(8))
+		g.line(depth+1, "if (ci %% 3 == 0) { cc = comp0(cb, %s(ci)); }", p0.name)
+		g.line(depth+1, "acc = acc + apply0(cc, ci) + ca(ci);")
+		g.line(depth, "}")
+		g.line(depth, "fn(int) int mk = fn(int d) fn(int) int { return fn(int x) int { return (x + d) ^ acc; }; }(%d);", g.intn(64))
+		g.line(depth, "acc = acc + mk(n) + mk(acc & 15);")
+	}
+}
+
+// wideHierarchy emits one root and nSubs subclasses. When forceFirst
+// is set every subclass overrides method 0, so a call site on that
+// method over a cycling receiver is genuinely megamorphic. Classes are
+// ctor-free so the shape sections can write uniform `new X()`.
+func (g *progGen) wideHierarchy(r, nSubs int, forceFirst bool) {
+	root := genClass{name: fmt.Sprintf("C%d", r), super: -1}
+	nFields := 1 + g.intn(2)
+	for i := 0; i < nFields; i++ {
+		root.fields = append(root.fields, fmt.Sprintf("f%d", i))
+	}
+	nMethods := 1 + g.intn(2)
+	for i := 0; i < nMethods; i++ {
+		root.methods = append(root.methods, genMethod{
+			name:  fmt.Sprintf("m%d_%d", r, i),
+			nargs: 1 + g.intn(2),
+		})
+	}
+	g.emitClass(root, nil)
+	g.classes = append(g.classes, root)
+	for s := 0; s < nSubs; s++ {
+		sub := genClass{
+			name:    fmt.Sprintf("C%dS%d", r, s),
+			super:   0,
+			methods: root.methods,
+			fields:  root.fields,
+		}
+		g.line(0, "class %s extends %s {", sub.name, root.name)
+		for i, m := range sub.methods {
+			if (forceFirst && i == 0) || g.intn(2) == 0 {
+				g.method(sub, i, m)
+			}
+		}
+		g.line(0, "}")
+		g.classes = append(g.classes, sub)
+	}
+}
+
+// chainHierarchy emits a single-inheritance chain of the given depth.
+// Level d always overrides method d mod nMethods, and (via g.deep)
+// every method body chains a virtual call into its next-lower sibling,
+// producing long caller→callee paths through many overrides.
+func (g *progGen) chainHierarchy(r, depth int) {
+	g.deep = true
+	root := genClass{name: fmt.Sprintf("C%d", r), super: -1}
+	root.fields = []string{"f0"}
+	nMethods := 3
+	for i := 0; i < nMethods; i++ {
+		root.methods = append(root.methods, genMethod{
+			name:  fmt.Sprintf("m%d_%d", r, i),
+			nargs: 1 + g.intn(2),
+		})
+	}
+	g.emitClass(root, nil)
+	g.classes = append(g.classes, root)
+	prev := root
+	for d := 0; d < depth; d++ {
+		sub := genClass{
+			name:    fmt.Sprintf("C%dD%d", r, d),
+			super:   len(g.classes) - 1,
+			methods: root.methods,
+			fields:  root.fields,
+		}
+		g.line(0, "class %s extends %s {", sub.name, prev.name)
+		for i, m := range sub.methods {
+			if i == d%nMethods || g.intn(2) == 0 {
+				g.method(sub, i, m)
+			}
+		}
+		g.line(0, "}")
+		g.classes = append(g.classes, sub)
+		prev = sub
+	}
+}
+
+// picker emits a free function fn(int) int pickN(int s) whose body
+// selects one of `variants` call-free lambdas, each capturing s and the
+// selector k. Every call through a picker result shares one closure
+// call site with `variants` possible targets.
+func (g *progGen) picker(variants int) {
+	p := genPicker{name: fmt.Sprintf("pick%d", len(g.pickers)), variants: variants}
+	lamScope := []string{"x", "s", "k"}
+	g.line(0, "fn(int) int %s(int s) {", p.name)
+	g.line(1, "int k = ((s %% %d) + %d) %% %d;", variants, variants, variants)
+	for i := 0; i < variants-1; i++ {
+		g.line(1, "if (k == %d) { return fn(int x) int { return %s; }; }", i, g.intExpr(lamScope, 2))
+	}
+	g.line(1, "return fn(int x) int { return %s; };", g.intExpr(lamScope, 2))
 	g.line(0, "}")
-	return g.b.String()
+	g.pickers = append(g.pickers, p)
+}
+
+// combinators emits the higher-order helpers the closureheavy shape
+// drives: apply0 calls through a closure parameter, comp0 builds a
+// composite closure whose body calls two captured (call-free) closures.
+func (g *progGen) combinators() {
+	g.line(0, "int apply0(fn(int) int f, int x) { return f(x); }")
+	g.line(0, "fn(int) int comp0(fn(int) int f, fn(int) int h) { return fn(int x) int { return f(h(x)); }; }")
 }
 
 // hierarchy emits a root class and 0–2 subclasses.
@@ -209,9 +532,14 @@ func (g *progGen) method(c genClass, mi int, m genMethod) {
 	scope = append(scope, c.fields...)
 	g.line(2, "int t = %s;", g.intExpr(scope, 2))
 	scope = append(scope, "t")
-	// Maybe call a lower-indexed sibling method (virtual on this).
-	if mi > 0 && g.intn(2) == 0 {
-		callee := c.methods[g.intn(mi)]
+	// Maybe call a lower-indexed sibling method (virtual on this); in
+	// deep mode always chain into the next-lower sibling.
+	if mi > 0 && (g.deep || g.intn(2) == 0) {
+		idx := g.intn(mi)
+		if g.deep {
+			idx = mi - 1
+		}
+		callee := c.methods[idx]
 		args := make([]string, callee.nargs)
 		for i := range args {
 			args[i] = g.intExpr(scope, 1)
@@ -251,8 +579,12 @@ func (g *progGen) function(fi int) {
 
 // stmts emits a few statements mutating r (always in scope).
 func (g *progGen) stmts(depth, n int, scope []string, maxFunc int) {
+	kinds := 6
+	if len(g.pickers) > 0 {
+		kinds = 7
+	}
 	for i := 0; i < n; i++ {
-		switch g.intn(6) {
+		switch g.intn(kinds) {
 		case 0: // bounded loop
 			lv := fmt.Sprintf("i%d_%d", depth, i)
 			g.line(depth, "for (int %s = 0; %s < %d; %s = %s + 1) {", lv, lv, 1+g.intn(7), lv, lv)
@@ -284,8 +616,13 @@ func (g *progGen) stmts(depth, n int, scope []string, maxFunc int) {
 			}
 		case 4: // print
 			g.line(depth, "print(r & 255);")
-		default: // plain mutation
+		case 5: // plain mutation
 			g.line(depth, "r = %s;", g.intExpr(scope, 2))
+		default: // closure pick + call (only when pickers exist)
+			p := g.pickers[g.intn(len(g.pickers))]
+			cv := fmt.Sprintf("cf%d_%d", depth, i)
+			g.line(depth, "fn(int) int %s = %s(%s);", cv, p.name, g.intExpr(scope, 1))
+			g.line(depth, "r = r + %s(%s);", cv, g.intExpr(scope, 1))
 		}
 	}
 }

@@ -19,11 +19,15 @@ type RefValue struct {
 	O *RefObject
 }
 
-// RefObject is a heap object of the reference interpreter.
+// RefObject is a heap object of the reference interpreter: a class
+// instance, an array, or a closure (Fn non-nil, captures in Caps).
 type RefObject struct {
 	Class  *ClassDecl
 	Fields map[string]RefValue
 	Elems  []RefValue
+
+	Fn   *Lambda
+	Caps []RefValue
 }
 
 // RefInterp evaluates checked MJ programs.
@@ -117,6 +121,25 @@ func (in *RefInterp) invoke(m *MethodDecl, recv RefValue, args []RefValue) (RefV
 		return fr.ret, nil
 	}
 	return RefValue{}, nil // void fall-through
+}
+
+// invokeLambda runs a lambda body; local 0 is the closure itself,
+// declared parameters follow.
+func (in *RefInterp) invokeLambda(lam *Lambda, clo RefValue, args []RefValue) (RefValue, error) {
+	if err := in.burn(); err != nil {
+		return RefValue{}, err
+	}
+	fr := &refFrame{locals: make([]RefValue, lam.NumLocals)}
+	fr.locals[0] = clo
+	copy(fr.locals[1:], args)
+	c, err := in.stmt(lam.Body, fr)
+	if err != nil {
+		return RefValue{}, err
+	}
+	if c == refReturn {
+		return fr.ret, nil
+	}
+	return RefValue{}, nil
 }
 
 func (in *RefInterp) stmt(s Stmt, fr *refFrame) (refCtrl, error) {
@@ -273,6 +296,8 @@ func (in *RefInterp) assign(s *AssignStmt, fr *refFrame) error {
 				return fmt.Errorf("nil this")
 			}
 			this.O.Fields[lhs.Field.Name] = v
+		case IdentCapture:
+			fr.locals[0].O.Caps[lhs.Slot] = v
 		}
 		return nil
 	case *FieldAccess:
@@ -354,6 +379,8 @@ func (in *RefInterp) expr(e Expr, fr *refFrame) (RefValue, error) {
 				return RefValue{}, fmt.Errorf("nil this")
 			}
 			return this.O.Fields[e.Field.Name], nil
+		case IdentCapture:
+			return fr.locals[0].O.Caps[e.Slot], nil
 		}
 		return RefValue{}, fmt.Errorf("unresolved ident %s", e.Name)
 	case *Unary:
@@ -418,6 +445,19 @@ func (in *RefInterp) expr(e Expr, fr *refFrame) (RefValue, error) {
 		return x.O.Fields[e.Field.Name], nil
 	case *Call:
 		return in.call(e, fr)
+	case *Lambda:
+		caps := make([]RefValue, len(e.Captures))
+		for i, cap := range e.Captures {
+			switch cap.OuterKind {
+			case IdentLocal:
+				caps[i] = fr.locals[cap.OuterSlot]
+			case IdentCapture:
+				caps[i] = fr.locals[0].O.Caps[cap.OuterSlot]
+			default:
+				return RefValue{}, fmt.Errorf("bad capture kind for %s", cap.Name)
+			}
+		}
+		return RefValue{O: &RefObject{Fn: e, Caps: caps}}, nil
 	case *NewObject:
 		obj := in.allocate(e.Class)
 		if e.Ctor != nil {
@@ -543,6 +583,25 @@ func (in *RefInterp) binary(e *Binary, fr *refFrame) (RefValue, error) {
 }
 
 func (in *RefInterp) call(e *Call, fr *refFrame) (RefValue, error) {
+	// Closure calls evaluate the callee expression before the
+	// arguments, matching the VM's stack order.
+	if e.Kind == CallClosureV {
+		clo, err := in.expr(e.FnExpr, fr)
+		if err != nil {
+			return RefValue{}, err
+		}
+		args, err := in.evalArgs(e.Args, fr)
+		if err != nil {
+			return RefValue{}, err
+		}
+		if clo.O == nil {
+			return RefValue{}, fmt.Errorf("closure call on nil")
+		}
+		if clo.O.Fn == nil {
+			return RefValue{}, fmt.Errorf("closure call on non-closure")
+		}
+		return in.invokeLambda(clo.O.Fn, clo, args)
+	}
 	args, err := in.evalArgs(e.Args, fr)
 	if err != nil {
 		return RefValue{}, err

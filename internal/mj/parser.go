@@ -105,7 +105,7 @@ func (p *parser) parseProgram() (*Program, error) {
 // isTypeStart reports whether the current token can begin a TypeExpr.
 func (p *parser) isTypeStart() bool {
 	switch p.cur().Kind {
-	case TokTInt, TokTBool, TokTVoid, TokIdent:
+	case TokTInt, TokTBool, TokTVoid, TokIdent, TokFn:
 		return true
 	}
 	return false
@@ -113,6 +113,9 @@ func (p *parser) isTypeStart() bool {
 
 func (p *parser) parseTypeExpr() (TypeExpr, error) {
 	t := p.cur()
+	if t.Kind == TokFn {
+		return p.parseFnType()
+	}
 	var name string
 	switch t.Kind {
 	case TokTInt:
@@ -133,6 +136,39 @@ func (p *parser) parseTypeExpr() (TypeExpr, error) {
 		p.next()
 		te.Dims++
 	}
+	return te, nil
+}
+
+// parseFnType parses a function type "fn(T1, T2) R" with the cursor on
+// 'fn'. The return type is mandatory (it may be void or another fn
+// type); arrays of closures are not expressible.
+func (p *parser) parseFnType() (TypeExpr, error) {
+	t := p.next() // fn
+	te := TypeExpr{Fn: true, Pos: t.Pos}
+	if _, err := p.expect(TokLParen); err != nil {
+		return TypeExpr{}, err
+	}
+	for !p.at(TokRParen) {
+		pt, err := p.parseTypeExpr()
+		if err != nil {
+			return TypeExpr{}, err
+		}
+		if !pt.Fn && pt.Name == "void" {
+			return TypeExpr{}, fmt.Errorf("%s: function parameter cannot have type void", pt.Pos)
+		}
+		te.FnParams = append(te.FnParams, pt)
+		if !p.accept(TokComma) {
+			break
+		}
+	}
+	if _, err := p.expect(TokRParen); err != nil {
+		return TypeExpr{}, err
+	}
+	ret, err := p.parseTypeExpr()
+	if err != nil {
+		return TypeExpr{}, err
+	}
+	te.FnRet = &ret
 	return te, nil
 }
 
@@ -275,8 +311,54 @@ func (p *parser) looksLikeVarDecl() bool {
 			i += 2
 		}
 		return p.toks[i].Kind == TokIdent
+	case TokFn:
+		// "fn(int) int f = ..." is a declaration; "fn(int x) int {...}"
+		// is a lambda expression. Scan a whole type and look for the
+		// declared name after it (a lambda's type-scan either fails on
+		// the named parameters or lands on '{').
+		i, ok := p.scanType(p.pos)
+		return ok && i < len(p.toks) && p.toks[i].Kind == TokIdent
 	}
 	return false
+}
+
+// scanType skips a syntactic type starting at token index i, returning
+// the index just past it. Used for lookahead only; no AST is built.
+func (p *parser) scanType(i int) (int, bool) {
+	if i >= len(p.toks) {
+		return i, false
+	}
+	switch p.toks[i].Kind {
+	case TokFn:
+		i++
+		if i >= len(p.toks) || p.toks[i].Kind != TokLParen {
+			return i, false
+		}
+		i++
+		for i < len(p.toks) && p.toks[i].Kind != TokRParen {
+			var ok bool
+			i, ok = p.scanType(i)
+			if !ok {
+				return i, false
+			}
+			if i < len(p.toks) && p.toks[i].Kind == TokComma {
+				i++
+			} else {
+				break
+			}
+		}
+		if i >= len(p.toks) || p.toks[i].Kind != TokRParen {
+			return i, false
+		}
+		return p.scanType(i + 1)
+	case TokTInt, TokTBool, TokTVoid, TokIdent:
+		i++
+		for i+1 < len(p.toks) && p.toks[i].Kind == TokLBracket && p.toks[i+1].Kind == TokRBracket {
+			i += 2
+		}
+		return i, true
+	}
+	return i, false
 }
 
 func (p *parser) parseStmt() (Stmt, error) {
@@ -696,6 +778,15 @@ func (p *parser) parsePostfix() (Expr, error) {
 				return nil, err
 			}
 			x = &Index{exprBase: exprBase{Pos: t.Pos}, Arr: x, Idx: idx}
+		case p.at(TokLParen):
+			// Direct call on an arbitrary expression: a closure call
+			// "(f)(x)" or an immediately-invoked lambda.
+			t := p.next()
+			args, err := p.parseArgs()
+			if err != nil {
+				return nil, err
+			}
+			x = &Call{exprBase: exprBase{Pos: t.Pos}, FnExpr: x, Args: args}
 		default:
 			return x, nil
 		}
@@ -762,6 +853,8 @@ func (p *parser) parsePrimary() (Expr, error) {
 			return &NewArray{exprBase: exprBase{Pos: t.Pos}, Elem: elem, Len: length}, nil
 		}
 		return nil, fmt.Errorf("%s: expected '(' or '[' after new %s", p.cur().Pos, te.Name)
+	case TokFn:
+		return p.parseLambda()
 	case TokLParen:
 		p.next()
 		e, err := p.parseExpr()
@@ -774,6 +867,47 @@ func (p *parser) parsePrimary() (Expr, error) {
 		return e, nil
 	}
 	return nil, fmt.Errorf("%s: unexpected %v in expression", t.Pos, t.Kind)
+}
+
+// parseLambda parses a function literal with the cursor on 'fn':
+// "fn(int x, boolean b) int { ... }". The return type is mandatory.
+func (p *parser) parseLambda() (Expr, error) {
+	t := p.next() // fn
+	lam := &Lambda{exprBase: exprBase{Pos: t.Pos}}
+	if _, err := p.expect(TokLParen); err != nil {
+		return nil, err
+	}
+	for !p.at(TokRParen) {
+		te, err := p.parseTypeExpr()
+		if err != nil {
+			return nil, err
+		}
+		if !te.Fn && te.Name == "void" {
+			return nil, fmt.Errorf("%s: parameter cannot have type void", te.Pos)
+		}
+		id, err := p.expect(TokIdent)
+		if err != nil {
+			return nil, err
+		}
+		lam.Params = append(lam.Params, &Param{TypeExpr: te, Name: id.Text, Pos: id.Pos})
+		if !p.accept(TokComma) {
+			break
+		}
+	}
+	if _, err := p.expect(TokRParen); err != nil {
+		return nil, err
+	}
+	ret, err := p.parseTypeExpr()
+	if err != nil {
+		return nil, err
+	}
+	lam.RetType = ret
+	body, err := p.parseBlock()
+	if err != nil {
+		return nil, err
+	}
+	lam.Body = body
+	return lam, nil
 }
 
 // parseNewType parses the type after 'new' WITHOUT consuming '[' since

@@ -247,10 +247,25 @@ func exprString(e Expr) string {
 		for i, a := range e.Args {
 			args[i] = exprString(a)
 		}
+		if e.Recv == nil && e.Name == "" && e.FnExpr != nil {
+			// Direct call on an expression: e(args).
+			return fmt.Sprintf("%s(%s)", exprString(e.FnExpr), strings.Join(args, ", "))
+		}
 		if e.Recv == nil {
 			return fmt.Sprintf("%s(%s)", e.Name, strings.Join(args, ", "))
 		}
 		return fmt.Sprintf("%s.%s(%s)", exprString(e.Recv), e.Name, strings.Join(args, ", "))
+	case *Lambda:
+		parts := make([]string, len(e.Params))
+		for i, prm := range e.Params {
+			parts[i] = typeDesc(prm.TypeExpr) + " " + prm.Name
+		}
+		sub := &printer{}
+		for _, s := range e.Body.Stmts {
+			sub.stmt(s)
+		}
+		body := strings.Join(strings.Fields(sub.b.String()), " ")
+		return fmt.Sprintf("fn(%s) %s { %s }", strings.Join(parts, ", "), typeDesc(e.RetType), body)
 	case *NewObject:
 		args := make([]string, len(e.Args))
 		for i, a := range e.Args {

@@ -39,6 +39,7 @@ const (
 	TokFalse
 	TokPrint
 	TokInstanceof
+	TokFn
 	TokTInt
 	TokTBool
 	TokTVoid
@@ -82,8 +83,8 @@ var kindNames = map[Kind]string{
 	TokReturn: "'return'", TokBreak: "'break'", TokContinue: "'continue'",
 	TokNew: "'new'", TokThis: "'this'", TokSuper: "'super'", TokNull: "'null'",
 	TokTrue: "'true'", TokFalse: "'false'", TokPrint: "'print'",
-	TokInstanceof: "'instanceof'",
-	TokTInt:       "'int'", TokTBool: "'boolean'", TokTVoid: "'void'",
+	TokInstanceof: "'instanceof'", TokFn: "'fn'",
+	TokTInt: "'int'", TokTBool: "'boolean'", TokTVoid: "'void'",
 	TokLParen: "'('", TokRParen: "')'", TokLBrace: "'{'", TokRBrace: "'}'",
 	TokLBracket: "'['", TokRBracket: "']'", TokSemi: "';'", TokComma: "','",
 	TokDot: "'.'", TokAssign: "'='",
@@ -107,8 +108,8 @@ var keywords = map[string]Kind{
 	"return": TokReturn, "break": TokBreak, "continue": TokContinue,
 	"new": TokNew, "this": TokThis, "super": TokSuper, "null": TokNull,
 	"true": TokTrue, "false": TokFalse, "print": TokPrint,
-	"instanceof": TokInstanceof,
-	"int":        TokTInt, "boolean": TokTBool, "void": TokTVoid,
+	"instanceof": TokInstanceof, "fn": TokFn,
+	"int": TokTInt, "boolean": TokTBool, "void": TokTVoid,
 }
 
 // Pos is a source position.

@@ -42,10 +42,29 @@ type ArrayType struct{ Elem Type }
 
 func (a *ArrayType) String() string { return a.Elem.String() + "[]" }
 
-// isRef reports whether t is a reference type (class, array, or null).
+// FuncType is a first-class function type "fn(T1, T2) R". Function
+// values are closures; equality is structural.
+type FuncType struct {
+	Params []Type
+	Ret    Type
+}
+
+func (f *FuncType) String() string {
+	s := "fn("
+	for i, p := range f.Params {
+		if i > 0 {
+			s += ", "
+		}
+		s += p.String()
+	}
+	return s + ") " + f.Ret.String()
+}
+
+// isRef reports whether t is a reference type (class, array, closure,
+// or null).
 func isRef(t Type) bool {
 	switch t := t.(type) {
-	case *ClassType, *ArrayType:
+	case *ClassType, *ArrayType, *FuncType:
 		return true
 	case PrimType:
 		return t == TypeNull
@@ -65,6 +84,17 @@ func sameType(a, b Type) bool {
 	case *ArrayType:
 		b, ok := b.(*ArrayType)
 		return ok && sameType(a.Elem, b.Elem)
+	case *FuncType:
+		b, ok := b.(*FuncType)
+		if !ok || len(a.Params) != len(b.Params) || !sameType(a.Ret, b.Ret) {
+			return false
+		}
+		for i := range a.Params {
+			if !sameType(a.Params[i], b.Params[i]) {
+				return false
+			}
+		}
+		return true
 	}
 	return false
 }
@@ -107,7 +137,17 @@ func comparableTypes(a, b Type) bool {
 	return false
 }
 
-// typeDesc renders a TypeExpr for error messages.
+// typeDesc renders a TypeExpr for error messages (and the printer).
 func typeDesc(te TypeExpr) string {
+	if te.Fn {
+		s := "fn("
+		for i, p := range te.FnParams {
+			if i > 0 {
+				s += ", "
+			}
+			s += typeDesc(p)
+		}
+		return s + ") " + typeDesc(*te.FnRet)
+	}
 	return te.Name + strings.Repeat("[]", te.Dims)
 }

@@ -1,0 +1,127 @@
+package mj
+
+import (
+	"fmt"
+	"testing"
+)
+
+func shapeName(s string) string {
+	if s == "" {
+		return "default"
+	}
+	return s
+}
+
+// TestDifferentialShapedPrograms sweeps every generator shape: for each
+// shape and seed the reference interpreter and the compiled VM must
+// agree exactly on result and print output.
+func TestDifferentialShapedPrograms(t *testing.T) {
+	per := 12
+	if testing.Short() {
+		per = 3
+	}
+	for _, shape := range Shapes() {
+		shape := shape
+		t.Run(shapeName(shape), func(t *testing.T) {
+			t.Parallel()
+			for i := int64(0); i < int64(per); i++ {
+				seed := i*31 + 7
+				src := GenerateShaped(seed, 3+int(i%3), shape)
+				arg := i * 17 % 89
+				label := fmt.Sprintf("shape=%s seed=%d", shapeName(shape), seed)
+				refR, refO := refRun(t, src, arg)
+				vmR, vmO := vmRun(t, src, arg)
+				sameRun(t, label, src, refR, refO, vmR, vmO)
+			}
+		})
+	}
+}
+
+// TestDifferentialWorkloads checks GenerateWorkload output: it must
+// follow the benchmark protocol (setup/iter/main with the right
+// arities) and agree across engines like any generated program.
+func TestDifferentialWorkloads(t *testing.T) {
+	per := 6
+	if testing.Short() {
+		per = 2
+	}
+	for _, shape := range Shapes() {
+		shape := shape
+		t.Run(shapeName(shape), func(t *testing.T) {
+			t.Parallel()
+			for i := int64(0); i < int64(per); i++ {
+				seed := i*101 + 13
+				src := GenerateWorkload(seed, 2+int(i%3), shape)
+				label := fmt.Sprintf("workload shape=%s seed=%d", shapeName(shape), seed)
+
+				prog, err := Compile(src)
+				if err != nil {
+					t.Fatalf("%s: compile: %v\n%s", label, err, src)
+				}
+				for _, fn := range []string{"main", "setup", "iter"} {
+					if prog.MethodByName("$Globals."+fn) == nil {
+						t.Fatalf("%s: missing protocol function %s\n%s", label, fn, src)
+					}
+				}
+				if got := prog.MethodByName("$Globals.setup").NArgs; got != 1 {
+					t.Fatalf("%s: setup takes %d args, want 1", label, got)
+				}
+				if got := prog.MethodByName("$Globals.iter").NArgs; got != 0 {
+					t.Fatalf("%s: iter takes %d args, want 0", label, got)
+				}
+
+				arg := i*7%43 + 1
+				refR, refO := refRun(t, src, arg)
+				vmR, vmO := vmRun(t, src, arg)
+				sameRun(t, label, src, refR, refO, vmR, vmO)
+			}
+		})
+	}
+}
+
+// TestShapedGeneratorDeterministic pins every shape's output to its
+// seed, and ValidShape to the published list.
+func TestShapedGeneratorDeterministic(t *testing.T) {
+	for _, shape := range Shapes() {
+		if !ValidShape(shape) {
+			t.Errorf("ValidShape(%q) = false", shape)
+		}
+		a := GenerateShaped(42, 4, shape)
+		b := GenerateShaped(42, 4, shape)
+		if a != b {
+			t.Errorf("shape %s: generator not deterministic", shapeName(shape))
+		}
+		wa := GenerateWorkload(42, 4, shape)
+		wb := GenerateWorkload(42, 4, shape)
+		if wa != wb {
+			t.Errorf("shape %s: workload generator not deterministic", shapeName(shape))
+		}
+	}
+	if ValidShape("bogus") {
+		t.Error(`ValidShape("bogus") = true`)
+	}
+}
+
+// FuzzGeneratedDifferential is the go-fuzz face of the differential
+// gate: any (seed, shape, size) must produce a program on which the
+// reference interpreter and the VM agree. The corpus seeds mirror the
+// table sweep above.
+func FuzzGeneratedDifferential(f *testing.F) {
+	for seed := int64(0); seed < 50; seed++ {
+		f.Add(seed, uint8(seed%5), uint8(1+seed%4))
+	}
+	f.Fuzz(func(t *testing.T, seed int64, shapeIdx, size uint8) {
+		shapes := Shapes()
+		shape := shapes[int(shapeIdx)%len(shapes)]
+		sz := 1 + int(size%5)
+		src := GenerateShaped(seed, sz, shape)
+		arg := seed % 89
+		if arg < 0 {
+			arg = -arg
+		}
+		label := fmt.Sprintf("fuzz seed=%d shape=%s size=%d", seed, shapeName(shape), sz)
+		refR, refO := refRun(t, src, arg)
+		vmR, vmO := vmRun(t, src, arg)
+		sameRun(t, label, src, refR, refO, vmR, vmO)
+	})
+}

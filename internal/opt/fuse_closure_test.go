@@ -1,0 +1,86 @@
+package opt
+
+import (
+	"fmt"
+	"testing"
+
+	"gocbs/internal/bench"
+	"gocbs/internal/bytecode"
+	"gocbs/internal/mj"
+)
+
+// closureSites collects every closure instruction with its operands —
+// (method, pc-order, op, A, B). Site IDs live in OpCallClosure.B and
+// lambda method IDs in OpMakeClosure.A, so an identical multiset
+// before and after fusion means profiles collected on fused code stay
+// comparable edge-for-edge with unfused profiles.
+func closureSites(p *bytecode.Program) []string {
+	var out []string
+	for _, m := range p.Methods {
+		n := 0
+		for _, ins := range m.Code {
+			if ins.Op == bytecode.OpMakeClosure || ins.Op == bytecode.OpCallClosure {
+				out = append(out, fmt.Sprintf("%s#%d %s %d %d", m.Name, n, ins.Op, ins.A, ins.B))
+				n++
+			}
+		}
+	}
+	return out
+}
+
+// TestFuseNeverCrossesClosureCalls: superinstruction fusion must treat
+// OpMakeClosure and OpCallClosure as barriers — every closure
+// instruction survives fusion with operands (lambda target, arity,
+// site ID) intact, on both checked-in closure benchmarks and a sweep
+// of generated closure-heavy programs. The test also requires fusion
+// to remove something, so the barrier is proven against a pass that
+// genuinely ran.
+func TestFuseNeverCrossesClosureCalls(t *testing.T) {
+	var progs []*bytecode.Program
+	var labels []string
+	for _, name := range []string{"closures", "phases"} {
+		b := bench.ByName(name)
+		if b == nil {
+			t.Fatalf("benchmark %s missing", name)
+		}
+		prog, err := b.Compile()
+		if err != nil {
+			t.Fatal(err)
+		}
+		progs = append(progs, prog)
+		labels = append(labels, "bench:"+name)
+	}
+	for seed := int64(0); seed < 8; seed++ {
+		src := mj.GenerateShaped(seed, 3, mj.ShapeClosureHeavy)
+		prog, err := mj.Compile(src)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		progs = append(progs, prog)
+		labels = append(labels, fmt.Sprintf("gen:seed=%d", seed))
+	}
+
+	for i, prog := range progs {
+		before := closureSites(prog)
+		if len(before) == 0 {
+			t.Errorf("%s: no closure instructions to protect", labels[i])
+			continue
+		}
+		st, err := FuseProgram(prog)
+		if err != nil {
+			t.Fatalf("%s: fuse: %v", labels[i], err)
+		}
+		if st.Removed == 0 {
+			t.Errorf("%s: fusion removed nothing; barrier untested", labels[i])
+		}
+		after := closureSites(prog)
+		if len(after) != len(before) {
+			t.Fatalf("%s: fusion changed closure instruction count %d -> %d", labels[i], len(before), len(after))
+		}
+		for j := range before {
+			if before[j] != after[j] {
+				t.Errorf("%s: closure instruction rewritten by fusion:\n  before %s\n  after  %s", labels[i], before[j], after[j])
+			}
+		}
+	}
+}

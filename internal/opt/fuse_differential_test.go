@@ -73,8 +73,8 @@ func fusedTwin(t *testing.T, b *bench.Benchmark) (plain, fused *bytecode.Program
 // anything a profiler can see, one of these comparisons breaks.
 func TestFuseDifferentialSuite(t *testing.T) {
 	suite := bench.All()
-	if len(suite) != 13 {
-		t.Fatalf("suite has %d benchmarks, want 13", len(suite))
+	if len(suite) != 15 {
+		t.Fatalf("suite has %d benchmarks, want 15", len(suite))
 	}
 	for _, b := range suite {
 		b := b

@@ -1,0 +1,225 @@
+package profiler
+
+import (
+	"strings"
+	"testing"
+
+	"gocbs/internal/bytecode"
+	"gocbs/internal/mj"
+	"gocbs/internal/profile"
+	"gocbs/internal/vm"
+)
+
+// megaClosureSrc has exactly one closure call site (f(i) in main) that
+// dispatches round-robin to four distinct lambdas — the megamorphic
+// shape closure dispatch adds on top of virtual calls. The loop bound
+// comes from main's argument so the same program drives the exact
+// exhaustive checks (small n) and the sampled CBS checks (large n).
+const megaClosureSrc = `
+	fn(int) int pick(int i) {
+		int k = i % 4;
+		if (k == 0) { return fn(int x) int { return x + 1; }; }
+		if (k == 1) { return fn(int x) int { return x * 2; }; }
+		if (k == 2) { return fn(int x) int { return x - 3; }; }
+		return fn(int x) int { return x * x; };
+	}
+	int main(int n) {
+		int acc = 0;
+		for (int i = 0; i < n; i = i + 1) {
+			fn(int) int f = pick(i);
+			acc = acc + f(i);
+		}
+		return acc & 0xFFFF;
+	}
+`
+
+// runClosureProg compiles megaClosureSrc and runs it under prof.
+func runClosureProg(t *testing.T, prof vm.Profiler, timer uint64, iters int64) (*bytecode.Program, *vm.VM) {
+	t.Helper()
+	prog, err := mj.Compile(megaClosureSrc)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	m := vm.New(prog)
+	m.MaxSteps = 200_000_000
+	if prof != nil {
+		m.SetProfiler(prof)
+	}
+	if timer > 0 {
+		m.SetTimer(timer)
+	}
+	if _, err := m.Run(iters); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return prog, m
+}
+
+// lambdaIDs returns the method IDs of every synthetic lambda body.
+func lambdaIDs(prog *bytecode.Program) map[int]string {
+	ids := make(map[int]string)
+	for _, meth := range prog.Methods {
+		if strings.Contains(meth.Name, "$lambda$") {
+			ids[meth.ID] = meth.Name
+		}
+	}
+	return ids
+}
+
+// closureSite locates the single call site whose callees are lambdas
+// and returns it along with the edges recorded there.
+func closureSite(t *testing.T, g *profile.DCG, lams map[int]string) (int, []profile.Edge) {
+	t.Helper()
+	site := -1
+	var edges []profile.Edge
+	for _, e := range g.Edges() {
+		if _, ok := lams[e.Callee]; !ok {
+			continue
+		}
+		if site == -1 {
+			site = e.Site
+		} else if e.Site != site {
+			t.Fatalf("lambda targets recorded at two sites (%d and %d); expected one megamorphic site", site, e.Site)
+		}
+		edges = append(edges, e)
+	}
+	if site == -1 {
+		t.Fatal("no closure call edges in the graph")
+	}
+	return site, edges
+}
+
+// TestExhaustiveClosureMegamorphicSite: under the exhaustive profiler a
+// megamorphic closure site yields exactly one DCG edge per distinct
+// lambda target, the per-target weights are exact (round-robin over 4
+// variants → n/4 each), and the graph conserves weight: its total
+// equals the VM's dynamic call count.
+func TestExhaustiveClosureMegamorphicSite(t *testing.T) {
+	const n = 40
+	ex := NewExhaustive()
+	prog, m := runClosureProg(t, ex, 0, n)
+
+	lams := lambdaIDs(prog)
+	if len(lams) != 4 {
+		t.Fatalf("expected 4 lambdas, found %v", lams)
+	}
+	site, edges := closureSite(t, ex.Graph, lams)
+	if len(edges) != len(lams) {
+		t.Fatalf("site %d has %d lambda edges, want one per target (%d)", site, len(edges), len(lams))
+	}
+	main := prog.MethodByName("$Globals.main")
+	seen := make(map[int]bool)
+	for _, e := range edges {
+		if e.Caller != main.ID {
+			t.Errorf("edge %+v: caller %d, want main (%d)", e, e.Caller, main.ID)
+		}
+		if seen[e.Callee] {
+			t.Errorf("duplicate edge for lambda %s at site %d", lams[e.Callee], site)
+		}
+		seen[e.Callee] = true
+		if w := ex.Graph.Weight(e); w != n/4 {
+			t.Errorf("%s: weight %v, want %d (exact round-robin share)", lams[e.Callee], w, n/4)
+		}
+	}
+
+	// Weight conservation at the site: the distribution sums to the
+	// number of closure calls and splits 25% per target.
+	dist := ex.Graph.SiteDistribution(site)
+	if len(dist) != 4 {
+		t.Fatalf("site distribution has %d targets, want 4", len(dist))
+	}
+	var sum float64
+	for _, tw := range dist {
+		sum += tw.Weight
+		if tw.Percent != 25 {
+			t.Errorf("lambda %d: %v%% of site, want exactly 25%%", tw.Callee, tw.Percent)
+		}
+	}
+	if sum != n {
+		t.Errorf("site weights sum to %v, want %d", sum, n)
+	}
+
+	// Whole-graph conservation: exhaustive records every dynamic call
+	// once, so the DCG total must equal the VM's call counter.
+	if ex.Graph.Total() != float64(m.Calls) {
+		t.Errorf("graph total %v != %d dynamic calls", ex.Graph.Total(), m.Calls)
+	}
+}
+
+// TestInstrumentedClosureAgreesWithExhaustive: the costed instrumented
+// profiler must see the identical edge set and weights at the closure
+// site — instrumentation changes cycle accounting, never the graph.
+func TestInstrumentedClosureAgreesWithExhaustive(t *testing.T) {
+	const n = 40
+	ex := NewExhaustive()
+	runClosureProg(t, ex, 0, n)
+	in := NewInstrumented()
+	prog, _ := runClosureProg(t, in, 0, n)
+
+	lams := lambdaIDs(prog)
+	site, _ := closureSite(t, in.Graph, lams)
+	for _, e := range ex.Graph.Edges() {
+		if in.Graph.Weight(e) != ex.Graph.Weight(e) {
+			t.Errorf("edge %+v: instrumented %v, exhaustive %v", e, in.Graph.Weight(e), ex.Graph.Weight(e))
+		}
+	}
+	if in.Graph.NumEdges() != ex.Graph.NumEdges() {
+		t.Errorf("edge counts differ: instrumented %d, exhaustive %d", in.Graph.NumEdges(), ex.Graph.NumEdges())
+	}
+	if got := len(in.Graph.SiteDistribution(site)); got != 4 {
+		t.Errorf("instrumented site distribution has %d targets, want 4", got)
+	}
+}
+
+// TestCBSClosureMegamorphicSite: a sampling CBS profiler at the same
+// site must (a) only ever credit real lambda targets — every sampled
+// edge is a subset of the exhaustive edge set — and (b) with burst
+// sampling observe all four targets, the megamorphic coverage
+// timer-only sampling cannot deliver. Weights are approximate but must
+// stay conserved: the site's distribution sums to the site's sampled
+// weight and no single target swallows the distribution.
+func TestCBSClosureMegamorphicSite(t *testing.T) {
+	const n = 60_000
+	cbs := NewCBS(Config{Stride: 3, SamplesPerTick: 16, Flavour: FlavourRVM, Seed: 7})
+	prog, _ := runClosureProg(t, cbs, 10_000, n)
+
+	if cbs.SamplesTaken == 0 {
+		t.Fatal("CBS took no samples")
+	}
+	lams := lambdaIDs(prog)
+	site, edges := closureSite(t, cbs.Graph, lams)
+
+	// (a) Subset property: CBS may miss targets, never invent them.
+	exSet := make(map[profile.Edge]bool)
+	ex := NewExhaustive()
+	runClosureProg(t, ex, 0, n)
+	for _, e := range ex.Graph.Edges() {
+		exSet[e] = true
+	}
+	for _, e := range cbs.Graph.Edges() {
+		if !exSet[e] {
+			t.Errorf("CBS invented edge %+v absent from the exhaustive graph", e)
+		}
+	}
+
+	// (b) Megamorphic coverage: all four lambda targets sampled.
+	if len(edges) != 4 {
+		t.Fatalf("CBS saw %d of 4 lambda targets at site %d: %v", len(edges), site, edges)
+	}
+	dist := cbs.Graph.SiteDistribution(site)
+	var sum float64
+	for _, tw := range dist {
+		sum += tw.Weight
+		if tw.Percent > 60 {
+			t.Errorf("lambda %d holds %.1f%% of a uniform 4-way site", tw.Callee, tw.Percent)
+		}
+	}
+	var siteTotal float64
+	for _, e := range edges {
+		siteTotal += cbs.Graph.Weight(e)
+	}
+	if sum != siteTotal {
+		t.Errorf("distribution sum %v != site weight %v", sum, siteTotal)
+	}
+	t.Logf("CBS sampled %v closure-site weight across %d targets (%d samples total)",
+		siteTotal, len(dist), int(cbs.SamplesTaken))
+}

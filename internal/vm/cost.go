@@ -84,7 +84,8 @@ func DefaultCostModel() *CostModel {
 		bytecode.OpGetStatic, bytecode.OpPutStatic,
 		bytecode.OpALoad, bytecode.OpAStore, bytecode.OpArrLen)
 	set(3, bytecode.OpDiv, bytecode.OpRem)
-	set(2, bytecode.OpCallStatic, bytecode.OpCallVirtual)
+	set(2, bytecode.OpCallStatic, bytecode.OpCallVirtual, bytecode.OpCallClosure)
+	set(2, bytecode.OpMakeClosure)
 	set(2, bytecode.OpClassEq)
 	set(3, bytecode.OpVTEq)
 	set(4, bytecode.OpPrint)

@@ -308,6 +308,31 @@ func (vm *VM) run(baseDepth int) (Value, error) {
 			vm.invoke(f, int(ins.B), callee)
 			continue
 
+		case bytecode.OpMakeClosure:
+			target := vm.Prog.Methods[ins.A]
+			ncaps := int(ins.B)
+			vm.chargeWork(vm.Cost.AllocBase + vm.Cost.AllocPerField*uint64(ncaps))
+			caps := make([]Value, ncaps)
+			copy(caps, vm.stack[len(vm.stack)-ncaps:])
+			vm.stack = vm.stack[:len(vm.stack)-ncaps]
+			vm.push(RefV(&Object{Fn: target, Fields: caps}))
+		case bytecode.OpCallClosure:
+			nargs := int(ins.A)
+			fn := vm.stack[len(vm.stack)-nargs]
+			if fn.R == nil {
+				return Value{}, vm.trap("closure call on nil")
+			}
+			if fn.R.Fn == nil {
+				return Value{}, vm.trap("closure call on non-closure %s", castClassName(fn.R))
+			}
+			callee := fn.R.Fn
+			if callee.NArgs != nargs {
+				return Value{}, vm.trap("closure %s takes %d args, call site passes %d", callee.Name, callee.NArgs, nargs)
+			}
+			vm.chargeWork(vm.Cost.VirtualDispatch)
+			vm.invoke(f, int(ins.B), callee)
+			continue
+
 		case bytecode.OpReturn, bytecode.OpReturnVoid:
 			var rv Value
 			if ins.Op == bytecode.OpReturn {
@@ -409,6 +434,9 @@ func (vm *VM) run(baseDepth int) (Value, error) {
 }
 
 func castClassName(o *Object) string {
+	if o.Fn != nil {
+		return "closure " + o.Fn.Name
+	}
 	if o.Class == nil {
 		return "array"
 	}

@@ -32,16 +32,24 @@ func IntV(i int64) Value { return Value{I: i} }
 // RefV wraps a reference as a Value.
 func RefV(o *Object) Value { return Value{R: o} }
 
-// Object is a heap object: a class instance (Fields) or an array
-// (Elems, with Class == nil).
+// Object is a heap object: a class instance (Fields), an array (Elems,
+// with Class == nil), or a closure (Fn set, Fields holding the
+// captured values, Class == nil).
 type Object struct {
 	Class  *bytecode.Class
 	Fields []Value
 	Elems  []Value
+	// Fn, when non-nil, makes this object a closure over the named
+	// static method; the closure itself is passed as argument 0 when
+	// called and Fields are the captured values.
+	Fn *bytecode.Method
 }
 
 // IsArray reports whether o is an array object.
-func (o *Object) IsArray() bool { return o != nil && o.Class == nil }
+func (o *Object) IsArray() bool { return o != nil && o.Class == nil && o.Fn == nil }
+
+// IsClosure reports whether o is a closure object.
+func (o *Object) IsClosure() bool { return o != nil && o.Fn != nil }
 
 // YieldKind identifies which yieldpoint fired.
 type YieldKind uint8
